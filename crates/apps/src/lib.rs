@@ -1,0 +1,15 @@
+//! Applications of semi-local string comparison — the downstream
+//! workflows the paper motivates (§1, §6): approximate pattern matching
+//! over genomes and time series, and similarity analysis over sequence
+//! collections.
+//!
+//! * [`matching`] — [`ApproxMatcher`]: one comb of pattern vs text, then
+//!   every fixed- or variable-length window query in (near-)linear time.
+//! * [`similarity`] — LCS distance matrices (rayon-parallel, bit-parallel
+//!   scoring for byte alphabets) and average-linkage clustering.
+
+pub mod matching;
+pub mod similarity;
+
+pub use matching::{ApproxMatcher, Occurrence};
+pub use similarity::{average_linkage, distance_matrix, lcs_distance_bytes, Dendrogram, DistanceMatrix};

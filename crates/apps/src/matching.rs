@@ -1,0 +1,239 @@
+//! Approximate pattern matching on top of the semi-local kernel.
+//!
+//! Classical approximate matching asks for the substrings of a text that
+//! are most similar to a pattern. The string-substring quadrant of the
+//! semi-local kernel answers this for **all** windows simultaneously:
+//! one O(mn) comb, then an O(n) sweep per window length — against
+//! O(mn) per window for repeated DP.
+
+use slcs_semilocal::{antidiag_combing_branchless, SemiLocalScores};
+
+/// One approximate occurrence of the pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Window start in the text.
+    pub start: usize,
+    /// Window end (exclusive).
+    pub end: usize,
+    /// LCS of the pattern with this window.
+    pub score: usize,
+}
+
+impl Occurrence {
+    /// Similarity in `[0, 1]`: LCS over pattern length.
+    pub fn similarity(&self, pattern_len: usize) -> f64 {
+        self.score as f64 / pattern_len.max(1) as f64
+    }
+}
+
+/// A prepared matcher: the pattern-vs-text kernel plus its query index.
+pub struct ApproxMatcher {
+    scores: SemiLocalScores,
+    pattern_len: usize,
+    text_len: usize,
+}
+
+impl ApproxMatcher {
+    /// Combs `pattern` against `text` (O(|pattern|·|text|), branchless
+    /// anti-diagonal order) and builds the query index.
+    pub fn new<T: Eq + Clone + Sync>(pattern: &[T], text: &[T]) -> Self {
+        let kernel = antidiag_combing_branchless(pattern, text);
+        ApproxMatcher {
+            scores: kernel.index(),
+            pattern_len: pattern.len(),
+            text_len: text.len(),
+        }
+    }
+
+    /// Pattern length `m`.
+    pub fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    /// Text length `n`.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Raw scores for every window of length `w` (O(n)).
+    pub fn window_scores(&self, w: usize) -> Vec<usize> {
+        self.scores.windows_linear(w)
+    }
+
+    /// The best window of length `w`.
+    pub fn best_window(&self, w: usize) -> Occurrence {
+        let scores = self.window_scores(w);
+        let (start, &score) =
+            scores.iter().enumerate().max_by_key(|&(_, s)| s).expect("at least one window");
+        Occurrence { start, end: start + w, score }
+    }
+
+    /// All local-maximum windows of length `w` scoring at least
+    /// `min_score`, at least `w` apart (each run of qualifying windows is
+    /// reduced to its peak).
+    pub fn find(&self, w: usize, min_score: usize) -> Vec<Occurrence> {
+        let scores = self.window_scores(w);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < scores.len() {
+            if scores[i] >= min_score {
+                let run_start = i;
+                while i < scores.len() && scores[i] >= min_score {
+                    i += 1;
+                }
+                let peak = (run_start..i).max_by_key(|&k| scores[k]).expect("non-empty run");
+                out.push(Occurrence { start: peak, end: peak + w, score: scores[peak] });
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// For every text position `j`, the best score of the pattern against
+    /// any window ending at `j` — variable-length matching (O(n²) total).
+    pub fn best_per_end(&self) -> Vec<Occurrence> {
+        self.scores
+            .best_start_per_end()
+            .into_iter()
+            .enumerate()
+            .map(|(jm1, (score, start))| Occurrence { start, end: jm1 + 1, score })
+            .collect()
+    }
+
+    /// Subsequence matching: all **minimal** windows `b[i..j)` that
+    /// contain the whole pattern as a subsequence (LCS = m), i.e. windows
+    /// where shrinking either side loses containment. O(n) windows
+    /// reported at most; O(n²) worst-case time via the per-end sweep.
+    pub fn minimal_containing_windows(&self) -> Vec<Occurrence> {
+        let m = self.pattern_len;
+        if m == 0 {
+            return Vec::new(); // the empty pattern is contained trivially
+        }
+        let mut out: Vec<Occurrence> = Vec::new();
+        for occ in self.best_per_end() {
+            if occ.score < m {
+                continue;
+            }
+            // best_per_end prefers the smallest start on ties, which for
+            // score = m is NOT minimal (longer window); find the largest
+            // start still containing the pattern by binary search on the
+            // monotone predicate LCS(a, b[i..j)) = m.
+            let j = occ.end;
+            let (mut lo, mut hi) = (occ.start, j); // containment holds at lo
+            while lo + 1 < hi {
+                let mid = (lo + hi) / 2;
+                if self.scores.string_substring(mid, j) == m {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let candidate = Occurrence { start: lo, end: j, score: m };
+            // keep only windows minimal on the right too: drop a previous
+            // window with the same start and larger end
+            match out.last() {
+                Some(prev) if prev.start == candidate.start => {} // prev is shorter
+                _ => out.push(candidate),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slcs_baselines::prefix_rowmajor;
+
+    #[test]
+    fn best_window_is_globally_optimal() {
+        let pattern = b"needle";
+        let text = b"haystackneediehaystack";
+        let m = ApproxMatcher::new(pattern, text);
+        let best = m.best_window(pattern.len());
+        let brute = (0..=text.len() - pattern.len())
+            .map(|i| prefix_rowmajor(pattern, &text[i..i + pattern.len()]))
+            .max()
+            .unwrap();
+        assert_eq!(best.score, brute);
+        assert_eq!(&text[best.start..best.end], b"needie");
+    }
+
+    #[test]
+    fn find_reports_disjoint_peaks() {
+        let pattern = b"abcabc";
+        let text = b"xxabcabcxxxxxxabxabcxx";
+        let m = ApproxMatcher::new(pattern, text);
+        let hits = m.find(pattern.len(), 5);
+        assert!(!hits.is_empty());
+        for w in hits.windows(2) {
+            assert!(w[1].start >= w[0].end || w[1].start > w[0].start, "peaks ordered");
+        }
+        assert_eq!(hits[0].start, 2, "exact occurrence first: {hits:?}");
+        assert_eq!(hits[0].score, 6);
+    }
+
+    #[test]
+    fn find_with_impossible_threshold_is_empty() {
+        let m = ApproxMatcher::new(b"abc", b"xyzxyz");
+        assert!(m.find(3, 4).is_empty());
+    }
+
+    #[test]
+    fn best_per_end_matches_brute_force() {
+        let pattern = b"grail";
+        let text = b"holygraalrail";
+        let m = ApproxMatcher::new(pattern, text);
+        for occ in m.best_per_end() {
+            let brute = (0..occ.end)
+                .map(|i| prefix_rowmajor(pattern, &text[i..occ.end]))
+                .max()
+                .unwrap();
+            assert_eq!(occ.score, brute, "end {}", occ.end);
+        }
+    }
+
+    #[test]
+    fn minimal_containing_windows_are_correct_and_minimal() {
+        let pattern = b"abc";
+        let text = b"azbxcaabcz";
+        let m = ApproxMatcher::new(pattern, text);
+        let windows = m.minimal_containing_windows();
+        // brute force: all minimal containing windows
+        let contains = |i: usize, j: usize| {
+            prefix_rowmajor(pattern, &text[i..j]) == pattern.len()
+        };
+        let mut brute = Vec::new();
+        for i in 0..text.len() {
+            for j in (i + pattern.len())..=text.len() {
+                if contains(i, j)
+                    && !(j > i + 1 && contains(i + 1, j))
+                    && !(j > i + 1 && contains(i, j - 1))
+                {
+                    brute.push((i, j));
+                }
+            }
+        }
+        let got: Vec<(usize, usize)> =
+            windows.iter().map(|o| (o.start, o.end)).collect();
+        assert_eq!(got, brute, "text={:?}", std::str::from_utf8(text));
+        // the exact occurrence "abc" at 6..9 must be among them
+        assert!(got.contains(&(6, 9)));
+    }
+
+    #[test]
+    fn no_containing_window_when_pattern_absent() {
+        let m = ApproxMatcher::new(b"xyz", b"abcabc");
+        assert!(m.minimal_containing_windows().is_empty());
+        let m = ApproxMatcher::new(b"", b"abc");
+        assert!(m.minimal_containing_windows().is_empty());
+    }
+
+    #[test]
+    fn similarity_is_normalized() {
+        let occ = Occurrence { start: 0, end: 4, score: 3 };
+        assert!((occ.similarity(6) - 0.5).abs() < 1e-12);
+        assert_eq!(Occurrence { start: 0, end: 0, score: 0 }.similarity(0), 0.0);
+    }
+}

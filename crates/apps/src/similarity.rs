@@ -1,0 +1,214 @@
+//! Pairwise sequence similarity and hierarchical clustering.
+//!
+//! The paper motivates semi-local comparison with real-life data analysis
+//! (virus genomes, time series). This module provides the standard
+//! downstream workflow: an LCS-based distance over a collection of
+//! sequences (computed in parallel with rayon, using the carry-free
+//! bit-parallel LCS for small alphabets) and average-linkage
+//! agglomerative clustering over the resulting matrix.
+
+use rayon::prelude::*;
+use slcs_baselines::prefix_rowmajor;
+use slcs_bitpar::bit_lcs_alphabet;
+
+/// Symmetric distance matrix over `k` sequences, stored densely.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    k: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// `true` iff the collection was empty.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Distance between sequences `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.k + j]
+    }
+}
+
+/// LCS distance `1 − LCS(x, y) / max(|x|, |y|)` ∈ [0, 1]; 0 iff equal.
+pub fn lcs_distance_bytes(x: &[u8], y: &[u8]) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    let lcs = if x.iter().chain(y).all(|&c| c < 128) {
+        bit_lcs_alphabet(x, y)
+    } else {
+        prefix_rowmajor(x, y)
+    };
+    1.0 - lcs as f64 / x.len().max(y.len()) as f64
+}
+
+/// Pairwise LCS distances over a collection, parallel over pairs.
+pub fn distance_matrix(seqs: &[Vec<u8>]) -> DistanceMatrix {
+    let k = seqs.len();
+    let pairs: Vec<(usize, usize)> =
+        (0..k).flat_map(|i| (i + 1..k).map(move |j| (i, j))).collect();
+    let vals: Vec<f64> =
+        pairs.par_iter().map(|&(i, j)| lcs_distance_bytes(&seqs[i], &seqs[j])).collect();
+    let mut d = vec![0.0; k * k];
+    for (&(i, j), &v) in pairs.iter().zip(&vals) {
+        d[i * k + j] = v;
+        d[j * k + i] = v;
+    }
+    DistanceMatrix { k, d }
+}
+
+/// A node of the clustering dendrogram.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dendrogram {
+    /// A single input sequence (by index).
+    Leaf(usize),
+    /// A merge of two clusters at the given average-linkage distance.
+    Node { left: Box<Dendrogram>, right: Box<Dendrogram>, height: f64 },
+}
+
+impl Dendrogram {
+    /// Indices of all leaves under this node, left to right.
+    pub fn leaves(&self) -> Vec<usize> {
+        match self {
+            Dendrogram::Leaf(i) => vec![*i],
+            Dendrogram::Node { left, right, .. } => {
+                let mut v = left.leaves();
+                v.extend(right.leaves());
+                v
+            }
+        }
+    }
+
+    /// Cuts the tree at `height`, returning the resulting clusters.
+    pub fn cut(&self, height: f64) -> Vec<Vec<usize>> {
+        match self {
+            Dendrogram::Node { left, right, height: h } if *h > height => {
+                let mut v = left.cut(height);
+                v.extend(right.cut(height));
+                v
+            }
+            other => vec![other.leaves()],
+        }
+    }
+}
+
+/// Average-linkage (UPGMA-style) agglomerative clustering.
+///
+/// # Panics
+///
+/// Panics on an empty matrix.
+pub fn average_linkage(matrix: &DistanceMatrix) -> Dendrogram {
+    let k = matrix.len();
+    assert!(k > 0, "cannot cluster zero sequences");
+    // active clusters: (dendrogram, member indices)
+    let mut clusters: Vec<(Dendrogram, Vec<usize>)> =
+        (0..k).map(|i| (Dendrogram::Leaf(i), vec![i])).collect();
+    while clusters.len() > 1 {
+        // find the closest pair by average pairwise distance
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let mut sum = 0.0;
+                for &x in &clusters[i].1 {
+                    for &y in &clusters[j].1 {
+                        sum += matrix.get(x, y);
+                    }
+                }
+                let avg = sum / (clusters[i].1.len() * clusters[j].1.len()) as f64;
+                if avg < best.2 {
+                    best = (i, j, avg);
+                }
+            }
+        }
+        let (i, j, h) = best;
+        // i < j, so removing j first leaves index i untouched
+        let (right_tree, right_members) = clusters.swap_remove(j);
+        let (left_tree, left_members) = clusters.swap_remove(i);
+        let mut members = left_members;
+        members.extend(right_members);
+        clusters.push((
+            Dendrogram::Node {
+                left: Box::new(left_tree),
+                right: Box::new(right_tree),
+                height: h,
+            },
+            members,
+        ));
+    }
+    clusters.pop().expect("one cluster remains").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_a_semimetric() {
+        let x = b"acgtacgt".to_vec();
+        let y = b"acgtccgt".to_vec();
+        let z = b"tttttttt".to_vec();
+        assert_eq!(lcs_distance_bytes(&x, &x), 0.0);
+        let dxy = lcs_distance_bytes(&x, &y);
+        let dyx = lcs_distance_bytes(&y, &x);
+        assert_eq!(dxy, dyx);
+        assert!(dxy > 0.0 && dxy < lcs_distance_bytes(&x, &z));
+        assert_eq!(lcs_distance_bytes(b"", b""), 0.0);
+        assert_eq!(lcs_distance_bytes(b"a", b""), 1.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let seqs: Vec<Vec<u8>> =
+            vec![b"aaaa".to_vec(), b"aabb".to_vec(), b"bbbb".to_vec(), b"abab".to_vec()];
+        let m = distance_matrix(&seqs);
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_groups_obvious_families() {
+        // two families: a-like and b-like
+        let seqs: Vec<Vec<u8>> = vec![
+            b"aaaaaaaaaa".to_vec(),
+            b"aaaaacaaaa".to_vec(),
+            b"bbbbbbbbbb".to_vec(),
+            b"bbbbbcbbbb".to_vec(),
+        ];
+        let tree = average_linkage(&distance_matrix(&seqs));
+        let clusters = tree.cut(0.5);
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+        for c in &clusters {
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert!(sorted == vec![0, 1] || sorted == vec![2, 3], "{clusters:?}");
+        }
+    }
+
+    #[test]
+    fn single_sequence_clusters_trivially() {
+        let seqs = vec![b"xyz".to_vec()];
+        let tree = average_linkage(&distance_matrix(&seqs));
+        assert_eq!(tree, Dendrogram::Leaf(0));
+        assert_eq!(tree.cut(0.0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn leaves_cover_all_inputs() {
+        let seqs: Vec<Vec<u8>> =
+            (0..7u8).map(|i| vec![i; 5 + i as usize]).collect();
+        let tree = average_linkage(&distance_matrix(&seqs));
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,173 @@
+//! Adder-based bit-parallel LCS baselines: Crochemore–Iliopoulos–
+//! Pinzon–Reid (2001) and Hyyrö (2004).
+//!
+//! Both iterate over the grid in **vertical tiles** (one column of the DP
+//! per input character of `b`) and encode the DP column as a difference
+//! bit-vector `V` (bit `i` set ⇔ the column value does *not* step between
+//! rows `i` and `i+1`). A column update is a handful of Boolean
+//! operations plus one **integer addition**, whose carry chain is what
+//! propagates a match across the tile. These are exactly the
+//! "existing bit-parallel LCS algorithms" the paper's carry-free
+//! anti-diagonal algorithm (crate `slcs-bitpar`) is contrasted with.
+//!
+//! Update rule (derived from the column DP; both published variants are
+//! algebraically identical because `U = V & M ⊆ V` implies
+//! `V − U = V & !M`):
+//!
+//! ```text
+//! U  = V & M[c]             M[c]: match mask of column character c
+//! V' = (V + U) | (V & !M[c])        (CIPR form)
+//! V' = (V + U) | (V − U)            (Hyyrö form)
+//! ```
+//!
+//! The LCS score is the number of zero bits of `V` in positions `0..m`.
+
+const W: usize = 64;
+
+/// Match masks `M[c]` for a byte string `a`: bit `i` of `M[c]` is set iff
+/// `a[i] == c`. Sparse over the 256 byte values.
+pub struct MatchMasks {
+    words: usize,
+    masks: Vec<Vec<u64>>, // indexed by byte value; empty ⇒ no occurrences
+}
+
+impl MatchMasks {
+    /// Builds the masks in O(m + σ) where σ is the alphabet size.
+    pub fn new(a: &[u8]) -> Self {
+        let words = a.len().div_ceil(W);
+        let mut masks: Vec<Vec<u64>> = vec![Vec::new(); 256];
+        for (i, &c) in a.iter().enumerate() {
+            let m = &mut masks[c as usize];
+            if m.is_empty() {
+                m.resize(words, 0);
+            }
+            m[i / W] |= 1u64 << (i % W);
+        }
+        MatchMasks { words, masks }
+    }
+
+    #[inline]
+    fn get(&self, c: u8) -> Option<&[u64]> {
+        let m = &self.masks[c as usize];
+        (!m.is_empty()).then_some(m.as_slice())
+    }
+}
+
+/// CIPR (2001) bit-parallel LCS score: `O(⌈m/w⌉ · n)` word operations,
+/// one adder carry chain per column.
+pub fn cipr_lcs(a: &[u8], b: &[u8]) -> usize {
+    bitvector_lcs(a, b, false)
+}
+
+/// Hyyrö (2004) bit-parallel LCS score — the `(V + U) | (V − U)` form,
+/// with an explicit borrow chain instead of the mask re-use.
+pub fn hyyro_lcs(a: &[u8], b: &[u8]) -> usize {
+    bitvector_lcs(a, b, true)
+}
+
+fn bitvector_lcs(a: &[u8], b: &[u8], subtract_form: bool) -> usize {
+    let m = a.len();
+    if m == 0 || b.is_empty() {
+        return 0;
+    }
+    let masks = MatchMasks::new(a);
+    let words = masks.words;
+    let mut v = vec![u64::MAX; words];
+    let mut u = vec![0u64; words];
+    for &c in b {
+        let Some(mask) = masks.get(c) else {
+            continue; // no match anywhere in a: the column is unchanged
+        };
+        for k in 0..words {
+            u[k] = v[k] & mask[k];
+        }
+        if subtract_form {
+            // V' = (V + U) | (V − U), multiword add and subtract
+            let mut carry = false;
+            let mut borrow = false;
+            for k in 0..words {
+                let (s1, c1) = v[k].overflowing_add(u[k]);
+                let (sum, c2) = s1.overflowing_add(carry as u64);
+                let (d1, b1) = v[k].overflowing_sub(u[k]);
+                let (diff, b2) = d1.overflowing_sub(borrow as u64);
+                v[k] = sum | diff;
+                carry = c1 | c2;
+                borrow = b1 | b2;
+            }
+        } else {
+            // V' = (V + U) | (V & !M)
+            let mut carry = false;
+            for k in 0..words {
+                let (s1, c1) = v[k].overflowing_add(u[k]);
+                let (sum, c2) = s1.overflowing_add(carry as u64);
+                v[k] = sum | (v[k] & !mask[k]);
+                carry = c1 | c2;
+            }
+        }
+    }
+    // LCS = number of zero bits among positions 0..m.
+    let mut zeros = 0usize;
+    for (k, &word) in v.iter().enumerate() {
+        let bits_here = if (k + 1) * W <= m { W } else { m - k * W };
+        let mask = if bits_here == W { u64::MAX } else { (1u64 << bits_here) - 1 };
+        zeros += bits_here - (word & mask).count_ones() as usize;
+    }
+    zeros
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::prefix_rowmajor;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xB17)
+    }
+
+    #[test]
+    fn both_variants_match_dp_on_random_strings() {
+        let mut rng = rng();
+        for sigma in [2u8, 4, 26] {
+            for _ in 0..20 {
+                let m = rng.random_range(0..200);
+                let n = rng.random_range(0..200);
+                let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..sigma)).collect();
+                let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..sigma)).collect();
+                let want = prefix_rowmajor(&a, &b);
+                assert_eq!(cipr_lcs(&a, &b), want, "cipr σ={sigma} a={a:?} b={b:?}");
+                assert_eq!(hyyro_lcs(&a, &b), want, "hyyro σ={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiword_carry_crosses_word_boundaries() {
+        // A long run of matches forces the adder carry to propagate
+        // through several 64-bit words.
+        let a = vec![b'x'; 200];
+        let b = vec![b'x'; 200];
+        assert_eq!(cipr_lcs(&a, &b), 200);
+        assert_eq!(hyyro_lcs(&a, &b), 200);
+    }
+
+    #[test]
+    fn absent_characters_short_circuit() {
+        let a = b"aaaa";
+        let b = b"bbbbbbbb";
+        assert_eq!(cipr_lcs(a, b), 0);
+        assert_eq!(hyyro_lcs(a, b), 0);
+    }
+
+    #[test]
+    fn exact_word_length_boundaries() {
+        let mut rng = rng();
+        for m in [63usize, 64, 65, 127, 128, 129] {
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..2)).collect();
+            let b: Vec<u8> = (0..m).map(|_| rng.random_range(0..2)).collect();
+            let want = prefix_rowmajor(&a, &b);
+            assert_eq!(cipr_lcs(&a, &b), want, "m={m}");
+            assert_eq!(hyyro_lcs(&a, &b), want, "m={m}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Classical dynamic-programming LCS baselines.
+//!
+//! `prefix_rowmajor` is the paper's name for the linear-space
+//! Wagner–Fischer sweep — the yardstick every semi-local algorithm is
+//! compared against in Figure 5.
+
+/// Linear-space LCS score, row-major order (the paper's
+/// `prefix_rowmajor`). O(mn) time, O(n) memory.
+///
+/// # Examples
+///
+/// ```
+/// use slcs_baselines::prefix_rowmajor;
+/// assert_eq!(prefix_rowmajor(b"XMJYAUZ", b"MZJAWXU"), 4);
+/// ```
+pub fn prefix_rowmajor<T: Eq>(a: &[T], b: &[T]) -> usize {
+    let n = b.len();
+    let mut prev = vec![0u32; n + 1];
+    let mut cur = vec![0u32; n + 1];
+    for ac in a {
+        cur[0] = 0;
+        let mut diag = prev[0];
+        for (j, bc) in b.iter().enumerate() {
+            let up = prev[j + 1];
+            let val = if ac == bc { diag + 1 } else { up.max(cur[j]) };
+            cur[j + 1] = val;
+            diag = up;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n] as usize
+}
+
+/// Full O(mn)-memory LCS table; `table[i][j] = LCS(a[..i], b[..j])`,
+/// row-major with stride `n + 1`. Building block for traceback-based
+/// tools and tests.
+pub fn lcs_table<T: Eq>(a: &[T], b: &[T]) -> Vec<u32> {
+    let (m, n) = (a.len(), b.len());
+    let stride = n + 1;
+    let mut t = vec![0u32; (m + 1) * stride];
+    for (i, ac) in a.iter().enumerate() {
+        for (j, bc) in b.iter().enumerate() {
+            t[(i + 1) * stride + j + 1] = if ac == bc {
+                t[i * stride + j] + 1
+            } else {
+                t[i * stride + j + 1].max(t[(i + 1) * stride + j])
+            };
+        }
+    }
+    t
+}
+
+/// One LCS string (not just its length), recovered from the full table.
+/// O(mn) memory; see [`crate::hirschberg::hirschberg_lcs`] for the
+/// linear-space version.
+pub fn lcs_traceback<T: Eq + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let (m, n) = (a.len(), b.len());
+    let stride = n + 1;
+    let t = lcs_table(a, b);
+    let mut out = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 && j > 0 {
+        if a[i - 1] == b[j - 1] {
+            out.push(a[i - 1].clone());
+            i -= 1;
+            j -= 1;
+        } else if t[(i - 1) * stride + j] >= t[i * stride + j - 1] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Levenshtein edit distance (unit costs), linear space. Included because
+/// semi-local comparison generalises approximate matching by edit
+/// distance (§2 of the paper); used by the genome example.
+pub fn edit_distance<T: Eq>(a: &[T], b: &[T]) -> usize {
+    let n = b.len();
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, ac) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, bc) in b.iter().enumerate() {
+            let sub = prev[j] + u32::from(ac != bc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n] as usize
+}
+
+/// `true` iff `sub` is a subsequence of `sup` — a cheap validity check
+/// for recovered LCS strings.
+pub fn is_subsequence<T: Eq>(sub: &[T], sup: &[T]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|s| it.any(|x| x == s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowmajor_matches_known_values() {
+        assert_eq!(prefix_rowmajor(b"ABCBDAB", b"BDCABA"), 4);
+        assert_eq!(prefix_rowmajor(b"", b""), 0);
+        assert_eq!(prefix_rowmajor(b"A", b"A"), 1);
+        assert_eq!(prefix_rowmajor(b"AAAA", b"AAAA"), 4);
+        assert_eq!(prefix_rowmajor(b"ABC", b"DEF"), 0);
+    }
+
+    #[test]
+    fn traceback_is_a_common_subsequence_of_right_length() {
+        let a = b"pineapple";
+        let b = b"palindrome";
+        let lcs = lcs_traceback(a, b);
+        assert_eq!(lcs.len(), prefix_rowmajor(a, b));
+        assert!(is_subsequence(&lcs, a));
+        assert!(is_subsequence(&lcs, b));
+    }
+
+    #[test]
+    fn edit_distance_known_values() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+    }
+
+    #[test]
+    fn edit_distance_lcs_relation_for_binary() {
+        // For unit-cost edit distance: d >= (m+n) - 2*LCS, with equality
+        // when substitutions are never beneficial… not in general, but
+        // d <= m + n - 2*LCS always holds (delete+insert around the LCS).
+        let a = b"10110100";
+        let b = b"00101101";
+        let d = edit_distance(a, b);
+        let l = prefix_rowmajor(a, b);
+        assert!(d <= a.len() + b.len() - 2 * l);
+    }
+
+    #[test]
+    fn is_subsequence_edges() {
+        assert!(is_subsequence(b"", b""));
+        assert!(is_subsequence(b"", b"abc"));
+        assert!(!is_subsequence(b"a", b""));
+        assert!(is_subsequence(b"ace", b"abcde"));
+        assert!(!is_subsequence(b"aec", b"abcde"));
+    }
+}

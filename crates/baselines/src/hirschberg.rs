@@ -1,0 +1,110 @@
+//! Hirschberg's linear-space LCS recovery (Hirschberg 1975) — a classical
+//! divide-and-conquer baseline referenced in §2 of the paper, and the tool
+//! the examples use to *display* an optimal alignment once the semi-local
+//! machinery has located the interesting window.
+
+
+/// Recovers one LCS string of `a` and `b` in O(mn) time and O(m+n)
+/// memory.
+///
+/// # Examples
+///
+/// ```
+/// use slcs_baselines::hirschberg_lcs;
+/// let lcs = hirschberg_lcs(b"nematode knowledge", b"empty bottle");
+/// assert_eq!(lcs, b"emt ole".to_vec());
+/// ```
+pub fn hirschberg_lcs<T: Eq + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    rec(a, b, &mut out);
+    out
+}
+
+/// Forward DP row: `row[j] = LCS(a, b[..j])` for all `j`.
+fn dp_row<T: Eq>(a: &[T], b: &[T]) -> Vec<u32> {
+    let n = b.len();
+    let mut prev = vec![0u32; n + 1];
+    let mut cur = vec![0u32; n + 1];
+    for ac in a {
+        cur[0] = 0;
+        let mut diag = prev[0];
+        for (j, bc) in b.iter().enumerate() {
+            let up = prev[j + 1];
+            cur[j + 1] = if ac == bc { diag + 1 } else { up.max(cur[j]) };
+            diag = up;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+fn rec<T: Eq + Clone>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    let m = a.len();
+    if m == 0 || b.is_empty() {
+        return;
+    }
+    if m == 1 {
+        if b.contains(&a[0]) {
+            out.push(a[0].clone());
+        }
+        return;
+    }
+    let mid = m / 2;
+    let (a_top, a_bot) = a.split_at(mid);
+    // score(j) = LCS(a_top, b[..j]) + LCS(a_bot, b[j..]) is maximised at
+    // the optimal split point of b.
+    let fwd = dp_row(a_top, b);
+    let rev_a: Vec<T> = a_bot.iter().rev().cloned().collect();
+    let rev_b: Vec<T> = b.iter().rev().cloned().collect();
+    let bwd = dp_row(&rev_a, &rev_b);
+    let n = b.len();
+    let split = (0..=n)
+        .max_by_key(|&j| fwd[j] + bwd[n - j])
+        .expect("non-empty range");
+    rec(a_top, &b[..split], out);
+    rec(a_bot, &b[split..], out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{is_subsequence, lcs_traceback, prefix_rowmajor};
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x412C)
+    }
+
+    #[test]
+    fn recovers_optimal_length_subsequences() {
+        let mut rng = rng();
+        for _ in 0..30 {
+            let m = rng.random_range(0..40);
+            let n = rng.random_range(0..40);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(b'a'..b'e')).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(b'a'..b'e')).collect();
+            let lcs = hirschberg_lcs(&a, &b);
+            assert_eq!(lcs.len(), prefix_rowmajor(&a, &b), "a={a:?} b={b:?}");
+            assert!(is_subsequence(&lcs, &a));
+            assert!(is_subsequence(&lcs, &b));
+        }
+    }
+
+    #[test]
+    fn agrees_in_length_with_quadratic_traceback() {
+        let a = b"the quick brown fox jumps over the lazy dog";
+        let b = b"pack my box with five dozen liquor jugs";
+        assert_eq!(hirschberg_lcs(a, b).len(), lcs_traceback(a, b).len());
+    }
+
+    #[test]
+    fn identical_strings_recover_themselves() {
+        let a = b"abracadabra";
+        assert_eq!(hirschberg_lcs(a, a), a.to_vec());
+    }
+
+    #[test]
+    fn disjoint_alphabets_recover_empty() {
+        assert_eq!(hirschberg_lcs(b"aaa", b"bbb"), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,22 @@
+//! Classical LCS baselines: everything the paper compares against.
+//!
+//! * [`prefix_rowmajor`] — linear-space Wagner–Fischer DP (the paper's
+//!   `prefix_rowmajor`).
+//! * [`prefix_antidiag`] / [`par_prefix_antidiag`] — anti-diagonal,
+//!   branchless, optionally thread-parallel DP (`prefix_antidiag_SIMD`).
+//! * [`hirschberg_lcs`] — linear-space LCS *string* recovery.
+//! * [`cipr_lcs`] / [`hyyro_lcs`] — the adder-based bit-parallel LCS
+//!   algorithms of Crochemore et al. (2001) and Hyyrö (2004), the
+//!   related work contrasted with the paper's carry-free algorithm.
+//! * [`lcs_table`], [`lcs_traceback`], [`edit_distance`],
+//!   [`is_subsequence`] — supporting DP utilities.
+
+pub mod antidiag;
+pub mod bitvector;
+pub mod dp;
+pub mod hirschberg;
+
+pub use antidiag::{par_prefix_antidiag, prefix_antidiag};
+pub use bitvector::{cipr_lcs, hyyro_lcs, MatchMasks};
+pub use dp::{edit_distance, is_subsequence, lcs_table, lcs_traceback, prefix_rowmajor};
+pub use hirschberg::hirschberg_lcs;

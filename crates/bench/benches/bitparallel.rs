@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 9: the carry-free bit-parallel LCS variants
+//! against each other, the adder-based baselines, and plain DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slcs_baselines::{cipr_lcs, hyyro_lcs, prefix_rowmajor};
+use slcs_bitpar::{bit_lcs_alphabet, bit_lcs_new1, bit_lcs_new2, bit_lcs_old};
+use slcs_datagen::{binary_string, seeded_rng, uniform_string};
+
+fn bitparallel(c: &mut Criterion) {
+    let mut rng = seeded_rng(0x916);
+    let n = 50_000usize;
+    let a = binary_string(&mut rng, n);
+    let b = binary_string(&mut rng, n);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_with_input(BenchmarkId::new("bit_old", n), &n, |bn, _| {
+        bn.iter(|| bit_lcs_old(&a, &b))
+    });
+    group.bench_with_input(BenchmarkId::new("bit_new_1", n), &n, |bn, _| {
+        bn.iter(|| bit_lcs_new1(&a, &b))
+    });
+    group.bench_with_input(BenchmarkId::new("bit_new_2", n), &n, |bn, _| {
+        bn.iter(|| bit_lcs_new2(&a, &b))
+    });
+    group.bench_with_input(BenchmarkId::new("cipr_adder", n), &n, |bn, _| {
+        bn.iter(|| cipr_lcs(&a, &b))
+    });
+    group.bench_with_input(BenchmarkId::new("hyyro_adder", n), &n, |bn, _| {
+        bn.iter(|| hyyro_lcs(&a, &b))
+    });
+    // DP at this size is ~50x slower; bench it smaller to keep runtime sane.
+    let small = 5_000usize;
+    group.bench_with_input(BenchmarkId::new("prefix_rowmajor", small), &small, |bn, _| {
+        bn.iter(|| prefix_rowmajor(&a[..small], &b[..small]))
+    });
+    // the future-work alphabet extension, on DNA-sized symbols
+    let da = uniform_string(&mut rng, n, 4);
+    let db = uniform_string(&mut rng, n, 4);
+    group.bench_with_input(BenchmarkId::new("bit_alphabet_dna", n), &n, |bn, _| {
+        bn.iter(|| bit_lcs_alphabet(&da, &db))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bitparallel);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 4(a)/(b): steady-ant braid multiplication
+//! variants on random permutations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slcs_braid::{
+    parallel_steady_ant, steady_ant, steady_ant_combined, steady_ant_memory, steady_ant_precalc,
+    BraidMulWorkspace, PrecalcTables,
+};
+use slcs_datagen::seeded_rng;
+use slcs_perm::Permutation;
+
+fn braid_mult(c: &mut Criterion) {
+    let mut rng = seeded_rng(0xBEEF);
+    let mut group = c.benchmark_group("braid_mult");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let p = Permutation::random(n, &mut rng);
+        let q = Permutation::random(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("base", n), &n, |b, _| {
+            b.iter(|| steady_ant(&p, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("precalc", n), &n, |b, _| {
+            b.iter(|| steady_ant_precalc(&p, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {
+            b.iter(|| steady_ant_memory(&p, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("combined", n), &n, |b, _| {
+            b.iter(|| steady_ant_combined(&p, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("combined_reused_ws", n), &n, |b, _| {
+            let mut ws = BraidMulWorkspace::new(n);
+            let tables = PrecalcTables::global();
+            b.iter(|| ws.multiply(&p, &q, Some(tables)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_d4", n), &n, |b, _| {
+            b.iter(|| parallel_steady_ant(&p, &q, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, braid_mult);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figures 6–7: the hybrid combing family — depth
+//! sweep (Listing 6) and the optimized grid hybrid (Listing 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slcs_datagen::{normal_string, seeded_rng};
+use slcs_semilocal::hybrid::hybrid_combing_depth;
+use slcs_semilocal::{antidiag_combing_branchless, grid_hybrid_combing};
+
+fn hybrid(c: &mut Criterion) {
+    let mut rng = seeded_rng(0x4B1);
+    let n = 4_000usize;
+    let a = normal_string(&mut rng, n, 1.0);
+    let b = normal_string(&mut rng, n, 1.0);
+    let mut group = c.benchmark_group("fig6_fig7");
+    group.sample_size(10);
+    for depth in [0usize, 1, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("hybrid_depth", depth), &depth, |bn, &d| {
+            bn.iter(|| hybrid_combing_depth(&a, &b, d))
+        });
+    }
+    for tasks in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("grid_hybrid_tasks", tasks), &tasks, |bn, &t| {
+            bn.iter(|| grid_hybrid_combing(&a, &b, t))
+        });
+    }
+    group.bench_function("iterative_SIMD_reference", |bn| {
+        bn.iter(|| antidiag_combing_branchless(&a, &b))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hybrid);
+criterion_main!(benches);

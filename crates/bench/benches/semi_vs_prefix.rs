@@ -1,0 +1,61 @@
+//! Criterion bench for Figure 5: semi-local combing vs classical prefix
+//! LCS on synthetic σ=1 strings and synthetic genomes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slcs_baselines::{prefix_antidiag, prefix_rowmajor};
+use slcs_datagen::{genome_pair, normal_string, seeded_rng};
+use slcs_semilocal::{
+    antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, iterative_combing,
+    load_balanced_combing,
+};
+
+fn run_set<T: Eq + Clone + Sync>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    tag: &str,
+    a: &[T],
+    b: &[T],
+) {
+    let n = a.len();
+    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    group.bench_with_input(BenchmarkId::new(format!("{tag}/prefix_rowmajor"), n), &n, |bn, _| {
+        bn.iter(|| prefix_rowmajor(a, b))
+    });
+    group.bench_with_input(BenchmarkId::new(format!("{tag}/prefix_antidiag"), n), &n, |bn, _| {
+        bn.iter(|| prefix_antidiag(a, b))
+    });
+    group.bench_with_input(BenchmarkId::new(format!("{tag}/semi_rowmajor"), n), &n, |bn, _| {
+        bn.iter(|| iterative_combing(a, b))
+    });
+    group.bench_with_input(BenchmarkId::new(format!("{tag}/semi_antidiag"), n), &n, |bn, _| {
+        bn.iter(|| antidiag_combing(a, b))
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("{tag}/semi_antidiag_SIMD"), n),
+        &n,
+        |bn, _| bn.iter(|| antidiag_combing_branchless(a, b)),
+    );
+    group.bench_with_input(BenchmarkId::new(format!("{tag}/semi_antidiag_u16"), n), &n, |bn, _| {
+        bn.iter(|| antidiag_combing_u16(a, b))
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("{tag}/semi_load_balanced"), n),
+        &n,
+        |bn, _| bn.iter(|| load_balanced_combing(a, b)),
+    );
+}
+
+fn semi_vs_prefix(c: &mut Criterion) {
+    let mut rng = seeded_rng(0xF16);
+    let n = 3_000usize;
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let a = normal_string(&mut rng, n, 1.0);
+    let b = normal_string(&mut rng, n, 1.0);
+    run_set(&mut group, "sigma1", &a, &b);
+    let (ga, gb) = genome_pair(&mut rng, n, 0.05);
+    run_set(&mut group, "genome", &ga, &gb);
+    group.finish();
+}
+
+criterion_group!(benches, semi_vs_prefix);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! `repro` — regenerates every figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p slcs-bench --bin repro -- all --scale default
+//! cargo run --release -p slcs-bench --bin repro -- fig5 fig9e --scale quick
+//! cargo run --release -p slcs-bench --bin repro -- --list
+//! ```
+//!
+//! Results are printed as tables and written to `results/<fig>.csv`.
+//! Scales: `quick` (seconds), `default` (minutes), `full` (paper sizes,
+//! hours on one core).
+
+use slcs_bench::ablations::{self, ALL_ABLATIONS};
+use slcs_bench::figures::{run, ALL_FIGURES};
+use slcs_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut figs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value (quick|default|full)");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (quick|default|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--list" => {
+                println!("available figures:");
+                for f in ALL_FIGURES {
+                    println!("  {f}");
+                }
+                println!("available ablations:");
+                for f in ALL_ABLATIONS {
+                    println!("  {f}");
+                }
+                println!("  all (figures)   ablations (all ablations)");
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [FIG ...|all] [--scale quick|default|full] [--list]");
+                return;
+            }
+            other => figs.push(other.to_string()),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        figs = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+    if figs.iter().any(|f| f == "ablations") {
+        figs.retain(|f| f != "ablations");
+        figs.extend(ALL_ABLATIONS.iter().map(|s| s.to_string()));
+    }
+    println!(
+        "reproducing {} figure(s) at scale {:?} on {} logical core(s)",
+        figs.len(),
+        scale,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let t0 = std::time::Instant::now();
+    for fig in &figs {
+        if !run(fig, scale) && !ablations::run(fig, scale) {
+            eprintln!("unknown figure '{fig}' — use --list");
+            std::process::exit(2);
+        }
+    }
+    println!("\ntotal: {:?}", t0.elapsed());
+}

@@ -1,0 +1,200 @@
+//! Shared infrastructure for the figure-reproduction harness (`repro`
+//! binary) and the criterion micro-benchmarks: timing, thread pools,
+//! table/CSV output, and the paper's workloads with fixed seeds.
+
+use std::time::{Duration, Instant};
+
+pub mod ablations;
+pub mod figures;
+
+/// Benchmark scale, selecting input sizes.
+///
+/// * `Quick` — smoke-test sizes (seconds total), used by `cargo bench`
+///   smoke runs and CI;
+/// * `Default` — minutes total on one core, preserves every comparison's
+///   shape;
+/// * `Full` — the paper's sizes (strings up to 10⁶, permutations up to
+///   10⁷); hours on one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Default,
+    Full,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Picks the size list for this scale.
+    pub fn pick<T: Clone>(&self, quick: &[T], default: &[T], full: &[T]) -> Vec<T> {
+        match self {
+            Scale::Quick => quick.to_vec(),
+            Scale::Default => default.to_vec(),
+            Scale::Full => full.to_vec(),
+        }
+    }
+}
+
+/// Median wall-clock time of `runs` executions after one warmup, with a
+/// black-box guard on the result.
+pub fn measure<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut out = Vec::with_capacity(runs);
+    std::hint::black_box(f()); // warmup
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        out.push(t.elapsed());
+    }
+    out.sort();
+    out[out.len() / 2]
+}
+
+/// One measurement, for expensive configurations.
+pub fn measure_once<R>(mut f: impl FnMut() -> R) -> Duration {
+    let t = Instant::now();
+    std::hint::black_box(f());
+    t.elapsed()
+}
+
+/// Runs `f` inside a rayon pool of exactly `threads` workers.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction")
+        .install(f)
+}
+
+/// Thread counts to sweep, bounded by scale (the container has few
+/// cores, but the sweep still exercises the code paths; EXPERIMENTS.md
+/// documents the 1-vCPU caveat).
+pub fn thread_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 2],
+        Scale::Default => vec![1, 2, 4],
+        Scale::Full => vec![1, 2, 4, 8, 16],
+    }
+}
+
+/// A result table that prints aligned to stdout and serializes to CSV.
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Pretty-prints the table.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            println!("  {}", line.join("  "));
+        }
+    }
+
+    /// Writes `results/<name>.csv` relative to the workspace root.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<()> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut text = self.columns.join(",") + "\n";
+        for row in &self.rows {
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        std::fs::write(&path, text)?;
+        println!("  [written {}]", path.display());
+        Ok(())
+    }
+}
+
+/// Formats a duration in engineering units with 3 significant figures.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}us", s * 1e6)
+    }
+}
+
+/// Formats a speedup/ratio.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let d = measure(3, || (0..10_000).sum::<u64>());
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn with_threads_runs_in_sized_pool() {
+        let n = with_threads(2, rayon::current_num_threads);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.000us");
+    }
+}

@@ -1,0 +1,39 @@
+//! Carry-free bit-parallel LCS by iterative combing — the novel
+//! algorithm of Mishin, Berezun & Tiskin (ICPP 2021), §4.4 / Listing 8.
+//!
+//! One strand per **bit**: the grid is swept in anti-diagonal `w × w`
+//! blocks, strands are aligned by shifts and combed with pure Boolean
+//! logic — no integer additions (hence no carry chains, unlike the
+//! classical bit-parallel LCS algorithms of Crochemore et al. and Hyyrö,
+//! implemented in `slcs-baselines` for comparison), and no precomputed
+//! tables. Runs in O(mn/w) word operations.
+//!
+//! Variants (paper names):
+//!
+//! | paper | function | what changes |
+//! |---|---|---|
+//! | `bit_old` | [`bit_lcs_old`] | loads/stores per sub-grid anti-diagonal |
+//! | `bit_new_1` | [`bit_lcs_new1`] | per-block register residency |
+//! | `bit_new_2` | [`bit_lcs_new2`] | + optimized Boolean formula |
+//! | (parallel) | [`par_bit_lcs_old`] … | blocks of one diagonal in parallel |
+//! | (future work §6) | [`bit_lcs_alphabet`] | bit-plane match for σ ≤ 256 |
+//!
+//! # Example
+//!
+//! ```
+//! use slcs_bitpar::bit_lcs_new2;
+//!
+//! let a: Vec<u8> = (0..1000).map(|i| (i % 3 == 0) as u8).collect();
+//! let b: Vec<u8> = (0..800).map(|i| (i % 2) as u8).collect();
+//! let score = bit_lcs_new2(&a, &b);
+//! assert!(score <= 800);
+//! ```
+
+pub mod algo;
+pub mod block;
+pub mod pack;
+
+pub use algo::{
+    bit_lcs_alphabet, bit_lcs_new1, bit_lcs_new2, bit_lcs_old, par_bit_lcs_alphabet,
+    par_bit_lcs_new1, par_bit_lcs_new2, par_bit_lcs_old,
+};

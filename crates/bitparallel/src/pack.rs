@@ -1,0 +1,101 @@
+//! Bit packing of input strings for the bit-parallel combing algorithms.
+//!
+//! String `a` is stored **reversed** (both the word order and the bit
+//! order within each word), string `b` in normal order, both LSB-first —
+//! so that when the grid is swept in anti-diagonals, consecutive cells
+//! read consecutive bits of both strings and plain shifts align them
+//! (§4.4 of the paper). Each string also carries a *validity* mask so
+//! inputs need not be multiples of the word size: padded positions are
+//! forced to mismatch, which leaves the LCS unchanged (appending
+//! never-matching characters to both strings is LCS-neutral).
+
+/// Machine word width used by the algorithms.
+pub const W: usize = 64;
+
+/// A packed bit-plane: one bit per character, plus validity.
+#[derive(Clone, Debug)]
+pub struct PackedPlane {
+    /// Character bits, LSB-first within each word.
+    pub bits: Vec<u64>,
+    /// Validity: bit set ⇔ the position is a real character.
+    pub valid: Vec<u64>,
+}
+
+/// Packs bit-plane `plane` of `s` in natural order (for string `b`).
+pub fn pack_plane(s: &[u8], plane: u32) -> PackedPlane {
+    let words = s.len().div_ceil(W);
+    let mut bits = vec![0u64; words];
+    let mut valid = vec![0u64; words];
+    for (t, &c) in s.iter().enumerate() {
+        bits[t / W] |= (((c >> plane) & 1) as u64) << (t % W);
+        valid[t / W] |= 1u64 << (t % W);
+    }
+    PackedPlane { bits, valid }
+}
+
+/// Packs bit-plane `plane` of `s` reversed (for string `a`): bit `t` of
+/// the packed stream is character `s[len−1−t]`.
+pub fn pack_plane_rev(s: &[u8], plane: u32) -> PackedPlane {
+    let words = s.len().div_ceil(W);
+    let mut bits = vec![0u64; words];
+    let mut valid = vec![0u64; words];
+    let len = s.len();
+    for t in 0..len {
+        let c = s[len - 1 - t];
+        bits[t / W] |= (((c >> plane) & 1) as u64) << (t % W);
+        valid[t / W] |= 1u64 << (t % W);
+    }
+    PackedPlane { bits, valid }
+}
+
+/// Number of bit planes needed for symbols `0..=max_symbol`.
+pub fn planes_for(max_symbol: u8) -> u32 {
+    (8 - max_symbol.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_encoding() {
+        // §4.4 worked example: a = "1000", b = "0100" encode (w = 4 there,
+        // least significant bits here) to a' = 1000₂, b' = 0010₂.
+        let a = [1u8, 0, 0, 0];
+        let b = [0u8, 1, 0, 0];
+        let pa = pack_plane_rev(&a, 0);
+        let pb = pack_plane(&b, 0);
+        assert_eq!(pa.bits[0] & 0xF, 0b1000);
+        assert_eq!(pb.bits[0] & 0xF, 0b0010);
+        assert_eq!(pa.valid[0], 0xF);
+    }
+
+    #[test]
+    fn validity_masks_cover_exactly_the_string() {
+        let s = vec![1u8; 70]; // crosses one word boundary
+        let p = pack_plane(&s, 0);
+        assert_eq!(p.bits.len(), 2);
+        assert_eq!(p.valid[0], u64::MAX);
+        assert_eq!(p.valid[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn higher_planes_extract_high_bits() {
+        let s = [0b101u8, 0b010, 0b111];
+        let p0 = pack_plane(&s, 0);
+        let p1 = pack_plane(&s, 1);
+        let p2 = pack_plane(&s, 2);
+        assert_eq!(p0.bits[0] & 0b111, 0b101);
+        assert_eq!(p1.bits[0] & 0b111, 0b110);
+        assert_eq!(p2.bits[0] & 0b111, 0b101);
+    }
+
+    #[test]
+    fn planes_for_common_alphabets() {
+        assert_eq!(planes_for(1), 1); // binary
+        assert_eq!(planes_for(3), 2); // DNA as 0..=3
+        assert_eq!(planes_for(4), 3);
+        assert_eq!(planes_for(255), 8);
+        assert_eq!(planes_for(0), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The *ant passage*: the O(n) combining step of steady-ant braid
+//! multiplication (Listing 2, line 7 of the paper; Tiskin 2015).
+//!
+//! # Setting
+//!
+//! After the recursive calls, we hold two n×n **sub**-permutation matrices
+//! `R_lo` and `R_hi` with `n_lo + n_hi = n` nonzeros in total, whose rows
+//! partition `[0, n)` (they inherit `P`'s rows) and whose columns partition
+//! `[0, n)` (they inherit `Q`'s columns). The true product `R = P ⊙ Q`
+//! satisfies, on dominance sums (see `slcs-perm` crate docs for the
+//! convention `Σ(i,k) = |{r ≥ i, c < k}|`):
+//!
+//! ```text
+//! RΣ(i,k) = min( A(i,k), B(i,k) )
+//! A(i,k)  = R_loΣ(i,k) + qhi(k)      qhi(k) = #R_hi cols < k
+//! B(i,k)  = R_hiΣ(i,k) + plo(i)      plo(i) = #R_lo rows ≥ i
+//! ```
+//!
+//! (Split the `min_j` in the product definition at `j = n/2`; for `j` in
+//! the low half only `P_lo`/`Q_lo` vary and the `Q_hi` mass contributes the
+//! constant `qhi(k)`; symmetrically for the high half.)
+//!
+//! # The two staircases
+//!
+//! Let `D(i,k) = B(i,k) − A(i,k)`. Elementary case analysis of single
+//! steps (each lattice row/column holds exactly one `R_lo` or `R_hi`
+//! nonzero) shows `D` is non-decreasing in `−i` (up moves) and
+//! non-increasing in `k` (right moves), with unit steps. Hence for every
+//! lattice row `i` there are two thresholds:
+//!
+//! * `k*(i)` — the largest `k` with `D(i,k) ≥ 0`; non-increasing in `i`;
+//! * `k°(i)` — the smallest `k` with `D(i,k) ≤ 0`; non-increasing in `i`.
+//!
+//! Both staircases are traced by a single monotone "ant" walk each, in
+//! O(n) total, updating `D` by table lookups.
+//!
+//! # Recovering the product
+//!
+//! `R` is read off the 2×2 cross-differences of `RΣ = min(A, B)`:
+//!
+//! * if all four corners of the window of cell `(r,c)` have `D ≥ 0`
+//!   (⇔ `c < k*(r+1)`, by monotonicity), the min is `A` throughout and the
+//!   window contributes exactly `R_lo`'s nonzero — `R_lo[(r,c)]` is *good*;
+//! * if all four corners have `D ≤ 0` (⇔ `c ≥ k°(r)`), symmetrically
+//!   `R_hi[(r,c)]` is *good*;
+//! * strictly mixed windows produce the *fresh* nonzeros. They sit at the
+//!   inner corners of the sign-change staircase, which is monotone, so the
+//!   fresh nonzeros form an inverse-monotone chain: ascending free rows
+//!   pair with descending free columns.
+//!
+//! The good/bad filtering plus the fresh chain is exactly the paper's
+//! `filter` + `ant_passage` composition (Listing 2, lines 7–9).
+
+/// Sentinel for "this row/column has no nonzero in this matrix".
+pub const NONE: u32 = u32::MAX;
+
+/// Scratch buffers for [`ant_combine`], reusable across calls to avoid
+/// per-level allocation (the paper's *memory* optimization keeps exactly
+/// one of these alive for the whole recursion).
+#[derive(Default, Clone)]
+pub struct CombineScratch {
+    kstar: Vec<u32>,
+    kcirc: Vec<u32>,
+    col_taken: Vec<bool>,
+}
+
+impl CombineScratch {
+    /// Scratch sized for combines of order up to `n`.
+    pub fn with_capacity(n: usize) -> Self {
+        CombineScratch {
+            kstar: Vec::with_capacity(n + 1),
+            kcirc: Vec::with_capacity(n + 1),
+            col_taken: Vec::with_capacity(n),
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.kstar.clear();
+        self.kstar.resize(n + 1, 0);
+        self.kcirc.clear();
+        self.kcirc.resize(n + 1, 0);
+        self.col_taken.clear();
+        self.col_taken.resize(n, false);
+    }
+}
+
+/// Inputs to the ant passage: the two expanded sub-permutations as
+/// row- and column-indexed lookup tables (entries are [`NONE`] where the
+/// matrix has no nonzero). Exactly one of `lo_col_in_row[r]`,
+/// `hi_col_in_row[r]` must be set for every `r`, and likewise for columns.
+pub struct AntInputs<'a> {
+    pub lo_col_in_row: &'a [u32],
+    pub hi_col_in_row: &'a [u32],
+    pub lo_row_in_col: &'a [u32],
+    pub hi_row_in_col: &'a [u32],
+}
+
+impl AntInputs<'_> {
+    /// `ΔD` for a right move across column `k`, at lattice row `i`.
+    #[inline(always)]
+    fn delta_right(&self, k: usize, i: usize) -> i64 {
+        let lo_row = self.lo_row_in_col[k];
+        if lo_row != NONE {
+            -((lo_row as usize >= i) as i64)
+        } else {
+            (self.hi_row_in_col[k] as usize >= i) as i64 - 1
+        }
+    }
+
+    /// `ΔD` for an up move from lattice row `i` to `i − 1`, at column `k`.
+    #[inline(always)]
+    fn delta_up(&self, i: usize, k: usize) -> i64 {
+        let lo_col = self.lo_col_in_row[i - 1];
+        if lo_col != NONE {
+            1 - (((lo_col as usize) < k) as i64)
+        } else {
+            ((self.hi_col_in_row[i - 1] as usize) < k) as i64
+        }
+    }
+}
+
+/// Combines `R_lo` and `R_hi` into the product permutation's forward map.
+///
+/// `out_forward` must have length `n`; on return `out_forward[r]` is the
+/// column of the product's nonzero in row `r`. Runs in O(n) time and uses
+/// only the provided scratch.
+pub fn ant_combine(
+    n: usize,
+    inputs: &AntInputs<'_>,
+    scratch: &mut CombineScratch,
+    out_forward: &mut [u32],
+) {
+    debug_assert_eq!(out_forward.len(), n);
+    debug_assert_eq!(inputs.lo_col_in_row.len(), n);
+    debug_assert_eq!(inputs.hi_col_in_row.len(), n);
+    debug_assert_eq!(inputs.lo_row_in_col.len(), n);
+    debug_assert_eq!(inputs.hi_row_in_col.len(), n);
+    scratch.reset(n);
+    if n == 0 {
+        return;
+    }
+
+    // Walk 1: k*(i) = max { k : D(i,k) ≥ 0 }, for i = n .. 0.
+    {
+        let kstar = &mut scratch.kstar;
+        let mut k = 0usize;
+        let mut d: i64 = 0; // D(n, 0) = 0
+        let mut i = n;
+        loop {
+            while k < n {
+                let nd = d + inputs.delta_right(k, i);
+                if nd >= 0 {
+                    d = nd;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            kstar[i] = k as u32;
+            if i == 0 {
+                break;
+            }
+            d += inputs.delta_up(i, k);
+            i -= 1;
+        }
+    }
+
+    // Walk 2: k°(i) = min { k : D(i,k) ≤ 0 }, for i = n .. 0.
+    {
+        let kcirc = &mut scratch.kcirc;
+        let mut k = 0usize;
+        let mut d: i64 = 0;
+        let mut i = n;
+        loop {
+            while k < n && d > 0 {
+                d += inputs.delta_right(k, i);
+                k += 1;
+            }
+            debug_assert!(d <= 0, "D(i, n) must be non-positive");
+            kcirc[i] = k as u32;
+            if i == 0 {
+                break;
+            }
+            d += inputs.delta_up(i, k);
+            i -= 1;
+        }
+    }
+
+    // Good nonzeros.
+    let kstar = &scratch.kstar;
+    let kcirc = &scratch.kcirc;
+    let col_taken = &mut scratch.col_taken;
+    for r in 0..n {
+        let lo = inputs.lo_col_in_row[r];
+        let keep = if lo != NONE {
+            // all four window corners have D ≥ 0 ⇔ c + 1 ≤ k*(r + 1)
+            (lo < kstar[r + 1]).then_some(lo)
+        } else {
+            // all four corners have D ≤ 0 ⇔ c ≥ k°(r)
+            let hi = inputs.hi_col_in_row[r];
+            (hi >= kcirc[r]).then_some(hi)
+        };
+        match keep {
+            Some(c) => {
+                out_forward[r] = c;
+                col_taken[c as usize] = true;
+            }
+            None => out_forward[r] = NONE,
+        }
+    }
+
+    // Fresh nonzeros: ascending free rows × descending free columns.
+    let mut next_col = n;
+    for slot in out_forward.iter_mut() {
+        if *slot == NONE {
+            loop {
+                next_col -= 1;
+                if !col_taken[next_col] {
+                    break;
+                }
+            }
+            *slot = next_col as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the order-2 worked example from the crate derivation:
+    /// reversal ⊙ reversal = reversal, where R_lo = {(1,1)}, R_hi = {(0,0)}
+    /// and both product nonzeros are fresh.
+    #[test]
+    fn both_fresh_order_two() {
+        let lo_col_in_row = [NONE, 1];
+        let hi_col_in_row = [0, NONE];
+        let lo_row_in_col = [NONE, 1];
+        let hi_row_in_col = [0, NONE];
+        let inputs = AntInputs {
+            lo_col_in_row: &lo_col_in_row,
+            hi_col_in_row: &hi_col_in_row,
+            lo_row_in_col: &lo_row_in_col,
+            hi_row_in_col: &hi_row_in_col,
+        };
+        let mut scratch = CombineScratch::default();
+        let mut out = [NONE; 2];
+        ant_combine(2, &inputs, &mut scratch, &mut out);
+        assert_eq!(out, [1, 0]);
+    }
+
+    /// Identity ⊙ identity: R_lo = {(0,0)}, R_hi = {(1,1)} (both good).
+    #[test]
+    fn both_good_order_two() {
+        let lo_col_in_row = [0, NONE];
+        let hi_col_in_row = [NONE, 1];
+        let lo_row_in_col = [0, NONE];
+        let hi_row_in_col = [NONE, 1];
+        let inputs = AntInputs {
+            lo_col_in_row: &lo_col_in_row,
+            hi_col_in_row: &hi_col_in_row,
+            lo_row_in_col: &lo_row_in_col,
+            hi_row_in_col: &hi_row_in_col,
+        };
+        let mut scratch = CombineScratch::default();
+        let mut out = [NONE; 2];
+        ant_combine(2, &inputs, &mut scratch, &mut out);
+        assert_eq!(out, [0, 1]);
+    }
+
+    #[test]
+    fn zero_order_is_noop() {
+        let inputs = AntInputs {
+            lo_col_in_row: &[],
+            hi_col_in_row: &[],
+            lo_row_in_col: &[],
+            hi_row_in_col: &[],
+        };
+        let mut scratch = CombineScratch::default();
+        ant_combine(0, &inputs, &mut scratch, &mut []);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared divide-and-conquer building blocks of the steady ant: the
+//! split-with-mapping step and the expand-then-combine step, in their
+//! allocating form. Used by the basic sequential recursion and by the
+//! upper (task-parallel) levels of the parallel recursion; the
+//! memory-optimized variant has its own slice-based implementation.
+
+use crate::combine::{ant_combine, AntInputs, CombineScratch, NONE};
+
+/// Result of splitting `(P, Q)` at the middle of the shared dimension:
+/// compressed sub-permutations plus the index maps needed to re-expand
+/// the recursive results (Listing 2's `split_with_map`).
+pub(crate) struct SplitParts {
+    pub p_lo: Vec<u32>,
+    pub p_hi: Vec<u32>,
+    pub q_lo: Vec<u32>,
+    pub q_hi: Vec<u32>,
+    pub row_map_lo: Vec<u32>,
+    pub row_map_hi: Vec<u32>,
+    pub col_map_lo: Vec<u32>,
+    pub col_map_hi: Vec<u32>,
+}
+
+/// Splits `P` by column value and `Q` by row value at `n_lo = n / 2`.
+pub(crate) fn split(p: &[u32], q: &[u32]) -> SplitParts {
+    let n = p.len();
+    debug_assert_eq!(q.len(), n);
+    let n_lo = n / 2;
+
+    let mut p_lo = Vec::with_capacity(n_lo);
+    let mut p_hi = Vec::with_capacity(n - n_lo);
+    let mut row_map_lo = Vec::with_capacity(n_lo);
+    let mut row_map_hi = Vec::with_capacity(n - n_lo);
+    for (r, &c) in p.iter().enumerate() {
+        if (c as usize) < n_lo {
+            p_lo.push(c);
+            row_map_lo.push(r as u32);
+        } else {
+            p_hi.push(c - n_lo as u32);
+            row_map_hi.push(r as u32);
+        }
+    }
+
+    let mut col_rank = vec![0u32; n];
+    let mut col_map_lo = Vec::with_capacity(n_lo);
+    let mut col_map_hi = Vec::with_capacity(n - n_lo);
+    {
+        let mut q_inv = vec![0u32; n];
+        for (r, &c) in q.iter().enumerate() {
+            q_inv[c as usize] = r as u32;
+        }
+        for (c, &row) in q_inv.iter().enumerate() {
+            if (row as usize) < n_lo {
+                col_rank[c] = col_map_lo.len() as u32;
+                col_map_lo.push(c as u32);
+            } else {
+                col_rank[c] = col_map_hi.len() as u32;
+                col_map_hi.push(c as u32);
+            }
+        }
+    }
+    let q_lo = q[..n_lo].iter().map(|&c| col_rank[c as usize]).collect();
+    let q_hi = q[n_lo..].iter().map(|&c| col_rank[c as usize]).collect();
+
+    SplitParts { p_lo, p_hi, q_lo, q_hi, row_map_lo, row_map_hi, col_map_lo, col_map_hi }
+}
+
+/// Re-expands the two recursive results to full coordinates and runs the
+/// ant passage, returning the product's forward map.
+pub(crate) fn expand_combine(
+    n: usize,
+    parts: &SplitParts,
+    r_lo: &[u32],
+    r_hi: &[u32],
+    scratch: &mut CombineScratch,
+) -> Vec<u32> {
+    let mut lo_col_in_row = vec![NONE; n];
+    let mut hi_col_in_row = vec![NONE; n];
+    let mut lo_row_in_col = vec![NONE; n];
+    let mut hi_row_in_col = vec![NONE; n];
+    for (k, &c) in r_lo.iter().enumerate() {
+        let row = parts.row_map_lo[k];
+        let col = parts.col_map_lo[c as usize];
+        lo_col_in_row[row as usize] = col;
+        lo_row_in_col[col as usize] = row;
+    }
+    for (k, &c) in r_hi.iter().enumerate() {
+        let row = parts.row_map_hi[k];
+        let col = parts.col_map_hi[c as usize];
+        hi_col_in_row[row as usize] = col;
+        hi_row_in_col[col as usize] = row;
+    }
+    let mut out = vec![NONE; n];
+    ant_combine(
+        n,
+        &AntInputs {
+            lo_col_in_row: &lo_col_in_row,
+            hi_col_in_row: &hi_col_in_row,
+            lo_row_in_col: &lo_row_in_col,
+            hi_row_in_col: &hi_row_in_col,
+        },
+        scratch,
+        &mut out,
+    );
+    out
+}

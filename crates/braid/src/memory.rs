@@ -1,0 +1,288 @@
+//! The *memory* optimization of the steady ant (§4.2.1): all permutation
+//! storage lives in two pre-allocated "ping-pong" blocks of size 2N each,
+//! index mappings in a bump arena, and the combine scratch is shared —
+//! reducing the number of calls to the memory manager from O(n) to O(1)
+//! per multiplication.
+//!
+//! Layout contract of the recursion (`rec_mem`): a call of order `n`
+//! receives
+//!
+//! * `cur` (length 2n): `P`'s forward map in `cur[..n]`, `Q`'s in
+//!   `cur[n..]`; on return the product's forward map is in `cur[..n]`;
+//! * `free` (length 2n): writable workspace; the four compressed
+//!   sub-permutations are laid out `[P_lo | Q_lo | P_hi | Q_hi]` so that
+//!   each sub-call sees a contiguous `cur` block, with the parent's `cur`
+//!   halves serving as the children's `free` blocks (the ping-pong of the
+//!   paper);
+//! * `maps` (bump arena): the node keeps its 2n map entries at the front
+//!   and hands the tail to its children. Because the recursion is
+//!   depth-first, both children can reuse the same tail — live mappings at
+//!   any instant are only those on the current root-to-leaf path, ≤ 4N + ε.
+
+use slcs_perm::Permutation;
+
+use crate::combine::{ant_combine, AntInputs, CombineScratch, NONE};
+use crate::precalc::PrecalcTables;
+
+/// Reusable workspace for memory-optimized braid multiplication.
+///
+/// Construct once with [`BraidMulWorkspace::new`] for the largest order
+/// you will multiply, then call [`BraidMulWorkspace::multiply`] any number
+/// of times without further heap traffic.
+pub struct BraidMulWorkspace {
+    ping: Vec<u32>,
+    pong: Vec<u32>,
+    maps: Vec<u32>,
+    expand: Vec<u32>,
+    aux: Vec<u32>,
+    scratch: CombineScratch,
+    capacity: usize,
+}
+
+impl BraidMulWorkspace {
+    /// Allocates a workspace for multiplications of order up to `n`.
+    pub fn new(n: usize) -> Self {
+        BraidMulWorkspace {
+            ping: vec![0; 2 * n],
+            pong: vec![0; 2 * n],
+            // live mappings are bounded by 2n + 2⌈n/2⌉ + … ≤ 4n plus a
+            // small odd-rounding slack per level
+            maps: vec![0; 4 * n + 64],
+            expand: vec![0; 4 * n],
+            aux: vec![0; 2 * n],
+            scratch: CombineScratch::with_capacity(n),
+            capacity: n,
+        }
+    }
+
+    /// Order capacity of this workspace.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Demazure product using pre-allocated memory only. Pass
+    /// `Some(PrecalcTables::global())` to also enable the precalc cut-off
+    /// (the paper's *combined* configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orders differ or exceed the workspace capacity.
+    pub fn multiply(
+        &mut self,
+        p: &Permutation,
+        q: &Permutation,
+        tables: Option<&PrecalcTables>,
+    ) -> Permutation {
+        Permutation::from_forward_unchecked(self.multiply_forward(p.forward(), q.forward(), tables))
+    }
+
+    /// As [`Self::multiply`], on raw forward maps.
+    pub fn multiply_forward(
+        &mut self,
+        p: &[u32],
+        q: &[u32],
+        tables: Option<&PrecalcTables>,
+    ) -> Vec<u32> {
+        let n = p.len();
+        assert_eq!(q.len(), n, "steady ant requires equal orders");
+        assert!(n <= self.capacity, "workspace capacity {} < order {n}", self.capacity);
+        self.ping[..n].copy_from_slice(p);
+        self.ping[n..2 * n].copy_from_slice(q);
+        rec_mem(
+            &mut self.ping[..2 * n],
+            &mut self.pong[..2 * n],
+            &mut self.maps,
+            &mut self.expand,
+            &mut self.aux,
+            &mut self.scratch,
+            tables,
+        );
+        self.ping[..n].to_vec()
+    }
+}
+
+/// Convenience wrapper: memory-optimized multiply with a throwaway
+/// workspace (the paper's *memory* configuration — one allocation burst
+/// up front instead of per-level allocation).
+pub fn steady_ant_memory(p: &Permutation, q: &Permutation) -> Permutation {
+    let mut ws = BraidMulWorkspace::new(p.len());
+    ws.multiply(p, q, None)
+}
+
+/// Convenience wrapper: both optimizations (the paper's *combined*
+/// configuration).
+pub fn steady_ant_combined(p: &Permutation, q: &Permutation) -> Permutation {
+    let mut ws = BraidMulWorkspace::new(p.len());
+    ws.multiply(p, q, Some(PrecalcTables::global()))
+}
+
+fn rec_mem(
+    cur: &mut [u32],
+    free: &mut [u32],
+    maps: &mut [u32],
+    expand: &mut [u32],
+    aux: &mut [u32],
+    scratch: &mut CombineScratch,
+    tables: Option<&PrecalcTables>,
+) {
+    let n = cur.len() / 2;
+    if let Some(t) = tables {
+        if n <= PrecalcTables::MAX_ORDER {
+            let mut out = [0u32; PrecalcTables::MAX_ORDER];
+            let (p, q) = cur.split_at(n);
+            t.product_into(p, q, &mut out[..n]);
+            cur[..n].copy_from_slice(&out[..n]);
+            return;
+        }
+    }
+    if n <= 1 {
+        return; // the product of order-≤1 permutations is P itself
+    }
+    let n_lo = n / 2;
+    let n_hi = n - n_lo;
+
+    let (node_maps, child_maps) = maps.split_at_mut(2 * n);
+    let (row_maps, col_maps) = node_maps.split_at_mut(n);
+
+    // -- Split P by column value into free[..n_lo] (lo) and
+    //    free[2*n_lo .. 2*n_lo + n_hi] (hi), recording row maps.
+    {
+        let (p, _) = cur.split_at(n);
+        let mut i_lo = 0usize;
+        let mut i_hi = 0usize;
+        for (r, &c) in p.iter().enumerate() {
+            if (c as usize) < n_lo {
+                free[i_lo] = c;
+                row_maps[i_lo] = r as u32;
+                i_lo += 1;
+            } else {
+                free[2 * n_lo + i_hi] = c - n_lo as u32;
+                row_maps[n_lo + i_hi] = r as u32;
+                i_hi += 1;
+            }
+        }
+        debug_assert!(i_lo == n_lo && i_hi == n_hi);
+    }
+
+    // -- Split Q by row value, compressing columns via aux ranks.
+    {
+        let q = &cur[n..2 * n];
+        let (q_inv, col_rank) = aux.split_at_mut(n);
+        for (r, &c) in q.iter().enumerate() {
+            q_inv[c as usize] = r as u32;
+        }
+        let mut cnt_lo = 0u32;
+        let mut cnt_hi = 0u32;
+        for (c, &row) in q_inv.iter().enumerate().take(n) {
+            if (row as usize) < n_lo {
+                col_rank[c] = cnt_lo;
+                col_maps[cnt_lo as usize] = c as u32;
+                cnt_lo += 1;
+            } else {
+                col_rank[c] = cnt_hi;
+                col_maps[n_lo + cnt_hi as usize] = c as u32;
+                cnt_hi += 1;
+            }
+        }
+        for r in 0..n_lo {
+            free[n_lo + r] = col_rank[q[r] as usize];
+        }
+        for r in 0..n_hi {
+            free[2 * n_lo + n_hi + r] = col_rank[q[n_lo + r] as usize];
+        }
+    }
+
+    // -- Conquer, ping-ponging the blocks.
+    {
+        let (free_lo, free_hi) = free.split_at_mut(2 * n_lo);
+        let (cur_lo, cur_hi) = cur.split_at_mut(2 * n_lo);
+        rec_mem(free_lo, cur_lo, child_maps, expand, aux, scratch, tables);
+        rec_mem(free_hi, cur_hi, child_maps, expand, aux, scratch, tables);
+    }
+
+    // -- Expand results (r_lo in free[..n_lo], r_hi in free[2*n_lo..][..n_hi]).
+    {
+        let (ex_rows, ex_cols) = expand.split_at_mut(2 * n);
+        let (lo_col_in_row, hi_col_in_row) = ex_rows.split_at_mut(n);
+        let (lo_row_in_col, hi_row_in_col) = ex_cols.split_at_mut(n);
+        lo_col_in_row[..n].fill(NONE);
+        hi_col_in_row[..n].fill(NONE);
+        lo_row_in_col[..n].fill(NONE);
+        hi_row_in_col[..n].fill(NONE);
+        for k in 0..n_lo {
+            let row = row_maps[k];
+            let col = col_maps[free[k] as usize];
+            lo_col_in_row[row as usize] = col;
+            lo_row_in_col[col as usize] = row;
+        }
+        for k in 0..n_hi {
+            let row = row_maps[n_lo + k];
+            let col = col_maps[n_lo + free[2 * n_lo + k] as usize];
+            hi_col_in_row[row as usize] = col;
+            hi_row_in_col[col as usize] = row;
+        }
+        ant_combine(
+            n,
+            &AntInputs {
+                lo_col_in_row: &lo_col_in_row[..n],
+                hi_col_in_row: &hi_col_in_row[..n],
+                lo_row_in_col: &lo_row_in_col[..n],
+                hi_row_in_col: &hi_row_in_col[..n],
+            },
+            scratch,
+            &mut cur[..n],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use slcs_perm::monge::distance_product_reference;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x3E3)
+    }
+
+    #[test]
+    fn memory_variant_matches_reference() {
+        let mut rng = rng();
+        for n in [1usize, 2, 3, 5, 8, 17, 33, 100, 257] {
+            let p = Permutation::random(n, &mut rng);
+            let q = Permutation::random(n, &mut rng);
+            let want = distance_product_reference(&p, &q);
+            assert_eq!(steady_ant_memory(&p, &q), want, "memory n={n}");
+            assert_eq!(steady_ant_combined(&p, &q), want, "combined n={n}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_orders() {
+        let mut rng = rng();
+        let mut ws = BraidMulWorkspace::new(128);
+        for n in [128usize, 3, 64, 1, 127, 2] {
+            let p = Permutation::random(n, &mut rng);
+            let q = Permutation::random(n, &mut rng);
+            let want = distance_product_reference(&p, &q);
+            assert_eq!(ws.multiply(&p, &q, None), want, "reuse n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn workspace_rejects_oversized_input() {
+        let mut ws = BraidMulWorkspace::new(4);
+        let p = Permutation::identity(5);
+        ws.multiply(&p, &p, None);
+    }
+
+    #[test]
+    fn agrees_with_basic_recursion_on_large_random() {
+        let mut rng = rng();
+        let p = Permutation::random(2000, &mut rng);
+        let q = Permutation::random(2000, &mut rng);
+        let basic = crate::seq::steady_ant(&p, &q);
+        assert_eq!(steady_ant_combined(&p, &q), basic);
+    }
+}

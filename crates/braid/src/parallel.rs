@@ -1,0 +1,90 @@
+//! Parallel steady-ant braid multiplication (Listing 5 of the paper).
+//!
+//! Fine-grained parallelism does not apply here — the mapping stage and
+//! the ant passage are inherently sequential — but the two recursive
+//! sub-products are independent, giving coarse-grained task parallelism.
+//! The recursion forks (`rayon::join`) for the top `parallel_depth`
+//! levels and then switches to the sequential *combined* implementation
+//! (memory pool + precalc), each task with its own workspace.
+//!
+//! `parallel_depth = 0` therefore reproduces the sequential combined
+//! algorithm, and increasing the depth is exactly the threshold sweep of
+//! the paper's Figure 4(b) (optimal there: depth 4 on an 8-core machine).
+
+use slcs_perm::Permutation;
+
+use crate::combine::CombineScratch;
+use crate::dac::{expand_combine, split};
+use crate::memory::BraidMulWorkspace;
+use crate::precalc::PrecalcTables;
+
+/// Order below which forking is never worth the task overhead.
+const MIN_PARALLEL_ORDER: usize = 4096;
+
+/// Demazure product with coarse-grained task parallelism in the top
+/// `parallel_depth` recursion levels.
+///
+/// Runs on the current rayon thread pool; wrap the call in
+/// [`rayon::ThreadPool::install`] to control the thread count (the
+/// bench harness does exactly that for the Figure 4(b)/8 sweeps).
+///
+/// # Panics
+///
+/// Panics if the orders differ.
+pub fn parallel_steady_ant(
+    p: &Permutation,
+    q: &Permutation,
+    parallel_depth: usize,
+) -> Permutation {
+    assert_eq!(p.len(), q.len(), "steady ant requires equal orders");
+    let tables = PrecalcTables::global();
+    let forward = par_rec(p.forward(), q.forward(), parallel_depth, tables);
+    Permutation::from_forward_unchecked(forward)
+}
+
+fn par_rec(p: &[u32], q: &[u32], depth_left: usize, tables: &PrecalcTables) -> Vec<u32> {
+    let n = p.len();
+    if depth_left == 0 || n < MIN_PARALLEL_ORDER {
+        let mut ws = BraidMulWorkspace::new(n);
+        return ws.multiply_forward(p, q, Some(tables));
+    }
+    let parts = split(p, q);
+    let (r_lo, r_hi) = rayon::join(
+        || par_rec(&parts.p_lo, &parts.q_lo, depth_left - 1, tables),
+        || par_rec(&parts.p_hi, &parts.q_hi, depth_left - 1, tables),
+    );
+    let mut scratch = CombineScratch::with_capacity(n);
+    expand_combine(n, &parts, &r_lo, &r_hi, &mut scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xA17)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = rng();
+        for depth in 0..=4usize {
+            let p = Permutation::random(10_000, &mut rng);
+            let q = Permutation::random(10_000, &mut rng);
+            let seq = crate::seq::steady_ant(&p, &q);
+            assert_eq!(parallel_steady_ant(&p, &q, depth), seq, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn parallel_small_inputs_take_sequential_path() {
+        let mut rng = rng();
+        let p = Permutation::random(10, &mut rng);
+        let q = Permutation::random(10, &mut rng);
+        assert_eq!(
+            parallel_steady_ant(&p, &q, 6),
+            crate::seq::steady_ant(&p, &q)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! The *precalc* optimization (§4.2.1, footnote 6): products of all pairs
+//! of permutations of order ≤ 5 are pre-computed once and stored packed in
+//! 32-bit machine words, cutting the bottom levels off the steady-ant
+//! recursion tree.
+//!
+//! A permutation of order n ≤ 8 is packed as 8 tetrades (4-bit nibbles):
+//! the k-th tetrade holds the column index of the nonzero in row k —
+//! exactly the representation described in the paper. The full table set
+//! (orders 0..=5) occupies `Σ (n!)²` = 15 017 words ≈ 59 KiB.
+
+use std::sync::OnceLock;
+
+use slcs_perm::monge::distance_product_reference;
+use slcs_perm::Permutation;
+
+const FACTORIALS: [usize; 9] = [1, 1, 2, 6, 24, 120, 720, 5040, 40320];
+
+/// Pre-computed product tables for orders `0..=MAX_ORDER`.
+pub struct PrecalcTables {
+    /// `tables[n][rank(P) * n! + rank(Q)]` = packed product.
+    tables: Vec<Vec<u32>>,
+}
+
+impl PrecalcTables {
+    /// Largest order served from the tables. The paper notes `(6!)²`
+    /// products would still be feasible "but probably not any larger
+    /// ones"; like the authors we stop at 5.
+    pub const MAX_ORDER: usize = 5;
+
+    /// The process-wide tables, built on first use.
+    pub fn global() -> &'static PrecalcTables {
+        static TABLES: OnceLock<PrecalcTables> = OnceLock::new();
+        TABLES.get_or_init(PrecalcTables::build)
+    }
+
+    /// Builds all tables from scratch (≈ 15 000 reference products of
+    /// order ≤ 5).
+    pub fn build() -> Self {
+        let mut tables = Vec::with_capacity(Self::MAX_ORDER + 1);
+        for (n, &fact) in FACTORIALS.iter().enumerate().take(Self::MAX_ORDER + 1) {
+            let perms: Vec<Permutation> =
+                (0..fact).map(|r| Permutation::from_forward_unchecked(unrank(r, n))).collect();
+            let mut table = vec![0u32; fact * fact];
+            for (rp, p) in perms.iter().enumerate() {
+                for (rq, q) in perms.iter().enumerate() {
+                    let prod = distance_product_reference(p, q);
+                    table[rp * fact + rq] = pack(prod.forward());
+                }
+            }
+            tables.push(table);
+        }
+        PrecalcTables { tables }
+    }
+
+    /// Looks up the product of two forward maps of order ≤ [`Self::MAX_ORDER`].
+    pub fn product(&self, p: &[u32], q: &[u32]) -> Vec<u32> {
+        let n = p.len();
+        debug_assert!(n <= Self::MAX_ORDER);
+        debug_assert_eq!(q.len(), n);
+        let word = self.tables[n][rank(p) * FACTORIALS[n] + rank(q)];
+        unpack(word, n)
+    }
+
+    /// Looks up the product, writing the result into `out` (no allocation).
+    pub fn product_into(&self, p: &[u32], q: &[u32], out: &mut [u32]) {
+        let n = p.len();
+        debug_assert!(n <= Self::MAX_ORDER);
+        debug_assert_eq!(q.len(), n);
+        debug_assert_eq!(out.len(), n);
+        let mut word = self.tables[n][rank(p) * FACTORIALS[n] + rank(q)];
+        for slot in out.iter_mut() {
+            *slot = word & 0xF;
+            word >>= 4;
+        }
+    }
+}
+
+/// Packs a forward map of order ≤ 8 into nibbles (row k → bits 4k..4k+4).
+pub fn pack(forward: &[u32]) -> u32 {
+    debug_assert!(forward.len() <= 8);
+    forward
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (k, &c)| acc | (c << (4 * k)))
+}
+
+/// Unpacks a nibble-packed forward map of order `n`.
+pub fn unpack(mut word: u32, n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(word & 0xF);
+        word >>= 4;
+    }
+    out
+}
+
+/// Lehmer rank of a forward map (lexicographic index among all
+/// permutations of the same order).
+pub fn rank(p: &[u32]) -> usize {
+    let n = p.len();
+    let mut rank = 0usize;
+    for i in 0..n {
+        let smaller_later = p[i + 1..].iter().filter(|&&x| x < p[i]).count();
+        rank += smaller_later * FACTORIALS[n - 1 - i];
+    }
+    rank
+}
+
+/// Inverse of [`rank`]: the `r`-th permutation of order `n` in
+/// lexicographic order.
+pub fn unrank(mut r: usize, n: usize) -> Vec<u32> {
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = FACTORIALS[n - 1 - i];
+        let idx = r / f;
+        r %= f;
+        out.push(pool.remove(idx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_unrank_roundtrip_all_orders() {
+        for (n, &fact) in FACTORIALS.iter().enumerate().take(6) {
+            for r in 0..fact {
+                let p = unrank(r, n);
+                assert_eq!(rank(&p), r, "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_lexicographic() {
+        assert_eq!(unrank(0, 3), vec![0, 1, 2]);
+        assert_eq!(unrank(1, 3), vec![0, 2, 1]);
+        assert_eq!(unrank(5, 3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = vec![3u32, 0, 2, 1, 4];
+        assert_eq!(unpack(pack(&p), 5), p);
+        assert_eq!(unpack(pack(&[]), 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn table_lookup_matches_reference() {
+        let t = PrecalcTables::build();
+        for (n, &fact) in FACTORIALS.iter().enumerate().take(6) {
+            // spot-check a diagonal stripe of pairs to keep the test fast
+            for r in (0..fact).step_by(7.max(fact / 16)) {
+                for s in (0..fact).step_by(11.max(fact / 16)) {
+                    let p = Permutation::from_forward_unchecked(unrank(r, n));
+                    let q = Permutation::from_forward_unchecked(unrank(s, n));
+                    let want = distance_product_reference(&p, &q);
+                    assert_eq!(t.product(p.forward(), q.forward()), want.forward());
+                    let mut out = vec![0u32; n];
+                    t.product_into(p.forward(), q.forward(), &mut out);
+                    assert_eq!(out.as_slice(), want.forward());
+                }
+            }
+        }
+    }
+}

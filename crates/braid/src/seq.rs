@@ -1,0 +1,169 @@
+//! Sequential steady-ant braid multiplication (Listing 2 of the paper;
+//! Tiskin 2015), in its *basic* form: fresh allocations at every recursion
+//! level, no precomputation. This is the baseline the paper's Figure 4(a)
+//! optimizations are measured against.
+
+use slcs_perm::Permutation;
+
+use crate::combine::CombineScratch;
+use crate::dac::{expand_combine, split};
+use crate::precalc::PrecalcTables;
+
+/// Demazure (sticky braid / unit-Monge distance) product of two
+/// permutations of equal order — basic sequential steady ant,
+/// O(n log n) time.
+///
+/// # Examples
+///
+/// ```
+/// use slcs_perm::Permutation;
+/// use slcs_braid::steady_ant;
+///
+/// let w = Permutation::reversal(6);
+/// // crossing every pair twice sticks: w ⊙ w = w
+/// assert_eq!(steady_ant(&w, &w), w);
+/// let id = Permutation::identity(6);
+/// assert_eq!(steady_ant(&w, &id), w);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the orders differ.
+pub fn steady_ant(p: &Permutation, q: &Permutation) -> Permutation {
+    assert_eq!(p.len(), q.len(), "steady ant requires equal orders");
+    let forward = rec(p.forward(), q.forward(), None);
+    Permutation::from_forward_unchecked(forward)
+}
+
+/// Steady ant with the *precalc* optimization: recursion bottoms out at
+/// order ≤ 5 in a table of all `(5!)² = 14 400` pre-computed products
+/// (plus the tables for smaller orders), each packed into a 32-bit word —
+/// the optimization of §4.2.1 / footnote 6 of the paper.
+pub fn steady_ant_precalc(p: &Permutation, q: &Permutation) -> Permutation {
+    steady_ant_precalc_capped(p, q, PrecalcTables::MAX_ORDER)
+}
+
+/// Steady ant with the precalc cut-off capped at `max_order ≤ 5` — the
+/// ablation knob for how many recursion levels the tables remove
+/// (`max_order = 1` degenerates to the basic recursion base).
+///
+/// # Panics
+///
+/// Panics if `max_order` exceeds [`PrecalcTables::MAX_ORDER`] or the
+/// input orders differ.
+pub fn steady_ant_precalc_capped(
+    p: &Permutation,
+    q: &Permutation,
+    max_order: usize,
+) -> Permutation {
+    assert_eq!(p.len(), q.len(), "steady ant requires equal orders");
+    assert!(max_order <= PrecalcTables::MAX_ORDER, "tables only cover order ≤ 5");
+    let tables = PrecalcTables::global();
+    let forward = rec(p.forward(), q.forward(), Some((tables, max_order)));
+    Permutation::from_forward_unchecked(forward)
+}
+
+/// One level of the divide-and-conquer, allocating its own buffers.
+/// Returns the forward map of the product. `tables` carries the precalc
+/// tables plus the order at which to cut over to them.
+pub(crate) fn rec(p: &[u32], q: &[u32], tables: Option<(&PrecalcTables, usize)>) -> Vec<u32> {
+    let n = p.len();
+    debug_assert_eq!(q.len(), n);
+    if let Some((t, cutoff)) = tables {
+        if n <= cutoff {
+            return t.product(p, q);
+        }
+    }
+    if n <= 1 {
+        return p.to_vec();
+    }
+
+    let parts = split(p, q);
+    let r_lo = rec(&parts.p_lo, &parts.q_lo, tables);
+    let r_hi = rec(&parts.p_hi, &parts.q_hi, tables);
+    let mut scratch = CombineScratch::with_capacity(n);
+    expand_combine(n, &parts, &r_lo, &r_hi, &mut scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use slcs_perm::monge::distance_product_reference;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xB41D)
+    }
+
+    #[test]
+    fn matches_reference_exhaustively_tiny() {
+        // All pairs of permutations of order ≤ 4: 1 + 4 + 36 + 576 pairs.
+        for n in 0..=4usize {
+            let perms = all_perms(n);
+            for p in &perms {
+                for q in &perms {
+                    let want = distance_product_reference(p, q);
+                    assert_eq!(steady_ant(p, q), want, "p={p:?} q={q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_random() {
+        let mut rng = rng();
+        for n in [5usize, 6, 7, 8, 13, 16, 31, 64, 100, 200] {
+            for _ in 0..8 {
+                let p = Permutation::random(n, &mut rng);
+                let q = Permutation::random(n, &mut rng);
+                let want = distance_product_reference(&p, &q);
+                assert_eq!(steady_ant(&p, &q), want, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_unit_at_scale() {
+        let mut rng = rng();
+        let p = Permutation::random(1000, &mut rng);
+        let id = Permutation::identity(1000);
+        assert_eq!(steady_ant(&p, &id), p);
+        assert_eq!(steady_ant(&id, &p), p);
+    }
+
+    #[test]
+    fn associativity_random() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let p = Permutation::random(50, &mut rng);
+            let q = Permutation::random(50, &mut rng);
+            let r = Permutation::random(50, &mut rng);
+            assert_eq!(
+                steady_ant(&steady_ant(&p, &q), &r),
+                steady_ant(&p, &steady_ant(&q, &r))
+            );
+        }
+    }
+
+    pub(crate) fn all_perms(n: usize) -> Vec<Permutation> {
+        let mut out = Vec::new();
+        let mut items: Vec<u32> = (0..n as u32).collect();
+        heap_permutations(&mut items, n, &mut out);
+        out
+    }
+
+    fn heap_permutations(items: &mut Vec<u32>, k: usize, out: &mut Vec<Permutation>) {
+        if k <= 1 {
+            out.push(Permutation::from_forward(items.clone()).unwrap());
+            return;
+        }
+        for i in 0..k {
+            heap_permutations(items, k - 1, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+}

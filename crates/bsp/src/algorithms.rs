@@ -1,0 +1,236 @@
+//! BSP cost formulations of the paper's parallel algorithms, after
+//! Tiskin, *Communication vs Synchronisation in Parallel String
+//! Comparison* (SPAA 2020) — reference [25], the model in which the
+//! parallel braid-multiplication approach was designed.
+//!
+//! Two algorithm families are modelled:
+//!
+//! * [`antidiag_combing_cost`] — the fine-grained anti-diagonal sweep:
+//!   one superstep per anti-diagonal wavefront over blocks, `Θ(m+n)`
+//!   synchronisations, negligible communication (only block boundaries);
+//! * [`strip_combing_cost`] — the coarse-grained strip algorithm behind
+//!   Listing 7: each processor combs an `m × n/p` strip (one superstep,
+//!   no communication), then `log₂ p` rounds of pairwise kernel
+//!   composition, each exchanging O(m + n) kernel words and multiplying
+//!   braids in O(N log N).
+//!
+//! The point of [25] — and what [`crate::sweep_machines`] exhibits — is
+//! the tradeoff: the wavefront algorithm is work-optimal but pays `Θ(n)`
+//! barriers, so it wins only when `l` is small; the strip algorithm pays
+//! `Θ(log p)` barriers plus the braid-multiplication overhead, so it wins
+//! on high-latency machines. Constant factors can be calibrated against
+//! the real implementations with [`Calibration::measure`].
+
+use std::time::Instant;
+
+use crate::model::{BspCost, BspMachine};
+
+/// Calibrated per-operation constants (in nanoseconds) tying the abstract
+/// cost model to this machine's actual implementation constants.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    /// ns per combing cell update (branchless inner loop).
+    pub ns_per_cell: f64,
+    /// ns per element of a steady-ant multiplication, per log-level.
+    pub ns_per_ant_element: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        // typical values for this crate's implementations on a ~3 GHz core
+        Calibration { ns_per_cell: 0.7, ns_per_ant_element: 6.0 }
+    }
+}
+
+impl Calibration {
+    /// Micro-measures both constants on the running machine.
+    pub fn measure() -> Self {
+        use slcs_datagen::{normal_string, seeded_rng};
+        let mut rng = seeded_rng(0xCAB);
+        let n = 2_000usize;
+        let a = normal_string(&mut rng, n, 1.0);
+        let b = normal_string(&mut rng, n, 1.0);
+        let t = Instant::now();
+        std::hint::black_box(slcs_semilocal::antidiag_combing_branchless(&a, &b));
+        let ns_per_cell = t.elapsed().as_nanos() as f64 / (n * n) as f64;
+
+        let order = 1 << 17;
+        let p = slcs_perm::Permutation::random(order, &mut rng);
+        let q = slcs_perm::Permutation::random(order, &mut rng);
+        let t = Instant::now();
+        std::hint::black_box(slcs_braid::steady_ant_combined(&p, &q));
+        let levels = (order as f64).log2();
+        let ns_per_ant_element = t.elapsed().as_nanos() as f64 / (order as f64 * levels);
+        Calibration { ns_per_cell, ns_per_ant_element }
+    }
+}
+
+/// Work of one steady-ant multiplication of order `order`, in cell-update
+/// units (so costs are directly comparable with combing work).
+fn ant_work(order: f64, cal: &Calibration) -> f64 {
+    if order <= 1.0 {
+        return 0.0;
+    }
+    order * order.log2() * (cal.ns_per_ant_element / cal.ns_per_cell)
+}
+
+/// BSP cost of the fine-grained anti-diagonal wavefront comb of an
+/// `m × n` grid on `p` processors, with blocks of `grain` cells: each
+/// wavefront is one superstep; processors exchange only the strand values
+/// on block boundaries.
+pub fn antidiag_combing_cost(m: usize, n: usize, machine: &BspMachine, grain: usize) -> BspCost {
+    let p = machine.p as f64;
+    let (m_f, n_f) = (m as f64, n as f64);
+    let grain = grain.max(1) as f64;
+    // block wavefronts: diagonals of the (m/√grain) × (n/√grain) block grid
+    let bm = (m_f / grain.sqrt()).ceil().max(1.0);
+    let bn = (n_f / grain.sqrt()).ceil().max(1.0);
+    let diagonals = bm + bn - 1.0;
+    let mut cost = BspCost::default();
+    for d in 0..diagonals as usize {
+        let d = d as f64;
+        // blocks on this diagonal
+        let len = (d + 1.0).min(bm).min(bn).min(diagonals - d);
+        let busiest = (len / p).ceil();
+        // each block: `grain` cells of work; boundary exchange: 2√grain words
+        cost.step(busiest * grain, busiest * 2.0 * grain.sqrt());
+    }
+    cost
+}
+
+/// BSP cost of the coarse-grained strip algorithm: p strips combed
+/// independently, then a log₂ p composition tree of braid
+/// multiplications of growing order.
+pub fn strip_combing_cost(
+    m: usize,
+    n: usize,
+    machine: &BspMachine,
+    cal: &Calibration,
+) -> BspCost {
+    let p = machine.p.max(1);
+    let (m_f, n_f) = (m as f64, n as f64);
+    let mut cost = BspCost::default();
+    // superstep 1: every processor combs its m × (n/p) strip
+    cost.step(m_f * (n_f / p as f64).ceil(), 0.0);
+    // log₂ p composition rounds: at round r, pairs of kernels of order
+    // m + n/2^(log p − r) are glued and multiplied; the kernels travel.
+    let rounds = (p as f64).log2().ceil() as usize;
+    let mut piece_n = n_f / p as f64;
+    for _ in 0..rounds {
+        let order = m_f + 2.0 * piece_n;
+        cost.step(ant_work(order, cal), order);
+        piece_n *= 2.0;
+    }
+    cost
+}
+
+/// Predicted best algorithm and time for every machine in a `(g, l)`
+/// sweep — the communication-vs-synchronisation picture of [25].
+pub struct SweepRow {
+    pub p: usize,
+    pub g: f64,
+    pub l: f64,
+    pub wavefront: f64,
+    pub strip: f64,
+}
+
+/// Sweeps machines and returns the predicted times of both algorithms.
+pub fn sweep_machines(
+    m: usize,
+    n: usize,
+    machines: &[BspMachine],
+    cal: &Calibration,
+    grain: usize,
+) -> Vec<SweepRow> {
+    machines
+        .iter()
+        .map(|mac| SweepRow {
+            p: mac.p,
+            g: mac.g,
+            l: mac.l,
+            wavefront: antidiag_combing_cost(m, n, mac, grain).time(mac),
+            strip: strip_combing_cost(m, n, mac, cal).time(mac),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAL: Calibration = Calibration { ns_per_cell: 0.7, ns_per_ant_element: 6.0 };
+
+    #[test]
+    fn wavefront_work_conserves_grid_cells() {
+        // On one processor with zero overheads, total time ≈ total cells.
+        let m = 512;
+        let n = 768;
+        let machine = BspMachine::pram(1);
+        let cost = antidiag_combing_cost(m, n, &machine, 1024);
+        let cells = (m * n) as f64;
+        assert!(
+            cost.time(&machine) >= cells && cost.time(&machine) <= 2.0 * cells,
+            "got {} for {cells} cells",
+            cost.time(&machine)
+        );
+    }
+
+    #[test]
+    fn strip_supersteps_are_log_p_plus_one() {
+        for p in [1usize, 2, 4, 8, 16] {
+            let machine = BspMachine { p, g: 1.0, l: 100.0 };
+            let cost = strip_combing_cost(1_000, 1_000, &machine, &CAL);
+            assert_eq!(cost.sync_count(), 1 + (p as f64).log2().ceil() as usize);
+        }
+    }
+
+    #[test]
+    fn wavefront_pays_many_more_barriers_than_strip() {
+        let machine = BspMachine { p: 8, g: 1.0, l: 1.0 };
+        let wf = antidiag_combing_cost(4_000, 4_000, &machine, 4_096);
+        let st = strip_combing_cost(4_000, 4_000, &machine, &CAL);
+        assert!(wf.sync_count() > 10 * st.sync_count());
+    }
+
+    #[test]
+    fn high_latency_machines_prefer_the_strip_algorithm() {
+        let cal = CAL;
+        let lo = BspMachine { p: 8, g: 1.0, l: 10.0 };
+        let hi = BspMachine { p: 8, g: 1.0, l: 1e7 };
+        let rows = sweep_machines(20_000, 20_000, &[lo, hi], &cal, 4_096);
+        // low latency: the work-optimal wavefront wins (or ties)
+        assert!(
+            rows[0].wavefront < rows[0].strip * 1.5,
+            "low-l: wavefront {} vs strip {}",
+            rows[0].wavefront,
+            rows[0].strip
+        );
+        // high latency: barriers dominate and the strip algorithm wins
+        assert!(
+            rows[1].strip < rows[1].wavefront,
+            "high-l: strip {} vs wavefront {}",
+            rows[1].strip,
+            rows[1].wavefront
+        );
+    }
+
+    #[test]
+    fn more_processors_reduce_strip_compute_time() {
+        let cal = CAL;
+        let t1 = strip_combing_cost(10_000, 10_000, &BspMachine::pram(1), &cal)
+            .time(&BspMachine::pram(1));
+        let t8 = strip_combing_cost(10_000, 10_000, &BspMachine::pram(8), &cal)
+            .time(&BspMachine::pram(8));
+        assert!(t8 < t1 / 4.0, "8-way strip should be ≥4x faster: {t1} vs {t8}");
+    }
+
+    #[test]
+    fn calibration_measures_sane_constants() {
+        let cal = Calibration::measure();
+        assert!(cal.ns_per_cell > 0.05 && cal.ns_per_cell < 100.0, "{cal:?}");
+        assert!(
+            cal.ns_per_ant_element > 0.1 && cal.ns_per_ant_element < 1000.0,
+            "{cal:?}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! BSP (bulk-synchronous parallel) cost modelling for parallel string
+//! comparison.
+//!
+//! The paper's parallel braid-multiplication approach originates in the
+//! BSP algorithms of Tiskin, *Communication vs Synchronisation in
+//! Parallel String Comparison* (SPAA 2020) — reference [25] — built on
+//! Valiant's BSP bridging model. This crate provides that substrate:
+//! the machine/cost abstraction ([`model`]) and BSP cost formulations of
+//! the two parallel combing strategies ([`algorithms`]), with constants
+//! calibratable against this repository's real implementations.
+//!
+//! It answers, analytically, the question the paper answers empirically
+//! on one shared-memory machine: *when does coarse-grained combing with
+//! braid multiplication beat the fine-grained wavefront?* (Answer: when
+//! synchronisation is expensive relative to work — see
+//! [`algorithms::sweep_machines`] and the `repro abl-bsp` table.)
+
+pub mod algorithms;
+pub mod model;
+
+pub use algorithms::{
+    antidiag_combing_cost, strip_combing_cost, sweep_machines, Calibration, SweepRow,
+};
+pub use model::{BspCost, BspMachine, Superstep};

@@ -1,0 +1,119 @@
+//! The BSP machine and cost accounting (Valiant 1990).
+//!
+//! A BSP computation is a sequence of *supersteps*; in each, every
+//! processor computes locally, then exchanges messages, then all barriers
+//! synchronise. With machine parameters `(p, g, l)` — processor count,
+//! per-word communication gap, and barrier latency — a superstep in which
+//! the busiest processor performs `w` operations and the largest
+//! inbound/outbound message volume is `h` words costs
+//!
+//! ```text
+//! T(superstep) = w + g·h + l
+//! ```
+//!
+//! all in units of one local operation.
+
+/// BSP machine parameters, in units of one local word operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BspMachine {
+    /// Processors.
+    pub p: usize,
+    /// Communication gap: cost per word of an h-relation.
+    pub g: f64,
+    /// Barrier synchronisation latency.
+    pub l: f64,
+}
+
+impl BspMachine {
+    /// A machine with free communication (the PRAM-like limit).
+    pub fn pram(p: usize) -> Self {
+        BspMachine { p, g: 0.0, l: 0.0 }
+    }
+}
+
+/// One superstep's cost profile: the busiest processor's local work and
+/// the largest per-processor message volume.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Superstep {
+    /// max over processors of local operations.
+    pub work: f64,
+    /// max over processors of words sent or received (the h-relation).
+    pub h_words: f64,
+}
+
+/// An accumulated BSP cost: a sequence of supersteps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BspCost {
+    pub supersteps: Vec<Superstep>,
+}
+
+impl BspCost {
+    /// Appends a superstep.
+    pub fn step(&mut self, work: f64, h_words: f64) {
+        self.supersteps.push(Superstep { work, h_words });
+    }
+
+    /// Number of barrier synchronisations.
+    pub fn sync_count(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Total local work (sum of per-superstep maxima).
+    pub fn total_work(&self) -> f64 {
+        self.supersteps.iter().map(|s| s.work).sum()
+    }
+
+    /// Total communication volume (sum of per-superstep h-relations).
+    pub fn total_comm(&self) -> f64 {
+        self.supersteps.iter().map(|s| s.h_words).sum()
+    }
+
+    /// Predicted running time on `machine`, in local-operation units.
+    pub fn time(&self, machine: &BspMachine) -> f64 {
+        self.supersteps
+            .iter()
+            .map(|s| s.work + machine.g * s.h_words + machine.l)
+            .sum()
+    }
+
+    /// Concatenates two cost sequences (sequential composition).
+    pub fn then(mut self, other: BspCost) -> BspCost {
+        self.supersteps.extend(other.supersteps);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_decomposes_linearly() {
+        let mut c = BspCost::default();
+        c.step(100.0, 10.0);
+        c.step(50.0, 5.0);
+        let m = BspMachine { p: 4, g: 2.0, l: 30.0 };
+        assert_eq!(c.time(&m), 100.0 + 20.0 + 30.0 + 50.0 + 10.0 + 30.0);
+        assert_eq!(c.sync_count(), 2);
+        assert_eq!(c.total_work(), 150.0);
+        assert_eq!(c.total_comm(), 15.0);
+    }
+
+    #[test]
+    fn pram_machine_ignores_comm_and_sync() {
+        let mut c = BspCost::default();
+        c.step(10.0, 1_000.0);
+        assert_eq!(c.time(&BspMachine::pram(8)), 10.0);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let mut a = BspCost::default();
+        a.step(1.0, 0.0);
+        let mut b = BspCost::default();
+        b.step(2.0, 3.0);
+        let c = a.then(b);
+        assert_eq!(c.sync_count(), 2);
+        assert_eq!(c.total_work(), 3.0);
+    }
+}

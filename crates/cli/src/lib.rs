@@ -1,0 +1,396 @@
+//! Implementation of the `slcs` command-line tool: argument parsing and
+//! the subcommands, kept in a library so they are unit-testable.
+//!
+//! Subcommands:
+//!
+//! * `lcs A B` — LCS score (and optionally one witness) of two inputs;
+//! * `scan PATTERN TEXT` — semi-local window scan: best windows of the
+//!   pattern's length, or `--window W`, with `--min-similarity`;
+//! * `edit PATTERN TEXT` — edit-distance window scan;
+//! * `cluster FILE...` — LCS-distance clustering of FASTA records;
+//! * `braid A B` — draw the reduced sticky braid of a small comparison.
+//!
+//! Inputs are literal strings, or files with `@path` / FASTA via
+//! `--fasta`.
+
+use std::fmt::Write as _;
+
+use slcs_apps::{average_linkage, distance_matrix, ApproxMatcher, Dendrogram};
+use slcs_baselines::{hirschberg_lcs, prefix_rowmajor};
+use slcs_datagen::read_fasta_file;
+use slcs_semilocal::EditDistances;
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Resolves an input operand: `@path` reads a file (first FASTA record if
+/// the file starts with `>`, raw bytes otherwise); anything else is a
+/// literal.
+pub fn resolve_input(operand: &str) -> Result<Vec<u8>, CliError> {
+    if let Some(path) = operand.strip_prefix('@') {
+        let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        if bytes.first() == Some(&b'>') {
+            let records = read_fasta_file(path)
+                .map_err(|e| err(format!("cannot parse FASTA {path}: {e}")))?;
+            let first = records.into_iter().next().ok_or_else(|| err("empty FASTA file"))?;
+            Ok(first.sequence)
+        } else {
+            // trim a single trailing newline from raw text files
+            let mut bytes = bytes;
+            while bytes.last() == Some(&b'\n') || bytes.last() == Some(&b'\r') {
+                bytes.pop();
+            }
+            Ok(bytes)
+        }
+    } else {
+        Ok(operand.as_bytes().to_vec())
+    }
+}
+
+/// Parses `--flag value` style options out of an operand list.
+pub struct Options {
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    pub fn parse(args: &[String], value_flags: &[&str]) -> Result<Options, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| err(format!("--{name} requires a value")))?;
+                    flags.push((name.to_string(), Some(v.clone())));
+                } else {
+                    flags.push((name.to_string(), None));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Options { positional, flags })
+    }
+
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    pub fn value_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| err(format!("invalid value for --{name}: {v}"))),
+        }
+    }
+}
+
+/// Runs a subcommand; returns the text to print.
+pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
+    match cmd {
+        "lcs" => cmd_lcs(rest),
+        "scan" => cmd_scan(rest),
+        "edit" => cmd_edit(rest),
+        "cluster" => cmd_cluster(rest),
+        "braid" => cmd_braid(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+pub const USAGE: &str = "\
+slcs — semi-local string comparison
+
+usage:
+  slcs lcs A B [--show]             LCS score (--show: one witness string)
+  slcs scan PATTERN TEXT [--window W] [--min-similarity F] [--top K]
+  slcs edit PATTERN TEXT [--window W]
+  slcs cluster FILE.fasta... [--cut H]
+  slcs braid A B                    ASCII sticky braid (small inputs)
+
+operands: literal strings, or @file (raw bytes, or FASTA if it starts with '>')";
+
+fn cmd_lcs(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &[])?;
+    let [a, b] = two_operands(&opts)?;
+    let score = prefix_rowmajor(&a, &b);
+    let mut out = format!("LCS = {score} (|a| = {}, |b| = {})\n", a.len(), b.len());
+    if opts.has("show") {
+        let witness = hirschberg_lcs(&a, &b);
+        writeln!(out, "witness: {}", String::from_utf8_lossy(&witness)).unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_scan(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["window", "min-similarity", "top"])?;
+    let [pattern, text] = two_operands(&opts)?;
+    if pattern.is_empty() || text.is_empty() {
+        return Err(err("scan requires non-empty pattern and text"));
+    }
+    let w: usize = opts.value_parsed("window")?.unwrap_or(pattern.len());
+    if w > text.len() {
+        return Err(err(format!("window {w} longer than text ({})", text.len())));
+    }
+    let min_sim: f64 = opts.value_parsed("min-similarity")?.unwrap_or(0.0);
+    let top: usize = opts.value_parsed("top")?.unwrap_or(5);
+    let matcher = ApproxMatcher::new(&pattern, &text);
+    let min_score = (min_sim * pattern.len() as f64).ceil() as usize;
+    let mut hits = matcher.find(w, min_score.max(1));
+    hits.sort_by_key(|o| std::cmp::Reverse(o.score));
+    hits.truncate(top);
+    let mut out = format!(
+        "pattern {} bp vs text {} bp, window {w}: {} hit(s)\n",
+        pattern.len(),
+        text.len(),
+        hits.len()
+    );
+    for h in &hits {
+        writeln!(
+            out,
+            "  [{:>8}..{:>8})  LCS {:>6}/{}  similarity {:.1}%",
+            h.start,
+            h.end,
+            h.score,
+            pattern.len(),
+            100.0 * h.similarity(pattern.len())
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_edit(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["window"])?;
+    let [pattern, text] = two_operands(&opts)?;
+    if text.is_empty() {
+        return Err(err("edit requires a non-empty text"));
+    }
+    let d = EditDistances::new(&pattern, &text);
+    let mut out = format!("global edit distance = {}\n", d.global());
+    let w: usize = opts.value_parsed("window")?.unwrap_or(pattern.len().min(text.len()));
+    if w > 0 && w <= text.len() {
+        let (s, e, dist) = d.best_window(w);
+        writeln!(out, "closest window of length {w}: [{s}..{e}) at distance {dist}").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_cluster(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["cut"])?;
+    if opts.positional.is_empty() {
+        return Err(err("cluster requires at least one FASTA file"));
+    }
+    let cut: f64 = opts.value_parsed("cut")?.unwrap_or(0.25);
+    let mut names = Vec::new();
+    let mut seqs = Vec::new();
+    for path in &opts.positional {
+        let records =
+            read_fasta_file(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        for r in records {
+            names.push(r.header.clone());
+            seqs.push(r.sequence);
+        }
+    }
+    if seqs.is_empty() {
+        return Err(err("no sequences found"));
+    }
+    let matrix = distance_matrix(&seqs);
+    let tree = average_linkage(&matrix);
+    let mut out = format!("{} sequences\n", seqs.len());
+    render_tree(&tree, &names, 0, &mut out);
+    writeln!(out, "clusters at cut {cut}:").unwrap();
+    for c in tree.cut(cut) {
+        let members: Vec<&str> = c.iter().map(|&i| names[i].as_str()).collect();
+        writeln!(out, "  {{{}}}", members.join(", ")).unwrap();
+    }
+    Ok(out)
+}
+
+fn render_tree(t: &Dendrogram, names: &[String], indent: usize, out: &mut String) {
+    match t {
+        Dendrogram::Leaf(i) => writeln!(out, "{}- {}", "  ".repeat(indent), names[*i]).unwrap(),
+        Dendrogram::Node { left, right, height } => {
+            writeln!(out, "{}+ d = {height:.3}", "  ".repeat(indent)).unwrap();
+            render_tree(left, names, indent + 1, out);
+            render_tree(right, names, indent + 1, out);
+        }
+    }
+}
+
+fn cmd_braid(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &[])?;
+    let [a, b] = two_operands(&opts)?;
+    if a.len() > 40 || b.len() > 60 {
+        return Err(err("braid rendering is for small inputs (|a| ≤ 40, |b| ≤ 60)"));
+    }
+    Ok(semilocal_render(&a, &b))
+}
+
+/// Sticky braid rendering (same drawing as the facade's `render_braid`,
+/// reimplemented here to keep the CLI crate's dependencies one-way).
+fn semilocal_render(a: &[u8], b: &[u8]) -> String {
+    let kernel = slcs_semilocal::iterative_combing(a, b);
+    let mut out = String::new();
+    let mut h_strands: Vec<u32> = (0..a.len() as u32).collect();
+    let mut v_strands: Vec<u32> = (a.len() as u32..(a.len() + b.len()) as u32).collect();
+    writeln!(out, "   {}", b.iter().map(|&c| format!(" {} ", c as char)).collect::<String>())
+        .unwrap();
+    for (i, &ac) in a.iter().enumerate() {
+        let hi = a.len() - 1 - i;
+        let mut h = h_strands[hi];
+        let mut top = String::new();
+        let mut bot = String::new();
+        for (j, &bc) in b.iter().enumerate() {
+            let v = v_strands[j];
+            if ac == bc || h > v {
+                top.push_str("─╮ ");
+                bot.push_str(" ╰─");
+                v_strands[j] = h;
+                h = v;
+            } else {
+                top.push_str("─┼─");
+                bot.push_str(" │ ");
+            }
+        }
+        h_strands[hi] = h;
+        writeln!(out, " {} {top}", ac as char).unwrap();
+        writeln!(out, "   {bot}").unwrap();
+    }
+    writeln!(out, "\nkernel: {:?}", kernel.permutation().forward()).unwrap();
+    writeln!(out, "LCS = {}", kernel.lcs()).unwrap();
+    out
+}
+
+fn two_operands(opts: &Options) -> Result<[Vec<u8>; 2], CliError> {
+    if opts.positional.len() != 2 {
+        return Err(err(format!(
+            "expected exactly two operands, got {}\n{USAGE}",
+            opts.positional.len()
+        )));
+    }
+    Ok([resolve_input(&opts.positional[0])?, resolve_input(&opts.positional[1])?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str, args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(cmd, &args)
+    }
+
+    #[test]
+    fn lcs_command_reports_score_and_witness() {
+        let out = run("lcs", &["ABCBDAB", "BDCABA", "--show"]).unwrap();
+        assert!(out.contains("LCS = 4"), "{out}");
+        assert!(out.contains("witness: "), "{out}");
+    }
+
+    #[test]
+    fn scan_finds_exact_occurrence() {
+        let out = run("scan", &["abc", "zzabczz", "--min-similarity", "0.9"]).unwrap();
+        assert!(out.contains("1 hit(s)"), "{out}");
+        assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn edit_command_reports_distances() {
+        let out = run("edit", &["kitten", "sitting"]).unwrap();
+        assert!(out.contains("global edit distance = 3"), "{out}");
+    }
+
+    #[test]
+    fn braid_command_renders() {
+        let out = run("braid", &["ab", "ba"]).unwrap();
+        assert!(out.contains("LCS = 1"), "{out}");
+        assert!(out.contains('╮'), "{out}");
+    }
+
+    #[test]
+    fn braid_rejects_large_inputs() {
+        let big = "x".repeat(100);
+        assert!(run("braid", &[&big, "y"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = run("frobnicate", &[]).unwrap_err();
+        assert!(e.0.contains("usage"), "{e}");
+    }
+
+    #[test]
+    fn operand_arity_is_checked() {
+        assert!(run("lcs", &["onlyone"]).is_err());
+        assert!(run("lcs", &["a", "b", "c"]).is_err());
+    }
+
+    #[test]
+    fn resolve_reads_files_and_fasta() {
+        let dir = std::env::temp_dir();
+        let raw = dir.join("slcs_cli_test_raw.txt");
+        std::fs::write(&raw, b"hello\n").unwrap();
+        assert_eq!(resolve_input(&format!("@{}", raw.display())).unwrap(), b"hello");
+        let fasta = dir.join("slcs_cli_test.fasta");
+        std::fs::write(&fasta, b">rec desc\nACGT\nTT\n").unwrap();
+        assert_eq!(resolve_input(&format!("@{}", fasta.display())).unwrap(), b"ACGTTT");
+        assert!(resolve_input("@/definitely/missing/file").is_err());
+        let _ = std::fs::remove_file(raw);
+        let _ = std::fs::remove_file(fasta);
+    }
+
+    #[test]
+    fn cluster_groups_fasta_records() {
+        let dir = std::env::temp_dir();
+        let f = dir.join("slcs_cli_cluster.fasta");
+        std::fs::write(
+            &f,
+            b">a1\nAAAAAAAAAA\n>a2\nAAAAACAAAA\n>b1\nGGGGGGGGGG\n>b2\nGGGGGCGGGG\n",
+        )
+        .unwrap();
+        let path = f.display().to_string();
+        let out = run("cluster", &[&path, "--cut", "0.5"]).unwrap_or_else(|e| panic!("{e}"));
+        assert!(out.contains("4 sequences"), "{out}");
+        assert!(out.contains("{a1, a2}") || out.contains("{a2, a1}"), "{out}");
+        assert!(out.contains("{b1, b2}") || out.contains("{b2, b1}"), "{out}");
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn options_parser_handles_flags_and_values() {
+        let args: Vec<String> =
+            ["x", "--window", "5", "--show", "y"].iter().map(|s| s.to_string()).collect();
+        let o = Options::parse(&args, &["window"]).unwrap();
+        assert_eq!(o.positional, vec!["x", "y"]);
+        assert_eq!(o.value_parsed::<usize>("window").unwrap(), Some(5));
+        assert!(o.has("show"));
+        assert!(!o.has("quiet"));
+        assert!(Options::parse(&["--window".to_string()], &["window"]).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! `slcs` — semi-local string comparison from the command line.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        println!("{}", slcs_cli::USAGE);
+        return;
+    };
+    match slcs_cli::dispatch(cmd, rest) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("slcs: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal FASTA input/output, so real genome files (e.g. the NCBI virus
+//! sequences used by the paper) can replace the synthetic generator in
+//! every example and benchmark.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// One FASTA record: a header (without the `>`) and the raw sequence
+/// bytes (whitespace stripped, case preserved).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastaRecord {
+    pub header: String,
+    pub sequence: Vec<u8>,
+}
+
+/// Parses FASTA records from a reader.
+pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
+    let mut records = Vec::new();
+    let mut header: Option<String> = None;
+    let mut seq: Vec<u8> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if let Some(h) = trimmed.strip_prefix('>') {
+            if let Some(prev) = header.take() {
+                records.push(FastaRecord { header: prev, sequence: std::mem::take(&mut seq) });
+            }
+            header = Some(h.to_string());
+        } else if !trimmed.is_empty() {
+            if header.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "sequence data before any FASTA header",
+                ));
+            }
+            seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    if let Some(prev) = header {
+        records.push(FastaRecord { header: prev, sequence: seq });
+    }
+    Ok(records)
+}
+
+/// Reads all records from a file path.
+pub fn read_fasta_file<P: AsRef<Path>>(path: P) -> io::Result<Vec<FastaRecord>> {
+    let file = std::fs::File::open(path)?;
+    read_fasta(io::BufReader::new(file))
+}
+
+/// Writes records with 70-column sequence wrapping.
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastaRecord]) -> io::Result<()> {
+    for r in records {
+        writeln!(w, ">{}", r.header)?;
+        for chunk in r.sequence.chunks(70) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record_fasta() {
+        let text = b">seq1 first\nACGT\nACG T\n>seq2\n\nTTTT\n" as &[u8];
+        let records = read_fasta(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].header, "seq1 first");
+        assert_eq!(records[0].sequence, b"ACGTACGT".to_vec());
+        assert_eq!(records[1].header, "seq2");
+        assert_eq!(records[1].sequence, b"TTTT".to_vec());
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        let text = b"ACGT\n" as &[u8];
+        assert!(read_fasta(text).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_no_records() {
+        assert_eq!(read_fasta(b"" as &[u8]).unwrap().len(), 0);
+        assert_eq!(read_fasta(b"\n\n" as &[u8]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn roundtrips_through_write() {
+        let records = vec![
+            FastaRecord { header: "a/1".into(), sequence: vec![b'A'; 150] },
+            FastaRecord { header: "b 2".into(), sequence: b"GATTACA".to_vec() },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let back = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+}

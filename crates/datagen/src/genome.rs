@@ -1,0 +1,173 @@
+//! Synthetic virus-genome workloads.
+//!
+//! The paper's real-life dataset is NCBI virus genomes (lengths up to
+//! 134 000, mostly project PRJNA485481). With no network access we
+//! substitute a generative model that preserves what the experiments
+//! depend on — string length and match structure between *related*
+//! sequences: a random ancestor genome over {A,C,G,T} plus descendants
+//! derived by a substitution/insertion/deletion mutation process at a
+//! configurable divergence. Two isolates of the same virus are then a
+//! pair of descendants of one ancestor. Real FASTA files can be dropped
+//! in via [`crate::fasta`] instead.
+
+use rand::{Rng, RngExt};
+
+/// Nucleotides encoded as 0..4; use [`to_ascii`]/[`from_ascii`] to
+/// convert to letters.
+pub const ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Mutation model parameters (per-base probabilities).
+#[derive(Clone, Copy, Debug)]
+pub struct MutationModel {
+    /// Probability a base is substituted by a random different base.
+    pub substitution: f64,
+    /// Probability a random base is inserted before a position.
+    pub insertion: f64,
+    /// Probability a base is deleted.
+    pub deletion: f64,
+}
+
+impl MutationModel {
+    /// A model with total divergence `d`, split 80/10/10 between
+    /// substitutions, insertions and deletions — the typical shape of
+    /// viral evolution over short time scales.
+    pub fn with_divergence(d: f64) -> Self {
+        assert!((0.0..=1.0).contains(&d), "divergence must be in [0, 1]");
+        MutationModel { substitution: 0.8 * d, insertion: 0.1 * d, deletion: 0.1 * d }
+    }
+}
+
+/// A random ancestor genome of `len` bases (encoded 0..4).
+pub fn random_genome<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.random_range(0..4u8)).collect()
+}
+
+/// A descendant of `ancestor` under the mutation model.
+pub fn mutate<R: Rng + ?Sized>(rng: &mut R, ancestor: &[u8], model: &MutationModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ancestor.len() + ancestor.len() / 16);
+    for &base in ancestor {
+        if rng.random_range(0.0..1.0f64) < model.insertion {
+            out.push(rng.random_range(0..4u8));
+        }
+        if rng.random_range(0.0..1.0f64) < model.deletion {
+            continue;
+        }
+        if rng.random_range(0.0..1.0f64) < model.substitution {
+            // substitute by a *different* base
+            let shift = rng.random_range(1..4u8);
+            out.push((base + shift) % 4);
+        } else {
+            out.push(base);
+        }
+    }
+    out
+}
+
+/// A pair of related genomes: two independent descendants of one random
+/// ancestor of length `len`, each at divergence `d` — the shape of the
+/// paper's virus-isolate comparisons.
+pub fn genome_pair<R: Rng + ?Sized>(rng: &mut R, len: usize, d: f64) -> (Vec<u8>, Vec<u8>) {
+    let ancestor = random_genome(rng, len);
+    let model = MutationModel::with_divergence(d);
+    (mutate(rng, &ancestor, &model), mutate(rng, &ancestor, &model))
+}
+
+/// Encodes 0..4 bases as ASCII `ACGT`.
+pub fn to_ascii(genome: &[u8]) -> Vec<u8> {
+    genome.iter().map(|&b| ALPHABET[b as usize]).collect()
+}
+
+/// Decodes ASCII `ACGT` (case-insensitive; other letters map to `A`,
+/// which is the common handling of ambiguity codes for scoring).
+pub fn from_ascii(text: &[u8]) -> Vec<u8> {
+    text.iter()
+        .map(|c| match c.to_ascii_uppercase() {
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            _ => 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::seeded_rng;
+
+    #[test]
+    fn genomes_use_four_symbols() {
+        let mut rng = seeded_rng(5);
+        let g = random_genome(&mut rng, 10_000);
+        assert!(g.iter().all(|&b| b < 4));
+        let counts: Vec<usize> = (0..4).map(|s| g.iter().filter(|&&b| b == s).count()).collect();
+        for c in counts {
+            assert!((c as f64 / 10_000.0 - 0.25).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn zero_divergence_is_identity() {
+        let mut rng = seeded_rng(6);
+        let g = random_genome(&mut rng, 500);
+        let m = mutate(&mut rng, &g, &MutationModel::with_divergence(0.0));
+        assert_eq!(m, g);
+    }
+
+    #[test]
+    fn divergence_scales_differences() {
+        // Positional agreement is ruined by frame shifts, so measure
+        // similarity the alignment-aware way: LCS fraction.
+        let mut rng = seeded_rng(7);
+        let g = random_genome(&mut rng, 3_000);
+        let near = mutate(&mut rng, &g, &MutationModel::with_divergence(0.01));
+        let far = mutate(&mut rng, &g, &MutationModel::with_divergence(0.30));
+        let sim = |x: &[u8]| slcs_baselines_lcs(x, &g) as f64 / g.len() as f64;
+        let (s_near, s_far) = (sim(&near), sim(&far));
+        assert!(s_near > 0.97, "near divergence similarity {s_near}");
+        assert!(s_far < s_near, "far {s_far} should be less similar than near {s_near}");
+        assert!(s_far > 0.5, "even far descendants stay related ({s_far})");
+    }
+
+    #[test]
+    fn substitutions_never_produce_the_same_base() {
+        let mut rng = seeded_rng(8);
+        let g = vec![2u8; 2000];
+        let m = mutate(&mut rng, &g, &MutationModel { substitution: 1.0, insertion: 0.0, deletion: 0.0 });
+        assert_eq!(m.len(), g.len());
+        assert!(m.iter().all(|&b| b != 2 && b < 4));
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let g = vec![0u8, 1, 2, 3, 3, 0];
+        assert_eq!(to_ascii(&g), b"ACGTTA".to_vec());
+        assert_eq!(from_ascii(&to_ascii(&g)), g);
+        assert_eq!(from_ascii(b"acgt"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn genome_pairs_are_similar_but_distinct() {
+        let mut rng = seeded_rng(9);
+        let (x, y) = genome_pair(&mut rng, 5_000, 0.05);
+        assert_ne!(x, y);
+        let lcs = slcs_baselines_lcs(&x, &y);
+        assert!(lcs as f64 > 0.85 * x.len().min(y.len()) as f64);
+    }
+
+    /// Minimal local LCS (keeps datagen free of cross-crate dev deps).
+    fn slcs_baselines_lcs(a: &[u8], b: &[u8]) -> usize {
+        let n = b.len();
+        let mut prev = vec![0u32; n + 1];
+        let mut cur = vec![0u32; n + 1];
+        for ac in a {
+            cur[0] = 0;
+            for (j, bc) in b.iter().enumerate() {
+                cur[j + 1] =
+                    if ac == bc { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n] as usize
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generation for the string-comparison suite.
+//!
+//! Reproduces the paper's two input classes (§5):
+//!
+//! * [`synthetic`] — integer strings with normal-distribution characters
+//!   (σ controls match frequency) and uniform binary strings;
+//! * [`structured`] — adversarial/skewed strings: Fibonacci words,
+//!   periodic strings, Zipf alphabets;
+//! * [`genome`] — synthetic virus genomes: a random ancestor plus
+//!   descendants under a substitution/indel mutation model, substituting
+//!   for the NCBI dataset (see DESIGN.md §5); [`fasta`] reads real files
+//!   when available.
+
+pub mod fasta;
+pub mod genome;
+pub mod structured;
+pub mod synthetic;
+
+pub use fasta::{read_fasta, read_fasta_file, write_fasta, FastaRecord};
+pub use genome::{genome_pair, mutate, random_genome, MutationModel};
+pub use structured::{constant_string, fibonacci_string, periodic_string, zipf_string};
+pub use synthetic::{binary_string, match_frequency, normal_string, seeded_rng, uniform_string};

@@ -1,0 +1,110 @@
+//! Structured (adversarial and skewed) workloads beyond the paper's two
+//! datasets: Fibonacci words, periodic strings, and Zipf-distributed
+//! alphabets. These stress exactly what random strings don't — long
+//! repetitive runs (worst cases for branch prediction and for the
+//! crossed-before bookkeeping) and heavily skewed match densities.
+
+use rand::{Rng, RngExt};
+
+/// The `k`-th Fibonacci word over `{0, 1}` truncated to `len`
+/// characters: `F(0) = 0`, `F(1) = 01`, `F(k) = F(k−1) F(k−2)`.
+/// Fibonacci words are maximally repetitive aperiodic strings — a
+/// classical stress case for subsequence algorithms.
+pub fn fibonacci_string(len: usize) -> Vec<u8> {
+    let mut prev: Vec<u8> = vec![0];
+    let mut cur: Vec<u8> = vec![0, 1];
+    while cur.len() < len {
+        let next: Vec<u8> = cur.iter().chain(prev.iter()).copied().collect();
+        prev = std::mem::replace(&mut cur, next);
+    }
+    cur.truncate(len.max(usize::from(len > 0)));
+    cur.truncate(len);
+    cur
+}
+
+/// A periodic string: `pattern` repeated to `len` characters.
+pub fn periodic_string(pattern: &[u8], len: usize) -> Vec<u8> {
+    assert!(!pattern.is_empty(), "period must be non-empty");
+    pattern.iter().copied().cycle().take(len).collect()
+}
+
+/// A string with Zipf-distributed characters over alphabet `0..sigma`
+/// with exponent `s` (s = 0 is uniform; larger s skews harder toward
+/// symbol 0).
+pub fn zipf_string<R: Rng + ?Sized>(rng: &mut R, len: usize, sigma: u8, s: f64) -> Vec<u8> {
+    assert!(sigma > 0, "alphabet must be non-empty");
+    // cumulative Zipf weights
+    let weights: Vec<f64> = (1..=sigma as u32).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            cdf.partition_point(|&c| c < u) as u8
+        })
+        .collect()
+}
+
+/// An all-`c` run of `len` characters (the extreme high-match workload).
+pub fn constant_string(c: u8, len: usize) -> Vec<u8> {
+    vec![c; len]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::seeded_rng;
+
+    #[test]
+    fn fibonacci_prefix_property() {
+        // Every Fibonacci word is a prefix of the next.
+        let f20 = fibonacci_string(20);
+        let f50 = fibonacci_string(50);
+        assert_eq!(&f50[..20], f20.as_slice());
+        assert_eq!(&f50[..8], &[0, 1, 0, 0, 1, 0, 1, 0]);
+        assert!(fibonacci_string(0).is_empty());
+        assert_eq!(fibonacci_string(1), vec![0]);
+    }
+
+    #[test]
+    fn fibonacci_is_square_free_ish() {
+        // Fibonacci words contain no fourth powers; cheap smoke check:
+        // no run of the same character longer than 2.
+        let f = fibonacci_string(1000);
+        let mut run = 1;
+        for w in f.windows(2) {
+            run = if w[0] == w[1] { run + 1 } else { 1 };
+            assert!(run <= 2, "Fibonacci words never repeat a symbol thrice");
+        }
+    }
+
+    #[test]
+    fn periodic_repeats_exactly() {
+        let p = periodic_string(b"abc", 8);
+        assert_eq!(p, b"abcabcab".to_vec());
+        assert!(periodic_string(b"x", 0).is_empty());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_uniform_at_zero() {
+        let mut rng = seeded_rng(11);
+        let skewed = zipf_string(&mut rng, 50_000, 8, 1.5);
+        let flat = zipf_string(&mut rng, 50_000, 8, 0.0);
+        let count0 = |s: &[u8]| s.iter().filter(|&&c| c == 0).count() as f64 / s.len() as f64;
+        assert!(count0(&skewed) > 0.4, "zipf 1.5 puts >40% mass on symbol 0");
+        assert!((count0(&flat) - 0.125).abs() < 0.02, "s=0 is uniform over 8 symbols");
+        assert!(skewed.iter().all(|&c| c < 8));
+    }
+
+    #[test]
+    fn constant_string_is_constant() {
+        let s = constant_string(3, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&c| c == 3));
+    }
+}

@@ -1,0 +1,116 @@
+//! Synthetic string generators matching the paper's experimental setup
+//! (§5): "randomly generated integer sequences … with characters sampled
+//! from a normal distribution with zero mean and standard deviation σ,
+//! and then rounded towards zero."
+//!
+//! Varying σ tunes the match frequency: σ = 1 gives ≈ 68% zeros (a
+//! high-match regime), large σ approaches a huge sparse alphabet
+//! (low-match regime).
+
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Deterministic generator seeded for reproducible benchmarks.
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via Box–Muller (kept dependency-free; the
+/// polar form avoids trigonometry).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0f64);
+        let v: f64 = rng.random_range(-1.0..1.0f64);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A string of `len` characters sampled from `round_toward_zero(N(0, σ²))`
+/// — the paper's synthetic dataset.
+pub fn normal_string<R: Rng + ?Sized>(rng: &mut R, len: usize, sigma: f64) -> Vec<i64> {
+    (0..len).map(|_| (standard_normal(rng) * sigma).trunc() as i64).collect()
+}
+
+/// A uniformly random binary string (values 0/1) for the bit-parallel
+/// experiments (Figure 9).
+pub fn binary_string<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.random_range(0..2u8)).collect()
+}
+
+/// A uniformly random string over the alphabet `0..sigma`.
+pub fn uniform_string<R: Rng + ?Sized>(rng: &mut R, len: usize, sigma: u8) -> Vec<u8> {
+    assert!(sigma > 0, "alphabet must be non-empty");
+    (0..len).map(|_| rng.random_range(0..sigma)).collect()
+}
+
+/// Empirical match frequency between the character distributions of two
+/// strings: the probability that two independently drawn characters are
+/// equal. Used to report the σ → similarity mapping in the harness.
+pub fn match_frequency<T: Eq + std::hash::Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    use std::collections::HashMap;
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for c in b {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    let hits: usize = a.iter().map(|c| counts.get(c).copied().unwrap_or(0)).sum();
+    hits as f64 / (a.len() as f64 * b.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_sigma1_is_mostly_zero() {
+        // erfc-based expectation from the paper: ≈ 0.683 of characters
+        // are 0 for σ = 1 (all |x| < 1 round toward zero).
+        let mut rng = seeded_rng(1);
+        let s = normal_string(&mut rng, 100_000, 1.0);
+        let zeros = s.iter().filter(|&&c| c == 0).count() as f64 / s.len() as f64;
+        assert!((zeros - 0.683).abs() < 0.01, "zero fraction {zeros}");
+    }
+
+    #[test]
+    fn larger_sigma_spreads_the_alphabet() {
+        let mut rng = seeded_rng(2);
+        let narrow = normal_string(&mut rng, 50_000, 1.0);
+        let wide = normal_string(&mut rng, 50_000, 100.0);
+        let distinct = |s: &[i64]| {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct(&wide) > 10 * distinct(&narrow));
+        assert!(match_frequency(&wide, &wide) < match_frequency(&narrow, &narrow));
+    }
+
+    #[test]
+    fn binary_string_is_binary_and_balanced() {
+        let mut rng = seeded_rng(3);
+        let s = binary_string(&mut rng, 100_000);
+        assert!(s.iter().all(|&c| c <= 1));
+        let ones = s.iter().filter(|&&c| c == 1).count() as f64 / s.len() as f64;
+        assert!((ones - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let a1 = normal_string(&mut seeded_rng(42), 1000, 2.0);
+        let a2 = normal_string(&mut seeded_rng(42), 1000, 2.0);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn match_frequency_sane_values() {
+        assert_eq!(match_frequency(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(match_frequency(&[1, 1], &[2, 2]), 0.0);
+        let half = match_frequency(&[1, 2], &[1, 2]);
+        assert!((half - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Explicit dominance-sum tables.
+//!
+//! A [`DominanceTable`] materialises `PΣ(i, j)` for all
+//! `i, j ∈ [0, n]` — quadratic memory, so this is a tool for tests, the
+//! reference distance product, and small-input query answering, not for
+//! the large-scale algorithms.
+
+use crate::{PermIndex, Permutation};
+
+/// The `(n+1) × (n+1)` table of dominance sums
+/// `PΣ(i, j) = |{ (r, c) ∈ P : r ≥ i, c < j }|` of a permutation of
+/// order `n`.
+///
+/// Stored row-major; `PΣ(n, ·) = 0` and `PΣ(·, 0) = 0` by definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DominanceTable {
+    n: usize,
+    /// Row-major `(n+1) × (n+1)`.
+    sums: Vec<u32>,
+}
+
+impl DominanceTable {
+    /// Builds the full table in O(n²) time and memory.
+    pub fn new(p: &Permutation) -> Self {
+        let n = p.len();
+        let stride = n + 1;
+        let mut sums = vec![0u32; stride * stride];
+        // Fill bottom-up: row i from row i+1. Row n is all zeros.
+        for i in (0..n).rev() {
+            let c = p.col_of(i);
+            let (above, below) = sums.split_at_mut((i + 1) * stride);
+            let row = &mut above[i * stride..(i + 1) * stride];
+            let prev = &below[..stride];
+            // PΣ(i, j) = PΣ(i+1, j) + [col_of(i) < j]
+            row[..=c].copy_from_slice(&prev[..=c]);
+            for j in (c + 1)..stride {
+                row[j] = prev[j] + 1;
+            }
+        }
+        DominanceTable { n, sums }
+    }
+
+    /// Order of the underlying permutation.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// `PΣ(i, j)` — number of nonzeros with row `≥ i`, col `< j`.
+    #[inline]
+    pub fn sum(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i <= self.n && j <= self.n);
+        self.sums[i * (self.n + 1) + j]
+    }
+
+    /// Recovers the permutation from its dominance table by the
+    /// cross-difference identity
+    /// `P[r] = c  ⇔  Σ(r, c+1) − Σ(r, c) − Σ(r+1, c+1) + Σ(r+1, c) = 1`.
+    pub fn recover(&self) -> Permutation {
+        let n = self.n;
+        let mut forward = vec![0 as PermIndex; n];
+        for (r, slot) in forward.iter_mut().enumerate() {
+            let c = (0..n)
+                .find(|&c| {
+                    let d = self.sum(r, c + 1) as i64 - self.sum(r, c) as i64
+                        + self.sum(r + 1, c) as i64
+                        - self.sum(r + 1, c + 1) as i64;
+                    debug_assert!((0..=1).contains(&d), "cross-difference must be 0 or 1");
+                    d == 1
+                })
+                .expect("dominance table does not describe a permutation");
+            *slot = c as PermIndex;
+        }
+        Permutation::from_forward_unchecked(forward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_scan_on_small_perm() {
+        let p = Permutation::from_forward(vec![2, 0, 3, 1]).unwrap();
+        let t = DominanceTable::new(&p);
+        for i in 0..=4 {
+            for j in 0..=4 {
+                assert_eq!(
+                    t.sum(i, j) as usize,
+                    p.dominance_sum_scan(i, j),
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_table_shape() {
+        // For the identity, PΣ(i, j) = |{ r : r ≥ i, r < j }| = max(0, j - i).
+        let t = DominanceTable::new(&Permutation::identity(5));
+        for i in 0..=5 {
+            for j in 0..=5 {
+                assert_eq!(t.sum(i, j) as usize, j.saturating_sub(i));
+            }
+        }
+    }
+
+    #[test]
+    fn recover_roundtrips() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 10, 40] {
+            let p = Permutation::random(n, &mut rng);
+            assert_eq!(DominanceTable::new(&p).recover(), p);
+        }
+    }
+
+    #[test]
+    fn zero_order_table() {
+        let t = DominanceTable::new(&Permutation::identity(0));
+        assert_eq!(t.sum(0, 0), 0);
+        assert!(t.recover().is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Permutation matrices and unit-Monge machinery for semi-local string
+//! comparison.
+//!
+//! This crate is the algebraic substrate of the suite. Semi-local LCS
+//! kernels (Tiskin 2008) are permutation matrices; sticky braid
+//! multiplication (Tiskin 2015) is the *distance product* of the associated
+//! unit-Monge matrices. Everything downstream — the steady-ant algorithm,
+//! combing, kernel queries — is expressed in terms of the types defined
+//! here:
+//!
+//! * [`Permutation`] — a permutation of `[0, n)` stored as forward and
+//!   inverse index arrays (the "two lists of size N" representation from
+//!   §4.2.1 of the paper).
+//! * [`dominance`] — explicit dominance-sum tables and the dominance
+//!   convention used throughout the suite.
+//! * [`monge`] — the O(n²) reference implementation of the unit-Monge
+//!   distance product, used as the correctness oracle for the steady-ant
+//!   algorithm.
+//! * [`counting`] — a merge-sort tree answering dominance-counting queries
+//!   over a permutation in O(log² n) with linear memory (the range-counting
+//!   structures referenced in footnote 1 of the paper).
+//!
+//! # Dominance convention
+//!
+//! For a permutation matrix `P` of order `n` and indices
+//! `i, j ∈ [0, n]`, the *dominance sum* is
+//!
+//! ```text
+//! PΣ(i, j) = |{ (r, c) : P[r] = c, r ≥ i, c < j }|
+//! ```
+//!
+//! i.e. the number of nonzeros weakly below row `i` and strictly to the
+//! left of column `j`. With this convention the distance product
+//! `R = P ⊙ Q` is defined by `RΣ(i, k) = min_j (PΣ(i, j) + QΣ(j, k))`, and
+//! the identity permutation is its unit.
+
+pub mod counting;
+pub mod dominance;
+pub mod monge;
+mod perm;
+
+pub use counting::MergeSortTree;
+pub use dominance::DominanceTable;
+pub use perm::{Permutation, PermutationError};
+
+/// Index type used for permutation entries.
+///
+/// `u32` halves the memory footprint relative to `usize` on 64-bit
+/// machines, which matters for the paper's braid-multiplication experiments
+/// on permutations of size 10⁷ (Figure 4). Orders above `u32::MAX` are
+/// rejected at construction time.
+pub type PermIndex = u32;

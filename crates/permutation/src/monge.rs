@@ -1,0 +1,133 @@
+//! Reference implementation of the unit-Monge distance product.
+//!
+//! The product `R = P ⊙ Q` of two permutations of order `n` is defined on
+//! dominance sums by
+//!
+//! ```text
+//! RΣ(i, k) = min over j of ( PΣ(i, j) + QΣ(j, k) )
+//! ```
+//!
+//! and `R` itself is recovered from `RΣ` by cross-differences. Tiskin
+//! (2015) proves that `R` is again a permutation ("unit-Monge matrices are
+//! closed under distance multiplication"), which is exactly the Demazure
+//! product of the corresponding reduced sticky braids.
+//!
+//! The implementation here is the **oracle**: O(n²) memory and O(n³) time,
+//! straight from the definition, with no cleverness to get wrong. The fast
+//! O(n log n) steady-ant algorithm in `slcs-braid` is property-tested
+//! against it.
+
+use crate::dominance::DominanceTable;
+use crate::Permutation;
+
+/// Distance product of two permutations by definition. O(n³) time,
+/// O(n²) memory; intended for tests and small inputs only.
+///
+/// # Panics
+///
+/// Panics if the orders differ.
+pub fn distance_product_reference(p: &Permutation, q: &Permutation) -> Permutation {
+    assert_eq!(p.len(), q.len(), "distance product requires equal orders");
+    let n = p.len();
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    let pt = DominanceTable::new(p);
+    let qt = DominanceTable::new(q);
+    // RΣ(i, k) for all i, k.
+    let stride = n + 1;
+    let mut rsum = vec![0u32; stride * stride];
+    for i in 0..=n {
+        for k in 0..=n {
+            let mut best = u32::MAX;
+            for j in 0..=n {
+                let v = pt.sum(i, j) + qt.sum(j, k);
+                best = best.min(v);
+            }
+            rsum[i * stride + k] = best;
+        }
+    }
+    recover_from_sums(n, &rsum)
+}
+
+/// Recovers a permutation from a row-major `(n+1)²` dominance-sum table.
+pub(crate) fn recover_from_sums(n: usize, sums: &[u32]) -> Permutation {
+    let stride = n + 1;
+    let at = |i: usize, k: usize| sums[i * stride + k] as i64;
+    let mut forward = vec![0u32; n];
+    for (r, slot) in forward.iter_mut().enumerate() {
+        let c = (0..n)
+            .find(|&c| at(r, c + 1) - at(r, c) + at(r + 1, c) - at(r + 1, c + 1) == 1)
+            .unwrap_or_else(|| panic!("sums are not unit-Monge: row {r} has no nonzero"));
+        *slot = c as u32;
+    }
+    Permutation::from_forward(forward).expect("distance product must be a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn identity_is_the_unit() {
+        let mut rng = rng();
+        for n in [1usize, 2, 5, 16, 33] {
+            let p = Permutation::random(n, &mut rng);
+            let id = Permutation::identity(n);
+            assert_eq!(distance_product_reference(&p, &id), p, "P ⊙ I = P (n={n})");
+            assert_eq!(distance_product_reference(&id, &p), p, "I ⊙ P = P (n={n})");
+        }
+    }
+
+    #[test]
+    fn product_is_a_permutation() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let p = Permutation::random(24, &mut rng);
+            let q = Permutation::random(24, &mut rng);
+            let r = distance_product_reference(&p, &q);
+            assert_eq!(r.len(), 24);
+        }
+    }
+
+    #[test]
+    fn product_is_associative() {
+        let mut rng = rng();
+        for _ in 0..5 {
+            let p = Permutation::random(12, &mut rng);
+            let q = Permutation::random(12, &mut rng);
+            let r = Permutation::random(12, &mut rng);
+            let left = distance_product_reference(&distance_product_reference(&p, &q), &r);
+            let right = distance_product_reference(&p, &distance_product_reference(&q, &r));
+            assert_eq!(left, right);
+        }
+    }
+
+    #[test]
+    fn reversal_absorbs() {
+        // The reversal permutation has RΣ(i,k) realized trivially; multiplying
+        // reversal by reversal gives reversal again (all strand pairs already
+        // crossed — the Demazure product is idempotent on the longest element).
+        for n in [2usize, 3, 8] {
+            let w0 = Permutation::reversal(n);
+            assert_eq!(distance_product_reference(&w0, &w0), w0);
+        }
+    }
+
+    #[test]
+    fn small_hand_checked_product() {
+        // P = identity swap on 2 elements: P = [(0,1),(1,0)] = reversal.
+        // Q = identity. P ⊙ Q = P by unit law; also check a nontrivial pair
+        // against an independently computed table.
+        let p = Permutation::from_forward(vec![1, 0]).unwrap();
+        let q = Permutation::from_forward(vec![1, 0]).unwrap();
+        let r = distance_product_reference(&p, &q);
+        // Demazure: crossing twice sticks — still the reversal.
+        assert_eq!(r, Permutation::from_forward(vec![1, 0]).unwrap());
+    }
+}

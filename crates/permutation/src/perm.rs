@@ -1,0 +1,333 @@
+use std::fmt;
+
+use crate::PermIndex;
+
+/// A permutation of `[0, n)`, viewed interchangeably as a permutation
+/// matrix with nonzeros `(i, forward[i])`.
+///
+/// Both the forward (`row → col`) and inverse (`col → row`) maps are
+/// stored, so either direction is a single indexed load. This is the
+/// "two lists of size N" representation the paper uses to bound the memory
+/// of the steady-ant recursion (§4.2.1).
+///
+/// # Examples
+///
+/// ```
+/// use slcs_perm::Permutation;
+///
+/// let p = Permutation::from_forward(vec![2, 0, 1]).unwrap();
+/// assert_eq!(p.col_of(0), 2);
+/// assert_eq!(p.row_of(2), 0);
+/// assert_eq!(&p.compose(&p.inverse()), &Permutation::identity(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    forward: Vec<PermIndex>,
+    inverse: Vec<PermIndex>,
+}
+
+/// Error returned when a vector does not describe a permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// An entry was `>= n`.
+    OutOfRange { index: usize, value: usize, len: usize },
+    /// Two rows mapped to the same column.
+    Duplicate { value: usize },
+    /// The order does not fit in [`PermIndex`].
+    TooLarge { len: usize },
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::OutOfRange { index, value, len } => write!(
+                f,
+                "entry {value} at position {index} is out of range for a permutation of [0, {len})"
+            ),
+            PermutationError::Duplicate { value } => {
+                write!(f, "value {value} appears more than once")
+            }
+            PermutationError::TooLarge { len } => {
+                write!(f, "permutation order {len} exceeds the u32 index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+impl Permutation {
+    /// The identity permutation of order `n`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= PermIndex::MAX as usize, "order exceeds u32 index space");
+        let forward: Vec<PermIndex> = (0..n as PermIndex).collect();
+        Permutation { inverse: forward.clone(), forward }
+    }
+
+    /// The order-reversing permutation `i ↦ n - 1 - i` (the "zero kernel"
+    /// of a fully mismatching comparison).
+    pub fn reversal(n: usize) -> Self {
+        assert!(n <= PermIndex::MAX as usize, "order exceeds u32 index space");
+        let forward: Vec<PermIndex> = (0..n as PermIndex).rev().collect();
+        Permutation { inverse: forward.clone(), forward }
+    }
+
+    /// Builds a permutation from its forward map, validating that it is a
+    /// bijection on `[0, n)`.
+    pub fn from_forward(forward: Vec<PermIndex>) -> Result<Self, PermutationError> {
+        let n = forward.len();
+        if n > PermIndex::MAX as usize {
+            return Err(PermutationError::TooLarge { len: n });
+        }
+        let mut inverse = vec![PermIndex::MAX; n];
+        for (i, &c) in forward.iter().enumerate() {
+            let c_us = c as usize;
+            if c_us >= n {
+                return Err(PermutationError::OutOfRange { index: i, value: c_us, len: n });
+            }
+            if inverse[c_us] != PermIndex::MAX {
+                return Err(PermutationError::Duplicate { value: c_us });
+            }
+            inverse[c_us] = i as PermIndex;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// Builds a permutation from its forward map **without** validation.
+    ///
+    /// The caller must guarantee `forward` is a bijection on `[0, n)`.
+    /// Hot paths (combing, steady ant) use this to avoid a second pass;
+    /// debug builds still assert the invariant.
+    pub fn from_forward_unchecked(forward: Vec<PermIndex>) -> Self {
+        debug_assert!(forward.len() <= PermIndex::MAX as usize);
+        let mut inverse = vec![PermIndex::MAX; forward.len()];
+        for (i, &c) in forward.iter().enumerate() {
+            debug_assert!((c as usize) < forward.len(), "entry out of range");
+            debug_assert!(inverse[c as usize] == PermIndex::MAX, "duplicate entry");
+            inverse[c as usize] = i as PermIndex;
+        }
+        Permutation { forward, inverse }
+    }
+
+    /// Builds a permutation from both maps without validation or extra
+    /// work. In debug builds, consistency is asserted.
+    pub fn from_parts_unchecked(forward: Vec<PermIndex>, inverse: Vec<PermIndex>) -> Self {
+        debug_assert_eq!(forward.len(), inverse.len());
+        debug_assert!(forward
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| inverse[c as usize] as usize == i));
+        Permutation { forward, inverse }
+    }
+
+    /// A uniformly random permutation of order `n` (Fisher–Yates).
+    pub fn random<R: rand::Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        use rand::RngExt as _;
+        let mut forward: Vec<PermIndex> = (0..n as PermIndex).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            forward.swap(i, j);
+        }
+        Self::from_forward_unchecked(forward)
+    }
+
+    /// Order of the permutation (the `n` in "permutation of `[0, n)`").
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` iff the order is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Column of the nonzero in row `i`.
+    #[inline]
+    pub fn col_of(&self, row: usize) -> usize {
+        self.forward[row] as usize
+    }
+
+    /// Row of the nonzero in column `j`.
+    #[inline]
+    pub fn row_of(&self, col: usize) -> usize {
+        self.inverse[col] as usize
+    }
+
+    /// The forward map as a slice.
+    #[inline]
+    pub fn forward(&self) -> &[PermIndex] {
+        &self.forward
+    }
+
+    /// The inverse map as a slice.
+    #[inline]
+    pub fn inverse_slice(&self) -> &[PermIndex] {
+        &self.inverse
+    }
+
+    /// Iterator over the nonzeros `(row, col)` in row order.
+    pub fn nonzeros(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.forward.iter().enumerate().map(|(i, &c)| (i, c as usize))
+    }
+
+    /// The inverse permutation (matrix transpose).
+    pub fn inverse(&self) -> Self {
+        Permutation { forward: self.inverse.clone(), inverse: self.forward.clone() }
+    }
+
+    /// Ordinary function composition: `(self ∘ other)(i) = self(other(i))`.
+    ///
+    /// Note that this is **not** the sticky-braid (Demazure / distance)
+    /// product — that lives in the `slcs-braid` crate.
+    pub fn compose(&self, other: &Permutation) -> Self {
+        assert_eq!(self.len(), other.len(), "composition requires equal orders");
+        let forward: Vec<PermIndex> =
+            other.forward.iter().map(|&j| self.forward[j as usize]).collect();
+        Self::from_forward_unchecked(forward)
+    }
+
+    /// Rotation of the matrix by 180°: nonzero `(i, j)` moves to
+    /// `(n-1-i, n-1-j)`.
+    ///
+    /// This is the transformation of Theorem 3.5 (the *flip* theorem):
+    /// `P_{a,b}[i, j] = P_{b,a}[m+n-1-i, m+n-1-j]`.
+    pub fn rotate180(&self) -> Self {
+        let n = self.len();
+        let mut forward = vec![0 as PermIndex; n];
+        for (i, &c) in self.forward.iter().enumerate() {
+            forward[n - 1 - i] = (n - 1 - c as usize) as PermIndex;
+        }
+        Self::from_forward_unchecked(forward)
+    }
+
+    /// Number of nonzeros `(r, c)` with `r ≥ i` and `c < j`, computed by a
+    /// linear scan. This is the suite-wide dominance convention (see the
+    /// crate docs); quadratic-time callers only — use
+    /// [`crate::counting::MergeSortTree`] for repeated queries.
+    pub fn dominance_sum_scan(&self, i: usize, j: usize) -> usize {
+        self.forward[i.min(self.len())..]
+            .iter()
+            .filter(|&&c| (c as usize) < j)
+            .count()
+    }
+
+    /// Consumes the permutation and returns the forward map.
+    pub fn into_forward(self) -> Vec<PermIndex> {
+        self.forward
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation{:?}", self.forward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_every_index_to_itself() {
+        let p = Permutation::identity(5);
+        for i in 0..5 {
+            assert_eq!(p.col_of(i), i);
+            assert_eq!(p.row_of(i), i);
+        }
+    }
+
+    #[test]
+    fn reversal_maps_to_mirror() {
+        let p = Permutation::reversal(4);
+        assert_eq!(p.forward(), &[3, 2, 1, 0]);
+        assert_eq!(p.rotate180(), p, "reversal is symmetric under 180° rotation");
+    }
+
+    #[test]
+    fn from_forward_rejects_out_of_range() {
+        let err = Permutation::from_forward(vec![0, 3]).unwrap_err();
+        assert!(matches!(err, PermutationError::OutOfRange { value: 3, .. }));
+    }
+
+    #[test]
+    fn from_forward_rejects_duplicates() {
+        let err = Permutation::from_forward(vec![1, 1, 0]).unwrap_err();
+        assert!(matches!(err, PermutationError::Duplicate { value: 1 }));
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let p = Permutation::from_forward(vec![2, 0, 3, 1]).unwrap();
+        let q = p.inverse();
+        for i in 0..4 {
+            assert_eq!(q.col_of(p.col_of(i)), i);
+        }
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn compose_is_function_composition() {
+        let p = Permutation::from_forward(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_forward(vec![2, 1, 0]).unwrap();
+        let r = p.compose(&q);
+        for i in 0..3 {
+            assert_eq!(r.col_of(i), p.col_of(q.col_of(i)));
+        }
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let mut rng = make_rng();
+        for _ in 0..20 {
+            let p = Permutation::random(17, &mut rng);
+            assert_eq!(p.compose(&p.inverse()), Permutation::identity(17));
+            assert_eq!(p.inverse().compose(&p), Permutation::identity(17));
+        }
+    }
+
+    #[test]
+    fn rotate180_is_involutive() {
+        let mut rng = make_rng();
+        let p = Permutation::random(33, &mut rng);
+        assert_eq!(p.rotate180().rotate180(), p);
+    }
+
+    #[test]
+    fn dominance_scan_counts_quadrant() {
+        // P = [(0,2), (1,0), (2,1)]
+        let p = Permutation::from_forward(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.dominance_sum_scan(0, 3), 3);
+        assert_eq!(p.dominance_sum_scan(1, 2), 2); // (1,0) and (2,1)
+        assert_eq!(p.dominance_sum_scan(2, 2), 1); // (2,1)
+        assert_eq!(p.dominance_sum_scan(0, 0), 0);
+        assert_eq!(p.dominance_sum_scan(3, 3), 0);
+    }
+
+    #[test]
+    fn empty_permutation_is_fine() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert_eq!(p.nonzeros().count(), 0);
+        assert_eq!(p.rotate180(), p);
+    }
+
+    #[test]
+    fn random_is_valid_permutation() {
+        let mut rng = make_rng();
+        for n in [0usize, 1, 2, 7, 100] {
+            let p = Permutation::random(n, &mut rng);
+            let mut seen = vec![false; n];
+            for (_, c) in p.nonzeros() {
+                assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+    }
+
+    pub(crate) fn make_rng() -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0x5eed_cafe)
+    }
+}

@@ -1,0 +1,316 @@
+//! Anti-diagonal iterative combing (Listing 4 of the paper).
+//!
+//! Cells on one anti-diagonal are independent (processing cell `(i,j)`
+//! depends only on `(i,j−1)` and `(i−1,j)`), so the grid is swept in
+//! anti-diagonals. For a diagonal `d` the active cells form contiguous
+//! ranges of both strand arrays (`a` is stored reversed so its accesses
+//! are consecutive too), which makes the inner loop a perfect
+//! data-parallel kernel:
+//!
+//! * the **branching** inner loop (`semi_antidiag`) swaps strands behind a
+//!   condition — fewer memory writes, but branch mispredictions and no
+//!   vectorization;
+//! * the **branchless** inner loop (`semi_antidiag_SIMD`) replaces the
+//!   branch with mask arithmetic `h' = (h & (p−1)) | ((−p) & v)`, which
+//!   LLVM auto-vectorizes (the paper's hand-written AVX2 plays the same
+//!   role);
+//! * the **16-bit** variant packs strand indices into `u16` when
+//!   `m + n ≤ 2¹⁶`, doubling the SIMD lane count (§4.1, last paragraph).
+//!
+//! Thread-parallel versions split each diagonal across the current rayon
+//! pool, with a synchronization barrier per diagonal — exactly the cost
+//! model discussed in §4.1 of the paper.
+
+use rayon::prelude::*;
+
+use crate::iterative::build_kernel;
+use crate::kernel::SemiLocalKernel;
+
+/// Strand-index storage: `u32` for general inputs, `u16` when
+/// `m + n ≤ 2¹⁶` (the paper's SIMD-width optimization).
+pub trait StrandIx: Copy + Ord + Send + Sync + 'static {
+    /// Lossless for all values used by the combing (asserted by callers).
+    fn from_usize(x: usize) -> Self;
+    /// Back to a plain index.
+    fn to_u32(self) -> u32;
+    /// Branchless conditional swap: returns `(h', v')` equal to `(v, h)`
+    /// if `p`, `(h, v)` otherwise, compiled without branches.
+    fn cswap(p: bool, h: Self, v: Self) -> (Self, Self);
+}
+
+macro_rules! impl_strand_ix {
+    ($t:ty) => {
+        impl StrandIx for $t {
+            #[inline(always)]
+            fn from_usize(x: usize) -> Self {
+                debug_assert!(x <= <$t>::MAX as usize);
+                x as $t
+            }
+            #[inline(always)]
+            fn to_u32(self) -> u32 {
+                self as u32
+            }
+            #[inline(always)]
+            fn cswap(p: bool, h: Self, v: Self) -> (Self, Self) {
+                let p = p as $t;
+                // p ∈ {0,1}: p − 1 is all-ones iff p = 0, −p all-ones iff p = 1
+                let keep = p.wrapping_sub(1);
+                let take = p.wrapping_neg();
+                ((h & keep) | (take & v), (v & keep) | (take & h))
+            }
+        }
+    };
+}
+
+impl_strand_ix!(u16);
+impl_strand_ix!(u32);
+
+/// Geometry of one anti-diagonal `d ∈ [0, m+n−1)`: the slice offsets of
+/// the active cells. For cell index `k` within the diagonal, the
+/// participating strands are `h_strands[h0 + k]` and `v_strands[v0 + k]`,
+/// and the characters `a_rev[h0 + k]` vs `b[v0 + k]`.
+#[inline]
+pub(crate) fn diag_ranges(m: usize, n: usize, d: usize) -> (usize, usize, usize) {
+    let j_lo = d.saturating_sub(m - 1);
+    let j_hi = (d + 1).min(n);
+    let h0 = if d < m { m - 1 - d } else { 0 };
+    (h0, j_lo, j_hi - j_lo)
+}
+
+/// Shared driver: sweep all anti-diagonals, processing each with `inloop`.
+fn sweep<T, S, F>(a: &[T], b: &[T], inloop: F) -> SemiLocalKernel
+where
+    T: Eq + Clone + Sync,
+    S: StrandIx,
+    F: Fn(&[T], &[T], &mut [S], &mut [S]),
+{
+    let m = a.len();
+    let n = b.len();
+    if m == 0 || n == 0 {
+        return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
+    }
+    let a_rev: Vec<T> = a.iter().rev().cloned().collect();
+    let mut h_strands: Vec<S> = (0..m).map(S::from_usize).collect();
+    let mut v_strands: Vec<S> = (m..m + n).map(S::from_usize).collect();
+    for d in 0..(m + n - 1) {
+        let (h0, v0, len) = diag_ranges(m, n, d);
+        inloop(
+            &a_rev[h0..h0 + len],
+            &b[v0..v0 + len],
+            &mut h_strands[h0..h0 + len],
+            &mut v_strands[v0..v0 + len],
+        );
+    }
+    let h32: Vec<u32> = h_strands.iter().map(|s| s.to_u32()).collect();
+    let v32: Vec<u32> = v_strands.iter().map(|s| s.to_u32()).collect();
+    SemiLocalKernel::new(build_kernel(&h32, &v32), m, n)
+}
+
+#[inline(always)]
+fn cell_branching<T: Eq, S: StrandIx>(ac: &T, bc: &T, h: &mut S, v: &mut S) {
+    if ac == bc || *h > *v {
+        std::mem::swap(h, v);
+    }
+}
+
+#[inline(always)]
+fn cell_branchless<T: Eq, S: StrandIx>(ac: &T, bc: &T, h: &mut S, v: &mut S) {
+    let p = (ac == bc) | (*h > *v);
+    let (nh, nv) = S::cswap(p, *h, *v);
+    *h = nh;
+    *v = nv;
+}
+
+/// `semi_antidiag`: sequential anti-diagonal combing with the branching
+/// inner loop.
+pub fn antidiag_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+        for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+            cell_branching(ac, bc, h, v);
+        }
+    })
+}
+
+/// `semi_antidiag_SIMD`: sequential anti-diagonal combing with the
+/// branchless (auto-vectorizable) inner loop, 32-bit strand indices.
+pub fn antidiag_combing_branchless<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+        for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+            cell_branchless(ac, bc, h, v);
+        }
+    })
+}
+
+/// Branchless anti-diagonal combing with 16-bit strand indices — double
+/// the SIMD lanes of [`antidiag_combing_branchless`].
+///
+/// # Panics
+///
+/// Panics if `m + n > 2¹⁶` (the index space of `u16`).
+pub fn antidiag_combing_u16<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    assert!(
+        a.len() + b.len() <= 1 << 16,
+        "u16 strand indices require m + n ≤ 65536 (got {})",
+        a.len() + b.len()
+    );
+    sweep::<_, u16, _>(a, b, |ar, bs, hs, vs| {
+        for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+            cell_branchless(ac, bc, h, v);
+        }
+    })
+}
+
+/// Cells per rayon task; below this a diagonal chunk is not worth forking.
+const PAR_GRAIN: usize = 8 * 1024;
+
+/// [`par_antidiag_combing_branchless`] with an explicit rayon grain size
+/// (minimum cells per task) — the ablation knob for the per-diagonal
+/// fork/sync overhead discussed in §4.1.
+pub fn par_antidiag_combing_branchless_grain<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    grain: usize,
+) -> SemiLocalKernel {
+    let grain = grain.max(1);
+    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+        hs.par_iter_mut()
+            .with_min_len(grain)
+            .zip(vs.par_iter_mut())
+            .zip(ar.par_iter().zip(bs.par_iter()))
+            .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
+    })
+}
+
+/// Thread-parallel `semi_antidiag` (branching inner loop) on the current
+/// rayon pool, one barrier per anti-diagonal (Listing 4).
+pub fn par_antidiag_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+        hs.par_iter_mut()
+            .with_min_len(PAR_GRAIN)
+            .zip(vs.par_iter_mut())
+            .zip(ar.par_iter().zip(bs.par_iter()))
+            .for_each(|((h, v), (ac, bc))| cell_branching(ac, bc, h, v));
+    })
+}
+
+/// Thread-parallel branchless anti-diagonal combing
+/// (`semi_antidiag_SIMD`'s parallel form from Figures 7–8).
+pub fn par_antidiag_combing_branchless<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+) -> SemiLocalKernel {
+    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+        hs.par_iter_mut()
+            .with_min_len(PAR_GRAIN)
+            .zip(vs.par_iter_mut())
+            .zip(ar.par_iter().zip(bs.par_iter()))
+            .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
+    })
+}
+
+/// Thread-parallel branchless combing with 16-bit strand indices.
+///
+/// # Panics
+///
+/// Panics if `m + n > 2¹⁶`.
+pub fn par_antidiag_combing_u16<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    assert!(
+        a.len() + b.len() <= 1 << 16,
+        "u16 strand indices require m + n ≤ 65536 (got {})",
+        a.len() + b.len()
+    );
+    sweep::<_, u16, _>(a, b, |ar, bs, hs, vs| {
+        hs.par_iter_mut()
+            .with_min_len(PAR_GRAIN)
+            .zip(vs.par_iter_mut())
+            .zip(ar.par_iter().zip(bs.par_iter()))
+            .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative_combing;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xD1A6)
+    }
+
+    fn random_string(rng: &mut impl rand::Rng, len: usize, sigma: u8) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..sigma)).collect()
+    }
+
+    #[test]
+    fn diag_ranges_cover_every_cell_once() {
+        for (m, n) in [(1usize, 1usize), (3, 5), (5, 3), (4, 4), (1, 7), (7, 1)] {
+            let mut seen = vec![false; m * n];
+            for d in 0..(m + n - 1) {
+                let (h0, v0, len) = diag_ranges(m, n, d);
+                for k in 0..len {
+                    // cell (i, j): h index h0+k = m−1−i ⇒ i = m−1−(h0+k); j = v0+k
+                    let i = m - 1 - (h0 + k);
+                    let j = v0 + k;
+                    assert!(i < m && j < n, "m={m} n={n} d={d} k={k}");
+                    assert_eq!(i + j, d);
+                    assert!(!seen[i * n + j], "cell revisited");
+                    seen[i * n + j] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "m={m} n={n}: cells missed");
+        }
+    }
+
+    #[test]
+    fn all_variants_match_iterative_combing() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let m = rng.random_range(1..40);
+            let n = rng.random_range(1..40);
+            let a = random_string(&mut rng, m, 3);
+            let b = random_string(&mut rng, n, 3);
+            let want = iterative_combing(&a, &b);
+            assert_eq!(antidiag_combing(&a, &b), want, "branching a={a:?} b={b:?}");
+            assert_eq!(
+                antidiag_combing_branchless(&a, &b),
+                want,
+                "branchless a={a:?} b={b:?}"
+            );
+            assert_eq!(antidiag_combing_u16(&a, &b), want, "u16 a={a:?} b={b:?}");
+            assert_eq!(par_antidiag_combing(&a, &b), want, "par a={a:?} b={b:?}");
+            assert_eq!(
+                par_antidiag_combing_branchless(&a, &b),
+                want,
+                "par branchless a={a:?} b={b:?}"
+            );
+            assert_eq!(
+                par_antidiag_combing_u16(&a, &b),
+                want,
+                "par u16 a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let want = iterative_combing(b"abc", b"");
+        assert_eq!(antidiag_combing(b"abc", b""), want);
+        assert_eq!(antidiag_combing_branchless(b"", b"xy"), iterative_combing(b"", b"xy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "65536")]
+    fn u16_variant_rejects_oversized_inputs() {
+        let a = vec![0u8; 40_000];
+        let b = vec![1u8; 40_000];
+        antidiag_combing_u16(&a, &b);
+    }
+
+    #[test]
+    fn cswap_is_branch_free_semantics() {
+        assert_eq!(u32::cswap(true, 7, 9), (9, 7));
+        assert_eq!(u32::cswap(false, 7, 9), (7, 9));
+        assert_eq!(u16::cswap(true, 0, u16::MAX - 1), (u16::MAX - 1, 0));
+    }
+}

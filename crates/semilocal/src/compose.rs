@@ -1,0 +1,220 @@
+//! Kernel composition (Theorem 3.4): gluing the kernels of `a'` vs `b`
+//! and `a''` vs `b` into the kernel of `a'a''` vs `b` by one sticky braid
+//! multiplication.
+//!
+//! # Derivation of the gluing
+//!
+//! Stack the `a'` grid (rows `0..m'`) on top of the `a''` grid and cut
+//! along the interface. Follow each strand from its global start, through
+//! the interface, to its global end, using the suite's boundary
+//! conventions (see [`crate::kernel`]). With the intermediate coordinate
+//! `t` ordered as
+//!
+//! * `t ∈ [0, m'')` — bottom-left starts that have not met the interface,
+//! * `t ∈ [m'', m''+n)` — interface column `t − m''`,
+//! * `t ∈ [m''+n, m+n)` — strands already finished on the upper right edge,
+//!
+//! the two stages become permutations of order `m+n`:
+//!
+//! ```text
+//! G1 = I_{m''} ⊕ P_{a',b}        (identity block at the low indices)
+//! G2 = P_{a'',b} ⊕ I_{m'}        (identity block at the high indices)
+//! P_{a,b} = G1 ⊙ G2              (Demazure / distance product)
+//! ```
+//!
+//! A split of `b` reduces to this by the flip theorem (Theorem 3.5):
+//! `P_{a,b'b''} = flip( flip(P_{a,b'}) ∘glue∘ flip(P_{a,b''}) )`.
+
+use slcs_braid::BraidMulWorkspace;
+use slcs_perm::{PermIndex, Permutation};
+
+use crate::kernel::SemiLocalKernel;
+
+/// Pluggable braid-multiplication backend for composition. The paper's
+/// hybrid algorithms pass a shared [`BraidMulWorkspace`]-backed
+/// multiplier; tests pass the basic steady ant.
+pub trait BraidMultiplier {
+    /// Demazure product of two equal-order permutations.
+    fn multiply(&mut self, p: &Permutation, q: &Permutation) -> Permutation;
+}
+
+/// Backend using the paper's *combined* configuration (memory pool +
+/// precalc), reusing one workspace across calls.
+pub struct CombinedMultiplier {
+    ws: BraidMulWorkspace,
+}
+
+impl CombinedMultiplier {
+    /// Workspace sized for products of order up to `max_order`.
+    pub fn new(max_order: usize) -> Self {
+        CombinedMultiplier { ws: BraidMulWorkspace::new(max_order) }
+    }
+}
+
+impl BraidMultiplier for CombinedMultiplier {
+    fn multiply(&mut self, p: &Permutation, q: &Permutation) -> Permutation {
+        if p.len() > self.ws.capacity() {
+            self.ws = BraidMulWorkspace::new(p.len().next_power_of_two());
+        }
+        self.ws.multiply(p, q, Some(slcs_braid::PrecalcTables::global()))
+    }
+}
+
+/// Backend that allocates a fresh basic steady ant per call.
+pub struct BasicMultiplier;
+
+impl BraidMultiplier for BasicMultiplier {
+    fn multiply(&mut self, p: &Permutation, q: &Permutation) -> Permutation {
+        slcs_braid::steady_ant(p, q)
+    }
+}
+
+/// Backend using the parallel steady ant with a fixed fork depth.
+pub struct ParallelMultiplier {
+    /// Number of top recursion levels to fork (Listing 5's threshold).
+    pub depth: usize,
+}
+
+impl BraidMultiplier for ParallelMultiplier {
+    fn multiply(&mut self, p: &Permutation, q: &Permutation) -> Permutation {
+        slcs_braid::parallel_steady_ant(p, q, self.depth)
+    }
+}
+
+/// Glues `P_{a',b}` (as `top`) and `P_{a'',b}` (as `bottom`) into
+/// `P_{a'a'', b}` — a split of the **first** string.
+///
+/// # Panics
+///
+/// Panics if `top.n() != bottom.n()`.
+pub fn compose_vertical_split(
+    top: &SemiLocalKernel,
+    bottom: &SemiLocalKernel,
+    mul: &mut impl BraidMultiplier,
+) -> SemiLocalKernel {
+    let n = top.n();
+    assert_eq!(n, bottom.n(), "composition requires a common second string");
+    let m1 = top.m();
+    let m2 = bottom.m();
+    let order = m1 + m2 + n;
+
+    // G1 = I_{m2} ⊕ K1 (identity on [0, m2), K1 shifted by m2).
+    let mut g1 = vec![0 as PermIndex; order];
+    for (s, slot) in g1.iter_mut().enumerate().take(m2) {
+        *slot = s as PermIndex;
+    }
+    for (s1, &e1) in top.permutation().forward().iter().enumerate() {
+        g1[m2 + s1] = m2 as PermIndex + e1;
+    }
+
+    // G2 = K2 ⊕ I_{m1} (K2 on [0, m2+n), identity on the top m1 indices).
+    let mut g2 = vec![0 as PermIndex; order];
+    g2[..m2 + n].copy_from_slice(bottom.permutation().forward());
+    for (t, slot) in g2.iter_mut().enumerate().skip(m2 + n) {
+        *slot = t as PermIndex;
+    }
+
+    let product = mul.multiply(
+        &Permutation::from_forward_unchecked(g1),
+        &Permutation::from_forward_unchecked(g2),
+    );
+    SemiLocalKernel::new(product, m1 + m2, n)
+}
+
+/// Glues `P_{a,b'}` (as `left`) and `P_{a,b''}` (as `right`) into
+/// `P_{a, b'b''}` — a split of the **second** string, via three flips
+/// around [`compose_vertical_split`].
+///
+/// # Panics
+///
+/// Panics if `left.m() != right.m()`.
+pub fn compose_horizontal_split(
+    left: &SemiLocalKernel,
+    right: &SemiLocalKernel,
+    mul: &mut impl BraidMultiplier,
+) -> SemiLocalKernel {
+    assert_eq!(left.m(), right.m(), "composition requires a common first string");
+    compose_vertical_split(&left.flip(), &right.flip(), mul).flip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::iterative_combing;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xC0DE)
+    }
+
+    fn random_string(rng: &mut impl rand::Rng, len: usize, sigma: u8) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..sigma)).collect()
+    }
+
+    #[test]
+    fn vertical_split_matches_direct_combing() {
+        let mut rng = rng();
+        for _ in 0..30 {
+            let m1 = rng.random_range(0..12);
+            let m2 = rng.random_range(0..12);
+            let n = rng.random_range(0..12);
+            let a1 = random_string(&mut rng, m1, 3);
+            let a2 = random_string(&mut rng, m2, 3);
+            let b = random_string(&mut rng, n, 3);
+            let top = iterative_combing(&a1, &b);
+            let bottom = iterative_combing(&a2, &b);
+            let composed = compose_vertical_split(&top, &bottom, &mut BasicMultiplier);
+            let a: Vec<u8> = a1.iter().chain(&a2).copied().collect();
+            let direct = iterative_combing(&a, &b);
+            assert_eq!(composed, direct, "a1={a1:?} a2={a2:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn horizontal_split_matches_direct_combing() {
+        let mut rng = rng();
+        for _ in 0..30 {
+            let m = rng.random_range(0..12);
+            let n1 = rng.random_range(0..12);
+            let n2 = rng.random_range(0..12);
+            let a = random_string(&mut rng, m, 3);
+            let b1 = random_string(&mut rng, n1, 3);
+            let b2 = random_string(&mut rng, n2, 3);
+            let left = iterative_combing(&a, &b1);
+            let right = iterative_combing(&a, &b2);
+            let composed = compose_horizontal_split(&left, &right, &mut BasicMultiplier);
+            let b: Vec<u8> = b1.iter().chain(&b2).copied().collect();
+            let direct = iterative_combing(&a, &b);
+            assert_eq!(composed, direct, "a={a:?} b1={b1:?} b2={b2:?}");
+        }
+    }
+
+    #[test]
+    fn all_multiplier_backends_agree() {
+        let mut rng = rng();
+        let a1 = random_string(&mut rng, 40, 4);
+        let a2 = random_string(&mut rng, 30, 4);
+        let b = random_string(&mut rng, 50, 4);
+        let top = iterative_combing(&a1, &b);
+        let bottom = iterative_combing(&a2, &b);
+        let basic = compose_vertical_split(&top, &bottom, &mut BasicMultiplier);
+        let combined =
+            compose_vertical_split(&top, &bottom, &mut CombinedMultiplier::new(128));
+        let parallel =
+            compose_vertical_split(&top, &bottom, &mut ParallelMultiplier { depth: 2 });
+        assert_eq!(basic, combined);
+        assert_eq!(basic, parallel);
+    }
+
+    #[test]
+    fn composing_with_empty_piece_is_identity_like() {
+        let a = b"abcab";
+        let b = b"bca";
+        let whole = iterative_combing(a, b);
+        let empty = iterative_combing(b"", b.as_slice());
+        let glued = compose_vertical_split(&empty, &whole, &mut BasicMultiplier);
+        assert_eq!(glued, whole);
+        let glued = compose_vertical_split(&whole, &empty, &mut BasicMultiplier);
+        assert_eq!(glued, whole);
+    }
+}

@@ -1,0 +1,217 @@
+//! Semi-local **edit distance** via the blow-up reduction to semi-local
+//! LCS.
+//!
+//! Approximate matching by edit distance is the classical form of
+//! semi-local comparison (Sellers 1980; Landau–Vishkin 1989 — §2 of the
+//! paper). It reduces to semi-local LCS by *blowing up* both strings:
+//! every character `c` becomes the two-character block `($, c)` where `$`
+//! is a joker matching only other jokers. Writing `â`, `b̂` for the
+//! blown-up strings (lengths `2m`, `2n`),
+//!
+//! ```text
+//! dist(a, b) = m + n − LCS(â, b̂)
+//! ```
+//!
+//! with unit costs for substitution, insertion and deletion. The identity
+//! localises: a window `b[i..j)` corresponds to the window
+//! `b̂[2i..2j)`, so **one comb of the blown-up strings answers the edit
+//! distance of `a` against every substring of `b`** — the semi-local
+//! edit-distance problem.
+//!
+//! Intuition: a joker-joker match contributes min(|x|,|y|) "free" matches
+//! that meter the alignment slots; each real match adds 1 on top, and
+//! expanding the count shows the LCS of the blow-ups equals
+//! `m + n − d(a, b)`. The unit tests pin the identity against the
+//! Wagner–Fischer edit-distance DP on random inputs and every window.
+
+use crate::antidiag::antidiag_combing_branchless;
+use crate::kernel::SemiLocalScores;
+
+/// Blown-up character: the joker `$` or a real character.
+///
+/// `Option<T>` with `None` as the joker has exactly the right `Eq`:
+/// jokers match jokers, real characters match equal real characters.
+type Blown<T> = Option<T>;
+
+/// Blows up a string: `c ↦ ($, c)`.
+fn blow_up<T: Clone>(s: &[T]) -> Vec<Blown<T>> {
+    let mut out = Vec::with_capacity(2 * s.len());
+    for c in s {
+        out.push(None);
+        out.push(Some(c.clone()));
+    }
+    out
+}
+
+/// Semi-local edit distances of `a` against every substring of `b`,
+/// backed by one semi-local LCS kernel of the blown-up strings.
+///
+/// # Examples
+///
+/// ```
+/// use slcs_semilocal::edit::EditDistances;
+///
+/// let d = EditDistances::new(b"kitten", b"a sitting kitten");
+/// assert_eq!(d.distance(10, 16), 0);        // exact occurrence
+/// assert_eq!(d.distance(2, 9), 3);          // "sitting"
+/// let best = d.best_window(6);
+/// assert_eq!((best.0, best.1), (10, 16));
+/// ```
+pub struct EditDistances {
+    scores: SemiLocalScores,
+    m: usize,
+    n: usize,
+}
+
+impl EditDistances {
+    /// Combs the blown-up strings — `O(4mn)` cell updates, O(m+n)
+    /// memory — and builds the query index.
+    pub fn new<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> Self {
+        let kernel = antidiag_combing_branchless(&blow_up(a), &blow_up(b));
+        EditDistances { scores: kernel.index(), m: a.len(), n: b.len() }
+    }
+
+    /// Length of the pattern `a`.
+    pub fn pattern_len(&self) -> usize {
+        self.m
+    }
+
+    /// Length of the text `b`.
+    pub fn text_len(&self) -> usize {
+        self.n
+    }
+
+    /// Unit-cost edit distance `dist(a, b[i..j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > j` or `j > n`.
+    pub fn distance(&self, i: usize, j: usize) -> usize {
+        assert!(i <= j && j <= self.n, "invalid window [{i}, {j})");
+        let lcs = self.scores.string_substring(2 * i, 2 * j);
+        self.m + (j - i) - lcs
+    }
+
+    /// `dist(a, b)` for the whole text.
+    pub fn global(&self) -> usize {
+        self.distance(0, self.n)
+    }
+
+    /// Edit distances of `a` against every window of length `w`, O(n).
+    pub fn window_distances(&self, w: usize) -> Vec<usize> {
+        assert!(w <= self.n, "window longer than b");
+        // windows of b̂ of length 2w at even offsets = every other entry
+        // of the blown-up linear sweep
+        self.scores
+            .windows_linear(2 * w)
+            .into_iter()
+            .step_by(2)
+            .map(|lcs| self.m + w - lcs)
+            .collect()
+    }
+
+    /// The closest window of length `w`: `(start, end, distance)`.
+    pub fn best_window(&self, w: usize) -> (usize, usize, usize) {
+        let (start, dist) = self
+            .window_distances(w)
+            .into_iter()
+            .enumerate()
+            .min_by_key(|&(_, d)| d)
+            .expect("at least one window");
+        (start, start + w, dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::lcs_dp;
+    use rand::{RngExt, SeedableRng};
+
+    fn edit_dp<T: Eq>(a: &[T], b: &[T]) -> usize {
+        let n = b.len();
+        let mut prev: Vec<u32> = (0..=n as u32).collect();
+        let mut cur = vec![0u32; n + 1];
+        for (i, ac) in a.iter().enumerate() {
+            cur[0] = i as u32 + 1;
+            for (j, bc) in b.iter().enumerate() {
+                let sub = prev[j] + u32::from(ac != bc);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n] as usize
+    }
+
+    #[test]
+    fn blow_up_identity_on_global_distance() {
+        let a = b"kitten";
+        let b = b"sitting";
+        // the classical reduction, checked directly
+        let lcs = lcs_dp(&blow_up(a), &blow_up(b));
+        assert_eq!(a.len() + b.len() - lcs, edit_dp(a, b));
+        assert_eq!(edit_dp(a, b), 3);
+    }
+
+    #[test]
+    fn global_distance_matches_dp_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xED17);
+        for _ in 0..25 {
+            let m = rng.random_range(0..25);
+            let n = rng.random_range(0..25);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..4)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..4)).collect();
+            let d = EditDistances::new(&a, &b);
+            assert_eq!(d.global(), edit_dp(&a, &b), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn every_window_matches_dp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xED18);
+        for _ in 0..8 {
+            let m = rng.random_range(1..12);
+            let n = rng.random_range(1..14);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..3)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..3)).collect();
+            let d = EditDistances::new(&a, &b);
+            for i in 0..=n {
+                for j in i..=n {
+                    assert_eq!(
+                        d.distance(i, j),
+                        edit_dp(&a, &b[i..j]),
+                        "window [{i},{j}) a={a:?} b={b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_sweep_matches_pointwise() {
+        let a = b"acgtt";
+        let b = b"ttacgataccgtt";
+        let d = EditDistances::new(a, b);
+        for w in 1..=b.len() {
+            let sweep = d.window_distances(w);
+            assert_eq!(sweep.len(), b.len() - w + 1);
+            for (i, &dist) in sweep.iter().enumerate() {
+                assert_eq!(dist, d.distance(i, i + w), "w={w} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_occurrence_has_distance_zero() {
+        let d = EditDistances::new(b"abc", b"xxabcxx");
+        assert_eq!(d.distance(2, 5), 0);
+        assert_eq!(d.best_window(3), (2, 5, 0));
+    }
+
+    #[test]
+    fn empty_pattern_distance_is_window_length() {
+        let d = EditDistances::new(b"", b"abcd");
+        assert_eq!(d.distance(1, 3), 2);
+        assert_eq!(d.global(), 4);
+    }
+}

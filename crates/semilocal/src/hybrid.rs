@@ -1,0 +1,357 @@
+//! Hybrid combing: recursive decomposition on top, iterative combing at
+//! the leaves (Listings 6 and 7 of the paper).
+//!
+//! * [`hybrid_combing`] / [`hybrid_combing_depth`] — Listing 6: follow the
+//!   recursive-combing structure down to a threshold, then switch to
+//!   (branchless) iterative combing. The depth flavor is the knob swept in
+//!   Figure 6: depth 0 is pure iterative combing; each extra level doubles
+//!   the number of independent subproblems at the cost of extra braid
+//!   multiplications.
+//! * [`par_hybrid_combing_depth`] — the coarse-grained parallel form
+//!   (§4.2.2): the outer recursion forks subproblems onto the rayon pool
+//!   and composes with the parallel steady ant.
+//! * [`grid_hybrid_combing`] — Listing 7 (`semi_hybrid_iterative`): the
+//!   outer recursion is flattened into an explicit `m_outer × n_outer`
+//!   grid of sub-combs (sized so every sub-grid fits 16-bit strand
+//!   indices), followed by a balanced tree reduction that always merges
+//!   along the longest side of the current sub-grids.
+
+use rayon::prelude::*;
+
+use crate::antidiag::{antidiag_combing_branchless, antidiag_combing_u16, par_antidiag_combing_branchless};
+use crate::compose::{
+    compose_horizontal_split, compose_vertical_split, BraidMultiplier, CombinedMultiplier,
+    ParallelMultiplier,
+};
+use crate::kernel::SemiLocalKernel;
+use crate::recursive::{base_kernel, recursive_combing_with};
+
+/// Listing 6 with the paper's size threshold: subproblems with
+/// `a.len + b.len ≤ threshold` are combed iteratively (branchless
+/// anti-diagonal order); larger ones are split and composed.
+pub fn hybrid_combing<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    threshold: usize,
+) -> SemiLocalKernel {
+    let order = (a.len() + b.len()).max(2);
+    let mut mul = CombinedMultiplier::new(order);
+    recursive_combing_with(a, b, &mut mul, &|a, b| {
+        if a.len() + b.len() <= threshold {
+            Some(antidiag_combing_branchless(a, b))
+        } else {
+            base_kernel(a, b)
+        }
+    })
+}
+
+/// Listing 6 parameterized by recursion **depth** instead of size — the
+/// exact knob of Figure 6. `depth = 0` is pure iterative combing;
+/// `depth = d` produces up to `2^d` independent leaf combs.
+pub fn hybrid_combing_depth<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    depth: usize,
+) -> SemiLocalKernel {
+    let order = (a.len() + b.len()).max(2);
+    let mut mul = CombinedMultiplier::new(order);
+    hybrid_depth_rec(a, b, depth, &mut mul, false)
+}
+
+/// Coarse-grained parallel Listing 6: the two subproblems of each split
+/// run as rayon tasks, leaves use the thread-parallel branchless comb,
+/// and composition uses the parallel steady ant with `mul_depth` fork
+/// levels.
+pub fn par_hybrid_combing_depth<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    depth: usize,
+    mul_depth: usize,
+) -> SemiLocalKernel {
+    par_hybrid_depth_rec(a, b, depth, mul_depth)
+}
+
+fn hybrid_depth_rec<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    depth: usize,
+    mul: &mut impl BraidMultiplier,
+    parallel_leaf: bool,
+) -> SemiLocalKernel {
+    if let Some(k) = base_kernel(a, b) {
+        return k;
+    }
+    if depth == 0 {
+        return if parallel_leaf {
+            par_antidiag_combing_branchless(a, b)
+        } else {
+            antidiag_combing_branchless(a, b)
+        };
+    }
+    if a.len() < b.len() {
+        let (b_left, b_right) = b.split_at(b.len() / 2);
+        let l = hybrid_depth_rec(a, b_left, depth - 1, mul, parallel_leaf);
+        let r = hybrid_depth_rec(a, b_right, depth - 1, mul, parallel_leaf);
+        compose_horizontal_split(&l, &r, mul)
+    } else {
+        let (a_left, a_right) = a.split_at(a.len() / 2);
+        let l = hybrid_depth_rec(a_left, b, depth - 1, mul, parallel_leaf);
+        let r = hybrid_depth_rec(a_right, b, depth - 1, mul, parallel_leaf);
+        compose_vertical_split(&l, &r, mul)
+    }
+}
+
+fn par_hybrid_depth_rec<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    depth: usize,
+    mul_depth: usize,
+) -> SemiLocalKernel {
+    if let Some(k) = base_kernel(a, b) {
+        return k;
+    }
+    if depth == 0 {
+        return par_antidiag_combing_branchless(a, b);
+    }
+    let mut mul = ParallelMultiplier { depth: mul_depth };
+    if a.len() < b.len() {
+        let (b_left, b_right) = b.split_at(b.len() / 2);
+        let (l, r) = rayon::join(
+            || par_hybrid_depth_rec(a, b_left, depth - 1, mul_depth),
+            || par_hybrid_depth_rec(a, b_right, depth - 1, mul_depth),
+        );
+        compose_horizontal_split(&l, &r, &mut mul)
+    } else {
+        let (a_left, a_right) = a.split_at(a.len() / 2);
+        let (l, r) = rayon::join(
+            || par_hybrid_depth_rec(a_left, b, depth - 1, mul_depth),
+            || par_hybrid_depth_rec(a_right, b, depth - 1, mul_depth),
+        );
+        compose_vertical_split(&l, &r, &mut mul)
+    }
+}
+
+/// Splits `len` items into `parts` nearly-equal contiguous ranges.
+fn partition(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let sz = base + usize::from(p < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// Picks the outer grid `(m_outer, n_outer)` for Listing 7: enough
+/// sub-grids to occupy `tasks` workers, each sub-grid small enough for
+/// 16-bit strand indices, splitting the longer side first so sub-grids
+/// stay roughly balanced.
+fn optimal_split(m: usize, n: usize, tasks: usize) -> (usize, usize) {
+    let m_cap = m.max(1);
+    let n_cap = n.max(1);
+    let mut mo = 1usize;
+    let mut no = 1usize;
+    let strands = |mo: usize, no: usize| m.div_ceil(mo) + n.div_ceil(no);
+    while (mo * no < tasks || strands(mo, no) > 1 << 16) && (mo < m_cap || no < n_cap) {
+        // double along the dimension with the longer blocks
+        let prefer_m = m.div_ceil(mo) >= n.div_ceil(no);
+        if (prefer_m && mo < m_cap) || no >= n_cap {
+            mo = (mo * 2).min(m_cap);
+        } else {
+            no = (no * 2).min(n_cap);
+        }
+    }
+    (mo, no)
+}
+
+/// Listing 7 (`semi_hybrid_iterative`): flattened outer recursion with an
+/// explicit sub-grid array, 16-bit strand indices inside every sub-comb,
+/// and a longest-side-first balanced tree reduction.
+///
+/// `tasks` controls the number of sub-grids (usually the rayon pool
+/// size); all sub-combs and all compositions within one reduction step
+/// run in parallel on the current pool.
+pub fn grid_hybrid_combing<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    tasks: usize,
+) -> SemiLocalKernel {
+    if let Some(k) = base_kernel(a, b) {
+        return k;
+    }
+    let (m_outer, n_outer) = optimal_split(a.len(), b.len(), tasks);
+    let a_blocks = partition(a.len(), m_outer);
+    let b_blocks = partition(b.len(), n_outer);
+
+    // Phase 1: comb every sub-grid independently (parallel taskloop).
+    let mut grid: Vec<SemiLocalKernel> = (0..m_outer * n_outer)
+        .into_par_iter()
+        .map(|idx| {
+            let (i, j) = (idx / n_outer, idx % n_outer);
+            let ab = &a[a_blocks[i].clone()];
+            let bb = &b[b_blocks[j].clone()];
+            antidiag_combing_u16(ab, bb)
+        })
+        .collect();
+
+    // Phase 2: tree reduction, always merging along the longest sub-grid
+    // side (the paper's balance heuristic).
+    let mut rows = m_outer;
+    let mut cols = n_outer;
+    let mut m_inner = a.len().div_ceil(m_outer);
+    let mut n_inner = b.len().div_ceil(n_outer);
+    while rows > 1 || cols > 1 {
+        let row_reduction = if rows > 1 && cols > 1 {
+            m_inner >= n_inner // merge along the longer axis
+        } else {
+            cols > 1
+        };
+        if row_reduction {
+            // compose horizontally adjacent sub-grids (common vertical side)
+            let new_cols = cols.div_ceil(2);
+            grid = (0..rows * new_cols)
+                .into_par_iter()
+                .map(|idx| {
+                    let (i, j) = (idx / new_cols, idx % new_cols);
+                    let left = &grid[i * cols + 2 * j];
+                    if 2 * j + 1 < cols {
+                        let right = &grid[i * cols + 2 * j + 1];
+                        let mut mul =
+                            CombinedMultiplier::new(left.m() + left.n() + right.n());
+                        compose_horizontal_split(left, right, &mut mul)
+                    } else {
+                        left.clone()
+                    }
+                })
+                .collect();
+            cols = new_cols;
+            n_inner *= 2;
+        } else {
+            let new_rows = rows.div_ceil(2);
+            grid = (0..new_rows * cols)
+                .into_par_iter()
+                .map(|idx| {
+                    let (i, j) = (idx / cols, idx % cols);
+                    let top = &grid[(2 * i) * cols + j];
+                    if 2 * i + 1 < rows {
+                        let bottom = &grid[(2 * i + 1) * cols + j];
+                        let mut mul =
+                            CombinedMultiplier::new(top.m() + bottom.m() + top.n());
+                        compose_vertical_split(top, bottom, &mut mul)
+                    } else {
+                        top.clone()
+                    }
+                })
+                .collect();
+            rows = new_rows;
+            m_inner *= 2;
+        }
+    }
+    let result = grid.into_iter().next().expect("reduction leaves one kernel");
+    debug_assert_eq!(result.m(), a.len());
+    debug_assert_eq!(result.n(), b.len());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative_combing;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x4B1D)
+    }
+
+    fn random_string(rng: &mut impl rand::Rng, len: usize, sigma: u8) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..sigma)).collect()
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        for (len, parts) in [(10usize, 3usize), (7, 7), (5, 8), (0, 3), (100, 1)] {
+            let ranges = partition(len, parts);
+            assert_eq!(ranges.len(), parts.max(1));
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos);
+                pos = r.end;
+            }
+            assert_eq!(pos, len);
+        }
+    }
+
+    #[test]
+    fn optimal_split_respects_u16_budget() {
+        let (mo, no) = optimal_split(100_000, 100_000, 4);
+        assert!(100_000usize.div_ceil(mo) + 100_000usize.div_ceil(no) <= 1 << 16);
+        assert!(mo * no >= 4);
+    }
+
+    #[test]
+    fn hybrid_size_threshold_matches_iterative() {
+        let mut rng = rng();
+        for threshold in [0usize, 4, 16, 64, 1024] {
+            let a = random_string(&mut rng, 60, 3);
+            let b = random_string(&mut rng, 45, 3);
+            assert_eq!(
+                hybrid_combing(&a, &b, threshold),
+                iterative_combing(&a, &b),
+                "threshold={threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_depth_matches_iterative() {
+        let mut rng = rng();
+        for depth in 0..=5usize {
+            let m = rng.random_range(1..80);
+            let n = rng.random_range(1..80);
+            let a = random_string(&mut rng, m, 4);
+            let b = random_string(&mut rng, n, 4);
+            assert_eq!(
+                hybrid_combing_depth(&a, &b, depth),
+                iterative_combing(&a, &b),
+                "depth={depth} m={m} n={n}"
+            );
+            assert_eq!(
+                par_hybrid_combing_depth(&a, &b, depth, 2),
+                iterative_combing(&a, &b),
+                "par depth={depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_hybrid_matches_iterative() {
+        let mut rng = rng();
+        for tasks in [1usize, 2, 4, 7, 16] {
+            let m = rng.random_range(1..100);
+            let n = rng.random_range(1..100);
+            let a = random_string(&mut rng, m, 3);
+            let b = random_string(&mut rng, n, 3);
+            assert_eq!(
+                grid_hybrid_combing(&a, &b, tasks),
+                iterative_combing(&a, &b),
+                "tasks={tasks} m={m} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_hybrid_handles_degenerate_shapes() {
+        assert_eq!(
+            grid_hybrid_combing(b"a", b"aaaaaaaaaa", 8),
+            iterative_combing(b"a", b"aaaaaaaaaa")
+        );
+        assert_eq!(
+            grid_hybrid_combing(b"abcabcabc", b"c", 8),
+            iterative_combing(b"abcabcabc", b"c")
+        );
+    }
+}

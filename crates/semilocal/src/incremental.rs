@@ -1,0 +1,141 @@
+//! Incremental semi-local comparison: extending either string updates the
+//! kernel by **composition** instead of recombing from scratch.
+//!
+//! This is Theorem 3.4 put to work as an online API: appending a block
+//! `a''` to `a` composes the current kernel with the kernel of
+//! `(a'', b)` — O(|a''|·n) comb plus one O(N log N) braid
+//! multiplication, against O(|a|·n) for a full recomb. Appending to `b`
+//! goes through the flip theorem. Useful for streaming comparisons
+//! (growing logs, sequence assembly) where semi-local scores are queried
+//! between extensions.
+
+use crate::compose::{compose_horizontal_split, compose_vertical_split, CombinedMultiplier};
+use crate::iterative::iterative_combing;
+use crate::kernel::SemiLocalKernel;
+use crate::recursive::base_kernel;
+
+/// A semi-local kernel maintained under appends to either string.
+///
+/// # Examples
+///
+/// ```
+/// use slcs_semilocal::incremental::IncrementalKernel;
+/// use slcs_semilocal::iterative_combing;
+///
+/// let mut inc = IncrementalKernel::new(b"ab".to_vec(), b"ba".to_vec());
+/// inc.append_a(b"ba");
+/// inc.append_b(b"ab");
+/// assert_eq!(inc.kernel(), &iterative_combing(b"abba", b"baab"));
+/// ```
+pub struct IncrementalKernel<T: Eq + Clone + Sync> {
+    a: Vec<T>,
+    b: Vec<T>,
+    kernel: SemiLocalKernel,
+    mul: CombinedMultiplier,
+}
+
+impl<T: Eq + Clone + Sync> IncrementalKernel<T> {
+    /// Builds the initial kernel by a full comb.
+    pub fn new(a: Vec<T>, b: Vec<T>) -> Self {
+        let kernel = iterative_combing(&a, &b);
+        let mul = CombinedMultiplier::new((a.len() + b.len()).max(2));
+        IncrementalKernel { a, b, kernel, mul }
+    }
+
+    /// Current first string.
+    pub fn a(&self) -> &[T] {
+        &self.a
+    }
+
+    /// Current second string.
+    pub fn b(&self) -> &[T] {
+        &self.b
+    }
+
+    /// The kernel of the current pair.
+    pub fn kernel(&self) -> &SemiLocalKernel {
+        &self.kernel
+    }
+
+    /// Appends a block to `a`: combs `(suffix, b)` and composes below the
+    /// existing kernel.
+    pub fn append_a(&mut self, suffix: &[T]) {
+        if suffix.is_empty() {
+            return;
+        }
+        let bottom = if let Some(k) = base_kernel(suffix, &self.b) {
+            k
+        } else {
+            iterative_combing(suffix, &self.b)
+        };
+        self.kernel = compose_vertical_split(&self.kernel, &bottom, &mut self.mul);
+        self.a.extend_from_slice(suffix);
+    }
+
+    /// Appends a block to `b`: combs `(a, suffix)` and composes to the
+    /// right of the existing kernel (via the flip theorem internally).
+    pub fn append_b(&mut self, suffix: &[T]) {
+        if suffix.is_empty() {
+            return;
+        }
+        let right = if let Some(k) = base_kernel(&self.a, suffix) {
+            k
+        } else {
+            iterative_combing(&self.a, suffix)
+        };
+        self.kernel = compose_horizontal_split(&self.kernel, &right, &mut self.mul);
+        self.b.extend_from_slice(suffix);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x1C)
+    }
+
+    #[test]
+    fn appending_blocks_matches_full_recomb() {
+        let mut rng = rng();
+        let mut inc = IncrementalKernel::new(Vec::<u8>::new(), Vec::<u8>::new());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for step in 0..12 {
+            let block: Vec<u8> =
+                (0..rng.random_range(0..6)).map(|_| rng.random_range(0..3)).collect();
+            if step % 2 == 0 {
+                inc.append_a(&block);
+                a.extend_from_slice(&block);
+            } else {
+                inc.append_b(&block);
+                b.extend_from_slice(&block);
+            }
+            assert_eq!(inc.kernel(), &iterative_combing(&a, &b), "step {step}");
+            assert_eq!(inc.a(), a.as_slice());
+            assert_eq!(inc.b(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn char_by_char_streaming() {
+        let text = b"semilocal";
+        let mut inc = IncrementalKernel::new(b"semi".to_vec(), Vec::new());
+        for &c in text {
+            inc.append_b(&[c]);
+        }
+        assert_eq!(inc.kernel(), &iterative_combing(b"semi", text));
+        assert_eq!(inc.kernel().lcs(), 4);
+    }
+
+    #[test]
+    fn empty_appends_are_noops() {
+        let mut inc = IncrementalKernel::new(b"xy".to_vec(), b"yx".to_vec());
+        let before = inc.kernel().clone();
+        inc.append_a(&[]);
+        inc.append_b(&[]);
+        assert_eq!(inc.kernel(), &before);
+    }
+}

@@ -1,0 +1,227 @@
+//! Iterative combing (Listing 1 of the paper; the paper's `semi_rowmajor`).
+//!
+//! The sticky braid of the comparison is combed cell by cell in row-major
+//! order: at each grid cell the strand entering from the left and the
+//! strand entering from the top cross if and only if the cell is a
+//! mismatch **and** they have not crossed before. Strand identifiers are
+//! assigned so that "have crossed before" reduces to a single comparison
+//! (`h_strand > v_strand`), giving an O(mn) time, O(m+n) memory algorithm.
+//!
+//! This is the **defining implementation** of the suite's kernel
+//! conventions: every other combing algorithm is tested to produce the
+//! identical permutation.
+
+use slcs_perm::Permutation;
+
+use crate::kernel::SemiLocalKernel;
+
+/// Sequential iterative combing, row-major order. O(mn).
+///
+/// # Examples
+///
+/// ```
+/// use slcs_semilocal::iterative_combing;
+///
+/// let k = iterative_combing(b"baabab", b"abaa");
+/// let scores = k.index();
+/// assert_eq!(scores.lcs(), 3);                    // LCS("baabab", "abaa")
+/// assert_eq!(scores.string_substring(1, 4), 3);   // vs "baa"
+/// ```
+pub fn iterative_combing<T: Eq>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    let m = a.len();
+    let n = b.len();
+    let mut h_strands: Vec<u32> = (0..m as u32).collect();
+    let mut v_strands: Vec<u32> = (m as u32..(m + n) as u32).collect();
+
+    comb_rowmajor(a, b, &mut h_strands, &mut v_strands);
+
+    SemiLocalKernel::new(build_kernel(&h_strands, &v_strands), m, n)
+}
+
+/// The braid-combing phase on existing strand arrays (phase 2 of
+/// Listing 1). Exposed within the crate so the block-structured algorithms
+/// (hybrid, Listing 7) can comb sub-grids in place.
+pub(crate) fn comb_rowmajor<T: Eq>(
+    a: &[T],
+    b: &[T],
+    h_strands: &mut [u32],
+    v_strands: &mut [u32],
+) {
+    let m = a.len();
+    debug_assert_eq!(h_strands.len(), m);
+    debug_assert_eq!(v_strands.len(), b.len());
+    for (i, ac) in a.iter().enumerate() {
+        let h_index = m - 1 - i;
+        // Carry the horizontal strand through the row in a register.
+        let mut h = h_strands[h_index];
+        for (v, bc) in v_strands.iter_mut().zip(b) {
+            if ac == bc || h > *v {
+                std::mem::swap(&mut h, v);
+            }
+        }
+        h_strands[h_index] = h;
+    }
+}
+
+/// Phase 3 of Listing 1: map strand identifiers to their end positions
+/// (bottom edge `0..n`, then right edge `n..n+m`).
+pub(crate) fn build_kernel(h_strands: &[u32], v_strands: &[u32]) -> Permutation {
+    let m = h_strands.len();
+    let n = v_strands.len();
+    let mut forward = vec![0u32; m + n];
+    for (l, &s) in h_strands.iter().enumerate() {
+        forward[s as usize] = (n + l) as u32;
+    }
+    for (r, &s) in v_strands.iter().enumerate() {
+        forward[s as usize] = r as u32;
+    }
+    Permutation::from_forward_unchecked(forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{lcs_dp, BruteHMatrix};
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x17E2)
+    }
+
+    fn random_string(rng: &mut impl rand::Rng, len: usize, sigma: u8) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..sigma)).collect()
+    }
+
+    #[test]
+    fn empty_inputs_give_identity_kernels() {
+        let k = iterative_combing::<u8>(&[], &[]);
+        assert_eq!(k.permutation().len(), 0);
+        assert_eq!(k.lcs(), 0);
+
+        let k = iterative_combing(b"abc", b"");
+        assert_eq!(k.permutation(), &Permutation::identity(3));
+        assert_eq!(k.lcs(), 0);
+
+        let k = iterative_combing(b"", b"xy");
+        assert_eq!(k.permutation(), &Permutation::identity(2));
+        assert_eq!(k.lcs(), 0);
+    }
+
+    #[test]
+    fn single_char_kernels_match_listing_3_bases() {
+        // Listing 3: a match yields the identity kernel, a mismatch the
+        // zero kernel (the order-2 reversal).
+        let k = iterative_combing(b"x", b"x");
+        assert_eq!(k.permutation(), &Permutation::identity(2));
+        let k = iterative_combing(b"x", b"y");
+        assert_eq!(k.permutation(), &Permutation::reversal(2));
+    }
+
+    #[test]
+    fn global_lcs_matches_dp_random() {
+        let mut rng = rng();
+        for sigma in [2u8, 4, 26] {
+            for _ in 0..14 {
+                let m = rng.random_range(0..30);
+                let n = rng.random_range(0..30);
+                let a = random_string(&mut rng, m, sigma);
+                let b = random_string(&mut rng, n, sigma);
+                let k = iterative_combing(&a, &b);
+                assert_eq!(k.lcs(), lcs_dp(&a, &b), "σ={sigma} a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_h_matrix_matches_brute_force() {
+        let mut rng = rng();
+        for sigma in [2u8, 3, 8] {
+            for _ in 0..8 {
+                let m = rng.random_range(1..14);
+                let n = rng.random_range(1..14);
+                let a = random_string(&mut rng, m, sigma);
+                let b = random_string(&mut rng, n, sigma);
+                let brute = BruteHMatrix::new(&a, &b);
+                let scores = iterative_combing(&a, &b).index();
+                for i in 0..=(m + n) {
+                    for j in 0..=(m + n) {
+                        assert_eq!(
+                            scores.h(i, j),
+                            brute.get(i, j),
+                            "H[{i},{j}] a={a:?} b={b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_quadrant_queries_match_plain_dp() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let m = rng.random_range(1..12);
+            let n = rng.random_range(1..12);
+            let a = random_string(&mut rng, m, 3);
+            let b = random_string(&mut rng, n, 3);
+            let scores = iterative_combing(&a, &b).index();
+            for i in 0..=n {
+                for j in i..=n {
+                    assert_eq!(
+                        scores.string_substring(i, j),
+                        lcs_dp(&a, &b[i..j]),
+                        "string-substring [{i},{j}) a={a:?} b={b:?}"
+                    );
+                }
+            }
+            for k in 0..=m {
+                for l in k..=m {
+                    assert_eq!(
+                        scores.substring_string(k, l),
+                        lcs_dp(&a[k..l], &b),
+                        "substring-string [{k},{l}) a={a:?} b={b:?}"
+                    );
+                }
+            }
+            for l in 0..=m {
+                for i in 0..=n {
+                    assert_eq!(
+                        scores.prefix_suffix(l, i),
+                        lcs_dp(&a[..l], &b[i..]),
+                        "prefix-suffix l={l} i={i} a={a:?} b={b:?}"
+                    );
+                }
+            }
+            for k in 0..=m {
+                for j in 0..=n {
+                    assert_eq!(
+                        scores.suffix_prefix(k, j),
+                        lcs_dp(&a[k..], &b[..j]),
+                        "suffix-prefix k={k} j={j} a={a:?} b={b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_sweep_matches_manual_queries() {
+        let a = b"gattaca";
+        let b = b"tacatacagat";
+        let scores = iterative_combing(a, b).index();
+        let w = 4;
+        let windows = scores.windows(w);
+        assert_eq!(windows.len(), b.len() - w + 1);
+        for (i, &score) in windows.iter().enumerate() {
+            assert_eq!(score, lcs_dp(a, &b[i..i + w]));
+        }
+    }
+
+    #[test]
+    fn works_with_non_byte_alphabets() {
+        let a: Vec<i64> = vec![-3, 0, 7, 7, 2];
+        let b: Vec<i64> = vec![0, 7, -3, 2, 2];
+        let k = iterative_combing(&a, &b);
+        assert_eq!(k.lcs(), lcs_dp(&a, &b));
+    }
+}

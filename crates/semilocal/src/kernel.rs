@@ -1,0 +1,378 @@
+//! The semi-local LCS kernel and its score queries.
+//!
+//! A comparison of `a` (length `m`) and `b` (length `n`) is summarised by
+//! a permutation `P_{a,b}` of `[0, m+n)` — the *kernel* — from which every
+//! semi-local score can be read off by a dominance count. This module
+//! fixes the suite-wide conventions and derives all four quadrant queries.
+//!
+//! # Conventions
+//!
+//! Strand **start** indices (kernel rows) walk the left edge bottom-to-top
+//! (`0..m`, so start `s < m` sits at grid row `m−1−s`), then the top edge
+//! left-to-right (`m..m+n`). Strand **end** indices (kernel columns) walk
+//! the bottom edge left-to-right (`0..n`), then the right edge
+//! bottom-to-top (`n..n+m`). These are exactly the conventions of
+//! Listing 1 of the paper.
+//!
+//! With the suite dominance convention
+//! `KΣ(i, j) = |{(s, e) ∈ P_{a,b} : s ≥ i, e < j}|`, the score matrix of
+//! Definition 3.3 is recovered as
+//!
+//! ```text
+//! H(i, j) = j + m − i − KΣ(i, j)
+//! ```
+//!
+//! and the four quadrants specialise to (all verified against the
+//! brute-force oracle in `reference`):
+//!
+//! ```text
+//! LCS(a, b[i..j))       = (j − i) − KΣ(m + i, j)          string-substring
+//! LCS(a[k..l), b)       = n − KΣ(m − k, m + n − l)        substring-string
+//! LCS(a[0..l), b[i..n)) = (n − i) − KΣ(m + i, n + m − l)  prefix-suffix
+//! LCS(a[k..m), b[0..j)) = j − KΣ(m − k, j)                suffix-prefix
+//! ```
+
+use slcs_perm::{MergeSortTree, Permutation};
+
+/// The semi-local LCS kernel `P_{a,b}`: the reduced sticky braid of a
+/// comparison, stored as a permutation of `[0, m+n)` mapping strand starts
+/// to strand ends.
+///
+/// Construction is via the combing algorithms in this crate
+/// (e.g. [`crate::iterative_combing`]); queries that are asked repeatedly
+/// should go through [`SemiLocalKernel::index`], which builds an
+/// `O(log² N)`-per-query range-counting structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemiLocalKernel {
+    kernel: Permutation,
+    m: usize,
+    n: usize,
+}
+
+impl SemiLocalKernel {
+    /// Wraps a raw kernel permutation. `kernel.len()` must equal `m + n`.
+    pub fn new(kernel: Permutation, m: usize, n: usize) -> Self {
+        assert_eq!(kernel.len(), m + n, "kernel order must be m + n");
+        SemiLocalKernel { kernel, m, n }
+    }
+
+    /// Length of `a`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Length of `b`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying permutation.
+    pub fn permutation(&self) -> &Permutation {
+        &self.kernel
+    }
+
+    /// Consumes the wrapper, returning the permutation.
+    pub fn into_permutation(self) -> Permutation {
+        self.kernel
+    }
+
+    /// The kernel of the flipped comparison `P_{b,a}` (Theorem 3.5):
+    /// a 180° rotation of the permutation matrix.
+    pub fn flip(&self) -> SemiLocalKernel {
+        SemiLocalKernel { kernel: self.kernel.rotate180(), m: self.n, n: self.m }
+    }
+
+    /// Builds the query index (one-off `O(N log N)` cost). The returned
+    /// handle is self-contained and can outlive the kernel.
+    pub fn index(&self) -> SemiLocalScores {
+        SemiLocalScores {
+            m: self.m,
+            n: self.n,
+            tree: MergeSortTree::new(&self.kernel),
+            forward: self.kernel.forward().to_vec(),
+            inverse: self.kernel.inverse_slice().to_vec(),
+        }
+    }
+
+    /// Global LCS score `LCS(a, b)`, by a linear scan.
+    pub fn lcs(&self) -> usize {
+        // LCS(a, b) = n − KΣ(m, n)
+        self.n - self.kernel.dominance_sum_scan(self.m, self.n)
+    }
+}
+
+/// Query handle built from a [`SemiLocalKernel`], answering every
+/// semi-local score in `O(log² (m+n))`.
+pub struct SemiLocalScores {
+    m: usize,
+    n: usize,
+    tree: MergeSortTree,
+    /// Kernel forward map (start → end), for O(1) incremental traversals.
+    forward: Vec<u32>,
+    /// Kernel inverse map (end → start).
+    inverse: Vec<u32>,
+}
+
+impl SemiLocalScores {
+    /// Length of `a`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Length of `b`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `KΣ(i, j)` — dominance sum over the kernel.
+    #[inline]
+    pub fn dominance(&self, i: usize, j: usize) -> usize {
+        self.tree.dominance_sum(i, j)
+    }
+
+    /// `H(i, j)` of Definition 3.3, for `i, j ∈ [0, m+n]`. Negative for
+    /// inverted windows (`i > j + m`), exactly as in the paper.
+    pub fn h(&self, i: usize, j: usize) -> i64 {
+        let m = self.m as i64;
+        j as i64 + m - i as i64 - self.dominance(i, j) as i64
+    }
+
+    /// `LCS(a, b)`.
+    pub fn lcs(&self) -> usize {
+        self.string_substring(0, self.n)
+    }
+
+    /// **string-substring**: `LCS(a, b[i..j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > j` or `j > n`.
+    pub fn string_substring(&self, i: usize, j: usize) -> usize {
+        let (m, n) = (self.m, self.n);
+        assert!(i <= j && j <= n, "invalid substring [{i}, {j}) of b (n = {n})");
+        (j - i) - self.dominance(m + i, j)
+    }
+
+    /// **substring-string**: `LCS(a[k..l), b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > l` or `l > m`.
+    pub fn substring_string(&self, k: usize, l: usize) -> usize {
+        let (m, n) = (self.m, self.n);
+        assert!(k <= l && l <= m, "invalid substring [{k}, {l}) of a (m = {m})");
+        n - self.dominance(m - k, m + n - l)
+    }
+
+    /// **prefix-suffix**: `LCS(a[0..l), b[i..n))` — every prefix of `a`
+    /// against every suffix of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > m` or `i > n`.
+    pub fn prefix_suffix(&self, l: usize, i: usize) -> usize {
+        let (m, n) = (self.m, self.n);
+        assert!(l <= m && i <= n, "invalid prefix/suffix (l = {l}, i = {i})");
+        (n - i) - self.dominance(m + i, n + m - l)
+    }
+
+    /// **suffix-prefix**: `LCS(a[k..m), b[0..j))` — every suffix of `a`
+    /// against every prefix of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > m` or `j > n`.
+    pub fn suffix_prefix(&self, k: usize, j: usize) -> usize {
+        let (m, n) = (self.m, self.n);
+        assert!(k <= m && j <= n, "invalid suffix/prefix (k = {k}, j = {j})");
+        j - self.dominance(m - k, j)
+    }
+
+    /// All string-substring scores for fixed window length `w`:
+    /// `out[i] = LCS(a, b[i..i+w))`, for `i in 0..=n-w`. A convenience for
+    /// approximate-matching sweeps; `O((n − w) log² N)`. For long sweeps
+    /// prefer [`Self::windows_linear`].
+    pub fn windows(&self, w: usize) -> Vec<usize> {
+        let n = self.n;
+        assert!(w <= n, "window longer than b");
+        (0..=n - w).map(|i| self.string_substring(i, i + w)).collect()
+    }
+
+    /// As [`Self::windows`] but in O(N) total, by sliding the dominance
+    /// count along the window diagonal: removing start row `m+i` drops
+    /// one nonzero iff its end lands left of the window, and extending
+    /// the window admits one iff that end's start is inside.
+    pub fn windows_linear(&self, w: usize) -> Vec<usize> {
+        let (m, n) = (self.m, self.n);
+        assert!(w <= n, "window longer than b");
+        let mut out = Vec::with_capacity(n - w + 1);
+        // S(i) = KΣ(m+i, i+w); S(0) via one tree query, then O(1) steps.
+        let mut s = self.dominance(m, w) as i64;
+        out.push((w as i64 - s) as usize);
+        for i in 0..(n - w) {
+            s -= i64::from((self.forward[m + i] as usize) < i + w);
+            s += i64::from((self.inverse[i + w] as usize) > m + i);
+            out.push((w as i64 - s) as usize);
+        }
+        out
+    }
+
+    /// As [`Self::windows_linear`] but rayon-parallel: the sweep is cut
+    /// into chunks, each seeded by one tree query and slid linearly.
+    /// Worth it for texts of millions of characters.
+    pub fn par_windows(&self, w: usize) -> Vec<usize> {
+        use rayon::prelude::*;
+        let (m, n) = (self.m, self.n);
+        assert!(w <= n, "window longer than b");
+        let total = n - w + 1;
+        const CHUNK: usize = 64 * 1024;
+        (0..total)
+            .into_par_iter()
+            .step_by(CHUNK)
+            .flat_map_iter(|chunk_start| {
+                let chunk_len = CHUNK.min(total - chunk_start);
+                let mut s = self.dominance(m + chunk_start, chunk_start + w) as i64;
+                let mut out = Vec::with_capacity(chunk_len);
+                out.push((w as i64 - s) as usize);
+                for i in chunk_start..(chunk_start + chunk_len - 1) {
+                    s -= i64::from((self.forward[m + i] as usize) < i + w);
+                    s += i64::from((self.inverse[i + w] as usize) >= m + i + 1);
+                    out.push((w as i64 - s) as usize);
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// One full row of `H` — `out[j] = H(i, j)` for `j ∈ [0, m+n]` — in
+    /// O(N) time, exploiting the unit steps of dominance sums:
+    /// `H(i, j+1) = H(i, j) + 1 − [kernel⁻¹(j) ≥ i]`.
+    pub fn h_row(&self, i: usize) -> Vec<i64> {
+        let size = self.m + self.n + 1;
+        assert!(i < size, "row index out of range");
+        let mut out = Vec::with_capacity(size);
+        let mut h = self.m as i64 - i as i64; // H(i, 0): KΣ(i, 0) = 0
+        out.push(h);
+        for j in 0..(self.m + self.n) {
+            h += 1 - i64::from((self.inverse[j] as usize) >= i);
+            out.push(h);
+        }
+        out
+    }
+
+    /// For every window end `j ∈ [1, n]`, the best string-substring score
+    /// over all window starts, with the longest such window:
+    /// `out[j-1] = (max_i LCS(a, b[i..j)), argmax i)`, preferring smaller
+    /// `i` (longer windows) on ties. O(n²) worst case but O(n) per row —
+    /// used by approximate matching with variable-length windows.
+    pub fn best_start_per_end(&self) -> Vec<(usize, usize)> {
+        let (m, n) = (self.m, self.n);
+        (1..=n)
+            .map(|j| {
+                // LCS(a, b[i..j)) = (j − i) − KΣ(m+i, j); sweep i upward,
+                // updating the dominance count in O(1) per step.
+                let mut s = self.dominance(m, j) as i64;
+                let mut best = ((j as i64) - s, 0usize);
+                for i in 0..j {
+                    s -= i64::from((self.forward[m + i] as usize) < j);
+                    let score = (j - (i + 1)) as i64 - s;
+                    if score > best.0 {
+                        best = (score, i + 1);
+                    }
+                }
+                (best.0 as usize, best.1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Score correctness is tested end-to-end in `iterative.rs` and the
+    // integration tests (kernels produced by combing vs the brute-force
+    // oracle); here we only exercise the wrapper plumbing.
+
+    #[test]
+    #[should_panic(expected = "kernel order")]
+    fn rejects_wrong_order() {
+        SemiLocalKernel::new(Permutation::identity(5), 2, 2);
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let k = SemiLocalKernel::new(Permutation::reversal(7), 3, 4);
+        let back = k.flip().flip();
+        assert_eq!(back, k);
+        assert_eq!(k.flip().m(), 4);
+        assert_eq!(k.flip().n(), 3);
+    }
+
+    #[test]
+    fn windows_linear_equals_windows() {
+        use crate::iterative::iterative_combing;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x717);
+        for _ in 0..10 {
+            let m = rng.random_range(1..30);
+            let n = rng.random_range(1..30);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..3)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..3)).collect();
+            let scores = iterative_combing(&a, &b).index();
+            for w in [1usize, n / 2, n] {
+                if w == 0 || w > n {
+                    continue;
+                }
+                assert_eq!(
+                    scores.windows_linear(w),
+                    scores.windows(w),
+                    "w={w} a={a:?} b={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_windows_equals_windows() {
+        use crate::iterative::iterative_combing;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9A7);
+        let a: Vec<u8> = (0..80).map(|_| rng.random_range(0..3)).collect();
+        let b: Vec<u8> = (0..500).map(|_| rng.random_range(0..3)).collect();
+        let scores = iterative_combing(&a, &b).index();
+        for w in [1usize, 37, 80, 499, 500] {
+            assert_eq!(scores.par_windows(w), scores.windows_linear(w), "w={w}");
+        }
+    }
+
+    #[test]
+    fn h_row_equals_pointwise_h() {
+        use crate::iterative::iterative_combing;
+        let a = b"bcaba";
+        let b = b"abcbab";
+        let scores = iterative_combing(a, b).index();
+        let size = a.len() + b.len();
+        for i in 0..=size {
+            let row = scores.h_row(i);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, scores.h(i, j), "H[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn best_start_per_end_is_argmax() {
+        use crate::iterative::iterative_combing;
+        use crate::reference::lcs_dp;
+        let a = b"acgtac";
+        let b = b"ttacgtaa";
+        let scores = iterative_combing(a, b).index();
+        for (jm1, &(best, at)) in scores.best_start_per_end().iter().enumerate() {
+            let j = jm1 + 1;
+            let brute = (0..j).map(|i| lcs_dp(a, &b[i..j])).max().unwrap();
+            assert_eq!(best, brute, "end {j}");
+            assert_eq!(best, lcs_dp(a, &b[at..j]), "witness start for end {j}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Recursive combing (Listing 3 of the paper): divide-and-conquer over
+//! the LCS grid, composing sub-kernels by sticky braid multiplication.
+//!
+//! The recursion halves the longer string; a split of `a` composes
+//! directly (Theorem 3.4), a split of `b` recurses on the swapped problem
+//! `(b_half, a)` and flips the composed result back (Theorem 3.5), exactly
+//! as in the listing. Total work is O(mn log(m+n) / …) — asymptotically
+//! dominated by the leaf combs, with log-linear composition overhead —
+//! and the algorithm exists mainly as the skeleton for its parallel and
+//! hybrid descendants.
+
+use crate::compose::{compose_vertical_split, BraidMultiplier, CombinedMultiplier};
+use crate::kernel::SemiLocalKernel;
+use slcs_perm::Permutation;
+
+/// Recursive combing down to single-character cells (Listing 3).
+///
+/// # Examples
+///
+/// ```
+/// use slcs_semilocal::{iterative_combing, recursive_combing};
+///
+/// let a = b"dynamic";
+/// let b = b"programming";
+/// assert_eq!(recursive_combing(a, b), iterative_combing(a, b));
+/// ```
+pub fn recursive_combing<T: Eq>(a: &[T], b: &[T]) -> SemiLocalKernel {
+    let mut mul = CombinedMultiplier::new((a.len() + b.len()).max(2));
+    recursive_combing_with(a, b, &mut mul, &|a, b| base_kernel(a, b))
+}
+
+/// Recursive combing with a custom multiplier and leaf solver.
+///
+/// The recursion bottoms out when `leaf` returns `Some` — the default
+/// leaf handles only trivial cases (empty strings and 1×1 grids, the
+/// bases of Listing 3); the hybrid algorithm (Listing 6) supplies a leaf
+/// that switches to iterative combing below a size threshold.
+pub fn recursive_combing_with<T: Eq>(
+    a: &[T],
+    b: &[T],
+    mul: &mut impl BraidMultiplier,
+    leaf: &impl Fn(&[T], &[T]) -> Option<SemiLocalKernel>,
+) -> SemiLocalKernel {
+    if let Some(k) = leaf(a, b) {
+        return k;
+    }
+    if a.len() < b.len() {
+        // Split b; recurse on the swapped problem and flip back.
+        let (b_left, b_right) = b.split_at(b.len() / 2);
+        let l = recursive_combing_with(b_left, a, mul, leaf);
+        let r = recursive_combing_with(b_right, a, mul, leaf);
+        compose_vertical_split(&l, &r, mul).flip()
+    } else {
+        let (a_left, a_right) = a.split_at(a.len() / 2);
+        let l = recursive_combing_with(a_left, b, mul, leaf);
+        let r = recursive_combing_with(a_right, b, mul, leaf);
+        compose_vertical_split(&l, &r, mul)
+    }
+}
+
+/// The bases of Listing 3, extended to empty strings: an empty grid has
+/// the identity kernel; a 1×1 match cell the identity kernel of order 2;
+/// a 1×1 mismatch cell the zero kernel (order-2 reversal).
+pub(crate) fn base_kernel<T: Eq>(a: &[T], b: &[T]) -> Option<SemiLocalKernel> {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return Some(SemiLocalKernel::new(Permutation::identity(m + n), m, n));
+    }
+    if m == 1 && n == 1 {
+        let kernel = if a[0] == b[0] {
+            Permutation::identity(2)
+        } else {
+            Permutation::reversal(2)
+        };
+        return Some(SemiLocalKernel::new(kernel, 1, 1));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::iterative_combing;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x2EC)
+    }
+
+    fn random_string(rng: &mut impl rand::Rng, len: usize, sigma: u8) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..sigma)).collect()
+    }
+
+    #[test]
+    fn matches_iterative_on_random_inputs() {
+        let mut rng = rng();
+        for _ in 0..25 {
+            let m = rng.random_range(0..24);
+            let n = rng.random_range(0..24);
+            let a = random_string(&mut rng, m, 3);
+            let b = random_string(&mut rng, n, 3);
+            assert_eq!(
+                recursive_combing(&a, &b),
+                iterative_combing(&a, &b),
+                "a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_iterative_on_extreme_shapes() {
+        let mut rng = rng();
+        // very lopsided grids exercise both split directions
+        for (m, n) in [(1usize, 40usize), (40, 1), (2, 33), (33, 2), (64, 64)] {
+            let a = random_string(&mut rng, m, 2);
+            let b = random_string(&mut rng, n, 2);
+            assert_eq!(recursive_combing(&a, &b), iterative_combing(&a, &b));
+        }
+    }
+
+    #[test]
+    fn identical_strings_give_identity_like_lcs() {
+        let a = b"mississippi";
+        let k = recursive_combing(a, a);
+        assert_eq!(k.lcs(), a.len());
+    }
+}

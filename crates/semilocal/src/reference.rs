@@ -1,0 +1,193 @@
+//! Brute-force reference for the semi-local LCS problem, straight from
+//! Definition 3.3 of the paper: `H[i,j] = LCS(a, b^pad[i : j+m))` where
+//! `b^pad = ?^m b ?^m` and `?` is a wildcard matching any character.
+//!
+//! Cubic-to-quartic time, quadratic memory — strictly an oracle for tests
+//! and tiny inputs. Every kernel-based score query in this crate is
+//! validated against it.
+
+/// Dense `(m+n+1) × (m+n+1)` semi-local score matrix, computed by dynamic
+/// programming over the padded string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BruteHMatrix {
+    m: usize,
+    n: usize,
+    /// Row-major, stride `m + n + 1`. Entries below the main
+    /// anti-diagonal are negative (`j + m - i` for inverted windows).
+    h: Vec<i32>,
+}
+
+impl BruteHMatrix {
+    /// Computes the full matrix in `O(m (m+n)²)` time.
+    pub fn new<T: Eq>(a: &[T], b: &[T]) -> Self {
+        let m = a.len();
+        let n = b.len();
+        let size = m + n + 1;
+        let mut h = vec![0i32; size * size];
+        // b^pad[t] is a wildcard iff t < m or t >= m + n; otherwise b[t - m].
+        let is_match = |ai: usize, t: usize| -> bool { t < m || t >= m + n || a[ai] == b[t - m] };
+        // For each window start i, one DP sweep over b^pad[i..] computes
+        // LCS(a, b^pad[i : k)) for every window end k — i.e. H[i][j] for
+        // every j with j + m = k.
+        let mut prev = vec![0u32; m + 1];
+        let mut cur = vec![0u32; m + 1];
+        for i in 0..size {
+            // row i of H: windows [i, j + m) for j in [0, m + n];
+            // non-empty requires j + m > i.
+            prev.fill(0);
+            // empty or inverted windows: H[i, j] = j + m - i for j + m <= i
+            for j in 0..size {
+                if j + m <= i {
+                    h[i * size + j] = (j + m) as i32 - i as i32;
+                }
+            }
+            if i < m {
+                // window [i, i) is empty: LCS = 0 — but H is indexed by j,
+                // j + m = i ⇒ j = i - m < 0; the first in-range j is 0 with
+                // window [i, m): handled by the sweep below.
+            }
+            // sweep window end t = i+1 ..= m+n+m, tracking the DP column.
+            let mut j_written = if i >= m { i - m } else { usize::MAX };
+            if i >= m {
+                h[i * size + (i - m)] = 0; // empty window
+            }
+            for t in i..(size + m - 1) {
+                if t >= m + n + m {
+                    break;
+                }
+                // extend the DP by character b^pad[t]
+                cur[0] = 0;
+                for ai in 0..m {
+                    let up = prev[ai + 1];
+                    let left = cur[ai];
+                    let diag = prev[ai];
+                    cur[ai + 1] = if is_match(ai, t) {
+                        (diag + 1).max(up).max(left)
+                    } else {
+                        up.max(left)
+                    };
+                }
+                std::mem::swap(&mut prev, &mut cur);
+                // window [i, t+1) corresponds to j = t + 1 - m (if in range)
+                if t + 1 >= m {
+                    let j = t + 1 - m;
+                    if j < size {
+                        h[i * size + j] = prev[m] as i32;
+                        j_written = j;
+                    }
+                }
+            }
+            let _ = j_written;
+        }
+        BruteHMatrix { m, n, h }
+    }
+
+    /// Lengths of the input strings.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// `H[i, j]` per Definition 3.3. Negative for inverted windows
+    /// (`i > j + m`), as in the paper.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        let size = self.m + self.n + 1;
+        debug_assert!(i < size && j < size);
+        self.h[i * size + j] as i64
+    }
+}
+
+/// Plain Wagner–Fischer LCS score, the simplest possible oracle.
+pub fn lcs_dp<T: Eq>(a: &[T], b: &[T]) -> usize {
+    let n = b.len();
+    let mut prev = vec![0u32; n + 1];
+    let mut cur = vec![0u32; n + 1];
+    for ai in a {
+        cur[0] = 0;
+        for (j, bj) in b.iter().enumerate() {
+            cur[j + 1] = if ai == bj {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_dp_basics() {
+        assert_eq!(lcs_dp(b"abcde", b"ace"), 3);
+        assert_eq!(lcs_dp(b"", b"abc"), 0);
+        assert_eq!(lcs_dp(b"abc", b""), 0);
+        assert_eq!(lcs_dp(b"abc", b"abc"), 3);
+        assert_eq!(lcs_dp(b"abc", b"xyz"), 0);
+        assert_eq!(lcs_dp(b"xmjyauz", b"mzjawxu"), 4);
+    }
+
+    #[test]
+    fn h_matrix_interior_equals_plain_lcs_of_window() {
+        let a = b"bacab";
+        let b = b"abcabc";
+        let (m, n) = (a.len(), b.len());
+        let h = BruteHMatrix::new(a, b);
+        // string-substring quadrant: window fully inside b:
+        // H[m + i, j] with window [m+i, j+m) ∩ pad-free ⇔ i ≤ j ≤ n
+        for i in 0..=n {
+            for j in i..=n {
+                assert_eq!(
+                    h.get(m + i, j),
+                    lcs_dp(a, &b[i..j]) as i64,
+                    "window b[{i}..{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn h_matrix_boundary_rows() {
+        let a = b"xyz";
+        let b = b"yxzw";
+        let (m, n) = (a.len(), b.len());
+        let h = BruteHMatrix::new(a, b);
+        // H[0, j] = m: the m leading wildcards already match all of a.
+        for j in 0..=(m + n) {
+            assert_eq!(h.get(0, j), m as i64, "H[0,{j}]");
+        }
+        // Inverted windows: H[i, j] = j + m - i when i ≥ j + m.
+        for i in 0..=(m + n) {
+            for j in 0..=(m + n) {
+                if i >= j + m {
+                    assert_eq!(h.get(i, j), (j + m) as i64 - i as i64, "inverted H[{i},{j}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn h_matrix_unit_steps() {
+        // Adjacent H entries differ by 0 or 1 along rows, and by 0 or -1
+        // down columns (a window extension changes the LCS by at most one).
+        let a = b"abca";
+        let b = b"cabcb";
+        let size = a.len() + b.len() + 1;
+        let h = BruteHMatrix::new(a, b);
+        for i in 0..size {
+            for j in 1..size {
+                let d = h.get(i, j) - h.get(i, j - 1);
+                assert!((0..=1).contains(&d), "row step H[{i},{}]→H[{i},{j}]", j - 1);
+            }
+        }
+        for j in 0..size {
+            for i in 1..size {
+                let d = h.get(i, j) - h.get(i - 1, j);
+                assert!((-1..=0).contains(&d), "col step");
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Explicit SIMD anti-diagonal combing (x86-64).
+//!
+//! The paper's `semi_antidiag_SIMD` is hand-written AVX2: eight 32-bit
+//! strand lanes per instruction, branch-free blends. This module is that
+//! implementation — plus the paper's **future-work AVX-512 variant**
+//! (§6): the combing inner loop expressed as *masked pairwise
+//! minimum/maximum*, which AVX-512 provides natively:
+//!
+//! ```text
+//! mismatch lanes:  h' = min(h, v), v' = max(h, v)   (swap iff h > v)
+//! match lanes:     h' = v,         v' = h           (always swap)
+//! ```
+//!
+//! Characters are `u32` here (use [`slcs_datagen::synthetic`]'s helpers or
+//! any dense re-encoding); strand indices must stay below `i32::MAX`
+//! (asserted), which permits signed lane compares on AVX2.
+//!
+//! Everything is runtime-detected: [`antidiag_combing_simd`] dispatches
+//! AVX-512 → AVX2 → the portable branchless loop, and always produces the
+//! identical kernel (cross-tested).
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+use crate::antidiag::{antidiag_combing_branchless, diag_ranges};
+use crate::iterative::build_kernel;
+use crate::kernel::SemiLocalKernel;
+
+/// Which SIMD path [`antidiag_combing_simd`] will take on this machine.
+pub fn simd_support() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return "avx512";
+        }
+        if is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+    }
+    "scalar"
+}
+
+/// Anti-diagonal combing with explicit SIMD, dispatching on the running
+/// CPU (AVX-512 masked min/max → AVX2 blends → portable branchless).
+///
+/// # Panics
+///
+/// Panics if `m + n ≥ i32::MAX` (lane compares are signed).
+pub fn antidiag_combing_simd(a: &[u32], b: &[u32]) -> SemiLocalKernel {
+    assert!(
+        a.len() + b.len() < i32::MAX as usize,
+        "SIMD combing requires m + n < 2³¹"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature checked above.
+            return unsafe { comb_dispatch(a, b, Isa::Avx512) };
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: feature checked above.
+            return unsafe { comb_dispatch(a, b, Isa::Avx2) };
+        }
+    }
+    antidiag_combing_branchless(a, b)
+}
+
+/// Forces the AVX2 path (for benchmarking the two ISAs against each
+/// other); falls back to scalar if AVX2 is unavailable.
+pub fn antidiag_combing_avx2(a: &[u32], b: &[u32]) -> SemiLocalKernel {
+    assert!(a.len() + b.len() < i32::MAX as usize);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return unsafe { comb_dispatch(a, b, Isa::Avx2) };
+        }
+    }
+    antidiag_combing_branchless(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy, PartialEq)]
+enum Isa {
+    Avx2,
+    Avx512,
+}
+
+/// Sweeps the grid in anti-diagonals, processing each with the selected
+/// ISA kernel plus a scalar tail.
+///
+/// # Safety
+///
+/// The caller must have verified the corresponding CPU feature.
+#[cfg(target_arch = "x86_64")]
+unsafe fn comb_dispatch(a: &[u32], b: &[u32], isa: Isa) -> SemiLocalKernel {
+    let m = a.len();
+    let n = b.len();
+    if m == 0 || n == 0 {
+        return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
+    }
+    let a_rev: Vec<u32> = a.iter().rev().copied().collect();
+    let mut h_strands: Vec<u32> = (0..m as u32).collect();
+    let mut v_strands: Vec<u32> = (m as u32..(m + n) as u32).collect();
+    for d in 0..(m + n - 1) {
+        let (h0, v0, len) = diag_ranges(m, n, d);
+        let (ar, bs) = (&a_rev[h0..h0 + len], &b[v0..v0 + len]);
+        let (hs, vs) = (&mut h_strands[h0..h0 + len], &mut v_strands[v0..v0 + len]);
+        match isa {
+            Isa::Avx2 => unsafe { diag_avx2(ar, bs, hs, vs) },
+            Isa::Avx512 => unsafe { diag_avx512(ar, bs, hs, vs) },
+        }
+    }
+    SemiLocalKernel::new(build_kernel(&h_strands, &v_strands), m, n)
+}
+
+/// One diagonal with AVX2: 8 lanes of `u32`, blend-based conditional swap.
+///
+/// # Safety
+///
+/// Requires AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn diag_avx2(ar: &[u32], bs: &[u32], hs: &mut [u32], vs: &mut [u32]) {
+    let len = ar.len();
+    let lanes = 8usize;
+    let mut k = 0usize;
+    unsafe {
+        while k + lanes <= len {
+            let h = _mm256_loadu_si256(hs.as_ptr().add(k).cast());
+            let v = _mm256_loadu_si256(vs.as_ptr().add(k).cast());
+            let ac = _mm256_loadu_si256(ar.as_ptr().add(k).cast());
+            let bc = _mm256_loadu_si256(bs.as_ptr().add(k).cast());
+            let meq = _mm256_cmpeq_epi32(ac, bc);
+            // strand ids < 2³¹, so the signed compare is exact
+            let mgt = _mm256_cmpgt_epi32(h, v);
+            let p = _mm256_or_si256(meq, mgt);
+            let nh = _mm256_blendv_epi8(h, v, p);
+            let nv = _mm256_blendv_epi8(v, h, p);
+            _mm256_storeu_si256(hs.as_mut_ptr().add(k).cast(), nh);
+            _mm256_storeu_si256(vs.as_mut_ptr().add(k).cast(), nv);
+            k += lanes;
+        }
+    }
+    scalar_tail(&ar[k..], &bs[k..], &mut hs[k..], &mut vs[k..]);
+}
+
+/// One diagonal with AVX-512F: 16 lanes, the paper's masked min/max form.
+///
+/// # Safety
+///
+/// Requires AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn diag_avx512(ar: &[u32], bs: &[u32], hs: &mut [u32], vs: &mut [u32]) {
+    let len = ar.len();
+    let lanes = 16usize;
+    let mut k = 0usize;
+    unsafe {
+        while k + lanes <= len {
+            let h = _mm512_loadu_si512(hs.as_ptr().add(k).cast());
+            let v = _mm512_loadu_si512(vs.as_ptr().add(k).cast());
+            let ac = _mm512_loadu_si512(ar.as_ptr().add(k).cast());
+            let bc = _mm512_loadu_si512(bs.as_ptr().add(k).cast());
+            let meq = _mm512_cmpeq_epu32_mask(ac, bc);
+            // mismatch lanes sort the pair; match lanes swap outright:
+            // h' = meq ? v : min(h, v);  v' = meq ? h : max(h, v)
+            let hmin = _mm512_min_epu32(h, v);
+            let hmax = _mm512_max_epu32(h, v);
+            let nh = _mm512_mask_blend_epi32(meq, hmin, v);
+            let nv = _mm512_mask_blend_epi32(meq, hmax, h);
+            _mm512_storeu_si512(hs.as_mut_ptr().add(k).cast(), nh);
+            _mm512_storeu_si512(vs.as_mut_ptr().add(k).cast(), nv);
+            k += lanes;
+        }
+    }
+    scalar_tail(&ar[k..], &bs[k..], &mut hs[k..], &mut vs[k..]);
+}
+
+fn scalar_tail(ar: &[u32], bs: &[u32], hs: &mut [u32], vs: &mut [u32]) {
+    for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+        if ac == bc || *h > *v {
+            std::mem::swap(h, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative_combing;
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x51D)
+    }
+
+    #[test]
+    fn simd_matches_scalar_on_random_inputs() {
+        let mut rng = rng();
+        println!("simd path: {}", simd_support());
+        for _ in 0..20 {
+            let m = rng.random_range(1..200);
+            let n = rng.random_range(1..200);
+            let a: Vec<u32> = (0..m).map(|_| rng.random_range(0..5)).collect();
+            let b: Vec<u32> = (0..n).map(|_| rng.random_range(0..5)).collect();
+            let want = iterative_combing(&a, &b);
+            assert_eq!(antidiag_combing_simd(&a, &b), want, "m={m} n={n}");
+            assert_eq!(antidiag_combing_avx2(&a, &b), want, "avx2 m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn simd_handles_lane_boundary_lengths() {
+        let mut rng = rng();
+        for len in [7usize, 8, 9, 15, 16, 17, 31, 32, 33, 64] {
+            let a: Vec<u32> = (0..len).map(|_| rng.random_range(0..3)).collect();
+            let b: Vec<u32> = (0..len).map(|_| rng.random_range(0..3)).collect();
+            assert_eq!(
+                antidiag_combing_simd(&a, &b),
+                iterative_combing(&a, &b),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_empty_and_degenerate() {
+        assert_eq!(
+            antidiag_combing_simd(&[], &[1, 2]),
+            iterative_combing::<u32>(&[], &[1, 2])
+        );
+        assert_eq!(
+            antidiag_combing_simd(&[1], &[1]),
+            iterative_combing::<u32>(&[1], &[1])
+        );
+    }
+
+    #[test]
+    fn support_reports_a_known_isa() {
+        assert!(["avx512", "avx2", "scalar"].contains(&simd_support()));
+    }
+}

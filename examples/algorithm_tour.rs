@@ -1,0 +1,89 @@
+//! A tour of every algorithm in the suite on one workload, with timings —
+//! a miniature of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release --example algorithm_tour [length]
+//! ```
+
+use std::time::Instant;
+
+use semilocal_suite::baselines::{cipr_lcs, hyyro_lcs, par_prefix_antidiag};
+use semilocal_suite::bitpar::{bit_lcs_new1, bit_lcs_old};
+use semilocal_suite::datagen::binary_string;
+use semilocal_suite::prelude::*;
+use semilocal_suite::semilocal::{
+    antidiag_combing, antidiag_combing_simd, antidiag_combing_u16, load_balanced_combing,
+    simd_support, SemiLocalKernel,
+};
+
+fn time<R>(label: &str, f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let t = Instant::now();
+    let r = f();
+    let d = t.elapsed();
+    println!("  {label:<28} {d:>12.3?}");
+    (r, d)
+}
+
+fn main() {
+    let len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let mut rng = seeded_rng(99);
+    let sigma_strings: Vec<Vec<i64>> =
+        (0..2).map(|_| normal_string(&mut rng, len, 1.0)).collect();
+    let (a, b) = (&sigma_strings[0], &sigma_strings[1]);
+
+    println!("== semi-local combing algorithms (σ=1 strings, n = {len}) ==");
+    let (reference, _) = time("iterative (rowmajor)", || iterative_combing(a, b));
+    let checks: Vec<(&str, SemiLocalKernel)> = vec![
+        ("antidiag (branching)", time("antidiag (branching)", || antidiag_combing(a, b)).0),
+        ("antidiag (branchless)", time("antidiag (branchless)", || antidiag_combing_branchless(a, b)).0),
+        ("antidiag (u16)", time("antidiag (u16)", || antidiag_combing_u16(a, b)).0),
+        ("load-balanced", time("load-balanced", || load_balanced_combing(a, b)).0),
+        ("recursive", time("recursive", || recursive_combing(a, b)).0),
+        ("hybrid (threshold 2048)", time("hybrid (threshold 2048)", || hybrid_combing(a, b, 2048)).0),
+        ("grid hybrid (4 tasks)", time("grid hybrid (4 tasks)", || grid_hybrid_combing(a, b, 4)).0),
+    ];
+    for (name, k) in &checks {
+        assert_eq!(k, &reference, "{name} kernel mismatch");
+    }
+    // the explicit-SIMD path takes u32 characters
+    let a32: Vec<u32> = a.iter().map(|&v| (v + (1 << 20)) as u32).collect();
+    let b32: Vec<u32> = b.iter().map(|&v| (v + (1 << 20)) as u32).collect();
+    let (k, _) = time(
+        &format!("antidiag (explicit {})", simd_support()),
+        || antidiag_combing_simd(&a32, &b32),
+    );
+    assert_eq!(k.lcs(), reference.lcs());
+    println!("  all kernels bit-identical ✓   LCS = {}", reference.lcs());
+
+    println!("\n== prefix (classical) LCS baselines ==");
+    let (want, _) = time("prefix rowmajor", || prefix_rowmajor(a, b));
+    let (got, _) = time("prefix antidiag", || prefix_antidiag(a, b));
+    assert_eq!(want, got);
+    let (got, _) = time("prefix antidiag (parallel)", || par_prefix_antidiag(a, b));
+    assert_eq!(want, got);
+    assert_eq!(want, reference.lcs());
+
+    println!("\n== bit-parallel algorithms (binary strings, n = {}) ==", 4 * len);
+    let ba = binary_string(&mut rng, 4 * len);
+    let bb = binary_string(&mut rng, 4 * len);
+    let (want, _) = time("prefix rowmajor", || prefix_rowmajor(&ba, &bb));
+    for (name, f) in [
+        ("bit_old", bit_lcs_old as fn(&[u8], &[u8]) -> usize),
+        ("bit_new_1", bit_lcs_new1),
+        ("bit_new_2", bit_lcs_new2),
+        ("CIPR (adder-based)", cipr_lcs),
+        ("Hyyro (adder-based)", hyyro_lcs),
+    ] {
+        let (got, _) = time(name, || f(&ba, &bb));
+        assert_eq!(got, want, "{name}");
+    }
+
+    println!("\n== braid multiplication ==");
+    let p = Permutation::random(1 << 20, &mut rng);
+    let q = Permutation::random(1 << 20, &mut rng);
+    let (r1, _) = time("steady ant (basic)", || steady_ant(&p, &q));
+    let (r2, _) = time("steady ant (combined)", || steady_ant_combined(&p, &q));
+    let (r3, _) = time("steady ant (parallel d=4)", || parallel_steady_ant(&p, &q, 4));
+    assert!(r1 == r2 && r2 == r3);
+    println!("  all products identical ✓");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: one semi-local comb answers every substring question.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use semilocal_suite::prelude::*;
+
+fn main() {
+    let pattern = b"GCACGT";
+    let text = b"ACGTTGCAACGTACGCACTT";
+
+    // 1. Classical LCS: one number for one pair of strings.
+    println!("pattern = {}", String::from_utf8_lossy(pattern));
+    println!("text    = {}", String::from_utf8_lossy(text));
+    println!("global LCS (Wagner-Fischer) = {}", prefix_rowmajor(pattern, text));
+
+    // 2. Semi-local LCS: the same O(mn) work yields the kernel, from
+    //    which the LCS of the pattern against EVERY window of the text
+    //    (and every prefix/suffix combination) is a single query.
+    let kernel = iterative_combing(pattern, text);
+    let scores = kernel.index();
+    assert_eq!(scores.lcs(), prefix_rowmajor(pattern, text));
+
+    println!("\npattern vs every window of length {}:", pattern.len());
+    let w = pattern.len();
+    let windows = scores.windows(w);
+    for (i, score) in windows.iter().enumerate() {
+        println!(
+            "  text[{i:2}..{:2}] = {}   LCS = {score}",
+            i + w,
+            String::from_utf8_lossy(&text[i..i + w]),
+        );
+    }
+    let best = windows.iter().enumerate().max_by_key(|&(_, s)| s).unwrap();
+    println!("best window starts at {} with score {}", best.0, best.1);
+
+    // 3. The other quadrants come for free.
+    println!("\nprefix/suffix examples:");
+    println!(
+        "  LCS(pattern[..4], text[12..])  = {}",
+        scores.prefix_suffix(4, 12)
+    );
+    println!(
+        "  LCS(pattern[2..], text[..8])   = {}",
+        scores.suffix_prefix(2, 8)
+    );
+    println!(
+        "  LCS(pattern[1..5], whole text) = {}",
+        scores.substring_string(1, 5)
+    );
+
+    // 4. Show an actual optimal subsequence for the best window.
+    let lcs = hirschberg_lcs(pattern, &text[best.0..best.0 + w]);
+    println!(
+        "\none optimal common subsequence with the best window: {}",
+        String::from_utf8_lossy(&lcs)
+    );
+}

@@ -1,0 +1,97 @@
+//! Time-series pattern analysis with semi-local string comparison — the
+//! application sketched in the paper's conclusion ("our techniques could
+//! be used for analysis of patterns in real-life data, for example, in
+//! time series data").
+//!
+//! A long noisy signal contains two instances of the same motif (with
+//! different noise, amplitude, and baseline phase). The signal is
+//! discretized SAX-style; the query is the symbolized first instance;
+//! one semi-local comb then scores the query against **every** window of
+//! the series, and the second instance surfaces as the best non-trivial
+//! peak.
+//!
+//! ```text
+//! cargo run --release --example time_series
+//! ```
+
+use semilocal_suite::prelude::*;
+
+/// Symbolize a signal into `levels` bands by value (simple SAX).
+fn symbolize(signal: &[f64], levels: u8) -> Vec<u8> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in signal {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let span = (hi - lo).max(f64::EPSILON);
+    signal
+        .iter()
+        .map(|&x| (((x - lo) / span) * levels as f64).min(levels as f64 - 1.0) as u8)
+        .collect()
+}
+
+/// Top local maxima of `scores`, at least `sep` apart, best first.
+fn peaks(scores: &[usize], sep: usize, count: usize) -> Vec<(usize, usize)> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(scores[i]));
+    let mut picked: Vec<(usize, usize)> = Vec::new();
+    for i in order {
+        if picked.iter().all(|&(p, _)| p.abs_diff(i) >= sep) {
+            picked.push((i, scores[i]));
+            if picked.len() == count {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+fn main() {
+    // Baseline sine + drift + noise, with the same motif buried at two
+    // offsets (the second at 0.8 amplitude).
+    let motif: Vec<f64> = (0..120)
+        .map(|i| ((i as f64) / 8.0).sin() * (1.0 - (i as f64 - 60.0).abs() / 60.0) * 3.0)
+        .collect();
+    let mut rng = seeded_rng(7);
+    let mut series: Vec<f64> =
+        (0..6000).map(|i| (i as f64 / 45.0).sin() * 0.6 + i as f64 * 1e-4).collect();
+    for (offset, scale) in [(1500usize, 1.0f64), (4200, 0.8)] {
+        for (k, &m) in motif.iter().enumerate() {
+            series[offset + k] += m * scale;
+        }
+    }
+    for x in series.iter_mut() {
+        use rand::RngExt;
+        *x += rng.random_range(-0.25..0.25);
+    }
+
+    let levels = 6u8;
+    let sym = symbolize(&series, levels);
+    let w = motif.len();
+    let query = &sym[1500..1500 + w]; // symbolized first instance
+
+    // Semi-local comb of query vs series: every window scored at once.
+    let kernel = antidiag_combing_branchless(query, &sym);
+    let scores = kernel.index();
+    let windows = scores.windows(w);
+
+    println!("query length {w}, series length {}, alphabet {levels}", series.len());
+    println!("top similarity peaks (≥ {w} apart):");
+    let top = peaks(&windows, w, 5);
+    for &(at, score) in &top {
+        println!(
+            "  t = {at:5}  LCS = {score:3}/{w}  ({:.0}% similarity)",
+            100.0 * score as f64 / w as f64
+        );
+    }
+
+    assert_eq!(top[0].0.abs_diff(1500), 0, "the query matches itself exactly");
+    assert!(
+        top[1].0.abs_diff(4200) < w / 2,
+        "second motif instance not found near 4200: {top:?}"
+    );
+    println!(
+        "\nself-match at t = {} and the independent noisy instance at t = {} recovered.",
+        top[0].0, top[1].0
+    );
+}

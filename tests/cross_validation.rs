@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: every algorithm in the suite must agree
+//! with every other on shared questions, across workload classes.
+
+use semilocal_suite::baselines::{
+    cipr_lcs, hyyro_lcs, par_prefix_antidiag, prefix_antidiag, prefix_rowmajor,
+};
+use semilocal_suite::bitpar::{
+    bit_lcs_alphabet, bit_lcs_new1, bit_lcs_new2, bit_lcs_old, par_bit_lcs_new2,
+};
+use semilocal_suite::datagen::{binary_string, genome_pair, normal_string, seeded_rng};
+use semilocal_suite::semilocal::{
+    antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, grid_hybrid_combing,
+    hybrid_combing, iterative_combing, load_balanced_combing, recursive_combing,
+    SemiLocalKernel,
+};
+
+fn all_combers<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> Vec<(&'static str, SemiLocalKernel)> {
+    vec![
+        ("iterative", iterative_combing(a, b)),
+        ("recursive", recursive_combing(a, b)),
+        ("antidiag", antidiag_combing(a, b)),
+        ("antidiag_branchless", antidiag_combing_branchless(a, b)),
+        ("antidiag_u16", antidiag_combing_u16(a, b)),
+        ("load_balanced", load_balanced_combing(a, b)),
+        ("hybrid_64", hybrid_combing(a, b, 64)),
+        ("grid_hybrid_4", grid_hybrid_combing(a, b, 4)),
+    ]
+}
+
+#[test]
+fn every_comber_produces_the_same_kernel_on_sigma_strings() {
+    let mut rng = seeded_rng(0xA11);
+    for sigma in [0.5f64, 1.0, 10.0] {
+        let a = normal_string(&mut rng, 257, sigma);
+        let b = normal_string(&mut rng, 301, sigma);
+        let kernels = all_combers(&a, &b);
+        let (ref_name, reference) = &kernels[0];
+        for (name, k) in &kernels[1..] {
+            assert_eq!(k, reference, "{name} differs from {ref_name} at σ={sigma}");
+        }
+    }
+}
+
+#[test]
+fn every_comber_agrees_on_genomes() {
+    let mut rng = seeded_rng(0xA12);
+    let (x, y) = genome_pair(&mut rng, 400, 0.08);
+    let kernels = all_combers(&x, &y);
+    for w in kernels.windows(2) {
+        assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
+    }
+    // and the kernel's global LCS equals classical DP
+    assert_eq!(kernels[0].1.lcs(), prefix_rowmajor(&x, &y));
+}
+
+#[test]
+fn eleven_lcs_implementations_agree_on_binary_strings() {
+    let mut rng = seeded_rng(0xA13);
+    for len in [0usize, 1, 63, 64, 65, 130, 500] {
+        let a = binary_string(&mut rng, len);
+        let b = binary_string(&mut rng, len.saturating_sub(7));
+        let want = prefix_rowmajor(&a, &b);
+        let got: Vec<(&str, usize)> = vec![
+            ("prefix_antidiag", prefix_antidiag(&a, &b)),
+            ("par_prefix_antidiag", par_prefix_antidiag(&a, &b)),
+            ("cipr", cipr_lcs(&a, &b)),
+            ("hyyro", hyyro_lcs(&a, &b)),
+            ("bit_old", bit_lcs_old(&a, &b)),
+            ("bit_new1", bit_lcs_new1(&a, &b)),
+            ("bit_new2", bit_lcs_new2(&a, &b)),
+            ("par_bit_new2", par_bit_lcs_new2(&a, &b)),
+            ("bit_alphabet", bit_lcs_alphabet(&a, &b)),
+            ("iterative_kernel", iterative_combing(&a, &b).lcs()),
+            ("hybrid_kernel", hybrid_combing(&a, &b, 128).lcs()),
+        ];
+        for (name, v) in got {
+            assert_eq!(v, want, "{name} at len={len}");
+        }
+    }
+}
+
+#[test]
+fn semi_local_windows_match_per_window_dp_on_genomes() {
+    let mut rng = seeded_rng(0xA14);
+    let (gene, genome) = genome_pair(&mut rng, 120, 0.05);
+    let kernel = antidiag_combing_branchless(&gene, &genome);
+    let scores = kernel.index();
+    let w = 60.min(genome.len());
+    for (i, score) in scores.windows(w).into_iter().enumerate() {
+        assert_eq!(
+            score,
+            prefix_rowmajor(&gene, &genome[i..i + w]),
+            "window {i}"
+        );
+    }
+}
+
+#[test]
+fn kernel_queries_survive_flip() {
+    // flip(P_{a,b}) = P_{b,a}: querying the flipped kernel with the roles
+    // of a and b exchanged must give the same scores.
+    let mut rng = seeded_rng(0xA15);
+    let a = normal_string(&mut rng, 40, 1.0);
+    let b = normal_string(&mut rng, 55, 1.0);
+    let k_ab = iterative_combing(&a, &b);
+    let k_ba = iterative_combing(&b, &a);
+    assert_eq!(k_ab.flip(), k_ba, "flip theorem (Theorem 3.5)");
+    let s_ab = k_ab.index();
+    let s_ba = k_ba.index();
+    for i in 0..=a.len() {
+        for j in i..=a.len() {
+            assert_eq!(s_ab.substring_string(i, j), s_ba.string_substring(i, j));
+        }
+    }
+}
+
+#[test]
+fn medium_scale_smoke_all_paths() {
+    // A single larger run through the parallel paths to catch anything
+    // the small exhaustive tests miss.
+    let mut rng = seeded_rng(0xA16);
+    let (x, y) = genome_pair(&mut rng, 3000, 0.1);
+    let reference = iterative_combing(&x, &y);
+    assert_eq!(grid_hybrid_combing(&x, &y, 8), reference);
+    assert_eq!(
+        semilocal_suite::semilocal::hybrid::par_hybrid_combing_depth(&x, &y, 3, 2),
+        reference
+    );
+    assert_eq!(
+        semilocal_suite::semilocal::antidiag::par_antidiag_combing_branchless(&x, &y),
+        reference
+    );
+    assert_eq!(reference.lcs(), bit_lcs_alphabet(&x, &y));
+}

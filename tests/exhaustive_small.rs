@@ -1,0 +1,122 @@
+//! Exhaustive validation on *all* small inputs: every pair of binary
+//! strings up to length 5 (4 095 pairs), through every combing algorithm
+//! and LCS implementation. Exhaustive beats random at flushing out
+//! boundary conditions (empty strings, single cells, all-match rows).
+
+use semilocal_suite::baselines::{cipr_lcs, hyyro_lcs, prefix_antidiag, prefix_rowmajor};
+use semilocal_suite::bitpar::{bit_lcs_new1, bit_lcs_new2, bit_lcs_old};
+use semilocal_suite::semilocal::reference::BruteHMatrix;
+use semilocal_suite::semilocal::{
+    antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, grid_hybrid_combing,
+    hybrid_combing, iterative_combing, load_balanced_combing, recursive_combing, EditDistances,
+};
+
+/// All binary strings of length 0..=max_len.
+fn all_binary_strings(max_len: usize) -> Vec<Vec<u8>> {
+    let mut out = vec![vec![]];
+    for len in 1..=max_len {
+        for bits in 0..(1u32 << len) {
+            out.push((0..len).map(|i| ((bits >> i) & 1) as u8).collect());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_comber_agrees_on_all_binary_pairs_up_to_len5() {
+    let strings = all_binary_strings(5);
+    for a in &strings {
+        for b in &strings {
+            let reference = iterative_combing(a, b);
+            assert_eq!(recursive_combing(a, b), reference, "recursive a={a:?} b={b:?}");
+            assert_eq!(antidiag_combing(a, b), reference, "antidiag a={a:?} b={b:?}");
+            assert_eq!(
+                antidiag_combing_branchless(a, b),
+                reference,
+                "branchless a={a:?} b={b:?}"
+            );
+            assert_eq!(antidiag_combing_u16(a, b), reference, "u16 a={a:?} b={b:?}");
+            assert_eq!(
+                load_balanced_combing(a, b),
+                reference,
+                "load_balanced a={a:?} b={b:?}"
+            );
+            assert_eq!(hybrid_combing(a, b, 4), reference, "hybrid a={a:?} b={b:?}");
+            assert_eq!(
+                grid_hybrid_combing(a, b, 3),
+                reference,
+                "grid_hybrid a={a:?} b={b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_lcs_agrees_on_all_binary_pairs_up_to_len5() {
+    let strings = all_binary_strings(5);
+    for a in &strings {
+        for b in &strings {
+            let want = prefix_rowmajor(a, b);
+            assert_eq!(prefix_antidiag(a, b), want, "antidiag a={a:?} b={b:?}");
+            assert_eq!(cipr_lcs(a, b), want, "cipr a={a:?} b={b:?}");
+            assert_eq!(hyyro_lcs(a, b), want, "hyyro a={a:?} b={b:?}");
+            assert_eq!(bit_lcs_old(a, b), want, "bit_old a={a:?} b={b:?}");
+            assert_eq!(bit_lcs_new1(a, b), want, "bit_new1 a={a:?} b={b:?}");
+            assert_eq!(bit_lcs_new2(a, b), want, "bit_new2 a={a:?} b={b:?}");
+        }
+    }
+}
+
+#[test]
+fn full_h_matrix_on_all_pairs_up_to_len4() {
+    let strings = all_binary_strings(4);
+    for a in &strings {
+        for b in &strings {
+            let brute = BruteHMatrix::new(a, b);
+            let scores = iterative_combing(a, b).index();
+            let size = a.len() + b.len();
+            for i in 0..=size {
+                for j in 0..=size {
+                    assert_eq!(
+                        scores.h(i, j),
+                        brute.get(i, j),
+                        "H[{i},{j}] a={a:?} b={b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edit_distances_on_all_pairs_up_to_len4() {
+    fn edit_dp(a: &[u8], b: &[u8]) -> usize {
+        let n = b.len();
+        let mut prev: Vec<u32> = (0..=n as u32).collect();
+        let mut cur = vec![0u32; n + 1];
+        for (i, ac) in a.iter().enumerate() {
+            cur[0] = i as u32 + 1;
+            for (j, bc) in b.iter().enumerate() {
+                let sub = prev[j] + u32::from(ac != bc);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n] as usize
+    }
+    let strings = all_binary_strings(4);
+    for a in &strings {
+        for b in &strings {
+            let d = EditDistances::new(a, b);
+            for i in 0..=b.len() {
+                for j in i..=b.len() {
+                    assert_eq!(
+                        d.distance(i, j),
+                        edit_dp(a, &b[i..j]),
+                        "edit [{i},{j}) a={a:?} b={b:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Cross-validation on adversarial structured inputs: maximal repetition
+//! (Fibonacci words, periodic strings, constant runs) and skewed
+//! alphabets — the regimes where branch behaviour and the
+//! crossed-before bookkeeping are most stressed.
+
+use semilocal_suite::baselines::prefix_rowmajor;
+use semilocal_suite::bitpar::{bit_lcs_alphabet, bit_lcs_new2};
+use semilocal_suite::datagen::{
+    constant_string, fibonacci_string, periodic_string, seeded_rng, zipf_string,
+};
+use semilocal_suite::semilocal::{
+    antidiag_combing_branchless, grid_hybrid_combing, iterative_combing, load_balanced_combing,
+};
+
+fn check_pair(a: &[u8], b: &[u8], label: &str) {
+    let reference = iterative_combing(a, b);
+    assert_eq!(antidiag_combing_branchless(a, b), reference, "{label}: branchless");
+    assert_eq!(load_balanced_combing(a, b), reference, "{label}: load balanced");
+    assert_eq!(grid_hybrid_combing(a, b, 4), reference, "{label}: grid hybrid");
+    let want = prefix_rowmajor(a, b);
+    assert_eq!(reference.lcs(), want, "{label}: kernel lcs");
+    assert_eq!(bit_lcs_alphabet(a, b), want, "{label}: bit alphabet");
+    if a.iter().chain(b).all(|&c| c <= 1) {
+        assert_eq!(bit_lcs_new2(a, b), want, "{label}: bit binary");
+    }
+}
+
+#[test]
+fn fibonacci_words() {
+    let a = fibonacci_string(233);
+    let b = fibonacci_string(144);
+    check_pair(&a, &b, "fib vs fib");
+    // LCS of Fibonacci prefixes is the shorter one (prefix property)
+    assert_eq!(prefix_rowmajor(&a, &b), 144);
+    let mut rng = seeded_rng(1);
+    let r = semilocal_suite::datagen::binary_string(&mut rng, 200);
+    check_pair(&a, &r, "fib vs random");
+}
+
+#[test]
+fn periodic_against_shifted_periodic() {
+    let a = periodic_string(b"abca", 160);
+    let b = periodic_string(b"bcaa", 120);
+    check_pair(&a, &b, "periodic");
+    let c = periodic_string(b"ab", 100);
+    let d = periodic_string(b"ba", 100);
+    check_pair(&c, &d, "period 2, shifted");
+    // the two length-100 strings of period 2 share a 99-subsequence
+    assert_eq!(prefix_rowmajor(&c, &d), 99);
+}
+
+#[test]
+fn constant_runs_and_disjoint_alphabets() {
+    let zeros = constant_string(0, 150);
+    let ones = constant_string(1, 130);
+    check_pair(&zeros, &zeros, "all match square");
+    check_pair(&zeros, &ones, "never match");
+    assert_eq!(prefix_rowmajor(&zeros, &ones), 0);
+    let mixed = periodic_string(&[0, 0, 0, 1], 140);
+    check_pair(&zeros, &mixed, "run vs sparse");
+}
+
+#[test]
+fn zipf_skew_sweep() {
+    let mut rng = seeded_rng(2);
+    for s in [0.0f64, 1.0, 2.5] {
+        let a = zipf_string(&mut rng, 180, 6, s);
+        let b = zipf_string(&mut rng, 150, 6, s);
+        check_pair(&a, &b, &format!("zipf s={s}"));
+    }
+}
+
