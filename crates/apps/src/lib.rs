@@ -12,4 +12,6 @@ pub mod matching;
 pub mod similarity;
 
 pub use matching::{ApproxMatcher, Occurrence};
-pub use similarity::{average_linkage, distance_matrix, lcs_distance_bytes, Dendrogram, DistanceMatrix};
+pub use similarity::{
+    average_linkage, distance_matrix, lcs_distance_bytes, Dendrogram, DistanceMatrix,
+};

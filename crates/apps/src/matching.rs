@@ -38,11 +38,7 @@ impl ApproxMatcher {
     /// anti-diagonal order) and builds the query index.
     pub fn new<T: Eq + Clone + Sync>(pattern: &[T], text: &[T]) -> Self {
         let kernel = antidiag_combing_branchless(pattern, text);
-        ApproxMatcher {
-            scores: kernel.index(),
-            pattern_len: pattern.len(),
-            text_len: text.len(),
-        }
+        ApproxMatcher { scores: kernel.index(), pattern_len: pattern.len(), text_len: text.len() }
     }
 
     /// Pattern length `m`.
@@ -186,10 +182,8 @@ mod tests {
         let text = b"holygraalrail";
         let m = ApproxMatcher::new(pattern, text);
         for occ in m.best_per_end() {
-            let brute = (0..occ.end)
-                .map(|i| prefix_rowmajor(pattern, &text[i..occ.end]))
-                .max()
-                .unwrap();
+            let brute =
+                (0..occ.end).map(|i| prefix_rowmajor(pattern, &text[i..occ.end])).max().unwrap();
             assert_eq!(occ.score, brute, "end {}", occ.end);
         }
     }
@@ -201,9 +195,7 @@ mod tests {
         let m = ApproxMatcher::new(pattern, text);
         let windows = m.minimal_containing_windows();
         // brute force: all minimal containing windows
-        let contains = |i: usize, j: usize| {
-            prefix_rowmajor(pattern, &text[i..j]) == pattern.len()
-        };
+        let contains = |i: usize, j: usize| prefix_rowmajor(pattern, &text[i..j]) == pattern.len();
         let mut brute = Vec::new();
         for i in 0..text.len() {
             for j in (i + pattern.len())..=text.len() {
@@ -215,8 +207,7 @@ mod tests {
                 }
             }
         }
-        let got: Vec<(usize, usize)> =
-            windows.iter().map(|o| (o.start, o.end)).collect();
+        let got: Vec<(usize, usize)> = windows.iter().map(|o| (o.start, o.end)).collect();
         assert_eq!(got, brute, "text={:?}", std::str::from_utf8(text));
         // the exact occurrence "abc" at 6..9 must be among them
         assert!(got.contains(&(6, 9)));

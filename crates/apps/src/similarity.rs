@@ -51,8 +51,7 @@ pub fn lcs_distance_bytes(x: &[u8], y: &[u8]) -> f64 {
 /// Pairwise LCS distances over a collection, parallel over pairs.
 pub fn distance_matrix(seqs: &[Vec<u8>]) -> DistanceMatrix {
     let k = seqs.len();
-    let pairs: Vec<(usize, usize)> =
-        (0..k).flat_map(|i| (i + 1..k).map(move |j| (i, j))).collect();
+    let pairs: Vec<(usize, usize)> = (0..k).flat_map(|i| (i + 1..k).map(move |j| (i, j))).collect();
     let vals: Vec<f64> =
         pairs.par_iter().map(|&(i, j)| lcs_distance_bytes(&seqs[i], &seqs[j])).collect();
     let mut d = vec![0.0; k * k];
@@ -133,11 +132,7 @@ pub fn average_linkage(matrix: &DistanceMatrix) -> Dendrogram {
         let mut members = left_members;
         members.extend(right_members);
         clusters.push((
-            Dendrogram::Node {
-                left: Box::new(left_tree),
-                right: Box::new(right_tree),
-                height: h,
-            },
+            Dendrogram::Node { left: Box::new(left_tree), right: Box::new(right_tree), height: h },
             members,
         ));
     }
@@ -204,8 +199,7 @@ mod tests {
 
     #[test]
     fn leaves_cover_all_inputs() {
-        let seqs: Vec<Vec<u8>> =
-            (0..7u8).map(|i| vec![i; 5 + i as usize]).collect();
+        let seqs: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 5 + i as usize]).collect();
         let tree = average_linkage(&distance_matrix(&seqs));
         let mut leaves = tree.leaves();
         leaves.sort_unstable();

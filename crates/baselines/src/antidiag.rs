@@ -36,11 +36,8 @@ fn antidiag_impl<T: Eq + Sync>(a: &[T], b: &[T], parallel: bool) -> usize {
     }
     // Diagonal d covers cells (i, j = d − i) with
     // i ∈ [max(0, d−n+1), min(m−1, d)]. We index the rolling arrays by i.
-    let mut d3 = Diags {
-        prev2: vec![0u32; m + 1],
-        prev: vec![0u32; m + 1],
-        cur: vec![0u32; m + 1],
-    };
+    let mut d3 =
+        Diags { prev2: vec![0u32; m + 1], prev: vec![0u32; m + 1], cur: vec![0u32; m + 1] };
     for d in 0..(m + n - 1) {
         let i_lo = d.saturating_sub(n - 1);
         let i_hi = (m - 1).min(d);
@@ -95,11 +92,7 @@ mod tests {
             let n = rng.random_range(0..50);
             let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..4)).collect();
             let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..4)).collect();
-            assert_eq!(
-                prefix_antidiag(&a, &b),
-                prefix_rowmajor(&a, &b),
-                "a={a:?} b={b:?}"
-            );
+            assert_eq!(prefix_antidiag(&a, &b), prefix_rowmajor(&a, &b), "a={a:?} b={b:?}");
             assert_eq!(par_prefix_antidiag(&a, &b), prefix_rowmajor(&a, &b));
         }
     }

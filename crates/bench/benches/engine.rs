@@ -1,0 +1,75 @@
+//! Criterion bench for the comparison engine: end-to-end request
+//! throughput through the queue/worker/cache pipeline, contrasted with
+//! calling the algorithms directly. The interesting ratios are
+//! (a) engine overhead on a cold cache vs the bare algorithm, and
+//! (b) the speedup a warm kernel cache buys on repeat traffic.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slcs_datagen::{seeded_rng, uniform_string};
+use slcs_engine::{CompareRequest, Engine, EngineConfig, Operation};
+use slcs_semilocal::iterative_combing;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut rng = seeded_rng(0xE61);
+    let n = 1_000usize;
+    let a: Arc<[u8]> = uniform_string(&mut rng, n, 4).into();
+    let b: Arc<[u8]> = uniform_string(&mut rng, n, 4).into();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n) as u64));
+
+    group.bench_with_input(BenchmarkId::new("direct_comb", n), &n, |bn, _| {
+        bn.iter(|| iterative_combing(&a[..], &b[..]).index().windows_linear(n / 2))
+    });
+
+    // Cold cache: every iteration gets a fresh engine, so the request
+    // pays queueing + combing + index build.
+    group.bench_with_input(BenchmarkId::new("engine_cold", n), &n, |bn, _| {
+        bn.iter(|| {
+            let engine = Engine::new(EngineConfig {
+                workers: 1,
+                threads_per_request: 1,
+                ..EngineConfig::default()
+            });
+            engine
+                .submit_wait(CompareRequest::new(
+                    a.clone(),
+                    b.clone(),
+                    Operation::Windows { w: n / 2 },
+                ))
+                .unwrap()
+        })
+    });
+
+    // Warm cache: one engine across iterations; after the first, every
+    // request is a cache hit answered from the kernel index.
+    let engine =
+        Engine::new(EngineConfig { workers: 1, threads_per_request: 1, ..EngineConfig::default() });
+    group.bench_with_input(BenchmarkId::new("engine_warm", n), &n, |bn, _| {
+        bn.iter(|| {
+            engine
+                .submit_wait(CompareRequest::new(
+                    a.clone(),
+                    b.clone(),
+                    Operation::Windows { w: n / 2 },
+                ))
+                .unwrap()
+        })
+    });
+
+    // Score-only fast path: a pair the cache has never seen stays on
+    // the bit-parallel bypass (Lcs never inserts a kernel).
+    let c: Arc<[u8]> = uniform_string(&mut rng, n, 4).into();
+    let d: Arc<[u8]> = uniform_string(&mut rng, n, 4).into();
+    group.bench_with_input(BenchmarkId::new("engine_lcs_bitpar", n), &n, |bn, _| {
+        bn.iter(|| {
+            engine.submit_wait(CompareRequest::new(c.clone(), d.clone(), Operation::Lcs)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -108,14 +108,9 @@ fn bsp_tradeoff(scale: Scale) {
         &format!("Ablation: BSP predicted times, m = n = {n}, p = 8 (units: cell ops)"),
         &["g", "l", "wavefront", "strip+braid", "winner"],
     );
-    for &(g, l) in &[
-        (1.0f64, 1e2f64),
-        (1.0, 1e4),
-        (1.0, 1e6),
-        (1.0, 1e8),
-        (10.0, 1e4),
-        (100.0, 1e4),
-    ] {
+    for &(g, l) in
+        &[(1.0f64, 1e2f64), (1.0, 1e4), (1.0, 1e6), (1.0, 1e8), (10.0, 1e4), (100.0, 1e4)]
+    {
         let machine = BspMachine { p: 8, g, l };
         let rows = sweep_machines(n, n, &[machine], &cal, 64 * 64);
         let r = &rows[0];
@@ -153,9 +148,8 @@ fn query_structure(scale: Scale) {
             (0..1000).map(|_| (rng.random_range(0..=n), rng.random_range(0..=n))).collect();
         let t_build = measure(3, || MergeSortTree::new(&perm));
         let tree = MergeSortTree::new(&perm);
-        let t_tree = measure(3, || {
-            queries.iter().map(|&(i, j)| tree.dominance_sum(i, j)).sum::<usize>()
-        });
+        let t_tree =
+            measure(3, || queries.iter().map(|&(i, j)| tree.dominance_sum(i, j)).sum::<usize>());
         let t_scan = measure(1, || {
             queries.iter().map(|&(i, j)| perm.dominance_sum_scan(i, j)).sum::<usize>()
         });

@@ -10,8 +10,7 @@ use slcs_bitpar::{
     bit_lcs_new1, bit_lcs_new2, par_bit_lcs_new1, par_bit_lcs_new2, par_bit_lcs_old,
 };
 use slcs_braid::{
-    parallel_steady_ant, steady_ant, steady_ant_combined, steady_ant_memory,
-    steady_ant_precalc,
+    parallel_steady_ant, steady_ant, steady_ant_combined, steady_ant_memory, steady_ant_precalc,
 };
 use slcs_datagen::{binary_string, genome_pair, normal_string, seeded_rng};
 use slcs_perm::Permutation;
@@ -19,13 +18,11 @@ use slcs_semilocal::antidiag::par_antidiag_combing_branchless;
 use slcs_semilocal::hybrid::hybrid_combing_depth;
 use slcs_semilocal::load_balanced::par_load_balanced_combing;
 use slcs_semilocal::{
-    antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, antidiag_combing_simd,
+    antidiag_combing, antidiag_combing_branchless, antidiag_combing_simd, antidiag_combing_u16,
     grid_hybrid_combing, iterative_combing, load_balanced_combing, simd_support,
 };
 
-use crate::{
-    fmt_duration, fmt_ratio, measure, thread_counts, with_threads, Scale, Table,
-};
+use crate::{fmt_duration, fmt_ratio, measure, thread_counts, with_threads, Scale, Table};
 
 /// Number of timed repetitions per configuration, by scale.
 fn reps(scale: Scale) -> usize {
@@ -37,8 +34,9 @@ fn reps(scale: Scale) -> usize {
 }
 
 /// All figure ids, in paper order.
-pub const ALL_FIGURES: &[&str] =
-    &["fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9e"];
+pub const ALL_FIGURES: &[&str] = &[
+    "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9e",
+];
 
 /// Dispatch by figure id; returns false for unknown ids.
 pub fn run(fig: &str, scale: Scale) -> bool {
@@ -133,11 +131,7 @@ fn fig4b(scale: Scale) {
 // Figure 4(c): basic vs load-balanced sequential iterative combing.
 // --------------------------------------------------------------------
 fn fig4c(scale: Scale) {
-    let sizes = scale.pick(
-        &[1_000usize],
-        &[2_000, 4_000, 8_000],
-        &[10_000, 30_000, 100_000],
-    );
+    let sizes = scale.pick(&[1_000usize], &[2_000, 4_000, 8_000], &[10_000, 30_000, 100_000]);
     let mut table = Table::new(
         "Figure 4(c): sequential combing — basic vs load-balanced (plus braid-mult share)",
         &["n", "basic", "load_balanced", "braid_mult_alone", "lb_vs_basic"],
@@ -173,11 +167,8 @@ fn fig4c(scale: Scale) {
 // Figure 5: semi-local vs prefix LCS, synthetic and genome data.
 // --------------------------------------------------------------------
 fn fig5(scale: Scale) {
-    let sizes = scale.pick(
-        &[500usize, 1_000],
-        &[1_000, 2_000, 4_000, 8_000],
-        &[10_000, 30_000, 100_000],
-    );
+    let sizes =
+        scale.pick(&[500usize, 1_000], &[1_000, 2_000, 4_000, 8_000], &[10_000, 30_000, 100_000]);
     for (dataset, sigma) in [("synthetic σ=1", Some(1.0f64)), ("genome 5% divergence", None)] {
         let mut table = Table::new(
             &format!("Figure 5: running times on {dataset}"),
@@ -255,8 +246,8 @@ fn bench_fig5_row<T: Eq + Clone + Sync>(
     let t_semi_ad = measure(r, || antidiag_combing(a, b));
     let t_semi_simd = measure(r, || antidiag_combing_branchless(a, b));
     // 16-bit strand indices exist only while m + n fits in u16
-    let t_semi_u16 = (a.len() + b.len() <= 1 << 16)
-        .then(|| measure(r, || antidiag_combing_u16(a, b)));
+    let t_semi_u16 =
+        (a.len() + b.len() <= 1 << 16).then(|| measure(r, || antidiag_combing_u16(a, b)));
     (
         vec![
             n.to_string(),
@@ -321,12 +312,7 @@ fn fig7(scale: Scale) {
         let t_ad = with_threads(t, || measure(r, || par_antidiag_combing_branchless(&a, &b)));
         let t_lb = with_threads(t, || measure(r, || par_load_balanced_combing(&a, &b)));
         let t_gh = with_threads(t, || measure(r, || grid_hybrid_combing(&a, &b, t.max(2))));
-        table.row(vec![
-            t.to_string(),
-            fmt_duration(t_ad),
-            fmt_duration(t_lb),
-            fmt_duration(t_gh),
-        ]);
+        table.row(vec![t.to_string(), fmt_duration(t_ad), fmt_duration(t_lb), fmt_duration(t_gh)]);
     }
     table.print();
     let _ = table.write_csv("fig7");
@@ -359,8 +345,7 @@ fn fig8(scale: Scale) {
         let base_ad = with_threads(1, || measure(r, || par_antidiag_combing_branchless(&a, &b)));
         let base_gh = with_threads(1, || measure(r, || grid_hybrid_combing(&a, &b, 2)));
         for &t in &thread_counts(scale) {
-            let t_ad =
-                with_threads(t, || measure(r, || par_antidiag_combing_branchless(&a, &b)));
+            let t_ad = with_threads(t, || measure(r, || par_antidiag_combing_branchless(&a, &b)));
             let t_gh = with_threads(t, || measure(r, || grid_hybrid_combing(&a, &b, t.max(2))));
             table.row(vec![
                 t.to_string(),
@@ -412,11 +397,7 @@ fn fig9a(scale: Scale) {
 // Figure 9(b): optimized Boolean formula.
 // --------------------------------------------------------------------
 fn fig9b(scale: Scale) {
-    let sizes = scale.pick(
-        &[50_000usize],
-        &[100_000, 200_000, 400_000],
-        &[1_000_000, 2_000_000],
-    );
+    let sizes = scale.pick(&[50_000usize], &[100_000, 200_000, 400_000], &[1_000_000, 2_000_000]);
     let mut table = Table::new(
         "Figure 9(b): original vs optimized Boolean formula (sequential)",
         &["n", "bit_new_1", "bit_new_2", "new2_vs_new1"],

@@ -113,12 +113,8 @@ impl Table {
                 *w = (*w).max(cell.len());
             }
         }
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         println!("  {}", header.join("  "));
         for row in &self.rows {
             let line: Vec<String> =

@@ -100,9 +100,7 @@ fn driver<const P: usize>(a: &[u8], b: &[u8], access: MemAccess, parallel: bool)
                         });
                 } else {
                     for j in 0..len {
-                        comb_block(
-                            &mut hs[j], &mut vs[j], &aw[j], &bw[j], avw[j], bvw[j], formula,
-                        );
+                        comb_block(&mut hs[j], &mut vs[j], &aw[j], &bw[j], avw[j], bvw[j], formula);
                     }
                 }
             }
@@ -135,10 +133,7 @@ fn driver<const P: usize>(a: &[u8], b: &[u8], access: MemAccess, parallel: bool)
 }
 
 fn assert_binary(s: &[u8], name: &str) {
-    assert!(
-        s.iter().all(|&c| c <= 1),
-        "{name} must be a binary string of 0/1 byte values"
-    );
+    assert!(s.iter().all(|&c| c <= 1), "{name} must be a binary string of 0/1 byte values");
 }
 
 /// `bit_old`: Listing 8 without the memory-access optimization.

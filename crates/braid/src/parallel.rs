@@ -31,11 +31,7 @@ const MIN_PARALLEL_ORDER: usize = 4096;
 /// # Panics
 ///
 /// Panics if the orders differ.
-pub fn parallel_steady_ant(
-    p: &Permutation,
-    q: &Permutation,
-    parallel_depth: usize,
-) -> Permutation {
+pub fn parallel_steady_ant(p: &Permutation, q: &Permutation, parallel_depth: usize) -> Permutation {
     assert_eq!(p.len(), q.len(), "steady ant requires equal orders");
     let tables = PrecalcTables::global();
     let forward = par_rec(p.forward(), q.forward(), parallel_depth, tables);
@@ -82,9 +78,6 @@ mod tests {
         let mut rng = rng();
         let p = Permutation::random(10, &mut rng);
         let q = Permutation::random(10, &mut rng);
-        assert_eq!(
-            parallel_steady_ant(&p, &q, 6),
-            crate::seq::steady_ant(&p, &q)
-        );
+        assert_eq!(parallel_steady_ant(&p, &q, 6), crate::seq::steady_ant(&p, &q));
     }
 }

@@ -78,10 +78,7 @@ impl PrecalcTables {
 /// Packs a forward map of order ≤ 8 into nibbles (row k → bits 4k..4k+4).
 pub fn pack(forward: &[u32]) -> u32 {
     debug_assert!(forward.len() <= 8);
-    forward
-        .iter()
-        .enumerate()
-        .fold(0u32, |acc, (k, &c)| acc | (c << (4 * k)))
+    forward.iter().enumerate().fold(0u32, |acc, (k, &c)| acc | (c << (4 * k)))
 }
 
 /// Unpacks a nibble-packed forward map of order `n`.

@@ -138,10 +138,7 @@ mod tests {
             let p = Permutation::random(50, &mut rng);
             let q = Permutation::random(50, &mut rng);
             let r = Permutation::random(50, &mut rng);
-            assert_eq!(
-                steady_ant(&steady_ant(&p, &q), &r),
-                steady_ant(&p, &steady_ant(&q, &r))
-            );
+            assert_eq!(steady_ant(&steady_ant(&p, &q), &r), steady_ant(&p, &steady_ant(&q, &r)));
         }
     }
 

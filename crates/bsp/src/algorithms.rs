@@ -101,12 +101,7 @@ pub fn antidiag_combing_cost(m: usize, n: usize, machine: &BspMachine, grain: us
 /// BSP cost of the coarse-grained strip algorithm: p strips combed
 /// independently, then a log₂ p composition tree of braid
 /// multiplications of growing order.
-pub fn strip_combing_cost(
-    m: usize,
-    n: usize,
-    machine: &BspMachine,
-    cal: &Calibration,
-) -> BspCost {
+pub fn strip_combing_cost(m: usize, n: usize, machine: &BspMachine, cal: &Calibration) -> BspCost {
     let p = machine.p.max(1);
     let (m_f, n_f) = (m as f64, n as f64);
     let mut cost = BspCost::default();
@@ -228,9 +223,6 @@ mod tests {
     fn calibration_measures_sane_constants() {
         let cal = Calibration::measure();
         assert!(cal.ns_per_cell > 0.05 && cal.ns_per_cell < 100.0, "{cal:?}");
-        assert!(
-            cal.ns_per_ant_element > 0.1 && cal.ns_per_ant_element < 1000.0,
-            "{cal:?}"
-        );
+        assert!(cal.ns_per_ant_element > 0.1 && cal.ns_per_ant_element < 1000.0, "{cal:?}");
     }
 }

@@ -70,10 +70,7 @@ impl BspCost {
 
     /// Predicted running time on `machine`, in local-operation units.
     pub fn time(&self, machine: &BspMachine) -> f64 {
-        self.supersteps
-            .iter()
-            .map(|s| s.work + machine.g * s.h_words + machine.l)
-            .sum()
+        self.supersteps.iter().map(|s| s.work + machine.g * s.h_words + machine.l).sum()
     }
 
     /// Concatenates two cost sequences (sequential composition).

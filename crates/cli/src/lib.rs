@@ -8,7 +8,12 @@
 //!   pattern's length, or `--window W`, with `--min-similarity`;
 //! * `edit PATTERN TEXT` — edit-distance window scan;
 //! * `cluster FILE...` — LCS-distance clustering of FASTA records;
-//! * `braid A B` — draw the reduced sticky braid of a small comparison.
+//! * `braid A B` — draw the reduced sticky braid of a small comparison;
+//! * `serve` — run the comparison engine behind a TCP line protocol;
+//! * `bench-engine` — offline throughput run against the engine.
+//!
+//! Global flags (before the subcommand): `--version`, `--threads N`
+//! (sizes the global rayon pool used by the parallel algorithms).
 //!
 //! Inputs are literal strings, or files with `@path` / FASTA via
 //! `--fasta`.
@@ -74,9 +79,7 @@ impl Options {
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 if value_flags.contains(&name) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| err(format!("--{name} requires a value")))?;
+                    let v = it.next().ok_or_else(|| err(format!("--{name} requires a value")))?;
                     flags.push((name.to_string(), Some(v.clone())));
                 } else {
                     flags.push((name.to_string(), None));
@@ -93,21 +96,58 @@ impl Options {
     }
 
     pub fn value(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     pub fn value_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
         match self.value(name) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| err(format!("invalid value for --{name}: {v}"))),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| err(format!("invalid value for --{name}: {v}")))
+            }
         }
     }
+}
+
+/// Global options parsed off the front of the argument list, before the
+/// subcommand.
+pub struct GlobalOpts {
+    /// `--version`: print the version string and exit.
+    pub version: bool,
+    /// `--threads N`: size of the global rayon pool.
+    pub threads: Option<usize>,
+}
+
+/// Splits leading global flags (`--version`, `--threads N`) from the
+/// subcommand and its arguments.
+pub fn parse_global(args: &[String]) -> Result<(GlobalOpts, Vec<String>), CliError> {
+    let mut global = GlobalOpts { version: false, threads: None };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.peek() {
+        match arg.as_str() {
+            "--version" | "-V" => {
+                global.version = true;
+                it.next();
+            }
+            "--threads" => {
+                it.next();
+                let v = it.next().ok_or_else(|| err("--threads requires a value"))?;
+                let n: usize =
+                    v.parse().map_err(|_| err(format!("invalid value for --threads: {v}")))?;
+                if n == 0 {
+                    return Err(err("--threads must be at least 1"));
+                }
+                global.threads = Some(n);
+            }
+            _ => break,
+        }
+    }
+    Ok((global, it.cloned().collect()))
+}
+
+/// The version string printed by `slcs --version`.
+pub fn version_string() -> String {
+    format!("slcs {} (semilocal-suite)", env!("CARGO_PKG_VERSION"))
 }
 
 /// Runs a subcommand; returns the text to print.
@@ -118,7 +158,10 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "edit" => cmd_edit(rest),
         "cluster" => cmd_cluster(rest),
         "braid" => cmd_braid(rest),
+        "serve" => cmd_serve(rest),
+        "bench-engine" => cmd_bench_engine(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "version" | "--version" | "-V" => Ok(format!("{}\n", version_string())),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
@@ -127,11 +170,17 @@ pub const USAGE: &str = "\
 slcs — semi-local string comparison
 
 usage:
+  slcs [--version] [--threads N] COMMAND ...
+
   slcs lcs A B [--show]             LCS score (--show: one witness string)
   slcs scan PATTERN TEXT [--window W] [--min-similarity F] [--top K]
   slcs edit PATTERN TEXT [--window W]
   slcs cluster FILE.fasta... [--cut H]
   slcs braid A B                    ASCII sticky braid (small inputs)
+  slcs serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+                                    engine behind a TCP line protocol
+  slcs bench-engine [--requests N] [--pairs N] [--len N] [--sigma S]
+                                    offline engine throughput run
 
 operands: literal strings, or @file (raw bytes, or FASTA if it starts with '>')";
 
@@ -210,8 +259,7 @@ fn cmd_cluster(rest: &[String]) -> Result<String, CliError> {
     let mut names = Vec::new();
     let mut seqs = Vec::new();
     for path in &opts.positional {
-        let records =
-            read_fasta_file(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let records = read_fasta_file(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
         for r in records {
             names.push(r.header.clone());
             seqs.push(r.sequence);
@@ -285,6 +333,108 @@ fn semilocal_render(a: &[u8], b: &[u8]) -> String {
     writeln!(out, "\nkernel: {:?}", kernel.permutation().forward()).unwrap();
     writeln!(out, "LCS = {}", kernel.lcs()).unwrap();
     out
+}
+
+fn engine_from_opts(opts: &Options) -> Result<slcs_engine::Engine, CliError> {
+    let mut config = slcs_engine::EngineConfig::default();
+    if let Some(w) = opts.value_parsed("workers")? {
+        config.workers = w;
+    }
+    if let Some(q) = opts.value_parsed("queue")? {
+        config.queue_capacity = q;
+    }
+    if let Some(c) = opts.value_parsed("cache")? {
+        config.cache_capacity = c;
+    }
+    Ok(slcs_engine::Engine::new(config))
+}
+
+fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["addr", "workers", "queue", "cache"])?;
+    let addr = opts.value("addr").unwrap_or("127.0.0.1:7171").to_string();
+    let engine = std::sync::Arc::new(engine_from_opts(&opts)?);
+    let config = engine.config().clone();
+    let handle = slcs_engine::serve(&addr[..], engine, slcs_engine::ServerConfig::default())
+        .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+    println!(
+        "slcs engine listening on {} ({} workers, queue {}, cache {})",
+        handle.addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity
+    );
+    if opts.has("smoke") {
+        // Undocumented test hook: bind, report, exit.
+        handle.stop();
+        return Ok(String::new());
+    }
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_bench_engine(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(
+        rest,
+        &["requests", "pairs", "len", "sigma", "window", "workers", "queue", "cache", "seed"],
+    )?;
+    let requests: usize = opts.value_parsed("requests")?.unwrap_or(200);
+    let pairs: usize = opts.value_parsed("pairs")?.unwrap_or(8).max(1);
+    let len: usize = opts.value_parsed("len")?.unwrap_or(256).max(1);
+    let sigma: u8 = opts.value_parsed("sigma")?.unwrap_or(4).max(1);
+    let window: usize = opts.value_parsed("window")?.unwrap_or(len / 2).clamp(1, len);
+    let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
+    let engine = engine_from_opts(&opts)?;
+
+    use slcs_datagen::uniform_string;
+    type Pair = (std::sync::Arc<[u8]>, std::sync::Arc<[u8]>);
+    let mut rng = slcs_datagen::seeded_rng(seed);
+    let pool: Vec<Pair> = (0..pairs)
+        .map(|_| {
+            (
+                uniform_string(&mut rng, len, sigma).into(),
+                uniform_string(&mut rng, len, sigma).into(),
+            )
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let mut tickets = Vec::with_capacity(requests);
+    let mut retries = 0u64;
+    for i in 0..requests {
+        let (a, b) = &pool[i % pairs];
+        let op = match i % 3 {
+            0 => slcs_engine::Operation::Lcs,
+            1 => slcs_engine::Operation::Windows { w: window },
+            _ => slcs_engine::Operation::Edit { w: Some(window) },
+        };
+        let req = slcs_engine::CompareRequest::new(a.clone(), b.clone(), op);
+        loop {
+            match engine.submit(req.clone()) {
+                slcs_engine::Submit::Accepted(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                slcs_engine::Submit::QueueFull => {
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                slcs_engine::Submit::Invalid(why) => return Err(err(why)),
+            }
+        }
+    }
+    for t in tickets {
+        t.wait().map_err(|e| err(e.to_string()))?;
+    }
+    let elapsed = started.elapsed();
+    let stats = engine.shutdown();
+    let rate = requests as f64 / elapsed.as_secs_f64();
+    let mut out = format!(
+        "{requests} requests over {pairs} pairs of {len}x{len} (sigma {sigma}) \
+         in {elapsed:.2?} — {rate:.0} req/s, {retries} backpressure retries\n"
+    );
+    writeln!(out, "{stats}").unwrap();
+    Ok(out)
 }
 
 fn two_operands(opts: &Options) -> Result<[Vec<u8>; 2], CliError> {
@@ -369,17 +519,58 @@ mod tests {
     fn cluster_groups_fasta_records() {
         let dir = std::env::temp_dir();
         let f = dir.join("slcs_cli_cluster.fasta");
-        std::fs::write(
-            &f,
-            b">a1\nAAAAAAAAAA\n>a2\nAAAAACAAAA\n>b1\nGGGGGGGGGG\n>b2\nGGGGGCGGGG\n",
-        )
-        .unwrap();
+        std::fs::write(&f, b">a1\nAAAAAAAAAA\n>a2\nAAAAACAAAA\n>b1\nGGGGGGGGGG\n>b2\nGGGGGCGGGG\n")
+            .unwrap();
         let path = f.display().to_string();
         let out = run("cluster", &[&path, "--cut", "0.5"]).unwrap_or_else(|e| panic!("{e}"));
         assert!(out.contains("4 sequences"), "{out}");
         assert!(out.contains("{a1, a2}") || out.contains("{a2, a1}"), "{out}");
         assert!(out.contains("{b1, b2}") || out.contains("{b2, b1}"), "{out}");
         let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn global_flags_split_off_cleanly() {
+        let args: Vec<String> = ["--threads", "3", "--version", "lcs", "a", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (global, rest) = parse_global(&args).unwrap();
+        assert!(global.version);
+        assert_eq!(global.threads, Some(3));
+        assert_eq!(rest, vec!["lcs", "a", "b"]);
+        // Flags after the subcommand belong to the subcommand.
+        let args: Vec<String> = ["lcs", "--threads"].iter().map(|s| s.to_string()).collect();
+        let (global, rest) = parse_global(&args).unwrap();
+        assert!(global.threads.is_none());
+        assert_eq!(rest.len(), 2);
+        assert!(parse_global(&["--threads".to_string()]).is_err());
+        assert!(parse_global(&["--threads".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn version_command_reports_version() {
+        let out = run("version", &[]).unwrap();
+        assert!(out.contains(env!("CARGO_PKG_VERSION")), "{out}");
+    }
+
+    #[test]
+    fn serve_smoke_binds_and_exits() {
+        let out = run("serve", &["--addr", "127.0.0.1:0", "--smoke", "--workers", "1"]).unwrap();
+        assert!(out.is_empty());
+        assert!(run("serve", &["--addr", "not-an-address", "--smoke"]).is_err());
+    }
+
+    #[test]
+    fn bench_engine_reports_throughput_and_stats() {
+        let out = run(
+            "bench-engine",
+            &["--requests", "24", "--pairs", "3", "--len", "48", "--queue", "4", "--workers", "2"],
+        )
+        .unwrap();
+        assert!(out.contains("24 requests"), "{out}");
+        assert!(out.contains("hits="), "{out}");
+        assert!(out.contains("req/s"), "{out}");
     }
 
     #[test]

@@ -2,7 +2,25 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
+    let (global, rest) = match slcs_cli::parse_global(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("slcs: {e}");
+            std::process::exit(2);
+        }
+    };
+    if global.version {
+        println!("{}", slcs_cli::version_string());
+        return;
+    }
+    if let Some(n) = global.threads {
+        // Size the global rayon pool before any parallel algorithm runs.
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
+            eprintln!("slcs: cannot configure {n} threads: {e}");
+            std::process::exit(2);
+        }
+    }
+    let Some((cmd, rest)) = rest.split_first() else {
         println!("{}", slcs_cli::USAGE);
         return;
     };

@@ -133,7 +133,11 @@ mod tests {
     fn substitutions_never_produce_the_same_base() {
         let mut rng = seeded_rng(8);
         let g = vec![2u8; 2000];
-        let m = mutate(&mut rng, &g, &MutationModel { substitution: 1.0, insertion: 0.0, deletion: 0.0 });
+        let m = mutate(
+            &mut rng,
+            &g,
+            &MutationModel { substitution: 1.0, insertion: 0.0, deletion: 0.0 },
+        );
         assert_eq!(m.len(), g.len());
         assert!(m.iter().all(|&b| b != 2 && b < 4));
     }
@@ -163,8 +167,7 @@ mod tests {
         for ac in a {
             cur[0] = 0;
             for (j, bc) in b.iter().enumerate() {
-                cur[j + 1] =
-                    if ac == bc { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+                cur[j + 1] = if ac == bc { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
             }
             std::mem::swap(&mut prev, &mut cur);
         }

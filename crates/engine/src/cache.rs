@@ -1,0 +1,239 @@
+//! Sharded LRU cache of semi-local kernels and their query indexes.
+//!
+//! The expensive part of every engine operation is the O(mn) combing
+//! pass; the kernel it produces answers *all* substring queries for the
+//! pair, so caching it turns repeat comparisons into O(log² n) index
+//! lookups. Entries are keyed by `(operation family, hash(a), hash(b),
+//! |a|, |b|)` — hashing the bytes instead of storing them keeps keys
+//! small; lengths are kept alongside the 64-bit hashes so a collision
+//! additionally has to match both lengths.
+//!
+//! The map is split into [`SHARDS`] independently locked shards (shard =
+//! key hash modulo), so concurrent workers on different pairs rarely
+//! contend. Each shard runs an LRU policy on a logical clock: hits
+//! restamp the entry, and insertion past capacity evicts the
+//! least-recently-stamped entry of that shard (an O(shard len) scan —
+//! shards are small and evictions rare, so this beats maintaining an
+//! intrusive list under a lock).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use slcs_semilocal::{EditDistances, SemiLocalKernel, SemiLocalScores};
+
+pub const SHARDS: usize = 8;
+
+/// FNV-1a over a byte string; the cache's content hash.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Which index family an entry belongs to. A plain LCS kernel and an
+/// edit-distance index over the same pair are different objects.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+pub enum IndexKind {
+    Plain,
+    Edit,
+}
+
+/// Cache key: operation family, content hashes and lengths of the pair.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+pub struct CacheKey {
+    pub kind: IndexKind,
+    pub pattern_hash: u64,
+    pub text_hash: u64,
+    pub pattern_len: usize,
+    pub text_len: usize,
+}
+
+impl CacheKey {
+    pub fn new(kind: IndexKind, pattern: &[u8], text: &[u8]) -> Self {
+        CacheKey {
+            kind,
+            pattern_hash: hash_bytes(pattern),
+            text_hash: hash_bytes(text),
+            pattern_len: pattern.len(),
+            text_len: text.len(),
+        }
+    }
+
+    fn shard(&self) -> usize {
+        // Mix both hashes so pairs sharing a pattern still spread out.
+        (self.pattern_hash.rotate_left(17).wrapping_add(self.text_hash).wrapping_add(matches!(
+            self.kind,
+            IndexKind::Edit
+        )
+            as u64)
+            % SHARDS as u64) as usize
+    }
+}
+
+/// A cached kernel with its lazily built query index.
+///
+/// Combing produces the kernel permutation; building the
+/// dominance-counting index on top is a separate O(N log N) step that
+/// only window/substring queries need, so it is deferred behind a
+/// `OnceLock` — a global-LCS request that misses the cache never pays
+/// for it, but the first window query on the entry builds it once for
+/// every later hit.
+pub struct PlainEntry {
+    kernel: SemiLocalKernel,
+    scores: OnceLock<SemiLocalScores>,
+}
+
+impl PlainEntry {
+    pub fn new(kernel: SemiLocalKernel) -> Self {
+        PlainEntry { kernel, scores: OnceLock::new() }
+    }
+
+    pub fn kernel(&self) -> &SemiLocalKernel {
+        &self.kernel
+    }
+
+    pub fn scores(&self) -> &SemiLocalScores {
+        self.scores.get_or_init(|| self.kernel.index())
+    }
+}
+
+/// The two index families the engine caches.
+#[derive(Clone)]
+pub enum CachedIndex {
+    Plain(Arc<PlainEntry>),
+    Edit(Arc<EditDistances>),
+}
+
+struct Slot {
+    value: CachedIndex,
+    stamp: u64,
+}
+
+/// Sharded LRU keyed by [`CacheKey`].
+pub struct KernelCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Slot>>>,
+    capacity_per_shard: usize,
+    clock: AtomicU64,
+}
+
+impl KernelCache {
+    /// `capacity` is the total entry budget across all shards
+    /// (rounded up to a multiple of [`SHARDS`], minimum one per shard).
+    pub fn new(capacity: usize) -> Self {
+        KernelCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, restamping it on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedIndex> {
+        let mut shard = self.shards[key.shard()].lock().unwrap();
+        let stamp = self.tick();
+        shard.get_mut(key).map(|slot| {
+            slot.stamp = stamp;
+            slot.value.clone()
+        })
+    }
+
+    /// Inserts `value` under `key`, evicting the shard's least recently
+    /// used entry if the shard is at capacity. Returns the number of
+    /// evictions (0 or 1).
+    pub fn insert(&self, key: CacheKey, value: CachedIndex) -> u64 {
+        let mut shard = self.shards[key.shard()].lock().unwrap();
+        let stamp = self.tick();
+        let mut evicted = 0;
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(&key) {
+            if let Some(oldest) = shard.iter().min_by_key(|(_, slot)| slot.stamp).map(|(k, _)| *k) {
+                shard.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        shard.insert(key, Slot { value, stamp });
+        evicted
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slcs_semilocal::iterative_combing;
+
+    fn entry(a: &[u8], b: &[u8]) -> CachedIndex {
+        CachedIndex::Plain(Arc::new(PlainEntry::new(iterative_combing(a, b))))
+    }
+
+    #[test]
+    fn hit_returns_same_index() {
+        let cache = KernelCache::new(16);
+        let key = CacheKey::new(IndexKind::Plain, b"abcab", b"bcaba");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, entry(b"abcab", b"bcaba"));
+        let CachedIndex::Plain(e) = cache.get(&key).expect("hit") else { panic!("wrong family") };
+        assert_eq!(e.kernel().lcs(), iterative_combing(b"abcab", b"bcaba").lcs());
+        // The lazy index agrees with the kernel.
+        assert_eq!(e.scores().lcs(), e.kernel().lcs());
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let plain = CacheKey::new(IndexKind::Plain, b"xy", b"yx");
+        let edit = CacheKey::new(IndexKind::Edit, b"xy", b"yx");
+        assert_ne!(plain, edit);
+        let cache = KernelCache::new(16);
+        cache.insert(plain, entry(b"xy", b"yx"));
+        assert!(cache.get(&edit).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // Capacity 8 → one slot per shard; two keys in the same shard
+        // must evict each other, and the recently used one survives.
+        let cache = KernelCache::new(SHARDS);
+        let mut keys: Vec<CacheKey> = Vec::new();
+        let mut texts = Vec::new();
+        let mut i = 0u32;
+        while keys.len() < 3 {
+            let text = format!("t{i}");
+            let key = CacheKey::new(IndexKind::Plain, b"ab", text.as_bytes());
+            if keys.is_empty() || key.shard() == keys[0].shard() {
+                keys.push(key);
+                texts.push(text);
+            }
+            i += 1;
+        }
+        cache.insert(keys[0], entry(b"ab", texts[0].as_bytes()));
+        cache.insert(keys[1], entry(b"ab", texts[1].as_bytes()));
+        // keys[0] was evicted by keys[1] (shard capacity 1).
+        assert!(cache.get(&keys[0]).is_none());
+        assert!(cache.get(&keys[1]).is_some());
+        let evicted = cache.insert(keys[2], entry(b"ab", texts[2].as_bytes()));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_strings() {
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ba"));
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,290 @@
+//! Adaptive algorithm selection and request execution.
+//!
+//! The engine has three ways to answer a comparison, with very different
+//! cost profiles:
+//!
+//! * **Bit-parallel LCS** — O(σ·mn / 64) machine words, score only, no
+//!   reusable artifact. Unbeatable for one-shot global scores on small
+//!   alphabets.
+//! * **Sequential combing** — O(mn) braid pass producing a semi-local
+//!   kernel. Lowest constant factor; right for small grids or one thread.
+//! * **Grid hybrid combing** — the paper's parallel comb; pays task
+//!   spawning and merge overhead, so it only wins on grids large enough
+//!   to amortize it across threads.
+//!
+//! [`choose`] is a pure function of (operation, input sizes, thread
+//! budget) so tests can property-check it against reference oracles;
+//! [`execute`] layers the kernel cache on top — a cached kernel beats
+//! every fresh computation, so the cache is always consulted first for
+//! kernel-based operations.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use slcs_bitpar::bit_lcs_alphabet;
+use slcs_semilocal::{grid_hybrid_combing, iterative_combing, EditDistances, SemiLocalKernel};
+
+use crate::cache::{CacheKey, CachedIndex, IndexKind, KernelCache, PlainEntry};
+use crate::metrics::Metrics;
+use crate::request::{AlgoChoice, CacheStatus, CompareRequest, Operation, Payload};
+
+/// Grid area (`m * n`) below which sequential combing beats the parallel
+/// comb's task-spawn and merge overhead.
+pub const PAR_COMB_THRESHOLD: usize = 1 << 16;
+
+/// Largest alphabet the bit-parallel fast path is worth: its cost grows
+/// with ⌈log₂ σ⌉ bit planes, and past 64 symbols combing's reusable
+/// kernel usually pays better.
+pub const BITPAR_MAX_SIGMA: usize = 64;
+
+/// Number of distinct byte values across both inputs.
+pub fn alphabet_size(pattern: &[u8], text: &[u8]) -> usize {
+    let mut seen = [false; 256];
+    for &c in pattern.iter().chain(text) {
+        seen[c as usize] = true;
+    }
+    seen.iter().filter(|&&s| s).count()
+}
+
+/// Which combing variant to use for an `m × n` grid on `threads` threads.
+pub fn combing_choice(m: usize, n: usize, threads: usize) -> AlgoChoice {
+    if threads <= 1 || m.saturating_mul(n) < PAR_COMB_THRESHOLD {
+        AlgoChoice::IterativeCombing
+    } else {
+        AlgoChoice::GridHybridCombing { tasks: threads }
+    }
+}
+
+/// The planned algorithm for a request, *ignoring* the cache (a cache
+/// hit overrides any plan). Pure, so properties like "the plan's score
+/// always matches the reference oracle" are directly testable.
+pub fn choose(op: &Operation, pattern: &[u8], text: &[u8], threads: usize) -> AlgoChoice {
+    let (m, n) = (pattern.len(), text.len());
+    match op {
+        Operation::Lcs if alphabet_size(pattern, text) <= BITPAR_MAX_SIGMA => {
+            AlgoChoice::BitParallel
+        }
+        Operation::Lcs | Operation::Windows { .. } => combing_choice(m, n, threads),
+        Operation::Edit { .. } => AlgoChoice::EditIndex,
+    }
+}
+
+fn comb(pattern: &[u8], text: &[u8], threads: usize) -> (SemiLocalKernel, AlgoChoice) {
+    match combing_choice(pattern.len(), text.len(), threads) {
+        AlgoChoice::GridHybridCombing { tasks } => {
+            (grid_hybrid_combing(pattern, text, tasks), AlgoChoice::GridHybridCombing { tasks })
+        }
+        _ => (iterative_combing(pattern, text), AlgoChoice::IterativeCombing),
+    }
+}
+
+/// Fetches or builds the plain kernel entry for a pair.
+fn plain_entry(
+    pattern: &[u8],
+    text: &[u8],
+    cache: &KernelCache,
+    metrics: &Metrics,
+    threads: usize,
+) -> (Arc<PlainEntry>, AlgoChoice, CacheStatus) {
+    let key = CacheKey::new(IndexKind::Plain, pattern, text);
+    if let Some(CachedIndex::Plain(entry)) = cache.get(&key) {
+        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return (entry, AlgoChoice::CachedKernel, CacheStatus::Hit);
+    }
+    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let (kernel, algo) = comb(pattern, text, threads);
+    let entry = Arc::new(PlainEntry::new(kernel));
+    let evicted = cache.insert(key, CachedIndex::Plain(entry.clone()));
+    metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+    (entry, algo, CacheStatus::Miss)
+}
+
+/// Fetches or builds the edit-distance index for a pair.
+fn edit_entry(
+    pattern: &[u8],
+    text: &[u8],
+    cache: &KernelCache,
+    metrics: &Metrics,
+) -> (Arc<EditDistances>, AlgoChoice, CacheStatus) {
+    let key = CacheKey::new(IndexKind::Edit, pattern, text);
+    if let Some(CachedIndex::Edit(entry)) = cache.get(&key) {
+        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return (entry, AlgoChoice::CachedKernel, CacheStatus::Hit);
+    }
+    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new(EditDistances::new(pattern, text));
+    let evicted = cache.insert(key, CachedIndex::Edit(entry.clone()));
+    metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+    (entry, AlgoChoice::EditIndex, CacheStatus::Miss)
+}
+
+fn best_window(scores: &[usize]) -> (usize, usize) {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))
+        .map(|(i, &s)| (i, s))
+        .unwrap_or((0, 0))
+}
+
+/// Serves one request: consults the cache, runs the chosen algorithm,
+/// and reports which path was taken. Degenerate (empty) inputs are
+/// answered directly so the kernel algorithms never see them.
+pub fn execute(
+    req: &CompareRequest,
+    cache: &KernelCache,
+    metrics: &Metrics,
+    threads: usize,
+) -> (Payload, AlgoChoice, CacheStatus) {
+    let (pattern, text) = (&req.pattern[..], &req.text[..]);
+    let (m, n) = (pattern.len(), text.len());
+    if m == 0 || n == 0 {
+        let payload = match req.op {
+            Operation::Lcs => Payload::Score(0),
+            Operation::Windows { w } => {
+                let scores = vec![0; n + 1 - w];
+                Payload::Windows { scores, best: (0, 0) }
+            }
+            Operation::Edit { w } => {
+                // With an empty pattern every length-w window costs w
+                // deletions; with an empty text no window is valid
+                // (validation only admits w = None then).
+                Payload::Edit { global: m + n, best: w.map(|w| (0, w, m + w)) }
+            }
+        };
+        return (payload, AlgoChoice::BitParallel, CacheStatus::Bypass);
+    }
+    match req.op {
+        Operation::Lcs => {
+            // A cached kernel answers for free; otherwise only build one
+            // when combing was the plan anyway — the bit-parallel path
+            // is cheaper than a comb it wouldn't reuse.
+            let key = CacheKey::new(IndexKind::Plain, pattern, text);
+            if let Some(CachedIndex::Plain(entry)) = cache.get(&key) {
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return (
+                    Payload::Score(entry.kernel().lcs()),
+                    AlgoChoice::CachedKernel,
+                    CacheStatus::Hit,
+                );
+            }
+            match choose(&req.op, pattern, text, threads) {
+                AlgoChoice::BitParallel => (
+                    Payload::Score(bit_lcs_alphabet(pattern, text)),
+                    AlgoChoice::BitParallel,
+                    CacheStatus::Bypass,
+                ),
+                _ => {
+                    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    let (kernel, algo) = comb(pattern, text, threads);
+                    let score = kernel.lcs();
+                    let evicted =
+                        cache.insert(key, CachedIndex::Plain(Arc::new(PlainEntry::new(kernel))));
+                    metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    (Payload::Score(score), algo, CacheStatus::Miss)
+                }
+            }
+        }
+        Operation::Windows { w } => {
+            let (entry, algo, status) = plain_entry(pattern, text, cache, metrics, threads);
+            let scores = entry.scores().windows_linear(w);
+            let best = best_window(&scores);
+            (Payload::Windows { scores, best }, algo, status)
+        }
+        Operation::Edit { w } => {
+            let (entry, algo, status) = edit_entry(pattern, text, cache, metrics);
+            let global = entry.global();
+            let best = w.map(|w| entry.best_window(w));
+            (Payload::Edit { global, best }, algo, status)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slcs_baselines::{edit_distance, prefix_rowmajor};
+
+    fn req(pattern: &[u8], text: &[u8], op: Operation) -> CompareRequest {
+        CompareRequest::new(pattern, text, op)
+    }
+
+    #[test]
+    fn choose_prefers_bitparallel_for_small_alphabet_scores() {
+        assert_eq!(choose(&Operation::Lcs, b"acgt", b"tgca", 4), AlgoChoice::BitParallel);
+        // Window queries always need a kernel.
+        assert!(matches!(
+            choose(&Operation::Windows { w: 2 }, b"acgt", b"tgca", 1),
+            AlgoChoice::IterativeCombing
+        ));
+        assert_eq!(choose(&Operation::Edit { w: None }, b"ab", b"ba", 1), AlgoChoice::EditIndex);
+    }
+
+    #[test]
+    fn combing_goes_parallel_only_on_large_grids_with_threads() {
+        assert_eq!(combing_choice(100, 100, 8), AlgoChoice::IterativeCombing);
+        assert_eq!(combing_choice(1000, 1000, 1), AlgoChoice::IterativeCombing);
+        assert_eq!(combing_choice(1000, 1000, 8), AlgoChoice::GridHybridCombing { tasks: 8 });
+    }
+
+    #[test]
+    fn execute_matches_reference_scores() {
+        let cache = KernelCache::new(16);
+        let metrics = Metrics::default();
+        let (a, b) = (&b"bacaabca"[..], &b"abacabcab"[..]);
+        let (payload, _, status) = execute(&req(a, b, Operation::Lcs), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::Score(prefix_rowmajor(a, b)));
+        assert_eq!(status, CacheStatus::Bypass);
+        let (payload, _, _) = execute(&req(a, b, Operation::Edit { w: None }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::Edit { global: edit_distance(a, b), best: None });
+    }
+
+    #[test]
+    fn window_scan_agrees_with_direct_lcs_per_window() {
+        let cache = KernelCache::new(16);
+        let metrics = Metrics::default();
+        let (a, b) = (&b"abcba"[..], &b"babcbabcab"[..]);
+        let w = 5;
+        let (payload, _, status) =
+            execute(&req(a, b, Operation::Windows { w }), &cache, &metrics, 1);
+        let Payload::Windows { scores, best } = payload else { panic!("wrong payload") };
+        assert_eq!(status, CacheStatus::Miss);
+        for (i, &s) in scores.iter().enumerate() {
+            assert_eq!(s, prefix_rowmajor(a, &b[i..i + w]), "window {i}");
+        }
+        assert_eq!(best.1, *scores.iter().max().unwrap());
+        // Second identical request is a hit and bit-identical.
+        let (payload2, algo2, status2) =
+            execute(&req(a, b, Operation::Windows { w }), &cache, &metrics, 1);
+        assert_eq!(status2, CacheStatus::Hit);
+        assert_eq!(algo2, AlgoChoice::CachedKernel);
+        assert_eq!(payload2, Payload::Windows { scores, best });
+    }
+
+    #[test]
+    fn lcs_after_windows_reuses_the_cached_kernel() {
+        let cache = KernelCache::new(16);
+        let metrics = Metrics::default();
+        let (a, b) = (&b"abcba"[..], &b"babcbabcab"[..]);
+        execute(&req(a, b, Operation::Windows { w: 3 }), &cache, &metrics, 1);
+        let (payload, algo, status) = execute(&req(a, b, Operation::Lcs), &cache, &metrics, 1);
+        assert_eq!(status, CacheStatus::Hit);
+        assert_eq!(algo, AlgoChoice::CachedKernel);
+        assert_eq!(payload, Payload::Score(prefix_rowmajor(a, b)));
+    }
+
+    #[test]
+    fn empty_inputs_are_served_directly() {
+        let cache = KernelCache::new(4);
+        let metrics = Metrics::default();
+        let (payload, _, _) = execute(&req(b"", b"abc", Operation::Lcs), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::Score(0));
+        let (payload, _, _) =
+            execute(&req(b"", b"abc", Operation::Windows { w: 2 }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::Windows { scores: vec![0, 0], best: (0, 0) });
+        let (payload, _, _) =
+            execute(&req(b"xy", b"", Operation::Edit { w: None }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::Edit { global: 2, best: None });
+        assert!(cache.is_empty());
+    }
+}

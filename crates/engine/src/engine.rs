@@ -1,0 +1,317 @@
+//! The engine itself: worker pool, submission path, lifecycle.
+//!
+//! An [`Engine`] owns a bounded [`JobQueue`](crate::queue::JobQueue), a
+//! sharded [`KernelCache`], shared [`Metrics`] and a fixed pool of
+//! worker threads. Submitters never compute: they validate, hash, and
+//! enqueue; workers pop *batches* of jobs sharing a pattern (so repeat
+//! comparisons against a hot pattern stay cache- and core-local) and
+//! serve each through [`dispatch::execute`].
+//!
+//! Shutdown is graceful: `shutdown()` (or `Drop`) closes the queue, lets
+//! workers drain everything already accepted, and joins them. Requests
+//! submitted after close get a ticket that resolves to
+//! [`EngineError::ShuttingDown`] instead of blocking forever.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::cache::{CacheKey, IndexKind, KernelCache};
+use crate::dispatch;
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::queue::{ticket_pair, Job, JobQueue, Push, Submit, Ticket};
+use crate::request::{CompareOutcome, CompareRequest, EngineError, Operation};
+
+/// Tunables for an [`Engine`]. `Default` sizes everything off the
+/// machine's thread budget and is right for most uses; tests shrink the
+/// queue and cache to force backpressure and eviction on purpose.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get
+    /// [`Submit::QueueFull`].
+    pub queue_capacity: usize,
+    /// Total kernel-cache entries across all shards.
+    pub cache_capacity: usize,
+    /// Most jobs a worker pops per batch.
+    pub batch_limit: usize,
+    /// Thread budget assumed when choosing between sequential and
+    /// parallel combing for a single request.
+    pub threads_per_request: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let threads = rayon::current_num_threads().max(1);
+        EngineConfig {
+            workers: threads,
+            queue_capacity: 256,
+            cache_capacity: 128,
+            batch_limit: 32,
+            threads_per_request: threads,
+        }
+    }
+}
+
+struct Shared {
+    queue: JobQueue,
+    cache: KernelCache,
+    metrics: Metrics,
+    config: EngineConfig,
+}
+
+/// A long-running, thread-safe comparison engine.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: KernelCache::new(config.cache_capacity),
+            metrics: Metrics::default(),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("slcs-engine-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    pub fn with_defaults() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Offers a request. Never blocks: the result is either a ticket,
+    /// an immediate [`Submit::QueueFull`], or [`Submit::Invalid`].
+    pub fn submit(&self, req: CompareRequest) -> Submit {
+        let metrics = &self.shared.metrics;
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Err(why) = req.validate() {
+            metrics.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Submit::Invalid(why);
+        }
+        let kind = match req.op {
+            Operation::Edit { .. } => IndexKind::Edit,
+            _ => IndexKind::Plain,
+        };
+        let key = CacheKey::new(kind, &req.pattern, &req.text);
+        let (theirs, ours) = ticket_pair();
+        let job = Job { req, ticket: ours, enqueued_at: Instant::now(), key };
+        match self.shared.queue.push(job) {
+            Push::Ok { depth } => {
+                metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                metrics.note_depth(depth as u64);
+                Submit::Accepted(theirs)
+            }
+            Push::Full => {
+                metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                Submit::QueueFull
+            }
+            Push::Closed => {
+                // The job (and its ticket) were not queued; resolve the
+                // caller's ticket so waiting on it cannot hang.
+                let (theirs, ours) = ticket_pair();
+                ours.fulfill(Err(EngineError::ShuttingDown));
+                Submit::Accepted(theirs)
+            }
+        }
+    }
+
+    /// Submits and blocks for the outcome, retrying briefly on
+    /// backpressure. Convenience for callers without their own retry
+    /// policy (examples, CLI); returns `Err` on invalid requests.
+    pub fn submit_wait(&self, req: CompareRequest) -> Result<CompareOutcome, EngineError> {
+        loop {
+            match self.submit(req.clone()) {
+                Submit::Accepted(ticket) => return ticket.wait(),
+                Submit::QueueFull => std::thread::yield_now(),
+                Submit::Invalid(why) => return Err(EngineError::Internal(why)),
+            }
+        }
+    }
+
+    /// A point-in-time view of the counters and histograms. The queue
+    /// depth is sampled live rather than taken from a gauge: submit and
+    /// worker threads race, so a stored gauge can go stale the moment
+    /// the queue drains.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snapshot = self.shared.metrics.snapshot();
+        snapshot.queue_depth = self.shared.queue.depth() as u64;
+        snapshot
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let metrics = &shared.metrics;
+    while let Some((batch, _depth)) = shared.queue.pop_batch(shared.config.batch_limit) {
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        if batch.len() > 1 {
+            metrics.coalesced.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        // Identical pairs inside the batch deduplicate through the
+        // cache: the first job combs and inserts, the rest hit.
+        for job in batch {
+            metrics.wait_micros.record(job.enqueued_at.elapsed().as_micros() as u64);
+            let started = Instant::now();
+            let computed = catch_unwind(AssertUnwindSafe(|| {
+                dispatch::execute(
+                    &job.req,
+                    &shared.cache,
+                    metrics,
+                    shared.config.threads_per_request,
+                )
+            }));
+            let service_micros = started.elapsed().as_micros() as u64;
+            metrics.service_micros.record(service_micros);
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let result = match computed {
+                Ok((payload, algo, cache)) => {
+                    Ok(CompareOutcome { payload, algo, cache, service_micros })
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "computation panicked".into());
+                    Err(EngineError::Internal(msg))
+                }
+            };
+            job.ticket.fulfill(result);
+        }
+    }
+}
+
+/// Blocks on a ticket, panicking on engine errors (test convenience).
+pub fn redeem(ticket: Ticket) -> CompareOutcome {
+    ticket.wait().expect("engine request failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{CacheStatus, Operation, Payload};
+    use slcs_baselines::prefix_rowmajor;
+
+    fn small_engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 16,
+            batch_limit: 4,
+            threads_per_request: 1,
+        })
+    }
+
+    #[test]
+    fn serves_lcs_and_reports_stats() {
+        let engine = small_engine();
+        let (a, b) = (&b"abcabba"[..], &b"cbabac"[..]);
+        let outcome = engine
+            .submit(CompareRequest::new(a, b, Operation::Lcs))
+            .expect_accepted()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.payload, Payload::Score(prefix_rowmajor(a, b)));
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let engine = small_engine();
+        let (a, b) = (&b"abracadabra"[..], &b"alakazamabra"[..]);
+        let first = engine
+            .submit(CompareRequest::new(a, b, Operation::Windows { w: 6 }))
+            .expect_accepted()
+            .wait()
+            .unwrap();
+        assert_eq!(first.cache, CacheStatus::Miss);
+        let second = engine
+            .submit(CompareRequest::new(a, b, Operation::Windows { w: 6 }))
+            .expect_accepted()
+            .wait()
+            .unwrap();
+        assert_eq!(second.cache, CacheStatus::Hit);
+        assert_eq!(first.payload, second.payload);
+        let stats = engine.shutdown();
+        assert!(stats.cache_hits >= 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn invalid_requests_bounce_at_submission() {
+        let engine = small_engine();
+        match engine.submit(CompareRequest::new(
+            &b"ab"[..],
+            &b"xy"[..],
+            Operation::Windows { w: 9 },
+        )) {
+            Submit::Invalid(why) => assert!(why.contains("window")),
+            _ => panic!("expected validation rejection"),
+        }
+        assert_eq!(engine.stats().rejected_invalid, 1);
+    }
+
+    #[test]
+    fn shutdown_resolves_late_submissions() {
+        let engine = small_engine();
+        engine.shared.queue.close();
+        let submit = engine.submit(CompareRequest::new(&b"a"[..], &b"a"[..], Operation::Lcs));
+        let Submit::Accepted(ticket) = submit else { panic!("expected ticket") };
+        assert!(matches!(ticket.wait(), Err(EngineError::ShuttingDown)));
+    }
+
+    #[test]
+    fn submit_wait_round_trips() {
+        let engine = small_engine();
+        let outcome = engine
+            .submit_wait(CompareRequest::new(&b"acgt"[..], &b"tgca"[..], Operation::Lcs))
+            .unwrap();
+        assert_eq!(outcome.payload, Payload::Score(1));
+    }
+}

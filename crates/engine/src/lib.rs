@@ -1,0 +1,55 @@
+//! slcs-engine — a long-running, thread-safe string-comparison engine.
+//!
+//! The algorithm crates in this workspace answer one comparison at a
+//! time; this crate turns them into a *service*. An [`Engine`] accepts
+//! [`CompareRequest`]s (global LCS, semi-local window scans,
+//! edit-distance scans) through a bounded queue with explicit
+//! backpressure, serves them on a pool of worker threads, and caches
+//! the semi-local kernels it builds — the paper's central object — in a
+//! sharded LRU so repeat comparisons cost O(log² n) index lookups
+//! instead of an O(mn) comb.
+//!
+//! Layered bottom-up:
+//!
+//! * [`request`] — request/outcome vocabulary shared by every layer.
+//! * [`metrics`] — lock-free counters and latency histograms behind
+//!   [`StatsSnapshot`].
+//! * [`cache`] — the sharded LRU of kernels and edit-distance indexes.
+//! * [`dispatch`] — adaptive algorithm choice (bit-parallel vs
+//!   sequential vs parallel combing) and request execution.
+//! * [`queue`] — the bounded submission queue, [`Submit`] backpressure
+//!   result and completion [`Ticket`]s.
+//! * [`engine`] — the worker pool, batch coalescing and lifecycle.
+//! * [`server`] — a TCP line protocol for remote clients.
+//!
+//! ```
+//! use slcs_engine::{CompareRequest, Engine, Operation, Payload};
+//!
+//! let engine = Engine::with_defaults();
+//! let outcome = engine
+//!     .submit_wait(CompareRequest::new(
+//!         &b"abcabba"[..],
+//!         &b"cbabac"[..],
+//!         Operation::Lcs,
+//!     ))
+//!     .unwrap();
+//! assert_eq!(outcome.payload, Payload::Score(4));
+//! ```
+
+pub mod cache;
+pub mod dispatch;
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use cache::{CacheKey, IndexKind, KernelCache};
+pub use dispatch::{alphabet_size, choose, combing_choice, execute};
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{HistogramSnapshot, Metrics, StatsSnapshot};
+pub use queue::{Submit, Ticket};
+pub use request::{
+    AlgoChoice, CacheStatus, CompareOutcome, CompareRequest, EngineError, Operation, Payload,
+};
+pub use server::{spawn as serve, ServerConfig, ServerHandle};

@@ -1,0 +1,231 @@
+//! Engine observability: atomic counters, gauges and latency histograms.
+//!
+//! Everything here is lock-free (`Ordering::Relaxed` — the counters are
+//! monotone statistics, not synchronization), so workers and submitters
+//! can record events without contending, and [`Metrics::snapshot`] can be
+//! read at any time from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 also takes
+/// sub-microsecond samples); the last bucket absorbs the tail. Fixed
+/// memory, lock-free recording, quantiles by bucket interpolation.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS).saturating_sub(1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// An immutable copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (µs) of the bucket holding quantile `q` in `[0, 1]`.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// All engine counters and histograms, shared by workers and submitters.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests offered to `submit` (accepted or not).
+    pub submitted: AtomicU64,
+    /// Requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests bounced with [`Submit::QueueFull`](crate::Submit::QueueFull).
+    pub rejected_queue_full: AtomicU64,
+    /// Requests bounced at validation.
+    pub rejected_invalid: AtomicU64,
+    /// Requests fully served (ticket fulfilled with a result).
+    pub completed: AtomicU64,
+    /// Requests answered from a cached kernel index.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to build (and insert) a kernel.
+    pub cache_misses: AtomicU64,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: AtomicU64,
+    /// Requests served as part of a coalesced batch of size > 1.
+    pub coalesced: AtomicU64,
+    /// Batches popped by workers (1 batch may serve many requests).
+    pub batches: AtomicU64,
+    /// Scratch gauge for queue depth. `Engine::stats` overwrites the
+    /// snapshot with the live queue depth instead of maintaining this
+    /// under contention (submit/pop stores race and can go stale).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of observed queue depths (fed by `note_depth`).
+    pub max_queue_depth: AtomicU64,
+    /// Time from acceptance to a worker picking the request up.
+    pub wait_micros: Histogram,
+    /// Time a worker spent computing the answer.
+    pub service_micros: Histogram,
+}
+
+impl Metrics {
+    pub fn note_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            wait_micros: self.wait_micros.snapshot(),
+            service_micros: self.service_micros.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of every engine statistic.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    pub submitted: u64,
+    pub accepted: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_invalid: u64,
+    pub completed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub coalesced: u64,
+    pub batches: u64,
+    pub queue_depth: u64,
+    pub max_queue_depth: u64,
+    pub wait_micros: HistogramSnapshot,
+    pub service_micros: HistogramSnapshot,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: submitted={} accepted={} completed={} \
+             rejected(queue_full={} invalid={})",
+            self.submitted,
+            self.accepted,
+            self.completed,
+            self.rejected_queue_full,
+            self.rejected_invalid,
+        )?;
+        writeln!(
+            f,
+            "cache:    hits={} misses={} evictions={}",
+            self.cache_hits, self.cache_misses, self.cache_evictions
+        )?;
+        writeln!(f, "batches:  {} popped, {} requests coalesced", self.batches, self.coalesced)?;
+        writeln!(f, "queue:    depth={} max_depth={}", self.queue_depth, self.max_queue_depth)?;
+        writeln!(
+            f,
+            "wait:     p50<={}us p95<={}us p99<={}us (n={})",
+            self.wait_micros.quantile(0.50),
+            self.wait_micros.quantile(0.95),
+            self.wait_micros.quantile(0.99),
+            self.wait_micros.count(),
+        )?;
+        write!(
+            f,
+            "service:  p50<={}us p95<={}us p99<={}us (n={})",
+            self.service_micros.quantile(0.50),
+            self.service_micros.quantile(0.95),
+            self.service_micros.quantile(0.99),
+            self.service_micros.count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2); // in bucket 0 → bound 2^1
+        assert!(s.quantile(0.99) >= 4096);
+        assert_eq!(HistogramSnapshot { buckets: [0; BUCKETS] }.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.note_depth(7);
+        m.note_depth(4);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.max_queue_depth, 7);
+        let text = s.to_string();
+        assert!(text.contains("submitted=3"));
+        assert!(text.contains("max_depth=7"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Bounded submission queue with explicit backpressure and completion
+//! tickets.
+//!
+//! The queue is the engine's only admission point: `submit` either
+//! accepts a request (returning a [`Ticket`] the caller can block on) or
+//! refuses it *immediately* with [`Submit::QueueFull`]. Nothing ever
+//! blocks on the way in — backpressure is a value the caller can see and
+//! react to (retry, shed load, or slow down), not an invisible stall.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheKey;
+use crate::request::{CompareOutcome, CompareRequest, EngineError};
+
+/// Result of offering a request to the engine.
+#[must_use]
+pub enum Submit {
+    /// Queued; redeem the ticket for the outcome.
+    Accepted(Ticket),
+    /// The bounded queue is at capacity — the request was *not* queued.
+    QueueFull,
+    /// The request failed validation and was never queued.
+    Invalid(String),
+}
+
+impl Submit {
+    /// Unwraps the ticket, panicking on rejection (test convenience).
+    pub fn expect_accepted(self) -> Ticket {
+        match self {
+            Submit::Accepted(t) => t,
+            Submit::QueueFull => panic!("request rejected: queue full"),
+            Submit::Invalid(why) => panic!("request rejected: {why}"),
+        }
+    }
+}
+
+struct TicketState {
+    result: Option<Result<CompareOutcome, EngineError>>,
+}
+
+/// A handle to one accepted request's eventual outcome.
+pub struct Ticket {
+    inner: Arc<(Mutex<TicketState>, Condvar)>,
+}
+
+impl Ticket {
+    fn new() -> (Ticket, Ticket) {
+        let inner = Arc::new((Mutex::new(TicketState { result: None }), Condvar::new()));
+        (Ticket { inner: inner.clone() }, Ticket { inner })
+    }
+
+    /// Blocks until the request completes.
+    pub fn wait(self) -> Result<CompareOutcome, EngineError> {
+        let (lock, cv) = &*self.inner;
+        let mut state = lock.lock().unwrap();
+        loop {
+            if let Some(result) = state.result.take() {
+                return result;
+            }
+            state = cv.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` means still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CompareOutcome, EngineError>> {
+        let (lock, cv) = &*self.inner;
+        let deadline = Instant::now() + timeout;
+        let mut state = lock.lock().unwrap();
+        loop {
+            if let Some(result) = state.result.take() {
+                return Some(result);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (next, timed_out) = cv.wait_timeout(state, left).unwrap();
+            state = next;
+            if timed_out.timed_out() && state.result.is_none() {
+                return None;
+            }
+        }
+    }
+
+    /// Fulfills the paired ticket (worker side).
+    pub(crate) fn fulfill(&self, result: Result<CompareOutcome, EngineError>) {
+        let (lock, cv) = &*self.inner;
+        lock.lock().unwrap().result = Some(result);
+        cv.notify_all();
+    }
+}
+
+/// A queued request together with its ticket and bookkeeping.
+pub(crate) struct Job {
+    pub req: CompareRequest,
+    pub ticket: Ticket,
+    pub enqueued_at: Instant,
+    /// Precomputed cache key — also the coalescing identity.
+    pub key: CacheKey,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded MPMC job queue.
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+pub(crate) enum Push {
+    Ok { depth: usize },
+    Full,
+    Closed,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn push(&self, job: Job) -> Push {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Push::Closed;
+        }
+        if state.jobs.len() >= self.capacity {
+            return Push::Full;
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Push::Ok { depth }
+    }
+
+    /// Pops the head job plus up to `batch_limit - 1` more jobs sharing
+    /// its pattern hash (the coalescing rule: same-pattern requests are
+    /// served together, and identical pairs among them comb only once).
+    /// Returns `None` when the queue is closed and drained.
+    ///
+    /// The returned depth is the queue length after removal, for the
+    /// caller's gauge.
+    pub fn pop_batch(&self, batch_limit: usize) -> Option<(Vec<Job>, usize)> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(head) = state.jobs.pop_front() {
+                let mut batch = vec![head];
+                let pattern_hash = batch[0].key.pattern_hash;
+                let mut i = 0;
+                while i < state.jobs.len() && batch.len() < batch_limit.max(1) {
+                    if state.jobs[i].key.pattern_hash == pattern_hash {
+                        batch.push(state.jobs.remove(i).unwrap());
+                    } else {
+                        i += 1;
+                    }
+                }
+                let depth = state.jobs.len();
+                return Some((batch, depth));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: no new jobs are admitted, blocked workers wake
+    /// up, and remaining jobs keep draining through `pop_batch`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+}
+
+pub(crate) fn ticket_pair() -> (Ticket, Ticket) {
+    Ticket::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::IndexKind;
+    use crate::request::{Operation, Payload};
+
+    fn job(pattern: &[u8], text: &[u8]) -> (Job, Ticket) {
+        let req = CompareRequest::new(pattern, text, Operation::Lcs);
+        let key = CacheKey::new(IndexKind::Plain, pattern, text);
+        let (theirs, ours) = ticket_pair();
+        (Job { req, ticket: ours, enqueued_at: Instant::now(), key }, theirs)
+    }
+
+    #[test]
+    fn push_reports_full_at_capacity() {
+        let q = JobQueue::new(2);
+        let (j1, _t1) = job(b"a", b"b");
+        let (j2, _t2) = job(b"a", b"c");
+        let (j3, _t3) = job(b"a", b"d");
+        assert!(matches!(q.push(j1), Push::Ok { depth: 1 }));
+        assert!(matches!(q.push(j2), Push::Ok { depth: 2 }));
+        assert!(matches!(q.push(j3), Push::Full));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_batch_groups_by_pattern_and_keeps_order() {
+        let q = JobQueue::new(16);
+        let (ja1, _t1) = job(b"aaaa", b"x");
+        let (jb, _t2) = job(b"bbbb", b"y");
+        let (ja2, _t3) = job(b"aaaa", b"z");
+        assert!(matches!(q.push(ja1), Push::Ok { .. }));
+        assert!(matches!(q.push(jb), Push::Ok { .. }));
+        assert!(matches!(q.push(ja2), Push::Ok { .. }));
+        let (batch, depth) = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 2, "both aaaa jobs coalesce");
+        assert!(batch.iter().all(|j| &j.req.pattern[..] == b"aaaa"));
+        assert_eq!(depth, 1);
+        let (batch, depth) = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(&batch[0].req.pattern[..], b"bbbb");
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn batch_limit_caps_coalescing() {
+        let q = JobQueue::new(16);
+        for i in 0..5u8 {
+            let (j, _t) = job(b"pp", &[i]);
+            assert!(matches!(q.push(j), Push::Ok { .. }));
+        }
+        let (batch, _) = q.pop_batch(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        let (batch, _) = q.pop_batch(3).unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let (j, _t) = job(b"a", b"b");
+        assert!(matches!(q.push(j), Push::Ok { .. }));
+        q.close();
+        let (j2, _t2) = job(b"a", b"c");
+        assert!(matches!(q.push(j2), Push::Closed));
+        assert!(q.pop_batch(4).is_some(), "drains pending job");
+        assert!(q.pop_batch(4).is_none(), "then reports closed");
+    }
+
+    #[test]
+    fn tickets_hand_over_results_across_threads() {
+        let (theirs, ours) = ticket_pair();
+        assert!(theirs.wait_timeout(Duration::from_millis(1)).is_none());
+        let handle = std::thread::spawn(move || theirs.wait());
+        ours.fulfill(Ok(CompareOutcome {
+            payload: Payload::Score(7),
+            algo: crate::request::AlgoChoice::BitParallel,
+            cache: crate::request::CacheStatus::Bypass,
+            service_micros: 1,
+        }));
+        let outcome = handle.join().unwrap().unwrap();
+        assert_eq!(outcome.payload, Payload::Score(7));
+    }
+}

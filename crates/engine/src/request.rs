@@ -1,0 +1,147 @@
+//! Request and response types of the comparison engine.
+
+use std::sync::Arc;
+
+/// What to compute over a `(pattern, text)` pair.
+///
+/// `pattern` is the paper's string `a`, `text` its string `b`; window
+/// operations slide over the text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operation {
+    /// Global LCS score `LCS(a, b)`.
+    Lcs,
+    /// Semi-local window scan: `LCS(a, b[i..i+w))` for every window
+    /// start `i`, plus the best window.
+    Windows { w: usize },
+    /// Global edit distance, plus (optionally) the closest window of
+    /// length `w` in the text.
+    Edit { w: Option<usize> },
+}
+
+/// A unit of work submitted to the engine.
+///
+/// Inputs are `Arc<[u8]>` so a client can submit the same pattern or
+/// text many times (or to many operations) without copying; the engine
+/// also keys its kernel cache and batch coalescing off these bytes.
+#[derive(Clone, Debug)]
+pub struct CompareRequest {
+    pub pattern: Arc<[u8]>,
+    pub text: Arc<[u8]>,
+    pub op: Operation,
+}
+
+impl CompareRequest {
+    pub fn new(pattern: impl Into<Arc<[u8]>>, text: impl Into<Arc<[u8]>>, op: Operation) -> Self {
+        CompareRequest { pattern: pattern.into(), text: text.into(), op }
+    }
+
+    /// Checks operation bounds against the input lengths; the engine
+    /// rejects invalid requests at submission so worker threads never
+    /// hit an algorithm's assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.text.len();
+        match self.op {
+            Operation::Lcs => Ok(()),
+            Operation::Windows { w } => {
+                if w == 0 {
+                    Err("window length must be positive".into())
+                } else if w > n {
+                    Err(format!("window {w} longer than text ({n})"))
+                } else {
+                    Ok(())
+                }
+            }
+            Operation::Edit { w } => match w {
+                Some(0) => Err("window length must be positive".into()),
+                Some(w) if w > n => Err(format!("window {w} longer than text ({n})")),
+                _ => Ok(()),
+            },
+        }
+    }
+}
+
+/// Which algorithm served a request (observable for tests and ops).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Carry-free bit-parallel LCS (score only, no kernel built).
+    BitParallel,
+    /// Sequential iterative combing → semi-local kernel.
+    IterativeCombing,
+    /// Parallel grid hybrid combing (Listing 7) with this many tasks.
+    GridHybridCombing { tasks: usize },
+    /// Blown-up combing behind the edit-distance index.
+    EditIndex,
+    /// Served straight from the kernel cache — no combing at all.
+    CachedKernel,
+}
+
+/// Whether the kernel cache could help this request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Answered from a cached kernel index.
+    Hit,
+    /// Kernel computed (and inserted) by this request.
+    Miss,
+    /// The request never consulted the cache (score-only fast path).
+    Bypass,
+}
+
+/// Operation-specific result data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// `Operation::Lcs`.
+    Score(usize),
+    /// `Operation::Windows`: `scores[i] = LCS(a, b[i..i+w))`, plus the
+    /// `(start, score)` of the best window (smallest start on ties).
+    Windows { scores: Vec<usize>, best: (usize, usize) },
+    /// `Operation::Edit`: global distance plus the optional
+    /// `(start, end, distance)` of the closest window.
+    Edit { global: usize, best: Option<(usize, usize, usize)> },
+}
+
+/// A served request.
+#[derive(Clone, Debug)]
+pub struct CompareOutcome {
+    pub payload: Payload,
+    pub algo: AlgoChoice,
+    pub cache: CacheStatus,
+    /// Service time (compute only, excluding queue wait), in microseconds.
+    pub service_micros: u64,
+}
+
+/// Terminal failure of a submitted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The engine is shutting down; the request was not served.
+    ShuttingDown,
+    /// The computation panicked; the worker survived and the panic
+    /// message is surfaced to the one caller it affected.
+    Internal(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_bounds_windows() {
+        let req = |op| CompareRequest::new(&b"abc"[..], &b"abcdef"[..], op);
+        assert!(req(Operation::Lcs).validate().is_ok());
+        assert!(req(Operation::Windows { w: 6 }).validate().is_ok());
+        assert!(req(Operation::Windows { w: 0 }).validate().is_err());
+        assert!(req(Operation::Windows { w: 7 }).validate().is_err());
+        assert!(req(Operation::Edit { w: None }).validate().is_ok());
+        assert!(req(Operation::Edit { w: Some(7) }).validate().is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! A minimal TCP line protocol in front of an [`Engine`].
+//!
+//! One request per line, one response line per request (`\n`
+//! terminated, ASCII tokens separated by single spaces):
+//!
+//! ```text
+//! LCS <pattern> <text>             → OK <score> <algo> <cache>
+//! WINDOWS <w> <pattern> <text>     → OK <best_start> <best_score> <s0,s1,…>
+//! EDIT <pattern> <text> [<w>]      → OK <global> [<start> <end> <dist>]
+//! STATS                            → OK key=value …
+//! PING                             → OK pong
+//! QUIT                             → OK bye (server closes the connection)
+//! ```
+//!
+//! Error responses: `ERR <reason>` for malformed or invalid requests,
+//! `BUSY` when the engine's bounded queue rejects the submission —
+//! backpressure is forwarded to the client verbatim rather than queued
+//! invisibly, so a load balancer can react to it.
+//!
+//! The accept loop polls a stop flag (non-blocking accept + short
+//! sleeps) and per-connection reads carry a timeout, so
+//! [`ServerHandle::stop`] shuts the whole thing down without help from
+//! the clients.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::queue::Submit;
+use crate::request::{AlgoChoice, CacheStatus, CompareRequest, Operation, Payload};
+
+/// Limits for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connections handled concurrently; extra clients get `BUSY`.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_connections: 64 }
+    }
+}
+
+/// A running server: address, stop flag, accept-thread handle.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop and all connection handlers to exit,
+    /// then joins the accept thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the engine on a background thread. Bind to
+/// port 0 to let the OS pick (the handle reports the real address).
+pub fn spawn(
+    addr: impl ToSocketAddrs,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_for_loop = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("slcs-engine-accept".into())
+        .spawn(move || accept_loop(listener, engine, config, stop_for_loop))?;
+    Ok(ServerHandle { addr, stop, thread: Some(thread) })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut handlers = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if live.load(Ordering::Relaxed) >= config.max_connections {
+                    let mut stream = stream;
+                    let _ = stream.write_all(b"BUSY\n");
+                    continue;
+                }
+                live.fetch_add(1, Ordering::Relaxed);
+                let engine = engine.clone();
+                let stop = stop.clone();
+                let live = live.clone();
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_client(stream, &engine, &stop);
+                    live.fetch_sub(1, Ordering::Relaxed);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_client(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        let response = respond(line.trim(), engine);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if line.trim().eq_ignore_ascii_case("QUIT") {
+            return Ok(());
+        }
+    }
+}
+
+fn algo_token(algo: AlgoChoice) -> &'static str {
+    match algo {
+        AlgoChoice::BitParallel => "bitpar",
+        AlgoChoice::IterativeCombing => "comb",
+        AlgoChoice::GridHybridCombing { .. } => "grid",
+        AlgoChoice::EditIndex => "edit",
+        AlgoChoice::CachedKernel => "cached",
+    }
+}
+
+fn cache_token(cache: CacheStatus) -> &'static str {
+    match cache {
+        CacheStatus::Hit => "hit",
+        CacheStatus::Miss => "miss",
+        CacheStatus::Bypass => "bypass",
+    }
+}
+
+/// Parses one request line and produces the response line (no newline).
+pub fn respond(line: &str, engine: &Engine) -> String {
+    let mut parts = line.split_ascii_whitespace();
+    let Some(cmd) = parts.next() else {
+        return "ERR empty request".into();
+    };
+    let req = match cmd.to_ascii_uppercase().as_str() {
+        "PING" => return "OK pong".into(),
+        "QUIT" => return "OK bye".into(),
+        "STATS" => {
+            let s = engine.stats();
+            return format!(
+                "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
+                 hits={} misses={} evictions={} batches={} coalesced={} \
+                 depth={} max_depth={}",
+                s.submitted,
+                s.accepted,
+                s.completed,
+                s.rejected_queue_full,
+                s.rejected_invalid,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.batches,
+                s.coalesced,
+                s.queue_depth,
+                s.max_queue_depth,
+            );
+        }
+        "LCS" => {
+            let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+                return "ERR usage: LCS <pattern> <text>".into();
+            };
+            CompareRequest::new(a.as_bytes(), b.as_bytes(), Operation::Lcs)
+        }
+        "WINDOWS" => {
+            let (Some(w), Some(a), Some(b), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return "ERR usage: WINDOWS <w> <pattern> <text>".into();
+            };
+            let Ok(w) = w.parse::<usize>() else {
+                return "ERR window must be an integer".into();
+            };
+            CompareRequest::new(a.as_bytes(), b.as_bytes(), Operation::Windows { w })
+        }
+        "EDIT" => {
+            let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                return "ERR usage: EDIT <pattern> <text> [<w>]".into();
+            };
+            let w = match (parts.next(), parts.next()) {
+                (None, _) => None,
+                (Some(w), None) => match w.parse::<usize>() {
+                    Ok(w) => Some(w),
+                    Err(_) => return "ERR window must be an integer".into(),
+                },
+                _ => return "ERR usage: EDIT <pattern> <text> [<w>]".into(),
+            };
+            CompareRequest::new(a.as_bytes(), b.as_bytes(), Operation::Edit { w })
+        }
+        other => return format!("ERR unknown command {other}"),
+    };
+    match engine.submit(req) {
+        Submit::QueueFull => "BUSY".into(),
+        Submit::Invalid(why) => format!("ERR {why}"),
+        Submit::Accepted(ticket) => match ticket.wait() {
+            Err(e) => format!("ERR {e}"),
+            Ok(outcome) => match outcome.payload {
+                Payload::Score(s) => {
+                    format!("OK {s} {} {}", algo_token(outcome.algo), cache_token(outcome.cache))
+                }
+                Payload::Windows { scores, best } => {
+                    let list = scores.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
+                    format!("OK {} {} {list}", best.0, best.1)
+                }
+                Payload::Edit { global, best } => match best {
+                    None => format!("OK {global}"),
+                    Some((start, end, dist)) => format!("OK {global} {start} {end} {dist}"),
+                },
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 16,
+            batch_limit: 4,
+            threads_per_request: 1,
+        }))
+    }
+
+    #[test]
+    fn respond_parses_and_serves() {
+        let engine = engine();
+        assert_eq!(respond("PING", &engine), "OK pong");
+        assert_eq!(respond("LCS abcabba cbabac", &engine), "OK 4 bitpar bypass");
+        // Same pair again via WINDOWS builds a kernel; LCS then hits it.
+        let windows = respond("WINDOWS 6 abcabba cbabac", &engine);
+        assert!(windows.starts_with("OK "), "{windows}");
+        assert_eq!(respond("LCS abcabba cbabac", &engine), "OK 4 cached hit");
+        assert_eq!(respond("EDIT kitten sitting", &engine), "OK 3");
+        let best = respond("EDIT kitten sitting 6", &engine);
+        assert!(best.starts_with("OK 3 "), "{best}");
+        assert!(respond("WINDOWS x a b", &engine).starts_with("ERR"));
+        assert!(respond("WINDOWS 9 ab xy", &engine).starts_with("ERR"));
+        assert!(respond("NOPE", &engine).starts_with("ERR unknown"));
+        let stats = respond("STATS", &engine);
+        // Two hits: LCS reusing the WINDOWS kernel, EDIT reusing the
+        // first EDIT's index.
+        assert!(stats.contains(" hits=2"), "{stats}");
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let engine = engine();
+        let handle = spawn("127.0.0.1:0", engine.clone(), ServerConfig::default()).expect("bind");
+        let addr = handle.addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+
+        writer.write_all(b"LCS acgtacgt gtacgtac\nSTATS\nQUIT\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK "), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK submitted="), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK bye");
+        // Server closes our connection after QUIT.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        handle.stop();
+    }
+}

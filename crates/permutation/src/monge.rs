@@ -20,17 +20,64 @@
 use crate::dominance::DominanceTable;
 use crate::Permutation;
 
+/// Why a dominance-sum table failed to describe a unit-Monge matrix.
+///
+/// Surfaced as a value (not a panic) so long-running services can reject
+/// malformed or adversarial inputs without aborting a worker thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MongeError {
+    /// The orders of the two factors differ.
+    OrderMismatch { left: usize, right: usize },
+    /// Cross-differences of some row contain no unit — the table is not
+    /// the dominance-sum table of any permutation matrix.
+    NotUnitMonge { row: usize },
+    /// Every row produced a column, but the columns collide — the
+    /// recovered matrix is not a permutation.
+    NotPermutation,
+}
+
+impl std::fmt::Display for MongeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MongeError::OrderMismatch { left, right } => {
+                write!(f, "distance product requires equal orders (got {left} and {right})")
+            }
+            MongeError::NotUnitMonge { row } => {
+                write!(f, "sums are not unit-Monge: row {row} has no nonzero cross-difference")
+            }
+            MongeError::NotPermutation => {
+                write!(f, "recovered cross-differences do not form a permutation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MongeError {}
+
 /// Distance product of two permutations by definition. O(n³) time,
 /// O(n²) memory; intended for tests and small inputs only.
 ///
 /// # Panics
 ///
-/// Panics if the orders differ.
+/// Panics if the orders differ. For a non-panicking variant (e.g. when
+/// the factors come from untrusted input) use
+/// [`try_distance_product_reference`].
 pub fn distance_product_reference(p: &Permutation, q: &Permutation) -> Permutation {
-    assert_eq!(p.len(), q.len(), "distance product requires equal orders");
+    try_distance_product_reference(p, q).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`distance_product_reference`], reporting malformed input as an error
+/// instead of panicking.
+pub fn try_distance_product_reference(
+    p: &Permutation,
+    q: &Permutation,
+) -> Result<Permutation, MongeError> {
+    if p.len() != q.len() {
+        return Err(MongeError::OrderMismatch { left: p.len(), right: q.len() });
+    }
     let n = p.len();
     if n == 0 {
-        return Permutation::identity(0);
+        return Ok(Permutation::identity(0));
     }
     let pt = DominanceTable::new(p);
     let qt = DominanceTable::new(q);
@@ -50,18 +97,19 @@ pub fn distance_product_reference(p: &Permutation, q: &Permutation) -> Permutati
     recover_from_sums(n, &rsum)
 }
 
-/// Recovers a permutation from a row-major `(n+1)²` dominance-sum table.
-pub(crate) fn recover_from_sums(n: usize, sums: &[u32]) -> Permutation {
+/// Recovers a permutation from a row-major `(n+1)²` dominance-sum table,
+/// rejecting tables that are not unit-Monge.
+pub(crate) fn recover_from_sums(n: usize, sums: &[u32]) -> Result<Permutation, MongeError> {
     let stride = n + 1;
     let at = |i: usize, k: usize| sums[i * stride + k] as i64;
     let mut forward = vec![0u32; n];
     for (r, slot) in forward.iter_mut().enumerate() {
         let c = (0..n)
             .find(|&c| at(r, c + 1) - at(r, c) + at(r + 1, c) - at(r + 1, c + 1) == 1)
-            .unwrap_or_else(|| panic!("sums are not unit-Monge: row {r} has no nonzero"));
+            .ok_or(MongeError::NotUnitMonge { row: r })?;
         *slot = c as u32;
     }
-    Permutation::from_forward(forward).expect("distance product must be a permutation")
+    Permutation::from_forward(forward).map_err(|_| MongeError::NotPermutation)
 }
 
 #[cfg(test)]
@@ -117,6 +165,23 @@ mod tests {
             let w0 = Permutation::reversal(n);
             assert_eq!(distance_product_reference(&w0, &w0), w0);
         }
+    }
+
+    #[test]
+    fn malformed_sums_are_rejected_not_panicked() {
+        // An all-zero table has no unit cross-difference in row 0.
+        let zeros = vec![0u32; 3 * 3];
+        assert_eq!(recover_from_sums(2, &zeros), Err(MongeError::NotUnitMonge { row: 0 }));
+        // A mismatched pair of factors errors instead of asserting.
+        let p = Permutation::identity(3);
+        let q = Permutation::identity(4);
+        assert_eq!(
+            try_distance_product_reference(&p, &q),
+            Err(MongeError::OrderMismatch { left: 3, right: 4 })
+        );
+        // And a valid product round-trips through the fallible path.
+        let w0 = Permutation::reversal(4);
+        assert_eq!(try_distance_product_reference(&w0, &w0), Ok(w0));
     }
 
     #[test]

@@ -113,10 +113,7 @@ impl Permutation {
     /// work. In debug builds, consistency is asserted.
     pub fn from_parts_unchecked(forward: Vec<PermIndex>, inverse: Vec<PermIndex>) -> Self {
         debug_assert_eq!(forward.len(), inverse.len());
-        debug_assert!(forward
-            .iter()
-            .enumerate()
-            .all(|(i, &c)| inverse[c as usize] as usize == i));
+        debug_assert!(forward.iter().enumerate().all(|(i, &c)| inverse[c as usize] as usize == i));
         Permutation { forward, inverse }
     }
 
@@ -207,10 +204,7 @@ impl Permutation {
     /// crate docs); quadratic-time callers only — use
     /// [`crate::counting::MergeSortTree`] for repeated queries.
     pub fn dominance_sum_scan(&self, i: usize, j: usize) -> usize {
-        self.forward[i.min(self.len())..]
-            .iter()
-            .filter(|&&c| (c as usize) < j)
-            .count()
+        self.forward[i.min(self.len())..].iter().filter(|&&c| (c as usize) < j).count()
     }
 
     /// Consumes the permutation and returns the forward map.

@@ -195,10 +195,7 @@ pub fn par_antidiag_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocal
 
 /// Thread-parallel branchless anti-diagonal combing
 /// (`semi_antidiag_SIMD`'s parallel form from Figures 7–8).
-pub fn par_antidiag_combing_branchless<T: Eq + Clone + Sync>(
-    a: &[T],
-    b: &[T],
-) -> SemiLocalKernel {
+pub fn par_antidiag_combing_branchless<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
     sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
         hs.par_iter_mut()
             .with_min_len(PAR_GRAIN)
@@ -272,11 +269,7 @@ mod tests {
             let b = random_string(&mut rng, n, 3);
             let want = iterative_combing(&a, &b);
             assert_eq!(antidiag_combing(&a, &b), want, "branching a={a:?} b={b:?}");
-            assert_eq!(
-                antidiag_combing_branchless(&a, &b),
-                want,
-                "branchless a={a:?} b={b:?}"
-            );
+            assert_eq!(antidiag_combing_branchless(&a, &b), want, "branchless a={a:?} b={b:?}");
             assert_eq!(antidiag_combing_u16(&a, &b), want, "u16 a={a:?} b={b:?}");
             assert_eq!(par_antidiag_combing(&a, &b), want, "par a={a:?} b={b:?}");
             assert_eq!(
@@ -284,11 +277,7 @@ mod tests {
                 want,
                 "par branchless a={a:?} b={b:?}"
             );
-            assert_eq!(
-                par_antidiag_combing_u16(&a, &b),
-                want,
-                "par u16 a={a:?} b={b:?}"
-            );
+            assert_eq!(par_antidiag_combing_u16(&a, &b), want, "par u16 a={a:?} b={b:?}");
         }
     }
 

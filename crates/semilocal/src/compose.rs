@@ -198,10 +198,8 @@ mod tests {
         let top = iterative_combing(&a1, &b);
         let bottom = iterative_combing(&a2, &b);
         let basic = compose_vertical_split(&top, &bottom, &mut BasicMultiplier);
-        let combined =
-            compose_vertical_split(&top, &bottom, &mut CombinedMultiplier::new(128));
-        let parallel =
-            compose_vertical_split(&top, &bottom, &mut ParallelMultiplier { depth: 2 });
+        let combined = compose_vertical_split(&top, &bottom, &mut CombinedMultiplier::new(128));
+        let parallel = compose_vertical_split(&top, &bottom, &mut ParallelMultiplier { depth: 2 });
         assert_eq!(basic, combined);
         assert_eq!(basic, parallel);
     }

@@ -18,7 +18,9 @@
 
 use rayon::prelude::*;
 
-use crate::antidiag::{antidiag_combing_branchless, antidiag_combing_u16, par_antidiag_combing_branchless};
+use crate::antidiag::{
+    antidiag_combing_branchless, antidiag_combing_u16, par_antidiag_combing_branchless,
+};
 use crate::compose::{
     compose_horizontal_split, compose_vertical_split, BraidMultiplier, CombinedMultiplier,
     ParallelMultiplier,
@@ -29,11 +31,7 @@ use crate::recursive::{base_kernel, recursive_combing_with};
 /// Listing 6 with the paper's size threshold: subproblems with
 /// `a.len + b.len ≤ threshold` are combed iteratively (branchless
 /// anti-diagonal order); larger ones are split and composed.
-pub fn hybrid_combing<T: Eq + Clone + Sync>(
-    a: &[T],
-    b: &[T],
-    threshold: usize,
-) -> SemiLocalKernel {
+pub fn hybrid_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T], threshold: usize) -> SemiLocalKernel {
     let order = (a.len() + b.len()).max(2);
     let mut mul = CombinedMultiplier::new(order);
     recursive_combing_with(a, b, &mut mul, &|a, b| {
@@ -220,8 +218,7 @@ pub fn grid_hybrid_combing<T: Eq + Clone + Sync>(
                     let left = &grid[i * cols + 2 * j];
                     if 2 * j + 1 < cols {
                         let right = &grid[i * cols + 2 * j + 1];
-                        let mut mul =
-                            CombinedMultiplier::new(left.m() + left.n() + right.n());
+                        let mut mul = CombinedMultiplier::new(left.m() + left.n() + right.n());
                         compose_horizontal_split(left, right, &mut mul)
                     } else {
                         left.clone()
@@ -239,8 +236,7 @@ pub fn grid_hybrid_combing<T: Eq + Clone + Sync>(
                     let top = &grid[(2 * i) * cols + j];
                     if 2 * i + 1 < rows {
                         let bottom = &grid[(2 * i + 1) * cols + j];
-                        let mut mul =
-                            CombinedMultiplier::new(top.m() + bottom.m() + top.n());
+                        let mut mul = CombinedMultiplier::new(top.m() + bottom.m() + top.n());
                         compose_vertical_split(top, bottom, &mut mul)
                     } else {
                         top.clone()

@@ -41,12 +41,7 @@ pub fn iterative_combing<T: Eq>(a: &[T], b: &[T]) -> SemiLocalKernel {
 /// The braid-combing phase on existing strand arrays (phase 2 of
 /// Listing 1). Exposed within the crate so the block-structured algorithms
 /// (hybrid, Listing 7) can comb sub-grids in place.
-pub(crate) fn comb_rowmajor<T: Eq>(
-    a: &[T],
-    b: &[T],
-    h_strands: &mut [u32],
-    v_strands: &mut [u32],
-) {
+pub(crate) fn comb_rowmajor<T: Eq>(a: &[T], b: &[T], h_strands: &mut [u32], v_strands: &mut [u32]) {
     let m = a.len();
     debug_assert_eq!(h_strands.len(), m);
     debug_assert_eq!(v_strands.len(), b.len());
@@ -145,11 +140,7 @@ mod tests {
                 let scores = iterative_combing(&a, &b).index();
                 for i in 0..=(m + n) {
                     for j in 0..=(m + n) {
-                        assert_eq!(
-                            scores.h(i, j),
-                            brute.get(i, j),
-                            "H[{i},{j}] a={a:?} b={b:?}"
-                        );
+                        assert_eq!(scores.h(i, j), brute.get(i, j), "H[{i},{j}] a={a:?} b={b:?}");
                     }
                 }
             }

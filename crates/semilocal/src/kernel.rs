@@ -236,7 +236,7 @@ impl SemiLocalScores {
                 out.push((w as i64 - s) as usize);
                 for i in chunk_start..(chunk_start + chunk_len - 1) {
                     s -= i64::from((self.forward[m + i] as usize) < i + w);
-                    s += i64::from((self.inverse[i + w] as usize) >= m + i + 1);
+                    s += i64::from((self.inverse[i + w] as usize) > m + i);
                     out.push((w as i64 - s) as usize);
                 }
                 out
@@ -324,11 +324,7 @@ mod tests {
                 if w == 0 || w > n {
                     continue;
                 }
-                assert_eq!(
-                    scores.windows_linear(w),
-                    scores.windows(w),
-                    "w={w} a={a:?} b={b:?}"
-                );
+                assert_eq!(scores.windows_linear(w), scores.windows(w), "w={w} a={a:?} b={b:?}");
             }
         }
     }

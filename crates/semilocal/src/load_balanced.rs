@@ -219,11 +219,7 @@ mod tests {
             let n = rng.random_range(1..30);
             let a = random_string(&mut rng, m, 3);
             let b = random_string(&mut rng, n, 3);
-            assert_eq!(
-                load_balanced_combing(&a, &b),
-                iterative_combing(&a, &b),
-                "a={a:?} b={b:?}"
-            );
+            assert_eq!(load_balanced_combing(&a, &b), iterative_combing(&a, &b), "a={a:?} b={b:?}");
         }
     }
 

@@ -67,11 +67,7 @@ pub(crate) fn base_kernel<T: Eq>(a: &[T], b: &[T]) -> Option<SemiLocalKernel> {
         return Some(SemiLocalKernel::new(Permutation::identity(m + n), m, n));
     }
     if m == 1 && n == 1 {
-        let kernel = if a[0] == b[0] {
-            Permutation::identity(2)
-        } else {
-            Permutation::reversal(2)
-        };
+        let kernel = if a[0] == b[0] { Permutation::identity(2) } else { Permutation::reversal(2) };
         return Some(SemiLocalKernel::new(kernel, 1, 1));
     }
     None
@@ -99,11 +95,7 @@ mod tests {
             let n = rng.random_range(0..24);
             let a = random_string(&mut rng, m, 3);
             let b = random_string(&mut rng, n, 3);
-            assert_eq!(
-                recursive_combing(&a, &b),
-                iterative_combing(&a, &b),
-                "a={a:?} b={b:?}"
-            );
+            assert_eq!(recursive_combing(&a, &b), iterative_combing(&a, &b), "a={a:?} b={b:?}");
         }
     }
 

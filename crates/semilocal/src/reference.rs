@@ -61,11 +61,8 @@ impl BruteHMatrix {
                     let up = prev[ai + 1];
                     let left = cur[ai];
                     let diag = prev[ai];
-                    cur[ai + 1] = if is_match(ai, t) {
-                        (diag + 1).max(up).max(left)
-                    } else {
-                        up.max(left)
-                    };
+                    cur[ai + 1] =
+                        if is_match(ai, t) { (diag + 1).max(up).max(left) } else { up.max(left) };
                 }
                 std::mem::swap(&mut prev, &mut cur);
                 // window [i, t+1) corresponds to j = t + 1 - m (if in range)
@@ -105,11 +102,7 @@ pub fn lcs_dp<T: Eq>(a: &[T], b: &[T]) -> usize {
     for ai in a {
         cur[0] = 0;
         for (j, bj) in b.iter().enumerate() {
-            cur[j + 1] = if ai == bj {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(cur[j])
-            };
+            cur[j + 1] = if ai == bj { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
         }
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -140,11 +133,7 @@ mod tests {
         // H[m + i, j] with window [m+i, j+m) ∩ pad-free ⇔ i ≤ j ≤ n
         for i in 0..=n {
             for j in i..=n {
-                assert_eq!(
-                    h.get(m + i, j),
-                    lcs_dp(a, &b[i..j]) as i64,
-                    "window b[{i}..{j}]"
-                );
+                assert_eq!(h.get(m + i, j), lcs_dp(a, &b[i..j]) as i64, "window b[{i}..{j}]");
             }
         }
     }

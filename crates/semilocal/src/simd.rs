@@ -47,10 +47,7 @@ pub fn simd_support() -> &'static str {
 ///
 /// Panics if `m + n ≥ i32::MAX` (lane compares are signed).
 pub fn antidiag_combing_simd(a: &[u32], b: &[u32]) -> SemiLocalKernel {
-    assert!(
-        a.len() + b.len() < i32::MAX as usize,
-        "SIMD combing requires m + n < 2³¹"
-    );
+    assert!(a.len() + b.len() < i32::MAX as usize, "SIMD combing requires m + n < 2³¹");
     #[cfg(target_arch = "x86_64")]
     {
         if is_x86_feature_detected!("avx512f") {
@@ -215,24 +212,14 @@ mod tests {
         for len in [7usize, 8, 9, 15, 16, 17, 31, 32, 33, 64] {
             let a: Vec<u32> = (0..len).map(|_| rng.random_range(0..3)).collect();
             let b: Vec<u32> = (0..len).map(|_| rng.random_range(0..3)).collect();
-            assert_eq!(
-                antidiag_combing_simd(&a, &b),
-                iterative_combing(&a, &b),
-                "len={len}"
-            );
+            assert_eq!(antidiag_combing_simd(&a, &b), iterative_combing(&a, &b), "len={len}");
         }
     }
 
     #[test]
     fn simd_empty_and_degenerate() {
-        assert_eq!(
-            antidiag_combing_simd(&[], &[1, 2]),
-            iterative_combing::<u32>(&[], &[1, 2])
-        );
-        assert_eq!(
-            antidiag_combing_simd(&[1], &[1]),
-            iterative_combing::<u32>(&[1], &[1])
-        );
+        assert_eq!(antidiag_combing_simd(&[], &[1, 2]), iterative_combing::<u32>(&[], &[1, 2]));
+        assert_eq!(antidiag_combing_simd(&[1], &[1]), iterative_combing::<u32>(&[1], &[1]));
     }
 
     #[test]

@@ -27,19 +27,24 @@ fn time<R>(label: &str, f: impl FnOnce() -> R) -> (R, std::time::Duration) {
 fn main() {
     let len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
     let mut rng = seeded_rng(99);
-    let sigma_strings: Vec<Vec<i64>> =
-        (0..2).map(|_| normal_string(&mut rng, len, 1.0)).collect();
+    let sigma_strings: Vec<Vec<i64>> = (0..2).map(|_| normal_string(&mut rng, len, 1.0)).collect();
     let (a, b) = (&sigma_strings[0], &sigma_strings[1]);
 
     println!("== semi-local combing algorithms (σ=1 strings, n = {len}) ==");
     let (reference, _) = time("iterative (rowmajor)", || iterative_combing(a, b));
     let checks: Vec<(&str, SemiLocalKernel)> = vec![
         ("antidiag (branching)", time("antidiag (branching)", || antidiag_combing(a, b)).0),
-        ("antidiag (branchless)", time("antidiag (branchless)", || antidiag_combing_branchless(a, b)).0),
+        (
+            "antidiag (branchless)",
+            time("antidiag (branchless)", || antidiag_combing_branchless(a, b)).0,
+        ),
         ("antidiag (u16)", time("antidiag (u16)", || antidiag_combing_u16(a, b)).0),
         ("load-balanced", time("load-balanced", || load_balanced_combing(a, b)).0),
         ("recursive", time("recursive", || recursive_combing(a, b)).0),
-        ("hybrid (threshold 2048)", time("hybrid (threshold 2048)", || hybrid_combing(a, b, 2048)).0),
+        (
+            "hybrid (threshold 2048)",
+            time("hybrid (threshold 2048)", || hybrid_combing(a, b, 2048)).0,
+        ),
         ("grid hybrid (4 tasks)", time("grid hybrid (4 tasks)", || grid_hybrid_combing(a, b, 4)).0),
     ];
     for (name, k) in &checks {
@@ -48,10 +53,9 @@ fn main() {
     // the explicit-SIMD path takes u32 characters
     let a32: Vec<u32> = a.iter().map(|&v| (v + (1 << 20)) as u32).collect();
     let b32: Vec<u32> = b.iter().map(|&v| (v + (1 << 20)) as u32).collect();
-    let (k, _) = time(
-        &format!("antidiag (explicit {})", simd_support()),
-        || antidiag_combing_simd(&a32, &b32),
-    );
+    let (k, _) = time(&format!("antidiag (explicit {})", simd_support()), || {
+        antidiag_combing_simd(&a32, &b32)
+    });
     assert_eq!(k.lcs(), reference.lcs());
     println!("  all kernels bit-identical ✓   LCS = {}", reference.lcs());
 

@@ -1,0 +1,72 @@
+//! The comparison engine as a network service: starts an [`Engine`]
+//! behind the TCP line protocol, drives it with a handful of in-process
+//! clients (including one that provokes backpressure), and prints the
+//! stats snapshot the engine accumulated.
+//!
+//! ```text
+//! cargo run --release --example engine_server
+//! ```
+//!
+//! For a long-running server on a fixed port use the CLI instead:
+//! `slcs serve --addr 127.0.0.1:7171`, then talk to it with netcat:
+//!
+//! ```text
+//! $ printf 'LCS abcabba cbabac\nSTATS\nQUIT\n' | nc 127.0.0.1 7171
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use semilocal_suite::engine::{serve, Engine, EngineConfig, ServerConfig};
+
+fn client(addr: std::net::SocketAddr, lines: &[&str]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for line in lines {
+        writeln!(writer, "{line}").expect("send");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("receive");
+        responses.push(format!("{line:<32} -> {}", response.trim_end()));
+    }
+    responses
+}
+
+fn main() {
+    // A deliberately small engine so the example shows queueing and
+    // caching behaviour, not just raw speed.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 16,
+        batch_limit: 4,
+        threads_per_request: 1,
+    }));
+    let handle = serve("127.0.0.1:0", engine.clone(), ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+    println!("engine listening on {addr}\n");
+
+    // Three concurrent clients issuing mixed workloads; the repeated
+    // pair means later requests are kernel-cache hits.
+    let sessions: Vec<Vec<&str>> = vec![
+        vec!["PING", "LCS abcabba cbabac", "WINDOWS 4 abcabba cbabac", "QUIT"],
+        vec!["LCS abcabba cbabac", "EDIT kitten sitting", "EDIT kitten sitting 6", "QUIT"],
+        vec!["WINDOWS 4 abcabba cbabac", "EDIT gattaca gatacca", "STATS", "QUIT"],
+    ];
+    let outputs: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            sessions.iter().map(|lines| scope.spawn(move || client(addr, lines))).collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    for (i, session) in outputs.iter().enumerate() {
+        println!("client {i}:");
+        for line in session {
+            println!("  {line}");
+        }
+    }
+
+    handle.stop();
+    println!("\nfinal engine stats:\n{}", engine.stats());
+}

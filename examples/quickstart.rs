@@ -37,18 +37,9 @@ fn main() {
 
     // 3. The other quadrants come for free.
     println!("\nprefix/suffix examples:");
-    println!(
-        "  LCS(pattern[..4], text[12..])  = {}",
-        scores.prefix_suffix(4, 12)
-    );
-    println!(
-        "  LCS(pattern[2..], text[..8])   = {}",
-        scores.suffix_prefix(2, 8)
-    );
-    println!(
-        "  LCS(pattern[1..5], whole text) = {}",
-        scores.substring_string(1, 5)
-    );
+    println!("  LCS(pattern[..4], text[12..])  = {}", scores.prefix_suffix(4, 12));
+    println!("  LCS(pattern[2..], text[..8])   = {}", scores.suffix_prefix(2, 8));
+    println!("  LCS(pattern[1..5], whole text) = {}", scores.substring_string(1, 5));
 
     // 4. Show an actual optimal subsequence for the best window.
     let lcs = hirschberg_lcs(pattern, &text[best.0..best.0 + w]);

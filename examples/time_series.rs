@@ -86,10 +86,7 @@ fn main() {
     }
 
     assert_eq!(top[0].0.abs_diff(1500), 0, "the query matches itself exactly");
-    assert!(
-        top[1].0.abs_diff(4200) < w / 2,
-        "second motif instance not found near 4200: {top:?}"
-    );
+    assert!(top[1].0.abs_diff(4200) < w / 2, "second motif instance not found near 4200: {top:?}");
     println!(
         "\nself-match at t = {} and the independent noisy instance at t = {} recovered.",
         top[0].0, top[1].0

@@ -36,13 +36,15 @@
 //! | [`apps`] | approximate matching, similarity matrices, clustering |
 //! | [`bsp`] | BSP cost model for the parallel algorithms (ref [25]) |
 //! | [`datagen`] | synthetic σ-strings, binary strings, genome simulator, FASTA |
+//! | [`engine`] | concurrent comparison engine: bounded queue, kernel cache, adaptive dispatch, TCP server |
 
 pub use slcs_apps as apps;
 pub use slcs_baselines as baselines;
-pub use slcs_bsp as bsp;
 pub use slcs_bitpar as bitpar;
 pub use slcs_braid as braid;
+pub use slcs_bsp as bsp;
 pub use slcs_datagen as datagen;
+pub use slcs_engine as engine;
 pub use slcs_perm as perm;
 pub use slcs_semilocal as semilocal;
 
@@ -53,6 +55,7 @@ pub mod prelude {
     pub use slcs_bitpar::{bit_lcs_alphabet, bit_lcs_new2};
     pub use slcs_braid::{parallel_steady_ant, steady_ant, steady_ant_combined};
     pub use slcs_datagen::{binary_string, genome_pair, normal_string, seeded_rng};
+    pub use slcs_engine::{CompareRequest, Engine, EngineConfig, Operation, Payload, Submit};
     pub use slcs_perm::Permutation;
     pub use slcs_semilocal::{
         antidiag_combing_branchless, grid_hybrid_combing, hybrid_combing, iterative_combing,
@@ -128,12 +131,12 @@ mod tests {
         let mut h: Vec<u32> = (0..m as u32).collect();
         let mut v: Vec<u32> = (m as u32..(m + n) as u32).collect();
         let mut crossed = std::collections::HashSet::new();
-        for i in 0..m {
+        for (i, &ac) in a.iter().enumerate() {
             let hi = m - 1 - i;
             let mut hs = h[hi];
             for j in 0..n {
                 let vs = v[j];
-                if a[i] == b[j] || hs > vs {
+                if ac == b[j] || hs > vs {
                     // turn: no crossing
                     v[j] = hs;
                     hs = vs;

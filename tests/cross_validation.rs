@@ -10,8 +10,7 @@ use semilocal_suite::bitpar::{
 use semilocal_suite::datagen::{binary_string, genome_pair, normal_string, seeded_rng};
 use semilocal_suite::semilocal::{
     antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, grid_hybrid_combing,
-    hybrid_combing, iterative_combing, load_balanced_combing, recursive_combing,
-    SemiLocalKernel,
+    hybrid_combing, iterative_combing, load_balanced_combing, recursive_combing, SemiLocalKernel,
 };
 
 fn all_combers<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> Vec<(&'static str, SemiLocalKernel)> {
@@ -87,11 +86,7 @@ fn semi_local_windows_match_per_window_dp_on_genomes() {
     let scores = kernel.index();
     let w = 60.min(genome.len());
     for (i, score) in scores.windows(w).into_iter().enumerate() {
-        assert_eq!(
-            score,
-            prefix_rowmajor(&gene, &genome[i..i + w]),
-            "window {i}"
-        );
+        assert_eq!(score, prefix_rowmajor(&gene, &genome[i..i + w]), "window {i}");
     }
 }
 

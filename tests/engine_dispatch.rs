@@ -1,0 +1,130 @@
+//! Property tests for the engine's adaptive dispatch: whatever
+//! algorithm [`choose`]/[`execute`] pick for a request — bit-parallel,
+//! sequential combing, parallel combing, or a cached kernel — the
+//! answer must equal the reference oracle, and repeat execution through
+//! the cache must be bit-identical to the first.
+
+use proptest::prelude::*;
+
+use semilocal_suite::baselines::{edit_distance, prefix_rowmajor};
+use semilocal_suite::engine::{
+    choose, execute, AlgoChoice, CacheStatus, CompareRequest, KernelCache, Metrics, Operation,
+    Payload,
+};
+
+fn arb_string(max_len: usize, sigma: u8) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0..sigma, 1..=max_len)
+}
+
+fn arb_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    // Alphabet sizes straddling the bit-parallel cutoff would need
+    // σ > 64; strings this short never exceed their own length, so the
+    // small-alphabet LCS path and the combing paths are both reached
+    // via the threads/size axis instead.
+    (2u8..8).prop_flat_map(|sigma| (arb_string(40, sigma), arb_string(40, sigma)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lcs_dispatch_matches_oracle((a, b) in arb_pair(), threads in 1usize..8) {
+        let cache = KernelCache::new(8);
+        let metrics = Metrics::default();
+        let req = CompareRequest::new(&a[..], &b[..], Operation::Lcs);
+        let (payload, algo, _) = execute(&req, &cache, &metrics, threads);
+        prop_assert_eq!(payload, Payload::Score(prefix_rowmajor(&a, &b)));
+        // The executed algorithm is the planned one (cold cache).
+        prop_assert_eq!(algo, choose(&Operation::Lcs, &a, &b, threads));
+    }
+
+    #[test]
+    fn window_dispatch_matches_per_window_oracle(
+        (a, b) in arb_pair(),
+        wf in 0.1f64..1.0,
+        threads in 1usize..8,
+    ) {
+        let w = ((b.len() as f64 * wf) as usize).clamp(1, b.len());
+        let cache = KernelCache::new(8);
+        let metrics = Metrics::default();
+        let req = CompareRequest::new(&a[..], &b[..], Operation::Windows { w });
+        let (payload, _, status) = execute(&req, &cache, &metrics, threads);
+        let Payload::Windows { scores, best } = payload.clone() else {
+            return Err(TestCaseError::Fail("wrong payload".into()));
+        };
+        prop_assert_eq!(status, CacheStatus::Miss);
+        prop_assert_eq!(scores.len(), b.len() - w + 1);
+        for (i, &s) in scores.iter().enumerate() {
+            prop_assert_eq!(s, prefix_rowmajor(&a, &b[i..i + w]));
+        }
+        prop_assert_eq!(best.1, *scores.iter().max().unwrap());
+        prop_assert_eq!(scores[best.0], best.1);
+        // Re-execution hits the cache and is bit-identical.
+        let (again, algo, status) = execute(&req, &cache, &metrics, threads);
+        prop_assert_eq!(status, CacheStatus::Hit);
+        prop_assert_eq!(algo, AlgoChoice::CachedKernel);
+        prop_assert_eq!(again, payload);
+    }
+
+    #[test]
+    fn edit_dispatch_matches_oracle((a, b) in arb_pair(), threads in 1usize..8) {
+        let cache = KernelCache::new(8);
+        let metrics = Metrics::default();
+        let req = CompareRequest::new(&a[..], &b[..], Operation::Edit { w: None });
+        let (payload, _, _) = execute(&req, &cache, &metrics, threads);
+        prop_assert_eq!(
+            payload,
+            Payload::Edit { global: edit_distance(&a, &b), best: None }
+        );
+    }
+
+    #[test]
+    fn choice_is_consistent_with_inputs((a, b) in arb_pair(), threads in 1usize..8) {
+        // Score-only requests on byte alphabets ≤ 64 symbols always take
+        // the bit-parallel path; kernel operations never do.
+        prop_assert_eq!(choose(&Operation::Lcs, &a, &b, threads), AlgoChoice::BitParallel);
+        let windows = choose(&Operation::Windows { w: 1 }, &a, &b, threads);
+        prop_assert!(!matches!(windows, AlgoChoice::BitParallel | AlgoChoice::EditIndex));
+        prop_assert_eq!(
+            choose(&Operation::Edit { w: None }, &a, &b, threads),
+            AlgoChoice::EditIndex
+        );
+    }
+}
+
+#[test]
+fn large_alphabet_scores_fall_back_to_combing() {
+    // 200 distinct byte values > BITPAR_MAX_SIGMA: the score-only plan
+    // must switch to a combing variant, and still match the oracle.
+    let a: Vec<u8> = (0..200u8).collect();
+    let b: Vec<u8> = (0..200u8).rev().collect();
+    let algo = choose(&Operation::Lcs, &a, &b, 1);
+    assert_eq!(algo, AlgoChoice::IterativeCombing);
+    let cache = KernelCache::new(4);
+    let metrics = Metrics::default();
+    let req = CompareRequest::new(&a[..], &b[..], Operation::Lcs);
+    let (payload, algo, status) = execute(&req, &cache, &metrics, 1);
+    assert_eq!(payload, Payload::Score(prefix_rowmajor(&a, &b)));
+    assert_eq!(algo, AlgoChoice::IterativeCombing);
+    assert_eq!(status, CacheStatus::Miss);
+    // The comb it paid for is reusable: a window scan now hits.
+    let req = CompareRequest::new(&a[..], &b[..], Operation::Windows { w: 100 });
+    let (_, algo, status) = execute(&req, &cache, &metrics, 1);
+    assert_eq!(algo, AlgoChoice::CachedKernel);
+    assert_eq!(status, CacheStatus::Hit);
+}
+
+#[test]
+fn parallel_comb_is_chosen_and_correct_on_large_grids() {
+    use semilocal_suite::datagen::{seeded_rng, uniform_string};
+    let mut rng = seeded_rng(3);
+    let a = uniform_string(&mut rng, 300, 100); // σ ≈ 100 > 64 forces combing
+    let b = uniform_string(&mut rng, 300, 100);
+    assert_eq!(choose(&Operation::Lcs, &a, &b, 4), AlgoChoice::GridHybridCombing { tasks: 4 });
+    let cache = KernelCache::new(4);
+    let metrics = Metrics::default();
+    let req = CompareRequest::new(&a[..], &b[..], Operation::Lcs);
+    let (payload, algo, _) = execute(&req, &cache, &metrics, 4);
+    assert_eq!(payload, Payload::Score(prefix_rowmajor(&a, &b)));
+    assert_eq!(algo, AlgoChoice::GridHybridCombing { tasks: 4 });
+}

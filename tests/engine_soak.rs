@@ -1,0 +1,185 @@
+//! Concurrency soak test for the comparison engine: many submitter
+//! threads, mixed workloads over a shared pool of string pairs, every
+//! answer checked bit-for-bit against ground truth computed once up
+//! front with `iterative_combing` / `EditDistances`. Also exercises the
+//! engine's two load-control behaviours on purpose: cache hits (more
+//! requests than distinct pairs) and queue backpressure (a deliberately
+//! tiny queue behind a slow request).
+
+use std::sync::Arc;
+
+use semilocal_suite::datagen::{seeded_rng, uniform_string};
+use semilocal_suite::engine::{CompareRequest, Engine, EngineConfig, Operation, Payload, Submit};
+use semilocal_suite::semilocal::{iterative_combing, EditDistances};
+
+const PAIRS: usize = 6;
+const LEN: usize = 120;
+const WINDOW: usize = 48;
+const SUBMITTERS: usize = 8;
+const REQUESTS_EACH: usize = 24;
+
+struct GroundTruth {
+    lcs: usize,
+    windows: Vec<usize>,
+    edit_global: usize,
+    edit_best: (usize, usize, usize),
+}
+
+fn expected_payload(truth: &GroundTruth, op: &Operation) -> Payload {
+    match *op {
+        Operation::Lcs => Payload::Score(truth.lcs),
+        Operation::Windows { .. } => {
+            let best = truth
+                .windows
+                .iter()
+                .enumerate()
+                .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))
+                .map(|(i, &s)| (i, s))
+                .unwrap();
+            Payload::Windows { scores: truth.windows.clone(), best }
+        }
+        Operation::Edit { w } => {
+            Payload::Edit { global: truth.edit_global, best: w.map(|_| truth.edit_best) }
+        }
+    }
+}
+
+#[test]
+fn soak_concurrent_submitters_get_bit_identical_answers() {
+    type Pair = (Arc<[u8]>, Arc<[u8]>);
+    let mut rng = seeded_rng(7);
+    let pool: Vec<Pair> = (0..PAIRS)
+        .map(|_| (uniform_string(&mut rng, LEN, 4).into(), uniform_string(&mut rng, LEN, 4).into()))
+        .collect();
+    let truths: Vec<GroundTruth> = pool
+        .iter()
+        .map(|(a, b)| {
+            let scores = iterative_combing(&a[..], &b[..]).index();
+            let edit = EditDistances::new(&a[..], &b[..]);
+            GroundTruth {
+                lcs: scores.lcs(),
+                windows: scores.windows_linear(WINDOW),
+                edit_global: edit.global(),
+                edit_best: edit.best_window(WINDOW),
+            }
+        })
+        .collect();
+
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 32,
+        batch_limit: 8,
+        threads_per_request: 1,
+    }));
+
+    std::thread::scope(|scope| {
+        for t in 0..SUBMITTERS {
+            let engine = engine.clone();
+            let pool = &pool;
+            let truths = &truths;
+            scope.spawn(move || {
+                // Cheap deterministic per-thread schedule.
+                let mut state = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..REQUESTS_EACH {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let pair = (state >> 33) as usize % PAIRS;
+                    let op = match (state >> 16) % 3 {
+                        0 => Operation::Lcs,
+                        1 => Operation::Windows { w: WINDOW },
+                        _ => Operation::Edit { w: Some(WINDOW) },
+                    };
+                    let (a, b) = &pool[pair];
+                    let req = CompareRequest::new(a.clone(), b.clone(), op.clone());
+                    let ticket = loop {
+                        match engine.submit(req.clone()) {
+                            Submit::Accepted(ticket) => break ticket,
+                            Submit::QueueFull => std::thread::yield_now(),
+                            Submit::Invalid(why) => panic!("invalid request: {why}"),
+                        }
+                    };
+                    let outcome = ticket.wait().expect("request served");
+                    assert_eq!(
+                        outcome.payload,
+                        expected_payload(&truths[pair], &op),
+                        "thread {t}: wrong answer for pair {pair} op {op:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    let total = (SUBMITTERS * REQUESTS_EACH) as u64;
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+    // Far more requests than distinct (pair, index-kind) combinations,
+    // and the cache is big enough to hold them all: hits dominate.
+    assert!(
+        stats.cache_hits > 0,
+        "expected cache hits over {PAIRS} pairs x {total} requests: {stats}"
+    );
+    // One miss per (pair, index family) plus at most workers-1 extra
+    // per key from concurrent first-touch races.
+    assert!(stats.cache_misses as usize <= 4 * 2 * PAIRS, "{stats}");
+    // The queue was actually exercised (depth gauge moved off zero).
+    assert!(stats.max_queue_depth >= 1, "{stats}");
+    assert_eq!(stats.queue_depth, 0, "drained at the end: {stats}");
+    assert!(stats.wait_micros.count() == total && stats.service_micros.count() == total);
+}
+
+#[test]
+fn backpressure_is_observable_under_a_tiny_queue() {
+    // One worker pinned down by a slow request + a capacity-1 queue:
+    // the next submissions must bounce with QueueFull, visibly.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 4,
+        batch_limit: 1,
+        threads_per_request: 1,
+    });
+    let mut rng = seeded_rng(11);
+    let big: Arc<[u8]> = uniform_string(&mut rng, 2500, 4).into();
+    let slow = CompareRequest::new(big.clone(), big.clone(), Operation::Windows { w: 500 });
+
+    let mut tickets = Vec::new();
+    let mut rejections = 0u64;
+    // Keep offering work; with the worker busy combing a 2500x2500 grid
+    // the 1-slot queue must overflow at least once.
+    for _ in 0..200 {
+        match engine.submit(slow.clone()) {
+            Submit::Accepted(t) => tickets.push(t),
+            Submit::QueueFull => rejections += 1,
+            Submit::Invalid(why) => panic!("invalid request: {why}"),
+        }
+        if rejections >= 3 && tickets.len() >= 2 {
+            break;
+        }
+    }
+    assert!(rejections > 0, "queue of capacity 1 never reported QueueFull");
+    for t in tickets {
+        t.wait().expect("accepted requests still complete");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected_queue_full, rejections);
+    assert!(stats.max_queue_depth >= 1);
+    assert!(stats.cache_hits >= 1, "identical slow requests share one kernel: {stats}");
+}
+
+#[test]
+fn tickets_can_be_polled_with_timeout() {
+    let engine = Engine::with_defaults();
+    let req = CompareRequest::new(&b"polling"[..], &b"pattern"[..], Operation::Lcs);
+    let Submit::Accepted(ticket) = engine.submit(req) else { panic!("accepted") };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if let Some(result) = ticket.wait_timeout(std::time::Duration::from_millis(5)) {
+            let outcome = result.expect("served");
+            assert!(matches!(outcome.payload, Payload::Score(_)));
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "request never completed");
+    }
+}

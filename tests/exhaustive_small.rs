@@ -30,23 +30,11 @@ fn every_comber_agrees_on_all_binary_pairs_up_to_len5() {
             let reference = iterative_combing(a, b);
             assert_eq!(recursive_combing(a, b), reference, "recursive a={a:?} b={b:?}");
             assert_eq!(antidiag_combing(a, b), reference, "antidiag a={a:?} b={b:?}");
-            assert_eq!(
-                antidiag_combing_branchless(a, b),
-                reference,
-                "branchless a={a:?} b={b:?}"
-            );
+            assert_eq!(antidiag_combing_branchless(a, b), reference, "branchless a={a:?} b={b:?}");
             assert_eq!(antidiag_combing_u16(a, b), reference, "u16 a={a:?} b={b:?}");
-            assert_eq!(
-                load_balanced_combing(a, b),
-                reference,
-                "load_balanced a={a:?} b={b:?}"
-            );
+            assert_eq!(load_balanced_combing(a, b), reference, "load_balanced a={a:?} b={b:?}");
             assert_eq!(hybrid_combing(a, b, 4), reference, "hybrid a={a:?} b={b:?}");
-            assert_eq!(
-                grid_hybrid_combing(a, b, 3),
-                reference,
-                "grid_hybrid a={a:?} b={b:?}"
-            );
+            assert_eq!(grid_hybrid_combing(a, b, 3), reference, "grid_hybrid a={a:?} b={b:?}");
         }
     }
 }
@@ -77,11 +65,7 @@ fn full_h_matrix_on_all_pairs_up_to_len4() {
             let size = a.len() + b.len();
             for i in 0..=size {
                 for j in 0..=size {
-                    assert_eq!(
-                        scores.h(i, j),
-                        brute.get(i, j),
-                        "H[{i},{j}] a={a:?} b={b:?}"
-                    );
+                    assert_eq!(scores.h(i, j), brute.get(i, j), "H[{i},{j}] a={a:?} b={b:?}");
                 }
             }
         }

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
+use semilocal_suite::apps::ApproxMatcher;
 use semilocal_suite::baselines::{cipr_lcs, hyyro_lcs, prefix_rowmajor};
 use semilocal_suite::bitpar::{bit_lcs_alphabet, bit_lcs_new2};
-use semilocal_suite::apps::ApproxMatcher;
 use semilocal_suite::braid::{
     parallel_steady_ant, steady_ant, steady_ant_combined, steady_ant_precalc,
     steady_ant_precalc_capped,

@@ -69,4 +69,3 @@ fn zipf_skew_sweep() {
         check_pair(&a, &b, &format!("zipf s={s}"));
     }
 }
-

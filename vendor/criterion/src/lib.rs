@@ -1,0 +1,225 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! Provides the benchmark-definition surface this workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], `criterion_group!` /
+//! `criterion_main!` — with a simple measurement loop: one warmup call,
+//! then `sample_size` timed iterations, reporting min / median / mean to
+//! stdout. No statistical analysis, plots, or HTML reports.
+//!
+//! When invoked by `cargo test --benches` (criterion's `--test` flag),
+//! each benchmark body runs exactly once so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration label used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench binaries with `--test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let test_mode = self.test_mode;
+        run_one(name, 10, None, test_mode, f);
+    }
+}
+
+/// Measurement backends (only wall-clock time here).
+pub mod measurement {
+    /// The default (and only) measurement: `std::time::Instant` deltas.
+    pub struct WallTime;
+}
+
+/// A set of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, self.throughput, self.criterion.test_mode, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.sample_size, self.throughput, self.criterion.test_mode, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timing context passed to each benchmark body.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warmup
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.durations.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let samples = if test_mode { 1 } else { samples };
+    let mut b = Bencher { samples, durations: Vec::with_capacity(samples) };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("  {label:<40} (no measurements)");
+        return;
+    }
+    b.durations.sort();
+    let median = b.durations[b.durations.len() / 2];
+    let min = b.durations[0];
+    let mean = b.durations.iter().sum::<Duration>() / b.durations.len() as u32;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => format!("  {}/s", si(n as f64 / median.as_secs_f64())),
+            Throughput::Bytes(n) => format!("  {}B/s", si(n as f64 / median.as_secs_f64())),
+        })
+        .unwrap_or_default();
+    println!("  {label:<40} min {:>10?}  median {:>10?}  mean {:>10?}{rate}", min, median, mean);
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3).throughput(Throughput::Elements(100));
+            g.bench_function("noop", |b| {
+                b.iter(|| ran += 1);
+            });
+            g.finish();
+        }
+        // warmup + 1 test-mode sample
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("algo", 42);
+        assert_eq!(id.name, "algo/42");
+    }
+}

@@ -1,0 +1,620 @@
+//! Indexed parallel iterators over slices and ranges.
+//!
+//! Everything here is *splittable*: an iterator knows its length, can be
+//! split at an index, and can be lowered to a sequential iterator. The
+//! terminal operations ([`ParallelIterator::for_each`],
+//! [`ParallelIterator::collect`]) cut the iterator into at most
+//! `current_num_threads()` contiguous chunks (respecting
+//! `with_min_len`), run each chunk's sequential lowering on a scoped
+//! thread, and reassemble results in order — so output order and
+//! side-effect targets are identical to rayon's.
+
+use crate::{current_num_threads, with_budget};
+
+/// A splittable, indexed parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Number of items (for `flat_map_iter`, outer items).
+    fn pi_len(&self) -> usize;
+
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Lowers to a sequential iterator over the same items in order.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Minimum items per chunk (raised by [`Self::with_min_len`]).
+    fn min_piece(&self) -> usize {
+        1
+    }
+
+    // ---- adapters ----------------------------------------------------
+
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { inner: self, min: min.max(1) }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self, base: 0 }
+    }
+
+    fn step_by(self, step: usize) -> StepBy<Self> {
+        assert!(step > 0, "step_by requires a positive step");
+        StepBy { inner: self, step }
+    }
+
+    fn flat_map_iter<F, I>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> I + Clone + Send,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        FlatMapIter { inner: self, f }
+    }
+
+    // ---- terminals ---------------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Clone + Send,
+    {
+        drive(self, move |part| part.into_seq().for_each(&f));
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive_collect(self, |part| part.into_seq().sum::<S>()).into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        drive_collect(self, |part| part.into_seq().count()).into_iter().sum()
+    }
+}
+
+/// Collection from a parallel iterator (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts = drive_collect(iter, |part| part.into_seq().collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+fn pieces_for<I: ParallelIterator>(it: &I) -> usize {
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return 1;
+    }
+    let len = it.pi_len();
+    let min = it.min_piece().max(1);
+    threads.min(len / min).max(1)
+}
+
+/// Splits `it` into `pieces` contiguous parts, in order.
+fn split_into<I: ParallelIterator>(it: I, pieces: usize) -> Vec<I> {
+    let mut parts = Vec::with_capacity(pieces);
+    let mut rest = it;
+    for k in (1..pieces).rev() {
+        // k + 1 pieces remain (this one plus k more): take an even share
+        let len = rest.pi_len();
+        let take = len.div_ceil(k + 1).min(len);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+    parts
+}
+
+/// Runs `f` on every chunk, returning chunk results in order.
+fn drive_collect<I, R, F>(it: I, f: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    F: Fn(I) -> R + Clone + Send,
+    R: Send,
+{
+    let pieces = pieces_for(&it);
+    if pieces <= 1 {
+        return vec![f(it)];
+    }
+    let budget = current_num_threads();
+    let parts = split_into(it, pieces);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                let f = f.clone();
+                s.spawn(move || with_budget(budget, move || f(part)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+fn drive<I, F>(it: I, f: F)
+where
+    I: ParallelIterator,
+    F: Fn(I) + Clone + Send,
+{
+    let _ = drive_collect(it, f);
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// `&[T]` → items `&T`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParIter { slice: l }, ParIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// `&mut [T]` → items `&mut T`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: l }, ParIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// `Range<usize>` → items `usize`.
+pub struct RangePar {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+
+    fn pi_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (RangePar { range: self.range.start..mid }, RangePar { range: mid..self.range.end })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------
+
+pub struct MinLen<I> {
+    inner: I,
+    min: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+    type Seq = I::Seq;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (MinLen { inner: l, min: self.min }, MinLen { inner: r, min: self.min })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.inner.into_seq()
+    }
+
+    fn min_piece(&self) -> usize {
+        self.inner.min_piece().max(self.min)
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn min_piece(&self) -> usize {
+        self.a.min_piece().max(self.b.min_piece())
+    }
+}
+
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Map { inner: l, f: self.f.clone() }, Map { inner: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.inner.into_seq().map(self.f)
+    }
+
+    fn min_piece(&self) -> usize {
+        self.inner.min_piece()
+    }
+}
+
+pub struct Enumerate<I> {
+    inner: I,
+    base: usize,
+}
+
+pub struct EnumerateSeq<S> {
+    inner: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Enumerate { inner: l, base: self.base }, Enumerate { inner: r, base: self.base + index })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq { inner: self.inner.into_seq(), next: self.base }
+    }
+
+    fn min_piece(&self) -> usize {
+        self.inner.min_piece()
+    }
+}
+
+pub struct StepBy<I> {
+    inner: I,
+    step: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for StepBy<I> {
+    type Item = I::Item;
+    type Seq = std::iter::StepBy<I::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len().div_ceil(self.step)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let cut = (index * self.step).min(self.inner.pi_len());
+        let (l, r) = self.inner.split_at(cut);
+        (StepBy { inner: l, step: self.step }, StepBy { inner: r, step: self.step })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.inner.into_seq().step_by(self.step)
+    }
+}
+
+pub struct FlatMapIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, II> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> II + Clone + Send,
+    II: IntoIterator,
+    II::Item: Send,
+{
+    type Item = II::Item;
+    type Seq = std::iter::FlatMap<I::Seq, II, F>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (FlatMapIter { inner: l, f: self.f.clone() }, FlatMapIter { inner: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.inner.into_seq().flat_map(self.f)
+    }
+
+    fn min_piece(&self) -> usize {
+        self.inner.min_piece()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
+
+/// `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+/// Owned `Vec<T>` source.
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, VecPar { items: tail })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.items.into_iter()
+    }
+}
+
+/// `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `collection.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPoolBuilder;
+
+    fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        for threads in [1, 2, 4] {
+            let out: Vec<usize> =
+                with_threads(threads, || (0..1000).into_par_iter().map(|i| i * 2).collect());
+            assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zipped_for_each_mutates_every_slot() {
+        for threads in [1, 3] {
+            let mut a = vec![0u32; 500];
+            let b: Vec<u32> = (0..500).collect();
+            with_threads(threads, || {
+                a.par_iter_mut().with_min_len(16).zip(b.par_iter()).for_each(|(x, &y)| *x = y + 1);
+            });
+            assert!(a.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        for threads in [1, 4] {
+            let mut a = vec![0usize; 300];
+            with_threads(threads, || {
+                a.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i);
+            });
+            assert!(a.iter().enumerate().all(|(i, &v)| v == i));
+        }
+    }
+
+    #[test]
+    fn step_by_flat_map_matches_sequential() {
+        let total = 1000usize;
+        let chunk = 64usize;
+        for threads in [1, 5] {
+            let out: Vec<usize> = with_threads(threads, || {
+                (0..total)
+                    .into_par_iter()
+                    .step_by(chunk)
+                    .flat_map_iter(|start| start..(start + chunk).min(total))
+                    .collect()
+            });
+            assert_eq!(out, (0..total).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn with_min_len_caps_chunking_without_changing_results() {
+        let out: Vec<usize> =
+            with_threads(8, || (0..10).into_par_iter().with_min_len(64).map(|i| i).collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_and_count_agree_with_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let (s, c) =
+            with_threads(4, || (v.par_iter().map(|&x| x).sum::<u64>(), v.par_iter().count()));
+        assert_eq!(s, (0..10_000).sum::<u64>());
+        assert_eq!(c, 10_000);
+    }
+}

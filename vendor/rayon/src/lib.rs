@@ -1,0 +1,233 @@
+//! Vendored, dependency-free subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the rayon surface it actually uses, implemented on
+//! `std::thread::scope`:
+//!
+//! * [`join`] — fork/join with a global live-thread budget: forks run on
+//!   a real OS thread while the budget (the configured thread count)
+//!   allows, and degrade to sequential execution beyond it, so nested
+//!   divide-and-conquer never explodes the thread count;
+//! * indexed parallel iterators (`par_iter`, `par_iter_mut`,
+//!   `into_par_iter` on ranges) with `map` / `zip` / `enumerate` /
+//!   `step_by` / `flat_map_iter` / `with_min_len` / `for_each` /
+//!   `collect` — chunked across scoped threads, preserving order;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
+//!   [`current_num_threads`] — a *budget*, not a worker set: `install`
+//!   scopes the budget to a closure, `build_global` sets the process
+//!   default.
+//!
+//! Semantics match rayon for every call shape used in this workspace;
+//! scheduling is plain contiguous chunking rather than work stealing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Thread budget ("pool size")
+// ---------------------------------------------------------------------
+
+/// Process-wide default budget; 0 = unset (use available parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra threads currently live across all joins/drivers, bounding fork
+/// depth the way a fixed worker set would.
+static LIVE_EXTRA: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The parallelism budget visible to the current thread: an `install`
+/// scope if inside one, else the `build_global` setting, else
+/// `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the current thread's budget set to `n` (used on spawned
+/// threads so nested operations see the parent's budget).
+pub(crate) fn with_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = LOCAL_THREADS.with(|c| c.replace(n));
+    let out = f();
+    LOCAL_THREADS.with(|c| c.set(prev));
+    out
+}
+
+/// Tries to reserve one extra live thread within the budget.
+pub(crate) fn try_reserve_thread() -> bool {
+    let cap = current_num_threads().saturating_sub(1);
+    let mut live = LIVE_EXTRA.load(Ordering::Relaxed);
+    loop {
+        if live >= cap {
+            return false;
+        }
+        match LIVE_EXTRA.compare_exchange_weak(live, live + 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return true,
+            Err(now) => live = now,
+        }
+    }
+}
+
+pub(crate) fn release_thread() {
+    LIVE_EXTRA.fetch_sub(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if try_reserve_thread() {
+        let budget = current_num_threads();
+        let out = std::thread::scope(|s| {
+            let hb = s.spawn(move || with_budget(budget, b));
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        });
+        release_thread();
+        out
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    }
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+/// Builder for a parallelism budget (rayon-compatible shape).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type kept for signature compatibility; construction here cannot
+/// actually fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    fn resolved(&self) -> usize {
+        match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Some(n) => n,
+        }
+    }
+
+    /// Builds a scoped budget usable via [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.resolved() })
+    }
+
+    /// Sets the process-wide default budget.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.resolved(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A parallelism budget; `install` scopes it to a closure.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_budget(self.threads, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 100 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 10_000), (0..10_000).sum());
+    }
+
+    #[test]
+    fn install_scopes_the_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = pool.install(|| {
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(current_num_threads)
+        });
+        assert_eq!(nested, 2);
+    }
+
+    #[test]
+    fn join_inside_install_sees_budget_on_both_arms() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (a, b) = pool.install(|| join(current_num_threads, current_num_threads));
+        assert_eq!((a, b), (4, 4));
+    }
+}
