@@ -1,30 +1,122 @@
 //! Parallel steady-ant braid multiplication (Listing 5 of the paper).
 //!
 //! Fine-grained parallelism does not apply here — the mapping stage and
-//! the ant passage are inherently sequential — but the two recursive
+//! the ant passage are inherently sequential — but the recursive
 //! sub-products are independent, giving coarse-grained task parallelism.
-//! The recursion forks (`rayon::join`) for the top `parallel_depth`
-//! levels and then switches to the sequential *combined* implementation
-//! (memory pool + precalc), each task with its own workspace.
+//!
+//! The driver is *level-synchronous* on one pinned worker team
+//! ([`rayon::team_run`]): the top `parallel_depth` recursion levels are
+//! flattened into an explicit tree, the leaves are multiplied by the
+//! sequential *combined* implementation (memory pool + precalc), and the
+//! combine steps run bottom-up — every node of a level in parallel
+//! across the team, one barrier between levels. Compared to a
+//! fork/join per node, the team is acquired once for the whole product
+//! and synchronizes `parallel_depth` times, not `2^parallel_depth`.
 //!
 //! `parallel_depth = 0` therefore reproduces the sequential combined
 //! algorithm, and increasing the depth is exactly the threshold sweep of
 //! the paper's Figure 4(b) (optimal there: depth 4 on an 8-core machine).
 
+use std::cell::UnsafeCell;
+
 use slcs_perm::Permutation;
 
 use crate::combine::CombineScratch;
-use crate::dac::{expand_combine, split};
+use crate::dac::{expand_combine, split, SplitParts};
 use crate::memory::BraidMulWorkspace;
 use crate::precalc::PrecalcTables;
 
 /// Order below which forking is never worth the task overhead.
 const MIN_PARALLEL_ORDER: usize = 4096;
 
+/// One node of the flattened recursion tree.
+struct Node {
+    /// This node's operand pair.
+    p: Vec<u32>,
+    q: Vec<u32>,
+    /// Split data, present iff the node has children.
+    parts: Option<SplitParts>,
+    /// Arena indices of the `lo`/`hi` children (inner nodes only).
+    children: Option<(usize, usize)>,
+    /// The node's product, written exactly once, one level at a time.
+    result: UnsafeCell<Vec<u32>>,
+}
+
+/// The tree arena, shared read-mostly across team members. Each member
+/// writes only the `result` cells of the nodes assigned to it within a
+/// level, and levels are separated by a team barrier, so the aliasing is
+/// benign.
+struct Arena {
+    nodes: Vec<Node>,
+    /// Node indices per level, root level first.
+    levels: Vec<Vec<usize>>,
+}
+
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    fn build(p: &[u32], q: &[u32], depth: usize) -> Arena {
+        let mut arena = Arena { nodes: Vec::new(), levels: vec![Vec::new(); depth + 1] };
+        arena.add_node(p.to_vec(), q.to_vec(), depth, 0);
+        arena.levels.retain(|level| !level.is_empty());
+        arena
+    }
+
+    fn add_node(&mut self, p: Vec<u32>, q: Vec<u32>, depth_left: usize, level: usize) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            p,
+            q,
+            parts: None,
+            children: None,
+            result: UnsafeCell::new(Vec::new()),
+        });
+        self.levels[level].push(idx);
+        if depth_left > 0 && self.nodes[idx].p.len() >= MIN_PARALLEL_ORDER {
+            let parts = split(&self.nodes[idx].p, &self.nodes[idx].q);
+            let lo =
+                self.add_node(parts.p_lo.clone(), parts.q_lo.clone(), depth_left - 1, level + 1);
+            let hi =
+                self.add_node(parts.p_hi.clone(), parts.q_hi.clone(), depth_left - 1, level + 1);
+            self.nodes[idx].parts = Some(parts);
+            self.nodes[idx].children = Some((lo, hi));
+        }
+        idx
+    }
+
+    /// Computes one node's product from its children (or directly, for a
+    /// leaf).
+    ///
+    /// # Safety
+    ///
+    /// The node must be assigned to exactly one caller within its level,
+    /// and its children's results must already be complete (guaranteed
+    /// by the bottom-up level order with a barrier between levels).
+    unsafe fn eval(&self, idx: usize, tables: &PrecalcTables) {
+        let node = &self.nodes[idx];
+        let result = match node.children {
+            None => {
+                let mut ws = BraidMulWorkspace::new(node.p.len());
+                ws.multiply_forward(&node.p, &node.q, Some(tables))
+            }
+            Some((lo, hi)) => {
+                let r_lo = &*self.nodes[lo].result.get();
+                let r_hi = &*self.nodes[hi].result.get();
+                let parts = node.parts.as_ref().expect("inner node has parts");
+                let n = node.p.len();
+                let mut scratch = CombineScratch::with_capacity(n);
+                expand_combine(n, parts, r_lo, r_hi, &mut scratch)
+            }
+        };
+        *node.result.get() = result;
+    }
+}
+
 /// Demazure product with coarse-grained task parallelism in the top
-/// `parallel_depth` recursion levels.
+/// `parallel_depth` recursion levels, scheduled level-synchronously on
+/// one worker team.
 ///
-/// Runs on the current rayon thread pool; wrap the call in
+/// Runs on the shared persistent pool; wrap the call in
 /// [`rayon::ThreadPool::install`] to control the thread count (the
 /// bench harness does exactly that for the Figure 4(b)/8 sweeps).
 ///
@@ -34,23 +126,28 @@ const MIN_PARALLEL_ORDER: usize = 4096;
 pub fn parallel_steady_ant(p: &Permutation, q: &Permutation, parallel_depth: usize) -> Permutation {
     assert_eq!(p.len(), q.len(), "steady ant requires equal orders");
     let tables = PrecalcTables::global();
-    let forward = par_rec(p.forward(), q.forward(), parallel_depth, tables);
-    Permutation::from_forward_unchecked(forward)
-}
-
-fn par_rec(p: &[u32], q: &[u32], depth_left: usize, tables: &PrecalcTables) -> Vec<u32> {
-    let n = p.len();
-    if depth_left == 0 || n < MIN_PARALLEL_ORDER {
-        let mut ws = BraidMulWorkspace::new(n);
-        return ws.multiply_forward(p, q, Some(tables));
+    let threads = rayon::current_num_threads();
+    if parallel_depth == 0 || p.len() < MIN_PARALLEL_ORDER || threads <= 1 {
+        let mut ws = BraidMulWorkspace::new(p.len());
+        let forward = ws.multiply_forward(p.forward(), q.forward(), Some(tables));
+        return Permutation::from_forward_unchecked(forward);
     }
-    let parts = split(p, q);
-    let (r_lo, r_hi) = rayon::join(
-        || par_rec(&parts.p_lo, &parts.q_lo, depth_left - 1, tables),
-        || par_rec(&parts.p_hi, &parts.q_hi, depth_left - 1, tables),
-    );
-    let mut scratch = CombineScratch::with_capacity(n);
-    expand_combine(n, &parts, &r_lo, &r_hi, &mut scratch)
+    let arena = Arena::build(p.forward(), q.forward(), parallel_depth);
+    let leaves = arena.levels.last().map_or(1, Vec::len);
+    rayon::team_run(threads.min(leaves), |view| {
+        for level in arena.levels.iter().rev() {
+            for &idx in level.iter().skip(view.id).step_by(view.size) {
+                // Safety: round-robin assignment gives each node to one
+                // member; children completed before the last barrier.
+                unsafe { arena.eval(idx, tables) };
+            }
+            if !view.barrier() {
+                return;
+            }
+        }
+    });
+    let forward = std::mem::take(unsafe { &mut *arena.nodes[0].result.get() });
+    Permutation::from_forward_unchecked(forward)
 }
 
 #[cfg(test)]
@@ -70,6 +167,18 @@ mod tests {
             let q = Permutation::random(10_000, &mut rng);
             let seq = crate::seq::steady_ant(&p, &q);
             assert_eq!(parallel_steady_ant(&p, &q, depth), seq, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_installed_pools() {
+        let mut rng = rng();
+        let p = Permutation::random(9_000, &mut rng);
+        let q = Permutation::random(9_000, &mut rng);
+        let seq = crate::seq::steady_ant(&p, &q);
+        for threads in [1, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            assert_eq!(pool.install(|| parallel_steady_ant(&p, &q, 3)), seq, "threads={threads}");
         }
     }
 

@@ -160,6 +160,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "braid" => cmd_braid(rest),
         "serve" => cmd_serve(rest),
         "bench-engine" => cmd_bench_engine(rest),
+        "bench-baseline" => cmd_bench_baseline(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "version" | "--version" | "-V" => Ok(format!("{}\n", version_string())),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
@@ -181,6 +182,12 @@ usage:
                                     engine behind a TCP line protocol
   slcs bench-engine [--requests N] [--pairs N] [--len N] [--sigma S]
                                     offline engine throughput run
+  slcs bench-baseline [--quick] [--sizes N,N] [--threads N,N] [--grain N]
+                      [--runs N] [--out FILE]
+                                    anti-diagonal scheduling benchmark
+                                    (seq / spawn / pool / team → ns/cell,
+                                    JSON written to FILE, default
+                                    BENCH_pool.json)
 
 operands: literal strings, or @file (raw bytes, or FASTA if it starts with '>')";
 
@@ -437,6 +444,115 @@ fn cmd_bench_engine(rest: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a comma-separated list flag, e.g. `--sizes 4096,16384`.
+fn list_flag(opts: &Options, name: &str, default: &[usize]) -> Result<Vec<usize>, CliError> {
+    match opts.value(name) {
+        None => Ok(default.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| err(format!("invalid value in --{name}: {s}"))))
+            .collect(),
+    }
+}
+
+/// Median wall-clock time of `runs` executions (one warmup).
+fn median_time<R>(runs: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
+    std::hint::black_box(f());
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
+    use slcs_semilocal::Scheduling;
+
+    let opts = Options::parse(rest, &["sizes", "threads", "grain", "runs", "out", "seed"])?;
+    let quick = opts.has("quick");
+    let sizes = list_flag(&opts, "sizes", if quick { &[1024] } else { &[4096, 16384] })?;
+    let threads = list_flag(&opts, "threads", if quick { &[1, 2] } else { &[1, 2, 4, 8] })?;
+    // Full-sweep grain: largest grid ÷ largest thread count, so every
+    // budget in the sweep can actually form a full team (the production
+    // default of 8192 would cap the 16384² grid at two chunks per
+    // diagonal and leave 6 of 8 members idle).
+    let default_grain = if quick { 256 } else { 2048 };
+    let grain: usize = opts.value_parsed("grain")?.unwrap_or(default_grain).max(1);
+    let runs: usize = opts.value_parsed("runs")?.unwrap_or(if quick { 1 } else { 3 });
+    let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
+    let out_path = opts.value("out").unwrap_or("BENCH_pool.json").to_string();
+
+    let modes: [(&str, Scheduling); 3] = [
+        ("spawn_per_diag", Scheduling::SpawnPerDiag),
+        ("pool_per_diag", Scheduling::PoolPerDiag),
+        ("team", Scheduling::Team),
+    ];
+    let mut rows = Vec::new(); // (size, threads, mode, ns_per_cell, millis)
+    let mut report = String::from("anti-diagonal combing scheduling benchmark\n");
+    writeln!(report, "grain={grain} runs={runs} sizes={sizes:?} threads={threads:?}").unwrap();
+    for &n in &sizes {
+        let mut rng = slcs_datagen::seeded_rng(seed);
+        let a = slcs_datagen::uniform_string(&mut rng, n, 4);
+        let b = slcs_datagen::uniform_string(&mut rng, n, 4);
+        let cells = (n as f64) * (n as f64);
+        let d = median_time(runs, || slcs_semilocal::antidiag_combing_branchless(&a, &b));
+        let seq_ns = d.as_nanos() as f64 / cells;
+        rows.push((n, 1usize, "seq", seq_ns, d.as_secs_f64() * 1e3));
+        writeln!(report, "  {n}x{n}  seq              t=1  {seq_ns:8.3} ns/cell").unwrap();
+        for &t in &threads {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .map_err(|e| err(e.to_string()))?;
+            for (name, sched) in modes {
+                let d = pool.install(|| {
+                    median_time(runs, || {
+                        slcs_semilocal::par_antidiag_combing_branchless_sched(&a, &b, sched, grain)
+                    })
+                });
+                let ns = d.as_nanos() as f64 / cells;
+                rows.push((n, t, name, ns, d.as_secs_f64() * 1e3));
+                writeln!(
+                    report,
+                    "  {n}x{n}  {name:<16} t={t}  {ns:8.3} ns/cell  ({:.2}x vs spawn-baseline)",
+                    rows.iter()
+                        .find(|r| r.0 == n && r.1 == t && r.2 == "spawn_per_diag")
+                        .map(|r| r.3 / ns)
+                        .unwrap_or(1.0)
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"bench\": \"bench-baseline\",").unwrap();
+    writeln!(json, "  \"algorithm\": \"par_antidiag_combing_branchless\",").unwrap();
+    writeln!(json, "  \"unit\": \"ns_per_cell\",").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    writeln!(json, "  \"par_grain\": {grain},").unwrap();
+    writeln!(json, "  \"runs\": {runs},").unwrap();
+    writeln!(json, "  \"pool_spawned_workers\": {},", rayon::pool_spawned_workers()).unwrap();
+    writeln!(json, "  \"rows\": [").unwrap();
+    for (i, (n, t, mode, ns, ms)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"size\": {n}, \"threads\": {t}, \"mode\": \"{mode}\", \
+             \"ns_per_cell\": {ns:.4}, \"millis\": {ms:.3}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    writeln!(report, "[written {out_path}]").unwrap();
+    Ok(report)
+}
+
 fn two_operands(opts: &Options) -> Result<[Vec<u8>; 2], CliError> {
     if opts.positional.len() != 2 {
         return Err(err(format!(
@@ -571,6 +687,26 @@ mod tests {
         assert!(out.contains("24 requests"), "{out}");
         assert!(out.contains("hits="), "{out}");
         assert!(out.contains("req/s"), "{out}");
+    }
+
+    #[test]
+    fn bench_baseline_quick_writes_json() {
+        let out = std::env::temp_dir().join("slcs_bench_pool_test.json");
+        let path = out.display().to_string();
+        let text = run(
+            "bench-baseline",
+            &["--quick", "--sizes", "256", "--threads", "1,2", "--runs", "1", "--out", &path],
+        )
+        .unwrap();
+        assert!(text.contains("ns/cell"), "{text}");
+        assert!(text.contains("team"), "{text}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"mode\": \"team\""), "{json}");
+        assert!(json.contains("\"mode\": \"spawn_per_diag\""), "{json}");
+        assert!(json.contains("\"par_grain\": "), "{json}");
+        assert!(json.contains("\"pool_spawned_workers\": "), "{json}");
+        let _ = std::fs::remove_file(out);
+        assert!(run("bench-baseline", &["--sizes", "bogus"]).is_err());
     }
 
     #[test]

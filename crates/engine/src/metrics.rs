@@ -120,6 +120,7 @@ impl Metrics {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             wait_micros: self.wait_micros.snapshot(),
             service_micros: self.service_micros.snapshot(),
+            par_grain: slcs_semilocal::par_grain(),
         }
     }
 }
@@ -141,6 +142,11 @@ pub struct StatsSnapshot {
     pub max_queue_depth: u64,
     pub wait_micros: HistogramSnapshot,
     pub service_micros: HistogramSnapshot,
+    /// Effective anti-diagonal chunk grain (cells per parallel task),
+    /// resolved once from `SLCS_PAR_GRAIN` — configuration, not a
+    /// counter, but surfaced here so STATS readers can correlate latency
+    /// shifts with scheduling granularity.
+    pub par_grain: usize,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -162,6 +168,7 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(f, "batches:  {} popped, {} requests coalesced", self.batches, self.coalesced)?;
         writeln!(f, "queue:    depth={} max_depth={}", self.queue_depth, self.max_queue_depth)?;
+        writeln!(f, "sched:    par_grain={}", self.par_grain)?;
         writeln!(
             f,
             "wait:     p50<={}us p95<={}us p99<={}us (n={})",

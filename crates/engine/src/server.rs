@@ -193,7 +193,7 @@ pub fn respond(line: &str, engine: &Engine) -> String {
             return format!(
                 "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
                  hits={} misses={} evictions={} batches={} coalesced={} \
-                 depth={} max_depth={}",
+                 depth={} max_depth={} par_grain={}",
                 s.submitted,
                 s.accepted,
                 s.completed,
@@ -206,6 +206,7 @@ pub fn respond(line: &str, engine: &Engine) -> String {
                 s.coalesced,
                 s.queue_depth,
                 s.max_queue_depth,
+                s.par_grain,
             );
         }
         "LCS" => {

@@ -160,49 +160,205 @@ pub fn antidiag_combing_u16<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocal
     })
 }
 
-/// Cells per rayon task; below this a diagonal chunk is not worth forking.
+/// Cells per parallel task; below this a diagonal chunk is not worth
+/// handing to another worker. Overridable at process start through the
+/// `SLCS_PAR_GRAIN` environment variable (see [`par_grain`]).
 const PAR_GRAIN: usize = 8 * 1024;
 
-/// [`par_antidiag_combing_branchless`] with an explicit rayon grain size
-/// (minimum cells per task) — the ablation knob for the per-diagonal
-/// fork/sync overhead discussed in §4.1.
+/// The effective parallel grain: `SLCS_PAR_GRAIN` from the environment
+/// (first read wins, cached for the process) or the built-in default of
+/// 8192 cells. Zero or unparsable values fall back to the default.
+pub fn par_grain() -> usize {
+    static GRAIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *GRAIN.get_or_init(|| {
+        std::env::var("SLCS_PAR_GRAIN")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&g| g > 0)
+            .unwrap_or(PAR_GRAIN)
+    })
+}
+
+/// How a thread-parallel sweep schedules its anti-diagonal work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// One `std::thread::scope` spawn/join cycle per anti-diagonal — the
+    /// pre-pool executor's behavior, kept as the benchmark baseline.
+    SpawnPerDiag,
+    /// One persistent-pool fork/join per anti-diagonal (a parallel
+    /// iterator drive per diagonal).
+    PoolPerDiag,
+    /// One worker team pinned for the whole sweep, separating diagonals
+    /// with a barrier — no fork/join on the hot path at all.
+    Team,
+}
+
+/// Shared write access to the strand arrays for team members. Each
+/// member only touches the disjoint index range it is assigned for the
+/// current diagonal, and the team barrier orders diagonals, so the
+/// aliasing is benign.
+struct SharedStrands<S> {
+    ptr: *mut S,
+}
+
+unsafe impl<S: Send> Sync for SharedStrands<S> {}
+
+impl<S> SharedStrands<S> {
+    /// # Safety
+    ///
+    /// `[lo, hi)` must be in bounds and disjoint from every range any
+    /// other thread accesses between two barriers.
+    #[allow(clippy::mut_from_ref)] // &self is a shared raw-ptr capability; disjointness is the caller's contract above
+    unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [S] {
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// Team-scheduled sweep: one team for all `m + n − 1` diagonals, a
+/// barrier per diagonal. Falls back to the plain sequential sweep when
+/// the grid cannot keep a second worker busy (`min(m, n) < 2·grain`
+/// or a 1-thread budget), so callers can use it unconditionally.
+fn sweep_wavefront<T, S, C>(a: &[T], b: &[T], grain: usize, cell: C) -> SemiLocalKernel
+where
+    T: Eq + Clone + Sync,
+    S: StrandIx,
+    C: Fn(&T, &T, &mut S, &mut S) + Sync,
+{
+    let m = a.len();
+    let n = b.len();
+    if m == 0 || n == 0 {
+        return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
+    }
+    let grain = grain.max(1);
+    let team = rayon::current_num_threads().min(m.min(n) / grain).max(1);
+    if team <= 1 {
+        return sweep::<_, S, _>(a, b, |ar, bs, hs, vs| {
+            for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+                cell(ac, bc, h, v);
+            }
+        });
+    }
+    let a_rev: Vec<T> = a.iter().rev().cloned().collect();
+    let mut h_strands: Vec<S> = (0..m).map(S::from_usize).collect();
+    let mut v_strands: Vec<S> = (m..m + n).map(S::from_usize).collect();
+    {
+        let h = SharedStrands { ptr: h_strands.as_mut_ptr() };
+        let v = SharedStrands { ptr: v_strands.as_mut_ptr() };
+        let a_rev = &a_rev;
+        rayon::team_run(team, |view| {
+            for d in 0..(m + n - 1) {
+                let (h0, v0, len) = diag_ranges(m, n, d);
+                // Short diagonals activate fewer members; inactive ones
+                // go straight to the barrier.
+                let active = view.size.min(len.div_ceil(grain)).max(1);
+                if view.id < active {
+                    let chunk = len.div_ceil(active);
+                    let lo = (view.id * chunk).min(len);
+                    let hi = (lo + chunk).min(len);
+                    // Safety: members cover disjoint [lo, hi) slices of
+                    // this diagonal; the barrier below sequences access
+                    // across diagonals.
+                    let hs = unsafe { h.range_mut(h0 + lo, h0 + hi) };
+                    let vs = unsafe { v.range_mut(v0 + lo, v0 + hi) };
+                    let ar = &a_rev[h0 + lo..h0 + hi];
+                    let bs = &b[v0 + lo..v0 + hi];
+                    for ((ac, bc), (hr, vr)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+                        cell(ac, bc, hr, vr);
+                    }
+                }
+                if !view.barrier() {
+                    return;
+                }
+            }
+        });
+    }
+    let h32: Vec<u32> = h_strands.iter().map(|s| s.to_u32()).collect();
+    let v32: Vec<u32> = v_strands.iter().map(|s| s.to_u32()).collect();
+    SemiLocalKernel::new(build_kernel(&h32, &v32), m, n)
+}
+
+/// Pre-pool baseline: chunk the diagonal and pay a full OS-thread
+/// spawn/join cycle for every chunk beyond the first — what every
+/// parallel drive cost before the persistent pool existed.
+fn spawn_per_diag_inloop<T: Eq + Sync, S: StrandIx>(
+    grain: usize,
+    ar: &[T],
+    bs: &[T],
+    hs: &mut [S],
+    vs: &mut [S],
+    cell: impl Fn(&T, &T, &mut S, &mut S) + Copy + Send + Sync,
+) {
+    let len = hs.len();
+    let pieces = rayon::current_num_threads().min(len / grain.max(1)).max(1);
+    let chunk = len.div_ceil(pieces);
+    if pieces <= 1 {
+        for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+            cell(ac, bc, h, v);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for (((hc, vc), ac), bc) in hs
+            .chunks_mut(chunk)
+            .zip(vs.chunks_mut(chunk))
+            .zip(ar.chunks(chunk))
+            .zip(bs.chunks(chunk))
+        {
+            s.spawn(move || {
+                for ((a1, b1), (h, v)) in ac.iter().zip(bc).zip(hc.iter_mut().zip(vc)) {
+                    cell(a1, b1, h, v);
+                }
+            });
+        }
+    });
+}
+
+/// Branchless parallel combing under an explicit [`Scheduling`] mode and
+/// grain — the knob pair behind `bench-baseline`'s before/after
+/// comparison and the grain ablation of §4.1.
+pub fn par_antidiag_combing_branchless_sched<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    sched: Scheduling,
+    grain: usize,
+) -> SemiLocalKernel {
+    let grain = grain.max(1);
+    match sched {
+        Scheduling::SpawnPerDiag => sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+            spawn_per_diag_inloop(grain, ar, bs, hs, vs, cell_branchless::<T, u32>);
+        }),
+        Scheduling::PoolPerDiag => sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
+            hs.par_iter_mut()
+                .with_min_len(grain)
+                .zip(vs.par_iter_mut())
+                .zip(ar.par_iter().zip(bs.par_iter()))
+                .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
+        }),
+        Scheduling::Team => sweep_wavefront::<_, u32, _>(a, b, grain, cell_branchless::<T, u32>),
+    }
+}
+
+/// [`par_antidiag_combing_branchless`] with an explicit grain size
+/// (minimum cells per member per diagonal) — the ablation knob for the
+/// per-diagonal synchronization overhead discussed in §4.1.
 pub fn par_antidiag_combing_branchless_grain<T: Eq + Clone + Sync>(
     a: &[T],
     b: &[T],
     grain: usize,
 ) -> SemiLocalKernel {
-    let grain = grain.max(1);
-    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
-        hs.par_iter_mut()
-            .with_min_len(grain)
-            .zip(vs.par_iter_mut())
-            .zip(ar.par_iter().zip(bs.par_iter()))
-            .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
-    })
+    sweep_wavefront::<_, u32, _>(a, b, grain, cell_branchless::<T, u32>)
 }
 
-/// Thread-parallel `semi_antidiag` (branching inner loop) on the current
-/// rayon pool, one barrier per anti-diagonal (Listing 4).
+/// Thread-parallel `semi_antidiag` (branching inner loop): one worker
+/// team for the whole sweep, a barrier per anti-diagonal (Listing 4).
 pub fn par_antidiag_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
-    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
-        hs.par_iter_mut()
-            .with_min_len(PAR_GRAIN)
-            .zip(vs.par_iter_mut())
-            .zip(ar.par_iter().zip(bs.par_iter()))
-            .for_each(|((h, v), (ac, bc))| cell_branching(ac, bc, h, v));
-    })
+    sweep_wavefront::<_, u32, _>(a, b, par_grain(), cell_branching::<T, u32>)
 }
 
 /// Thread-parallel branchless anti-diagonal combing
 /// (`semi_antidiag_SIMD`'s parallel form from Figures 7–8).
 pub fn par_antidiag_combing_branchless<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
-    sweep::<_, u32, _>(a, b, |ar, bs, hs, vs| {
-        hs.par_iter_mut()
-            .with_min_len(PAR_GRAIN)
-            .zip(vs.par_iter_mut())
-            .zip(ar.par_iter().zip(bs.par_iter()))
-            .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
-    })
+    sweep_wavefront::<_, u32, _>(a, b, par_grain(), cell_branchless::<T, u32>)
 }
 
 /// Thread-parallel branchless combing with 16-bit strand indices.
@@ -216,13 +372,7 @@ pub fn par_antidiag_combing_u16<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiL
         "u16 strand indices require m + n ≤ 65536 (got {})",
         a.len() + b.len()
     );
-    sweep::<_, u16, _>(a, b, |ar, bs, hs, vs| {
-        hs.par_iter_mut()
-            .with_min_len(PAR_GRAIN)
-            .zip(vs.par_iter_mut())
-            .zip(ar.par_iter().zip(bs.par_iter()))
-            .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
-    })
+    sweep_wavefront::<_, u16, _>(a, b, par_grain(), cell_branchless::<T, u16>)
 }
 
 #[cfg(test)]

@@ -47,7 +47,11 @@ pub mod recursive;
 pub mod reference;
 pub mod simd;
 
-pub use antidiag::{antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16};
+pub use antidiag::{
+    antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, par_antidiag_combing,
+    par_antidiag_combing_branchless, par_antidiag_combing_branchless_sched,
+    par_antidiag_combing_u16, par_grain, Scheduling,
+};
 pub use edit::EditDistances;
 pub use hybrid::{grid_hybrid_combing, hybrid_combing};
 pub use incremental::IncrementalKernel;

@@ -30,9 +30,7 @@
 //! composed result against plain iterative combing on random inputs,
 //! which pins every formula).
 
-use rayon::prelude::*;
-
-use crate::antidiag::StrandIx;
+use crate::antidiag::{par_grain, StrandIx};
 use crate::compose::{BraidMultiplier, CombinedMultiplier};
 use crate::kernel::SemiLocalKernel;
 use slcs_perm::Permutation;
@@ -44,8 +42,10 @@ pub fn load_balanced_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLoca
     load_balanced_impl(a, b, false)
 }
 
-/// Thread-parallel load-balanced combing: fused phase-1/phase-3
-/// iterations of exactly `m` cells, then parallel inner loops on phase 2
+/// Thread-parallel load-balanced combing: one worker team pinned for the
+/// whole sweep. Fused phase-1/phase-3 iterations of exactly `m` cells
+/// and the full-length phase-2 diagonals are split across the team, with
+/// one barrier per iteration instead of a fork/join per diagonal
 /// (Figures 7–8).
 pub fn par_load_balanced_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
     load_balanced_impl(a, b, true)
@@ -74,21 +74,56 @@ fn load_balanced_impl<T: Eq + Clone + Sync>(a: &[T], b: &[T], parallel: bool) ->
     let mut v3: Vec<u32> =
         (0..n as u32).map(|j| if j <= mid { j } else { mid + 2 + 2 * (j - mid - 1) }).collect();
 
-    // Fused phases 1 and 3: iteration t processes growing diagonal t and
-    // shrinking diagonal n + t — m cells total, always.
-    for t in 0..m.saturating_sub(1) {
-        let d1 = t;
-        let d3 = n + t;
-        let (g_h0, g_v0, g_len) = diag(m, n, d1);
-        let (s_h0, s_v0, s_len) = diag(m, n, d3);
-        if parallel {
-            let (h1s, v1s) = (&mut h1[g_h0..g_h0 + g_len], &mut v1[g_v0..g_v0 + g_len]);
-            let (h3s, v3s) = (&mut h3[s_h0..s_h0 + s_len], &mut v3[s_v0..s_v0 + s_len]);
-            rayon::join(
-                || comb_diag_par(&a_rev[g_h0..g_h0 + g_len], &b[g_v0..g_v0 + g_len], h1s, v1s),
-                || comb_diag_par(&a_rev[s_h0..s_h0 + s_len], &b[s_v0..s_v0 + s_len], h3s, v3s),
-            );
-        } else {
+    // Every sweep iteration (fused 1⊕3 or phase 2) processes ~m cells,
+    // so a team bigger than m / grain members can never all be busy.
+    let grain = par_grain();
+    let team = if parallel { rayon::current_num_threads().min(m / grain).max(1) } else { 1 };
+    if team > 1 {
+        let shared = [
+            SharedPhase { h: h1.as_mut_ptr(), v: v1.as_mut_ptr() },
+            SharedPhase { h: h2.as_mut_ptr(), v: v2.as_mut_ptr() },
+            SharedPhase { h: h3.as_mut_ptr(), v: v3.as_mut_ptr() },
+        ];
+        let a_rev = &a_rev[..];
+        rayon::team_run(team, |view| {
+            // Fused phases 1 and 3: iteration t processes growing
+            // diagonal t and shrinking diagonal n + t — m cells total,
+            // split across the team as one combined index range.
+            for t in 0..m.saturating_sub(1) {
+                let (g_h0, g_v0, g_len) = diag(m, n, t);
+                let (s_h0, s_v0, s_len) = diag(m, n, n + t);
+                let total = g_len + s_len;
+                let (lo, hi) = member_range(total, grain, &view);
+                if lo < g_len {
+                    let e = hi.min(g_len);
+                    // Safety: members cover disjoint subranges; the
+                    // barrier below sequences iterations.
+                    unsafe { shared[0].comb(a_rev, b, g_h0 + lo, g_v0 + lo, e - lo) };
+                }
+                if hi > g_len {
+                    let (s_lo, s_hi) = (lo.max(g_len) - g_len, hi - g_len);
+                    unsafe { shared[2].comb(a_rev, b, s_h0 + s_lo, s_v0 + s_lo, s_hi - s_lo) };
+                }
+                if !view.barrier() {
+                    return;
+                }
+            }
+            // Phase 2: the full-length diagonals.
+            for d in (m - 1)..n {
+                let (h0, v0, len) = diag(m, n, d);
+                let (lo, hi) = member_range(len, grain, &view);
+                if lo < hi {
+                    unsafe { shared[1].comb(a_rev, b, h0 + lo, v0 + lo, hi - lo) };
+                }
+                if !view.barrier() {
+                    return;
+                }
+            }
+        });
+    } else {
+        for t in 0..m.saturating_sub(1) {
+            let (g_h0, g_v0, g_len) = diag(m, n, t);
+            let (s_h0, s_v0, s_len) = diag(m, n, n + t);
             comb_diag(
                 &a_rev[g_h0..g_h0 + g_len],
                 &b[g_v0..g_v0 + g_len],
@@ -102,19 +137,8 @@ fn load_balanced_impl<T: Eq + Clone + Sync>(a: &[T], b: &[T], parallel: bool) ->
                 &mut v3[s_v0..s_v0 + s_len],
             );
         }
-    }
-
-    // Phase 2: the full-length diagonals.
-    for d in (m - 1)..n {
-        let (h0, v0, len) = diag(m, n, d);
-        if parallel {
-            comb_diag_par(
-                &a_rev[h0..h0 + len],
-                &b[v0..v0 + len],
-                &mut h2[h0..h0 + len],
-                &mut v2[v0..v0 + len],
-            );
-        } else {
+        for d in (m - 1)..n {
+            let (h0, v0, len) = diag(m, n, d);
             comb_diag(
                 &a_rev[h0..h0 + len],
                 &b[v0..v0 + len],
@@ -184,17 +208,41 @@ fn comb_diag<T: Eq>(ar: &[T], bs: &[T], hs: &mut [u32], vs: &mut [u32]) {
     }
 }
 
-fn comb_diag_par<T: Eq + Sync>(ar: &[T], bs: &[T], hs: &mut [u32], vs: &mut [u32]) {
-    hs.par_iter_mut()
-        .with_min_len(8 * 1024)
-        .zip(vs.par_iter_mut())
-        .zip(ar.par_iter().zip(bs.par_iter()))
-        .for_each(|((h, v), (ac, bc))| {
-            let p = (ac == bc) | (*h > *v);
-            let (nh, nv) = u32::cswap(p, *h, *v);
-            *h = nh;
-            *v = nv;
-        });
+/// The contiguous subrange of `len` cells that `view`'s member combs this
+/// iteration: short ranges activate fewer members (grain-bounded), and
+/// inactive members get the empty range.
+fn member_range(len: usize, grain: usize, view: &rayon::TeamView<'_>) -> (usize, usize) {
+    let active = view.size.min(len.div_ceil(grain)).max(1);
+    if view.id >= active {
+        return (0, 0);
+    }
+    let chunk = len.div_ceil(active);
+    let lo = (view.id * chunk).min(len);
+    (lo, (lo + chunk).min(len))
+}
+
+/// One phase's strand arrays, shared across team members. Members only
+/// write the disjoint ranges [`member_range`] assigns them, and the team
+/// barrier sequences iterations, so the aliasing is benign.
+struct SharedPhase {
+    h: *mut u32,
+    v: *mut u32,
+}
+
+unsafe impl Sync for SharedPhase {}
+
+impl SharedPhase {
+    /// Combs `len` cells starting at `h_off`/`v_off`.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and disjoint from every range any
+    /// other member touches between two barriers.
+    unsafe fn comb<T: Eq>(&self, a_rev: &[T], b: &[T], h_off: usize, v_off: usize, len: usize) {
+        let hs = std::slice::from_raw_parts_mut(self.h.add(h_off), len);
+        let vs = std::slice::from_raw_parts_mut(self.v.add(v_off), len);
+        comb_diag(&a_rev[h_off..h_off + len], &b[v_off..v_off + len], hs, vs);
+    }
 }
 
 #[cfg(test)]

@@ -5,11 +5,14 @@
 //! terminal operations ([`ParallelIterator::for_each`],
 //! [`ParallelIterator::collect`]) cut the iterator into at most
 //! `current_num_threads()` contiguous chunks (respecting
-//! `with_min_len`), run each chunk's sequential lowering on a scoped
-//! thread, and reassemble results in order — so output order and
-//! side-effect targets are identical to rayon's.
+//! `with_min_len`), publish all but the first to the persistent worker
+//! pool, run the first on the calling thread (which then helps drain the
+//! pool queue until its chunks are done), and reassemble results in
+//! order — so output order and side-effect targets are identical to
+//! rayon's, with no thread spawned per drive.
 
-use crate::{current_num_threads, with_budget};
+use crate::current_num_threads;
+use crate::pool::{Pool, StackJob};
 
 /// A splittable, indexed parallel iterator.
 pub trait ParallelIterator: Sized + Send {
@@ -141,6 +144,11 @@ fn split_into<I: ParallelIterator>(it: I, pieces: usize) -> Vec<I> {
 }
 
 /// Runs `f` on every chunk, returning chunk results in order.
+///
+/// The first chunk runs on the calling thread; the rest are published to
+/// the persistent pool. The caller helps drain the pool queue until all
+/// of its chunks are done, then reassembles results (propagating the
+/// first panic only after every chunk has stopped running).
 fn drive_collect<I, R, F>(it: I, f: F) -> Vec<R>
 where
     I: ParallelIterator,
@@ -152,23 +160,36 @@ where
         return vec![f(it)];
     }
     let budget = current_num_threads();
-    let parts = split_into(it, pieces);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|part| {
-                let f = f.clone();
-                s.spawn(move || with_budget(budget, move || f(part)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    })
+    let pool = Pool::global();
+    pool.ensure_workers(budget.saturating_sub(1));
+    let mut parts = split_into(it, pieces).into_iter();
+    let first = parts.next().expect("at least one piece");
+    // Built fully before any JobRef is published, so the jobs never move.
+    let jobs: Vec<StackJob<_, R>> = parts
+        .map(|part| {
+            let f = f.clone();
+            StackJob::new(move || f(part), budget)
+        })
+        .collect();
+    // Safety: this frame waits for every job to reach DONE before
+    // returning or unwinding, so the published pointers outlive use.
+    pool.inject_many(jobs.iter().map(|job| unsafe { job.as_job_ref() }));
+    let head = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(first)));
+    pool.help_until(|| jobs.iter().all(|job| job.is_done()));
+    let mut out = Vec::with_capacity(pieces);
+    match head {
+        Ok(r) => out.push(r),
+        Err(payload) => {
+            for job in &jobs {
+                let _ = job.take_result();
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
+    for job in &jobs {
+        out.push(job.unwrap_value());
+    }
+    out
 }
 
 fn drive<I, F>(it: I, f: F)

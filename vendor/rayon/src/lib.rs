@@ -1,29 +1,42 @@
 //! Vendored, dependency-free subset of the `rayon` API.
 //!
 //! The build environment has no crates.io access, so the workspace
-//! vendors the rayon surface it actually uses, implemented on
-//! `std::thread::scope`:
+//! vendors the rayon surface it actually uses, implemented on a
+//! **persistent worker pool** (see [`pool`]): one parked OS thread per
+//! budget slot, spawned lazily on first use and reused forever — a
+//! `join` or a parallel-iterator drive costs an enqueue and a wakeup,
+//! not a thread spawn.
 //!
-//! * [`join`] — fork/join with a global live-thread budget: forks run on
-//!   a real OS thread while the budget (the configured thread count)
-//!   allows, and degrade to sequential execution beyond it, so nested
-//!   divide-and-conquer never explodes the thread count;
+//! * [`join`] — fork/join with a global live-fork budget: the second arm
+//!   is published to the pool while the budget (the configured thread
+//!   count) allows, and degrades to sequential execution beyond it; the
+//!   publishing thread *helps* run queued work while it waits, so nested
+//!   divide-and-conquer can neither deadlock nor idle a core;
 //! * indexed parallel iterators (`par_iter`, `par_iter_mut`,
 //!   `into_par_iter` on ranges) with `map` / `zip` / `enumerate` /
 //!   `step_by` / `flat_map_iter` / `with_min_len` / `for_each` /
-//!   `collect` — chunked across scoped threads, preserving order;
+//!   `collect` — chunked across pool workers, preserving order;
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
 //!   [`current_num_threads`] — a *budget*, not a worker set: `install`
 //!   scopes the budget to a closure, `build_global` sets the process
-//!   default.
+//!   default; the shared pool grows to the largest budget ever used;
+//! * [`team_run`] — an extension for wavefront algorithms: pins a group
+//!   of workers to one computation with a per-step barrier instead of a
+//!   fork/join per step (see [`team`]).
 //!
 //! Semantics match rayon for every call shape used in this workspace;
-//! scheduling is plain contiguous chunking rather than work stealing.
+//! scheduling is contiguous chunking over persistent workers rather than
+//! per-chunk work stealing.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod iter;
+pub(crate) mod pool;
+pub mod team;
+
+pub use team::{team_run, TeamView};
+
 pub mod prelude {
     pub use crate::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
@@ -37,8 +50,8 @@ pub mod prelude {
 /// Process-wide default budget; 0 = unset (use available parallelism).
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Extra threads currently live across all joins/drivers, bounding fork
-/// depth the way a fixed worker set would.
+/// Outstanding forked jobs across all joins, bounding fork depth the
+/// way a fixed worker set would.
 static LIVE_EXTRA: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
@@ -60,6 +73,13 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Number of persistent workers the shared pool has spawned so far
+/// (grows lazily toward the largest budget ever exercised). Extension
+/// used by the bench harness for observability.
+pub fn pool_spawned_workers() -> usize {
+    pool::Pool::global().spawned_workers()
+}
+
 /// Runs `f` with the current thread's budget set to `n` (used on spawned
 /// threads so nested operations see the parent's budget).
 pub(crate) fn with_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
@@ -69,7 +89,7 @@ pub(crate) fn with_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
     out
 }
 
-/// Tries to reserve one extra live thread within the budget.
+/// Tries to reserve one extra in-flight fork within the budget.
 pub(crate) fn try_reserve_thread() -> bool {
     let cap = current_num_threads().saturating_sub(1);
     let mut live = LIVE_EXTRA.load(Ordering::Relaxed);
@@ -94,6 +114,13 @@ pub(crate) fn release_thread() {
 // ---------------------------------------------------------------------
 
 /// Runs both closures, potentially in parallel, returning both results.
+///
+/// The second arm is published to the persistent pool; the caller runs
+/// the first arm inline and then *helps* execute queued pool work until
+/// the second arm completes (it may well run it itself if no worker got
+/// there first). Panics from either arm propagate to the caller, first
+/// arm's panic winning, and only after both arms have stopped touching
+/// the caller's stack.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -101,23 +128,27 @@ where
     RA: Send,
     RB: Send,
 {
-    if try_reserve_thread() {
-        let budget = current_num_threads();
-        let out = std::thread::scope(|s| {
-            let hb = s.spawn(move || with_budget(budget, b));
-            let ra = a();
-            let rb = match hb.join() {
-                Ok(rb) => rb,
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            (ra, rb)
-        });
-        release_thread();
-        out
-    } else {
+    if !try_reserve_thread() {
         let ra = a();
         let rb = b();
-        (ra, rb)
+        return (ra, rb);
+    }
+    let budget = current_num_threads();
+    let pool = pool::Pool::global();
+    pool.ensure_workers(budget.saturating_sub(1));
+    let job_b = pool::StackJob::new(b, budget);
+    // Safety: this frame waits for `job_b` to reach DONE before returning
+    // or unwinding, so the published pointer outlives its use.
+    unsafe { pool.inject(job_b.as_job_ref()) };
+    let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+    pool.help_until(|| job_b.is_done());
+    release_thread();
+    match ra {
+        Ok(ra) => (ra, job_b.unwrap_value()),
+        Err(payload) => {
+            let _ = job_b.take_result();
+            std::panic::resume_unwind(payload)
+        }
     }
 }
 

@@ -1,0 +1,249 @@
+//! The persistent worker pool behind [`crate::join`], the parallel
+//! iterators and [`crate::team_run`].
+//!
+//! Workers are real OS threads, spawned lazily (one per budget slot the
+//! process has ever asked for) and **parked** on a condvar when idle —
+//! never torn down. Work arrives as [`JobRef`]s through a shared
+//! injector queue; a thread that must wait for a job it published
+//! (`join`'s second arm, an iterator chunk) *helps*: it pops and runs
+//! other queued jobs instead of blocking, so the pool can never deadlock
+//! on nested fork/join and a caller's CPU is never wasted.
+//!
+//! Jobs are stack-allocated ([`StackJob`]): the publishing frame owns the
+//! closure and result slot, and is required to stay alive until the job's
+//! state reaches `DONE` — every publisher in this crate waits for exactly
+//! that before returning, which is what makes the raw pointers sound.
+//! Panics inside a job are caught, carried through the result slot, and
+//! re-thrown on the publishing thread; the worker that ran the job
+//! survives and goes back to the queue.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on spawned workers, a guard against absurd `--threads`
+/// values; the budget itself is enforced per call site.
+const MAX_WORKERS: usize = 128;
+
+/// Type-erased pointer to a [`StackJob`] living on some publisher's
+/// stack. Sound to send across threads because the publisher keeps the
+/// job alive until its state is `DONE` and every ref is executed at most
+/// once (enforced by the `PENDING → RUNNING` claim).
+pub(crate) struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    ///
+    /// The underlying [`StackJob`] must still be alive.
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.ptr)
+    }
+}
+
+const PENDING: u8 = 0;
+const RUNNING: u8 = 1;
+const DONE: u8 = 2;
+
+/// A fork/join task whose closure and result live in the publishing
+/// stack frame.
+pub(crate) struct StackJob<F, R> {
+    state: AtomicU8,
+    /// Thread budget the job should observe (the publisher's).
+    budget: usize,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+// The state protocol serializes all access to the cells: `func` is taken
+// only by the single claimant of the PENDING → RUNNING transition, and
+// `result` is written before the DONE release store and read only after
+// observing DONE.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, budget: usize) -> Self {
+        StackJob {
+            state: AtomicU8::new(PENDING),
+            budget,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller promises to keep `self` alive (and not move it) until
+    /// [`Self::is_done`] returns true.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { ptr: self as *const Self as *const (), exec: Self::execute_erased }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        if this
+            .state
+            .compare_exchange(PENDING, RUNNING, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // already claimed (defensive; refs are popped once)
+        }
+        let func = (*this.func.get()).take().expect("job claimed twice");
+        let budget = this.budget;
+        let out = catch_unwind(AssertUnwindSafe(move || crate::with_budget(budget, func)));
+        *this.result.get() = Some(out);
+        this.state.store(DONE, Ordering::Release);
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.state.load(Ordering::Acquire) == DONE
+    }
+
+    /// Takes the outcome; call only after [`Self::is_done`].
+    pub(crate) fn take_result(&self) -> std::thread::Result<R> {
+        debug_assert!(self.is_done());
+        unsafe { (*self.result.get()).take().expect("result taken twice") }
+    }
+
+    /// Re-throws the job's panic, or returns its value.
+    pub(crate) fn unwrap_value(&self) -> R {
+        match self.take_result() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+struct Shared {
+    jobs: VecDeque<JobRef>,
+    spawned: usize,
+}
+
+/// The process-global worker pool.
+pub(crate) struct Pool {
+    shared: Mutex<Shared>,
+    work_available: Condvar,
+}
+
+impl Pool {
+    pub(crate) fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            shared: Mutex::new(Shared { jobs: VecDeque::new(), spawned: 0 }),
+            work_available: Condvar::new(),
+        })
+    }
+
+    /// Ensures at least `n` parked workers exist (idempotent, lazy).
+    pub(crate) fn ensure_workers(&'static self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        let mut shared = self.shared.lock().unwrap();
+        while shared.spawned < n {
+            shared.spawned += 1;
+            let id = shared.spawned;
+            std::thread::Builder::new()
+                .name(format!("slcs-pool-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("cannot spawn pool worker");
+        }
+    }
+
+    pub(crate) fn spawned_workers(&'static self) -> usize {
+        self.shared.lock().unwrap().spawned
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut shared = self.shared.lock().unwrap();
+                loop {
+                    if let Some(job) = shared.jobs.pop_front() {
+                        break job;
+                    }
+                    shared = self.work_available.wait(shared).unwrap();
+                }
+            };
+            // Panics were already caught inside the job; the worker
+            // always comes back for more.
+            unsafe { job.execute() };
+        }
+    }
+
+    /// Publishes one job and wakes one worker.
+    pub(crate) fn inject(&'static self, job: JobRef) {
+        self.shared.lock().unwrap().jobs.push_back(job);
+        self.work_available.notify_one();
+    }
+
+    /// Publishes a batch of jobs and wakes every worker.
+    pub(crate) fn inject_many(&'static self, jobs: impl Iterator<Item = JobRef>) {
+        self.shared.lock().unwrap().jobs.extend(jobs);
+        self.work_available.notify_all();
+    }
+
+    /// Pops one queued job, if any — lets a waiting publisher help.
+    pub(crate) fn try_pop(&'static self) -> Option<JobRef> {
+        self.shared.lock().unwrap().jobs.pop_front()
+    }
+
+    /// Runs queued jobs (helping the pool) until `done()`; yields when
+    /// the queue is empty so oversubscribed configurations make progress.
+    pub(crate) fn help_until(&'static self, done: impl Fn() -> bool) {
+        while !done() {
+            match self.try_pop() {
+                Some(job) => unsafe { job.execute() },
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_spawn_once_and_persist() {
+        let pool = Pool::global();
+        pool.ensure_workers(2);
+        let before = pool.spawned_workers();
+        assert!(before >= 2);
+        pool.ensure_workers(2);
+        assert_eq!(pool.spawned_workers(), before);
+    }
+
+    #[test]
+    fn stack_job_runs_and_returns() {
+        let pool = Pool::global();
+        pool.ensure_workers(1);
+        let job = StackJob::new(|| 6 * 7, 1);
+        unsafe { pool.inject(job.as_job_ref()) };
+        pool.help_until(|| job.is_done());
+        assert_eq!(job.unwrap_value(), 42);
+    }
+
+    #[test]
+    fn stack_job_carries_panics() {
+        let pool = Pool::global();
+        pool.ensure_workers(1);
+        let job: StackJob<_, ()> = StackJob::new(|| panic!("boom"), 1);
+        unsafe { pool.inject(job.as_job_ref()) };
+        pool.help_until(|| job.is_done());
+        assert!(job.take_result().is_err());
+        // And the pool still works afterwards.
+        let ok = StackJob::new(|| 1 + 1, 1);
+        unsafe { pool.inject(ok.as_job_ref()) };
+        pool.help_until(|| ok.is_done());
+        assert_eq!(ok.unwrap_value(), 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Worker *teams*: a group of pool workers pinned to one cooperative
+//! computation, synchronizing with a lightweight barrier instead of
+//! fork/join.
+//!
+//! [`team_run`] is the right tool for wavefront algorithms (anti-diagonal
+//! combing, level-synchronous divide-and-conquer): instead of paying a
+//! fork + join per dependency step, the caller and up to `max_members−1`
+//! workers enter the closure **once**, keep their identity (`id`/`size`)
+//! for the whole computation, and separate steps with
+//! [`TeamView::barrier`] — a sense-reversing spin/yield barrier that
+//! costs two atomics per member per step.
+//!
+//! Membership is *best effort*: member jobs are published to the pool,
+//! and whichever workers pick one up before the leader closes
+//! registration join the team; stragglers see the closed flag and exit
+//! without participating. The team size is therefore only fixed when the
+//! closure starts, which is what makes the design deadlock-free — the
+//! barrier never waits for a member that was never scheduled. Callers
+//! must not bake correctness into a particular size: split work by the
+//! `size` the view reports (always ≥ 1; 1 means the leader runs alone).
+//!
+//! A panic in any member poisons the team: every member drops out at its
+//! next barrier, the leader waits for all of them and re-throws the
+//! first payload.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::pool::{Pool, StackJob};
+
+/// Registration flag folded into the member count.
+const CLOSED: usize = 1 << (usize::BITS - 1);
+
+/// How long the leader waits for published member jobs to be picked up
+/// before closing registration. Paid once per [`team_run`], so it is
+/// negligible against any sweep worth a team, but long enough for parked
+/// (or freshly spawned) workers to wake on a loaded machine.
+const REGISTRATION_WAIT: Duration = Duration::from_millis(2);
+
+struct TeamShared {
+    /// Member count (leader excluded) plus the [`CLOSED`] bit.
+    registered: AtomicUsize,
+    /// Members that arrived at the current barrier generation.
+    arrived: AtomicUsize,
+    /// Barrier generation counter (the "sense").
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Parking lot for members that exhausted their barrier spin budget
+    /// (essential when the team oversubscribes the CPUs: spinning would
+    /// steal the timeslice the straggler needs to arrive).
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl TeamShared {
+    fn new() -> Self {
+        TeamShared {
+            registered: AtomicUsize::new(0),
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Joins the team, returning the member's id (≥ 1), or `None` if
+    /// registration already closed.
+    fn try_register(&self) -> Option<usize> {
+        self.registered
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                if v & CLOSED != 0 {
+                    None
+                } else {
+                    Some(v + 1)
+                }
+            })
+            .ok()
+            .map(|prev| prev + 1)
+    }
+
+    /// Closes registration; returns the final team size (leader + members).
+    fn close(&self) -> usize {
+        (self.registered.fetch_or(CLOSED, Ordering::AcqRel) & !CLOSED) + 1
+    }
+
+    /// Spins until registration closes; returns the final team size.
+    fn wait_for_close(&self) -> usize {
+        loop {
+            let v = self.registered.load(Ordering::Acquire);
+            if v & CLOSED != 0 {
+                return (v & !CLOSED) + 1;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn members_registered(&self) -> usize {
+        self.registered.load(Ordering::Acquire) & !CLOSED
+    }
+
+    fn poison(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic_payload.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.poisoned.store(true, Ordering::Release);
+        drop(slot);
+        self.notify_sleepers();
+    }
+
+    /// Wakes members parked in [`TeamShared::barrier`]. Taking the lock
+    /// first pairs with the waiter's under-lock re-check, so a wakeup
+    /// cannot slip between that check and the wait.
+    fn notify_sleepers(&self) {
+        drop(self.sleep_lock.lock().unwrap());
+        self.wake.notify_all();
+    }
+
+    /// Sense-reversing barrier across `size` members. Returns `false`
+    /// when the team is poisoned and the caller should stop working.
+    fn barrier(&self, size: usize) -> bool {
+        if self.poisoned.load(Ordering::Acquire) {
+            return false;
+        }
+        if size <= 1 {
+            return true;
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == size {
+            // Last to arrive: reset the counter, then release the rest.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            self.notify_sleepers();
+        } else {
+            // Spin briefly (the uncontended multi-core case), yield a
+            // few timeslices, then park: with more members than CPUs,
+            // a spinning waiter only delays the member it is waiting
+            // for, so blocking is what keeps the barrier cheap.
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return false;
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 80 {
+                    std::thread::yield_now();
+                } else {
+                    let guard = self.sleep_lock.lock().unwrap();
+                    if self.generation.load(Ordering::Acquire) != generation
+                        || self.poisoned.load(Ordering::Acquire)
+                    {
+                        continue;
+                    }
+                    // Timeout is a safety net only; the releaser's
+                    // under-lock notify makes wakeups reliable.
+                    let _ = self.wake.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+                }
+            }
+        }
+        !self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+/// A member's handle on the running team.
+pub struct TeamView<'a> {
+    /// This member's index: 0 for the leader, `1..size` for workers.
+    pub id: usize,
+    /// Total members executing the closure (≥ 1, fixed for the run).
+    pub size: usize,
+    shared: &'a TeamShared,
+}
+
+impl TeamView<'_> {
+    /// Waits until every member reaches this barrier. Returns `false`
+    /// if the team is poisoned by a panic — the caller should return
+    /// from the closure immediately (its partial work is discarded by
+    /// the unwind the leader re-throws).
+    #[must_use]
+    pub fn barrier(&self) -> bool {
+        self.shared.barrier(self.size)
+    }
+}
+
+/// Runs `body` cooperatively on the caller plus up to `max_members − 1`
+/// pool workers. Every member gets a [`TeamView`] with a stable `id` and
+/// the common `size`; the closure must partition its work by those and
+/// synchronize steps with [`TeamView::barrier`].
+///
+/// The actual team size is between 1 and `max_members`, depending on how
+/// many workers were free to join (see module docs); results must not
+/// depend on it. Panics from any member are propagated to the caller
+/// after every member has stopped.
+pub fn team_run<F>(max_members: usize, body: F)
+where
+    F: Fn(TeamView<'_>) + Sync,
+{
+    let wanted = max_members.saturating_sub(1);
+    if wanted == 0 {
+        body(TeamView { id: 0, size: 1, shared: &TeamShared::new() });
+        return;
+    }
+    let pool = Pool::global();
+    pool.ensure_workers(wanted);
+    let shared = TeamShared::new();
+    let budget = crate::current_num_threads();
+
+    let shared_ref = &shared;
+    let body_ref = &body;
+    let member = move || {
+        let Some(id) = shared_ref.try_register() else {
+            return; // registration closed before a worker picked this up
+        };
+        let size = shared_ref.wait_for_close();
+        let view = TeamView { id, size, shared: shared_ref };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body_ref(view))) {
+            shared_ref.poison(payload);
+        }
+    };
+    // One closure expression ⇒ one concrete type ⇒ a homogeneous Vec.
+    // The Vec is fully built before any JobRef is taken, so the jobs
+    // never move while published.
+    let jobs: Vec<StackJob<_, ()>> = (0..wanted).map(|_| StackJob::new(member, budget)).collect();
+    pool.inject_many(jobs.iter().map(|job| unsafe { job.as_job_ref() }));
+
+    // Give the published jobs a moment to be picked up, then freeze the
+    // roster. Anything that registers later sees CLOSED and exits.
+    let deadline = Instant::now() + REGISTRATION_WAIT;
+    while shared.members_registered() < wanted && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let size = shared.close();
+
+    let view = TeamView { id: 0, size, shared: &shared };
+    let leader_outcome = catch_unwind(AssertUnwindSafe(|| body(view)));
+    if let Err(payload) = leader_outcome {
+        shared.poison(payload);
+    }
+    // Member jobs must finish (or early-exit) before the stack frame
+    // holding `shared`, `body` and the jobs unwinds.
+    pool.help_until(|| jobs.iter().all(|job| job.is_done()));
+    for job in &jobs {
+        let _ = job.take_result(); // panics were routed through poison()
+    }
+    let payload = shared.panic_payload.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn team_of_one_runs_leader_only() {
+        let mut hits = 0;
+        team_run(1, |view| {
+            assert_eq!(view.id, 0);
+            assert_eq!(view.size, 1);
+            assert!(view.barrier());
+            // Leader-only closures still observe a working barrier.
+        });
+        hits += 1;
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn members_partition_work_with_barriers() {
+        const STEPS: usize = 50;
+        let counters: Vec<AtomicU64> = (0..STEPS).map(|_| AtomicU64::new(0)).collect();
+        team_run(4, |view| {
+            for c in &counters {
+                c.fetch_add(view.id as u64 + 1, Ordering::Relaxed);
+                if !view.barrier() {
+                    return;
+                }
+            }
+        });
+        // Whatever size formed, every step saw the same full roster:
+        // 1 + 2 + … + size.
+        let expected = counters[0].load(Ordering::Relaxed);
+        assert!(expected >= 1);
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), expected);
+        }
+    }
+
+    #[test]
+    fn ids_are_distinct_and_dense() {
+        let seen = Mutex::new(Vec::new());
+        team_run(4, |view| {
+            seen.lock().unwrap().push((view.id, view.size));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let size = seen[0].1;
+        assert_eq!(seen.len(), size);
+        for (i, &(id, s)) in seen.iter().enumerate() {
+            assert_eq!(id, i);
+            assert_eq!(s, size);
+        }
+    }
+
+    #[test]
+    fn panics_poison_and_propagate() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            team_run(4, |view| {
+                if view.id == 0 {
+                    panic!("leader blew up");
+                }
+                while view.barrier() {}
+            });
+        }));
+        assert!(outcome.is_err());
+        // The pool is still serviceable afterwards.
+        let ran = AtomicBool::new(false);
+        team_run(2, |_| ran.store(true, Ordering::Relaxed));
+        assert!(ran.load(Ordering::Relaxed));
+    }
+}
