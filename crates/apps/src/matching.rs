@@ -60,6 +60,7 @@ impl ApproxMatcher {
     pub fn best_window(&self, w: usize) -> Occurrence {
         let scores = self.window_scores(w);
         let (start, &score) =
+            // PANIC: valid `w` (a documented precondition) admits at least one window.
             scores.iter().enumerate().max_by_key(|&(_, s)| s).expect("at least one window");
         Occurrence { start, end: start + w, score }
     }
@@ -77,6 +78,7 @@ impl ApproxMatcher {
                 while i < scores.len() && scores[i] >= min_score {
                     i += 1;
                 }
+                // PANIC: the run [run_start, i) contains at least the element that opened it.
                 let peak = (run_start..i).max_by_key(|&k| scores[k]).expect("non-empty run");
                 out.push(Occurrence { start: peak, end: peak + w, score: scores[peak] });
             } else {

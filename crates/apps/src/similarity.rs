@@ -136,6 +136,7 @@ pub fn average_linkage(matrix: &DistanceMatrix) -> Dendrogram {
             members,
         ));
     }
+    // PANIC: n-1 merges over n clusters leave exactly one root.
     clusters.pop().expect("one cluster remains").0
 }
 

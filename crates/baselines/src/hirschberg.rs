@@ -57,6 +57,7 @@ fn rec<T: Eq + Clone>(a: &[T], b: &[T], out: &mut Vec<T>) {
     let rev_b: Vec<T> = b.iter().rev().cloned().collect();
     let bwd = dp_row(&rev_a, &rev_b);
     let n = b.len();
+    // PANIC: 0..=n is never empty.
     let split = (0..=n).max_by_key(|&j| fwd[j] + bwd[n - j]).expect("non-empty range");
     rec(a_top, &b[..split], out);
     rec(a_bot, &b[split..], out);

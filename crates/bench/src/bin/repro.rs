@@ -22,6 +22,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
+                // PANIC: CLI usage error; exiting with the message is the intended behavior.
                 let v = it.next().expect("--scale needs a value (quick|default|full)");
                 scale = Scale::parse(v).unwrap_or_else(|| {
                     eprintln!("unknown scale '{v}' (quick|default|full)");

@@ -279,6 +279,7 @@ fn fig6(scale: Scale) {
         let r = reps(scale);
         let times: Vec<Duration> =
             (0..=6).map(|d| measure(r, || hybrid_combing_depth(&a, &b, d))).collect();
+        // PANIC: the depth sweep 0..=6 is non-empty.
         let best = times.iter().enumerate().min_by_key(|(_, t)| **t).unwrap().0;
         let mut row = vec![n.to_string()];
         row.extend(times.iter().map(|t| fmt_duration(*t)));

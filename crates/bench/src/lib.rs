@@ -68,6 +68,7 @@ pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R 
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
+        // PANIC: the builder is configured with a valid thread count; build cannot fail.
         .expect("pool construction")
         .install(f)
 }

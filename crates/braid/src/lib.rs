@@ -36,6 +36,8 @@
 //! assert_ne!(r, p.compose(&q));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod combine;
 mod dac;
 pub mod memory;

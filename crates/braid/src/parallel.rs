@@ -52,6 +52,9 @@ struct Arena {
     levels: Vec<Vec<usize>>,
 }
 
+// SAFETY: each node is evaluated by exactly one team member (round-robin per
+// level) and barriers order levels, so a node's `result` cell is never
+// aliased mutably; see `eval`.
 unsafe impl Sync for Arena {}
 
 impl Arena {
@@ -100,15 +103,20 @@ impl Arena {
                 ws.multiply_forward(&node.p, &node.q, Some(tables))
             }
             Some((lo, hi)) => {
-                let r_lo = &*self.nodes[lo].result.get();
-                let r_hi = &*self.nodes[hi].result.get();
+                // SAFETY: the barrier between levels makes the children's
+                // final writes visible, and nothing writes them again.
+                let r_lo = unsafe { &*self.nodes[lo].result.get() };
+                let r_hi = unsafe { &*self.nodes[hi].result.get() };
+                // PANIC: only inner nodes reach this arm, and inner nodes always carry parts.
                 let parts = node.parts.as_ref().expect("inner node has parts");
                 let n = node.p.len();
                 let mut scratch = CombineScratch::with_capacity(n);
                 expand_combine(n, parts, r_lo, r_hi, &mut scratch)
             }
         };
-        *node.result.get() = result;
+        // SAFETY: this node is assigned to exactly one caller in its level
+        // (the function's contract), so the write is unaliased.
+        unsafe { *node.result.get() = result };
     }
 }
 
@@ -137,7 +145,7 @@ pub fn parallel_steady_ant(p: &Permutation, q: &Permutation, parallel_depth: usi
     rayon::team_run(threads.min(leaves), |view| {
         for level in arena.levels.iter().rev() {
             for &idx in level.iter().skip(view.id).step_by(view.size) {
-                // Safety: round-robin assignment gives each node to one
+                // SAFETY: round-robin assignment gives each node to one
                 // member; children completed before the last barrier.
                 unsafe { arena.eval(idx, tables) };
             }
@@ -146,6 +154,8 @@ pub fn parallel_steady_ant(p: &Permutation, q: &Permutation, parallel_depth: usi
             }
         }
     });
+    // SAFETY: team_run has returned, so every member is done; this is the only
+    // outstanding reference to the root's result cell.
     let forward = std::mem::take(unsafe { &mut *arena.nodes[0].result.get() });
     Permutation::from_forward_unchecked(forward)
 }

@@ -198,6 +198,7 @@ fn cmd_lcs(rest: &[String]) -> Result<String, CliError> {
     let mut out = format!("LCS = {score} (|a| = {}, |b| = {})\n", a.len(), b.len());
     if opts.has("show") {
         let witness = hirschberg_lcs(&a, &b);
+        // PANIC: fmt to String is infallible
         writeln!(out, "witness: {}", String::from_utf8_lossy(&witness)).unwrap();
     }
     Ok(out)
@@ -236,7 +237,7 @@ fn cmd_scan(rest: &[String]) -> Result<String, CliError> {
             pattern.len(),
             100.0 * h.similarity(pattern.len())
         )
-        .unwrap();
+        .unwrap(); // PANIC: fmt to String is infallible
     }
     Ok(out)
 }
@@ -252,6 +253,7 @@ fn cmd_edit(rest: &[String]) -> Result<String, CliError> {
     let w: usize = opts.value_parsed("window")?.unwrap_or(pattern.len().min(text.len()));
     if w > 0 && w <= text.len() {
         let (s, e, dist) = d.best_window(w);
+        // PANIC: fmt to String is infallible
         writeln!(out, "closest window of length {w}: [{s}..{e}) at distance {dist}").unwrap();
     }
     Ok(out)
@@ -279,19 +281,19 @@ fn cmd_cluster(rest: &[String]) -> Result<String, CliError> {
     let tree = average_linkage(&matrix);
     let mut out = format!("{} sequences\n", seqs.len());
     render_tree(&tree, &names, 0, &mut out);
-    writeln!(out, "clusters at cut {cut}:").unwrap();
+    writeln!(out, "clusters at cut {cut}:").unwrap(); // PANIC: fmt to String is infallible
     for c in tree.cut(cut) {
         let members: Vec<&str> = c.iter().map(|&i| names[i].as_str()).collect();
-        writeln!(out, "  {{{}}}", members.join(", ")).unwrap();
+        writeln!(out, "  {{{}}}", members.join(", ")).unwrap(); // PANIC: fmt to String is infallible
     }
     Ok(out)
 }
 
 fn render_tree(t: &Dendrogram, names: &[String], indent: usize, out: &mut String) {
     match t {
-        Dendrogram::Leaf(i) => writeln!(out, "{}- {}", "  ".repeat(indent), names[*i]).unwrap(),
+        Dendrogram::Leaf(i) => writeln!(out, "{}- {}", "  ".repeat(indent), names[*i]).unwrap(), // PANIC: fmt to String is infallible
         Dendrogram::Node { left, right, height } => {
-            writeln!(out, "{}+ d = {height:.3}", "  ".repeat(indent)).unwrap();
+            writeln!(out, "{}+ d = {height:.3}", "  ".repeat(indent)).unwrap(); // PANIC: fmt to String is infallible
             render_tree(left, names, indent + 1, out);
             render_tree(right, names, indent + 1, out);
         }
@@ -315,7 +317,7 @@ fn semilocal_render(a: &[u8], b: &[u8]) -> String {
     let mut h_strands: Vec<u32> = (0..a.len() as u32).collect();
     let mut v_strands: Vec<u32> = (a.len() as u32..(a.len() + b.len()) as u32).collect();
     writeln!(out, "   {}", b.iter().map(|&c| format!(" {} ", c as char)).collect::<String>())
-        .unwrap();
+        .unwrap(); // PANIC: fmt to String is infallible
     for (i, &ac) in a.iter().enumerate() {
         let hi = a.len() - 1 - i;
         let mut h = h_strands[hi];
@@ -334,11 +336,11 @@ fn semilocal_render(a: &[u8], b: &[u8]) -> String {
             }
         }
         h_strands[hi] = h;
-        writeln!(out, " {} {top}", ac as char).unwrap();
-        writeln!(out, "   {bot}").unwrap();
+        writeln!(out, " {} {top}", ac as char).unwrap(); // PANIC: fmt to String is infallible
+        writeln!(out, "   {bot}").unwrap(); // PANIC: fmt to String is infallible
     }
-    writeln!(out, "\nkernel: {:?}", kernel.permutation().forward()).unwrap();
-    writeln!(out, "LCS = {}", kernel.lcs()).unwrap();
+    writeln!(out, "\nkernel: {:?}", kernel.permutation().forward()).unwrap(); // PANIC: fmt to String is infallible
+    writeln!(out, "LCS = {}", kernel.lcs()).unwrap(); // PANIC: fmt to String is infallible
     out
 }
 
@@ -440,7 +442,7 @@ fn cmd_bench_engine(rest: &[String]) -> Result<String, CliError> {
         "{requests} requests over {pairs} pairs of {len}x{len} (sigma {sigma}) \
          in {elapsed:.2?} — {rate:.0} req/s, {retries} backpressure retries\n"
     );
-    writeln!(out, "{stats}").unwrap();
+    writeln!(out, "{stats}").unwrap(); // PANIC: fmt to String is infallible
     Ok(out)
 }
 
@@ -492,7 +494,7 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
     ];
     let mut rows = Vec::new(); // (size, threads, mode, ns_per_cell, millis)
     let mut report = String::from("anti-diagonal combing scheduling benchmark\n");
-    writeln!(report, "grain={grain} runs={runs} sizes={sizes:?} threads={threads:?}").unwrap();
+    writeln!(report, "grain={grain} runs={runs} sizes={sizes:?} threads={threads:?}").unwrap(); // PANIC: fmt to String is infallible
     for &n in &sizes {
         let mut rng = slcs_datagen::seeded_rng(seed);
         let a = slcs_datagen::uniform_string(&mut rng, n, 4);
@@ -501,7 +503,7 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
         let d = median_time(runs, || slcs_semilocal::antidiag_combing_branchless(&a, &b));
         let seq_ns = d.as_nanos() as f64 / cells;
         rows.push((n, 1usize, "seq", seq_ns, d.as_secs_f64() * 1e3));
-        writeln!(report, "  {n}x{n}  seq              t=1  {seq_ns:8.3} ns/cell").unwrap();
+        writeln!(report, "  {n}x{n}  seq              t=1  {seq_ns:8.3} ns/cell").unwrap(); // PANIC: fmt to String is infallible
         for &t in &threads {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(t)
@@ -523,20 +525,20 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
                         .map(|r| r.3 / ns)
                         .unwrap_or(1.0)
                 )
-                .unwrap();
+                .unwrap(); // PANIC: fmt to String is infallible
             }
         }
     }
 
     let mut json = String::from("{\n");
-    writeln!(json, "  \"bench\": \"bench-baseline\",").unwrap();
-    writeln!(json, "  \"algorithm\": \"par_antidiag_combing_branchless\",").unwrap();
-    writeln!(json, "  \"unit\": \"ns_per_cell\",").unwrap();
-    writeln!(json, "  \"quick\": {quick},").unwrap();
-    writeln!(json, "  \"par_grain\": {grain},").unwrap();
-    writeln!(json, "  \"runs\": {runs},").unwrap();
-    writeln!(json, "  \"pool_spawned_workers\": {},", rayon::pool_spawned_workers()).unwrap();
-    writeln!(json, "  \"rows\": [").unwrap();
+    writeln!(json, "  \"bench\": \"bench-baseline\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"algorithm\": \"par_antidiag_combing_branchless\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"unit\": \"ns_per_cell\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"quick\": {quick},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"par_grain\": {grain},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"runs\": {runs},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"pool_spawned_workers\": {},", rayon::pool_spawned_workers()).unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"rows\": [").unwrap(); // PANIC: fmt to String is infallible
     for (i, (n, t, mode, ns, ms)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(
@@ -544,12 +546,12 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
             "    {{\"size\": {n}, \"threads\": {t}, \"mode\": \"{mode}\", \
              \"ns_per_cell\": {ns:.4}, \"millis\": {ms:.3}}}{comma}"
         )
-        .unwrap();
+        .unwrap(); // PANIC: fmt to String is infallible
     }
-    writeln!(json, "  ]").unwrap();
+    writeln!(json, "  ]").unwrap(); // PANIC: fmt to String is infallible
     json.push_str("}\n");
     std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
-    writeln!(report, "[written {out_path}]").unwrap();
+    writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
     Ok(report)
 }
 

@@ -132,6 +132,8 @@ impl KernelCache {
     }
 
     fn tick(&self) -> u64 {
+        // ORDERING: Relaxed — LRU clock tick; only monotonicity matters, and the
+        // stamps it feeds are read under the shard lock.
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 

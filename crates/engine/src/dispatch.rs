@@ -88,13 +88,16 @@ fn plain_entry(
 ) -> (Arc<PlainEntry>, AlgoChoice, CacheStatus) {
     let key = CacheKey::new(IndexKind::Plain, pattern, text);
     if let Some(CachedIndex::Plain(entry)) = cache.get(&key) {
+        // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return (entry, AlgoChoice::CachedKernel, CacheStatus::Hit);
     }
+    // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     let (kernel, algo) = comb(pattern, text, threads);
     let entry = Arc::new(PlainEntry::new(kernel));
     let evicted = cache.insert(key, CachedIndex::Plain(entry.clone()));
+    // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
     metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
     (entry, algo, CacheStatus::Miss)
 }
@@ -108,12 +111,15 @@ fn edit_entry(
 ) -> (Arc<EditDistances>, AlgoChoice, CacheStatus) {
     let key = CacheKey::new(IndexKind::Edit, pattern, text);
     if let Some(CachedIndex::Edit(entry)) = cache.get(&key) {
+        // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return (entry, AlgoChoice::CachedKernel, CacheStatus::Hit);
     }
+    // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     let entry = Arc::new(EditDistances::new(pattern, text));
     let evicted = cache.insert(key, CachedIndex::Edit(entry.clone()));
+    // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
     metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
     (entry, AlgoChoice::EditIndex, CacheStatus::Miss)
 }
@@ -161,6 +167,7 @@ pub fn execute(
             // is cheaper than a comb it wouldn't reuse.
             let key = CacheKey::new(IndexKind::Plain, pattern, text);
             if let Some(CachedIndex::Plain(entry)) = cache.get(&key) {
+                // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return (
                     Payload::Score(entry.kernel().lcs()),
@@ -175,11 +182,13 @@ pub fn execute(
                     CacheStatus::Bypass,
                 ),
                 _ => {
+                    // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                     let (kernel, algo) = comb(pattern, text, threads);
                     let score = kernel.lcs();
                     let evicted =
                         cache.insert(key, CachedIndex::Plain(Arc::new(PlainEntry::new(kernel))));
+                    // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                     metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
                     (Payload::Score(score), algo, CacheStatus::Miss)
                 }

@@ -83,6 +83,7 @@ impl Engine {
                 std::thread::Builder::new()
                     .name(format!("slcs-engine-{i}"))
                     .spawn(move || worker_loop(shared))
+                    // PANIC: failing to spawn workers at startup is unrecoverable.
                     .expect("spawn engine worker")
             })
             .collect();
@@ -97,8 +98,10 @@ impl Engine {
     /// an immediate [`Submit::QueueFull`], or [`Submit::Invalid`].
     pub fn submit(&self, req: CompareRequest) -> Submit {
         let metrics = &self.shared.metrics;
+        // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
         if let Err(why) = req.validate() {
+            // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.rejected_invalid.fetch_add(1, Ordering::Relaxed);
             return Submit::Invalid(why);
         }
@@ -111,11 +114,13 @@ impl Engine {
         let job = Job { req, ticket: ours, enqueued_at: Instant::now(), key };
         match self.shared.queue.push(job) {
             Push::Ok { depth } => {
+                // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                 metrics.accepted.fetch_add(1, Ordering::Relaxed);
                 metrics.note_depth(depth as u64);
                 Submit::Accepted(theirs)
             }
             Push::Full => {
+                // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                 metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 Submit::QueueFull
             }
@@ -187,8 +192,10 @@ impl Drop for Engine {
 fn worker_loop(shared: Arc<Shared>) {
     let metrics = &shared.metrics;
     while let Some((batch, _depth)) = shared.queue.pop_batch(shared.config.batch_limit) {
+        // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.batches.fetch_add(1, Ordering::Relaxed);
         if batch.len() > 1 {
+            // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.coalesced.fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
         // Identical pairs inside the batch deduplicate through the
@@ -206,6 +213,7 @@ fn worker_loop(shared: Arc<Shared>) {
             }));
             let service_micros = started.elapsed().as_micros() as u64;
             metrics.service_micros.record(service_micros);
+            // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.completed.fetch_add(1, Ordering::Relaxed);
             let result = match computed {
                 Ok((payload, algo, cache)) => {
@@ -227,6 +235,7 @@ fn worker_loop(shared: Arc<Shared>) {
 
 /// Blocks on a ticket, panicking on engine errors (test convenience).
 pub fn redeem(ticket: Ticket) -> CompareOutcome {
+    // PANIC: documented contract: redeem panics on engine errors (test convenience).
     ticket.wait().expect("engine request failed")
 }
 

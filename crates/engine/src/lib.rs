@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub(crate) mod sync;
 
 pub use cache::{CacheKey, IndexKind, KernelCache};
 pub use dispatch::{alphabet_size, choose, combing_choice, execute};

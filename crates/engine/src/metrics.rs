@@ -22,12 +22,14 @@ pub struct Histogram {
 impl Histogram {
     pub fn record(&self, micros: u64) {
         let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS).saturating_sub(1);
+        // ORDERING: Relaxed — independent monotonic bucket counter.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            // ORDERING: Relaxed — the snapshot tolerates slightly-torn bucket views.
             *slot = b.load(Ordering::Relaxed);
         }
         HistogramSnapshot { buckets }
@@ -101,11 +103,14 @@ pub struct Metrics {
 
 impl Metrics {
     pub fn note_depth(&self, depth: u64) {
+        // ORDERING: Relaxed — a high-water mark; racing maxima still converge.
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            // ORDERING: Relaxed (whole literal) — counters are independent; the
+            // snapshot does not promise a consistent cross-counter cut.
             submitted: self.submitted.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),

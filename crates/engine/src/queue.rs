@@ -8,8 +8,10 @@
 //! react to (retry, shed load, or slow down), not an invisible stall.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::{Condvar, Mutex};
 
 use crate::cache::CacheKey;
 use crate::request::{CompareOutcome, CompareRequest, EngineError};
@@ -159,6 +161,7 @@ impl JobQueue {
                 let mut i = 0;
                 while i < state.jobs.len() && batch.len() < batch_limit.max(1) {
                     if state.jobs[i].key.pattern_hash == pattern_hash {
+                        // PANIC: i < jobs.len() is the loop guard, so remove(i) is Some.
                         batch.push(state.jobs.remove(i).unwrap());
                     } else {
                         i += 1;
@@ -188,6 +191,137 @@ impl JobQueue {
 
 pub(crate) fn ticket_pair() -> (Ticket, Ticket) {
     Ticket::new()
+}
+
+/// Model-check harnesses for the queue's backpressure/drain protocol and
+/// the ticket handshake, exploring the *real* implementation above (the
+/// sync facade resolves to shim-loom under `--cfg slcs_model_check`).
+/// Run via `cargo xtask model-check`.
+#[cfg(all(test, slcs_model_check))]
+mod model_tests {
+    use super::*;
+    use crate::cache::IndexKind;
+    use crate::request::{AlgoChoice, CacheStatus, Operation, Payload};
+    use shim_loom::model::{Builder, Strategy};
+    use shim_loom::thread;
+
+    fn mk_job(pattern: &[u8], text: &[u8]) -> (Job, Ticket) {
+        let req = CompareRequest::new(pattern, text, Operation::Lcs);
+        let key = CacheKey::new(IndexKind::Plain, pattern, text);
+        let (theirs, ours) = ticket_pair();
+        (Job { req, ticket: ours, enqueued_at: Instant::now(), key }, theirs)
+    }
+
+    fn env_usize(name: &str, default: usize) -> usize {
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn outcome() -> Result<CompareOutcome, EngineError> {
+        Ok(CompareOutcome {
+            payload: Payload::Score(7),
+            algo: AlgoChoice::BitParallel,
+            cache: CacheStatus::Bypass,
+            service_micros: 1,
+        })
+    }
+
+    #[test]
+    fn model_backpressure_never_loses_or_duplicates_jobs() {
+        // Producer races a draining consumer on a capacity-1 queue:
+        // every `Push::Ok` job must come out exactly once, `Push::Full`
+        // jobs never block or corrupt the queue, and close() always
+        // unsticks the consumer.
+        let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+        let report = Builder {
+            max_preemptions: env_usize("SLCS_MODEL_PREEMPTIONS", 2),
+            max_schedules: cap,
+            ..Builder::default()
+        }
+        .check(|| {
+            let q = Arc::new(JobQueue::new(1));
+            let q2 = Arc::clone(&q);
+            let producer = thread::spawn(move || {
+                let mut accepted = 0usize;
+                for text in [&b"x"[..], &b"y"[..], &b"z"[..]] {
+                    let (job, _ticket) = mk_job(b"pp", text);
+                    match q2.push(job) {
+                        Push::Ok { depth } => {
+                            assert_eq!(depth, 1, "capacity-1 queue admits one at a time");
+                            accepted += 1;
+                        }
+                        Push::Full => {}
+                        Push::Closed => unreachable!("nobody closed yet"),
+                    }
+                }
+                q2.close();
+                accepted
+            });
+            let mut drained = 0usize;
+            while let Some((batch, _depth)) = q.pop_batch(4) {
+                drained += batch.len();
+            }
+            let accepted = producer.join().unwrap();
+            assert_eq!(drained, accepted, "accepted jobs drain exactly once");
+            assert_eq!(q.depth(), 0);
+            assert!(q.pop_batch(4).is_none(), "closed + drained stays drained");
+        });
+        println!(
+            "model_backpressure_never_loses_or_duplicates_jobs: {} schedules, complete={}",
+            report.schedules, report.complete
+        );
+        assert!(report.complete || report.schedules >= cap);
+    }
+
+    #[test]
+    fn model_push_close_race_is_clean() {
+        // push raced against close: the push either lands (and is
+        // drained) or observes Closed — there is no third outcome and no
+        // stuck consumer.
+        let report = Builder {
+            max_preemptions: env_usize("SLCS_MODEL_PREEMPTIONS", 2),
+            max_schedules: env_usize("SLCS_MODEL_SCHEDULES", 10_000),
+            ..Builder::default()
+        }
+        .check(|| {
+            let q = Arc::new(JobQueue::new(4));
+            let q2 = Arc::clone(&q);
+            let closer = thread::spawn(move || q2.close());
+            let (job, _ticket) = mk_job(b"pp", b"x");
+            let landed = matches!(q.push(job), Push::Ok { .. });
+            closer.join().unwrap();
+            let mut drained = 0usize;
+            while let Some((batch, _)) = q.pop_batch(4) {
+                drained += batch.len();
+            }
+            assert_eq!(drained, usize::from(landed), "landed jobs drain; refused jobs vanish");
+        });
+        println!(
+            "model_push_close_race_is_clean: {} schedules, complete={}",
+            report.schedules, report.complete
+        );
+    }
+
+    #[test]
+    fn model_ticket_handshake_has_no_lost_wakeup() {
+        // fulfill() raced against wait(): the waiter must always see the
+        // result, whichever side runs first (the under-lock re-check is
+        // what the model is exercising).
+        let report = Builder {
+            strategy: Strategy::Random {
+                seed: env_usize("SLCS_MODEL_SEED", 0x5eed) as u64 ^ 0x71c7,
+                iterations: env_usize("SLCS_MODEL_SCHEDULES", 10_000).min(2_000),
+            },
+            ..Builder::default()
+        }
+        .check(|| {
+            let (theirs, ours) = ticket_pair();
+            let waiter = thread::spawn(move || theirs.wait());
+            ours.fulfill(outcome());
+            let got = waiter.join().unwrap().expect("fulfilled Ok");
+            assert_eq!(got.payload, Payload::Score(7));
+        });
+        println!("model_ticket_handshake_has_no_lost_wakeup: {} schedules", report.schedules);
+    }
 }
 
 #[cfg(test)]

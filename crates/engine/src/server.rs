@@ -60,6 +60,7 @@ impl ServerHandle {
     /// Signals the accept loop and all connection handlers to exit,
     /// then joins the accept thread.
     pub fn stop(mut self) {
+        // ORDERING: Relaxed — stop flag; the accept loop only needs eventual visibility.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -69,6 +70,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
+        // ORDERING: Relaxed — stop flag; the accept loop only needs eventual visibility.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -99,23 +101,29 @@ fn accept_loop(
     config: ServerConfig,
     stop: Arc<AtomicBool>,
 ) {
+    // PANIC: a listener that cannot go nonblocking cannot serve; fail fast at startup.
     listener.set_nonblocking(true).expect("nonblocking listener");
     let live = Arc::new(AtomicUsize::new(0));
     let mut handlers = Vec::new();
+    // ORDERING: Relaxed — pairs with the Relaxed stop stores; the accept
+    // timeout bounds how stale the flag can be observed.
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // ORDERING: Relaxed — best-effort connection cap; exactness is not required.
                 if live.load(Ordering::Relaxed) >= config.max_connections {
                     let mut stream = stream;
                     let _ = stream.write_all(b"BUSY\n");
                     continue;
                 }
+                // ORDERING: Relaxed — plain live-handler count, see the cap check above.
                 live.fetch_add(1, Ordering::Relaxed);
                 let engine = engine.clone();
                 let stop = stop.clone();
                 let live = live.clone();
                 handlers.push(std::thread::spawn(move || {
                     let _ = handle_client(stream, &engine, &stop);
+                    // ORDERING: Relaxed — plain live-handler count, see the cap check above.
                     live.fetch_sub(1, Ordering::Relaxed);
                 }));
             }
@@ -136,6 +144,7 @@ fn handle_client(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
+        // ORDERING: Relaxed — same stop-flag polling as the accept loop.
         if stop.load(Ordering::Relaxed) {
             return Ok(());
         }

@@ -1,0 +1,13 @@
+//! Synchronization facade for the engine's queueing layer.
+//!
+//! Mirrors `vendor/rayon/src/sync.rs`: a normal build resolves to `std`
+//! (same types, zero overhead); built with
+//! `RUSTFLAGS="--cfg slcs_model_check"` it resolves to the instrumented
+//! `shim_loom` primitives so the model checker can explore the real
+//! queue/ticket protocols (see `docs/SAFETY.md`).
+
+#[cfg(not(slcs_model_check))]
+pub(crate) use std::sync::{Condvar, Mutex};
+
+#[cfg(slcs_model_check)]
+pub(crate) use shim_loom::sync::{Condvar, Mutex};

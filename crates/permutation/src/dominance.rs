@@ -68,6 +68,7 @@ impl DominanceTable {
                     debug_assert!((0..=1).contains(&d), "cross-difference must be 0 or 1");
                     d == 1
                 })
+                // PANIC: each row of a valid dominance table has exactly one unit cross-difference.
                 .expect("dominance table does not describe a permutation");
             *slot = c as PermIndex;
         }

@@ -87,6 +87,7 @@ where
     let m = a.len();
     let n = b.len();
     if m == 0 || n == 0 {
+        // PANIC: base_kernel never fails when one side is empty.
         return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
     }
     let a_rev: Vec<T> = a.iter().rev().cloned().collect();
@@ -201,6 +202,8 @@ struct SharedStrands<S> {
     ptr: *mut S,
 }
 
+// SAFETY: see the struct docs — members touch disjoint ranges and the team
+// barrier orders diagonals.
 unsafe impl<S: Send> Sync for SharedStrands<S> {}
 
 impl<S> SharedStrands<S> {
@@ -210,7 +213,8 @@ impl<S> SharedStrands<S> {
     /// other thread accesses between two barriers.
     #[allow(clippy::mut_from_ref)] // &self is a shared raw-ptr capability; disjointness is the caller's contract above
     unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [S] {
-        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+        // SAFETY: in-bounds and disjoint by the function's contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
     }
 }
 
@@ -227,6 +231,7 @@ where
     let m = a.len();
     let n = b.len();
     if m == 0 || n == 0 {
+        // PANIC: base_kernel never fails when one side is empty.
         return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
     }
     let grain = grain.max(1);
@@ -255,10 +260,11 @@ where
                     let chunk = len.div_ceil(active);
                     let lo = (view.id * chunk).min(len);
                     let hi = (lo + chunk).min(len);
-                    // Safety: members cover disjoint [lo, hi) slices of
+                    // SAFETY: members cover disjoint [lo, hi) slices of
                     // this diagonal; the barrier below sequences access
                     // across diagonals.
                     let hs = unsafe { h.range_mut(h0 + lo, h0 + hi) };
+                    // SAFETY: same disjoint-range argument as for `hs` above.
                     let vs = unsafe { v.range_mut(v0 + lo, v0 + hi) };
                     let ar = &a_rev[h0 + lo..h0 + hi];
                     let bs = &b[v0 + lo..v0 + hi];

@@ -117,6 +117,7 @@ impl EditDistances {
             .into_iter()
             .enumerate()
             .min_by_key(|&(_, d)| d)
+            // PANIC: valid `w` (a documented precondition) admits at least one window.
             .expect("at least one window");
         (start, start + w, dist)
     }

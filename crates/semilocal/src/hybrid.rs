@@ -247,6 +247,7 @@ pub fn grid_hybrid_combing<T: Eq + Clone + Sync>(
             m_inner *= 2;
         }
     }
+    // PANIC: the pairwise reduction terminates with exactly one kernel in the grid.
     let result = grid.into_iter().next().expect("reduction leaves one kernel");
     debug_assert_eq!(result.m(), a.len());
     debug_assert_eq!(result.n(), b.len());

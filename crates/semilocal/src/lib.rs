@@ -35,6 +35,8 @@
 //! assert_eq!(scores.string_substring(0, 3), 2); // vs "des"
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod antidiag;
 pub mod compose;
 pub mod edit;

@@ -55,6 +55,7 @@ fn load_balanced_impl<T: Eq + Clone + Sync>(a: &[T], b: &[T], parallel: bool) ->
     let m = a.len();
     let n = b.len();
     if m == 0 || n == 0 {
+        // PANIC: base_kernel never fails when one side is empty.
         return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
     }
     if m > n {
@@ -96,12 +97,13 @@ fn load_balanced_impl<T: Eq + Clone + Sync>(a: &[T], b: &[T], parallel: bool) ->
                 let (lo, hi) = member_range(total, grain, &view);
                 if lo < g_len {
                     let e = hi.min(g_len);
-                    // Safety: members cover disjoint subranges; the
+                    // SAFETY: members cover disjoint subranges; the
                     // barrier below sequences iterations.
                     unsafe { shared[0].comb(a_rev, b, g_h0 + lo, g_v0 + lo, e - lo) };
                 }
                 if hi > g_len {
                     let (s_lo, s_hi) = (lo.max(g_len) - g_len, hi - g_len);
+                    // SAFETY: same disjoint-subrange argument; shared[2] is the spill grid.
                     unsafe { shared[2].comb(a_rev, b, s_h0 + s_lo, s_v0 + s_lo, s_hi - s_lo) };
                 }
                 if !view.barrier() {
@@ -113,6 +115,8 @@ fn load_balanced_impl<T: Eq + Clone + Sync>(a: &[T], b: &[T], parallel: bool) ->
                 let (h0, v0, len) = diag(m, n, d);
                 let (lo, hi) = member_range(len, grain, &view);
                 if lo < hi {
+                    // SAFETY: member_range assigns disjoint subranges and the barrier below
+                    // sequences diagonals.
                     unsafe { shared[1].comb(a_rev, b, h0 + lo, v0 + lo, hi - lo) };
                 }
                 if !view.barrier() {
@@ -229,6 +233,8 @@ struct SharedPhase {
     v: *mut u32,
 }
 
+// SAFETY: see the struct docs — disjoint member ranges, barrier-sequenced
+// iterations.
 unsafe impl Sync for SharedPhase {}
 
 impl SharedPhase {
@@ -239,8 +245,9 @@ impl SharedPhase {
     /// The range must be in bounds and disjoint from every range any
     /// other member touches between two barriers.
     unsafe fn comb<T: Eq>(&self, a_rev: &[T], b: &[T], h_off: usize, v_off: usize, len: usize) {
-        let hs = std::slice::from_raw_parts_mut(self.h.add(h_off), len);
-        let vs = std::slice::from_raw_parts_mut(self.v.add(v_off), len);
+        // SAFETY: in-bounds and disjoint by the function's contract.
+        let hs = unsafe { std::slice::from_raw_parts_mut(self.h.add(h_off), len) };
+        let vs = unsafe { std::slice::from_raw_parts_mut(self.v.add(v_off), len) };
         comb_diag(&a_rev[h_off..h_off + len], &b[v_off..v_off + len], hs, vs);
     }
 }

@@ -69,6 +69,7 @@ pub fn antidiag_combing_avx2(a: &[u32], b: &[u32]) -> SemiLocalKernel {
     #[cfg(target_arch = "x86_64")]
     {
         if is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence was just verified by the runtime feature check.
             return unsafe { comb_dispatch(a, b, Isa::Avx2) };
         }
     }
@@ -93,6 +94,7 @@ unsafe fn comb_dispatch(a: &[u32], b: &[u32], isa: Isa) -> SemiLocalKernel {
     let m = a.len();
     let n = b.len();
     if m == 0 || n == 0 {
+        // PANIC: base_kernel never fails when one side is empty.
         return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
     }
     let a_rev: Vec<u32> = a.iter().rev().copied().collect();
@@ -103,7 +105,10 @@ unsafe fn comb_dispatch(a: &[u32], b: &[u32], isa: Isa) -> SemiLocalKernel {
         let (ar, bs) = (&a_rev[h0..h0 + len], &b[v0..v0 + len]);
         let (hs, vs) = (&mut h_strands[h0..h0 + len], &mut v_strands[v0..v0 + len]);
         match isa {
+            // SAFETY: comb_dispatch is only entered after the matching runtime
+            // feature check for the requested ISA.
             Isa::Avx2 => unsafe { diag_avx2(ar, bs, hs, vs) },
+            // SAFETY: as above — Isa::Avx512 is only constructed behind the avx512f check.
             Isa::Avx512 => unsafe { diag_avx512(ar, bs, hs, vs) },
         }
     }
@@ -121,6 +126,9 @@ unsafe fn diag_avx2(ar: &[u32], bs: &[u32], hs: &mut [u32], vs: &mut [u32]) {
     let len = ar.len();
     let lanes = 8usize;
     let mut k = 0usize;
+    // SAFETY: every pointer offset is bounded by the `k + lanes <= len` loop
+    // guard, and the unaligned load/store intrinsics carry no alignment
+    // requirement; the target feature is guaranteed by the caller's contract.
     unsafe {
         while k + lanes <= len {
             let h = _mm256_loadu_si256(hs.as_ptr().add(k).cast());
@@ -152,6 +160,9 @@ unsafe fn diag_avx512(ar: &[u32], bs: &[u32], hs: &mut [u32], vs: &mut [u32]) {
     let len = ar.len();
     let lanes = 16usize;
     let mut k = 0usize;
+    // SAFETY: every pointer offset is bounded by the `k + lanes <= len` loop
+    // guard, and the unaligned load/store intrinsics carry no alignment
+    // requirement; the target feature is guaranteed by the caller's contract.
     unsafe {
         while k + lanes <= len {
             let h = _mm512_loadu_si512(hs.as_ptr().add(k).cast());

@@ -1,0 +1,622 @@
+//! Workspace automation (`cargo xtask <command>`), dependency-free.
+//!
+//! * `lint` — the concurrency audit: every `unsafe` site carries a
+//!   `// SAFETY:` justification (or `# Safety` doc for declarations),
+//!   every `Ordering::Relaxed` carries an `// ORDERING:` note, library
+//!   code does not `unwrap()`/`expect()` without a `// PANIC:`
+//!   justification (lock-poisoning unwraps are auto-allowed), the
+//!   metrics counters stick to their ordering allowlist, and every crate
+//!   containing `unsafe` denies `unsafe_op_in_unsafe_fn`.
+//! * `model-check` — builds the workspace with `--cfg slcs_model_check`
+//!   (swapping the sync facades to the instrumented shim-loom
+//!   primitives) and runs the model-check harnesses, plus the plain-mode
+//!   regression models. See docs/SAFETY.md.
+//!
+//! The lint is a line-based scan with a small lexer that tracks strings,
+//! char literals, nested block comments and `#[cfg(test)]` regions — not
+//! a full parser, but precise enough to audit this workspace with zero
+//! false positives, and it fails *loud* (a violation lists file:line and
+//! the rule).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("model-check") => model_check(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cargo xtask <lint | model-check [--bound N] [--schedules N] [--seed N]>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// model-check runner
+// ---------------------------------------------------------------------
+
+fn model_check(args: &[String]) -> ExitCode {
+    let mut bound: Option<String> = None;
+    let mut schedules: Option<String> = None;
+    let mut seed: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |slot: &mut Option<String>| match it.next() {
+            Some(v) => {
+                *slot = Some(v.clone());
+                true
+            }
+            None => false,
+        };
+        let ok = match arg.as_str() {
+            "--bound" => grab(&mut bound),
+            "--schedules" => grab(&mut schedules),
+            "--seed" => grab(&mut seed),
+            _ => false,
+        };
+        if !ok {
+            eprintln!("model-check: bad argument {arg:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.contains("slcs_model_check") {
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str("--cfg slcs_model_check");
+    }
+
+    let stages: &[(&str, &[&str], bool)] = &[
+        // (label, cargo args, needs the model-check cfg)
+        ("checker self-tests", &["test", "-p", "shim-loom", "--lib", "-q"], false),
+        ("protocol regression models", &["test", "--test", "model_check", "-q"], false),
+        (
+            "pool/team harnesses (instrumented build)",
+            &["test", "-p", "rayon", "--test", "model", "--", "--nocapture"],
+            true,
+        ),
+        (
+            "engine queue harnesses (instrumented build)",
+            &["test", "-p", "slcs-engine", "--lib", "model_", "--", "--nocapture"],
+            true,
+        ),
+    ];
+
+    for (label, cargo_args, instrumented) in stages {
+        println!("==> model-check: {label}");
+        let mut cmd = Command::new("cargo");
+        cmd.args(*cargo_args);
+        if *instrumented {
+            cmd.env("RUSTFLAGS", &rustflags);
+        }
+        if let Some(b) = &bound {
+            cmd.env("SLCS_MODEL_PREEMPTIONS", b);
+        }
+        if let Some(s) = &schedules {
+            cmd.env("SLCS_MODEL_SCHEDULES", s);
+        }
+        if let Some(s) = &seed {
+            cmd.env("SLCS_MODEL_SEED", s);
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("model-check: {label} failed ({status})");
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("model-check: cannot run cargo: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("model-check: all stages green");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// lint: file collection
+// ---------------------------------------------------------------------
+
+/// Crates under audit: everything first-party plus the two vendored
+/// crates that hold scheduler code. The other vendored shims (rand,
+/// proptest, criterion) mirror external APIs and hold no concurrency
+/// code; `xtask` itself is a dev tool, not library code.
+const AUDIT_ROOTS: &[&str] = &["crates", "vendor/rayon", "vendor/shim-loom"];
+const SKIP_DIRS: &[&str] = &["crates/xtask", "target"];
+
+fn lint() -> ExitCode {
+    let repo = repo_root();
+    let mut files = Vec::new();
+    for root in AUDIT_ROOTS {
+        collect_rs_files(&repo, &repo.join(root), &mut files);
+    }
+    files.sort();
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut stats = Stats::default();
+    // crate src dir → (has unsafe, lib.rs denies unsafe_op_in_unsafe_fn)
+    let mut crates: std::collections::BTreeMap<PathBuf, (bool, bool)> = Default::default();
+
+    for path in &files {
+        let rel = path.strip_prefix(&repo).unwrap_or(path).to_path_buf();
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(err) => {
+                violations.push(format!("{}: unreadable: {err}", rel.display()));
+                continue;
+            }
+        };
+        let lines = lex_file(&source);
+        audit_file(&rel, &lines, &mut violations, &mut stats);
+
+        if let Some(src_dir) = crate_src_dir(&rel) {
+            let entry = crates.entry(src_dir).or_insert((false, false));
+            let file_has_unsafe = lines.iter().enumerate().any(|(i, l)| {
+                !l.in_test
+                    && !is_attr(&l.code)
+                    && has_word(&l.code, "unsafe")
+                    && !lines[i].code.trim().is_empty()
+            });
+            entry.0 |= file_has_unsafe;
+            if rel.file_name().is_some_and(|n| n == "lib.rs") {
+                entry.1 = source.contains("#![deny(unsafe_op_in_unsafe_fn)]");
+            }
+        }
+    }
+
+    for (src_dir, (has_unsafe, denies)) in &crates {
+        if *has_unsafe && !denies {
+            violations.push(format!(
+                "{}/lib.rs: crate contains unsafe code but does not declare \
+                 #![deny(unsafe_op_in_unsafe_fn)]",
+                src_dir.display()
+            ));
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "lint clean: {} files; {} unsafe sites justified, {} Relaxed orderings annotated, \
+             {} panic sites allowed ({} via PANIC:, rest lock-poisoning)",
+            files.len(),
+            stats.unsafe_sites,
+            stats.relaxed_sites,
+            stats.panic_allowed + stats.panic_justified,
+            stats.panic_justified,
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("lint: {v}");
+        }
+        eprintln!("lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // cargo runs xtask from the workspace root via the alias; fall back
+    // to walking up to the directory holding the workspace Cargo.toml.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn collect_rs_files(repo: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = path.strip_prefix(repo).unwrap_or(&path);
+        if SKIP_DIRS.iter().any(|s| rel == Path::new(s)) {
+            continue;
+        }
+        if path.is_dir() {
+            // Only library/binary sources are audited; tests/ and
+            // benches/ trees are exercised code, not exercised-by code.
+            let name = entry.file_name();
+            if dir.parent().is_some_and(|p| p.ends_with("crates") || p.ends_with("vendor"))
+                && (name == "tests" || name == "benches")
+            {
+                continue;
+            }
+            collect_rs_files(repo, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn crate_src_dir(rel: &Path) -> Option<PathBuf> {
+    let mut dir = rel.parent()?;
+    loop {
+        if dir.file_name().is_some_and(|n| n == "src") {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// lint: the lexer
+// ---------------------------------------------------------------------
+
+/// One source line, split into its code text (string/char contents
+/// blanked out) and its comment text, with test-region membership.
+struct Line {
+    code: String,
+    comment: String,
+    in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Code,
+    /// Inside a `"…"` (escapes honored) — may span lines.
+    Str,
+    /// Inside an `r##"…"##` raw string with this many hashes.
+    RawStr(u8),
+    /// Inside a (nested) block comment at this depth.
+    Block(u32),
+}
+
+fn lex_file(source: &str) -> Vec<Line> {
+    let mut state = Lex::Code;
+    let mut depth: i64 = 0; // brace depth of code
+    let mut pending_test_attr = false;
+    let mut test_region_base: Option<i64> = None;
+    let mut out = Vec::new();
+
+    for raw in source.lines() {
+        let (code, comment, next_state) = lex_line(raw, state);
+        state = next_state;
+
+        let trimmed = code.trim();
+        // `#[cfg(test)]` / `#[cfg(all(test, …))]` start a test region at
+        // the next brace-opening item (a `;`-terminated item cancels).
+        if trimmed.starts_with('#') && (code.contains("cfg(test") || code.contains("cfg(all(test"))
+        {
+            pending_test_attr = true;
+        }
+
+        // Depth reached by closing braces on this line; a `}` returning
+        // to the region's base depth ends the test region.
+        let mut close_min = i64::MAX;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending_test_attr && test_region_base.is_none() {
+                        test_region_base = Some(depth);
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    close_min = close_min.min(depth);
+                }
+                _ => {}
+            }
+        }
+        if pending_test_attr && !trimmed.starts_with('#') && trimmed.ends_with(';') {
+            pending_test_attr = false;
+        }
+
+        let in_test = test_region_base.is_some() || pending_test_attr;
+        if let Some(base) = test_region_base {
+            if close_min <= base {
+                test_region_base = None;
+            }
+        }
+        out.push(Line { code, comment, in_test });
+    }
+    out
+}
+
+/// Splits one line into (code, comment) given the carry-over lexer
+/// state; string/char contents become spaces in the code text.
+fn lex_line(line: &str, mut state: Lex) -> (String, String, Lex) {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match state {
+            Lex::Block(d) => {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    state = if d > 1 { Lex::Block(d - 1) } else { Lex::Code };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    state = Lex::Block(d + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                i += 1;
+            }
+            Lex::Str => {
+                if c == '\\' {
+                    i += 2; // escape (incl. \" and \\); lost at EOL is fine
+                    continue;
+                }
+                if c == '"' {
+                    state = Lex::Code;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Lex::RawStr(h) => {
+                if c == '"' {
+                    let hashes = bytes[i + 1..].iter().take_while(|&&x| x == '#').count();
+                    if hashes >= h as usize {
+                        state = Lex::Code;
+                        i += 1 + h as usize;
+                        for _ in 0..=h {
+                            code.push(' ');
+                        }
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Lex::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    comment.extend(&bytes[i..]);
+                    break;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    state = Lex::Block(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = Lex::Str;
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                // Raw (and byte) string openers: r"  r#"  br"  b"
+                if (c == 'r' || c == 'b') && !prev_is_ident(&bytes, i) {
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let hashes = bytes[j..].iter().take_while(|&&x| x == '#').count();
+                    if bytes.get(j + hashes) == Some(&'"')
+                        && (hashes > 0 || bytes.get(j) == Some(&'"'))
+                    {
+                        state = if hashes > 0 { Lex::RawStr(hashes as u8) } else { Lex::Str };
+                        for _ in i..=(j + hashes) {
+                            code.push(' ');
+                        }
+                        i = j + hashes + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars; a lifetime never has a closing quote.
+                    if let Some(len) = char_literal_len(&bytes[i..]) {
+                        for _ in 0..len {
+                            code.push(' ');
+                        }
+                        i += len;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment, state)
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Length of a char literal starting at `s[0] == '\''`, or `None` for a
+/// lifetime.
+fn char_literal_len(s: &[char]) -> Option<usize> {
+    match s.get(1)? {
+        '\\' => {
+            // `'\n'`, `'\\'`, `'\u{…}'`, `'\x7f'`
+            let close = s.iter().skip(2).position(|&c| c == '\'')?;
+            Some(close + 3)
+        }
+        _ => (s.get(2) == Some(&'\'')).then_some(3),
+    }
+}
+
+// ---------------------------------------------------------------------
+// lint: the rules
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Stats {
+    unsafe_sites: usize,
+    relaxed_sites: usize,
+    panic_allowed: usize,
+    panic_justified: usize,
+}
+
+fn is_attr(code: &str) -> bool {
+    let t = code.trim();
+    t.starts_with("#[") || t.starts_with("#![")
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok =
+            code[after..].chars().next().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// The contiguous comment/attribute block directly above line `i`,
+/// concatenated (doc and plain comments both count).
+fn justification_above(lines: &[Line], i: usize) -> String {
+    let mut text = String::new();
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let code_t = l.code.trim();
+        if code_t.is_empty() && !l.comment.is_empty() {
+            let _ = write!(text, " {}", l.comment);
+        } else if is_attr(&l.code) {
+            continue; // attributes sit between a comment and its item
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &mut Stats) {
+    let is_metrics = rel.ends_with("crates/engine/src/metrics.rs")
+        || rel == Path::new("crates/engine/src/metrics.rs");
+    let mut relaxed_run_justified: std::collections::HashSet<usize> = Default::default();
+    let mut unsafe_run_justified: std::collections::HashSet<usize> = Default::default();
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || line.code.trim().is_empty() {
+            continue;
+        }
+        let here = format!("{}:{}", rel.display(), i + 1);
+        let code = &line.code;
+        let own_comment = &line.comment;
+
+        // Rule 1 — unsafe needs SAFETY: (declarations may use `# Safety`).
+        // `unsafe fn(` is a fn-pointer *type*, not an unsafe operation;
+        // the unsafety lives at the call sites.
+        let unsafe_code = code.replace("unsafe fn(", "");
+        if !is_attr(code) && has_word(&unsafe_code, "unsafe") {
+            stats.unsafe_sites += 1;
+            let above = justification_above(lines, i);
+            let is_decl = unsafe_code.contains("unsafe fn")
+                || unsafe_code.contains("unsafe impl")
+                || unsafe_code.contains("unsafe trait");
+            // A justification covers an unbroken run of consecutive
+            // unsafe lines (e.g. paired raw-slice reconstructions).
+            let justified = own_comment.contains("SAFETY:")
+                || above.contains("SAFETY:")
+                || (is_decl && above.contains("# Safety"))
+                || (i > 0
+                    && has_word(&lines[i - 1].code.replace("unsafe fn(", ""), "unsafe")
+                    && unsafe_run_justified.contains(&(i - 1)));
+            if justified {
+                unsafe_run_justified.insert(i);
+            } else {
+                violations.push(format!(
+                    "{here}: unsafe without a `// SAFETY:` justification{}",
+                    if is_decl { " (or a `# Safety` doc section)" } else { "" }
+                ));
+            }
+        }
+
+        // Rule 2 — Ordering::Relaxed needs ORDERING:. A note covers an
+        // unbroken run of consecutive Relaxed lines (e.g. a snapshot
+        // struct literal loading a dozen counters under one argument).
+        if code.contains("Ordering::Relaxed") {
+            stats.relaxed_sites += 1;
+            let justified = own_comment.contains("ORDERING:")
+                || justification_above(lines, i).contains("ORDERING:")
+                || (i > 0
+                    && lines[i - 1].code.contains("Ordering::Relaxed")
+                    && relaxed_run_justified.contains(&(i - 1)));
+            if justified {
+                relaxed_run_justified.insert(i);
+            } else {
+                violations
+                    .push(format!("{here}: Ordering::Relaxed without an `// ORDERING:` note"));
+            }
+        }
+
+        // Rule 3 — no unwrap/expect in library code, unless it is a
+        // lock-poisoning unwrap or carries a PANIC: justification.
+        for needle in [".unwrap()", ".expect("] {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find(needle) {
+                let at = start + pos;
+                start = at + needle.len();
+                let chain = code[..at].trim_end();
+                // Lock-poisoning results: `.lock()`, RwLock guards, and
+                // `Condvar::wait{,_timeout}(…)` — the final call before
+                // the unwrap is a wait when no further `.` follows it.
+                let is_poisoning_chain = |chain: &str| {
+                    [".lock()", ".read()", ".write()"].iter().any(|p| chain.ends_with(p))
+                        || (chain.ends_with(')')
+                            && chain.rfind(".wait").is_some_and(|p| {
+                                let rest = &chain[p + ".wait".len()..];
+                                // Condvar waits always pass the guard;
+                                // an argument-less `.wait()` is some
+                                // other API and stays flagged.
+                                !rest.contains('.') && !rest.contains("()")
+                            }))
+                };
+                let poisoning = is_poisoning_chain(chain)
+                    || (chain.is_empty()
+                        && i > 0
+                        && is_poisoning_chain(lines[i - 1].code.trim_end()));
+                if poisoning {
+                    stats.panic_allowed += 1;
+                    continue;
+                }
+                if own_comment.contains("PANIC:")
+                    || justification_above(lines, i).contains("PANIC:")
+                {
+                    stats.panic_justified += 1;
+                    continue;
+                }
+                violations.push(format!(
+                    "{here}: `{needle}…` in library code without a `// PANIC:` justification"
+                ));
+            }
+        }
+
+        // Rule 4 — metrics counters use only the allowlisted ordering.
+        if is_metrics {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find("Ordering::") {
+                let at = start + pos + "Ordering::".len();
+                let variant: String =
+                    code[at..].chars().take_while(|c| c.is_alphanumeric()).collect();
+                start = at;
+                if variant != "Relaxed" {
+                    violations.push(format!(
+                        "{here}: metrics.rs must use Ordering::Relaxed only \
+                         (monotonic counters, no cross-field consistency), found {variant}"
+                    ));
+                }
+            }
+        }
+    }
+}

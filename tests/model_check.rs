@@ -1,0 +1,239 @@
+//! Seeded-schedule regression tests for the concurrency protocols the
+//! scheduler is built on, runnable under plain `cargo test`.
+//!
+//! The full harnesses in `vendor/rayon/tests/model.rs` and
+//! `crates/engine/src/queue.rs` explore the *real* pool/team/queue code,
+//! but need the `--cfg slcs_model_check` build (`cargo xtask
+//! model-check`). This file keeps a model-checking safety net in the
+//! default test run: it models the same three protocols — `join`'s
+//! publish/help job slot, the team's sense-reversing barrier, and the
+//! queue's bounded full/drain handshake — directly on the shim-loom
+//! primitives, sweeps each with a seeded random scheduler (deterministic
+//! per seed), and pins a handful of exact schedules with
+//! `model::replay` so the interesting interleavings are rechecked on
+//! every run, forever.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use shim_loom::model::{self, Builder, Strategy};
+use shim_loom::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use shim_loom::sync::{Condvar, Mutex};
+use shim_loom::thread;
+
+fn random(seed: u64, iterations: usize) -> Builder {
+    Builder { strategy: Strategy::Random { seed, iterations }, ..Builder::default() }
+}
+
+// ---------------------------------------------------------------------
+// Pool join: the PENDING → RUNNING → DONE job slot, publisher helping
+// ---------------------------------------------------------------------
+
+const PENDING: u8 = 0;
+const RUNNING: u8 = 1;
+const DONE: u8 = 2;
+
+/// The job-slot state machine from `vendor/rayon/src/pool.rs`, modeled
+/// with a `Mutex<Option<…>>` payload instead of the raw cells: a
+/// publisher and a worker race to claim the slot; the claim CAS must
+/// admit exactly one executor, and the publisher's help loop must always
+/// observe DONE.
+fn pool_join_protocol() {
+    let state = Arc::new(AtomicU8::new(PENDING));
+    let result: Arc<Mutex<Option<i32>>> = Arc::new(Mutex::new(None));
+    let runs = Arc::new(AtomicUsize::new(0));
+
+    let claim = |state: &AtomicU8, result: &Mutex<Option<i32>>, runs: &AtomicUsize| {
+        if state.compare_exchange(PENDING, RUNNING, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            runs.fetch_add(1, Ordering::Relaxed);
+            *result.lock().unwrap() = Some(42);
+            state.store(DONE, Ordering::Release);
+        }
+    };
+
+    let (s2, r2, n2) = (Arc::clone(&state), Arc::clone(&result), Arc::clone(&runs));
+    let worker = thread::spawn(move || claim(&s2, &r2, &n2));
+    // The publisher "helps": tries to claim the job itself, then spins
+    // (yielding) until whoever won has driven the slot to DONE.
+    claim(&state, &result, &runs);
+    while state.load(Ordering::Acquire) != DONE {
+        thread::yield_now();
+    }
+    assert_eq!(runs.load(Ordering::Relaxed), 1, "exactly one claimant may run the job");
+    assert_eq!(result.lock().unwrap().take(), Some(42), "DONE implies the result is visible");
+    worker.join().unwrap();
+}
+
+#[test]
+fn pool_join_protocol_random_sweep() {
+    random(0xA11CE, 400).check(pool_join_protocol);
+}
+
+#[test]
+fn pool_join_protocol_pinned_schedules() {
+    // Schedule 0: first option at every point — the publisher claims and
+    // completes the job before the worker ever runs.
+    model::replay(&[0; 24], pool_join_protocol);
+    // Forcing the second option early hands the slot to the worker at
+    // the first opportunity: the publisher's CAS must lose cleanly and
+    // its help loop must still see DONE. This is the minimal "stolen
+    // job" interleaving.
+    model::replay(&[1, 1, 1, 1], pool_join_protocol);
+    model::replay(&[0, 1, 0, 1, 0, 1], pool_join_protocol);
+}
+
+// ---------------------------------------------------------------------
+// Team barrier: sense reversal via a generation counter
+// ---------------------------------------------------------------------
+
+/// The sense-reversing core of `vendor/rayon/src/team.rs::barrier`:
+/// `arrived` counts the generation's arrivals, the last arriver resets
+/// it and bumps `generation`, everyone else spins on the generation
+/// changing. Nobody may pass before all arrive, and the counter reset
+/// must not eat arrivals for the *next* generation.
+fn team_barrier_protocol() {
+    const MEMBERS: usize = 2;
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let generation = Arc::new(AtomicUsize::new(0));
+    let work = Arc::new(AtomicUsize::new(0));
+
+    let cross = |arrived: &AtomicUsize, generation: &AtomicUsize| {
+        let gen_before = generation.load(Ordering::Acquire);
+        if arrived.fetch_add(1, Ordering::AcqRel) + 1 == MEMBERS {
+            arrived.store(0, Ordering::Relaxed);
+            generation.fetch_add(1, Ordering::Release);
+        } else {
+            while generation.load(Ordering::Acquire) == gen_before {
+                thread::yield_now();
+            }
+        }
+    };
+
+    let (a2, g2, w2) = (Arc::clone(&arrived), Arc::clone(&generation), Arc::clone(&work));
+    let peer = thread::spawn(move || {
+        for _ in 0..2 {
+            w2.fetch_add(1, Ordering::SeqCst);
+            cross(&a2, &g2);
+        }
+    });
+    for step in 1..=2 {
+        work.fetch_add(1, Ordering::SeqCst);
+        cross(&arrived, &generation);
+        let seen = work.load(Ordering::SeqCst);
+        assert!(
+            seen >= step * MEMBERS,
+            "crossed generation {step} after only {seen} contributions"
+        );
+    }
+    peer.join().unwrap();
+    assert_eq!(generation.load(Ordering::SeqCst), 2, "two generations completed");
+    assert_eq!(work.load(Ordering::SeqCst), 2 * MEMBERS);
+}
+
+#[test]
+fn team_barrier_protocol_random_sweep() {
+    random(0xBA221E2, 400).check(team_barrier_protocol);
+}
+
+#[test]
+fn team_barrier_protocol_pinned_schedules() {
+    // Leader arrives last on both generations.
+    model::replay(&[0; 32], team_barrier_protocol);
+    // Peer scheduled first wherever possible: the peer arrives first and
+    // spins; the leader is the releasing last arriver — the minimal
+    // interleaving the sense reversal exists for.
+    model::replay(&[1, 1, 1, 1, 1, 1], team_barrier_protocol);
+    // A mid-protocol preemption straddling the generation bump.
+    model::replay(&[0, 0, 1, 0, 0, 1], team_barrier_protocol);
+}
+
+// ---------------------------------------------------------------------
+// Engine queue: bounded full/drain with a close() handshake
+// ---------------------------------------------------------------------
+
+/// The bounded-queue protocol from `crates/engine/src/queue.rs`: pushes
+/// refuse (not block) beyond capacity, a blocked consumer is woken by
+/// push and by close, and close + drain terminates the consumer loop.
+fn queue_full_drain_protocol() {
+    struct Q {
+        state: Mutex<(VecDeque<u32>, bool)>,
+        not_empty: Condvar,
+    }
+    let q = Arc::new(Q { state: Mutex::new((VecDeque::new(), false)), not_empty: Condvar::new() });
+    const CAPACITY: usize = 1;
+
+    let q2 = Arc::clone(&q);
+    let producer = thread::spawn(move || {
+        let mut accepted = 0u32;
+        for item in [10u32, 20, 30] {
+            let mut state = q2.state.lock().unwrap();
+            if state.0.len() < CAPACITY {
+                state.0.push_back(item);
+                accepted += 1;
+                drop(state);
+                q2.not_empty.notify_one();
+            }
+        }
+        q2.state.lock().unwrap().1 = true;
+        q2.not_empty.notify_all();
+        accepted
+    });
+
+    let mut drained = 0u32;
+    'consume: loop {
+        let mut state = q.state.lock().unwrap();
+        loop {
+            if state.0.pop_front().is_some() {
+                drained += 1;
+                continue 'consume;
+            }
+            if state.1 {
+                break 'consume; // closed + drained
+            }
+            state = q.not_empty.wait(state).unwrap();
+        }
+    }
+    let accepted = producer.join().unwrap();
+    assert_eq!(drained, accepted, "accepted items drain exactly once");
+}
+
+#[test]
+fn queue_full_drain_random_sweep() {
+    random(0xD2A17, 400).check(queue_full_drain_protocol);
+}
+
+#[test]
+fn queue_full_drain_pinned_schedules() {
+    // Producer runs to completion first; the consumer drains cold.
+    model::replay(&[0; 32], queue_full_drain_protocol);
+    // Consumer scheduled eagerly: it parks on the empty queue and every
+    // wakeup (push, then close) must land — the lost-wakeup shape.
+    model::replay(&[1, 1, 1, 1, 1, 1, 1, 1], queue_full_drain_protocol);
+    model::replay(&[0, 1, 1, 0, 1, 0, 1, 0], queue_full_drain_protocol);
+}
+
+// ---------------------------------------------------------------------
+// The checker itself stays honest: it still catches a planted race
+// ---------------------------------------------------------------------
+
+#[test]
+fn checker_still_catches_a_planted_lost_update() {
+    // Guards the safety net: if shim-loom ever regressed into exploring
+    // only one schedule, this canary — a classic non-atomic
+    // read-modify-write — would stop failing.
+    let outcome = std::panic::catch_unwind(|| {
+        model::check(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let racer = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            racer.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        });
+    });
+    assert!(outcome.is_err(), "the planted race must be found");
+}

@@ -163,6 +163,7 @@ where
     let pool = Pool::global();
     pool.ensure_workers(budget.saturating_sub(1));
     let mut parts = split_into(it, pieces).into_iter();
+    // PANIC: split_into always returns at least one piece.
     let first = parts.next().expect("at least one piece");
     // Built fully before any JobRef is published, so the jobs never move.
     let jobs: Vec<StackJob<_, R>> = parts
@@ -171,7 +172,7 @@ where
             StackJob::new(move || f(part), budget)
         })
         .collect();
-    // Safety: this frame waits for every job to reach DONE before
+    // SAFETY: this frame waits for every job to reach DONE before
     // returning or unwinding, so the published pointers outlive use.
     pool.inject_many(jobs.iter().map(|job| unsafe { job.as_job_ref() }));
     let head = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(first)));

@@ -28,14 +28,29 @@
 //! scheduling is contiguous chunking over persistent workers rather than
 //! per-chunk work stealing.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod iter;
 pub(crate) mod pool;
+pub(crate) mod sync;
 pub mod team;
 
 pub use team::{team_run, TeamView};
+
+/// Internals exposed to the model-check harnesses (`tests/model.rs`)
+/// only: a model-check build needs to drive the real job-slot, barrier
+/// and registration protocols from outside the crate. Absent from
+/// normal builds.
+#[cfg(slcs_model_check)]
+#[doc(hidden)]
+pub mod model_check {
+    pub use crate::pool::{JobRef, Pool, StackJob};
+    pub use crate::team::TeamShared;
+}
 
 pub mod prelude {
     pub use crate::iter::{
@@ -66,6 +81,7 @@ pub fn current_num_threads() -> usize {
     if local > 0 {
         return local;
     }
+    // ORDERING: Relaxed — a sizing hint; a stale read only affects heuristics.
     let global = GLOBAL_THREADS.load(Ordering::Relaxed);
     if global > 0 {
         return global;
@@ -92,11 +108,14 @@ pub(crate) fn with_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// Tries to reserve one extra in-flight fork within the budget.
 pub(crate) fn try_reserve_thread() -> bool {
     let cap = current_num_threads().saturating_sub(1);
+    // ORDERING: Relaxed (load and CAS below) — LIVE_EXTRA is a budget counter;
+    // no memory is published through it, and over/undershoot is benign.
     let mut live = LIVE_EXTRA.load(Ordering::Relaxed);
     loop {
         if live >= cap {
             return false;
         }
+        // ORDERING: Relaxed — see the budget-counter note above.
         match LIVE_EXTRA.compare_exchange_weak(live, live + 1, Ordering::Relaxed, Ordering::Relaxed)
         {
             Ok(_) => return true,
@@ -106,6 +125,7 @@ pub(crate) fn try_reserve_thread() -> bool {
 }
 
 pub(crate) fn release_thread() {
+    // ORDERING: Relaxed — budget counter, as in try_reserve_thread.
     LIVE_EXTRA.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -137,7 +157,7 @@ where
     let pool = pool::Pool::global();
     pool.ensure_workers(budget.saturating_sub(1));
     let job_b = pool::StackJob::new(b, budget);
-    // Safety: this frame waits for `job_b` to reach DONE before returning
+    // SAFETY: this frame waits for `job_b` to reach DONE before returning
     // or unwinding, so the published pointer outlives its use.
     unsafe { pool.inject(job_b.as_job_ref()) };
     let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
@@ -199,6 +219,7 @@ impl ThreadPoolBuilder {
 
     /// Sets the process-wide default budget.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        // ORDERING: Relaxed — a sizing hint read with Relaxed loads.
         GLOBAL_THREADS.store(self.resolved(), Ordering::Relaxed);
         Ok(())
     }

@@ -20,8 +20,10 @@
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::{Condvar, Mutex};
 
 /// Hard ceiling on spawned workers, a guard against absurd `--threads`
 /// values; the budget itself is enforced per call site.
@@ -31,19 +33,22 @@ const MAX_WORKERS: usize = 128;
 /// stack. Sound to send across threads because the publisher keeps the
 /// job alive until its state is `DONE` and every ref is executed at most
 /// once (enforced by the `PENDING → RUNNING` claim).
-pub(crate) struct JobRef {
+pub struct JobRef {
     ptr: *const (),
     exec: unsafe fn(*const ()),
 }
 
+// SAFETY: see the type docs — the publisher keeps the job alive until DONE
+// and each ref is executed at most once.
 unsafe impl Send for JobRef {}
 
 impl JobRef {
     /// # Safety
     ///
     /// The underlying [`StackJob`] must still be alive.
-    pub(crate) unsafe fn execute(self) {
-        (self.exec)(self.ptr)
+    pub unsafe fn execute(self) {
+        // SAFETY: forwarding the caller's liveness guarantee to the erased fn.
+        unsafe { (self.exec)(self.ptr) }
     }
 }
 
@@ -53,7 +58,7 @@ const DONE: u8 = 2;
 
 /// A fork/join task whose closure and result live in the publishing
 /// stack frame.
-pub(crate) struct StackJob<F, R> {
+pub struct StackJob<F, R> {
     state: AtomicU8,
     /// Thread budget the job should observe (the publisher's).
     budget: usize,
@@ -61,7 +66,7 @@ pub(crate) struct StackJob<F, R> {
     result: UnsafeCell<Option<std::thread::Result<R>>>,
 }
 
-// The state protocol serializes all access to the cells: `func` is taken
+// SAFETY: the state protocol serializes all access to the cells: `func` is taken
 // only by the single claimant of the PENDING → RUNNING transition, and
 // `result` is written before the DONE release store and read only after
 // observing DONE.
@@ -72,7 +77,7 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
-    pub(crate) fn new(func: F, budget: usize) -> Self {
+    pub fn new(func: F, budget: usize) -> Self {
         StackJob {
             state: AtomicU8::new(PENDING),
             budget,
@@ -83,40 +88,54 @@ where
 
     /// # Safety
     ///
+    /// # Safety
+    ///
     /// The caller promises to keep `self` alive (and not move it) until
     /// [`Self::is_done`] returns true.
-    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+    pub unsafe fn as_job_ref(&self) -> JobRef {
         JobRef { ptr: self as *const Self as *const (), exec: Self::execute_erased }
     }
 
+    // SAFETY: contract inherited from `as_job_ref` — `ptr` is a live, pinned
+    // `StackJob<F, R>`, and each ref reaches execute at most once.
     unsafe fn execute_erased(ptr: *const ()) {
-        let this = &*(ptr as *const Self);
+        // SAFETY: the caller (JobRef::execute) guarantees `ptr` is live.
+        let this = unsafe { &*(ptr as *const Self) };
         if this
             .state
+            // ORDERING: success Acquire pairs with the publisher's handoff;
+            // failure is Relaxed — a losing claimant reads no job state.
             .compare_exchange(PENDING, RUNNING, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
             return; // already claimed (defensive; refs are popped once)
         }
-        let func = (*this.func.get()).take().expect("job claimed twice");
+        // SAFETY: winning the PENDING → RUNNING CAS grants exclusive access to
+        // both cells until the DONE release store.
+        // PANIC: the winning CAS above is the only path here, and new() stored the closure.
+        let func = unsafe { (*this.func.get()).take() }.expect("job claimed twice");
         let budget = this.budget;
         let out = catch_unwind(AssertUnwindSafe(move || crate::with_budget(budget, func)));
-        *this.result.get() = Some(out);
+        // SAFETY: still the exclusive claimant; see above.
+        unsafe { *this.result.get() = Some(out) };
         this.state.store(DONE, Ordering::Release);
     }
 
-    pub(crate) fn is_done(&self) -> bool {
+    pub fn is_done(&self) -> bool {
         self.state.load(Ordering::Acquire) == DONE
     }
 
     /// Takes the outcome; call only after [`Self::is_done`].
-    pub(crate) fn take_result(&self) -> std::thread::Result<R> {
+    pub fn take_result(&self) -> std::thread::Result<R> {
         debug_assert!(self.is_done());
+        // PANIC: is_done() implies execute() stored the result, and it is taken only here.
+        // SAFETY: the DONE acquire load happens-after execute()'s release store of
+        // the result, and nothing else touches the cell afterwards.
         unsafe { (*self.result.get()).take().expect("result taken twice") }
     }
 
     /// Re-throws the job's panic, or returns its value.
-    pub(crate) fn unwrap_value(&self) -> R {
+    pub fn unwrap_value(&self) -> R {
         match self.take_result() {
             Ok(v) => v,
             Err(payload) => std::panic::resume_unwind(payload),
@@ -130,22 +149,40 @@ struct Shared {
 }
 
 /// The process-global worker pool.
-pub(crate) struct Pool {
+pub struct Pool {
     shared: Mutex<Shared>,
     work_available: Condvar,
 }
 
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
 impl Pool {
-    pub(crate) fn global() -> &'static Pool {
-        static POOL: OnceLock<Pool> = OnceLock::new();
-        POOL.get_or_init(|| Pool {
+    /// A fresh, empty pool. Model-check harnesses build one per explored
+    /// execution; production code goes through [`Pool::global`].
+    pub fn new() -> Pool {
+        Pool {
             shared: Mutex::new(Shared { jobs: VecDeque::new(), spawned: 0 }),
             work_available: Condvar::new(),
-        })
+        }
+    }
+
+    pub fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(Pool::new)
     }
 
     /// Ensures at least `n` parked workers exist (idempotent, lazy).
-    pub(crate) fn ensure_workers(&'static self, n: usize) {
+    pub fn ensure_workers(&'static self, n: usize) {
+        if cfg!(slcs_model_check) {
+            // Under the model checker no OS workers exist: harnesses
+            // drive the pool with model threads and `help_until`, so the
+            // scheduler controls every participant.
+            return;
+        }
         let n = n.min(MAX_WORKERS);
         let mut shared = self.shared.lock().unwrap();
         while shared.spawned < n {
@@ -154,11 +191,12 @@ impl Pool {
             std::thread::Builder::new()
                 .name(format!("slcs-pool-{id}"))
                 .spawn(move || self.worker_loop())
+                // PANIC: failing to spawn a pool worker at startup is unrecoverable.
                 .expect("cannot spawn pool worker");
         }
     }
 
-    pub(crate) fn spawned_workers(&'static self) -> usize {
+    pub fn spawned_workers(&self) -> usize {
         self.shared.lock().unwrap().spawned
     }
 
@@ -175,34 +213,40 @@ impl Pool {
             };
             // Panics were already caught inside the job; the worker
             // always comes back for more.
+            // SAFETY: refs are popped exactly once, and the publisher keeps the
+            // job alive until it observes DONE.
             unsafe { job.execute() };
         }
     }
 
     /// Publishes one job and wakes one worker.
-    pub(crate) fn inject(&'static self, job: JobRef) {
+    pub fn inject(&self, job: JobRef) {
         self.shared.lock().unwrap().jobs.push_back(job);
         self.work_available.notify_one();
     }
 
     /// Publishes a batch of jobs and wakes every worker.
-    pub(crate) fn inject_many(&'static self, jobs: impl Iterator<Item = JobRef>) {
+    pub fn inject_many(&self, jobs: impl Iterator<Item = JobRef>) {
         self.shared.lock().unwrap().jobs.extend(jobs);
         self.work_available.notify_all();
     }
 
     /// Pops one queued job, if any — lets a waiting publisher help.
-    pub(crate) fn try_pop(&'static self) -> Option<JobRef> {
+    pub fn try_pop(&self) -> Option<JobRef> {
         self.shared.lock().unwrap().jobs.pop_front()
     }
 
     /// Runs queued jobs (helping the pool) until `done()`; yields when
     /// the queue is empty so oversubscribed configurations make progress.
-    pub(crate) fn help_until(&'static self, done: impl Fn() -> bool) {
+    pub fn help_until(&self, done: impl Fn() -> bool) {
         while !done() {
             match self.try_pop() {
+                // SAFETY: every queued JobRef points at a StackJob whose
+                // publishing frame stays alive until the job reaches
+                // DONE, and popping removes the only ref — it executes
+                // at most once.
                 Some(job) => unsafe { job.execute() },
-                None => std::thread::yield_now(),
+                None => crate::sync::yield_now(),
             }
         }
     }
@@ -213,6 +257,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg(not(slcs_model_check))] // the model-check build spawns no OS workers
     fn workers_spawn_once_and_persist() {
         let pool = Pool::global();
         pool.ensure_workers(2);

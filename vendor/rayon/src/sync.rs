@@ -1,0 +1,41 @@
+//! Synchronization facade: every atomic, lock, condvar, yield and spin
+//! in this crate's scheduler code goes through here.
+//!
+//! A normal build resolves to `std` — same types, zero overhead. Built
+//! with `RUSTFLAGS="--cfg slcs_model_check"` it resolves to the
+//! instrumented `shim_loom` primitives instead, which makes the *real*
+//! pool and team protocols explorable by the model checker (see
+//! `vendor/shim-loom` and `docs/SAFETY.md`). The two resolutions are
+//! API-compatible for every call shape this crate uses.
+
+#[cfg(not(slcs_model_check))]
+pub(crate) use std::sync::{Condvar, Mutex};
+
+#[cfg(slcs_model_check)]
+pub(crate) use shim_loom::sync::{Condvar, Mutex};
+
+pub(crate) mod atomic {
+    #[cfg(not(slcs_model_check))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+    #[cfg(slcs_model_check)]
+    pub(crate) use shim_loom::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+}
+
+/// Facade over `std::thread::yield_now`; a deprioritizing schedule point
+/// under the model checker.
+pub(crate) fn yield_now() {
+    #[cfg(not(slcs_model_check))]
+    std::thread::yield_now();
+    #[cfg(slcs_model_check)]
+    shim_loom::thread::yield_now();
+}
+
+/// Facade over `std::hint::spin_loop`; a deprioritizing schedule point
+/// under the model checker.
+pub(crate) fn spin_loop() {
+    #[cfg(not(slcs_model_check))]
+    std::hint::spin_loop();
+    #[cfg(slcs_model_check)]
+    shim_loom::hint::spin_loop();
+}

@@ -25,11 +25,13 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+#[cfg(not(slcs_model_check))]
+use std::time::Instant;
 
 use crate::pool::{Pool, StackJob};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 
 /// Registration flag folded into the member count.
 const CLOSED: usize = 1 << (usize::BITS - 1);
@@ -38,9 +40,15 @@ const CLOSED: usize = 1 << (usize::BITS - 1);
 /// before closing registration. Paid once per [`team_run`], so it is
 /// negligible against any sweep worth a team, but long enough for parked
 /// (or freshly spawned) workers to wake on a loaded machine.
+#[cfg(not(slcs_model_check))]
 const REGISTRATION_WAIT: Duration = Duration::from_millis(2);
 
-struct TeamShared {
+/// The team's shared synchronization state. `pub` only so the
+/// model-check harnesses (see `crate::model_check`) can drive the real
+/// registration/barrier/poison protocol directly; the `team` module
+/// itself is private, so this never reaches the normal public API.
+#[doc(hidden)]
+pub struct TeamShared {
     /// Member count (leader excluded) plus the [`CLOSED`] bit.
     registered: AtomicUsize,
     /// Members that arrived at the current barrier generation.
@@ -56,8 +64,14 @@ struct TeamShared {
     wake: Condvar,
 }
 
+impl Default for TeamShared {
+    fn default() -> Self {
+        TeamShared::new()
+    }
+}
+
 impl TeamShared {
-    fn new() -> Self {
+    pub fn new() -> Self {
         TeamShared {
             registered: AtomicUsize::new(0),
             arrived: AtomicUsize::new(0),
@@ -71,7 +85,7 @@ impl TeamShared {
 
     /// Joins the team, returning the member's id (≥ 1), or `None` if
     /// registration already closed.
-    fn try_register(&self) -> Option<usize> {
+    pub fn try_register(&self) -> Option<usize> {
         self.registered
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
                 if v & CLOSED != 0 {
@@ -85,26 +99,26 @@ impl TeamShared {
     }
 
     /// Closes registration; returns the final team size (leader + members).
-    fn close(&self) -> usize {
+    pub fn close(&self) -> usize {
         (self.registered.fetch_or(CLOSED, Ordering::AcqRel) & !CLOSED) + 1
     }
 
     /// Spins until registration closes; returns the final team size.
-    fn wait_for_close(&self) -> usize {
+    pub fn wait_for_close(&self) -> usize {
         loop {
             let v = self.registered.load(Ordering::Acquire);
             if v & CLOSED != 0 {
                 return (v & !CLOSED) + 1;
             }
-            std::thread::yield_now();
+            crate::sync::yield_now();
         }
     }
 
-    fn members_registered(&self) -> usize {
+    pub fn members_registered(&self) -> usize {
         self.registered.load(Ordering::Acquire) & !CLOSED
     }
 
-    fn poison(&self, payload: Box<dyn Any + Send>) {
+    pub fn poison(&self, payload: Box<dyn Any + Send>) {
         let mut slot = self.panic_payload.lock().unwrap();
         if slot.is_none() {
             *slot = Some(payload);
@@ -124,7 +138,7 @@ impl TeamShared {
 
     /// Sense-reversing barrier across `size` members. Returns `false`
     /// when the team is poisoned and the caller should stop working.
-    fn barrier(&self, size: usize) -> bool {
+    pub fn barrier(&self, size: usize) -> bool {
         if self.poisoned.load(Ordering::Acquire) {
             return false;
         }
@@ -134,6 +148,8 @@ impl TeamShared {
         let generation = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == size {
             // Last to arrive: reset the counter, then release the rest.
+            // ORDERING: Relaxed — only the last arriver writes here, and waiters
+            // re-synchronize through the generation Release just below.
             self.arrived.store(0, Ordering::Relaxed);
             self.generation.fetch_add(1, Ordering::Release);
             self.notify_sleepers();
@@ -149,9 +165,9 @@ impl TeamShared {
                 }
                 spins += 1;
                 if spins < 64 {
-                    std::hint::spin_loop();
+                    crate::sync::spin_loop();
                 } else if spins < 80 {
-                    std::thread::yield_now();
+                    crate::sync::yield_now();
                 } else {
                     let guard = self.sleep_lock.lock().unwrap();
                     if self.generation.load(Ordering::Acquire) != generation
@@ -224,17 +240,33 @@ where
             shared_ref.poison(payload);
         }
     };
-    // One closure expression ⇒ one concrete type ⇒ a homogeneous Vec.
+    // SAFETY: one closure expression ⇒ one concrete type ⇒ a homogeneous Vec.
     // The Vec is fully built before any JobRef is taken, so the jobs
     // never move while published.
     let jobs: Vec<StackJob<_, ()>> = (0..wanted).map(|_| StackJob::new(member, budget)).collect();
+    // SAFETY: `jobs` is pinned on this frame until `help_until` below has
+    // observed every job DONE, satisfying as_job_ref's liveness contract.
     pool.inject_many(jobs.iter().map(|job| unsafe { job.as_job_ref() }));
 
     // Give the published jobs a moment to be picked up, then freeze the
     // roster. Anything that registers later sees CLOSED and exits.
-    let deadline = Instant::now() + REGISTRATION_WAIT;
-    while shared.members_registered() < wanted && Instant::now() < deadline {
-        std::thread::yield_now();
+    #[cfg(not(slcs_model_check))]
+    {
+        let deadline = Instant::now() + REGISTRATION_WAIT;
+        while shared.members_registered() < wanted && Instant::now() < deadline {
+            crate::sync::yield_now();
+        }
+    }
+    #[cfg(slcs_model_check)]
+    {
+        // Wall-clock deadlines would make schedules nondeterministic
+        // under the model scheduler; a bounded yield loop keeps the
+        // roster race explorable without real time.
+        let mut tries = 0;
+        while shared.members_registered() < wanted && tries < 8 {
+            crate::sync::yield_now();
+            tries += 1;
+        }
     }
     let size = shared.close();
 
@@ -308,6 +340,30 @@ mod tests {
             assert_eq!(id, i);
             assert_eq!(s, size);
         }
+    }
+
+    #[test]
+    fn member_panic_never_leaves_peers_parked() {
+        // A member dies without ever reaching the barrier. The others
+        // arrive, exhaust their spin budget, and park on the condvar;
+        // poison() must wake every sleeper or the team (and this test)
+        // would hang forever. The sleep is what pushes the waiting
+        // peers past spinning and into the parked path.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            team_run(4, |view| {
+                if view.id == view.size - 1 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    panic!("member blew up");
+                }
+                while view.barrier() {}
+            });
+        }));
+        assert!(outcome.is_err(), "the member's panic must propagate out of team_run");
+        // Every peer exited through the poisoned barrier and the pool is
+        // still serviceable.
+        let ran = AtomicBool::new(false);
+        team_run(2, |_| ran.store(true, Ordering::Relaxed));
+        assert!(ran.load(Ordering::Relaxed));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Model-check harnesses for the pool's job-slot protocol and the team
+//! barrier, driven by the vendored shim-loom checker.
+//!
+//! This whole file only exists under `--cfg slcs_model_check` (set via
+//! RUSTFLAGS by `cargo xtask model-check`): that cfg swaps the crate's
+//! sync facade from std to the instrumented shim-loom primitives, so the
+//! code being explored here is the *real* `pool.rs` / `team.rs` — not a
+//! re-model of it.
+//!
+//! Knobs (all optional):
+//! * `SLCS_MODEL_PREEMPTIONS` — DFS preemption bound (default 2).
+//! * `SLCS_MODEL_SCHEDULES` — iterations per random sweep / DFS cap
+//!   (default 10 000, the acceptance floor).
+//! * `SLCS_MODEL_SEED` — base seed for the random sweeps.
+#![cfg(slcs_model_check)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rayon::model_check::{Pool, StackJob, TeamShared};
+use shim_loom::model::{Builder, Strategy};
+use shim_loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use shim_loom::thread;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn dfs(max_schedules: usize) -> Builder {
+    Builder {
+        max_preemptions: env_usize("SLCS_MODEL_PREEMPTIONS", 2),
+        max_schedules,
+        ..Builder::default()
+    }
+}
+
+fn random_sweep() -> Builder {
+    Builder {
+        strategy: Strategy::Random {
+            seed: env_usize("SLCS_MODEL_SEED", 0x5eed) as u64,
+            iterations: env_usize("SLCS_MODEL_SCHEDULES", 10_000),
+        },
+        ..Builder::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job-slot lifecycle: publish → steal → complete → reuse
+// ---------------------------------------------------------------------
+
+/// One full slot lifecycle on a fresh pool, raced against a thief.
+fn job_slot_lifecycle() {
+    let pool = Arc::new(Pool::new());
+    let job = Arc::new(StackJob::new(|| 40 + 2, 1));
+    // SAFETY: the Arcs keep the job alive (and pinned) well past DONE;
+    // the single ref is popped and executed at most once.
+    unsafe { pool.inject(job.as_job_ref()) };
+    let (pool2, job2) = (Arc::clone(&pool), Arc::clone(&job));
+    let thief = thread::spawn(move || {
+        if let Some(stolen) = pool2.try_pop() {
+            // SAFETY: `job2` keeps the published StackJob alive.
+            unsafe { stolen.execute() };
+        }
+        drop(job2);
+    });
+    // The publisher helps instead of blocking — whoever popped first
+    // runs the closure; the state machine admits exactly one claimant.
+    pool.help_until(|| job.is_done());
+    assert_eq!(job.unwrap_value(), 42);
+    thief.join().unwrap();
+
+    // Reuse: a fresh job through the same (now idle) pool.
+    let again = Arc::new(StackJob::new(|| 7, 1));
+    // SAFETY: as above — `again` outlives DONE on this frame.
+    unsafe { pool.inject(again.as_job_ref()) };
+    pool.help_until(|| again.is_done());
+    assert_eq!(again.unwrap_value(), 7);
+}
+
+#[test]
+fn job_slot_lifecycle_dfs() {
+    let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+    let report = dfs(cap).check(job_slot_lifecycle);
+    println!(
+        "job_slot_lifecycle_dfs: {} schedules, complete={}",
+        report.schedules, report.complete
+    );
+    assert!(report.complete || report.schedules >= cap);
+}
+
+#[test]
+fn job_slot_lifecycle_random_sweep() {
+    let report = random_sweep().check(job_slot_lifecycle);
+    println!("job_slot_lifecycle_random_sweep: {} schedules", report.schedules);
+}
+
+#[test]
+fn job_slot_admits_exactly_one_claimant() {
+    // Two refs to one job raced on two threads: the PENDING → RUNNING
+    // CAS must let exactly one run the closure, and the loser must not
+    // touch the result.
+    let report = dfs(env_usize("SLCS_MODEL_SCHEDULES", 10_000)).check(|| {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let job = Arc::new(StackJob::new(
+            move || {
+                hits2.fetch_add(1, Ordering::SeqCst);
+            },
+            1,
+        ));
+        // SAFETY: both refs point at a job the Arcs keep alive past DONE.
+        let (r1, r2) = unsafe { (job.as_job_ref(), job.as_job_ref()) };
+        let job2 = Arc::clone(&job);
+        let racer = thread::spawn(move || {
+            // SAFETY: `job2` keeps the StackJob alive.
+            unsafe { r1.execute() };
+            drop(job2);
+        });
+        // SAFETY: `job` keeps the StackJob alive.
+        unsafe { r2.execute() };
+        racer.join().unwrap();
+        assert!(job.is_done(), "the winning claimant drove the slot to DONE");
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "closure ran exactly once");
+        job.take_result().unwrap();
+    });
+    println!("job_slot_admits_exactly_one_claimant: {} schedules", report.schedules);
+}
+
+#[test]
+fn nested_join_helps_while_waiting() {
+    // The real `rayon::join` through the global pool, with a model
+    // "worker" helping concurrently: nested fork/join must complete on
+    // every explored schedule (no deadlock, no lost job), whoever ends
+    // up running each arm.
+    let report = Builder {
+        strategy: Strategy::Random {
+            seed: env_usize("SLCS_MODEL_SEED", 0x5eed) as u64 ^ 0x9042,
+            iterations: env_usize("SLCS_MODEL_SCHEDULES", 10_000).min(2_000),
+        },
+        ..Builder::default()
+    }
+    .check(|| {
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let helper = thread::spawn(move || {
+            rayon::model_check::Pool::global().help_until(|| done2.load(Ordering::Acquire));
+        });
+        let ((a, b), (c, d)) = rayon::join(|| rayon::join(|| 1, || 2), || rayon::join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+        done.store(true, Ordering::Release);
+        helper.join().unwrap();
+    });
+    println!("nested_join_helps_while_waiting: {} schedules", report.schedules);
+}
+
+// ---------------------------------------------------------------------
+// Team barrier: sense reversal, poisoning, registration race
+// ---------------------------------------------------------------------
+
+/// `members` threads (this one included) cross two barrier generations;
+/// the counter proves nobody passes a barrier before every phase-`k`
+/// increment landed.
+fn barrier_two_generations(members: usize) {
+    let shared = Arc::new(TeamShared::new());
+    let counter = Arc::new(AtomicUsize::new(0));
+    let phase = move |shared: &TeamShared, counter: &AtomicUsize| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        assert!(shared.barrier(members));
+        let seen = counter.load(Ordering::SeqCst);
+        assert!(
+            seen >= members,
+            "crossed the barrier before all {members} phase-1 arrivals (saw {seen})"
+        );
+        counter.fetch_add(1, Ordering::SeqCst);
+        assert!(shared.barrier(members));
+    };
+    let handles: Vec<_> = (1..members)
+        .map(|_| {
+            let (s, c) = (Arc::clone(&shared), Arc::clone(&counter));
+            thread::spawn(move || phase(&s, &c))
+        })
+        .collect();
+    phase(&shared, &counter);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2 * members, "both generations fully crossed");
+}
+
+#[test]
+fn barrier_sense_reversal_dfs() {
+    let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+    let report = dfs(cap).check(|| barrier_two_generations(2));
+    println!(
+        "barrier_sense_reversal_dfs: {} schedules, complete={}",
+        report.schedules, report.complete
+    );
+    assert!(report.complete || report.schedules >= cap);
+}
+
+#[test]
+fn barrier_sense_reversal_random_sweep() {
+    let report = random_sweep().check(|| barrier_two_generations(2));
+    println!("barrier_sense_reversal_random_sweep: {} schedules", report.schedules);
+}
+
+#[test]
+fn barrier_three_members_random() {
+    let report = Builder {
+        strategy: Strategy::Random {
+            seed: env_usize("SLCS_MODEL_SEED", 0x5eed) as u64 ^ 0x333,
+            iterations: env_usize("SLCS_MODEL_SCHEDULES", 10_000).min(2_000),
+        },
+        ..Builder::default()
+    }
+    .check(|| barrier_two_generations(3));
+    println!("barrier_three_members_random: {} schedules", report.schedules);
+}
+
+#[test]
+fn poison_releases_a_parked_barrier_waiter() {
+    // A member dies before ever arriving; the peer may already be parked
+    // inside barrier(2). Poison must wake it and the barrier must report
+    // failure — never completion, never a hang.
+    let report = dfs(env_usize("SLCS_MODEL_SCHEDULES", 10_000)).check(|| {
+        let shared = Arc::new(TeamShared::new());
+        let shared2 = Arc::clone(&shared);
+        let killer = thread::spawn(move || {
+            shared2.poison(Box::new("member down"));
+        });
+        let crossed = shared.barrier(2);
+        assert!(!crossed, "a poisoned 2-member barrier with one arrival must not complete");
+        killer.join().unwrap();
+    });
+    println!("poison_releases_a_parked_barrier_waiter: {} schedules", report.schedules);
+}
+
+#[test]
+fn team_run_poison_propagates_under_model() {
+    // Full team_run with a model worker racing registration: whichever
+    // roster forms (solo leader or leader + member), a member panic must
+    // surface as the leader's unwind and nothing may hang.
+    let report = Builder {
+        strategy: Strategy::Random {
+            seed: env_usize("SLCS_MODEL_SEED", 0x5eed) as u64 ^ 0x7071,
+            iterations: env_usize("SLCS_MODEL_SCHEDULES", 10_000).min(2_000),
+        },
+        ..Builder::default()
+    }
+    .check(|| {
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let helper = thread::spawn(move || {
+            rayon::model_check::Pool::global().help_until(|| done2.load(Ordering::Acquire));
+        });
+        let member_ran = Arc::new(AtomicBool::new(false));
+        let member_ran2 = Arc::clone(&member_ran);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            rayon::team_run(2, |view| {
+                if view.id != 0 {
+                    member_ran2.store(true, Ordering::SeqCst);
+                    panic!("member blew up");
+                }
+                let _ = view.barrier();
+            });
+        }));
+        assert_eq!(
+            outcome.is_err(),
+            member_ran.load(Ordering::SeqCst),
+            "team_run unwinds exactly when a member joined and panicked"
+        );
+        done.store(true, Ordering::Release);
+        helper.join().unwrap();
+    });
+    println!("team_run_poison_propagates_under_model: {} schedules", report.schedules);
+}

@@ -1,0 +1,175 @@
+//! The exploration drivers: exhaustive DFS, seeded random, and replay.
+
+use std::sync::Arc;
+
+use crate::sched::{run_execution, Branch};
+
+/// How to explore the schedule space.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Exhaustive depth-first search over all schedules within the
+    /// preemption bound. Complete (up to the bound) on small models.
+    Dfs,
+    /// `iterations` executions with uniformly random choices from a
+    /// seeded PRNG — reproducible, and effective on models too large to
+    /// exhaust.
+    Random { seed: u64, iterations: usize },
+}
+
+/// Exploration configuration. `Default` is DFS with preemption bound 2 —
+/// the bound the CI step uses.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Voluntary-switch points are always explored; this bounds how many
+    /// *involuntary* switches (preempting a runnable thread, or firing a
+    /// wait timeout early) one schedule may contain.
+    pub max_preemptions: usize,
+    /// Abort exploration after this many executions even if DFS has not
+    /// exhausted the space (CI time cap).
+    pub max_schedules: usize,
+    /// Per-execution schedule-point budget; exceeding it is reported as
+    /// a livelock.
+    pub max_steps: usize,
+    pub strategy: Strategy,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+            strategy: Strategy::Dfs,
+        }
+    }
+}
+
+/// Outcome of a completed (violation-free) exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions actually run.
+    pub schedules: usize,
+    /// DFS exhausted every schedule within the bounds (always `false`
+    /// for random exploration).
+    pub complete: bool,
+}
+
+fn fail(schedules: usize, message: &str, trace: &[Branch]) -> ! {
+    let choices: Vec<usize> = trace.iter().map(|b| b.chosen).collect();
+    let threads: Vec<usize> = trace.iter().map(|b| b.options[b.chosen]).collect();
+    panic!(
+        "model checker violation (execution #{schedules}): {message}\n\
+         replay choices: {choices:?}\n\
+         thread schedule: {threads:?}\n\
+         reproduce with shim_loom::model::replay(&{choices:?}, …)"
+    );
+}
+
+impl Builder {
+    /// Explores `f` under this configuration. Panics with a replayable
+    /// schedule on the first violation (deadlock, livelock, or a panic
+    /// inside `f`, e.g. a failed assertion); returns a [`Report`]
+    /// otherwise.
+    ///
+    /// `f` runs once per schedule and must be deterministic apart from
+    /// the interleaving: create all shared state inside the closure.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        match self.strategy {
+            Strategy::Random { seed, iterations } => {
+                let iterations = iterations.min(self.max_schedules);
+                for i in 0..iterations {
+                    // Distinct, deterministic stream per execution.
+                    let mixed = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+                    let out = run_execution(
+                        self.max_preemptions,
+                        self.max_steps,
+                        Vec::new(),
+                        Some(mixed),
+                        false,
+                        Arc::clone(&f),
+                    );
+                    if let Some(failure) = out.failure {
+                        fail(i + 1, &failure.message, &out.trace);
+                    }
+                }
+                Report { schedules: iterations, complete: false }
+            }
+            Strategy::Dfs => {
+                let mut replay: Vec<usize> = Vec::new();
+                let mut schedules = 0usize;
+                loop {
+                    let out = run_execution(
+                        self.max_preemptions,
+                        self.max_steps,
+                        replay.clone(),
+                        None,
+                        false,
+                        Arc::clone(&f),
+                    );
+                    schedules += 1;
+                    if let Some(failure) = out.failure {
+                        fail(schedules, &failure.message, &out.trace);
+                    }
+                    if schedules >= self.max_schedules {
+                        return Report { schedules, complete: false };
+                    }
+                    // Backtrack to the deepest branch with an untried
+                    // option; exploration is complete when none remains.
+                    let mut trace = out.trace;
+                    let next = loop {
+                        match trace.pop() {
+                            None => break None,
+                            Some(b) if b.chosen + 1 < b.options.len() => break Some(b.chosen + 1),
+                            Some(_) => {}
+                        }
+                    };
+                    match next {
+                        None => return Report { schedules, complete: true },
+                        Some(bump) => {
+                            replay = trace.iter().map(|b| b.chosen).collect();
+                            replay.push(bump);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive DFS with the default bounds ([`Builder::default`]).
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// Runs exactly one execution, forcing the choice indices a violation
+/// report printed; choices beyond the slice fall back to "first option",
+/// and choices wider than a point's actual option list clamp to its last
+/// option (so hand-written vectors are usable, not just recorded ones).
+/// Panics if the forced schedule still violates — which is the point:
+/// a fixed bug's pinned schedule must pass forever after.
+pub fn replay<F>(choices: &[usize], f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let builder = Builder::default();
+    let out = run_execution(
+        // Replay must not re-truncate options below what the recorded
+        // trace saw, so give it slack over the default bound.
+        usize::MAX,
+        builder.max_steps,
+        choices.to_vec(),
+        None,
+        true,
+        Arc::new(f),
+    );
+    if let Some(failure) = out.failure {
+        fail(1, &failure.message, &out.trace);
+    }
+}

@@ -1,0 +1,553 @@
+//! The execution scheduler behind the instrumented primitives.
+//!
+//! A model *execution* runs the checked closure on real OS threads, but
+//! serializes them: exactly one model thread holds the token at a time,
+//! and every instrumented operation is a *schedule point* where the
+//! token may move. Which thread runs next is the only source of
+//! nondeterminism, so an execution is fully described by its sequence of
+//! choices — which is what makes exhaustive DFS, seeded random
+//! exploration and exact replay possible.
+//!
+//! The memory model is sequential consistency: operations are atomic and
+//! totally ordered by the schedule. Weak-ordering bugs are out of scope
+//! (the `cargo xtask lint` ordering audit covers those sites); lost
+//! wakeups, deadlocks, double-execution and protocol races are all
+//! visible under SC interleavings.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Unwind payload used to tear model threads down once an execution has
+/// failed; recognized (and swallowed) by the thread wrappers.
+pub(crate) struct ModelAbort;
+
+/// Why a thread cannot run right now.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    /// Ready to run (or currently running).
+    Runnable,
+    /// Waiting to acquire the mutex at this address.
+    Lock {
+        mutex: usize,
+    },
+    /// Parked on a condvar; `timed` waits may time out, so they stay
+    /// schedulable (scheduling one = its timeout fires).
+    CvWait {
+        cv: usize,
+        mutex: usize,
+        timed: bool,
+    },
+    /// Waiting for another model thread to finish.
+    Join {
+        target: usize,
+    },
+    Finished,
+}
+
+/// Why the current thread reached a schedule point.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Reason {
+    /// About to perform an atomic / lock / notify operation.
+    Op,
+    /// `thread::yield_now` / `hint::spin_loop`: "I cannot make progress
+    /// alone" — the yielder is deprioritized so spin loops terminate
+    /// under DFS instead of exploring unbounded self-schedules.
+    Yield,
+}
+
+struct ThreadInfo {
+    state: State,
+    /// Set when a condvar wait was ended by a notify (vs a timeout).
+    notified: bool,
+}
+
+/// One recorded decision: `options[chosen]` ran next.
+#[derive(Clone)]
+pub(crate) struct Branch {
+    /// Schedulable threads in DFS preference order, already truncated to
+    /// the preemption budget.
+    pub(crate) options: Vec<usize>,
+    pub(crate) chosen: usize,
+}
+
+struct Inner {
+    threads: Vec<ThreadInfo>,
+    active: usize,
+    /// Mutex address → holder (model-level lock state).
+    locks: HashMap<usize, usize>,
+    trace: Vec<Branch>,
+    /// Choice indices forced for the trace prefix (DFS backtracking and
+    /// `model::replay`).
+    replay: Vec<usize>,
+    preemptions: usize,
+    steps: usize,
+    /// Seeded xorshift state for random exploration; `None` = DFS-first.
+    rng: Option<u64>,
+    failure: Option<Failure>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    done: bool,
+}
+
+pub(crate) struct Failure {
+    pub(crate) message: String,
+}
+
+pub(crate) struct ExecOutcome {
+    pub(crate) trace: Vec<Branch>,
+    pub(crate) failure: Option<Failure>,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    turn: Condvar,
+    max_preemptions: usize,
+    max_steps: usize,
+    /// Clamp out-of-range forced choices instead of failing. True only
+    /// for `model::replay`, whose vectors are often hand-written; DFS
+    /// backtracking stays strict so a nondeterministic closure (whose
+    /// recorded indices stop matching) is reported, not masked.
+    lenient_replay: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and model-thread id of the calling thread, if it is
+/// part of an active execution. `None` means "behave exactly like std".
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn install(sched: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = sched);
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Formats a panic payload for violation reports.
+fn payload_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Scheduler {
+    fn new(
+        max_preemptions: usize,
+        max_steps: usize,
+        replay: Vec<usize>,
+        rng_seed: Option<u64>,
+        lenient_replay: bool,
+    ) -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                active: 0,
+                locks: HashMap::new(),
+                trace: Vec::new(),
+                replay,
+                preemptions: 0,
+                steps: 0,
+                rng: rng_seed,
+                failure: None,
+                handles: Vec::new(),
+                done: false,
+            }),
+            turn: Condvar::new(),
+            max_preemptions,
+            max_steps,
+            lenient_replay,
+        }
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            // A model thread can panic (that is how violations surface);
+            // the scheduler state itself is only mutated under short
+            // non-panicking sections, so the data is intact.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn schedulable(inner: &Inner, tid: usize) -> bool {
+        match inner.threads[tid].state {
+            State::Runnable => true,
+            State::Lock { mutex } => !inner.locks.contains_key(&mutex),
+            State::CvWait { timed, .. } => timed,
+            State::Join { target } => inner.threads[target].state == State::Finished,
+            State::Finished => false,
+        }
+    }
+
+    fn fail(&self, inner: &mut Inner, message: String) {
+        if inner.failure.is_none() {
+            inner.failure = Some(Failure { message });
+        }
+        self.turn.notify_all();
+    }
+
+    /// Chooses the next thread and hands it the token. The caller's
+    /// `state` must already say whether it can continue. Does not block.
+    fn pick_next(&self, inner: &mut Inner, me: usize, reason: Reason) {
+        if inner.failure.is_some() {
+            return;
+        }
+        inner.steps += 1;
+        if inner.steps > self.max_steps {
+            self.fail(
+                inner,
+                format!("step limit ({}) exceeded — livelock or unbounded spin", self.max_steps),
+            );
+            return;
+        }
+
+        let me_runnable = inner.threads[me].state == State::Runnable;
+        let me_continues = me_runnable && reason == Reason::Op;
+        let me_yields = me_runnable && reason == Reason::Yield;
+
+        // Preference order: continue `me` (free), runnable peers, the
+        // yielder itself, then timed condvar waiters (scheduling one
+        // fires its timeout — a rare event, charged like a preemption).
+        let mut options: Vec<usize> = Vec::new();
+        if me_continues {
+            options.push(me);
+        }
+        let mut timed: Vec<usize> = Vec::new();
+        for tid in 0..inner.threads.len() {
+            if tid == me || !Self::schedulable(inner, tid) {
+                continue;
+            }
+            if matches!(inner.threads[tid].state, State::CvWait { timed: true, .. }) {
+                timed.push(tid);
+            } else {
+                options.push(tid);
+            }
+        }
+        let peers = options.len() - usize::from(me_continues);
+        if me_yields {
+            options.push(me);
+        }
+        if !me_runnable && matches!(inner.threads[me].state, State::CvWait { timed: true, .. }) {
+            timed.push(me);
+        }
+        // Options at index >= free_limit cost a preemption: switching
+        // away from a runnable `me`, firing a timeout while plain
+        // progress was possible — or re-running a *yielder* while a peer
+        // is runnable. The last one is what bounds spin loops: a
+        // `yield_now`/`spin_loop` caller declared it cannot progress
+        // alone, so every consecutive self-continue it is granted anyway
+        // is a stutter step charged to the budget, and once the budget
+        // is spent the spinner is forced to let its peers run.
+        let free_limit = if me_continues {
+            1
+        } else if me_yields && peers > 0 {
+            options.len() - 1
+        } else {
+            options.len()
+        };
+        options.extend(timed);
+
+        if options.is_empty() {
+            let waiting: Vec<String> = inner
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state != State::Finished)
+                .map(|(i, t)| format!("t{i}={:?}", t.state))
+                .collect();
+            self.fail(inner, format!("deadlock: no schedulable thread [{}]", waiting.join(", ")));
+            return;
+        }
+
+        let over_budget = inner.preemptions >= self.max_preemptions;
+        if over_budget {
+            options.truncate(free_limit.max(1));
+        }
+
+        let cursor = inner.trace.len();
+        let chosen = if cursor < inner.replay.len() {
+            let idx = inner.replay[cursor];
+            if idx >= options.len() {
+                if !self.lenient_replay {
+                    self.fail(
+                        inner,
+                        format!(
+                            "nondeterministic model: replay step {cursor} wants option {idx} of \
+                             {} — the checked closure must behave identically for identical \
+                             schedules",
+                            options.len()
+                        ),
+                    );
+                    return;
+                }
+                options.len() - 1
+            } else {
+                idx
+            }
+        } else if let Some(rng) = inner.rng.as_mut() {
+            (xorshift(rng) % options.len() as u64) as usize
+        } else {
+            0
+        };
+
+        if chosen >= free_limit {
+            inner.preemptions += 1;
+        }
+        let next = options[chosen];
+        inner.trace.push(Branch { options, chosen });
+        // Scheduling a timed waiter = its timeout fired: it proceeds to
+        // reacquire the mutex, not to run user code directly.
+        if let State::CvWait { mutex, timed: true, .. } = inner.threads[next].state {
+            inner.threads[next].state = State::Lock { mutex };
+        }
+        inner.active = next;
+        self.turn.notify_all();
+    }
+
+    /// Blocks the calling thread until it holds the token; unwinds with
+    /// [`ModelAbort`] if the execution failed meanwhile.
+    fn wait_for_token<'a>(
+        &self,
+        mut inner: MutexGuard<'a, Inner>,
+        me: usize,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            if inner.failure.is_some() {
+                drop(inner);
+                std::panic::panic_any(ModelAbort);
+            }
+            if inner.active == me {
+                return inner;
+            }
+            inner = match self.turn.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    // ---- operations called by the instrumented primitives ------------
+
+    /// One schedule point: possibly hand the token elsewhere, then wait
+    /// for it to come back.
+    pub(crate) fn schedule_point(&self, me: usize, reason: Reason) {
+        let mut inner = self.lock_inner();
+        if inner.failure.is_some() {
+            drop(inner);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.pick_next(&mut inner, me, reason);
+        let _inner = self.wait_for_token(inner, me);
+    }
+
+    /// Acquires the model-level mutex at `addr`, blocking through the
+    /// scheduler if held. The caller must have passed a schedule point.
+    pub(crate) fn acquire(&self, me: usize, addr: usize) {
+        let mut inner = self.lock_inner();
+        loop {
+            if inner.failure.is_some() {
+                drop(inner);
+                std::panic::panic_any(ModelAbort);
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = inner.locks.entry(addr) {
+                e.insert(me);
+                inner.threads[me].state = State::Runnable;
+                return;
+            }
+            inner.threads[me].state = State::Lock { mutex: addr };
+            self.pick_next(&mut inner, me, Reason::Op);
+            inner = self.wait_for_token(inner, me);
+        }
+    }
+
+    /// Releases the model-level mutex. Deliberately *not* a schedule
+    /// point and never panics: it runs from guard `Drop`, possibly
+    /// during an abort unwind.
+    pub(crate) fn release(&self, _me: usize, addr: usize) {
+        let mut inner = self.lock_inner();
+        inner.locks.remove(&addr);
+    }
+
+    /// Parks on the condvar at `cv`, releasing `mutex`; returns `true`
+    /// if the wait ended by a notify (vs a timeout). Reacquires `mutex`
+    /// before returning.
+    pub(crate) fn cv_wait(&self, me: usize, cv: usize, mutex: usize, timed: bool) -> bool {
+        let mut inner = self.lock_inner();
+        if inner.failure.is_some() {
+            drop(inner);
+            std::panic::panic_any(ModelAbort);
+        }
+        inner.locks.remove(&mutex);
+        inner.threads[me].notified = false;
+        inner.threads[me].state = State::CvWait { cv, mutex, timed };
+        self.pick_next(&mut inner, me, Reason::Op);
+        inner = self.wait_for_token(inner, me);
+        let notified = inner.threads[me].notified;
+        drop(inner);
+        // Woken (notified, or timeout fired): reacquire the mutex.
+        self.acquire(me, mutex);
+        notified
+    }
+
+    /// Wakes waiter(s) of the condvar at `cv`; they move on to
+    /// reacquiring their mutex. FIFO order is approximated by thread id.
+    pub(crate) fn notify(&self, _me: usize, cv: usize, all: bool) {
+        let mut inner = self.lock_inner();
+        for tid in 0..inner.threads.len() {
+            if let State::CvWait { cv: c, mutex, .. } = inner.threads[tid].state {
+                if c == cv {
+                    inner.threads[tid].state = State::Lock { mutex };
+                    inner.threads[tid].notified = true;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers a new model thread (Runnable); returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = self.lock_inner();
+        inner.threads.push(ThreadInfo { state: State::Runnable, notified: false });
+        inner.threads.len() - 1
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock_inner().handles.push(h);
+    }
+
+    /// Blocks until `target` finishes.
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        let mut inner = self.lock_inner();
+        loop {
+            if inner.failure.is_some() {
+                drop(inner);
+                std::panic::panic_any(ModelAbort);
+            }
+            if inner.threads[target].state == State::Finished {
+                return;
+            }
+            inner.threads[me].state = State::Join { target };
+            self.pick_next(&mut inner, me, Reason::Op);
+            inner = self.wait_for_token(inner, me);
+            inner.threads[me].state = State::Runnable;
+        }
+    }
+
+    /// Marks `me` finished and passes the token on (or completes the
+    /// execution). `panic_message` carries a non-abort user panic.
+    pub(crate) fn finish(&self, me: usize, panic_message: Option<String>) {
+        let mut inner = self.lock_inner();
+        inner.threads[me].state = State::Finished;
+        if let Some(msg) = panic_message {
+            self.fail(&mut inner, format!("model thread {me} panicked: {msg}"));
+        }
+        if inner.threads.iter().all(|t| t.state == State::Finished) {
+            inner.done = true;
+            self.turn.notify_all();
+            return;
+        }
+        if inner.failure.is_some() {
+            self.turn.notify_all();
+            return;
+        }
+        self.pick_next(&mut inner, me, Reason::Op);
+    }
+}
+
+/// Shared slot the spawned model thread deposits its outcome into.
+pub(crate) type ResultSlot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+/// Spawns a model thread running `f`, registered with the scheduler of
+/// the calling model thread. Used by `thread::spawn` and the driver.
+pub(crate) fn spawn_model_thread<T, F>(
+    sched: &Arc<Scheduler>,
+    f: F,
+) -> (usize, ResultSlot<T>, std::thread::JoinHandle<()>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = sched.register_thread();
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let sched2 = Arc::clone(sched);
+    let handle = std::thread::Builder::new()
+        .name(format!("shim-loom-{tid}"))
+        .spawn(move || {
+            install(Some((Arc::clone(&sched2), tid)));
+            // Wait for the first token grant before touching user code.
+            {
+                let inner = sched2.lock_inner();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    drop(sched2.wait_for_token(inner, tid));
+                }));
+                if outcome.is_err() {
+                    // Aborted before ever running.
+                    sched2.finish(tid, None);
+                    install(None);
+                    return;
+                }
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let panic_message = match &outcome {
+                Ok(_) => None,
+                Err(p) if p.is::<ModelAbort>() => None,
+                Err(p) => Some(payload_text(p.as_ref())),
+            };
+            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            sched2.finish(tid, panic_message);
+            install(None);
+        })
+        // PANIC: failing to spawn a model thread aborts the checker run; nothing to recover.
+        .expect("cannot spawn model thread");
+    (tid, slot, handle)
+}
+
+/// Runs one execution of `f` under a fresh scheduler and returns the
+/// explored trace plus any violation.
+pub(crate) fn run_execution(
+    max_preemptions: usize,
+    max_steps: usize,
+    replay: Vec<usize>,
+    rng_seed: Option<u64>,
+    lenient_replay: bool,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> ExecOutcome {
+    let sched =
+        Arc::new(Scheduler::new(max_preemptions, max_steps, replay, rng_seed, lenient_replay));
+    let (_tid, _slot, root) = spawn_model_thread(&sched, move || f());
+    // Wait for every model thread (root + anything it spawned) to
+    // finish; on failure the wait loops unwind the stragglers.
+    let handles = {
+        let mut inner = sched.lock_inner();
+        while !inner.done {
+            inner = match sched.turn.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        std::mem::take(&mut inner.handles)
+    };
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut inner = sched.lock_inner();
+    ExecOutcome { trace: std::mem::take(&mut inner.trace), failure: inner.failure.take() }
+}

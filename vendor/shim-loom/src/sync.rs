@@ -1,0 +1,345 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Outside a model execution every type behaves exactly like its std
+//! counterpart (the instrumentation checks a thread-local and finds no
+//! scheduler). Inside `model::check`, every operation is a schedule
+//! point, so the checker can explore interleavings around it.
+
+use crate::sched::{self, Reason};
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched::{self, Reason};
+
+    /// One schedule point, if the calling thread is under a scheduler.
+    fn point() {
+        if let Some((sched, me)) = sched::current() {
+            sched.schedule_point(me, Reason::Op);
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Instrumented atomic integer; orderings are accepted for
+            /// API compatibility but the model executes sequentially
+            /// consistently (see crate docs).
+            #[derive(Default, Debug)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self { inner: <$std>::new(v) }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    point();
+                    self.inner.store(val, order)
+                }
+
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.swap(val, order)
+                }
+
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_add(val, order)
+                }
+
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_sub(val, order)
+                }
+
+                pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_or(val, order)
+                }
+
+                pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_and(val, order)
+                }
+
+                pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_max(val, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    point();
+                    // The model never fails spuriously: weak-CAS retry
+                    // loops converge faster without losing interleavings
+                    // (a genuine contention failure is still explored).
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$prim, $prim>
+                where
+                    F: FnMut($prim) -> Option<$prim>,
+                {
+                    point();
+                    self.inner.fetch_update(set_order, fetch_order, f)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    atomic_int!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+
+    /// Instrumented atomic boolean.
+    #[derive(Default, Debug)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            point();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            point();
+            self.inner.store(val, order)
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            point();
+            self.inner.swap(val, order)
+        }
+    }
+}
+
+/// Instrumented mutex. The inner `std::sync::Mutex` provides storage and
+/// real exclusion for the non-model path; under a scheduler, exclusion
+/// is enforced at the model level (threads are serialized, and a model
+/// acquire blocks through the scheduler), so the inner lock is always
+/// uncontended when actually taken.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    mx: &'a Mutex<T>,
+    /// `Some` for the guard's whole life; `Option` so `Condvar::wait`
+    /// can release the std guard while keeping the model bookkeeping.
+    std_guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+pub type LockResult<G> = std::sync::LockResult<G>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, me)) = sched::current() {
+            sched.schedule_point(me, Reason::Op);
+            sched.acquire(me, self.addr());
+            // Serialized execution: never contended, never poisoned by a
+            // model thread mid-section (panics unwind through Drop which
+            // releases the model lock first).
+            let std_guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return Ok(MutexGuard { mx: self, std_guard: Some(std_guard) });
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard { mx: self, std_guard: Some(g) }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                mx: self,
+                std_guard: Some(poisoned.into_inner()),
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // PANIC: a live guard always holds the std guard; wait() takes it but also forgets the guard.
+        self.std_guard.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // PANIC: a live guard always holds the std guard; wait() takes it but also forgets the guard.
+        self.std_guard.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the std guard before the model release so no thread that
+        // is granted the model lock can find the std lock held.
+        self.std_guard = None;
+        if let Some((sched, me)) = sched::current() {
+            sched.release(me, self.mx.addr());
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]; mirrors std's shape (which has
+/// no public constructor, hence this local type).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Instrumented condition variable. In the model, a plain `wait` parks
+/// until a notify (lost wakeups become deadlocks the checker reports),
+/// and `wait_timeout` additionally lets the scheduler fire the timeout
+/// at any point — which doubles as the model of spurious wakeups.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some((sched, me)) = sched::current() {
+            let mx = guard.mx;
+            guard.std_guard = None; // release the std lock while parked
+            let _notified = sched.cv_wait(me, self.addr(), mx.addr(), false);
+            std::mem::forget(guard); // model lock already re-held by cv_wait
+            let std_guard = match mx.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return Ok(MutexGuard { mx, std_guard: Some(std_guard) });
+        }
+        let mx = guard.mx;
+        // PANIC: a live guard always holds the std guard; this take is paired with mem::forget.
+        let std_guard = guard.std_guard.take().expect("guard accessed after release");
+        std::mem::forget(guard);
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard { mx, std_guard: Some(g) }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                mx,
+                std_guard: Some(poisoned.into_inner()),
+            })),
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if let Some((sched, me)) = sched::current() {
+            let mx = guard.mx;
+            guard.std_guard = None;
+            let notified = sched.cv_wait(me, self.addr(), mx.addr(), true);
+            std::mem::forget(guard);
+            let std_guard = match mx.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return Ok((
+                MutexGuard { mx, std_guard: Some(std_guard) },
+                WaitTimeoutResult { timed_out: !notified },
+            ));
+        }
+        let mx = guard.mx;
+        // PANIC: a live guard always holds the std guard; this take is paired with mem::forget.
+        let std_guard = guard.std_guard.take().expect("guard accessed after release");
+        std::mem::forget(guard);
+        match self.inner.wait_timeout(std_guard, dur) {
+            Ok((g, t)) => Ok((
+                MutexGuard { mx, std_guard: Some(g) },
+                WaitTimeoutResult { timed_out: t.timed_out() },
+            )),
+            Err(poisoned) => {
+                let (g, t) = poisoned.into_inner();
+                Err(std::sync::PoisonError::new((
+                    MutexGuard { mx, std_guard: Some(g) },
+                    WaitTimeoutResult { timed_out: t.timed_out() },
+                )))
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((sched, me)) = sched::current() {
+            sched.schedule_point(me, Reason::Op);
+            sched.notify(me, self.addr(), false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((sched, me)) = sched::current() {
+            sched.schedule_point(me, Reason::Op);
+            sched.notify(me, self.addr(), true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}

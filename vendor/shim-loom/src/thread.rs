@@ -1,0 +1,95 @@
+//! Instrumented `std::thread` subset: `spawn`, `Builder`, `yield_now`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, Reason};
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    imp: HandleImp<T>,
+}
+
+enum HandleImp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<crate::sched::Scheduler>,
+        me: usize,
+        tid: usize,
+        slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` is
+    /// the thread's panic payload, as with std).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            HandleImp::Std(h) => h.join(),
+            HandleImp::Model { sched, me, tid, slot } => {
+                sched.join(me, tid);
+                let taken = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                // PANIC: finish() runs after the outcome is stored, and join() waits for finish().
+                taken.expect("model thread finished without storing a result")
+            }
+        }
+    }
+}
+
+/// Mirrors `std::thread::Builder` (the name is kept for diagnostics in
+/// the std path and ignored in the model path).
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((sched, me)) = sched::current() {
+            let (tid, slot, handle) = sched::spawn_model_thread(&sched, f);
+            sched.add_handle(handle);
+            // The new thread is schedulable from here on; branch so the
+            // checker can run it immediately or keep going here.
+            sched.schedule_point(me, Reason::Op);
+            return Ok(JoinHandle { imp: HandleImp::Model { sched, me, tid, slot } });
+        }
+        let mut b = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            b = b.name(name);
+        }
+        b.spawn(f).map(|h| JoinHandle { imp: HandleImp::Std(h) })
+    }
+}
+
+/// Spawns a thread; in a model execution it becomes a model thread under
+/// the same scheduler.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    // PANIC: mirrors std::thread::spawn, which also aborts on OS thread exhaustion.
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Schedule point that deprioritizes the caller ("I cannot progress
+/// alone"); plain `std::thread::yield_now` outside a model.
+pub fn yield_now() {
+    if let Some((sched, me)) = sched::current() {
+        sched.schedule_point(me, Reason::Yield);
+        return;
+    }
+    std::thread::yield_now();
+}
