@@ -10,7 +10,11 @@
 //! * `cluster FILE...` — LCS-distance clustering of FASTA records;
 //! * `braid A B` — draw the reduced sticky braid of a small comparison;
 //! * `serve` — run the comparison engine behind a TCP line protocol;
-//! * `bench-engine` — offline throughput run against the engine.
+//! * `bench-engine` — offline throughput run against the engine;
+//! * `trace` — run any other subcommand with tracing on and export the
+//!   recorded timeline (Chrome-tracing JSON or a plain-text tree);
+//! * `bench-obs` — measure the observability tax: the same wavefront
+//!   sweep with instrumentation compiled out, disabled, and enabled.
 //!
 //! Global flags (before the subcommand): `--version`, `--threads N`
 //! (sizes the global rayon pool used by the parallel algorithms).
@@ -159,8 +163,10 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "cluster" => cmd_cluster(rest),
         "braid" => cmd_braid(rest),
         "serve" => cmd_serve(rest),
+        "trace" => cmd_trace(rest),
         "bench-engine" => cmd_bench_engine(rest),
         "bench-baseline" => cmd_bench_baseline(rest),
+        "bench-obs" => cmd_bench_obs(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "version" | "--version" | "-V" => Ok(format!("{}\n", version_string())),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
@@ -179,15 +185,27 @@ usage:
   slcs cluster FILE.fasta... [--cut H]
   slcs braid A B                    ASCII sticky braid (small inputs)
   slcs serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                                    engine behind a TCP line protocol
+             [--no-trace]         engine behind a TCP line protocol
+                                    (--no-trace disables the TRACE command)
+  slcs trace [--out FILE] [--format chrome|text] COMMAND ...
+                                    run COMMAND with tracing on and export
+                                    the timeline (chrome://tracing JSON
+                                    with --out/--format chrome, plain-text
+                                    span tree otherwise)
   slcs bench-engine [--requests N] [--pairs N] [--len N] [--sigma S]
-                                    offline engine throughput run
+                    [--trace FILE]  offline engine throughput run
   slcs bench-baseline [--quick] [--sizes N,N] [--threads N,N] [--grain N]
-                      [--runs N] [--out FILE]
+                      [--runs N] [--out FILE] [--trace FILE]
                                     anti-diagonal scheduling benchmark
                                     (seq / spawn / pool / team → ns/cell,
                                     JSON written to FILE, default
-                                    BENCH_pool.json)
+                                    BENCH_pool.json; --trace adds one
+                                    traced pass and writes its timeline)
+  slcs bench-obs [--quick] [--size N] [--threads N] [--grain N] [--runs N]
+                 [--out FILE]       observability overhead benchmark
+                                    (instrumentation compiled out vs
+                                    disabled vs enabled; JSON to FILE,
+                                    default BENCH_obs.json)
 
 operands: literal strings, or @file (raw bytes, or FASTA if it starts with '>')";
 
@@ -363,7 +381,11 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     let addr = opts.value("addr").unwrap_or("127.0.0.1:7171").to_string();
     let engine = std::sync::Arc::new(engine_from_opts(&opts)?);
     let config = engine.config().clone();
-    let handle = slcs_engine::serve(&addr[..], engine, slcs_engine::ServerConfig::default())
+    let server_config = slcs_engine::ServerConfig {
+        allow_trace: !opts.has("no-trace"),
+        ..slcs_engine::ServerConfig::default()
+    };
+    let handle = slcs_engine::serve(&addr[..], engine, server_config)
         .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
     println!(
         "slcs engine listening on {} ({} workers, queue {}, cache {})",
@@ -382,11 +404,84 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Writes a drained timeline in the requested format; returns a short
+/// status line for the report.
+fn write_timeline(
+    timeline: &slcs_trace::Timeline,
+    path: &str,
+    chrome: bool,
+) -> Result<String, CliError> {
+    let rendered = if chrome { timeline.to_chrome_json() } else { timeline.to_text_tree() };
+    std::fs::write(path, rendered + "\n").map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    Ok(format!(
+        "[trace written {path}: {} events, {} dropped]\n",
+        timeline.events.len(),
+        timeline.dropped
+    ))
+}
+
+/// `slcs trace [--out FILE] [--format chrome|text] COMMAND ...` — runs
+/// the inner subcommand with tracing enabled and exports the timeline.
+/// Without `--out` the rendering is appended to the command's own
+/// output; the format defaults to `chrome` when writing a file and
+/// `text` otherwise.
+fn cmd_trace(rest: &[String]) -> Result<String, CliError> {
+    const TRACE_USAGE: &str = "usage: slcs trace [--out FILE] [--format chrome|text] COMMAND ...";
+    let mut out_path: Option<String> = None;
+    let mut format: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                out_path =
+                    Some(rest.get(i + 1).ok_or_else(|| err("--out requires a value"))?.clone());
+                i += 2;
+            }
+            "--format" => {
+                format =
+                    Some(rest.get(i + 1).ok_or_else(|| err("--format requires a value"))?.clone());
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    let Some(cmd) = rest.get(i) else {
+        return Err(err(TRACE_USAGE));
+    };
+    if cmd == "trace" {
+        return Err(err("trace cannot wrap itself"));
+    }
+    let chrome = match format.as_deref() {
+        Some("chrome") => true,
+        Some("text") => false,
+        Some(other) => return Err(err(format!("unknown trace format '{other}'\n{TRACE_USAGE}"))),
+        None => out_path.is_some(),
+    };
+    slcs_trace::enable_fresh();
+    let result = dispatch(cmd, &rest[i + 1..]);
+    slcs_trace::set_enabled(false);
+    let mut out = result?;
+    let timeline = slcs_trace::drain();
+    match out_path {
+        Some(path) => out.push_str(&write_timeline(&timeline, &path, chrome)?),
+        None => {
+            out.push_str("--- trace ---\n");
+            out.push_str(&if chrome { timeline.to_chrome_json() } else { timeline.to_text_tree() });
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_bench_engine(rest: &[String]) -> Result<String, CliError> {
     let opts = Options::parse(
         rest,
-        &["requests", "pairs", "len", "sigma", "window", "workers", "queue", "cache", "seed"],
+        &[
+            "requests", "pairs", "len", "sigma", "window", "workers", "queue", "cache", "seed",
+            "trace",
+        ],
     )?;
+    let trace_path = opts.value("trace").map(str::to_string);
     let requests: usize = opts.value_parsed("requests")?.unwrap_or(200);
     let pairs: usize = opts.value_parsed("pairs")?.unwrap_or(8).max(1);
     let len: usize = opts.value_parsed("len")?.unwrap_or(256).max(1);
@@ -407,6 +502,9 @@ fn cmd_bench_engine(rest: &[String]) -> Result<String, CliError> {
         })
         .collect();
 
+    if trace_path.is_some() {
+        slcs_trace::enable_fresh();
+    }
     let started = std::time::Instant::now();
     let mut tickets = Vec::with_capacity(requests);
     let mut retries = 0u64;
@@ -443,6 +541,10 @@ fn cmd_bench_engine(rest: &[String]) -> Result<String, CliError> {
          in {elapsed:.2?} — {rate:.0} req/s, {retries} backpressure retries\n"
     );
     writeln!(out, "{stats}").unwrap(); // PANIC: fmt to String is infallible
+    if let Some(path) = trace_path {
+        slcs_trace::set_enabled(false);
+        out.push_str(&write_timeline(&slcs_trace::drain(), &path, true)?);
+    }
     Ok(out)
 }
 
@@ -473,7 +575,8 @@ fn median_time<R>(runs: usize, mut f: impl FnMut() -> R) -> std::time::Duration 
 fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
     use slcs_semilocal::Scheduling;
 
-    let opts = Options::parse(rest, &["sizes", "threads", "grain", "runs", "out", "seed"])?;
+    let opts =
+        Options::parse(rest, &["sizes", "threads", "grain", "runs", "out", "seed", "trace"])?;
     let quick = opts.has("quick");
     let sizes = list_flag(&opts, "sizes", if quick { &[1024] } else { &[4096, 16384] })?;
     let threads = list_flag(&opts, "threads", if quick { &[1, 2] } else { &[1, 2, 4, 8] })?;
@@ -550,6 +653,126 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
     }
     writeln!(json, "  ]").unwrap(); // PANIC: fmt to String is infallible
     json.push_str("}\n");
+    std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
+
+    if let Some(trace_path) = opts.value("trace") {
+        // One extra traced pass, separate from the timed runs above so
+        // tracing cannot skew the reported numbers: a team-scheduled
+        // sweep (wavefront.diag + pool.job + team.* spans) plus a short
+        // engine phase (engine.request spans), all in one timeline.
+        let n = sizes.iter().copied().max().unwrap_or(1024);
+        let t = threads.iter().copied().max().unwrap_or(2);
+        let mut rng = slcs_datagen::seeded_rng(seed);
+        let a = slcs_datagen::uniform_string(&mut rng, n, 4);
+        let b = slcs_datagen::uniform_string(&mut rng, n, 4);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .map_err(|e| err(e.to_string()))?;
+        // Clamp the grain so the sweep actually forms a team (a grain
+        // at or above n/t would fall back to the sequential path and
+        // record no wavefront spans).
+        let trace_grain = grain.min((n / t.max(1)).max(1));
+        slcs_trace::enable_fresh();
+        pool.install(|| {
+            std::hint::black_box(slcs_semilocal::par_antidiag_combing_branchless_grain(
+                &a,
+                &b,
+                trace_grain,
+            ))
+        });
+        let engine = slcs_engine::Engine::with_defaults();
+        for op in
+            [slcs_engine::Operation::Lcs, slcs_engine::Operation::Windows { w: 64.min(b.len()) }]
+        {
+            let req = slcs_engine::CompareRequest::new(&a[..256.min(a.len())], &b[..], op);
+            engine.submit_wait(req).map_err(|e| err(e.to_string()))?;
+        }
+        drop(engine);
+        slcs_trace::set_enabled(false);
+        report.push_str(&write_timeline(&slcs_trace::drain(), trace_path, true)?);
+    }
+    Ok(report)
+}
+
+/// `slcs bench-obs` — the observability tax, measured three ways on the
+/// same team-scheduled wavefront sweep:
+///
+/// * `untraced` — instrumentation compiled out (`TRACED = false`);
+/// * `disabled` — instrumented build, tracing off (the production
+///   default: each span site costs one relaxed load and branch);
+/// * `enabled`  — tracing on, events recorded into the ring buffers.
+///
+/// `overhead_disabled_percent` in the JSON report is the headline
+/// number: what merely *linking* the instrumentation costs.
+fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["size", "threads", "grain", "runs", "out", "seed"])?;
+    let quick = opts.has("quick");
+    let size: usize = opts.value_parsed("size")?.unwrap_or(if quick { 1024 } else { 16384 });
+    let threads: usize = opts.value_parsed("threads")?.unwrap_or(if quick { 2 } else { 8 }).max(1);
+    let grain: usize = opts.value_parsed("grain")?.unwrap_or(if quick { 256 } else { 2048 }).max(1);
+    let runs: usize = opts.value_parsed("runs")?.unwrap_or(if quick { 1 } else { 3 });
+    let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
+    let out_path = opts.value("out").unwrap_or("BENCH_obs.json").to_string();
+
+    let mut rng = slcs_datagen::seeded_rng(seed);
+    let a = slcs_datagen::uniform_string(&mut rng, size, 4);
+    let b = slcs_datagen::uniform_string(&mut rng, size, 4);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| err(e.to_string()))?;
+
+    slcs_trace::set_enabled(false);
+    let untraced = pool.install(|| {
+        median_time(runs, || {
+            slcs_semilocal::par_antidiag_combing_branchless_untraced(&a, &b, grain)
+        })
+    });
+    let disabled = pool.install(|| {
+        median_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_grain(&a, &b, grain))
+    });
+    slcs_trace::enable_fresh();
+    let enabled = pool.install(|| {
+        median_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_grain(&a, &b, grain))
+    });
+    slcs_trace::set_enabled(false);
+    let trace_stats = slcs_trace::stats();
+
+    let pct = |d: std::time::Duration| {
+        100.0 * (d.as_secs_f64() - untraced.as_secs_f64()) / untraced.as_secs_f64()
+    };
+    let (dis_pct, en_pct) = (pct(disabled), pct(enabled));
+    let mut report = format!(
+        "observability overhead, {size}x{size}, {threads} threads, grain {grain}, {runs} run(s)\n"
+    );
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    writeln!(report, "  untraced (compiled out)  {:9.2} ms", ms(untraced)).unwrap(); // PANIC: fmt to String is infallible
+    writeln!(report, "  disabled (relaxed load)  {:9.2} ms  ({dis_pct:+.2}%)", ms(disabled))
+        .unwrap(); // PANIC: fmt to String is infallible
+    writeln!(report, "  enabled  (recording)     {:9.2} ms  ({en_pct:+.2}%)", ms(enabled)).unwrap(); // PANIC: fmt to String is infallible
+    writeln!(
+        report,
+        "  events recorded {} / dropped {} across {} thread buffer(s)",
+        trace_stats.recorded, trace_stats.dropped, trace_stats.threads
+    )
+    .unwrap(); // PANIC: fmt to String is infallible
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench-obs\",\n  \"algorithm\": \"par_antidiag_combing_branchless\",\n  \
+         \"size\": {size},\n  \"threads\": {threads},\n  \"par_grain\": {grain},\n  \
+         \"runs\": {runs},\n  \"quick\": {quick},\n  \
+         \"untraced_millis\": {:.3},\n  \"disabled_millis\": {:.3},\n  \
+         \"enabled_millis\": {:.3},\n  \"overhead_disabled_percent\": {dis_pct:.3},\n  \
+         \"overhead_enabled_percent\": {en_pct:.3},\n  \
+         \"trace_events_recorded\": {},\n  \"trace_events_dropped\": {}\n}}\n",
+        ms(untraced),
+        ms(disabled),
+        ms(enabled),
+        trace_stats.recorded,
+        trace_stats.dropped,
+    );
     std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
     writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
     Ok(report)
@@ -709,6 +932,83 @@ mod tests {
         assert!(json.contains("\"pool_spawned_workers\": "), "{json}");
         let _ = std::fs::remove_file(out);
         assert!(run("bench-baseline", &["--sizes", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn trace_subcommand_exports_timeline() {
+        let _guard = slcs_trace::test_support::hold();
+        let out_file = std::env::temp_dir().join("slcs_cli_trace_test.json");
+        let path = out_file.display().to_string();
+        let out = run("trace", &["--out", &path, "lcs", "ABCBDAB", "BDCABA"]).unwrap();
+        assert!(out.contains("LCS = 4"), "{out}");
+        assert!(out.contains("[trace written "), "{out}");
+        let json = std::fs::read_to_string(&out_file).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        let _ = std::fs::remove_file(out_file);
+        // Without --out, the text tree is appended to the output.
+        let text = run("trace", &["lcs", "ab", "ba"]).unwrap();
+        assert!(text.contains("--- trace ---"), "{text}");
+        assert!(run("trace", &[]).is_err());
+        assert!(run("trace", &["trace", "lcs", "a", "b"]).is_err());
+        assert!(run("trace", &["--format", "yaml", "lcs", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn bench_baseline_trace_flag_covers_all_three_layers() {
+        let _guard = slcs_trace::test_support::hold();
+        let dir = std::env::temp_dir();
+        let out = dir.join("slcs_bench_pool_traced_test.json");
+        let trace = dir.join("slcs_bench_pool_traced_test_timeline.json");
+        let (out_s, trace_s) = (out.display().to_string(), trace.display().to_string());
+        let text = run(
+            "bench-baseline",
+            &[
+                "--quick",
+                "--sizes",
+                "256",
+                "--threads",
+                "2",
+                "--runs",
+                "1",
+                "--out",
+                &out_s,
+                "--trace",
+                &trace_s,
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("[trace written "), "{text}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        for span in ["wavefront.diag", "pool.job", "engine.request", "team.run"] {
+            assert!(json.contains(span), "missing {span} in traced bench timeline");
+        }
+        let _ = std::fs::remove_file(out);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn bench_obs_quick_writes_overhead_json() {
+        let _guard = slcs_trace::test_support::hold();
+        let out = std::env::temp_dir().join("slcs_bench_obs_test.json");
+        let path = out.display().to_string();
+        let text = run(
+            "bench-obs",
+            &["--quick", "--size", "256", "--threads", "2", "--runs", "1", "--out", &path],
+        )
+        .unwrap();
+        assert!(text.contains("untraced"), "{text}");
+        assert!(text.contains("events recorded"), "{text}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"untraced_millis\"",
+            "\"disabled_millis\"",
+            "\"enabled_millis\"",
+            "\"overhead_disabled_percent\"",
+            "\"trace_events_recorded\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let _ = std::fs::remove_file(out);
     }
 
     #[test]

@@ -70,7 +70,13 @@ pub fn choose(op: &Operation, pattern: &[u8], text: &[u8], threads: usize) -> Al
 }
 
 fn comb(pattern: &[u8], text: &[u8], threads: usize) -> (SemiLocalKernel, AlgoChoice) {
-    match combing_choice(pattern.len(), text.len(), threads) {
+    let choice = combing_choice(pattern.len(), text.len(), threads);
+    let _build_span = slcs_trace::span!(
+        "engine.kernel_build",
+        "algo" => choice.token(),
+        "area" => pattern.len() * text.len()
+    );
+    match choice {
         AlgoChoice::GridHybridCombing { tasks } => {
             (grid_hybrid_combing(pattern, text, tasks), AlgoChoice::GridHybridCombing { tasks })
         }
@@ -90,6 +96,7 @@ fn plain_entry(
     if let Some(CachedIndex::Plain(entry)) = cache.get(&key) {
         // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        slcs_trace::instant!("engine.cache_hit", "kind" => "plain");
         return (entry, AlgoChoice::CachedKernel, CacheStatus::Hit);
     }
     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
@@ -113,10 +120,16 @@ fn edit_entry(
     if let Some(CachedIndex::Edit(entry)) = cache.get(&key) {
         // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        slcs_trace::instant!("engine.cache_hit", "kind" => "edit");
         return (entry, AlgoChoice::CachedKernel, CacheStatus::Hit);
     }
     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let _build_span = slcs_trace::span!(
+        "engine.index_build",
+        "kind" => "edit",
+        "area" => pattern.len() * text.len()
+    );
     let entry = Arc::new(EditDistances::new(pattern, text));
     let evicted = cache.insert(key, CachedIndex::Edit(entry.clone()));
     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
@@ -169,6 +182,7 @@ pub fn execute(
             if let Some(CachedIndex::Plain(entry)) = cache.get(&key) {
                 // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                slcs_trace::instant!("engine.cache_hit", "kind" => "plain");
                 return (
                     Payload::Score(entry.kernel().lcs()),
                     AlgoChoice::CachedKernel,

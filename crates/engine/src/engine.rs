@@ -98,6 +98,7 @@ impl Engine {
     /// an immediate [`Submit::QueueFull`], or [`Submit::Invalid`].
     pub fn submit(&self, req: CompareRequest) -> Submit {
         let metrics = &self.shared.metrics;
+        slcs_trace::instant!("engine.submit", "op" => req.op.token());
         // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
         if let Err(why) = req.validate() {
@@ -148,13 +149,11 @@ impl Engine {
     }
 
     /// A point-in-time view of the counters and histograms. The queue
-    /// depth is sampled live rather than taken from a gauge: submit and
-    /// worker threads race, so a stored gauge can go stale the moment
-    /// the queue drains.
+    /// depth is sampled live from the queue itself — [`Metrics`] keeps
+    /// no depth gauge to go stale (see the `metrics` module docs on
+    /// counters vs gauges).
     pub fn stats(&self) -> StatsSnapshot {
-        let mut snapshot = self.shared.metrics.snapshot();
-        snapshot.queue_depth = self.shared.queue.depth() as u64;
-        snapshot
+        self.shared.metrics.snapshot(self.shared.queue.depth() as u64)
     }
 
     pub fn queue_depth(&self) -> usize {
@@ -198,10 +197,15 @@ fn worker_loop(shared: Arc<Shared>) {
             // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.coalesced.fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
+        let _batch_span = slcs_trace::span!("engine.batch", "len" => batch.len());
         // Identical pairs inside the batch deduplicate through the
         // cache: the first job combs and inserts, the rest hit.
         for job in batch {
-            metrics.wait_micros.record(job.enqueued_at.elapsed().as_micros() as u64);
+            let wait_us = job.enqueued_at.elapsed().as_micros() as u64;
+            metrics.wait_micros.record(wait_us);
+            // One span per served request: queue wait as a field, the
+            // dispatch/compute/reply time as the span's extent.
+            let _request_span = slcs_trace::span!("engine.request", "op" => job.req.op.token(), "wait_us" => wait_us);
             let started = Instant::now();
             let computed = catch_unwind(AssertUnwindSafe(|| {
                 dispatch::execute(
@@ -217,6 +221,11 @@ fn worker_loop(shared: Arc<Shared>) {
             metrics.completed.fetch_add(1, Ordering::Relaxed);
             let result = match computed {
                 Ok((payload, algo, cache)) => {
+                    slcs_trace::instant!(
+                        "engine.dispatch",
+                        "algo" => algo.token(),
+                        "cache" => cache.token()
+                    );
                     Ok(CompareOutcome { payload, algo, cache, service_micros })
                 }
                 Err(panic) => {

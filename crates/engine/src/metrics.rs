@@ -4,7 +4,28 @@
 //! monotone statistics, not synchronization), so workers and submitters
 //! can record events without contending, and [`Metrics::snapshot`] can be
 //! read at any time from any thread.
+//!
+//! # Counters vs gauges
+//!
+//! Two different kinds of number live in a [`StatsSnapshot`], and they
+//! have different contracts:
+//!
+//! * **Counters** (`submitted`, `cache_hits`, the histogram buckets, …)
+//!   are monotone: atomics bumped at the event site, never decremented,
+//!   so a relaxed racing read is merely *slightly stale* and two
+//!   snapshots can be subtracted to get a rate. `max_queue_depth` is a
+//!   monotone high-water mark with the same properties.
+//! * **Gauges** (`queue_depth`, `par_grain`) are *instantaneous reads of
+//!   authoritative state*, captured at snapshot time. Maintaining a
+//!   gauge as its own atomic alongside the real state is a trap: the
+//!   submit/pop sites race and the shadow copy goes stale (an earlier
+//!   revision kept such a scratch `queue_depth` atomic here and `STATS`
+//!   could report a depth the queue never had). The rule: a gauge is
+//!   computed from its source of truth when the snapshot is taken —
+//!   [`Metrics::snapshot`] therefore *takes* the live depth as an
+//!   argument rather than storing one.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const BUCKETS: usize = 32;
@@ -43,8 +64,28 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Number of buckets (also the length of [`Self::buckets`]).
+    pub const LEN: usize = BUCKETS;
+
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Exclusive upper bound (µs) of bucket `i`, or `None` for the last
+    /// bucket, which absorbs the tail (`+Inf` in exposition formats).
+    /// Bucket 0 also takes sub-microsecond samples, so its effective
+    /// range is `[0, 2)`.
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        (i + 1 < BUCKETS).then(|| 1u64 << (i + 1))
+    }
+
+    /// Accumulates `other` into `self`, bucket by bucket — for
+    /// aggregating histograms across engines or scrape intervals
+    /// (log₂ bucketing makes merge exact, unlike quantile averaging).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
     }
 
     /// Upper bound (µs) of the bucket holding quantile `q` in `[0, 1]`.
@@ -89,10 +130,6 @@ pub struct Metrics {
     pub coalesced: AtomicU64,
     /// Batches popped by workers (1 batch may serve many requests).
     pub batches: AtomicU64,
-    /// Scratch gauge for queue depth. `Engine::stats` overwrites the
-    /// snapshot with the live queue depth instead of maintaining this
-    /// under contention (submit/pop stores race and can go stale).
-    pub queue_depth: AtomicU64,
     /// High-water mark of observed queue depths (fed by `note_depth`).
     pub max_queue_depth: AtomicU64,
     /// Time from acceptance to a worker picking the request up.
@@ -107,7 +144,11 @@ impl Metrics {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
-    pub fn snapshot(&self) -> StatsSnapshot {
+    /// Copies every counter into a [`StatsSnapshot`]. `queue_depth` is a
+    /// gauge, not a counter (see the module docs): the caller passes the
+    /// live depth read from the queue itself, so `STATS`/`METRICS` can
+    /// never report a stale shadow value.
+    pub fn snapshot(&self, queue_depth: u64) -> StatsSnapshot {
         StatsSnapshot {
             // ORDERING: Relaxed (whole literal) — counters are independent; the
             // snapshot does not promise a consistent cross-counter cut.
@@ -121,8 +162,8 @@ impl Metrics {
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            queue_depth,
             wait_micros: self.wait_micros.snapshot(),
             service_micros: self.service_micros.snapshot(),
             par_grain: slcs_semilocal::par_grain(),
@@ -143,6 +184,8 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     pub coalesced: u64,
     pub batches: u64,
+    /// Gauge: live queue depth at snapshot time (read from the queue
+    /// itself, never a shadow atomic — see the module docs).
     pub queue_depth: u64,
     pub max_queue_depth: u64,
     pub wait_micros: HistogramSnapshot,
@@ -152,6 +195,59 @@ pub struct StatsSnapshot {
     /// counter, but surfaced here so STATS readers can correlate latency
     /// shifts with scheduling granularity.
     pub par_grain: usize,
+}
+
+impl StatsSnapshot {
+    /// Renders every counter, gauge and histogram as Prometheus text
+    /// exposition (`# TYPE`-annotated, cumulative `le` buckets with
+    /// explicit bounds). The `METRICS` server command serves this,
+    /// appending executor/trace sections and the `# EOF` terminator.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        for (name, value) in [
+            ("slcs_requests_submitted", self.submitted),
+            ("slcs_requests_accepted", self.accepted),
+            ("slcs_requests_rejected_queue_full", self.rejected_queue_full),
+            ("slcs_requests_rejected_invalid", self.rejected_invalid),
+            ("slcs_requests_completed", self.completed),
+            ("slcs_cache_hits", self.cache_hits),
+            ("slcs_cache_misses", self.cache_misses),
+            ("slcs_cache_evictions", self.cache_evictions),
+            ("slcs_requests_coalesced", self.coalesced),
+            ("slcs_batches_popped", self.batches),
+        ] {
+            let _ = writeln!(out, "# TYPE {name}_total counter");
+            let _ = writeln!(out, "{name}_total {value}");
+        }
+        for (name, value) in [
+            ("slcs_queue_depth", self.queue_depth),
+            ("slcs_queue_depth_max", self.max_queue_depth),
+            ("slcs_par_grain", self.par_grain as u64),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        write_prometheus_histogram(&mut out, "slcs_wait_micros", &self.wait_micros);
+        write_prometheus_histogram(&mut out, "slcs_service_micros", &self.service_micros);
+        out
+    }
+}
+
+fn write_prometheus_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &count) in h.buckets.iter().enumerate() {
+        cumulative += count;
+        match HistogramSnapshot::bucket_upper_bound(i) {
+            Some(bound) => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_count {cumulative}");
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -228,16 +324,80 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_copies_counters() {
+    fn snapshot_copies_counters_and_takes_live_depth() {
         let m = Metrics::default();
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.note_depth(7);
         m.note_depth(4);
-        let s = m.snapshot();
+        let s = m.snapshot(5);
         assert_eq!(s.submitted, 3);
         assert_eq!(s.max_queue_depth, 7);
+        assert_eq!(s.queue_depth, 5, "gauge comes from the caller's live read");
         let text = s.to_string();
         assert!(text.contains("submitted=3"));
         assert!(text.contains("max_depth=7"));
+        assert!(text.contains("depth=5"));
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_sum() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(1);
+        a.record(1024);
+        b.record(1);
+        b.record(u64::MAX); // tail bucket
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.buckets[0], 2);
+        assert_eq!(merged.buckets[10], 1);
+        assert_eq!(merged.buckets[BUCKETS - 1], 1);
+        assert_eq!(merged.count(), 4);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two_then_inf() {
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(0), Some(2));
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(10), Some(2048));
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(BUCKETS - 2), Some(1 << (BUCKETS - 1)));
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn prometheus_exposition_lists_every_counter_and_bucket() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(2, Ordering::Relaxed);
+        m.wait_micros.record(3);
+        m.wait_micros.record(3);
+        m.service_micros.record(100);
+        let text = m.snapshot(1).to_prometheus();
+        for name in [
+            "slcs_requests_submitted_total",
+            "slcs_requests_accepted_total",
+            "slcs_requests_rejected_queue_full_total",
+            "slcs_requests_rejected_invalid_total",
+            "slcs_requests_completed_total",
+            "slcs_cache_hits_total",
+            "slcs_cache_misses_total",
+            "slcs_cache_evictions_total",
+            "slcs_requests_coalesced_total",
+            "slcs_batches_popped_total",
+            "slcs_queue_depth",
+            "slcs_queue_depth_max",
+            "slcs_par_grain",
+        ] {
+            assert!(
+                text.contains(&format!("\n{name} ")) || text.starts_with(&format!("{name} ")),
+                "missing sample line for {name}:\n{text}"
+            );
+        }
+        // Cumulative le buckets with explicit bounds, ending at +Inf.
+        assert!(text.contains("slcs_wait_micros_bucket{le=\"2\"} 0"));
+        assert!(text.contains("slcs_wait_micros_bucket{le=\"4\"} 2"));
+        assert!(text.contains("slcs_wait_micros_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("slcs_wait_micros_count 2"));
+        assert!(text.contains("slcs_service_micros_bucket{le=\"128\"} 1"));
+        assert!(text.contains("slcs_service_micros_count 1"));
+        assert!(text.contains("# TYPE slcs_wait_micros histogram"));
     }
 }

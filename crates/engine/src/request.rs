@@ -18,6 +18,17 @@ pub enum Operation {
     Edit { w: Option<usize> },
 }
 
+impl Operation {
+    /// Stable lowercase wire/trace token for this operation.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Operation::Lcs => "lcs",
+            Operation::Windows { .. } => "windows",
+            Operation::Edit { .. } => "edit",
+        }
+    }
+}
+
 /// A unit of work submitted to the engine.
 ///
 /// Inputs are `Arc<[u8]>` so a client can submit the same pattern or
@@ -75,6 +86,20 @@ pub enum AlgoChoice {
     CachedKernel,
 }
 
+impl AlgoChoice {
+    /// Stable lowercase wire/trace token (the server's `<algo>` field
+    /// and the `algo` span field share this vocabulary).
+    pub fn token(&self) -> &'static str {
+        match self {
+            AlgoChoice::BitParallel => "bitpar",
+            AlgoChoice::IterativeCombing => "comb",
+            AlgoChoice::GridHybridCombing { .. } => "grid",
+            AlgoChoice::EditIndex => "edit",
+            AlgoChoice::CachedKernel => "cached",
+        }
+    }
+}
+
 /// Whether the kernel cache could help this request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheStatus {
@@ -84,6 +109,17 @@ pub enum CacheStatus {
     Miss,
     /// The request never consulted the cache (score-only fast path).
     Bypass,
+}
+
+impl CacheStatus {
+    /// Stable lowercase wire/trace token.
+    pub fn token(&self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        }
+    }
 }
 
 /// Operation-specific result data.

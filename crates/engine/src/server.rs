@@ -7,7 +7,9 @@
 //! LCS <pattern> <text>             → OK <score> <algo> <cache>
 //! WINDOWS <w> <pattern> <text>     → OK <best_start> <best_score> <s0,s1,…>
 //! EDIT <pattern> <text> [<w>]      → OK <global> [<start> <end> <dist>]
-//! STATS                            → OK key=value …
+//! STATS                            → OK key=value … (incl. raw histogram buckets)
+//! METRICS                          → Prometheus text exposition, `# EOF`-terminated
+//! TRACE on|off|dump                → tracing control (gated by ServerConfig)
 //! PING                             → OK pong
 //! QUIT                             → OK bye (server closes the connection)
 //! ```
@@ -16,6 +18,12 @@
 //! `BUSY` when the engine's bounded queue rejects the submission —
 //! backpressure is forwarded to the client verbatim rather than queued
 //! invisibly, so a load balancer can react to it.
+//!
+//! `METRICS` is the one deliberate exception to one-line responses: it
+//! returns the standard multi-line Prometheus exposition, and clients
+//! read until the `# EOF` terminator line (see docs/OBSERVABILITY.md).
+//! `TRACE dump` stays single-line: the Chrome-tracing JSON is emitted
+//! compact, after an `OK ` prefix.
 //!
 //! The accept loop polls a stop flag (non-blocking accept + short
 //! sleeps) and per-connection reads carry a timeout, so
@@ -30,18 +38,24 @@ use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::queue::Submit;
-use crate::request::{AlgoChoice, CacheStatus, CompareRequest, Operation, Payload};
+use crate::request::{CompareRequest, Operation, Payload};
 
 /// Limits for one server instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Connections handled concurrently; extra clients get `BUSY`.
     pub max_connections: usize,
+    /// Whether clients may drive the `TRACE on|off|dump` command.
+    /// Tracing is process-global and a dump reveals request timings, so
+    /// operators can turn the surface off for untrusted networks
+    /// (`ERR tracing disabled` is returned instead). `METRICS`/`STATS`
+    /// stay available either way.
+    pub allow_trace: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_connections: 64 }
+        ServerConfig { max_connections: 64, allow_trace: true }
     }
 }
 
@@ -121,8 +135,9 @@ fn accept_loop(
                 let engine = engine.clone();
                 let stop = stop.clone();
                 let live = live.clone();
+                let config = config.clone();
                 handlers.push(std::thread::spawn(move || {
-                    let _ = handle_client(stream, &engine, &stop);
+                    let _ = handle_client(stream, &engine, &config, &stop);
                     // ORDERING: Relaxed — plain live-handler count, see the cap check above.
                     live.fetch_sub(1, Ordering::Relaxed);
                 }));
@@ -138,7 +153,12 @@ fn accept_loop(
     }
 }
 
-fn handle_client(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
+fn handle_client(
+    stream: TcpStream,
+    engine: &Engine,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -160,7 +180,7 @@ fn handle_client(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::
             }
             Err(e) => return Err(e),
         }
-        let response = respond(line.trim(), engine);
+        let response = respond(line.trim(), engine, config);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -170,26 +190,43 @@ fn handle_client(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::
     }
 }
 
-fn algo_token(algo: AlgoChoice) -> &'static str {
-    match algo {
-        AlgoChoice::BitParallel => "bitpar",
-        AlgoChoice::IterativeCombing => "comb",
-        AlgoChoice::GridHybridCombing { .. } => "grid",
-        AlgoChoice::EditIndex => "edit",
-        AlgoChoice::CachedKernel => "cached",
-    }
+fn joined_buckets(buckets: &[u64]) -> String {
+    buckets.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(",")
 }
 
-fn cache_token(cache: CacheStatus) -> &'static str {
-    match cache {
-        CacheStatus::Hit => "hit",
-        CacheStatus::Miss => "miss",
-        CacheStatus::Bypass => "bypass",
+/// The multi-line `METRICS` response: engine counters/gauges/histograms
+/// (from [`StatsSnapshot::to_prometheus`]) plus executor and tracing
+/// sections, terminated by `# EOF`.
+fn metrics_exposition(engine: &Engine) -> String {
+    let mut out = engine.stats().to_prometheus();
+    let pool = rayon::pool_stats();
+    for (name, value) in [
+        ("slcs_pool_jobs_executed", pool.jobs_executed),
+        ("slcs_pool_injector_pops", pool.injector_pops),
+        ("slcs_pool_parks", pool.parks),
+        ("slcs_pool_unparks", pool.unparks),
+        ("slcs_pool_team_runs", pool.team_runs),
+        ("slcs_pool_barrier_waits", pool.barrier_waits),
+        ("slcs_pool_barrier_wait_micros", pool.barrier_wait_micros),
+    ] {
+        out.push_str(&format!("# TYPE {name}_total counter\n{name}_total {value}\n"));
     }
+    let trace = slcs_trace::stats();
+    for (name, value) in [
+        ("slcs_trace_enabled", u64::from(slcs_trace::enabled())),
+        ("slcs_trace_events_recorded", trace.recorded),
+        ("slcs_trace_events_dropped", trace.dropped),
+        ("slcs_trace_thread_buffers", trace.threads as u64),
+    ] {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    out.push_str("# EOF");
+    out
 }
 
-/// Parses one request line and produces the response line (no newline).
-pub fn respond(line: &str, engine: &Engine) -> String {
+/// Parses one request line and produces the response (no trailing
+/// newline; only `METRICS` spans multiple lines).
+pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
     let mut parts = line.split_ascii_whitespace();
     let Some(cmd) = parts.next() else {
         return "ERR empty request".into();
@@ -202,7 +239,8 @@ pub fn respond(line: &str, engine: &Engine) -> String {
             return format!(
                 "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
                  hits={} misses={} evictions={} batches={} coalesced={} \
-                 depth={} max_depth={} par_grain={}",
+                 depth={} max_depth={} par_grain={} \
+                 wait_buckets={} service_buckets={}",
                 s.submitted,
                 s.accepted,
                 s.completed,
@@ -216,7 +254,29 @@ pub fn respond(line: &str, engine: &Engine) -> String {
                 s.queue_depth,
                 s.max_queue_depth,
                 s.par_grain,
+                joined_buckets(&s.wait_micros.buckets),
+                joined_buckets(&s.service_micros.buckets),
             );
+        }
+        "METRICS" => return metrics_exposition(engine),
+        "TRACE" => {
+            if !config.allow_trace {
+                return "ERR tracing disabled".into();
+            }
+            return match (parts.next().map(str::to_ascii_lowercase).as_deref(), parts.next()) {
+                (Some("on"), None) => {
+                    slcs_trace::enable_fresh();
+                    "OK tracing on".into()
+                }
+                (Some("off"), None) => {
+                    slcs_trace::set_enabled(false);
+                    "OK tracing off".into()
+                }
+                (Some("dump"), None) => {
+                    format!("OK {}", slcs_trace::drain().to_chrome_json())
+                }
+                _ => "ERR usage: TRACE on|off|dump".into(),
+            };
         }
         "LCS" => {
             let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
@@ -258,7 +318,7 @@ pub fn respond(line: &str, engine: &Engine) -> String {
             Err(e) => format!("ERR {e}"),
             Ok(outcome) => match outcome.payload {
                 Payload::Score(s) => {
-                    format!("OK {s} {} {}", algo_token(outcome.algo), cache_token(outcome.cache))
+                    format!("OK {s} {} {}", outcome.algo.token(), outcome.cache.token())
                 }
                 Payload::Windows { scores, best } => {
                     let list = scores.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
@@ -293,22 +353,68 @@ mod tests {
     #[test]
     fn respond_parses_and_serves() {
         let engine = engine();
-        assert_eq!(respond("PING", &engine), "OK pong");
-        assert_eq!(respond("LCS abcabba cbabac", &engine), "OK 4 bitpar bypass");
+        let cfg = ServerConfig::default();
+        assert_eq!(respond("PING", &engine, &cfg), "OK pong");
+        assert_eq!(respond("LCS abcabba cbabac", &engine, &cfg), "OK 4 bitpar bypass");
         // Same pair again via WINDOWS builds a kernel; LCS then hits it.
-        let windows = respond("WINDOWS 6 abcabba cbabac", &engine);
+        let windows = respond("WINDOWS 6 abcabba cbabac", &engine, &cfg);
         assert!(windows.starts_with("OK "), "{windows}");
-        assert_eq!(respond("LCS abcabba cbabac", &engine), "OK 4 cached hit");
-        assert_eq!(respond("EDIT kitten sitting", &engine), "OK 3");
-        let best = respond("EDIT kitten sitting 6", &engine);
+        assert_eq!(respond("LCS abcabba cbabac", &engine, &cfg), "OK 4 cached hit");
+        assert_eq!(respond("EDIT kitten sitting", &engine, &cfg), "OK 3");
+        let best = respond("EDIT kitten sitting 6", &engine, &cfg);
         assert!(best.starts_with("OK 3 "), "{best}");
-        assert!(respond("WINDOWS x a b", &engine).starts_with("ERR"));
-        assert!(respond("WINDOWS 9 ab xy", &engine).starts_with("ERR"));
-        assert!(respond("NOPE", &engine).starts_with("ERR unknown"));
-        let stats = respond("STATS", &engine);
+        assert!(respond("WINDOWS x a b", &engine, &cfg).starts_with("ERR"));
+        assert!(respond("WINDOWS 9 ab xy", &engine, &cfg).starts_with("ERR"));
+        assert!(respond("NOPE", &engine, &cfg).starts_with("ERR unknown"));
+        let stats = respond("STATS", &engine, &cfg);
         // Two hits: LCS reusing the WINDOWS kernel, EDIT reusing the
         // first EDIT's index.
         assert!(stats.contains(" hits=2"), "{stats}");
+        assert!(stats.contains(" wait_buckets="), "{stats}");
+        assert!(stats.contains(" service_buckets="), "{stats}");
+    }
+
+    #[test]
+    fn metrics_exposition_is_eof_terminated_prometheus_text() {
+        let engine = engine();
+        let cfg = ServerConfig::default();
+        let _ = respond("LCS abcabba cbabac", &engine, &cfg);
+        let body = respond("METRICS", &engine, &cfg);
+        assert!(body.ends_with("# EOF"), "{body}");
+        for needle in [
+            "slcs_requests_submitted_total 1",
+            "slcs_queue_depth ",
+            "slcs_wait_micros_bucket{le=\"2\"}",
+            "slcs_service_micros_count 1",
+            "slcs_pool_jobs_executed_total ",
+            "slcs_trace_enabled ",
+        ] {
+            assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+        }
+        // Every non-comment line is `name[{labels}] value`.
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            let mut it = line.rsplitn(2, ' ');
+            let value = it.next().unwrap();
+            assert!(it.next().is_some(), "bad exposition line {line:?}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in line {line:?}");
+        }
+    }
+
+    #[test]
+    fn trace_command_respects_allow_trace_gate() {
+        let engine = engine();
+        let gated = ServerConfig { allow_trace: false, ..ServerConfig::default() };
+        assert_eq!(respond("TRACE on", &engine, &gated), "ERR tracing disabled");
+
+        let _guard = slcs_trace::test_support::hold();
+        let cfg = ServerConfig::default();
+        assert_eq!(respond("TRACE on", &engine, &cfg), "OK tracing on");
+        let _ = respond("LCS abcabba cbabac", &engine, &cfg);
+        assert_eq!(respond("TRACE off", &engine, &cfg), "OK tracing off");
+        let dump = respond("TRACE dump", &engine, &cfg);
+        assert!(dump.starts_with("OK {\"traceEvents\":["), "{dump}");
+        assert!(dump.contains("engine.request"), "{dump}");
+        assert!(respond("TRACE sideways", &engine, &cfg).starts_with("ERR usage"));
     }
 
     #[test]

@@ -222,7 +222,16 @@ impl<S> SharedStrands<S> {
 /// barrier per diagonal. Falls back to the plain sequential sweep when
 /// the grid cannot keep a second worker busy (`min(m, n) < 2·grain`
 /// or a 1-thread budget), so callers can use it unconditionally.
-fn sweep_wavefront<T, S, C>(a: &[T], b: &[T], grain: usize, cell: C) -> SemiLocalKernel
+///
+/// `TRACED = false` compiles the span sites out entirely (not even the
+/// enabled-check load remains) — the zero-instrumentation baseline that
+/// `slcs bench-obs` measures disabled-tracing overhead against.
+fn sweep_wavefront<T, S, C, const TRACED: bool>(
+    a: &[T],
+    b: &[T],
+    grain: usize,
+    cell: C,
+) -> SemiLocalKernel
 where
     T: Eq + Clone + Sync,
     S: StrandIx,
@@ -250,6 +259,11 @@ where
         let h = SharedStrands { ptr: h_strands.as_mut_ptr() };
         let v = SharedStrands { ptr: v_strands.as_mut_ptr() };
         let a_rev = &a_rev;
+        let _sweep_span = if TRACED {
+            slcs_trace::span!("wavefront.sweep", "diags" => m + n - 1, "team" => team)
+        } else {
+            None
+        };
         rayon::team_run(team, |view| {
             for d in 0..(m + n - 1) {
                 let (h0, v0, len) = diag_ranges(m, n, d);
@@ -260,6 +274,14 @@ where
                     let chunk = len.div_ceil(active);
                     let lo = (view.id * chunk).min(len);
                     let hi = (lo + chunk).min(len);
+                    // One relaxed load per diagonal chunk when tracing
+                    // is off; a Begin/End pair per chunk when on, which
+                    // is what makes load imbalance visible per member.
+                    let _diag_span = if TRACED {
+                        slcs_trace::span!("wavefront.diag", "d" => d, "len" => hi - lo)
+                    } else {
+                        None
+                    };
                     // SAFETY: members cover disjoint [lo, hi) slices of
                     // this diagonal; the barrier below sequences access
                     // across diagonals.
@@ -340,7 +362,9 @@ pub fn par_antidiag_combing_branchless_sched<T: Eq + Clone + Sync>(
                 .zip(ar.par_iter().zip(bs.par_iter()))
                 .for_each(|((h, v), (ac, bc))| cell_branchless(ac, bc, h, v));
         }),
-        Scheduling::Team => sweep_wavefront::<_, u32, _>(a, b, grain, cell_branchless::<T, u32>),
+        Scheduling::Team => {
+            sweep_wavefront::<_, u32, _, true>(a, b, grain, cell_branchless::<T, u32>)
+        }
     }
 }
 
@@ -352,19 +376,33 @@ pub fn par_antidiag_combing_branchless_grain<T: Eq + Clone + Sync>(
     b: &[T],
     grain: usize,
 ) -> SemiLocalKernel {
-    sweep_wavefront::<_, u32, _>(a, b, grain, cell_branchless::<T, u32>)
+    sweep_wavefront::<_, u32, _, true>(a, b, grain, cell_branchless::<T, u32>)
+}
+
+/// Trace-free twin of [`par_antidiag_combing_branchless_grain`]: the
+/// span sites are compiled out entirely, not merely disabled. This is
+/// the zero-instrumentation baseline `slcs bench-obs` compares against
+/// to prove the disabled-tracing path costs ≤ the advertised bound —
+/// not part of the supported API surface.
+#[doc(hidden)]
+pub fn par_antidiag_combing_branchless_untraced<T: Eq + Clone + Sync>(
+    a: &[T],
+    b: &[T],
+    grain: usize,
+) -> SemiLocalKernel {
+    sweep_wavefront::<_, u32, _, false>(a, b, grain, cell_branchless::<T, u32>)
 }
 
 /// Thread-parallel `semi_antidiag` (branching inner loop): one worker
 /// team for the whole sweep, a barrier per anti-diagonal (Listing 4).
 pub fn par_antidiag_combing<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
-    sweep_wavefront::<_, u32, _>(a, b, par_grain(), cell_branching::<T, u32>)
+    sweep_wavefront::<_, u32, _, true>(a, b, par_grain(), cell_branching::<T, u32>)
 }
 
 /// Thread-parallel branchless anti-diagonal combing
 /// (`semi_antidiag_SIMD`'s parallel form from Figures 7–8).
 pub fn par_antidiag_combing_branchless<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiLocalKernel {
-    sweep_wavefront::<_, u32, _>(a, b, par_grain(), cell_branchless::<T, u32>)
+    sweep_wavefront::<_, u32, _, true>(a, b, par_grain(), cell_branchless::<T, u32>)
 }
 
 /// Thread-parallel branchless combing with 16-bit strand indices.
@@ -378,7 +416,7 @@ pub fn par_antidiag_combing_u16<T: Eq + Clone + Sync>(a: &[T], b: &[T]) -> SemiL
         "u16 strand indices require m + n ≤ 65536 (got {})",
         a.len() + b.len()
     );
-    sweep_wavefront::<_, u16, _>(a, b, par_grain(), cell_branchless::<T, u16>)
+    sweep_wavefront::<_, u16, _, true>(a, b, par_grain(), cell_branchless::<T, u16>)
 }
 
 #[cfg(test)]

@@ -51,7 +51,8 @@ pub mod simd;
 
 pub use antidiag::{
     antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, par_antidiag_combing,
-    par_antidiag_combing_branchless, par_antidiag_combing_branchless_sched,
+    par_antidiag_combing_branchless, par_antidiag_combing_branchless_grain,
+    par_antidiag_combing_branchless_sched, par_antidiag_combing_branchless_untraced,
     par_antidiag_combing_u16, par_grain, Scheduling,
 };
 pub use edit::EditDistances;

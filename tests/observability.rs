@@ -1,0 +1,202 @@
+//! End-to-end observability tests: the `METRICS` exposition and the
+//! `TRACE` command driven over a real TCP connection, exactly as a
+//! scraper or an operator would drive them.
+//!
+//! Tracing state is process-global, so every test that toggles or
+//! drains it holds `slcs_trace::test_support::hold()`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use slcs_engine::{serve, Engine, EngineConfig, ServerConfig};
+
+fn small_engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        batch_limit: 4,
+        threads_per_request: 1,
+    }))
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        Client { writer, reader: BufReader::new(stream) }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        // The server's read timeout is 100ms; ours is the test timeout.
+        while self.reader.read_line(&mut line).expect("read") == 0 {}
+        line.trim_end().to_string()
+    }
+
+    /// One request → one response line.
+    fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.read_line()
+    }
+
+    /// `METRICS` → every line up to and including the `# EOF` terminator.
+    fn metrics(&mut self) -> Vec<String> {
+        self.send("METRICS");
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line();
+            let done = line == "# EOF";
+            lines.push(line);
+            if done {
+                return lines;
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_over_tcp_exposes_every_counter_and_histogram() {
+    let engine = small_engine();
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    // Generate some traffic first so the counters are non-trivial: a
+    // kernel-building WINDOWS, an LCS that hits its cached kernel, and
+    // an invalid request.
+    assert!(client.round_trip("WINDOWS 6 abcabba cbabac").starts_with("OK "));
+    assert_eq!(client.round_trip("LCS abcabba cbabac"), "OK 4 cached hit");
+    assert!(client.round_trip("WINDOWS 99 ab xy").starts_with("ERR"));
+
+    let lines = client.metrics();
+    assert_eq!(lines.last().map(String::as_str), Some("# EOF"));
+
+    // Line-by-line: every non-comment line is `name[{labels}] value`
+    // with a numeric value, and every comment line is a well-formed
+    // `# TYPE`/`# HELP` header.
+    for line in &lines[..lines.len() - 1] {
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            let kind = words.next().expect("comment kind");
+            assert!(kind == "TYPE" || kind == "HELP", "unexpected comment line: {line}");
+            assert!(words.next().is_some(), "comment without a metric name: {line}");
+        } else {
+            let (name, value) = line.rsplit_once(' ').expect("sample line must have a value");
+            assert!(!name.is_empty(), "empty sample name: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value in: {line}");
+        }
+    }
+
+    let sample = |name: &str| {
+        lines
+            .iter()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .unwrap_or_else(|| panic!("no sample named {name}"))
+            .rsplit_once(' ')
+            .unwrap()
+            .1
+            .parse::<f64>()
+            .unwrap()
+    };
+
+    // Every Metrics counter, by its exposition name.
+    assert_eq!(sample("slcs_requests_submitted_total"), 3.0);
+    assert_eq!(sample("slcs_requests_accepted_total"), 2.0);
+    assert_eq!(sample("slcs_requests_completed_total"), 2.0);
+    assert_eq!(sample("slcs_requests_rejected_invalid_total"), 1.0);
+    assert_eq!(sample("slcs_requests_rejected_queue_full_total"), 0.0);
+    assert_eq!(sample("slcs_cache_hits_total"), 1.0);
+    assert_eq!(sample("slcs_cache_misses_total"), 1.0);
+    assert_eq!(sample("slcs_cache_evictions_total"), 0.0);
+    assert!(sample("slcs_batches_popped_total") >= 1.0);
+    assert_eq!(sample("slcs_requests_coalesced_total"), 0.0);
+    assert_eq!(sample("slcs_queue_depth"), 0.0);
+    assert!(sample("slcs_par_grain") >= 1.0);
+
+    // Both histograms, with explicit bucket bounds, cumulative buckets,
+    // and a final +Inf bucket equal to the count.
+    for hist in ["slcs_wait_micros", "slcs_service_micros"] {
+        assert!(
+            lines.iter().any(|l| l == &format!("# TYPE {hist} histogram")),
+            "missing histogram TYPE line for {hist}"
+        );
+        let buckets: Vec<&String> =
+            lines.iter().filter(|l| l.starts_with(&format!("{hist}_bucket{{le="))).collect();
+        assert!(buckets.len() > 2, "{hist} should expose explicit buckets");
+        assert!(
+            buckets.iter().any(|l| l.contains("le=\"2\"")),
+            "{hist} missing the first power-of-two bound"
+        );
+        let inf = buckets.iter().filter(|l| l.contains("le=\"+Inf\"")).count();
+        assert_eq!(inf, 1, "{hist} must have exactly one +Inf bucket");
+        let mut prev = -1.0;
+        for b in &buckets {
+            let v = b.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap();
+            assert!(v >= prev, "{hist} buckets must be cumulative: {b}");
+            prev = v;
+        }
+        assert_eq!(sample(&format!("{hist}_count")), 2.0, "{hist}_count");
+    }
+
+    // The executor-pool and tracing sections ride along.
+    for name in ["slcs_pool_jobs_executed_total", "slcs_trace_enabled"] {
+        let _ = sample(name);
+    }
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
+fn trace_on_dump_round_trip_over_tcp() {
+    let _guard = slcs_trace::test_support::hold();
+    let engine = small_engine();
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    assert_eq!(client.round_trip("TRACE on"), "OK tracing on");
+    assert_eq!(client.round_trip("LCS abcabba cbabac"), "OK 4 bitpar bypass");
+    assert_eq!(client.round_trip("TRACE off"), "OK tracing off");
+
+    let dump = client.round_trip("TRACE dump");
+    let json = dump.strip_prefix("OK ").expect("dump starts with OK ");
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.ends_with('}'), "dump must be a single JSON line: {json}");
+    for span in ["engine.submit", "engine.request", "engine.dispatch"] {
+        assert!(json.contains(&format!("\"name\":\"{span}\"")), "missing {span} in {json}");
+    }
+    assert!(client.round_trip("TRACE sideways").starts_with("ERR usage"));
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
+fn trace_command_can_be_disabled_by_config() {
+    let engine = small_engine();
+    let config = ServerConfig { allow_trace: false, ..ServerConfig::default() };
+    let handle = serve("127.0.0.1:0", engine, config).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    for cmd in ["TRACE on", "TRACE off", "TRACE dump"] {
+        assert_eq!(client.round_trip(cmd), "ERR tracing disabled");
+    }
+    // Metrics and stats stay available on a trace-gated server.
+    assert_eq!(client.metrics().last().map(String::as_str), Some("# EOF"));
+    assert!(client.round_trip("STATS").starts_with("OK submitted="));
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}

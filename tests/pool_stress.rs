@@ -192,3 +192,31 @@ fn concurrent_team_runs_do_not_interfere() {
         }
     });
 }
+
+#[test]
+fn executor_counters_stay_consistent_under_stress() {
+    let before = rayon::pool_stats();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let total = pool.install(|| join_sum(0, 100_000, 64));
+    assert_eq!(total, expected_sum(100_000));
+    for _ in 0..8 {
+        pool.install(|| {
+            rayon::team_run(3, |view| {
+                std::hint::black_box(view.id);
+                let _ = view.barrier();
+            })
+        });
+    }
+    let after = rayon::pool_stats();
+
+    // Deltas: this workload injected plenty of jobs and exactly eight
+    // team runs (other tests may add more concurrently, never less).
+    assert!(after.jobs_executed > before.jobs_executed, "no jobs counted: {after:?}");
+    assert!(after.team_runs >= before.team_runs + 8, "team runs lost: {before:?} -> {after:?}");
+
+    // Global invariants that hold at any snapshot: a job is executed
+    // only after its pop was counted (same thread, in order), and every
+    // unpark follows the park it wakes from.
+    assert!(after.injector_pops >= after.jobs_executed, "more executions than pops: {after:?}");
+    assert!(after.parks >= after.unparks, "more unparks than parks: {after:?}");
+}

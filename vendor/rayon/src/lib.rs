@@ -36,9 +36,11 @@ use crate::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod iter;
 pub(crate) mod pool;
+pub mod stats;
 pub(crate) mod sync;
 pub mod team;
 
+pub use stats::{pool_stats, PoolStats};
 pub use team::{team_run, TeamView};
 
 /// Internals exposed to the model-check harnesses (`tests/model.rs`)

@@ -114,6 +114,8 @@ where
         // both cells until the DONE release store.
         // PANIC: the winning CAS above is the only path here, and new() stored the closure.
         let func = unsafe { (*this.func.get()).take() }.expect("job claimed twice");
+        crate::stats::note_job_executed();
+        let _job_span = slcs_trace::span!("pool.job");
         let budget = this.budget;
         let out = catch_unwind(AssertUnwindSafe(move || crate::with_budget(budget, func)));
         // SAFETY: still the exclusive claimant; see above.
@@ -206,9 +208,12 @@ impl Pool {
                 let mut shared = self.shared.lock().unwrap();
                 loop {
                     if let Some(job) = shared.jobs.pop_front() {
+                        crate::stats::note_injector_pop();
                         break job;
                     }
+                    crate::stats::note_park();
                     shared = self.work_available.wait(shared).unwrap();
+                    crate::stats::note_unpark();
                 }
             };
             // Panics were already caught inside the job; the worker
@@ -233,7 +238,11 @@ impl Pool {
 
     /// Pops one queued job, if any — lets a waiting publisher help.
     pub fn try_pop(&self) -> Option<JobRef> {
-        self.shared.lock().unwrap().jobs.pop_front()
+        let job = self.shared.lock().unwrap().jobs.pop_front();
+        if job.is_some() {
+            crate::stats::note_injector_pop();
+        }
+        job
     }
 
     /// Runs queued jobs (helping the pool) until `done()`; yields when

@@ -1,0 +1,101 @@
+//! Executor counters: lightweight, always-on observability for the
+//! pool and team layers, surfaced through the engine's `METRICS`
+//! exposition and the `slcs trace` tooling.
+//!
+//! These are **monotonic counters with no cross-field consistency**,
+//! exactly like `crates/engine/src/metrics.rs`: every access is
+//! `Ordering::Relaxed` (enforced by `cargo xtask lint`'s Relaxed-only
+//! rule, which covers this file). They deliberately use
+//! `std::sync::atomic` rather than the crate's model-check sync facade:
+//! instrumentation must not add states for the model checker to
+//! explore, and a torn or stale read of a counter can never affect
+//! scheduling.
+//!
+//! `barrier_wait_micros` is special: accumulating wall-clock time costs
+//! two `Instant` reads per barrier crossing, so it is only collected
+//! while tracing is enabled (`slcs_trace::enabled()`); the counter
+//! reads 0 in an untraced process. All other counters are always on —
+//! one relaxed RMW each, far off any per-cell path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Jobs executed by the pool (a claimant won the PENDING → RUNNING CAS).
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Jobs popped from the shared injector queue (by workers or helpers).
+static INJECTOR_POPS: AtomicU64 = AtomicU64::new(0);
+/// Times a worker went to sleep on the injector condvar.
+static PARKS: AtomicU64 = AtomicU64::new(0);
+/// Times a worker woke from the injector condvar.
+static UNPARKS: AtomicU64 = AtomicU64::new(0);
+/// Completed `team_run` invocations.
+static TEAM_RUNS: AtomicU64 = AtomicU64::new(0);
+/// Barrier crossings where the caller had to wait for peers.
+static BARRIER_WAITS: AtomicU64 = AtomicU64::new(0);
+/// Time spent waiting at team barriers, µs (traced runs only; see
+/// module docs).
+static BARRIER_WAIT_MICROS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn note_job_executed() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_injector_pop() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    INJECTOR_POPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_park() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    PARKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_unpark() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    UNPARKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_team_run() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    TEAM_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_barrier_wait() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    BARRIER_WAITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_barrier_wait_micros(micros: u64) {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    BARRIER_WAIT_MICROS.fetch_add(micros, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the executor counters. Fields are read
+/// independently (relaxed), so the snapshot is not a consistent cut —
+/// fine for monitoring, meaningless for synchronization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub jobs_executed: u64,
+    pub injector_pops: u64,
+    pub parks: u64,
+    pub unparks: u64,
+    pub team_runs: u64,
+    pub barrier_waits: u64,
+    /// µs waited at team barriers while tracing was enabled (0 otherwise).
+    pub barrier_wait_micros: u64,
+}
+
+/// Snapshot of the process-wide executor counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        // ORDERING: Relaxed — independent monotonic counters; the
+        // snapshot needs no cross-field consistency.
+        jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed),
+        injector_pops: INJECTOR_POPS.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+        unparks: UNPARKS.load(Ordering::Relaxed),
+        team_runs: TEAM_RUNS.load(Ordering::Relaxed),
+        barrier_waits: BARRIER_WAITS.load(Ordering::Relaxed),
+        barrier_wait_micros: BARRIER_WAIT_MICROS.load(Ordering::Relaxed),
+    }
+}

@@ -119,6 +119,7 @@ impl TeamShared {
     }
 
     pub fn poison(&self, payload: Box<dyn Any + Send>) {
+        slcs_trace::instant!("team.poisoned");
         let mut slot = self.panic_payload.lock().unwrap();
         if slot.is_none() {
             *slot = Some(payload);
@@ -154,6 +155,13 @@ impl TeamShared {
             self.generation.fetch_add(1, Ordering::Release);
             self.notify_sleepers();
         } else {
+            crate::stats::note_barrier_wait();
+            // Wall-clock wait time is collected only under tracing: two
+            // `Instant` reads per barrier would otherwise tax every
+            // diagonal of an untraced sweep. (No wall clock at all in
+            // model-check builds — it would desynchronize schedules.)
+            #[cfg(not(slcs_model_check))]
+            let wait_start = if slcs_trace::enabled() { Some(Instant::now()) } else { None };
             // Spin briefly (the uncontended multi-core case), yield a
             // few timeslices, then park: with more members than CPUs,
             // a spinning waiter only delays the member it is waiting
@@ -179,6 +187,12 @@ impl TeamShared {
                     // under-lock notify makes wakeups reliable.
                     let _ = self.wake.wait_timeout(guard, Duration::from_millis(1)).unwrap();
                 }
+            }
+            #[cfg(not(slcs_model_check))]
+            if let Some(t0) = wait_start {
+                let micros = t0.elapsed().as_micros() as u64;
+                crate::stats::note_barrier_wait_micros(micros);
+                slcs_trace::instant!("team.barrier_wait", "us" => micros);
             }
         }
         !self.poisoned.load(Ordering::Acquire)
@@ -219,7 +233,9 @@ where
     F: Fn(TeamView<'_>) + Sync,
 {
     let wanted = max_members.saturating_sub(1);
+    crate::stats::note_team_run();
     if wanted == 0 {
+        let _team_span = slcs_trace::span!("team.run", "size" => 1u64);
         body(TeamView { id: 0, size: 1, shared: &TeamShared::new() });
         return;
     }
@@ -235,8 +251,10 @@ where
             return; // registration closed before a worker picked this up
         };
         let size = shared_ref.wait_for_close();
+        let _member_span = slcs_trace::span!("team.member", "id" => id, "size" => size);
         let view = TeamView { id, size, shared: shared_ref };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body_ref(view))) {
+            slcs_trace::instant!("team.member_panic", "id" => id);
             shared_ref.poison(payload);
         }
     };
@@ -270,9 +288,11 @@ where
     }
     let size = shared.close();
 
+    let _team_span = slcs_trace::span!("team.run", "size" => size);
     let view = TeamView { id: 0, size, shared: &shared };
     let leader_outcome = catch_unwind(AssertUnwindSafe(|| body(view)));
     if let Err(payload) = leader_outcome {
+        slcs_trace::instant!("team.member_panic", "id" => 0u64);
         shared.poison(payload);
     }
     // Member jobs must finish (or early-exit) before the stack frame
@@ -364,6 +384,43 @@ mod tests {
         let ran = AtomicBool::new(false);
         team_run(2, |_| ran.store(true, Ordering::Relaxed));
         assert!(ran.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn member_panic_emits_trace_events() {
+        // Pins the observability contract of the poison path: a traced
+        // run that loses a member must show `team.member_panic` (with
+        // the member's id) followed by `team.poisoned` in the stream.
+        slcs_trace::enable_fresh();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            team_run(2, |view| {
+                if view.id == view.size - 1 {
+                    panic!("traced member blew up");
+                }
+                while view.barrier() {}
+            });
+        }));
+        slcs_trace::set_enabled(false);
+        assert!(outcome.is_err());
+        let timeline = slcs_trace::drain();
+        let panic_ev = timeline
+            .events
+            .iter()
+            .find(|e| e.name == "team.member_panic")
+            .expect("member_panic event recorded");
+        assert!(
+            panic_ev
+                .fields
+                .iter()
+                .any(|(k, v)| *k == "id" && matches!(v, slcs_trace::FieldOut::U64(_))),
+            "member_panic carries the member id: {panic_ev:?}"
+        );
+        assert!(
+            timeline.events.iter().any(|e| e.name == "team.poisoned"),
+            "poison() emits team.poisoned"
+        );
+        let json = timeline.to_chrome_json();
+        assert!(json.contains("team.member_panic") && json.contains("team.poisoned"));
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Draining recorded events into an ordered timeline and exporting it.
+//!
+//! Two export formats:
+//! - [`Timeline::to_chrome_json`] — the Chrome trace-event format
+//!   (load in `chrome://tracing` or <https://ui.perfetto.dev>). The
+//!   output is a single line so it can travel over the engine's
+//!   one-line-per-response TCP protocol.
+//! - [`Timeline::to_text_tree`] — a human-readable per-thread span
+//!   tree with durations, for terminals without a trace viewer.
+
+use crate::{intern, ring, FieldValue, Kind};
+
+/// A resolved field value in a drained event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldOut {
+    U64(u64),
+    Str(&'static str),
+}
+
+/// One drained, name-resolved event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Microseconds since the process trace timebase.
+    pub ts_micros: u64,
+    /// Stable id of the recording thread's buffer.
+    pub tid: u64,
+    pub kind: Kind,
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, FieldOut)>,
+}
+
+/// All events of the current trace epoch, ordered by timestamp.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    pub events: Vec<TraceEvent>,
+    /// Events lost to full thread buffers in this epoch.
+    pub dropped: u64,
+    /// `(tid, label)` of every thread that contributed events.
+    pub threads: Vec<(u64, String)>,
+}
+
+/// Drains every registered thread buffer for the current epoch into a
+/// single time-ordered [`Timeline`]. Non-destructive: buffers keep
+/// their contents until the next [`crate::enable_fresh`]. Safe to call
+/// while recording continues (late events simply miss this drain).
+pub fn drain() -> Timeline {
+    let epoch = crate::current_epoch();
+    let mut out = Timeline::default();
+    for buf in ring::registered_buffers() {
+        let (raw, dropped) = buf.snapshot(epoch);
+        out.dropped += dropped;
+        if raw.is_empty() && dropped == 0 {
+            continue;
+        }
+        out.threads.push((buf.tid, buf.label.clone()));
+        for ev in raw {
+            let mut fields = Vec::new();
+            for f in [ev.f1, ev.f2].into_iter().flatten() {
+                let (key, value) = f;
+                let value = match value {
+                    FieldValue::U64(n) => FieldOut::U64(n),
+                    FieldValue::Str(id) => FieldOut::Str(intern::resolve(id)),
+                };
+                fields.push((intern::resolve(key), value));
+            }
+            out.events.push(TraceEvent {
+                ts_micros: ev.ts,
+                tid: buf.tid,
+                kind: ev.kind,
+                name: intern::resolve(ev.name),
+                fields,
+            });
+        }
+    }
+    out.events.sort_by_key(|e| (e.ts_micros, e.tid));
+    out.threads.sort_by_key(|&(tid, _)| tid);
+    out
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Timeline {
+    /// Serializes to Chrome trace-event JSON (one line, no trailing
+    /// newline). `B`/`E` duration events for spans, `i` for instants,
+    /// `C` for counters, plus `M` metadata naming each thread track.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push_event = |out: &mut String, body: &dyn Fn(&mut String)| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            body(out);
+        };
+        for (tid, label) in &self.threads {
+            push_event(&mut out, &|out: &mut String| {
+                out.push_str(&format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+                ));
+                escape_into(out, label);
+                out.push_str("\"}}");
+            });
+        }
+        for ev in &self.events {
+            push_event(&mut out, &|out: &mut String| {
+                let ph = match ev.kind {
+                    Kind::Begin => "B",
+                    Kind::End => "E",
+                    Kind::Instant => "i",
+                    Kind::Counter => "C",
+                };
+                out.push_str("{\"name\":\"");
+                escape_into(out, ev.name);
+                out.push_str(&format!(
+                    "\",\"cat\":\"slcs\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                    ev.ts_micros, ev.tid
+                ));
+                if ev.kind == Kind::Instant {
+                    out.push_str(",\"s\":\"t\"");
+                }
+                if !ev.fields.is_empty() {
+                    out.push_str(",\"args\":{");
+                    for (i, (key, value)) in ev.fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('"');
+                        escape_into(out, key);
+                        out.push_str("\":");
+                        match value {
+                            FieldOut::U64(n) => out.push_str(&n.to_string()),
+                            FieldOut::Str(s) => {
+                                out.push('"');
+                                escape_into(out, s);
+                                out.push('"');
+                            }
+                        }
+                    }
+                    out.push('}');
+                }
+                out.push('}');
+            });
+        }
+        out.push_str(&format!("],\"slcsDroppedEvents\":{}}}", self.dropped));
+        out
+    }
+
+    /// Renders a per-thread indented span tree with durations, e.g.
+    ///
+    /// ```text
+    /// thread 1 (main)
+    ///   engine.request [op=lcs] 812us
+    ///     engine.kernel_build 640us
+    ///     @ engine.cache_hit [status=miss]
+    /// ```
+    pub fn to_text_tree(&self) -> String {
+        let mut out = String::new();
+        for (tid, label) in &self.threads {
+            out.push_str(&format!("thread {tid} ({label})\n"));
+            // Open Begin events awaiting their End: (event index, depth).
+            let mut open: Vec<(usize, usize)> = Vec::new();
+            // Lines already emitted; span durations are patched in when
+            // the matching End arrives.
+            let mut depth = 0usize;
+            for (ix, ev) in self.events.iter().enumerate() {
+                if ev.tid != *tid {
+                    continue;
+                }
+                match ev.kind {
+                    Kind::Begin => {
+                        out.push_str(&format!(
+                            "{}{}{} +{}us\n",
+                            "  ".repeat(depth + 1),
+                            ev.name,
+                            format_fields(&ev.fields),
+                            ev.ts_micros
+                        ));
+                        open.push((ix, depth));
+                        depth += 1;
+                    }
+                    Kind::End => {
+                        if let Some((begin_ix, d)) = open.pop() {
+                            depth = d;
+                            let begin = &self.events[begin_ix];
+                            out.push_str(&format!(
+                                "{}^ {} {}us\n",
+                                "  ".repeat(depth + 1),
+                                ev.name,
+                                ev.ts_micros.saturating_sub(begin.ts_micros)
+                            ));
+                        }
+                        // An End without a Begin (tracing toggled
+                        // mid-span) is silently skipped.
+                    }
+                    Kind::Instant => {
+                        out.push_str(&format!(
+                            "{}@ {}{}\n",
+                            "  ".repeat(depth + 1),
+                            ev.name,
+                            format_fields(&ev.fields)
+                        ));
+                    }
+                    Kind::Counter => {
+                        out.push_str(&format!(
+                            "{}# {}{}\n",
+                            "  ".repeat(depth + 1),
+                            ev.name,
+                            format_fields(&ev.fields)
+                        ));
+                    }
+                }
+            }
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+fn format_fields(fields: &[(&'static str, FieldOut)]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(" [");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match value {
+            FieldOut::U64(n) => out.push_str(&format!("{key}={n}")),
+            FieldOut::Str(s) => out.push_str(&format!("{key}={s}")),
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    #[test]
+    fn chrome_json_has_all_phases_and_thread_metadata() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        {
+            let _span = crate::span!("collect.span", "n" => 42u64, "mode" => "team");
+            crate::instant!("collect.mark", "status" => "hit");
+            crate::counter!("collect.depth", 3u64);
+        }
+        crate::set_enabled(false);
+        let json = drain().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(!json.contains('\n'), "must be single-line for the TCP protocol");
+        assert!(json.contains("\"ph\":\"M\""), "thread metadata: {json}");
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\"") && json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"n\":42") && json.contains("\"mode\":\"team\""), "{json}");
+        assert!(json.contains("\"slcsDroppedEvents\":0"), "{json}");
+    }
+
+    #[test]
+    fn text_tree_nests_and_reports_durations() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        {
+            let _outer = crate::span!("collect.outer");
+            let _inner = crate::span!("collect.inner", "d" => 5u64);
+        }
+        crate::set_enabled(false);
+        let tree = drain().to_text_tree();
+        let outer_at = tree.find("collect.outer").expect("outer span present");
+        let inner_at = tree.find("collect.inner [d=5]").expect("inner span with fields");
+        assert!(outer_at < inner_at, "outer opens before inner:\n{tree}");
+        assert!(tree.contains("^ collect.inner"), "inner closes:\n{tree}");
+        assert!(tree.contains("us\n"), "durations rendered:\n{tree}");
+    }
+
+    #[test]
+    fn drain_is_nondestructive_within_an_epoch() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        crate::instant!("collect.keep");
+        crate::set_enabled(false);
+        let first = drain().events.iter().filter(|e| e.name == "collect.keep").count();
+        let second = drain().events.iter().filter(|e| e.name == "collect.keep").count();
+        assert_eq!(first, 1);
+        assert_eq!(second, 1, "drain must not consume events");
+    }
+}

@@ -1,0 +1,62 @@
+//! Global string interner for event/field names.
+//!
+//! Names in trace events are `u16` ids so a recorded slot fits in four
+//! words; this table maps ids back to the `&'static str` they came
+//! from. Interning takes a short global lock — callers cache the result
+//! (see [`crate::Site`]) so the lock is off every hot path.
+
+use std::sync::{Mutex, OnceLock};
+
+fn table() -> &'static Mutex<Vec<&'static str>> {
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    // Id 0 is reserved for "unknown" so a zeroed slot decodes safely.
+    TABLE.get_or_init(|| Mutex::new(vec!["?"]))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Vec<&'static str>> {
+    match table().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Interns `name`, returning its stable id. Idempotent per string
+/// *content* (linear scan — the table holds tens of entries, one per
+/// distinct call-site name, not one per event).
+pub(crate) fn intern(name: &'static str) -> u16 {
+    let mut t = lock();
+    if let Some(ix) = t.iter().position(|&s| s == name) {
+        return ix as u16;
+    }
+    assert!(t.len() < u16::MAX as usize, "trace intern table overflow");
+    t.push(name);
+    (t.len() - 1) as u16
+}
+
+/// Resolves an id back to its string ("?" for unknown ids).
+pub(crate) fn resolve(id: u16) -> &'static str {
+    let t = lock();
+    t.get(id as usize).copied().unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let a = intern("intern.alpha");
+        let b = intern("intern.alpha");
+        let c = intern("intern.beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(resolve(a), "intern.alpha");
+        assert_eq!(resolve(c), "intern.beta");
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_placeholder() {
+        assert_eq!(resolve(u16::MAX), "?");
+        assert_eq!(resolve(0), "?");
+    }
+}

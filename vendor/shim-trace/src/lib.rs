@@ -1,0 +1,379 @@
+//! slcs-trace — a zero-dependency structured tracing core.
+//!
+//! The build environment has no crates.io access, so — like
+//! `shim-loom` before it — the observability layer is vendored: this
+//! crate provides the span/event recording machinery that the engine,
+//! the executor pool and the wavefront drivers instrument themselves
+//! with, plus the collector that turns the recorded buffers into a
+//! Chrome-tracing JSON (`chrome://tracing`, Perfetto) or a plain-text
+//! span tree.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Disabled tracing costs ~nothing.** Every instrumentation macro
+//!    starts with [`enabled`] — a single `Relaxed` atomic load — and
+//!    does no other work when tracing is off. Hot paths (per-diagonal
+//!    wavefront chunks, pool jobs) stay uninstrumented in the generated
+//!    code beyond that one load and branch.
+//! 2. **Recording is lock-free.** Each thread owns a fixed-capacity
+//!    event buffer ([`ring`]) of plain atomics; recording an event is a
+//!    handful of `Relaxed` stores plus one `Release` publish of the
+//!    head index. When the buffer fills, events are dropped and counted
+//!    ([`stats`] reports the drop count) — tracing never blocks or
+//!    allocates on a hot path. The only locks are on cold paths: the
+//!    once-per-thread buffer registration, the once-per-call-site name
+//!    interning (cached in a [`Site`] static), and `&'static str` field
+//!    *values*, which intern per event and are therefore documented as
+//!    "keep off per-cell hot paths".
+//! 3. **Collection is safe at any time.** The collector ([`collect`])
+//!    reads the buffers while writers may still be appending; slots are
+//!    atomics, so a concurrent read is at worst *stale*, never unsound.
+//!    Buffers are reset generationally: [`enable_fresh`] bumps a global
+//!    epoch and each writer lazily resets its own buffer when it next
+//!    records, so no thread ever touches another thread's indices.
+//!
+//! # Span model
+//!
+//! A [`SpanGuard`] records a `Begin` event when created and the
+//! matching `End` when dropped; a thread-local span stack tracks
+//! nesting (see [`current_depth`]). `Instant` events mark points,
+//! `Counter` events carry a value. Spans carry up to two key/value
+//! fields (`u64` or interned `&'static str`).
+//!
+//! ```
+//! slcs_trace::enable_fresh();
+//! {
+//!     let _sweep = slcs_trace::span!("sweep", "n" => 4096u64);
+//!     let _diag = slcs_trace::span!("diag", "d" => 7u64, "len" => 8u64);
+//!     slcs_trace::instant!("cache", "status" => "hit");
+//! }
+//! slcs_trace::set_enabled(false);
+//! let timeline = slcs_trace::drain();
+//! assert!(timeline.to_chrome_json().contains("\"ph\":\"B\""));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub mod collect;
+pub(crate) mod intern;
+pub(crate) mod ring;
+pub(crate) mod span;
+
+pub use collect::{drain, FieldOut, Timeline, TraceEvent};
+pub use ring::{stats, TraceStats};
+pub use span::{current_depth, instant, span_enter, SpanGuard};
+
+// ---------------------------------------------------------------------
+// The global enabled flag and buffer generation (epoch)
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Buffer generation. Bumping it (see [`enable_fresh`]) logically
+/// clears every thread buffer: each writer compares its buffer's epoch
+/// on the next record and resets its *own* head, so no cross-thread
+/// index writes ever happen.
+static EPOCH: AtomicUsize = AtomicUsize::new(1);
+
+/// Is tracing on? One `Relaxed` load — the entire disabled-path cost of
+/// every instrumentation site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    // ORDERING: Relaxed — an on/off hint; instrumentation only needs
+    // eventual visibility, and no data is published through the flag
+    // (event slots carry their own ordering).
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on or off without touching recorded events.
+pub fn set_enabled(on: bool) {
+    // ORDERING: Relaxed — see `enabled`.
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Starts a fresh trace: logically clears all thread buffers (epoch
+/// bump; writers reset lazily) and enables recording.
+pub fn enable_fresh() {
+    // ORDERING: Relaxed — writers re-read the epoch on every record;
+    // a briefly-stale read only delays the reset by one event.
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    set_enabled(true);
+}
+
+pub(crate) fn current_epoch() -> usize {
+    // ORDERING: Relaxed — see `enable_fresh`.
+    EPOCH.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process's first trace activity (the common
+/// timebase of every event).
+pub(crate) fn now_micros() -> u64 {
+    static T0: OnceLock<Instant> = OnceLock::new();
+    T0.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+// ---------------------------------------------------------------------
+// Event vocabulary
+// ---------------------------------------------------------------------
+
+/// What an event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A span opened (RAII guard created).
+    Begin,
+    /// A span closed (guard dropped).
+    End,
+    /// A point-in-time marker.
+    Instant,
+    /// A named value sample.
+    Counter,
+}
+
+impl Kind {
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            Kind::Begin => 1,
+            Kind::End => 2,
+            Kind::Instant => 3,
+            Kind::Counter => 4,
+        }
+    }
+
+    pub(crate) fn from_code(code: u64) -> Option<Kind> {
+        match code {
+            1 => Some(Kind::Begin),
+            2 => Some(Kind::End),
+            3 => Some(Kind::Instant),
+            4 => Some(Kind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// A field value: a number, or an interned static string.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue {
+    U64(u64),
+    /// Interned string id (resolved back at collection time).
+    Str(u16),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    /// Interns the value (one short global lock). Fine for low-rate
+    /// events (request outcomes, cache statuses); keep string-valued
+    /// fields off per-cell hot paths — numeric fields are lock-free.
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(intern::intern(v))
+    }
+}
+
+/// Up to two key/value fields attached to an event. Keys are
+/// [`Site`] statics so their interning is cached per call site.
+pub type Fields = [Option<(&'static Site, FieldValue)>; 2];
+
+/// The no-fields constant for bare spans and instants.
+pub const NO_FIELDS: Fields = [None, None];
+
+// ---------------------------------------------------------------------
+// Call sites
+// ---------------------------------------------------------------------
+
+/// A named instrumentation call site. Declared as a `static` (the
+/// macros do this for you), it caches the interned id of its name so
+/// the hot recording path never takes the intern lock.
+pub struct Site {
+    name: &'static str,
+    /// 0 = not interned yet; otherwise interned id + 1.
+    id: AtomicU32,
+}
+
+impl Site {
+    pub const fn new(name: &'static str) -> Site {
+        Site { name, id: AtomicU32::new(0) }
+    }
+
+    /// The interned id of this site's name (interns on first use).
+    pub fn id(&self) -> u16 {
+        // ORDERING: Relaxed — a once-set cache; racing initializers
+        // compute and store the same value.
+        let cached = self.id.load(Ordering::Relaxed);
+        if cached != 0 {
+            return (cached - 1) as u16;
+        }
+        let id = intern::intern(self.name);
+        // ORDERING: Relaxed — see above.
+        self.id.store(id as u32 + 1, Ordering::Relaxed);
+        id
+    }
+}
+
+/// Records a counter sample (named value at a point in time).
+pub fn counter(site: &'static Site, value: u64) {
+    ring::record(Kind::Counter, site.id(), Some((site.id(), FieldValue::U64(value))), None);
+}
+
+// ---------------------------------------------------------------------
+// Instrumentation macros
+// ---------------------------------------------------------------------
+
+/// Opens a span: records `Begin` now and `End` when the returned guard
+/// drops. Yields `Option<SpanGuard>` — `None` when tracing is
+/// disabled, so the disabled cost is one relaxed load. Bind the result
+/// (`let _span = span!(…)`) or the span closes immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            Some($crate::span_enter(&SITE, $crate::NO_FIELDS))
+        } else {
+            None
+        }
+    }};
+    ($name:literal, $k1:literal => $v1:expr) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            static K1: $crate::Site = $crate::Site::new($k1);
+            Some($crate::span_enter(&SITE, [Some((&K1, $crate::FieldValue::from($v1))), None]))
+        } else {
+            None
+        }
+    }};
+    ($name:literal, $k1:literal => $v1:expr, $k2:literal => $v2:expr) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            static K1: $crate::Site = $crate::Site::new($k1);
+            static K2: $crate::Site = $crate::Site::new($k2);
+            Some($crate::span_enter(
+                &SITE,
+                [
+                    Some((&K1, $crate::FieldValue::from($v1))),
+                    Some((&K2, $crate::FieldValue::from($v2))),
+                ],
+            ))
+        } else {
+            None
+        }
+    }};
+}
+
+/// Records an instant (point) event, with up to two fields.
+#[macro_export]
+macro_rules! instant {
+    ($name:literal) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            $crate::instant(&SITE, $crate::NO_FIELDS);
+        }
+    }};
+    ($name:literal, $k1:literal => $v1:expr) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            static K1: $crate::Site = $crate::Site::new($k1);
+            $crate::instant(&SITE, [Some((&K1, $crate::FieldValue::from($v1))), None]);
+        }
+    }};
+    ($name:literal, $k1:literal => $v1:expr, $k2:literal => $v2:expr) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            static K1: $crate::Site = $crate::Site::new($k1);
+            static K2: $crate::Site = $crate::Site::new($k2);
+            $crate::instant(
+                &SITE,
+                [
+                    Some((&K1, $crate::FieldValue::from($v1))),
+                    Some((&K2, $crate::FieldValue::from($v2))),
+                ],
+            );
+        }
+    }};
+}
+
+/// Records a counter sample (shown as a value track in Chrome tracing).
+#[macro_export]
+macro_rules! counter {
+    ($name:literal, $value:expr) => {{
+        if $crate::enabled() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            $crate::counter(&SITE, $value as u64);
+        }
+    }};
+}
+
+/// Serialization helper for tests in any crate that toggle or drain
+/// the process-global trace state.
+pub mod test_support {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Tracing state is process-global; tests that enable/drain must
+    /// not overlap (cargo runs tests on threads within one binary).
+    /// Hold the returned guard for the duration of such a test. The
+    /// lock is poison-tolerant: a panicking test does not wedge the
+    /// rest of the suite.
+    pub fn hold() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_macros_yield_none_and_record_nothing() {
+        let _guard = test_support::hold();
+        set_enabled(false);
+        let before = stats().recorded;
+        let span = span!("lib.disabled_probe");
+        assert!(span.is_none());
+        instant!("lib.disabled_probe_instant");
+        counter!("lib.disabled_probe_counter", 7);
+        assert_eq!(stats().recorded, before);
+    }
+
+    #[test]
+    fn sites_intern_once_and_agree_by_name() {
+        static A: Site = Site::new("lib.same_name");
+        static B: Site = Site::new("lib.same_name");
+        assert_eq!(A.id(), B.id());
+        assert_eq!(A.id(), A.id());
+    }
+
+    #[test]
+    fn enable_fresh_starts_an_empty_timeline() {
+        let _guard = test_support::hold();
+        enable_fresh();
+        instant!("lib.fresh_probe");
+        enable_fresh();
+        set_enabled(false);
+        let t = drain();
+        assert!(
+            !t.events.iter().any(|e| e.name == "lib.fresh_probe"),
+            "epoch bump must clear prior events"
+        );
+    }
+}

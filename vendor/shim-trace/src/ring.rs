@@ -1,0 +1,375 @@
+//! Per-thread lock-free event buffers.
+//!
+//! Each thread that records events owns one fixed-capacity buffer of
+//! atomic slots. The owner is the only writer; the collector reads
+//! concurrently. Because every slot field is an atomic (no
+//! `UnsafeCell`), a racing read is at worst *stale* — it can observe a
+//! slot that is mid-write — never undefined behaviour; the collector
+//! additionally orders itself after completed writes by reading `head`
+//! with `Acquire` against the owner's `Release` store, so slots below
+//! `head` are always fully published.
+//!
+//! Buffers are never cleared remotely. [`crate::enable_fresh`] bumps a
+//! global epoch; each owner notices on its next record and resets its
+//! own indices (lazy, owner-only reset), and the collector simply
+//! skips buffers whose epoch is behind. On overflow events are dropped
+//! and counted — recording never blocks, allocates, or reallocates on
+//! the hot path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{FieldValue, Kind};
+
+/// Default per-thread buffer capacity (events). Override with the
+/// `SLCS_TRACE_BUFFER` environment variable (read once per process).
+const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+pub(crate) fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SLCS_TRACE_BUFFER")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CAPACITY)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Slot encoding
+// ---------------------------------------------------------------------
+
+// `meta` packs the discriminants:  kind:8 | name:16 | k1:16 | k2:16 | flags:8
+const FLAG_F1: u64 = 1;
+const FLAG_F1_STR: u64 = 2;
+const FLAG_F2: u64 = 4;
+const FLAG_F2_STR: u64 = 8;
+
+fn encode_meta(
+    kind: Kind,
+    name: u16,
+    f1: &Option<(u16, FieldValue)>,
+    f2: &Option<(u16, FieldValue)>,
+) -> u64 {
+    let mut meta = (kind.code() << 56) | ((name as u64) << 40);
+    if let Some((k, v)) = f1 {
+        meta |= ((*k as u64) << 24) | FLAG_F1;
+        if matches!(v, FieldValue::Str(_)) {
+            meta |= FLAG_F1_STR;
+        }
+    }
+    if let Some((k, v)) = f2 {
+        meta |= ((*k as u64) << 8) | FLAG_F2;
+        if matches!(v, FieldValue::Str(_)) {
+            meta |= FLAG_F2_STR;
+        }
+    }
+    meta
+}
+
+fn field_bits(v: &FieldValue) -> u64 {
+    match v {
+        FieldValue::U64(n) => *n,
+        FieldValue::Str(id) => *id as u64,
+    }
+}
+
+/// A decoded event as stored in a slot (ids not yet resolved).
+pub(crate) struct RawEvent {
+    pub ts: u64,
+    pub kind: Kind,
+    pub name: u16,
+    pub f1: Option<(u16, FieldValue)>,
+    pub f2: Option<(u16, FieldValue)>,
+}
+
+struct Slot {
+    ts: AtomicU64,
+    meta: AtomicU64,
+    f1: AtomicU64,
+    f2: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            ts: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            f1: AtomicU64::new(0),
+            f2: AtomicU64::new(0),
+        }
+    }
+
+    fn write(&self, ts: u64, meta: u64, f1: u64, f2: u64) {
+        // ORDERING: Relaxed — the owner's later `head.store(Release)`
+        // publishes all four fields to any `Acquire` reader of `head`.
+        self.ts.store(ts, Ordering::Relaxed);
+        self.f1.store(f1, Ordering::Relaxed);
+        self.f2.store(f2, Ordering::Relaxed);
+        self.meta.store(meta, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> Option<RawEvent> {
+        // ORDERING: Relaxed — callers only read slots below a `head`
+        // loaded with `Acquire`, which orders these loads after the
+        // owner's writes.
+        let meta = self.meta.load(Ordering::Relaxed);
+        let kind = Kind::from_code(meta >> 56)?;
+        let decode = |present: u64, str_flag: u64, key_shift: u32, bits: u64| {
+            if meta & present == 0 {
+                return None;
+            }
+            let key = ((meta >> key_shift) & 0xffff) as u16;
+            let value = if meta & str_flag != 0 {
+                FieldValue::Str(bits as u16)
+            } else {
+                FieldValue::U64(bits)
+            };
+            Some((key, value))
+        };
+        // ORDERING: Relaxed — see the `meta` load above.
+        let f1 = decode(FLAG_F1, FLAG_F1_STR, 24, self.f1.load(Ordering::Relaxed));
+        // ORDERING: Relaxed — see the `meta` load above.
+        let f2 = decode(FLAG_F2, FLAG_F2_STR, 8, self.f2.load(Ordering::Relaxed));
+        Some(RawEvent {
+            // ORDERING: Relaxed — see the `meta` load above.
+            ts: self.ts.load(Ordering::Relaxed),
+            kind,
+            name: ((meta >> 40) & 0xffff) as u16,
+            f1,
+            f2,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread buffers and the global registry
+// ---------------------------------------------------------------------
+
+pub(crate) struct ThreadBuf {
+    /// Stable per-buffer id, used as the `tid` in exported traces.
+    pub(crate) tid: u64,
+    /// Thread name at registration time (for the export's thread labels).
+    pub(crate) label: String,
+    head: AtomicUsize,
+    epoch: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadBuf {
+    pub(crate) fn new(tid: u64, label: String, cap: usize) -> ThreadBuf {
+        ThreadBuf {
+            tid,
+            label,
+            head: AtomicUsize::new(0),
+            // Start one epoch behind so the first record resets cleanly.
+            epoch: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Owner-only append. Lazily resets the buffer when the global
+    /// epoch has moved on, drops (and counts) on overflow.
+    pub(crate) fn push(
+        &self,
+        kind: Kind,
+        name: u16,
+        f1: Option<(u16, FieldValue)>,
+        f2: Option<(u16, FieldValue)>,
+    ) {
+        let epoch = crate::current_epoch();
+        // ORDERING: Relaxed — only this thread writes head/epoch/dropped;
+        // the collector tolerates staleness and skips behind-epoch buffers.
+        if self.epoch.load(Ordering::Relaxed) != epoch {
+            // ORDERING: Relaxed — owner-only reset; `head` shrinking to 0
+            // is published to collectors by the next Release store below.
+            self.head.store(0, Ordering::Relaxed);
+            // ORDERING: Relaxed — same owner-only reset.
+            self.dropped.store(0, Ordering::Relaxed);
+            // ORDERING: Relaxed — same owner-only reset.
+            self.epoch.store(epoch, Ordering::Relaxed);
+        }
+        // ORDERING: Relaxed — owner is the only writer of `head`.
+        let idx = self.head.load(Ordering::Relaxed);
+        if idx >= self.slots.len() {
+            // ORDERING: Relaxed — monotonic drop counter, owner-only.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let meta = encode_meta(kind, name, &f1, &f2);
+        let f1_bits = f1.map(|(_, v)| field_bits(&v)).unwrap_or(0);
+        let f2_bits = f2.map(|(_, v)| field_bits(&v)).unwrap_or(0);
+        self.slots[idx].write(crate::now_micros(), meta, f1_bits, f2_bits);
+        // ORDERING: Release — publishes the slot writes above to any
+        // collector that loads `head` with Acquire.
+        self.head.store(idx + 1, Ordering::Release);
+    }
+
+    /// Events currently published in this buffer for `epoch` (empty if
+    /// the buffer has not recorded since the last epoch bump).
+    pub(crate) fn snapshot(&self, epoch: usize) -> (Vec<RawEvent>, u64) {
+        // ORDERING: Relaxed — a behind-epoch buffer is simply skipped;
+        // worst case a racing writer's first event of the new epoch is
+        // missed until the next drain.
+        if self.epoch.load(Ordering::Relaxed) != epoch {
+            return (Vec::new(), 0);
+        }
+        // ORDERING: Acquire — pairs with the owner's Release store,
+        // making all slots below `head` fully visible.
+        let head = self.head.load(Ordering::Acquire).min(self.slots.len());
+        let events = self.slots[..head].iter().filter_map(Slot::read).collect();
+        // ORDERING: Relaxed — monotonic counter, staleness is benign.
+        (events, self.dropped.load(Ordering::Relaxed))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn dropped_count(&self) -> u64 {
+        // ORDERING: Relaxed — test-side read of a monotonic counter.
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+pub(crate) fn registered_buffers() -> Vec<Arc<ThreadBuf>> {
+    match registry().lock() {
+        Ok(g) => g.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
+fn local_buf() -> Arc<ThreadBuf> {
+    thread_local! {
+        static BUF: std::cell::OnceCell<Arc<ThreadBuf>> = const { std::cell::OnceCell::new() };
+    }
+    BUF.with(|cell| {
+        cell.get_or_init(|| {
+            let label = std::thread::current().name().unwrap_or("worker").to_string();
+            let mut reg = match registry().lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let buf = Arc::new(ThreadBuf::new(reg.len() as u64 + 1, label, capacity()));
+            reg.push(Arc::clone(&buf));
+            buf
+        })
+        .clone()
+    })
+}
+
+/// Records one event into the calling thread's buffer. No-op when
+/// tracing is disabled (so `End` events from guards that outlive a
+/// `set_enabled(false)` are silently dropped — the exporters tolerate
+/// unbalanced spans).
+pub(crate) fn record(
+    kind: Kind,
+    name: u16,
+    f1: Option<(u16, FieldValue)>,
+    f2: Option<(u16, FieldValue)>,
+) {
+    if !crate::enabled() {
+        return;
+    }
+    local_buf().push(kind, name, f1, f2);
+}
+
+// ---------------------------------------------------------------------
+// Recording stats
+// ---------------------------------------------------------------------
+
+/// Totals for the current trace epoch across all registered threads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceStats {
+    /// Events currently held in buffers.
+    pub recorded: u64,
+    /// Events dropped because a thread buffer was full.
+    pub dropped: u64,
+    /// Thread buffers registered over the process lifetime.
+    pub threads: usize,
+    /// Per-thread buffer capacity in events.
+    pub capacity: usize,
+}
+
+/// Snapshot of recording totals for the current epoch.
+pub fn stats() -> TraceStats {
+    let epoch = crate::current_epoch();
+    let bufs = registered_buffers();
+    let mut out = TraceStats { threads: bufs.len(), capacity: capacity(), ..TraceStats::default() };
+    for buf in &bufs {
+        let (events, dropped) = buf.snapshot(epoch);
+        out.recorded += events.len() as u64;
+        out.dropped += dropped;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_drops_and_counts_instead_of_wrapping() {
+        let buf = ThreadBuf::new(99, "test".into(), 4);
+        let epoch = crate::current_epoch();
+        for i in 0..10u64 {
+            buf.push(Kind::Instant, 1, Some((2, FieldValue::U64(i))), None);
+        }
+        let (events, dropped) = buf.snapshot(epoch);
+        assert_eq!(events.len(), 4, "capacity bounds retained events");
+        assert_eq!(dropped, 6, "overflow is counted, not silently lost");
+        assert_eq!(buf.dropped_count(), 6);
+        // The retained events are the *first* four, in order.
+        for (i, ev) in events.iter().enumerate() {
+            match ev.f1 {
+                Some((2, FieldValue::U64(v))) => assert_eq!(v, i as u64),
+                other => panic!("unexpected field {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_bump_lazily_resets_owner_buffer() {
+        let buf = ThreadBuf::new(98, "test".into(), 4);
+        let e1 = crate::current_epoch();
+        buf.push(Kind::Instant, 1, None, None);
+        assert_eq!(buf.snapshot(e1).0.len(), 1);
+        // Simulate `enable_fresh`: a later epoch makes old content
+        // invisible, and the next push resets the buffer.
+        let e2 = e1 + 1;
+        assert_eq!(buf.snapshot(e2).0.len(), 0, "stale-epoch buffers are skipped");
+        // Can't bump the global epoch here without racing other tests;
+        // the lazy reset itself is exercised via lib::enable_fresh tests.
+    }
+
+    #[test]
+    fn meta_roundtrips_all_kinds_and_field_shapes() {
+        let buf = ThreadBuf::new(97, "test".into(), 8);
+        let epoch = crate::current_epoch();
+        buf.push(Kind::Begin, 3, None, None);
+        buf.push(Kind::End, 3, Some((4, FieldValue::U64(7))), None);
+        buf.push(
+            Kind::Instant,
+            5,
+            Some((4, FieldValue::Str(2))),
+            Some((6, FieldValue::U64(u64::MAX))),
+        );
+        buf.push(Kind::Counter, 6, Some((6, FieldValue::U64(123))), None);
+        let (events, _) = buf.snapshot(epoch);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, Kind::Begin);
+        assert_eq!(events[0].name, 3);
+        assert!(events[0].f1.is_none() && events[0].f2.is_none());
+        assert_eq!(events[1].kind, Kind::End);
+        assert!(matches!(events[1].f1, Some((4, FieldValue::U64(7)))));
+        assert_eq!(events[2].kind, Kind::Instant);
+        assert!(matches!(events[2].f1, Some((4, FieldValue::Str(2)))));
+        assert!(matches!(events[2].f2, Some((6, FieldValue::U64(u64::MAX)))));
+        assert_eq!(events[3].kind, Kind::Counter);
+    }
+}

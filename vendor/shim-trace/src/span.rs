@@ -1,0 +1,96 @@
+//! RAII spans and the thread-local span stack.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+use crate::{ring, FieldValue, Fields, Kind, Site};
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static STACK: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Nesting depth of open spans on the calling thread.
+pub fn current_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+fn resolve(fields: Fields) -> [Option<(u16, FieldValue)>; 2] {
+    [fields[0].map(|(k, v)| (k.id(), v)), fields[1].map(|(k, v)| (k.id(), v))]
+}
+
+/// An open span. Records `Begin` on creation (via [`span_enter`]) and
+/// the matching `End` when dropped. `!Send` — a span belongs to the
+/// thread-local stack it was pushed on.
+pub struct SpanGuard {
+    name: u16,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(stack.last().copied(), Some(self.name), "span stack out of order");
+            stack.pop();
+        });
+        // If tracing was disabled mid-span this records nothing; the
+        // exporters tolerate a Begin without its End.
+        ring::record(Kind::End, self.name, None, None);
+    }
+}
+
+/// Opens a span: records `Begin` with `fields` and pushes onto the
+/// thread-local stack. Prefer the [`crate::span!`] macro, which also
+/// performs the enabled check and caches the call site.
+pub fn span_enter(site: &'static Site, fields: Fields) -> SpanGuard {
+    let name = site.id();
+    let [f1, f2] = resolve(fields);
+    ring::record(Kind::Begin, name, f1, f2);
+    STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard { name, _not_send: PhantomData }
+}
+
+/// Records an instant event. Prefer the [`crate::instant!`] macro.
+pub fn instant(site: &'static Site, fields: Fields) {
+    let [f1, f2] = resolve(fields);
+    ring::record(Kind::Instant, site.id(), f1, f2);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_support;
+
+    #[test]
+    fn nesting_depth_tracks_guard_lifetimes() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        assert_eq!(crate::current_depth(), 0);
+        {
+            let _outer = crate::span!("span.outer", "n" => 1u64);
+            assert_eq!(crate::current_depth(), 1);
+            {
+                let _inner = crate::span!("span.inner");
+                assert_eq!(crate::current_depth(), 2);
+            }
+            assert_eq!(crate::current_depth(), 1);
+        }
+        assert_eq!(crate::current_depth(), 0);
+        crate::set_enabled(false);
+        let t = crate::drain();
+        let names: Vec<&str> =
+            t.events.iter().filter(|e| e.name.starts_with("span.")).map(|e| e.name).collect();
+        // Begin outer, Begin inner, End inner, End outer.
+        assert_eq!(names, ["span.outer", "span.inner", "span.inner", "span.outer"]);
+    }
+
+    #[test]
+    fn unbound_span_closes_immediately() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        let _ = crate::span!("span.immediate");
+        assert_eq!(crate::current_depth(), 0, "unbound guard drops at once");
+        crate::set_enabled(false);
+        crate::drain();
+    }
+}
