@@ -86,6 +86,9 @@ impl BraidMulWorkspace {
         let n = p.len();
         assert_eq!(q.len(), n, "steady ant requires equal orders");
         assert!(n <= self.capacity, "workspace capacity {} < order {n}", self.capacity);
+        // Attributes this multiply's allocator traffic (ideally none
+        // beyond the final copy-out) to the braid-multiply phase.
+        let _mem = slcs_alloc::alloc_scope!("braid.multiply.mem");
         self.ping[..n].copy_from_slice(p);
         self.ping[n..2 * n].copy_from_slice(q);
         rec_mem(

@@ -31,6 +31,10 @@ use crate::precalc::PrecalcTables;
 /// Panics if the orders differ.
 pub fn steady_ant(p: &Permutation, q: &Permutation) -> Permutation {
     assert_eq!(p.len(), q.len(), "steady ant requires equal orders");
+    // The naive path allocates at every recursion level; the scope
+    // makes that O(n)-allocation profile visible next to the
+    // workspace-backed `braid.multiply.mem`.
+    let _mem = slcs_alloc::alloc_scope!("braid.multiply_naive.mem");
     let forward = rec(p.forward(), q.forward(), None);
     Permutation::from_forward_unchecked(forward)
 }

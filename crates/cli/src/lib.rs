@@ -14,7 +14,10 @@
 //! * `trace` — run any other subcommand with tracing on and export the
 //!   recorded timeline (Chrome-tracing JSON or a plain-text tree);
 //! * `bench-obs` — measure the observability tax: the same wavefront
-//!   sweep with instrumentation compiled out, disabled, and enabled.
+//!   sweep with instrumentation compiled out, disabled, and enabled;
+//! * `bench-mem` — allocation profile of steady-ant multiplication:
+//!   the memory-optimized workspace vs the per-level-allocating basic
+//!   recursion (allocation counts, peak live bytes, wall time).
 //!
 //! Global flags (before the subcommand): `--version`, `--threads N`
 //! (sizes the global rayon pool used by the parallel algorithms).
@@ -167,6 +170,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "bench-engine" => cmd_bench_engine(rest),
         "bench-baseline" => cmd_bench_baseline(rest),
         "bench-obs" => cmd_bench_obs(rest),
+        "bench-mem" => cmd_bench_mem(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "version" | "--version" | "-V" => Ok(format!("{}\n", version_string())),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
@@ -206,6 +210,12 @@ usage:
                                     (instrumentation compiled out vs
                                     disabled vs enabled; JSON to FILE,
                                     default BENCH_obs.json)
+  slcs bench-mem [--quick] [--size N] [--mults N] [--runs N] [--out FILE]
+                                    allocation profile of steady-ant
+                                    multiplication: memory-optimized
+                                    workspace vs per-level allocation
+                                    (allocs, peak live bytes, wall time;
+                                    JSON to FILE, default BENCH_mem.json)
 
 operands: literal strings, or @file (raw bytes, or FASTA if it starts with '>')";
 
@@ -572,6 +582,23 @@ fn median_time<R>(runs: usize, mut f: impl FnMut() -> R) -> std::time::Duration 
     samples[samples.len() / 2]
 }
 
+/// Minimum wall-clock time of `runs` executions (one warmup). The min
+/// is the right estimator when comparing variants of the same workload
+/// under machine noise — contention only ever inflates a sample, so
+/// the fastest observation is the closest to the true cost. `bench-obs`
+/// uses it because its output is a *difference* of timings, which the
+/// median leaves far too noisy for `xtask perf-gate` at quick sizes.
+fn min_time<R>(runs: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
+    std::hint::black_box(f());
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
 fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
     use slcs_semilocal::Scheduling;
 
@@ -726,16 +753,14 @@ fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
 
     slcs_trace::set_enabled(false);
     let untraced = pool.install(|| {
-        median_time(runs, || {
-            slcs_semilocal::par_antidiag_combing_branchless_untraced(&a, &b, grain)
-        })
+        min_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_untraced(&a, &b, grain))
     });
     let disabled = pool.install(|| {
-        median_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_grain(&a, &b, grain))
+        min_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_grain(&a, &b, grain))
     });
     slcs_trace::enable_fresh();
     let enabled = pool.install(|| {
-        median_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_grain(&a, &b, grain))
+        min_time(runs, || slcs_semilocal::par_antidiag_combing_branchless_grain(&a, &b, grain))
     });
     slcs_trace::set_enabled(false);
     let trace_stats = slcs_trace::stats();
@@ -778,6 +803,127 @@ fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// `slcs bench-mem` — allocation profile of steady-ant braid
+/// multiplication: the paper's *memory* optimization (ping-pong
+/// workspace, [`slcs_braid::BraidMulWorkspace`]) against the basic
+/// per-level-allocating recursion, at the same order.
+///
+/// For each variant the batch of multiplies runs once inside an
+/// [`slcs_alloc::AllocScope`] (after a warmup multiply, so one-time
+/// setup such as the workspace itself or precalc tables is excluded)
+/// to count this thread's allocations and the scope-local peak of
+/// live bytes, then again under [`median_time`] for wall clock.
+/// Allocation counts are deterministic for a fixed seed/order, which
+/// is what lets `cargo xtask perf-gate` compare them exactly.
+fn cmd_bench_mem(rest: &[String]) -> Result<String, CliError> {
+    use slcs_perm::Permutation;
+
+    let opts = Options::parse(rest, &["size", "mults", "runs", "out", "seed"])?;
+    let quick = opts.has("quick");
+    let size: usize = opts.value_parsed("size")?.unwrap_or(if quick { 512 } else { 8192 }).max(1);
+    let mults: usize = opts.value_parsed("mults")?.unwrap_or(if quick { 4 } else { 8 }).max(1);
+    let runs: usize = opts.value_parsed("runs")?.unwrap_or(if quick { 1 } else { 3 });
+    let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
+    let out_path = opts.value("out").unwrap_or("BENCH_mem.json").to_string();
+
+    let mut rng = slcs_datagen::seeded_rng(seed);
+    let pairs: Vec<(Permutation, Permutation)> = (0..mults)
+        .map(|_| (Permutation::random(size, &mut rng), Permutation::random(size, &mut rng)))
+        .collect();
+
+    let installed = slcs_alloc::installed();
+    let mut report =
+        format!("steady-ant allocation profile, order {size}, {mults} multiplies, {runs} run(s)\n");
+    writeln!(
+        report,
+        "  allocator {}",
+        if installed { "instrumented" } else { "NOT instrumented (counts will read 0)" }
+    )
+    .unwrap(); // PANIC: fmt to String is infallible
+
+    // (name, allocs, alloc_bytes, peak_live_bytes, millis)
+    let mut rows: Vec<(&str, u64, u64, u64, f64)> = Vec::new();
+
+    // -- naive: fresh allocations at every recursion level.
+    {
+        let batch = || {
+            for (p, q) in &pairs {
+                std::hint::black_box(slcs_braid::steady_ant(p, q));
+            }
+        };
+        batch(); // warmup
+        let scope = slcs_alloc::AllocScope::enter(None);
+        batch();
+        let d = scope.delta();
+        let wall = median_time(runs, batch);
+        rows.push(("naive", d.allocs, d.alloc_bytes, d.peak_live_delta, wall.as_secs_f64() * 1e3));
+    }
+
+    // -- memopt: one workspace reused across the whole batch; only the
+    //    final copy-out of each product should touch the allocator.
+    {
+        let mut ws = slcs_braid::BraidMulWorkspace::new(size);
+        let (p0, q0) = &pairs[0];
+        std::hint::black_box(ws.multiply(p0, q0, None)); // warmup
+        let scope = slcs_alloc::AllocScope::enter(None);
+        for (p, q) in &pairs {
+            std::hint::black_box(ws.multiply(p, q, None));
+        }
+        let d = scope.delta();
+        let wall = median_time(runs, || {
+            for (p, q) in &pairs {
+                std::hint::black_box(ws.multiply(p, q, None));
+            }
+        });
+        rows.push(("memopt", d.allocs, d.alloc_bytes, d.peak_live_delta, wall.as_secs_f64() * 1e3));
+    }
+
+    for (name, allocs, bytes, peak, ms) in &rows {
+        writeln!(
+            report,
+            "  {name:<7} {allocs:>9} allocs ({:.1}/multiply)  {bytes:>12} B allocated  \
+             peak {peak:>10} B  {ms:9.2} ms",
+            *allocs as f64 / mults as f64
+        )
+        .unwrap(); // PANIC: fmt to String is infallible
+    }
+    if installed {
+        let naive = &rows[0];
+        let memopt = &rows[1];
+        writeln!(
+            report,
+            "  memopt does {:.0}x fewer allocations, {:.0}x lower peak",
+            naive.1 as f64 / (memopt.1.max(1)) as f64,
+            naive.3 as f64 / (memopt.3.max(1)) as f64
+        )
+        .unwrap(); // PANIC: fmt to String is infallible
+    }
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"bench\": \"bench-mem\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"algorithm\": \"steady_ant\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"order\": {size},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"multiplies\": {mults},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"runs\": {runs},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"quick\": {quick},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"allocator_installed\": {installed},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"variants\": [").unwrap(); // PANIC: fmt to String is infallible
+    for (i, (name, allocs, bytes, peak, ms)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"allocs\": {allocs}, \"alloc_bytes\": {bytes}, \
+             \"peak_live_bytes\": {peak}, \"millis\": {ms:.3}}}{comma}"
+        )
+        .unwrap(); // PANIC: fmt to String is infallible
+    }
+    writeln!(json, "  ]").unwrap(); // PANIC: fmt to String is infallible
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
+    Ok(report)
+}
+
 fn two_operands(opts: &Options) -> Result<[Vec<u8>; 2], CliError> {
     if opts.positional.len() != 2 {
         return Err(err(format!(
@@ -791,6 +937,12 @@ fn two_operands(opts: &Options) -> Result<[Vec<u8>; 2], CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The unit-test binary installs the instrumented allocator too, so
+    /// the `bench-mem` test exercises real counts rather than the
+    /// not-installed zero path.
+    #[global_allocator]
+    static TEST_ALLOC: slcs_alloc::InstrumentedAlloc = slcs_alloc::InstrumentedAlloc;
 
     fn run(cmd: &str, args: &[&str]) -> Result<String, CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -1008,6 +1160,38 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn bench_mem_shows_memopt_beating_naive() {
+        let out = std::env::temp_dir().join("slcs_bench_mem_test.json");
+        let path = out.display().to_string();
+        let text = run(
+            "bench-mem",
+            &["--quick", "--size", "256", "--mults", "4", "--runs", "1", "--out", &path],
+        )
+        .unwrap();
+        assert!(text.contains("allocs"), "{text}");
+        assert!(text.contains("fewer allocations"), "{text}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"allocator_installed\": true"), "{json}");
+        let field = |variant: &str, key: &str| -> u64 {
+            let v = json.split(&format!("\"name\": \"{variant}\"")).nth(1).unwrap();
+            let v = v.split(&format!("\"{key}\": ")).nth(1).unwrap();
+            v.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap()
+        };
+        let (naive_allocs, memopt_allocs) = (field("naive", "allocs"), field("memopt", "allocs"));
+        let (naive_peak, memopt_peak) =
+            (field("naive", "peak_live_bytes"), field("memopt", "peak_live_bytes"));
+        assert!(
+            memopt_allocs < naive_allocs,
+            "memopt must allocate strictly less: {memopt_allocs} vs {naive_allocs}"
+        );
+        assert!(
+            memopt_peak < naive_peak,
+            "memopt peak must be strictly lower: {memopt_peak} vs {naive_peak}"
+        );
         let _ = std::fs::remove_file(out);
     }
 

@@ -1,5 +1,13 @@
 //! `slcs` — semi-local string comparison from the command line.
 
+/// The instrumented allocator is installed for the whole binary so that
+/// `bench-mem`, the `STATS`/`METRICS` server commands, and `alloc_scope!`
+/// attribution all see real counts (the counting path is a handful of
+/// relaxed per-thread updates; see `slcs-alloc` and BENCH_obs.json for
+/// the measured overhead).
+#[global_allocator]
+static ALLOC: slcs_alloc::InstrumentedAlloc = slcs_alloc::InstrumentedAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (global, rest) = match slcs_cli::parse_global(&args) {

@@ -76,6 +76,9 @@ fn comb(pattern: &[u8], text: &[u8], threads: usize) -> (SemiLocalKernel, AlgoCh
         "algo" => choice.token(),
         "area" => pattern.len() * text.len()
     );
+    // Attribute allocator traffic (braid blocks, kernel storage) to the
+    // kernel-build phase; lands as an instant inside the span above.
+    let _build_mem = slcs_alloc::alloc_scope!("engine.kernel_build.mem");
     match choice {
         AlgoChoice::GridHybridCombing { tasks } => {
             (grid_hybrid_combing(pattern, text, tasks), AlgoChoice::GridHybridCombing { tasks })
@@ -130,6 +133,7 @@ fn edit_entry(
         "kind" => "edit",
         "area" => pattern.len() * text.len()
     );
+    let _build_mem = slcs_alloc::alloc_scope!("engine.index_build.mem");
     let entry = Arc::new(EditDistances::new(pattern, text));
     let evicted = cache.insert(key, CachedIndex::Edit(entry.clone()));
     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.

@@ -61,6 +61,10 @@ struct Shared {
     cache: KernelCache,
     metrics: Metrics,
     config: EngineConfig,
+    /// When this engine was constructed; the source of truth for the
+    /// `slcs_uptime_seconds` gauge (scrapers detect restarts by the
+    /// value going backwards).
+    started: Instant,
 }
 
 /// A long-running, thread-safe comparison engine.
@@ -76,6 +80,7 @@ impl Engine {
             cache: KernelCache::new(config.cache_capacity),
             metrics: Metrics::default(),
             config: config.clone(),
+            started: Instant::now(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -160,6 +165,11 @@ impl Engine {
         self.shared.queue.depth()
     }
 
+    /// Seconds since this engine was constructed (monotonic clock).
+    pub fn uptime_seconds(&self) -> u64 {
+        self.shared.started.elapsed().as_secs()
+    }
+
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
     }
@@ -226,7 +236,13 @@ fn worker_loop(shared: Arc<Shared>) {
                         "algo" => algo.token(),
                         "cache" => cache.token()
                     );
-                    Ok(CompareOutcome { payload, algo, cache, service_micros })
+                    Ok(CompareOutcome {
+                        payload,
+                        algo,
+                        cache,
+                        service_micros,
+                        wait_micros: wait_us,
+                    })
                 }
                 Err(panic) => {
                     let msg = panic

@@ -38,6 +38,10 @@ const BUCKETS: usize = 32;
 #[derive(Default)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Running total of every recorded sample (µs) — the `_sum` series
+    /// of the Prometheus exposition, so scrapers can compute true mean
+    /// latency instead of a bucket-interpolated one.
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -45,6 +49,8 @@ impl Histogram {
         let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS).saturating_sub(1);
         // ORDERING: Relaxed — independent monotonic bucket counter.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — independent monotonic sum counter.
+        self.sum.fetch_add(micros, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -53,7 +59,8 @@ impl Histogram {
             // ORDERING: Relaxed — the snapshot tolerates slightly-torn bucket views.
             *slot = b.load(Ordering::Relaxed);
         }
-        HistogramSnapshot { buckets }
+        // ORDERING: Relaxed — see above; sum and buckets may be one sample apart.
+        HistogramSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
     }
 }
 
@@ -61,6 +68,8 @@ impl Histogram {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded samples (µs).
+    pub sum: u64,
 }
 
 impl HistogramSnapshot {
@@ -86,6 +95,7 @@ impl HistogramSnapshot {
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
             *mine += theirs;
         }
+        self.sum += other.sum;
     }
 
     /// Upper bound (µs) of the bucket holding quantile `q` in `[0, 1]`.
@@ -167,6 +177,8 @@ impl Metrics {
             wait_micros: self.wait_micros.snapshot(),
             service_micros: self.service_micros.snapshot(),
             par_grain: slcs_semilocal::par_grain(),
+            alloc: slcs_alloc::stats(),
+            alloc_installed: slcs_alloc::installed(),
         }
     }
 }
@@ -195,6 +207,13 @@ pub struct StatsSnapshot {
     /// counter, but surfaced here so STATS readers can correlate latency
     /// shifts with scheduling granularity.
     pub par_grain: usize,
+    /// Process-wide allocator telemetry from `slcs-alloc` (all zeros
+    /// unless the binary installed [`slcs_alloc::InstrumentedAlloc`]
+    /// as its global allocator).
+    pub alloc: slcs_alloc::AllocStats,
+    /// Whether the instrumented allocator is actually installed —
+    /// distinguishes "no allocations counted" from "not measuring".
+    pub alloc_installed: bool,
 }
 
 impl StatsSnapshot {
@@ -229,7 +248,48 @@ impl StatsSnapshot {
         }
         write_prometheus_histogram(&mut out, "slcs_wait_micros", &self.wait_micros);
         write_prometheus_histogram(&mut out, "slcs_service_micros", &self.service_micros);
+        self.write_alloc_section(&mut out);
         out
+    }
+
+    /// The `slcs_alloc_*` section: allocator counters, live/peak
+    /// gauges, and the power-of-two size-class histogram. Emitted even
+    /// when the instrumented allocator is not installed (all zeros,
+    /// `slcs_alloc_installed 0`) so scrape configs stay stable.
+    fn write_alloc_section(&self, out: &mut String) {
+        for (name, value) in [
+            ("slcs_alloc_allocations", self.alloc.allocs),
+            ("slcs_alloc_frees", self.alloc.frees),
+            ("slcs_alloc_allocated_bytes", self.alloc.alloc_bytes),
+            ("slcs_alloc_freed_bytes", self.alloc.freed_bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {name}_total counter");
+            let _ = writeln!(out, "{name}_total {value}");
+        }
+        for (name, value) in [
+            ("slcs_alloc_installed", u64::from(self.alloc_installed)),
+            ("slcs_alloc_live_bytes", self.alloc.live_bytes),
+            ("slcs_alloc_peak_live_bytes", self.alloc.peak_live_bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let name = "slcs_alloc_size_bytes";
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in self.alloc.size_classes.iter().enumerate() {
+            cumulative += count;
+            match slcs_alloc::AllocStats::class_upper_bound(i) {
+                Some(bound) => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.alloc.alloc_bytes);
+        let _ = writeln!(out, "{name}_count {cumulative}");
     }
 }
 
@@ -247,6 +307,7 @@ fn write_prometheus_histogram(out: &mut String, name: &str, h: &HistogramSnapsho
             }
         }
     }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
     let _ = writeln!(out, "{name}_count {cumulative}");
 }
 
@@ -270,6 +331,15 @@ impl std::fmt::Display for StatsSnapshot {
         writeln!(f, "batches:  {} popped, {} requests coalesced", self.batches, self.coalesced)?;
         writeln!(f, "queue:    depth={} max_depth={}", self.queue_depth, self.max_queue_depth)?;
         writeln!(f, "sched:    par_grain={}", self.par_grain)?;
+        writeln!(
+            f,
+            "memory:   allocs={} frees={} live={}B peak={}B ({})",
+            self.alloc.allocs,
+            self.alloc.frees,
+            self.alloc.live_bytes,
+            self.alloc.peak_live_bytes,
+            if self.alloc_installed { "instrumented" } else { "not instrumented" },
+        )?;
         writeln!(
             f,
             "wait:     p50<={}us p95<={}us p99<={}us (n={})",
@@ -320,7 +390,7 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile(0.5), 2); // in bucket 0 → bound 2^1
         assert!(s.quantile(0.99) >= 4096);
-        assert_eq!(HistogramSnapshot { buckets: [0; BUCKETS] }.quantile(0.9), 0);
+        assert_eq!(HistogramSnapshot { buckets: [0; BUCKETS], sum: 0 }.quantile(0.9), 0);
     }
 
     #[test]
@@ -396,8 +466,39 @@ mod tests {
         assert!(text.contains("slcs_wait_micros_bucket{le=\"4\"} 2"));
         assert!(text.contains("slcs_wait_micros_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("slcs_wait_micros_count 2"));
+        assert!(text.contains("slcs_wait_micros_sum 6"));
         assert!(text.contains("slcs_service_micros_bucket{le=\"128\"} 1"));
         assert!(text.contains("slcs_service_micros_count 1"));
+        assert!(text.contains("slcs_service_micros_sum 100"));
         assert!(text.contains("# TYPE slcs_wait_micros histogram"));
+        // The allocator section is always present, installed or not.
+        for name in [
+            "slcs_alloc_allocations_total",
+            "slcs_alloc_frees_total",
+            "slcs_alloc_allocated_bytes_total",
+            "slcs_alloc_freed_bytes_total",
+            "slcs_alloc_installed",
+            "slcs_alloc_live_bytes",
+            "slcs_alloc_peak_live_bytes",
+            "slcs_alloc_size_bytes_sum",
+            "slcs_alloc_size_bytes_count",
+        ] {
+            assert!(text.contains(&format!("\n{name} ")), "missing {name}:\n{text}");
+        }
+        assert!(text.contains("slcs_alloc_size_bytes_bucket{le=\"+Inf\"}"), "{text}");
+    }
+
+    #[test]
+    fn histogram_sum_accumulates_and_merges() {
+        let h = Histogram::default();
+        h.record(3);
+        h.record(7);
+        let mut s = h.snapshot();
+        assert_eq!(s.sum, 10);
+        let other = Histogram::default();
+        other.record(90);
+        s.merge(&other.snapshot());
+        assert_eq!(s.sum, 100);
+        assert_eq!(s.count(), 3);
     }
 }

@@ -222,6 +222,7 @@ mod model_tests {
             algo: AlgoChoice::BitParallel,
             cache: CacheStatus::Bypass,
             service_micros: 1,
+            wait_micros: 1,
         })
     }
 
@@ -403,6 +404,7 @@ mod tests {
             algo: crate::request::AlgoChoice::BitParallel,
             cache: crate::request::CacheStatus::Bypass,
             service_micros: 1,
+            wait_micros: 1,
         }));
         let outcome = handle.join().unwrap().unwrap();
         assert_eq!(outcome.payload, Payload::Score(7));

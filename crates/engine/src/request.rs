@@ -143,6 +143,11 @@ pub struct CompareOutcome {
     pub cache: CacheStatus,
     /// Service time (compute only, excluding queue wait), in microseconds.
     pub service_micros: u64,
+    /// Time spent queued before a worker picked the request up, in
+    /// microseconds. Together with `service_micros` this attributes the
+    /// full accept-to-answer latency per request: end-to-end ≈ wait +
+    /// service, so a caller can tell backpressure from slow compute.
+    pub wait_micros: u64,
 }
 
 /// Terminal failure of a submitted request.

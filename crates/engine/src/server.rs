@@ -199,6 +199,16 @@ fn joined_buckets(buckets: &[u64]) -> String {
 /// sections, terminated by `# EOF`.
 fn metrics_exposition(engine: &Engine) -> String {
     let mut out = engine.stats().to_prometheus();
+    // Build identity + uptime: scrapers join on the version label and
+    // detect restarts by the uptime gauge going backwards.
+    out.push_str(&format!(
+        "# TYPE slcs_build_info gauge\nslcs_build_info{{version=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str(&format!(
+        "# TYPE slcs_uptime_seconds gauge\nslcs_uptime_seconds {}\n",
+        engine.uptime_seconds()
+    ));
     let pool = rayon::pool_stats();
     for (name, value) in [
         ("slcs_pool_jobs_executed", pool.jobs_executed),
@@ -240,6 +250,8 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
                 "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
                  hits={} misses={} evictions={} batches={} coalesced={} \
                  depth={} max_depth={} par_grain={} \
+                 wait_sum={} service_sum={} \
+                 allocs={} frees={} live_bytes={} peak_live_bytes={} alloc_installed={} \
                  wait_buckets={} service_buckets={}",
                 s.submitted,
                 s.accepted,
@@ -254,6 +266,13 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
                 s.queue_depth,
                 s.max_queue_depth,
                 s.par_grain,
+                s.wait_micros.sum,
+                s.service_micros.sum,
+                s.alloc.allocs,
+                s.alloc.frees,
+                s.alloc.live_bytes,
+                s.alloc.peak_live_bytes,
+                u8::from(s.alloc_installed),
                 joined_buckets(&s.wait_micros.buckets),
                 joined_buckets(&s.service_micros.buckets),
             );
@@ -372,6 +391,11 @@ mod tests {
         assert!(stats.contains(" hits=2"), "{stats}");
         assert!(stats.contains(" wait_buckets="), "{stats}");
         assert!(stats.contains(" service_buckets="), "{stats}");
+        assert!(stats.contains(" wait_sum="), "{stats}");
+        assert!(stats.contains(" service_sum="), "{stats}");
+        assert!(stats.contains(" allocs="), "{stats}");
+        assert!(stats.contains(" peak_live_bytes="), "{stats}");
+        assert!(stats.contains(" alloc_installed="), "{stats}");
     }
 
     #[test]
@@ -385,9 +409,17 @@ mod tests {
             "slcs_requests_submitted_total 1",
             "slcs_queue_depth ",
             "slcs_wait_micros_bucket{le=\"2\"}",
+            "slcs_wait_micros_sum ",
             "slcs_service_micros_count 1",
+            "slcs_service_micros_sum ",
             "slcs_pool_jobs_executed_total ",
             "slcs_trace_enabled ",
+            "slcs_build_info{version=\"",
+            "slcs_uptime_seconds ",
+            "slcs_alloc_allocations_total ",
+            "slcs_alloc_peak_live_bytes ",
+            "slcs_alloc_size_bytes_bucket{le=\"+Inf\"}",
+            "slcs_alloc_installed ",
         ] {
             assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
         }

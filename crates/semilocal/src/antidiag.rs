@@ -264,6 +264,9 @@ where
         } else {
             None
         };
+        // Whole-sweep allocation attribution (strand vectors are already
+        // allocated above; a clean sweep allocates nothing per diagonal).
+        let _sweep_mem = slcs_alloc::alloc_scope!("wavefront.sweep.mem");
         rayon::team_run(team, |view| {
             for d in 0..(m + n - 1) {
                 let (h0, v0, len) = diag_ranges(m, n, d);

@@ -16,6 +16,12 @@
 //!   plus presence of the three instrumentation layers (an
 //!   `engine.request` span, a `pool.job` span, a `wavefront.diag`
 //!   span). CI runs it against a traced quick benchmark.
+//! * `perf-gate` — compares freshly-run benchmark JSON (`BENCH_mem`,
+//!   `BENCH_obs`, `BENCH_pool`) against the committed snapshots in
+//!   `perf/baselines/`, gating only machine-robust quantities
+//!   (deterministic allocation counts, self-relative overhead
+//!   percentages, scheduling-mode ratios) with configurable noise
+//!   tolerance. See docs/PERF.md.
 //!
 //! The lint is a line-based scan with a small lexer that tracks strings,
 //! char literals, nested block comments and `#[cfg(test)]` regions — not
@@ -33,10 +39,12 @@ fn main() -> ExitCode {
         Some("lint") => lint(),
         Some("model-check") => model_check(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
+        Some("perf-gate") => perf_gate(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint | model-check [--bound N] [--schedules N] [--seed N] \
-                 | trace-check FILE>"
+                 | trace-check FILE | perf-gate [--fresh DIR] [--baselines DIR] \
+                 [--tolerance PCT] [--overhead-slack PTS]>"
             );
             ExitCode::FAILURE
         }
@@ -133,6 +141,292 @@ fn trace_check(args: &[String]) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------
+// perf-gate: compare fresh benchmark JSON against committed baselines
+// ---------------------------------------------------------------------
+
+/// `cargo xtask perf-gate` — regression gate over the benchmark JSON
+/// artifacts. CI first reruns the quick benches into a scratch directory
+/// (`--fresh`), then this command compares them against the committed
+/// snapshots in `perf/baselines/` (`--baselines`).
+///
+/// Only machine-robust quantities gate:
+///
+/// * `BENCH_mem.json` — allocation counts and scope-local peak live
+///   bytes are deterministic for a fixed seed/order, so they compare
+///   directly (within `--tolerance` percent); the memory-optimized
+///   variant must additionally beat the naive one outright, and the
+///   fresh run must have the instrumented allocator installed.
+/// * `BENCH_obs.json` — the disabled/enabled overhead *percentages*
+///   (already self-relative) may not exceed the baseline by more than
+///   `--overhead-slack` percentage points.
+/// * `BENCH_pool.json` — the team/spawn ns-per-cell *ratio* at the
+///   largest configuration (absolute wall times never gate — they are
+///   machine-dependent).
+///
+/// A baseline file that does not exist is skipped with a note, so gates
+/// can be adopted one artifact at a time; a *fresh* file missing while
+/// its baseline exists is a failure.
+fn perf_gate(args: &[String]) -> ExitCode {
+    let mut fresh_dir = String::from(".");
+    let mut base_dir = String::from("perf/baselines");
+    let mut tolerance = 25.0f64;
+    let mut slack = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |slot: &mut String| match it.next() {
+            Some(v) => {
+                *slot = v.clone();
+                true
+            }
+            None => false,
+        };
+        let mut val = String::new();
+        let ok = match arg.as_str() {
+            "--fresh" => grab(&mut fresh_dir),
+            "--baselines" => grab(&mut base_dir),
+            "--tolerance" => grab(&mut val) && val.parse().map(|v| tolerance = v).is_ok(),
+            "--overhead-slack" => grab(&mut val) && val.parse().map(|v| slack = v).is_ok(),
+            _ => false,
+        };
+        if !ok {
+            eprintln!("perf-gate: bad argument {arg:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut problems = Vec::new();
+    let mut notes = Vec::new();
+    let mut gated = 0usize;
+    for (file, check) in [
+        ("BENCH_mem.json", gate_mem as fn(&str, &str, f64, f64) -> Vec<String>),
+        ("BENCH_obs.json", gate_obs),
+        ("BENCH_pool.json", gate_pool),
+    ] {
+        let base_path = Path::new(&base_dir).join(file);
+        let Ok(base) = std::fs::read_to_string(&base_path) else {
+            notes.push(format!("no baseline {} — skipped", base_path.display()));
+            continue;
+        };
+        let fresh_path = Path::new(&fresh_dir).join(file);
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(f) => f,
+            Err(err) => {
+                problems.push(format!(
+                    "{file}: baseline exists but fresh run is missing \
+                     ({}: {err})",
+                    fresh_path.display()
+                ));
+                continue;
+            }
+        };
+        gated += 1;
+        problems.extend(
+            check(&fresh, &base, tolerance, slack).into_iter().map(|p| format!("{file}: {p}")),
+        );
+    }
+
+    for n in &notes {
+        println!("perf-gate: {n}");
+    }
+    if problems.is_empty() {
+        if gated == 0 {
+            eprintln!("perf-gate: nothing gated (no baselines found in {base_dir})");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf-gate: {gated} artifact(s) within tolerance \
+             ({tolerance}% counts/ratios, {slack} overhead points)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("perf-gate: {p}");
+        }
+        eprintln!("perf-gate: {} regression(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The raw text after `"key":`, or `None` if the key is absent.
+/// Searches the whole of `text` — callers narrow the scope first (e.g.
+/// to one variant object) when keys repeat.
+fn field_after<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    text[at..].trim_start().strip_prefix(':').map(str::trim_start)
+}
+
+fn num_field(text: &str, key: &str) -> Option<f64> {
+    let rest = field_after(text, key)?;
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn bool_field(text: &str, key: &str) -> Option<bool> {
+    let rest = field_after(text, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// The `{…}` object inside `variants`/`rows` whose `"name"`/`"mode"`
+/// field equals `name` (objects in our bench JSON never nest).
+fn object_with<'a>(text: &'a str, key: &str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\": \"{name}\"");
+    let at = text.find(&marker)?;
+    let start = text[..at].rfind('{')?;
+    let end = at + text[at..].find('}')?;
+    Some(&text[start..=end])
+}
+
+/// Relative-regression check: `fresh` may exceed `base` by at most
+/// `tol_pct` percent. Improvements never fail.
+fn within(label: &str, fresh: f64, base: f64, tol_pct: f64, problems: &mut Vec<String>) {
+    if fresh > base * (1.0 + tol_pct / 100.0) {
+        problems.push(format!(
+            "{label} regressed: {fresh} vs baseline {base} (+{:.1}% > {tol_pct}% tolerance)",
+            100.0 * (fresh - base) / base.max(f64::MIN_POSITIVE)
+        ));
+    }
+}
+
+fn gate_mem(fresh: &str, base: &str, tol_pct: f64, _slack: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    if bool_field(fresh, "allocator_installed") != Some(true) {
+        problems
+            .push("fresh run reports allocator_installed != true — counts are meaningless".into());
+        return problems;
+    }
+    for key in ["order", "multiplies"] {
+        let (f, b) = (num_field(fresh, key), num_field(base, key));
+        if f != b {
+            problems.push(format!("config drift: {key} fresh {f:?} vs baseline {b:?}"));
+            return problems;
+        }
+    }
+    let get = |text: &str, variant: &str, key: &str| -> Option<f64> {
+        num_field(object_with(text, "name", variant)?, key)
+    };
+    let need = |text: &str, which: &str, variant: &str, key: &str, problems: &mut Vec<String>| {
+        let v = get(text, variant, key);
+        if v.is_none() {
+            problems.push(format!("{which} run is missing {variant}.{key}"));
+        }
+        v
+    };
+    for variant in ["naive", "memopt"] {
+        for key in ["allocs", "peak_live_bytes"] {
+            let (Some(f), Some(b)) = (
+                need(fresh, "fresh", variant, key, &mut problems),
+                need(base, "baseline", variant, key, &mut problems),
+            ) else {
+                continue;
+            };
+            within(&format!("{variant}.{key}"), f, b, tol_pct, &mut problems);
+        }
+    }
+    // The point of the optimization, gated outright on the fresh run.
+    if let (Some(na), Some(ma), Some(np), Some(mp)) = (
+        get(fresh, "naive", "allocs"),
+        get(fresh, "memopt", "allocs"),
+        get(fresh, "naive", "peak_live_bytes"),
+        get(fresh, "memopt", "peak_live_bytes"),
+    ) {
+        if ma >= na {
+            problems.push(format!("memopt no longer allocates less than naive ({ma} vs {na})"));
+        }
+        if mp >= np {
+            problems.push(format!("memopt peak live bytes no longer below naive ({mp} vs {np})"));
+        }
+    }
+    problems
+}
+
+fn gate_obs(fresh: &str, base: &str, _tol_pct: f64, slack: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for key in ["overhead_disabled_percent", "overhead_enabled_percent"] {
+        let (Some(f), Some(b)) = (num_field(fresh, key), num_field(base, key)) else {
+            problems.push(format!("missing {key} in fresh or baseline"));
+            continue;
+        };
+        // Overheads are already percentages (self-relative), so the
+        // budget is absolute points on top of the baseline. A negative
+        // baseline (instrumented run measured *faster* than untraced)
+        // is pure timing noise — the true overhead is ≥ 0 — so it
+        // clamps to zero rather than tightening the budget.
+        let b = b.max(0.0);
+        if f > b + slack {
+            problems.push(format!(
+                "{key} regressed: {f:.2}% vs baseline {b:.2}% \
+                 (+{:.2} points > {slack} point slack)",
+                f - b
+            ));
+        }
+    }
+    problems
+}
+
+fn gate_pool(fresh: &str, base: &str, tol_pct: f64, _slack: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    // Gate the team/spawn ratio at the largest (size, threads) row pair
+    // present in the baseline — a machine-independent quantity, unlike
+    // the raw ns/cell numbers.
+    let ratio = |text: &str| -> Option<(f64, f64, f64)> {
+        let mut best: Option<(f64, f64, f64)> = None; // (size, threads, ratio)
+        for (at, _) in text.match_indices("\"mode\": \"team\"") {
+            let start = text[..at].rfind('{')?;
+            let end = at + text[at..].find('}')?;
+            let row = &text[start..=end];
+            let (size, threads, team_ns) = (
+                num_field(row, "size")?,
+                num_field(row, "threads")?,
+                num_field(row, "ns_per_cell")?,
+            );
+            // The matching spawn row shares size and threads.
+            let spawn_ns =
+                text.match_indices("\"mode\": \"spawn_per_diag\"").find_map(|(at, _)| {
+                    let start = text[..at].rfind('{')?;
+                    let end = at + text[at..].find('}')?;
+                    let row = &text[start..=end];
+                    (num_field(row, "size") == Some(size)
+                        && num_field(row, "threads") == Some(threads))
+                    .then(|| num_field(row, "ns_per_cell"))?
+                })?;
+            let cand = (size, threads, team_ns / spawn_ns.max(f64::MIN_POSITIVE));
+            if best.is_none_or(|(s, t, _)| (size, threads) > (s, t)) {
+                best = Some(cand);
+            }
+        }
+        best
+    };
+    match (ratio(fresh), ratio(base)) {
+        (Some((fs, ft, fr)), Some((bs, bt, br))) => {
+            if (fs, ft) != (bs, bt) {
+                problems.push(format!(
+                    "config drift: largest row is {fs}x{fs} t={ft} fresh \
+                     vs {bs}x{bs} t={bt} baseline"
+                ));
+            } else {
+                within(
+                    &format!("team/spawn ns-per-cell ratio at {fs}x{fs} t={ft}"),
+                    fr,
+                    br,
+                    tol_pct,
+                    &mut problems,
+                );
+            }
+        }
+        _ => problems.push("cannot compute team/spawn ratio in fresh or baseline".into()),
+    }
+    problems
+}
+
+// ---------------------------------------------------------------------
 // model-check runner
 // ---------------------------------------------------------------------
 
@@ -225,7 +519,8 @@ fn model_check(args: &[String]) -> ExitCode {
 /// that hold scheduler or lock-free code. The other vendored shims
 /// (rand, proptest, criterion) mirror external APIs and hold no
 /// concurrency code; `xtask` itself is a dev tool, not library code.
-const AUDIT_ROOTS: &[&str] = &["crates", "vendor/rayon", "vendor/shim-loom", "vendor/shim-trace"];
+const AUDIT_ROOTS: &[&str] =
+    &["crates", "vendor/rayon", "vendor/shim-loom", "vendor/shim-trace", "vendor/shim-alloc"];
 const SKIP_DIRS: &[&str] = &["crates/xtask", "target"];
 
 fn lint() -> ExitCode {
@@ -720,5 +1015,127 @@ fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_json(
+        memopt_allocs: u64,
+        memopt_peak: u64,
+        naive_allocs: u64,
+        naive_peak: u64,
+        installed: bool,
+    ) -> String {
+        format!(
+            "{{\n  \"bench\": \"bench-mem\",\n  \"order\": 512,\n  \"multiplies\": 4,\n  \
+             \"allocator_installed\": {installed},\n  \"variants\": [\n    \
+             {{\"name\": \"naive\", \"allocs\": {naive_allocs}, \"alloc_bytes\": 9000, \
+             \"peak_live_bytes\": {naive_peak}, \"millis\": 1.0}},\n    \
+             {{\"name\": \"memopt\", \"allocs\": {memopt_allocs}, \"alloc_bytes\": 100, \
+             \"peak_live_bytes\": {memopt_peak}, \"millis\": 0.5}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn json_scanners_extract_fields() {
+        let j = mem_json(4, 2048, 4000, 900_000, true);
+        assert_eq!(num_field(&j, "order"), Some(512.0));
+        assert_eq!(bool_field(&j, "allocator_installed"), Some(true));
+        let memopt = object_with(&j, "name", "memopt").unwrap();
+        assert_eq!(num_field(memopt, "allocs"), Some(4.0));
+        assert_eq!(num_field(memopt, "peak_live_bytes"), Some(2048.0));
+        assert!(object_with(&j, "name", "missing").is_none());
+        assert!(num_field(&j, "nonexistent").is_none());
+    }
+
+    #[test]
+    fn gate_mem_passes_identical_runs() {
+        let j = mem_json(4, 2048, 4000, 900_000, true);
+        assert!(gate_mem(&j, &j, 25.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn gate_mem_fails_on_doctored_baseline() {
+        let base = mem_json(4, 2048, 2000, 400_000, true); // doctored: halved counts
+        let fresh = mem_json(4, 2048, 4000, 900_000, true);
+        let problems = gate_mem(&fresh, &base, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("naive.allocs regressed")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("naive.peak_live_bytes regressed")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gate_mem_enforces_memopt_beats_naive() {
+        let bad = mem_json(5000, 2048, 4000, 900_000, true);
+        let problems = gate_mem(&bad, &bad, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("no longer allocates less")), "{problems:?}");
+        let bad_peak = mem_json(4, 900_000, 4000, 900_000, true);
+        let problems = gate_mem(&bad_peak, &bad_peak, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("peak live bytes")), "{problems:?}");
+    }
+
+    #[test]
+    fn gate_mem_requires_instrumented_allocator_and_matching_config() {
+        let fresh = mem_json(4, 2048, 4000, 900_000, false);
+        let problems = gate_mem(&fresh, &fresh, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("allocator_installed")), "{problems:?}");
+        let fresh = mem_json(4, 2048, 4000, 900_000, true);
+        let base = fresh.replace("\"order\": 512", "\"order\": 1024");
+        let problems = gate_mem(&fresh, &base, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("config drift")), "{problems:?}");
+    }
+
+    fn obs_json(disabled: f64, enabled: f64) -> String {
+        format!(
+            "{{\n  \"bench\": \"bench-obs\",\n  \"overhead_disabled_percent\": {disabled:.3},\n  \
+             \"overhead_enabled_percent\": {enabled:.3}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn gate_obs_allows_slack_but_fails_past_it() {
+        let base = obs_json(1.0, 8.0);
+        assert!(gate_obs(&obs_json(9.0, 15.0), &base, 25.0, 10.0).is_empty());
+        let problems = gate_obs(&obs_json(12.0, 8.0), &base, 25.0, 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("overhead_disabled_percent regressed")),
+            "{problems:?}"
+        );
+        // Negative overheads (faster than untraced: measurement noise)
+        // are always acceptable.
+        assert!(gate_obs(&obs_json(-0.5, -0.1), &base, 25.0, 10.0).is_empty());
+        // A negative *baseline* clamps to zero instead of tightening
+        // the budget below the slack.
+        assert!(gate_obs(&obs_json(9.0, 8.0), &obs_json(-5.0, 8.0), 25.0, 10.0).is_empty());
+    }
+
+    fn pool_json(team_ns: f64, spawn_ns: f64) -> String {
+        format!(
+            "{{\n  \"bench\": \"bench-baseline\",\n  \"rows\": [\n    \
+             {{\"size\": 256, \"threads\": 1, \"mode\": \"spawn_per_diag\", \
+             \"ns_per_cell\": 9.0, \"millis\": 1.0}},\n    \
+             {{\"size\": 256, \"threads\": 1, \"mode\": \"team\", \
+             \"ns_per_cell\": 9.0, \"millis\": 1.0}},\n    \
+             {{\"size\": 256, \"threads\": 2, \"mode\": \"spawn_per_diag\", \
+             \"ns_per_cell\": {spawn_ns:.3}, \"millis\": 1.0}},\n    \
+             {{\"size\": 256, \"threads\": 2, \"mode\": \"team\", \
+             \"ns_per_cell\": {team_ns:.3}, \"millis\": 1.0}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn gate_pool_compares_team_spawn_ratio_at_largest_config() {
+        let base = pool_json(5.0, 10.0); // ratio 0.5
+        assert!(gate_pool(&pool_json(6.0, 10.0), &base, 25.0, 10.0).is_empty()); // 0.6 ≤ 0.5·1.25
+        let problems = gate_pool(&pool_json(8.0, 10.0), &base, 25.0, 10.0); // 0.8 > 0.625
+        assert!(problems.iter().any(|p| p.contains("ratio at 256x256 t=2")), "{problems:?}");
+        // Absolute slowdown with an unchanged ratio passes: wall times
+        // are machine-dependent and must not gate.
+        assert!(gate_pool(&pool_json(50.0, 100.0), &base, 25.0, 10.0).is_empty());
     }
 }

@@ -1,0 +1,124 @@
+//! End-to-end allocation telemetry: this test binary installs the
+//! instrumenting allocator and checks the whole chain — raw counters,
+//! scope attribution, the engine's stats snapshot — plus the paper's
+//! §4.2.1 claim itself: the memory-optimized steady ant performs O(1)
+//! heap allocations per multiplication after warmup, while the basic
+//! recursion allocates proportionally to its recursion tree.
+
+use rand::SeedableRng;
+use slcs_braid::{steady_ant, BraidMulWorkspace};
+use slcs_perm::Permutation;
+
+#[global_allocator]
+static ALLOC: slcs_alloc::InstrumentedAlloc = slcs_alloc::InstrumentedAlloc;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xA110C)
+}
+
+#[test]
+fn allocator_is_installed_and_balanced() {
+    assert!(slcs_alloc::installed(), "instrumented allocator not active in this binary");
+    let before = slcs_alloc::thread_stats();
+    {
+        let v: Vec<u64> = vec![7; 1000];
+        std::hint::black_box(&v);
+    }
+    let after = slcs_alloc::thread_stats();
+    assert!(after.allocs > before.allocs);
+    assert!(after.frees > before.frees);
+    assert_eq!(
+        after.alloc_bytes - before.alloc_bytes,
+        after.freed_bytes - before.freed_bytes,
+        "everything allocated in the block was freed"
+    );
+}
+
+#[test]
+fn scope_attributes_allocations_and_peak() {
+    let scope = slcs_alloc::AllocScope::enter(None);
+    let v: Vec<u8> = vec![0; 1 << 16];
+    drop(v);
+    let d = scope.delta();
+    assert!(d.allocs >= 1, "scope saw the allocation");
+    assert!(d.alloc_bytes >= 1 << 16);
+    assert!(
+        d.peak_live_delta >= 1 << 16,
+        "peak covers the transient buffer: {}",
+        d.peak_live_delta
+    );
+}
+
+/// The paper's memory optimization, as a regression test: a reused
+/// workspace multiplies with a *constant* number of allocations per
+/// multiply (the copy-out of the result), independent of the order,
+/// while the basic recursion's allocation count grows with the order.
+#[test]
+fn memopt_steady_ant_does_constant_allocations_per_multiply() {
+    let mut rng = rng();
+    let mut per_multiply = |n: usize| -> u64 {
+        let mut ws = BraidMulWorkspace::new(n);
+        let pairs: Vec<(Permutation, Permutation)> = (0..4)
+            .map(|_| (Permutation::random(n, &mut rng), Permutation::random(n, &mut rng)))
+            .collect();
+        std::hint::black_box(ws.multiply(&pairs[0].0, &pairs[0].1, None)); // warmup
+        let scope = slcs_alloc::AllocScope::enter(None);
+        for (p, q) in &pairs {
+            std::hint::black_box(ws.multiply(p, q, None));
+        }
+        scope.delta().allocs / pairs.len() as u64
+    };
+    let small = per_multiply(128);
+    let large = per_multiply(2048);
+    assert!(small <= 4, "memopt allocates O(1) per multiply, got {small}");
+    assert_eq!(small, large, "allocation count must not grow with the order");
+}
+
+#[test]
+fn naive_steady_ant_allocations_grow_with_order() {
+    let mut rng = rng();
+    let mut count = |n: usize| -> u64 {
+        let p = Permutation::random(n, &mut rng);
+        let q = Permutation::random(n, &mut rng);
+        std::hint::black_box(steady_ant(&p, &q)); // warmup (precalc tables etc.)
+        let scope = slcs_alloc::AllocScope::enter(None);
+        std::hint::black_box(steady_ant(&p, &q));
+        scope.delta().allocs
+    };
+    let small = count(256);
+    let large = count(1024);
+    assert!(large >= 3 * small, "naive recursion allocates per level: {small} -> {large}");
+    // And the headline comparison of BENCH_mem: naive vs workspace.
+    let mut ws = BraidMulWorkspace::new(1024);
+    let p = Permutation::random(1024, &mut rng);
+    let q = Permutation::random(1024, &mut rng);
+    std::hint::black_box(ws.multiply(&p, &q, None));
+    let scope = slcs_alloc::AllocScope::enter(None);
+    std::hint::black_box(ws.multiply(&p, &q, None));
+    let memopt = scope.delta().allocs;
+    assert!(memopt * 100 < large, "memopt ({memopt}) must be far below naive ({large})");
+}
+
+/// The engine snapshot carries the process-wide allocator counters and
+/// reports the allocator as installed in this binary.
+#[test]
+fn engine_stats_snapshot_carries_allocation_counters() {
+    let engine = slcs_engine::Engine::with_defaults();
+    let req = slcs_engine::CompareRequest::new(
+        b"ACGTACGT".as_slice(),
+        b"ACGTTGCA".as_slice(),
+        slcs_engine::Operation::Lcs,
+    );
+    engine.submit_wait(req).expect("compare");
+    let snap = engine.stats();
+    assert!(snap.alloc_installed, "snapshot must see the installed allocator");
+    assert!(snap.alloc.allocs > 0, "process-wide allocation counter moved");
+    assert!(snap.alloc.live_bytes > 0, "engine keeps live allocations");
+    assert!(snap.alloc.peak_live_bytes >= snap.alloc.live_bytes);
+    // The shard counters and the class table are separate atomics, so a
+    // snapshot taken while other test threads allocate can tear by a few
+    // in-flight allocations — equality only holds within that slack.
+    let total: u64 = snap.alloc.size_classes.iter().sum();
+    let drift = total.abs_diff(snap.alloc.allocs);
+    assert!(drift < 256, "size-class histogram tracks the allocation counter (drift {drift})");
+}

@@ -11,6 +11,11 @@ use std::sync::Arc;
 
 use slcs_engine::{serve, Engine, EngineConfig, ServerConfig};
 
+/// Installed so the `slcs_alloc_*` metrics expose real counts, exactly
+/// as in the production binary.
+#[global_allocator]
+static ALLOC: slcs_alloc::InstrumentedAlloc = slcs_alloc::InstrumentedAlloc;
+
 fn small_engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         workers: 2,
@@ -148,12 +153,38 @@ fn metrics_over_tcp_exposes_every_counter_and_histogram() {
             prev = v;
         }
         assert_eq!(sample(&format!("{hist}_count")), 2.0, "{hist}_count");
+        assert!(sample(&format!("{hist}_sum")) >= 0.0, "{hist}_sum must ride along");
     }
 
     // The executor-pool and tracing sections ride along.
     for name in ["slcs_pool_jobs_executed_total", "slcs_trace_enabled"] {
         let _ = sample(name);
     }
+
+    // Build metadata: the info-pattern gauge with the version label,
+    // and the uptime gauge.
+    assert!(
+        lines.iter().any(|l| l.starts_with("slcs_build_info{version=\"") && l.ends_with("\"} 1")),
+        "missing slcs_build_info info gauge"
+    );
+    assert!(sample("slcs_uptime_seconds") >= 0.0);
+
+    // The allocator section: this test binary installs the instrumented
+    // allocator, so the counters are live.
+    assert_eq!(sample("slcs_alloc_installed"), 1.0);
+    assert!(sample("slcs_alloc_allocations_total") > 0.0);
+    assert!(sample("slcs_alloc_live_bytes") > 0.0);
+    assert!(sample("slcs_alloc_peak_live_bytes") >= sample("slcs_alloc_live_bytes"));
+    let inf_bucket = lines
+        .iter()
+        .find(|l| l.starts_with("slcs_alloc_size_bytes_bucket{le=\"+Inf\"}"))
+        .expect("size-class histogram has a +Inf bucket")
+        .rsplit_once(' ')
+        .unwrap()
+        .1
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(inf_bucket, sample("slcs_alloc_size_bytes_count"));
 
     assert_eq!(client.round_trip("QUIT"), "OK bye");
     handle.stop();
@@ -177,6 +208,10 @@ fn trace_on_dump_round_trip_over_tcp() {
     for span in ["engine.submit", "engine.request", "engine.dispatch"] {
         assert!(json.contains(&format!("\"name\":\"{span}\"")), "missing {span} in {json}");
     }
+    // Chrome-trace metadata: the process name and per-thread dropped
+    // counter events are part of every export.
+    assert!(json.contains("\"name\":\"process_name\""), "{json}");
+    assert!(json.contains("\"name\":\"slcsDroppedEvents\""), "{json}");
     assert!(client.round_trip("TRACE sideways").starts_with("ERR usage"));
 
     assert_eq!(client.round_trip("QUIT"), "OK bye");

@@ -1,0 +1,617 @@
+//! slcs-alloc — a zero-dependency instrumenting global allocator.
+//!
+//! The paper's steady-ant memory optimization (ICPP '21 §4.2.1,
+//! Listing 2) replaces per-recursion-level allocation with pre-sized
+//! ping-pong blocks; that is a claim about *allocator traffic*, which
+//! the tracing layer (`slcs-trace`) cannot see — it measures time, not
+//! bytes. This crate closes the gap: [`InstrumentedAlloc`] wraps the
+//! system allocator and counts every allocation, so benchmarks and the
+//! engine's metrics endpoint can report allocation counts, live bytes,
+//! peak live bytes and a power-of-two size-class histogram, and
+//! [`alloc_scope!`] attributes byte deltas to the enclosing trace span
+//! (kernel build vs braid multiply vs wavefront sweep).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **The counting path must never allocate.** The allocator is
+//!    re-entered by anything it calls that touches the heap; every
+//!    counter here is a plain `Cell` in const-initialized TLS or a
+//!    pre-sized static atomic, so recording is recursion-free.
+//! 2. **Counting is contention-tolerant.** Process-wide totals live in
+//!    a fixed array of cache-line-padded shards; each thread picks a
+//!    shard once (round-robin) and bumps it with `Relaxed` RMWs.
+//!    Per-thread *exact* counters (for scope attribution) are
+//!    non-atomic TLS cells — no cross-thread traffic at all.
+//! 3. **Not installed ⇒ inert.** All counters read zero unless a
+//!    binary opts in with `#[global_allocator]`; [`installed`] probes
+//!    which world it is running in so callers can label their output.
+//!
+//! # Installing
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: slcs_alloc::InstrumentedAlloc = slcs_alloc::InstrumentedAlloc;
+//! ```
+//!
+//! # Scoped attribution
+//!
+//! ```
+//! let scope = slcs_alloc::alloc_scope!("phase.build");
+//! let v: Vec<u64> = (0..1024).collect();
+//! let delta = scope.delta();
+//! // With the allocator installed, `delta.allocs >= 1`; when tracing
+//! // is enabled the drop below also records an instant event carrying
+//! // the byte/alloc delta inside the enclosing span.
+//! drop(scope);
+//! drop(v);
+//! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub use slcs_trace as trace;
+
+/// Number of size classes: class `k` counts allocations of
+/// `(2^(k-1), 2^k]` bytes (class 0 takes 0- and 1-byte requests, the
+/// last class absorbs the tail).
+pub const SIZE_CLASSES: usize = 32;
+
+/// Number of counter shards for the process-wide totals. Threads are
+/// assigned round-robin, so with fewer than this many threads alive
+/// there is no sharing at all.
+const SHARDS: usize = 64;
+
+// ---------------------------------------------------------------------
+// Process-wide counters: padded shards + live/peak + size classes
+// ---------------------------------------------------------------------
+
+/// One shard of the process-wide totals, padded to a cache line so
+/// neighbouring shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    alloc_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const SHARD_INIT: Shard = Shard {
+    allocs: AtomicU64::new(0),
+    frees: AtomicU64::new(0),
+    alloc_bytes: AtomicU64::new(0),
+    freed_bytes: AtomicU64::new(0),
+};
+
+static SHARD_TABLE: [Shard; SHARDS] = [SHARD_INIT; SHARDS];
+
+/// Bytes currently live (allocated, not yet freed), process-wide.
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE_BYTES`], process-wide, monotone.
+static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const CLASS_INIT: AtomicU64 = AtomicU64::new(0);
+/// Power-of-two size-class histogram of allocation request sizes.
+static CLASS_TABLE: [AtomicU64; SIZE_CLASSES] = [CLASS_INIT; SIZE_CLASSES];
+
+/// Round-robin shard assignment cursor.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard index; `usize::MAX` until first use.
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Exact per-thread counters for scope attribution. Plain cells:
+    /// only this thread touches them, and the allocator path must not
+    /// allocate or contend.
+    static T_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static T_FREES: Cell<u64> = const { Cell::new(0) };
+    static T_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    static T_FREED_BYTES: Cell<u64> = const { Cell::new(0) };
+    /// Signed: this thread may free memory another thread allocated.
+    static T_LIVE: Cell<i64> = const { Cell::new(0) };
+    /// High-water mark of `T_LIVE`; scopes save/reset/restore it to
+    /// measure their own peak (see [`AllocScope`]).
+    static T_PEAK: Cell<i64> = const { Cell::new(0) };
+}
+
+fn shard() -> &'static Shard {
+    let idx = MY_SHARD
+        .try_with(|slot| {
+            let cur = slot.get();
+            if cur != usize::MAX {
+                return cur;
+            }
+            // ORDERING: Relaxed — an allocation-free ticket counter;
+            // only uniqueness-ish distribution matters, not ordering.
+            let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(assigned);
+            assigned
+        })
+        // TLS is being torn down (allocations in thread-exit
+        // destructors): fall back to shard 0 rather than panicking.
+        .unwrap_or(0);
+    &SHARD_TABLE[idx]
+}
+
+fn size_class(size: usize) -> usize {
+    if size <= 1 {
+        return 0;
+    }
+    // ceil(log2(size)) without overflow at usize::MAX.
+    (usize::BITS as usize - (size - 1).leading_zeros() as usize).min(SIZE_CLASSES - 1)
+}
+
+fn record_alloc(size: usize) {
+    let bytes = size as u64;
+    let s = shard();
+    // ORDERING: Relaxed — independent monotone statistics counters;
+    // nothing is published through them.
+    s.allocs.fetch_add(1, Ordering::Relaxed);
+    // ORDERING: Relaxed — see above.
+    s.alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
+    // ORDERING: Relaxed — see above.
+    CLASS_TABLE[size_class(size)].fetch_add(1, Ordering::Relaxed);
+    // ORDERING: Relaxed — the paired fetch_sub in `record_free` is
+    // reachable only through the pointer this allocation returns, and
+    // handing a pointer to another thread synchronizes; the gauge can
+    // read transiently stale but never underflows.
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    // ORDERING: Relaxed — monotone high-water mark; racing maxes agree.
+    PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+    let _ = T_ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = T_ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes));
+    let _ = T_LIVE.try_with(|c| {
+        let live = c.get() + size as i64;
+        c.set(live);
+        let _ = T_PEAK.try_with(|p| {
+            if live > p.get() {
+                p.set(live);
+            }
+        });
+    });
+}
+
+fn record_free(size: usize) {
+    let bytes = size as u64;
+    let s = shard();
+    // ORDERING: Relaxed — independent monotone statistics counters.
+    s.frees.fetch_add(1, Ordering::Relaxed);
+    // ORDERING: Relaxed — see above.
+    s.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    // ORDERING: Relaxed — see `record_alloc` for the pairing argument.
+    LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    let _ = T_FREES.try_with(|c| c.set(c.get() + 1));
+    let _ = T_FREED_BYTES.try_with(|c| c.set(c.get() + bytes));
+    let _ = T_LIVE.try_with(|c| c.set(c.get() - size as i64));
+}
+
+// ---------------------------------------------------------------------
+// The allocator
+// ---------------------------------------------------------------------
+
+/// An instrumenting [`GlobalAlloc`] forwarding to [`System`]. Install
+/// with `#[global_allocator]`; construction is `const` and free.
+pub struct InstrumentedAlloc;
+
+// SAFETY: every method forwards to `System` verbatim (same layout,
+// same pointer), so the GlobalAlloc contract is inherited from the
+// system allocator; the counting side effects touch only atomics and
+// const-initialized TLS cells and never allocate, so the allocator
+// does not re-enter itself.
+unsafe impl GlobalAlloc for InstrumentedAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: caller upholds the GlobalAlloc contract for `layout`;
+        // forwarded unchanged.
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    // SAFETY: forwards to `System.alloc_zeroed` under the caller's
+    // GlobalAlloc contract (see the impl-level justification).
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: caller upholds the GlobalAlloc contract for `layout`;
+        // forwarded unchanged.
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    // SAFETY: forwards to `System.dealloc` under the caller's
+    // GlobalAlloc contract (see the impl-level justification).
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        record_free(layout.size());
+        // SAFETY: caller guarantees `ptr` was allocated by this
+        // allocator (hence by `System`) with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: forwards to `System.realloc` under the caller's
+    // GlobalAlloc contract (see the impl-level justification).
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: caller guarantees `ptr`/`layout` describe a live
+        // System allocation and `new_size` is valid; forwarded as-is.
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            // Count as alloc(new) before free(old) so LIVE_BYTES never
+            // transiently dips; PEAK may overshoot by the old size
+            // during a realloc, which the gauge contract tolerates.
+            record_alloc(new_size);
+            record_free(layout.size());
+        }
+        new_ptr
+    }
+}
+
+/// Is an [`InstrumentedAlloc`] installed as this binary's global
+/// allocator? Probes with a real (black-boxed) heap allocation and
+/// checks whether the thread-local counter moved.
+pub fn installed() -> bool {
+    let before = thread_stats().allocs;
+    let probe = std::hint::black_box(Box::new(0xA5u8));
+    drop(std::hint::black_box(probe));
+    thread_stats().allocs != before
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// Process-wide allocator statistics (all zero unless installed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Successful allocations (allocs + zeroed allocs + the grow half
+    /// of reallocs).
+    pub allocs: u64,
+    /// Deallocations (frees + the shrink half of reallocs).
+    pub frees: u64,
+    /// Total bytes ever requested from the allocator.
+    pub alloc_bytes: u64,
+    /// Total bytes ever returned to the allocator.
+    pub freed_bytes: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since process start.
+    pub peak_live_bytes: u64,
+    /// `size_classes[k]` counts allocations of `(2^(k-1), 2^k]` bytes.
+    pub size_classes: [u64; SIZE_CLASSES],
+}
+
+impl AllocStats {
+    /// Inclusive upper bound (bytes) of size class `i` (`le` semantics
+    /// for exposition formats), `None` for the tail class (`+Inf`).
+    pub fn class_upper_bound(i: usize) -> Option<u64> {
+        (i + 1 < SIZE_CLASSES).then(|| 1u64 << i)
+    }
+}
+
+/// Process-wide totals. Sums the shards; a racing read is slightly
+/// stale, never torn beyond per-counter staleness.
+pub fn stats() -> AllocStats {
+    let mut out = AllocStats::default();
+    for s in &SHARD_TABLE {
+        // ORDERING: Relaxed — monotone counters; staleness is fine.
+        out.allocs += s.allocs.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — see above.
+        out.frees += s.frees.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — see above.
+        out.alloc_bytes += s.alloc_bytes.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — see above.
+        out.freed_bytes += s.freed_bytes.load(Ordering::Relaxed);
+    }
+    // ORDERING: Relaxed — instantaneous gauge read.
+    out.live_bytes = LIVE_BYTES.load(Ordering::Relaxed);
+    // ORDERING: Relaxed — monotone high-water mark.
+    out.peak_live_bytes = PEAK_LIVE_BYTES.load(Ordering::Relaxed);
+    for (slot, c) in out.size_classes.iter_mut().zip(&CLASS_TABLE) {
+        // ORDERING: Relaxed — monotone counters.
+        *slot = c.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Exact counters for the calling thread only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadAllocStats {
+    pub allocs: u64,
+    pub frees: u64,
+    pub alloc_bytes: u64,
+    pub freed_bytes: u64,
+    /// Bytes this thread has allocated minus bytes it has freed.
+    /// Signed: freeing memory allocated elsewhere drives it negative.
+    pub live_bytes: i64,
+}
+
+/// This thread's exact counters (zero unless installed).
+pub fn thread_stats() -> ThreadAllocStats {
+    ThreadAllocStats {
+        allocs: T_ALLOCS.try_with(Cell::get).unwrap_or(0),
+        frees: T_FREES.try_with(Cell::get).unwrap_or(0),
+        alloc_bytes: T_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+        freed_bytes: T_FREED_BYTES.try_with(Cell::get).unwrap_or(0),
+        live_bytes: T_LIVE.try_with(Cell::get).unwrap_or(0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped attribution
+// ---------------------------------------------------------------------
+
+/// What happened on this thread between a scope's entry and now.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    pub allocs: u64,
+    pub frees: u64,
+    pub alloc_bytes: u64,
+    pub freed_bytes: u64,
+    /// Peak of (thread-live bytes − thread-live bytes at entry) within
+    /// the scope: the extra memory the scope had live at its worst.
+    pub peak_live_delta: u64,
+}
+
+/// RAII attribution scope over the calling thread's exact counters.
+///
+/// Created by [`alloc_scope!`]. On drop, if tracing is enabled, records
+/// an `slcs-trace` instant event named after the scope carrying the
+/// byte/alloc delta — nested inside whatever span is open, which is how
+/// Chrome-trace dumps show bytes per phase. [`Self::delta`] exposes the
+/// same numbers programmatically (used by `slcs bench-mem` and the
+/// allocation-regression tests).
+///
+/// `!Send`: the counters it closes over belong to the creating thread.
+pub struct AllocScope {
+    entry: ThreadAllocStats,
+    /// `T_PEAK` as of entry, restored on drop (scopes reset the
+    /// thread-peak so each one measures its own high-water mark; the
+    /// saved maximum keeps outer scopes' peaks correct).
+    saved_peak: i64,
+    sites: Option<(&'static trace::Site, &'static trace::Site, &'static trace::Site)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl AllocScope {
+    /// Opens a scope. Prefer [`alloc_scope!`], which supplies the
+    /// cached trace call sites; `sites` is `(name, "bytes", "allocs")`.
+    pub fn enter(
+        sites: Option<(&'static trace::Site, &'static trace::Site, &'static trace::Site)>,
+    ) -> AllocScope {
+        let entry = thread_stats();
+        let saved_peak = T_PEAK.try_with(Cell::get).unwrap_or(0);
+        // Reset the thread high-water mark to "now" so the scope
+        // observes only its own peak.
+        let _ = T_PEAK.try_with(|p| p.set(entry.live_bytes));
+        AllocScope { entry, saved_peak, sites, _not_send: PhantomData }
+    }
+
+    /// The thread's allocation activity since entry.
+    pub fn delta(&self) -> AllocDelta {
+        let now = thread_stats();
+        let peak = T_PEAK.try_with(Cell::get).unwrap_or(0);
+        AllocDelta {
+            allocs: now.allocs - self.entry.allocs,
+            frees: now.frees - self.entry.frees,
+            alloc_bytes: now.alloc_bytes - self.entry.alloc_bytes,
+            freed_bytes: now.freed_bytes - self.entry.freed_bytes,
+            peak_live_delta: (peak - self.entry.live_bytes).max(0) as u64,
+        }
+    }
+}
+
+impl Drop for AllocScope {
+    fn drop(&mut self) {
+        let delta = self.delta();
+        // Restore the outer high-water mark (an inner peak is also an
+        // outer peak, so take the max).
+        let scope_peak = T_PEAK.try_with(Cell::get).unwrap_or(0);
+        let restored = self.saved_peak.max(scope_peak);
+        let _ = T_PEAK.try_with(|p| p.set(restored));
+        if let Some((name, bytes_key, allocs_key)) = self.sites {
+            if trace::enabled() {
+                trace::instant(
+                    name,
+                    [
+                        Some((bytes_key, trace::FieldValue::U64(delta.alloc_bytes))),
+                        Some((allocs_key, trace::FieldValue::U64(delta.allocs))),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Opens an [`AllocScope`] that attributes this thread's allocation
+/// activity to `$name`: bind the result, and on drop an instant event
+/// `[bytes=… allocs=…]` lands inside the enclosing trace span.
+///
+/// ```ignore
+/// let _mem = slcs_alloc::alloc_scope!("engine.kernel_build.mem");
+/// ```
+#[macro_export]
+macro_rules! alloc_scope {
+    ($name:literal) => {{
+        static SITE: $crate::trace::Site = $crate::trace::Site::new($name);
+        static BYTES: $crate::trace::Site = $crate::trace::Site::new("bytes");
+        static ALLOCS: $crate::trace::Site = $crate::trace::Site::new("allocs");
+        $crate::AllocScope::enter(Some((&SITE, &BYTES, &ALLOCS)))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Unit tests measure real allocator traffic, so the test binary
+    // installs the instrumented allocator for itself.
+    #[global_allocator]
+    static TEST_ALLOC: InstrumentedAlloc = InstrumentedAlloc;
+
+    #[test]
+    fn installed_probe_sees_the_test_allocator() {
+        assert!(installed());
+    }
+
+    #[test]
+    fn counters_balance_over_an_alloc_free_cycle() {
+        let scope = AllocScope::enter(None);
+        {
+            let v: Vec<u8> = std::hint::black_box(Vec::with_capacity(4096));
+            drop(v);
+        }
+        let d = scope.delta();
+        assert!(d.allocs >= 1, "vec allocation counted: {d:?}");
+        assert_eq!(d.allocs, d.frees, "every alloc matched by a free: {d:?}");
+        assert_eq!(d.alloc_bytes, d.freed_bytes, "bytes balance: {d:?}");
+        assert!(d.alloc_bytes >= 4096, "at least the requested capacity: {d:?}");
+    }
+
+    #[test]
+    fn global_stats_move_and_live_tracks_outstanding() {
+        let before = stats();
+        let held: Vec<u8> = std::hint::black_box(vec![7u8; 10_000]);
+        let during = stats();
+        assert!(during.allocs > before.allocs);
+        assert!(during.alloc_bytes >= before.alloc_bytes + 10_000);
+        assert!(during.peak_live_bytes > 0, "peak high-water mark moved");
+        drop(std::hint::black_box(held));
+        let after = stats();
+        assert!(after.frees > before.frees);
+    }
+
+    #[test]
+    fn scope_peak_sees_transient_high_water() {
+        let scope = AllocScope::enter(None);
+        {
+            let big: Vec<u8> = std::hint::black_box(vec![1u8; 1 << 20]);
+            drop(big);
+        }
+        let small: Vec<u8> = std::hint::black_box(vec![2u8; 64]);
+        let d = scope.delta();
+        assert!(
+            d.peak_live_delta >= 1 << 20,
+            "peak reflects the freed megabyte, not just the tail: {d:?}"
+        );
+        drop(small);
+    }
+
+    #[test]
+    fn nested_scopes_restore_the_outer_peak() {
+        let outer = AllocScope::enter(None);
+        let early: Vec<u8> = std::hint::black_box(vec![3u8; 1 << 18]);
+        drop(std::hint::black_box(early));
+        {
+            let inner = AllocScope::enter(None);
+            let tiny: Vec<u8> = std::hint::black_box(vec![4u8; 128]);
+            let di = inner.delta();
+            assert!(di.peak_live_delta < 1 << 18, "inner scope measures only itself: {di:?}");
+            drop(tiny);
+        }
+        let d = outer.delta();
+        assert!(d.peak_live_delta >= 1 << 18, "outer peak survives the inner reset: {d:?}");
+    }
+
+    #[test]
+    fn size_classes_bucket_by_power_of_two() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1), 0);
+        assert_eq!(size_class(2), 1);
+        assert_eq!(size_class(3), 2);
+        assert_eq!(size_class(4), 2);
+        assert_eq!(size_class(5), 3);
+        assert_eq!(size_class(1024), 10);
+        assert_eq!(size_class(usize::MAX), SIZE_CLASSES - 1);
+        for i in 0..SIZE_CLASSES {
+            match AllocStats::class_upper_bound(i) {
+                Some(b) => assert_eq!(size_class(b as usize), i, "bound of class {i}"),
+                None => assert_eq!(i, SIZE_CLASSES - 1),
+            }
+        }
+    }
+
+    #[test]
+    fn size_class_histogram_records_the_request() {
+        let class = size_class(3000);
+        let before = stats().size_classes[class];
+        let v: Vec<u8> = std::hint::black_box(Vec::with_capacity(3000));
+        let after = stats().size_classes[class];
+        assert!(after > before, "3000-byte request lands in class {class}");
+        drop(v);
+    }
+
+    #[test]
+    fn concurrent_alloc_storm_balances() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 500;
+        let before = stats();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut local = (0u64, 0u64);
+                    for i in 0..ROUNDS {
+                        let scope = AllocScope::enter(None);
+                        let v: Vec<u8> =
+                            std::hint::black_box(Vec::with_capacity(64 + (t * 31 + i) % 1024));
+                        drop(std::hint::black_box(v));
+                        let d = scope.delta();
+                        local.0 += d.allocs;
+                        local.1 += d.alloc_bytes;
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut scoped = (0u64, 0u64);
+        for h in handles {
+            // PANIC: test-only join; a worker panic should fail the test.
+            let (a, b) = h.join().expect("storm thread panicked");
+            scoped.0 += a;
+            scoped.1 += b;
+        }
+        let after = stats();
+        assert!(scoped.0 >= (THREADS * ROUNDS) as u64, "each round allocates at least once");
+        assert!(
+            after.allocs - before.allocs >= scoped.0,
+            "global counter saw every scoped allocation: global Δ {} < scoped {}",
+            after.allocs - before.allocs,
+            scoped.0
+        );
+        assert!(
+            after.alloc_bytes - before.alloc_bytes >= scoped.1,
+            "global bytes saw every scoped byte"
+        );
+        let balance = (after.allocs - before.allocs) as i64 - (after.frees - before.frees) as i64;
+        assert!(balance.abs() < 10_000, "storm roughly balances allocs and frees: {balance}");
+    }
+
+    #[test]
+    fn scope_drop_emits_a_trace_instant_inside_the_span() {
+        let _guard = trace::test_support::hold();
+        trace::enable_fresh();
+        {
+            let _span = trace::span!("alloc.test_phase");
+            let _mem = alloc_scope!("alloc.test_phase.mem");
+            let v: Vec<u8> = std::hint::black_box(vec![0u8; 2048]);
+            drop(v);
+        }
+        trace::set_enabled(false);
+        let t = trace::drain();
+        let ev = t
+            .events
+            .iter()
+            .find(|e| e.name == "alloc.test_phase.mem")
+            .expect("scope instant recorded");
+        assert_eq!(ev.kind, trace::Kind::Instant);
+        let bytes =
+            ev.fields.iter().find_map(|(k, v)| (*k == "bytes").then_some(*v)).expect("bytes field");
+        assert!(matches!(bytes, trace::FieldOut::U64(b) if b >= 2048), "{bytes:?}");
+    }
+}

@@ -29,14 +29,26 @@ pub struct TraceEvent {
     pub fields: Vec<(&'static str, FieldOut)>,
 }
 
+/// One contributing thread of a [`Timeline`].
+#[derive(Clone, Debug)]
+pub struct ThreadInfo {
+    /// Stable id of the thread's buffer.
+    pub tid: u64,
+    /// The thread's name at registration time.
+    pub label: String,
+    /// Events this thread lost to a full buffer in this epoch.
+    pub dropped: u64,
+}
+
 /// All events of the current trace epoch, ordered by timestamp.
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
     pub events: Vec<TraceEvent>,
-    /// Events lost to full thread buffers in this epoch.
+    /// Events lost to full thread buffers in this epoch (sum over
+    /// [`Self::threads`]).
     pub dropped: u64,
-    /// `(tid, label)` of every thread that contributed events.
-    pub threads: Vec<(u64, String)>,
+    /// Every thread that contributed events (or drops).
+    pub threads: Vec<ThreadInfo>,
 }
 
 /// Drains every registered thread buffer for the current epoch into a
@@ -52,7 +64,7 @@ pub fn drain() -> Timeline {
         if raw.is_empty() && dropped == 0 {
             continue;
         }
-        out.threads.push((buf.tid, buf.label.clone()));
+        out.threads.push(ThreadInfo { tid: buf.tid, label: buf.label.clone(), dropped });
         for ev in raw {
             let mut fields = Vec::new();
             for f in [ev.f1, ev.f2].into_iter().flatten() {
@@ -73,7 +85,7 @@ pub fn drain() -> Timeline {
         }
     }
     out.events.sort_by_key(|e| (e.ts_micros, e.tid));
-    out.threads.sort_by_key(|&(tid, _)| tid);
+    out.threads.sort_by_key(|t| t.tid);
     out
 }
 
@@ -106,12 +118,20 @@ impl Timeline {
             }
             body(out);
         };
-        for (tid, label) in &self.threads {
+        // Name the (single) process so Perfetto shows "slcs" rather
+        // than a bare pid-1 group.
+        push_event(&mut out, &|out: &mut String| {
+            out.push_str(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"slcs\"}}",
+            );
+        });
+        for t in &self.threads {
             push_event(&mut out, &|out: &mut String| {
                 out.push_str(&format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"",
+                    t.tid
                 ));
-                escape_into(out, label);
+                escape_into(out, &t.label);
                 out.push_str("\"}}");
             });
         }
@@ -155,6 +175,20 @@ impl Timeline {
                 out.push('}');
             });
         }
+        // Per-thread drop counts as counter events: the Perfetto UI
+        // renders them as a value track per thread, so lost events are
+        // visible in the viewer (and not just in the top-level total or
+        // the text tree). Stamped at the end of the timeline — the drop
+        // count is only known once the epoch is drained.
+        let end_ts = self.events.last().map(|e| e.ts_micros).unwrap_or(0);
+        for t in &self.threads {
+            push_event(&mut out, &|out: &mut String| {
+                out.push_str(&format!(
+                    "{{\"name\":\"slcsDroppedEvents\",\"cat\":\"slcs\",\"ph\":\"C\",\"ts\":{end_ts},\"pid\":1,\"tid\":{},\"args\":{{\"dropped\":{}}}}}",
+                    t.tid, t.dropped
+                ));
+            });
+        }
         out.push_str(&format!("],\"slcsDroppedEvents\":{}}}", self.dropped));
         out
     }
@@ -169,15 +203,20 @@ impl Timeline {
     /// ```
     pub fn to_text_tree(&self) -> String {
         let mut out = String::new();
-        for (tid, label) in &self.threads {
-            out.push_str(&format!("thread {tid} ({label})\n"));
+        for t in &self.threads {
+            let (tid, label) = (t.tid, &t.label);
+            if t.dropped > 0 {
+                out.push_str(&format!("thread {tid} ({label}) [{} dropped]\n", t.dropped));
+            } else {
+                out.push_str(&format!("thread {tid} ({label})\n"));
+            }
             // Open Begin events awaiting their End: (event index, depth).
             let mut open: Vec<(usize, usize)> = Vec::new();
             // Lines already emitted; span durations are patched in when
             // the matching End arrives.
             let mut depth = 0usize;
             for (ix, ev) in self.events.iter().enumerate() {
-                if ev.tid != *tid {
+                if ev.tid != tid {
                     continue;
                 }
                 match ev.kind {
@@ -269,6 +308,12 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["), "{json}");
         assert!(!json.contains('\n'), "must be single-line for the TCP protocol");
         assert!(json.contains("\"ph\":\"M\""), "thread metadata: {json}");
+        assert!(
+            json.contains(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"slcs\"}}"
+            ),
+            "process metadata: {json}"
+        );
         assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""), "{json}");
         assert!(json.contains("\"ph\":\"i\"") && json.contains("\"ph\":\"C\""), "{json}");
         assert!(json.contains("\"n\":42") && json.contains("\"mode\":\"team\""), "{json}");
@@ -290,6 +335,38 @@ mod tests {
         assert!(outer_at < inner_at, "outer opens before inner:\n{tree}");
         assert!(tree.contains("^ collect.inner"), "inner closes:\n{tree}");
         assert!(tree.contains("us\n"), "durations rendered:\n{tree}");
+    }
+
+    #[test]
+    fn dropped_counts_surface_per_thread_in_both_exporters() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        crate::instant!("collect.drop_probe");
+        crate::set_enabled(false);
+        let t = drain();
+        let me = t
+            .threads
+            .iter()
+            .find(|info| {
+                t.events.iter().any(|e| e.name == "collect.drop_probe" && e.tid == info.tid)
+            })
+            .expect("recording thread listed");
+        // No drops expected at this tiny volume; the *track* must exist
+        // regardless so Perfetto users can see drops when they happen.
+        let json = t.to_chrome_json();
+        let needle = format!(
+            "{{\"name\":\"slcsDroppedEvents\",\"cat\":\"slcs\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"dropped\":{}}}}}",
+            t.events.last().map(|e| e.ts_micros).unwrap_or(0),
+            me.tid,
+            me.dropped
+        );
+        assert!(json.contains(&needle), "per-thread drop counter: {json}");
+        assert_eq!(t.dropped, t.threads.iter().map(|i| i.dropped).sum::<u64>());
+        // The text tree only flags threads that actually lost events.
+        let mut flagged = t.clone();
+        flagged.threads[0].dropped = 3;
+        assert!(flagged.to_text_tree().contains("[3 dropped]"));
+        assert!(!t.to_text_tree().contains("dropped]"));
     }
 
     #[test]
