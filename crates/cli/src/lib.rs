@@ -17,7 +17,10 @@
 //!   sweep with instrumentation compiled out, disabled, and enabled;
 //! * `bench-mem` — allocation profile of steady-ant multiplication:
 //!   the memory-optimized workspace vs the per-level-allocating basic
-//!   recursion (allocation counts, peak live bytes, wall time).
+//!   recursion (allocation counts, peak live bytes, wall time);
+//! * `bench-osed` — output-sensitive edit distance (`slcs-osed`) vs the
+//!   full-grid paths across a similarity × size sweep: the BFS should
+//!   win by orders of magnitude on nearly identical inputs.
 //!
 //! Global flags (before the subcommand): `--version`, `--threads N`
 //! (sizes the global rayon pool used by the parallel algorithms).
@@ -171,6 +174,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "bench-baseline" => cmd_bench_baseline(rest),
         "bench-obs" => cmd_bench_obs(rest),
         "bench-mem" => cmd_bench_mem(rest),
+        "bench-osed" => cmd_bench_osed(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "version" | "--version" | "-V" => Ok(format!("{}\n", version_string())),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
@@ -216,6 +220,12 @@ usage:
                                     workspace vs per-level allocation
                                     (allocs, peak live bytes, wall time;
                                     JSON to FILE, default BENCH_mem.json)
+  slcs bench-osed [--quick] [--sizes N,N] [--runs N] [--out FILE]
+                                    output-sensitive edit distance vs the
+                                    full-grid paths over a similarity
+                                    (90/99/99.9%) x size sweep (millis,
+                                    allocs, ratio; JSON to FILE, default
+                                    BENCH_osed.json)
 
 operands: literal strings, or @file (raw bytes, or FASTA if it starts with '>')";
 
@@ -716,6 +726,17 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
             let req = slcs_engine::CompareRequest::new(&a[..256.min(a.len())], &b[..], op);
             engine.submit_wait(req).map_err(|e| err(e.to_string()))?;
         }
+        // One ~99%-similar pair through the global-edit route records
+        // the output-sensitive path (osed.sa_build / osed.lcp_build /
+        // osed.edit / osed.bfs_round) in the same timeline.
+        let (pa, pb) = slcs_datagen::similar_pair(&mut rng, 2048, 4, 0.01);
+        engine
+            .submit_wait(slcs_engine::CompareRequest::new(
+                &pa[..],
+                &pb[..],
+                slcs_engine::Operation::Edit { w: None },
+            ))
+            .map_err(|e| err(e.to_string()))?;
         drop(engine);
         slcs_trace::set_enabled(false);
         report.push_str(&write_timeline(&slcs_trace::drain(), trace_path, true)?);
@@ -914,6 +935,149 @@ fn cmd_bench_mem(rest: &[String]) -> Result<String, CliError> {
             json,
             "    {{\"name\": \"{name}\", \"allocs\": {allocs}, \"alloc_bytes\": {bytes}, \
              \"peak_live_bytes\": {peak}, \"millis\": {ms:.3}}}{comma}"
+        )
+        .unwrap(); // PANIC: fmt to String is infallible
+    }
+    writeln!(json, "  ]").unwrap(); // PANIC: fmt to String is infallible
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
+    Ok(report)
+}
+
+/// `slcs bench-osed` — the output-sensitive edit-distance path
+/// (`slcs-osed`: SA+RMQ LCP oracle plus Landau–Vishkin diagonal BFS)
+/// against the full-grid paths, over a similarity × size sweep.
+///
+/// For every (size, similarity) cell a seeded σ = 4 pair is generated
+/// with [`slcs_datagen::similar_pair`]; the sequential and parallel BFS
+/// must agree bit-for-bit (and with the DP reference at small sizes),
+/// and the bounded variant must be exact at `k = d` and prove `> k` at
+/// `k = d − 1`. The grid baselines (row-major DP and the blown-up
+/// `EditDistances` index) are content-oblivious, so they are timed once
+/// per size; `ratio_vs_best_grid` divides osed's time by the *fastest*
+/// grid path. One BFS per cell also runs inside an
+/// [`slcs_alloc::AllocScope`]: SA-IS allocation counts are
+/// deterministic for a seeded input, which lets `cargo xtask perf-gate`
+/// pin them exactly like `bench-mem`'s.
+fn cmd_bench_osed(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["sizes", "runs", "out", "seed"])?;
+    let quick = opts.has("quick");
+    let sizes =
+        list_flag(&opts, "sizes", if quick { &[1024, 4096] } else { &[4096, 16384, 65536] })?;
+    let runs: usize = opts.value_parsed("runs")?.unwrap_or(if quick { 1 } else { 3 });
+    let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
+    let out_path = opts.value("out").unwrap_or("BENCH_osed.json").to_string();
+    /// Verify against the O(mn) DP only where it stays cheap.
+    const DP_VERIFY_MAX: usize = 4096;
+    let sims: [f64; 3] = [0.90, 0.99, 0.999];
+    let installed = slcs_alloc::installed();
+
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut report = format!(
+        "output-sensitive edit distance vs full-grid, sizes {sizes:?}, \
+         similarities {sims:?}, {runs} run(s)\n"
+    );
+    let mut grids = Vec::new(); // (size, dp_ms, index_ms)
+    let mut rows = Vec::new(); // (size, sim, d, seq_ms, par_ms, allocs, bytes, peak, ratio)
+    for &n in &sizes {
+        // Grid timings are oblivious to string content, so one pair per
+        // size serves both baselines (timed once: they run for seconds
+        // at the large sizes, where noise is far below the osed margin).
+        let mut rng = slcs_datagen::seeded_rng(seed);
+        let (ga, gb) = slcs_datagen::similar_pair(&mut rng, n, 4, 0.01);
+        let t = std::time::Instant::now();
+        let dp = slcs_baselines::edit_distance(&ga, &gb);
+        let dp_ms = ms(t.elapsed());
+        let t = std::time::Instant::now();
+        let index_global = EditDistances::new(&ga, &gb).global();
+        let index_ms = ms(t.elapsed());
+        if dp != index_global {
+            return Err(err(format!("grid paths disagree at size {n}: {dp} vs {index_global}")));
+        }
+        let best_grid_ms = dp_ms.min(index_ms);
+        writeln!(
+            report,
+            "  {n}: dp {dp_ms:10.2} ms   edit-index {index_ms:10.2} ms   (d = {dp} at 99%)"
+        )
+        .unwrap(); // PANIC: fmt to String is infallible
+        grids.push((n, dp_ms, index_ms));
+        for &sim in &sims {
+            let mut rng = slcs_datagen::seeded_rng(seed.wrapping_add((sim * 1e4) as u64));
+            let (a, b) = slcs_datagen::similar_pair(&mut rng, n, 4, 1.0 - sim);
+            let d_seq = slcs_osed::edit_distance(&a, &b);
+            let d_par = slcs_osed::par_edit_distance(&a, &b);
+            if d_seq != d_par {
+                return Err(err(format!(
+                    "parallel BFS diverged at size {n}, similarity {sim}: {d_seq} vs {d_par}"
+                )));
+            }
+            if n <= DP_VERIFY_MAX && d_seq != slcs_baselines::edit_distance(&a, &b) {
+                return Err(err(format!("BFS wrong at size {n}, similarity {sim}")));
+            }
+            if slcs_osed::edit_distance_bounded(&a, &b, d_seq) != Some(d_seq)
+                || (d_seq > 0 && slcs_osed::edit_distance_bounded(&a, &b, d_seq - 1).is_some())
+            {
+                return Err(err(format!("bounded BFS wrong at size {n}, similarity {sim}")));
+            }
+            let scope = slcs_alloc::AllocScope::enter(None);
+            std::hint::black_box(slcs_osed::edit_distance(&a, &b));
+            let alloc = scope.delta();
+            let seq = median_time(runs, || slcs_osed::edit_distance(&a, &b));
+            let par = median_time(runs, || slcs_osed::par_edit_distance(&a, &b));
+            let ratio = ms(seq).min(ms(par)) / best_grid_ms;
+            writeln!(
+                report,
+                "  {n} @ {:6.2}%  d={d_seq:<6} osed {:9.2} ms (par {:9.2} ms)  \
+                 {:>8} allocs  ratio {ratio:.4}",
+                100.0 * sim,
+                ms(seq),
+                ms(par),
+                alloc.allocs,
+            )
+            .unwrap(); // PANIC: fmt to String is infallible
+            rows.push((
+                n,
+                sim,
+                d_seq,
+                ms(seq),
+                ms(par),
+                alloc.allocs,
+                alloc.alloc_bytes,
+                alloc.peak_live_delta,
+                ratio,
+            ));
+        }
+    }
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"bench\": \"bench-osed\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"algorithm\": \"landau_vishkin_sa_rmq\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"unit\": \"millis\",").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"quick\": {quick},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"runs\": {runs},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"sigma\": 4,").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"allocator_installed\": {installed},").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"grids\": [").unwrap(); // PANIC: fmt to String is infallible
+    for (i, (n, dp_ms, index_ms)) in grids.iter().enumerate() {
+        let comma = if i + 1 < grids.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"size\": {n}, \"dp_millis\": {dp_ms:.3}, \
+             \"edit_index_millis\": {index_ms:.3}}}{comma}"
+        )
+        .unwrap(); // PANIC: fmt to String is infallible
+    }
+    writeln!(json, "  ],").unwrap(); // PANIC: fmt to String is infallible
+    writeln!(json, "  \"rows\": [").unwrap(); // PANIC: fmt to String is infallible
+    for (i, (n, sim, d, seq_ms, par_ms, allocs, bytes, peak, ratio)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"size\": {n}, \"similarity\": {sim}, \"distance\": {d}, \
+             \"osed_millis\": {seq_ms:.3}, \"osed_par_millis\": {par_ms:.3}, \
+             \"allocs\": {allocs}, \"alloc_bytes\": {bytes}, \"peak_live_bytes\": {peak}, \
+             \"ratio_vs_best_grid\": {ratio:.5}}}{comma}"
         )
         .unwrap(); // PANIC: fmt to String is infallible
     }
@@ -1131,9 +1295,20 @@ mod tests {
         .unwrap();
         assert!(text.contains("[trace written "), "{text}");
         let json = std::fs::read_to_string(&trace).unwrap();
-        for span in ["wavefront.diag", "pool.job", "engine.request", "team.run"] {
+        for span in [
+            "wavefront.diag",
+            "pool.job",
+            "engine.request",
+            "team.run",
+            "engine.dispatch",
+            "osed.sa_build",
+            "osed.lcp_build",
+            "osed.edit",
+            "osed.bfs_round",
+        ] {
             assert!(json.contains(span), "missing {span} in traced bench timeline");
         }
+        assert!(json.contains("edit_similar"), "osed routing reason missing:\n{json:.300}");
         let _ = std::fs::remove_file(out);
         let _ = std::fs::remove_file(trace);
     }
@@ -1193,6 +1368,49 @@ mod tests {
             "memopt peak must be strictly lower: {memopt_peak} vs {naive_peak}"
         );
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn bench_osed_sweeps_and_beats_the_grid() {
+        let out = std::env::temp_dir().join("slcs_bench_osed_test.json");
+        let path = out.display().to_string();
+        let text =
+            run("bench-osed", &["--quick", "--sizes", "1024", "--runs", "1", "--out", &path])
+                .unwrap();
+        assert!(text.contains("osed"), "{text}");
+        assert!(text.contains("ratio"), "{text}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"bench-osed\""), "{json}");
+        assert!(json.contains("\"allocator_installed\": true"), "{json}");
+        for key in [
+            "\"similarity\": 0.9,",
+            "\"similarity\": 0.99,",
+            "\"similarity\": 0.999,",
+            "\"osed_millis\"",
+            "\"osed_par_millis\"",
+            "\"ratio_vs_best_grid\"",
+            "\"dp_millis\"",
+            "\"edit_index_millis\"",
+            "\"allocs\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // At 99% similarity even a 1024-size sweep should already be
+        // well under the grid paths.
+        let row = json.split("\"similarity\": 0.99,").nth(1).unwrap();
+        let ratio: f64 = row
+            .split("\"ratio_vs_best_grid\": ")
+            .nth(1)
+            .unwrap()
+            .split('}')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(ratio < 1.0, "osed should beat the best grid path, ratio {ratio}");
+        let _ = std::fs::remove_file(out);
+        assert!(run("bench-osed", &["--sizes", "bogus"]).is_err());
     }
 
     #[test]

@@ -42,25 +42,11 @@ pub fn random_genome<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
     (0..len).map(|_| rng.random_range(0..4u8)).collect()
 }
 
-/// A descendant of `ancestor` under the mutation model.
+/// A descendant of `ancestor` under the mutation model. The mutation
+/// loop itself lives in [`crate::similar`] (generic over the
+/// alphabet); this is the σ = 4 nucleotide instantiation.
 pub fn mutate<R: Rng + ?Sized>(rng: &mut R, ancestor: &[u8], model: &MutationModel) -> Vec<u8> {
-    let mut out = Vec::with_capacity(ancestor.len() + ancestor.len() / 16);
-    for &base in ancestor {
-        if rng.random_range(0.0..1.0f64) < model.insertion {
-            out.push(rng.random_range(0..4u8));
-        }
-        if rng.random_range(0.0..1.0f64) < model.deletion {
-            continue;
-        }
-        if rng.random_range(0.0..1.0f64) < model.substitution {
-            // substitute by a *different* base
-            let shift = rng.random_range(1..4u8);
-            out.push((base + shift) % 4);
-        } else {
-            out.push(base);
-        }
-    }
-    out
+    crate::similar::mutate_symbols(rng, ancestor, model, 4)
 }
 
 /// A pair of related genomes: two independent descendants of one random

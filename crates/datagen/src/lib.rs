@@ -9,14 +9,19 @@
 //! * [`genome`] — synthetic virus genomes: a random ancestor plus
 //!   descendants under a substitution/indel mutation model, substituting
 //!   for the NCBI dataset (see DESIGN.md §5); [`fasta`] reads real files
-//!   when available.
+//!   when available;
+//! * [`similar`] — alphabet-generic similar pairs (base string + p%
+//!   point mutations/indels, seeded), the workload of the
+//!   output-sensitive edit-distance path.
 
 pub mod fasta;
 pub mod genome;
+pub mod similar;
 pub mod structured;
 pub mod synthetic;
 
 pub use fasta::{read_fasta, read_fasta_file, write_fasta, FastaRecord};
 pub use genome::{genome_pair, mutate, random_genome, MutationModel};
+pub use similar::{mutate_symbols, similar_pair};
 pub use structured::{constant_string, fibonacci_string, periodic_string, zipf_string};
 pub use synthetic::{binary_string, match_frequency, normal_string, seeded_rng, uniform_string};

@@ -1,0 +1,111 @@
+//! Similar-pair workloads: a base string plus p% point mutations.
+//!
+//! The output-sensitive edit-distance path is only interesting on
+//! *nearly identical* inputs, so its benchmarks and property tests
+//! both need "two strings that differ by p%" with seeded determinism.
+//! This module is the one implementation of that mutation process,
+//! generic over the alphabet; [`crate::genome::mutate`] delegates here
+//! with σ = 4 rather than keeping its own copy of the loop.
+
+use crate::genome::MutationModel;
+use crate::synthetic::uniform_string;
+use rand::{Rng, RngExt};
+
+/// A copy of `base` (symbols `0..sigma`) with point mutations: before
+/// each input symbol a uniform symbol is inserted with probability
+/// `model.insertion`; the symbol itself is dropped with
+/// `model.deletion`, and otherwise replaced by a uniformly chosen
+/// *different* symbol with `model.substitution`.
+///
+/// The expected edit distance to `base` is therefore about
+/// `(substitution + insertion + deletion) · len`.
+pub fn mutate_symbols<R: Rng + ?Sized>(
+    rng: &mut R,
+    base: &[u8],
+    model: &MutationModel,
+    sigma: u8,
+) -> Vec<u8> {
+    assert!(sigma >= 2, "substituting a different symbol needs at least two");
+    let mut out = Vec::with_capacity(base.len() + base.len() / 16);
+    for &symbol in base {
+        if rng.random_range(0.0..1.0f64) < model.insertion {
+            out.push(rng.random_range(0..sigma));
+        }
+        if rng.random_range(0.0..1.0f64) < model.deletion {
+            continue;
+        }
+        if rng.random_range(0.0..1.0f64) < model.substitution {
+            // Substitute by a *different* symbol: a nonzero shift mod σ.
+            let shift = rng.random_range(1..sigma);
+            out.push((symbol + shift) % sigma);
+        } else {
+            out.push(symbol);
+        }
+    }
+    out
+}
+
+/// A seeded similar pair: a uniform base string over `0..sigma` plus a
+/// descendant at total divergence `p` (80/10/10 split between
+/// substitutions, insertions and deletions). `p = 0.01` ≈ 99%
+/// similarity — the shape bench-osed sweeps.
+pub fn similar_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    len: usize,
+    sigma: u8,
+    p: f64,
+) -> (Vec<u8>, Vec<u8>) {
+    let base = uniform_string(rng, len, sigma);
+    let mutated = mutate_symbols(rng, &base, &MutationModel::with_divergence(p), sigma);
+    (base, mutated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::seeded_rng;
+
+    #[test]
+    fn zero_divergence_copies_the_base() {
+        let mut rng = seeded_rng(40);
+        let base = uniform_string(&mut rng, 300, 7);
+        let out = mutate_symbols(&mut rng, &base, &MutationModel::with_divergence(0.0), 7);
+        assert_eq!(out, base);
+    }
+
+    #[test]
+    fn substitutions_stay_in_alphabet_and_differ() {
+        let mut rng = seeded_rng(41);
+        let base = vec![5u8; 1000];
+        let model = MutationModel { substitution: 1.0, insertion: 0.0, deletion: 0.0 };
+        let out = mutate_symbols(&mut rng, &base, &model, 6);
+        assert_eq!(out.len(), base.len());
+        assert!(out.iter().all(|&s| s < 6 && s != 5));
+    }
+
+    #[test]
+    fn divergence_tracks_the_requested_rate() {
+        let mut rng = seeded_rng(42);
+        let (a, b) = similar_pair(&mut rng, 8_000, 4, 0.01);
+        // ~1% mutations: the pair differs, but only slightly (hamming
+        // on the common prefix length is a loose upper-bound check
+        // because indels shift frames; divergence 0.01 * 8000 = ~80
+        // events, 10% of which are indels).
+        assert_ne!(a, b);
+        let len_gap = a.len().abs_diff(b.len());
+        assert!(len_gap < 40, "indel imbalance {len_gap}");
+        let mutated: usize =
+            a.iter().zip(&b).filter(|(x, y)| x != y).count().min(a.len().min(b.len()));
+        assert!(mutated > 0);
+    }
+
+    #[test]
+    fn seeded_pairs_are_reproducible() {
+        let (a1, b1) = similar_pair(&mut seeded_rng(43), 2_000, 26, 0.05);
+        let (a2, b2) = similar_pair(&mut seeded_rng(43), 2_000, 26, 0.05);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = similar_pair(&mut seeded_rng(44), 2_000, 26, 0.05);
+        assert_ne!(a1, a3);
+    }
+}

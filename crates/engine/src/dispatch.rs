@@ -11,9 +11,18 @@
 //! * **Grid hybrid combing** — the paper's parallel comb; pays task
 //!   spawning and merge overhead, so it only wins on grids large enough
 //!   to amortize it across threads.
+//! * **Output-sensitive BFS** (`slcs-osed`) — Landau–Vishkin O(n + d²)
+//!   edit distance. Wins by orders of magnitude when the inputs are
+//!   nearly equal (small d), loses badly when they are not, so the
+//!   dispatcher samples similarity ([`similar_inputs`]) before routing
+//!   a global edit request to it. Thresholded requests
+//!   ([`Operation::EditBounded`]) always take it: the BFS stops after
+//!   `k + 1` rounds by construction.
 //!
-//! [`choose`] is a pure function of (operation, input sizes, thread
-//! budget) so tests can property-check it against reference oracles;
+//! [`decide`] is a pure function of (operation, input bytes, thread
+//! budget) returning a [`DispatchDecision`] — algorithm *and* the
+//! reason it was picked — so tests can property-check routing and ops
+//! can read it back from METRICS (`slcs_dispatch_total{algo,reason}`).
 //! [`execute`] layers the kernel cache on top — a cached kernel beats
 //! every fresh computation, so the cache is always consulted first for
 //! kernel-based operations.
@@ -26,7 +35,9 @@ use slcs_semilocal::{grid_hybrid_combing, iterative_combing, EditDistances, Semi
 
 use crate::cache::{CacheKey, CachedIndex, IndexKind, KernelCache, PlainEntry};
 use crate::metrics::Metrics;
-use crate::request::{AlgoChoice, CacheStatus, CompareRequest, Operation, Payload};
+use crate::request::{
+    AlgoChoice, CacheStatus, CompareRequest, DispatchDecision, DispatchReason, Operation, Payload,
+};
 
 /// Grid area (`m * n`) below which sequential combing beats the parallel
 /// comb's task-spawn and merge overhead.
@@ -55,18 +66,102 @@ pub fn combing_choice(m: usize, n: usize, threads: usize) -> AlgoChoice {
     }
 }
 
-/// The planned algorithm for a request, *ignoring* the cache (a cache
-/// hit overrides any plan). Pure, so properties like "the plan's score
-/// always matches the reference oracle" are directly testable.
-pub fn choose(op: &Operation, pattern: &[u8], text: &[u8], threads: usize) -> AlgoChoice {
+/// Shortest input (both sides) the similarity probe considers. Below
+/// this the full-grid index is cheap anyway and the probe's anchors
+/// would overlap into noise.
+pub const OSED_MIN_LEN: usize = 64;
+
+/// Bytes per similarity anchor sampled from the pattern.
+const ANCHOR_LEN: usize = 8;
+
+/// Number of anchors the probe samples.
+const ANCHOR_COUNT: usize = 32;
+
+/// Slack added to the search radius around each anchor's expected
+/// position, absorbing indel drift the length difference doesn't show.
+const ANCHOR_PAD: usize = 256;
+
+/// Anchor hits required to call a pair "similar" (out of
+/// [`ANCHOR_COUNT`] sampled).
+const ANCHOR_HITS: usize = 8;
+
+/// Cheap similarity probe: samples [`ANCHOR_COUNT`] 8-byte anchors at
+/// evenly spaced pattern positions and looks for each near its
+/// proportional position in the text (± `|m−n| +` [`ANCHOR_PAD`]).
+/// Nearly identical strings hit almost every anchor; unrelated strings
+/// hit almost none (a random 8-byte match is vanishingly unlikely for
+/// non-trivial alphabets). O(anchors · radius) — microseconds against
+/// the milliseconds-to-seconds grid build it gates.
+pub fn similar_inputs(pattern: &[u8], text: &[u8]) -> bool {
+    let (m, n) = (pattern.len(), text.len());
+    if m < OSED_MIN_LEN || n < OSED_MIN_LEN {
+        return false;
+    }
+    // A length gap over 25% means d ≥ gap is already grid territory.
+    if m.abs_diff(n) > m.min(n) / 4 {
+        return false;
+    }
+    let radius = m.abs_diff(n) + ANCHOR_PAD;
+    let mut hits = 0;
+    for i in 0..ANCHOR_COUNT {
+        let pos = i * (m - ANCHOR_LEN) / (ANCHOR_COUNT - 1);
+        let anchor = &pattern[pos..pos + ANCHOR_LEN];
+        let center = pos * n / m;
+        let lo = center.saturating_sub(radius);
+        let hi = (center + radius + ANCHOR_LEN).min(n);
+        if text[lo..hi].windows(ANCHOR_LEN).any(|w| w == anchor) {
+            hits += 1;
+        }
+    }
+    hits >= ANCHOR_HITS
+}
+
+/// The planned route for a request, *ignoring* the cache (a cache hit
+/// overrides any plan). Pure, so properties like "the plan's score
+/// always matches the reference oracle" and "similar pairs go to osed"
+/// are directly testable.
+pub fn decide(op: &Operation, pattern: &[u8], text: &[u8], threads: usize) -> DispatchDecision {
     let (m, n) = (pattern.len(), text.len());
     match op {
-        Operation::Lcs if alphabet_size(pattern, text) <= BITPAR_MAX_SIGMA => {
-            AlgoChoice::BitParallel
+        Operation::Lcs if alphabet_size(pattern, text) <= BITPAR_MAX_SIGMA => DispatchDecision {
+            algo: AlgoChoice::BitParallel,
+            reason: DispatchReason::SmallAlphabet,
+        },
+        Operation::Lcs | Operation::Windows { .. } => {
+            let algo = combing_choice(m, n, threads);
+            let reason = match algo {
+                AlgoChoice::GridHybridCombing { .. } => DispatchReason::GridParallel,
+                _ => DispatchReason::GridSequential,
+            };
+            DispatchDecision { algo, reason }
         }
-        Operation::Lcs | Operation::Windows { .. } => combing_choice(m, n, threads),
-        Operation::Edit { .. } => AlgoChoice::EditIndex,
+        Operation::Edit { w: Some(_) } => {
+            DispatchDecision { algo: AlgoChoice::EditIndex, reason: DispatchReason::EditWindowed }
+        }
+        Operation::Edit { w: None } => {
+            if similar_inputs(pattern, text) {
+                DispatchDecision {
+                    algo: AlgoChoice::OutputSensitive,
+                    reason: DispatchReason::EditSimilar,
+                }
+            } else {
+                DispatchDecision {
+                    algo: AlgoChoice::EditIndex,
+                    reason: DispatchReason::EditDissimilar,
+                }
+            }
+        }
+        Operation::EditBounded { .. } => DispatchDecision {
+            algo: AlgoChoice::OutputSensitive,
+            reason: DispatchReason::EditBoundedK,
+        },
     }
+}
+
+/// The planned algorithm for a request — [`decide`] without the reason,
+/// kept for callers that only route.
+pub fn choose(op: &Operation, pattern: &[u8], text: &[u8], threads: usize) -> AlgoChoice {
+    decide(op, pattern, text, threads).algo
 }
 
 fn comb(pattern: &[u8], text: &[u8], threads: usize) -> (SemiLocalKernel, AlgoChoice) {
@@ -152,13 +247,36 @@ fn best_window(scores: &[usize]) -> (usize, usize) {
 
 /// Serves one request: consults the cache, runs the chosen algorithm,
 /// and reports which path was taken. Degenerate (empty) inputs are
-/// answered directly so the kernel algorithms never see them.
+/// answered directly so the kernel algorithms never see them. Every
+/// call lands in exactly one `slcs_dispatch_total{algo,reason}` bucket
+/// and emits one `engine.dispatch` trace instant.
 pub fn execute(
     req: &CompareRequest,
     cache: &KernelCache,
     metrics: &Metrics,
     threads: usize,
 ) -> (Payload, AlgoChoice, CacheStatus) {
+    let (payload, algo, status, reason) = execute_inner(req, cache, metrics, threads);
+    metrics.note_dispatch(reason);
+    slcs_trace::instant!("engine.dispatch", "algo" => algo.token(), "reason" => reason.token());
+    (payload, algo, status)
+}
+
+/// The reason matching a fetch-or-build helper's outcome: a cache hit
+/// overrides whatever the miss path would have reported.
+fn entry_reason(status: CacheStatus, miss: DispatchReason) -> DispatchReason {
+    match status {
+        CacheStatus::Hit => DispatchReason::CacheHit,
+        _ => miss,
+    }
+}
+
+fn execute_inner(
+    req: &CompareRequest,
+    cache: &KernelCache,
+    metrics: &Metrics,
+    threads: usize,
+) -> (Payload, AlgoChoice, CacheStatus, DispatchReason) {
     let (pattern, text) = (&req.pattern[..], &req.text[..]);
     let (m, n) = (pattern.len(), text.len());
     if m == 0 || n == 0 {
@@ -174,8 +292,12 @@ pub fn execute(
                 // (validation only admits w = None then).
                 Payload::Edit { global: m + n, best: w.map(|w| (0, w, m + w)) }
             }
+            Operation::EditBounded { k } => {
+                let d = m + n;
+                Payload::EditBounded { distance: (d <= k).then_some(d), k }
+            }
         };
-        return (payload, AlgoChoice::BitParallel, CacheStatus::Bypass);
+        return (payload, AlgoChoice::BitParallel, CacheStatus::Bypass, DispatchReason::EmptyInput);
     }
     match req.op {
         Operation::Lcs => {
@@ -191,13 +313,16 @@ pub fn execute(
                     Payload::Score(entry.kernel().lcs()),
                     AlgoChoice::CachedKernel,
                     CacheStatus::Hit,
+                    DispatchReason::CacheHit,
                 );
             }
-            match choose(&req.op, pattern, text, threads) {
+            let decision = decide(&req.op, pattern, text, threads);
+            match decision.algo {
                 AlgoChoice::BitParallel => (
                     Payload::Score(bit_lcs_alphabet(pattern, text)),
                     AlgoChoice::BitParallel,
                     CacheStatus::Bypass,
+                    decision.reason,
                 ),
                 _ => {
                     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
@@ -208,7 +333,11 @@ pub fn execute(
                         cache.insert(key, CachedIndex::Plain(Arc::new(PlainEntry::new(kernel))));
                     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                     metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
-                    (Payload::Score(score), algo, CacheStatus::Miss)
+                    let reason = match algo {
+                        AlgoChoice::GridHybridCombing { .. } => DispatchReason::GridParallel,
+                        _ => DispatchReason::GridSequential,
+                    };
+                    (Payload::Score(score), algo, CacheStatus::Miss, reason)
                 }
             }
         }
@@ -216,13 +345,79 @@ pub fn execute(
             let (entry, algo, status) = plain_entry(pattern, text, cache, metrics, threads);
             let scores = entry.scores().windows_linear(w);
             let best = best_window(&scores);
-            (Payload::Windows { scores, best }, algo, status)
+            let miss = match algo {
+                AlgoChoice::GridHybridCombing { .. } => DispatchReason::GridParallel,
+                _ => DispatchReason::GridSequential,
+            };
+            (Payload::Windows { scores, best }, algo, status, entry_reason(status, miss))
         }
-        Operation::Edit { w } => {
+        Operation::Edit { w: Some(w) } => {
             let (entry, algo, status) = edit_entry(pattern, text, cache, metrics);
             let global = entry.global();
-            let best = w.map(|w| entry.best_window(w));
-            (Payload::Edit { global, best }, algo, status)
+            let best = Some(entry.best_window(w));
+            let reason = entry_reason(status, DispatchReason::EditWindowed);
+            (Payload::Edit { global, best }, algo, status, reason)
+        }
+        Operation::Edit { w: None } => {
+            // A cached index answers for free even when the plan would
+            // be osed; otherwise similarity decides between the O(n+d²)
+            // BFS (no reusable artifact — the cache is bypassed, not
+            // missed) and the full index.
+            let key = CacheKey::new(IndexKind::Edit, pattern, text);
+            if let Some(CachedIndex::Edit(entry)) = cache.get(&key) {
+                // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                slcs_trace::instant!("engine.cache_hit", "kind" => "edit");
+                return (
+                    Payload::Edit { global: entry.global(), best: None },
+                    AlgoChoice::CachedKernel,
+                    CacheStatus::Hit,
+                    DispatchReason::CacheHit,
+                );
+            }
+            let decision = decide(&req.op, pattern, text, threads);
+            if decision.algo == AlgoChoice::OutputSensitive {
+                let global = if threads > 1 {
+                    slcs_osed::par_edit_distance(pattern, text)
+                } else {
+                    slcs_osed::edit_distance(pattern, text)
+                };
+                return (
+                    Payload::Edit { global, best: None },
+                    AlgoChoice::OutputSensitive,
+                    CacheStatus::Bypass,
+                    decision.reason,
+                );
+            }
+            let (entry, algo, status) = edit_entry(pattern, text, cache, metrics);
+            let reason = entry_reason(status, decision.reason);
+            (Payload::Edit { global: entry.global(), best: None }, algo, status, reason)
+        }
+        Operation::EditBounded { k } => {
+            // A full index left behind by an earlier Edit request knows
+            // the exact distance — reuse it rather than re-running the
+            // BFS; a fresh request runs the k-capped BFS and never
+            // builds (or misses) anything cacheable.
+            let key = CacheKey::new(IndexKind::Edit, pattern, text);
+            if let Some(CachedIndex::Edit(entry)) = cache.get(&key) {
+                // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                slcs_trace::instant!("engine.cache_hit", "kind" => "edit");
+                let global = entry.global();
+                return (
+                    Payload::EditBounded { distance: (global <= k).then_some(global), k },
+                    AlgoChoice::CachedKernel,
+                    CacheStatus::Hit,
+                    DispatchReason::CacheHit,
+                );
+            }
+            let distance = slcs_osed::edit_distance_bounded(pattern, text, k);
+            (
+                Payload::EditBounded { distance, k },
+                AlgoChoice::OutputSensitive,
+                CacheStatus::Bypass,
+                DispatchReason::EditBoundedK,
+            )
         }
     }
 }
@@ -312,6 +507,119 @@ mod tests {
         let (payload, _, _) =
             execute(&req(b"xy", b"", Operation::Edit { w: None }), &cache, &metrics, 1);
         assert_eq!(payload, Payload::Edit { global: 2, best: None });
+        let (payload, _, _) =
+            execute(&req(b"xy", b"", Operation::EditBounded { k: 1 }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::EditBounded { distance: None, k: 1 });
+        let (payload, _, _) =
+            execute(&req(b"xy", b"", Operation::EditBounded { k: 2 }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::EditBounded { distance: Some(2), k: 2 });
         assert!(cache.is_empty());
+    }
+
+    type Pair = (Vec<u8>, Vec<u8>);
+
+    /// A seeded ≥ OSED_MIN_LEN pair at ~99% similarity, plus an
+    /// unrelated pair of the same lengths.
+    fn probe_pairs() -> (Pair, Pair) {
+        let mut rng = slcs_datagen::seeded_rng(71);
+        let similar = slcs_datagen::similar_pair(&mut rng, 2_048, 26, 0.01);
+        let unrelated = (
+            slcs_datagen::uniform_string(&mut rng, 2_048, 26),
+            slcs_datagen::uniform_string(&mut rng, 2_048, 26),
+        );
+        (similar, unrelated)
+    }
+
+    #[test]
+    fn similarity_probe_separates_near_identical_from_unrelated() {
+        let ((a, b), (x, y)) = probe_pairs();
+        assert!(similar_inputs(&a, &b));
+        assert!(similar_inputs(&b, &a), "probe should be usable in either orientation");
+        assert!(!similar_inputs(&x, &y));
+        // Too short to probe, even when identical.
+        assert!(!similar_inputs(b"abc", b"abc"));
+        // A 2x length gap is grid territory regardless of content.
+        let half = a[..a.len() / 2].to_vec();
+        assert!(!similar_inputs(&a, &half));
+    }
+
+    #[test]
+    fn decide_routes_similar_global_edits_to_osed() {
+        let ((a, b), (x, y)) = probe_pairs();
+        let op = Operation::Edit { w: None };
+        assert_eq!(
+            decide(&op, &a, &b, 1),
+            DispatchDecision {
+                algo: AlgoChoice::OutputSensitive,
+                reason: DispatchReason::EditSimilar
+            }
+        );
+        assert_eq!(decide(&op, &x, &y, 1).reason, DispatchReason::EditDissimilar);
+        // Windowed edits always need the index; bounded edits always
+        // take the capped BFS.
+        assert_eq!(decide(&Operation::Edit { w: Some(9) }, &a, &b, 1).algo, AlgoChoice::EditIndex);
+        assert_eq!(
+            decide(&Operation::EditBounded { k: 3 }, &x, &y, 1).algo,
+            AlgoChoice::OutputSensitive
+        );
+    }
+
+    #[test]
+    fn osed_path_matches_the_index_and_bypasses_the_cache() {
+        let cache = KernelCache::new(16);
+        let metrics = Metrics::default();
+        let ((a, b), _) = probe_pairs();
+        let expected = edit_distance(&a, &b);
+        for threads in [1, 4] {
+            let (payload, algo, status) =
+                execute(&req(&a, &b, Operation::Edit { w: None }), &cache, &metrics, threads);
+            assert_eq!(payload, Payload::Edit { global: expected, best: None });
+            assert_eq!(algo, AlgoChoice::OutputSensitive);
+            assert_eq!(status, CacheStatus::Bypass);
+        }
+        assert!(cache.is_empty(), "the BFS leaves no artifact to cache");
+    }
+
+    #[test]
+    fn bounded_edit_caps_the_bfs_and_reuses_a_cached_index() {
+        let cache = KernelCache::new(16);
+        let metrics = Metrics::default();
+        let (_, (x, y)) = probe_pairs();
+        let d = edit_distance(&x, &y);
+        let (payload, algo, status) =
+            execute(&req(&x, &y, Operation::EditBounded { k: d }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::EditBounded { distance: Some(d), k: d });
+        assert_eq!(algo, AlgoChoice::OutputSensitive);
+        assert_eq!(status, CacheStatus::Bypass);
+        let (payload, _, _) =
+            execute(&req(&x, &y, Operation::EditBounded { k: d - 1 }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::EditBounded { distance: None, k: d - 1 });
+        // A full Edit request builds the index; the next bounded query
+        // answers from it instead of re-running the BFS.
+        execute(&req(&x, &y, Operation::Edit { w: None }), &cache, &metrics, 1);
+        let (payload, algo, status) =
+            execute(&req(&x, &y, Operation::EditBounded { k: d }), &cache, &metrics, 1);
+        assert_eq!(payload, Payload::EditBounded { distance: Some(d), k: d });
+        assert_eq!(algo, AlgoChoice::CachedKernel);
+        assert_eq!(status, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn every_execute_lands_in_exactly_one_dispatch_bucket() {
+        let cache = KernelCache::new(16);
+        let metrics = Metrics::default();
+        let ((a, b), _) = probe_pairs();
+        execute(&req(b"acgt", b"tgca", Operation::Lcs), &cache, &metrics, 1);
+        execute(&req(&a, &b, Operation::Edit { w: None }), &cache, &metrics, 1);
+        execute(&req(&a, &b, Operation::EditBounded { k: 64 }), &cache, &metrics, 1);
+        execute(&req(b"", b"abc", Operation::Lcs), &cache, &metrics, 1);
+        let snap = metrics.snapshot(0);
+        let total: u64 = snap.dispatch.iter().sum();
+        assert_eq!(total, 4);
+        let count = |r: DispatchReason| snap.dispatch[r.index()];
+        assert_eq!(count(DispatchReason::SmallAlphabet), 1);
+        assert_eq!(count(DispatchReason::EditSimilar), 1);
+        assert_eq!(count(DispatchReason::EditBoundedK), 1);
+        assert_eq!(count(DispatchReason::EmptyInput), 1);
     }
 }

@@ -112,7 +112,7 @@ impl Engine {
             return Submit::Invalid(why);
         }
         let kind = match req.op {
-            Operation::Edit { .. } => IndexKind::Edit,
+            Operation::Edit { .. } | Operation::EditBounded { .. } => IndexKind::Edit,
             _ => IndexKind::Plain,
         };
         let key = CacheKey::new(kind, &req.pattern, &req.text);
@@ -229,21 +229,16 @@ fn worker_loop(shared: Arc<Shared>) {
             metrics.service_micros.record(service_micros);
             // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.completed.fetch_add(1, Ordering::Relaxed);
+            // The `engine.dispatch` instant (algo + reason) is emitted
+            // inside `dispatch::execute`, next to the decision it labels.
             let result = match computed {
-                Ok((payload, algo, cache)) => {
-                    slcs_trace::instant!(
-                        "engine.dispatch",
-                        "algo" => algo.token(),
-                        "cache" => cache.token()
-                    );
-                    Ok(CompareOutcome {
-                        payload,
-                        algo,
-                        cache,
-                        service_micros,
-                        wait_micros: wait_us,
-                    })
-                }
+                Ok((payload, algo, cache)) => Ok(CompareOutcome {
+                    payload,
+                    algo,
+                    cache,
+                    service_micros,
+                    wait_micros: wait_us,
+                }),
                 Err(panic) => {
                     let msg = panic
                         .downcast_ref::<&str>()

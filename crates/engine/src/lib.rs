@@ -16,7 +16,9 @@
 //!   [`StatsSnapshot`].
 //! * [`cache`] — the sharded LRU of kernels and edit-distance indexes.
 //! * [`dispatch`] — adaptive algorithm choice (bit-parallel vs
-//!   sequential vs parallel combing) and request execution.
+//!   sequential vs parallel combing vs the output-sensitive
+//!   edit-distance BFS, picked by a similarity probe) and request
+//!   execution.
 //! * [`queue`] — the bounded submission queue, [`Submit`] backpressure
 //!   result and completion [`Ticket`]s.
 //! * [`engine`] — the worker pool, batch coalescing and lifecycle.
@@ -46,11 +48,14 @@ pub mod server;
 pub(crate) mod sync;
 
 pub use cache::{CacheKey, IndexKind, KernelCache};
-pub use dispatch::{alphabet_size, choose, combing_choice, execute};
+pub use dispatch::{
+    alphabet_size, choose, combing_choice, decide, execute, similar_inputs, OSED_MIN_LEN,
+};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::{HistogramSnapshot, Metrics, StatsSnapshot};
 pub use queue::{Submit, Ticket};
 pub use request::{
-    AlgoChoice, CacheStatus, CompareOutcome, CompareRequest, EngineError, Operation, Payload,
+    AlgoChoice, CacheStatus, CompareOutcome, CompareRequest, DispatchDecision, DispatchReason,
+    EngineError, Operation, Payload,
 };
 pub use server::{spawn as serve, ServerConfig, ServerHandle};

@@ -28,6 +28,8 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::request::DispatchReason;
+
 const BUCKETS: usize = 32;
 
 /// A log₂-bucketed latency histogram over microseconds.
@@ -142,6 +144,9 @@ pub struct Metrics {
     pub batches: AtomicU64,
     /// High-water mark of observed queue depths (fed by `note_depth`).
     pub max_queue_depth: AtomicU64,
+    /// Dispatch decisions, one counter per [`DispatchReason`] (indexed
+    /// by [`DispatchReason::index`]) — the `slcs_dispatch_total` series.
+    pub dispatch: [AtomicU64; DispatchReason::COUNT],
     /// Time from acceptance to a worker picking the request up.
     pub wait_micros: Histogram,
     /// Time a worker spent computing the answer.
@@ -152,6 +157,12 @@ impl Metrics {
     pub fn note_depth(&self, depth: u64) {
         // ORDERING: Relaxed — a high-water mark; racing maxima still converge.
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records which branch the dispatcher took for one request.
+    pub fn note_dispatch(&self, reason: DispatchReason) {
+        // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
+        self.dispatch[reason.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copies every counter into a [`StatsSnapshot`]. `queue_depth` is a
@@ -173,6 +184,7 @@ impl Metrics {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            dispatch: std::array::from_fn(|i| self.dispatch[i].load(Ordering::Relaxed)),
             queue_depth,
             wait_micros: self.wait_micros.snapshot(),
             service_micros: self.service_micros.snapshot(),
@@ -196,6 +208,8 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     pub coalesced: u64,
     pub batches: u64,
+    /// Dispatch-decision counts, indexed by [`DispatchReason::index`].
+    pub dispatch: [u64; DispatchReason::COUNT],
     /// Gauge: live queue depth at snapshot time (read from the queue
     /// itself, never a shadow atomic — see the module docs).
     pub queue_depth: u64,
@@ -237,6 +251,18 @@ impl StatsSnapshot {
         ] {
             let _ = writeln!(out, "# TYPE {name}_total counter");
             let _ = writeln!(out, "{name}_total {value}");
+        }
+        // One labelled series per dispatch branch; every label pair is
+        // emitted even at zero so scrapers see a stable set.
+        let _ = writeln!(out, "# TYPE slcs_dispatch_total counter");
+        for reason in DispatchReason::ALL {
+            let _ = writeln!(
+                out,
+                "slcs_dispatch_total{{algo=\"{}\",reason=\"{}\"}} {}",
+                reason.algo_token(),
+                reason.token(),
+                self.dispatch[reason.index()],
+            );
         }
         for (name, value) in [
             ("slcs_queue_depth", self.queue_depth),
@@ -328,6 +354,11 @@ impl std::fmt::Display for StatsSnapshot {
             "cache:    hits={} misses={} evictions={}",
             self.cache_hits, self.cache_misses, self.cache_evictions
         )?;
+        write!(f, "dispatch:")?;
+        for reason in DispatchReason::ALL {
+            write!(f, " {}={}", reason.token(), self.dispatch[reason.index()])?;
+        }
+        writeln!(f)?;
         writeln!(f, "batches:  {} popped, {} requests coalesced", self.batches, self.coalesced)?;
         writeln!(f, "queue:    depth={} max_depth={}", self.queue_depth, self.max_queue_depth)?;
         writeln!(f, "sched:    par_grain={}", self.par_grain)?;
@@ -486,6 +517,34 @@ mod tests {
             assert!(text.contains(&format!("\n{name} ")), "missing {name}:\n{text}");
         }
         assert!(text.contains("slcs_alloc_size_bytes_bucket{le=\"+Inf\"}"), "{text}");
+    }
+
+    #[test]
+    fn dispatch_counters_expose_every_reason_with_stable_labels() {
+        let m = Metrics::default();
+        m.note_dispatch(DispatchReason::EditSimilar);
+        m.note_dispatch(DispatchReason::EditSimilar);
+        m.note_dispatch(DispatchReason::SmallAlphabet);
+        let s = m.snapshot(0);
+        assert_eq!(s.dispatch[DispatchReason::EditSimilar.index()], 2);
+        assert_eq!(s.dispatch[DispatchReason::SmallAlphabet.index()], 1);
+        assert_eq!(s.dispatch.iter().sum::<u64>(), 3);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE slcs_dispatch_total counter"));
+        assert!(text.contains("slcs_dispatch_total{algo=\"osed\",reason=\"edit_similar\"} 2"));
+        assert!(text.contains("slcs_dispatch_total{algo=\"bitpar\",reason=\"small_alphabet\"} 1"));
+        // Zero-valued series are still emitted so the label set is stable.
+        assert!(text.contains("slcs_dispatch_total{algo=\"cached\",reason=\"cache_hit\"} 0"));
+        for reason in DispatchReason::ALL {
+            assert!(
+                text.contains(&format!("reason=\"{}\"", reason.token())),
+                "missing series for {}:\n{text}",
+                reason.token()
+            );
+        }
+        let human = s.to_string();
+        assert!(human.contains("dispatch:"), "{human}");
+        assert!(human.contains("edit_similar=2"), "{human}");
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub enum Operation {
     /// Global edit distance, plus (optionally) the closest window of
     /// length `w` in the text.
     Edit { w: Option<usize> },
+    /// Thresholded edit distance: the exact distance if it is `≤ k`,
+    /// else just "greater than `k`". Always served by the
+    /// output-sensitive BFS, which exits after `k + 1` rounds instead
+    /// of filling a grid.
+    EditBounded { k: usize },
 }
 
 impl Operation {
@@ -25,6 +30,7 @@ impl Operation {
             Operation::Lcs => "lcs",
             Operation::Windows { .. } => "windows",
             Operation::Edit { .. } => "edit",
+            Operation::EditBounded { .. } => "edit_bounded",
         }
     }
 }
@@ -67,6 +73,8 @@ impl CompareRequest {
                 Some(w) if w > n => Err(format!("window {w} longer than text ({n})")),
                 _ => Ok(()),
             },
+            // Any bound is meaningful: k = 0 asks "are these equal?".
+            Operation::EditBounded { .. } => Ok(()),
         }
     }
 }
@@ -82,6 +90,9 @@ pub enum AlgoChoice {
     GridHybridCombing { tasks: usize },
     /// Blown-up combing behind the edit-distance index.
     EditIndex,
+    /// Output-sensitive Landau–Vishkin BFS (`slcs-osed`): O(n + d²),
+    /// chosen for high-similarity and thresholded edit requests.
+    OutputSensitive,
     /// Served straight from the kernel cache — no combing at all.
     CachedKernel,
 }
@@ -95,9 +106,111 @@ impl AlgoChoice {
             AlgoChoice::IterativeCombing => "comb",
             AlgoChoice::GridHybridCombing { .. } => "grid",
             AlgoChoice::EditIndex => "edit",
+            AlgoChoice::OutputSensitive => "osed",
             AlgoChoice::CachedKernel => "cached",
         }
     }
+}
+
+/// Why the dispatcher picked the algorithm it picked — one stable
+/// label per decision branch, so osed routing (and every other path)
+/// is observable in STATS/METRICS as `slcs_dispatch_total{algo,reason}`
+/// and in the `engine.dispatch` trace instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchReason {
+    /// Score-only request on an alphabet the bit-parallel path covers.
+    SmallAlphabet,
+    /// Kernel-building grid served by sequential combing.
+    GridSequential,
+    /// Kernel-building grid large enough for the parallel comb.
+    GridParallel,
+    /// Windowed edit request: needs the full edit-distance index.
+    EditWindowed,
+    /// Global edit request whose similarity probe says "nearly equal" —
+    /// routed to the output-sensitive BFS.
+    EditSimilar,
+    /// Global edit request that failed the similarity probe (or is too
+    /// short to probe) — full edit-distance index.
+    EditDissimilar,
+    /// Thresholded edit request: the d-capped BFS is built for it.
+    EditBoundedK,
+    /// Degenerate empty input answered directly.
+    EmptyInput,
+    /// A cached index overrode the plan.
+    CacheHit,
+}
+
+impl DispatchReason {
+    /// Every reason, in counter-index order (see [`Self::index`]).
+    pub const ALL: [DispatchReason; 9] = [
+        DispatchReason::SmallAlphabet,
+        DispatchReason::GridSequential,
+        DispatchReason::GridParallel,
+        DispatchReason::EditWindowed,
+        DispatchReason::EditSimilar,
+        DispatchReason::EditDissimilar,
+        DispatchReason::EditBoundedK,
+        DispatchReason::EmptyInput,
+        DispatchReason::CacheHit,
+    ];
+
+    /// Number of reasons (length of [`Self::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Position of this reason in [`Self::ALL`] — the index of its
+    /// metrics counter.
+    pub fn index(&self) -> usize {
+        match self {
+            DispatchReason::SmallAlphabet => 0,
+            DispatchReason::GridSequential => 1,
+            DispatchReason::GridParallel => 2,
+            DispatchReason::EditWindowed => 3,
+            DispatchReason::EditSimilar => 4,
+            DispatchReason::EditDissimilar => 5,
+            DispatchReason::EditBoundedK => 6,
+            DispatchReason::EmptyInput => 7,
+            DispatchReason::CacheHit => 8,
+        }
+    }
+
+    /// Stable lowercase label — the `reason` value of the
+    /// `slcs_dispatch_total` series and the STATS `dispatch=` field.
+    pub fn token(&self) -> &'static str {
+        match self {
+            DispatchReason::SmallAlphabet => "small_alphabet",
+            DispatchReason::GridSequential => "grid_seq",
+            DispatchReason::GridParallel => "grid_par",
+            DispatchReason::EditWindowed => "edit_windowed",
+            DispatchReason::EditSimilar => "edit_similar",
+            DispatchReason::EditDissimilar => "edit_dissimilar",
+            DispatchReason::EditBoundedK => "edit_bounded",
+            DispatchReason::EmptyInput => "empty_input",
+            DispatchReason::CacheHit => "cache_hit",
+        }
+    }
+
+    /// The algorithm token this reason routes to (the `algo` label of
+    /// the `slcs_dispatch_total` series; same vocabulary as
+    /// [`AlgoChoice::token`]).
+    pub fn algo_token(&self) -> &'static str {
+        match self {
+            DispatchReason::SmallAlphabet | DispatchReason::EmptyInput => "bitpar",
+            DispatchReason::GridSequential => "comb",
+            DispatchReason::GridParallel => "grid",
+            DispatchReason::EditWindowed | DispatchReason::EditDissimilar => "edit",
+            DispatchReason::EditSimilar | DispatchReason::EditBoundedK => "osed",
+            DispatchReason::CacheHit => "cached",
+        }
+    }
+}
+
+/// The dispatcher's pure routing verdict: which algorithm, and why.
+/// Produced by [`decide`](crate::dispatch::decide) before the cache is
+/// consulted (a hit then overrides both fields).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchDecision {
+    pub algo: AlgoChoice,
+    pub reason: DispatchReason,
 }
 
 /// Whether the kernel cache could help this request.
@@ -133,6 +246,9 @@ pub enum Payload {
     /// `Operation::Edit`: global distance plus the optional
     /// `(start, end, distance)` of the closest window.
     Edit { global: usize, best: Option<(usize, usize, usize)> },
+    /// `Operation::EditBounded`: the exact distance when it is `≤ k`,
+    /// `None` when the BFS proved it exceeds the bound.
+    EditBounded { distance: Option<usize>, k: usize },
 }
 
 /// A served request.

@@ -7,6 +7,7 @@
 //! LCS <pattern> <text>             → OK <score> <algo> <cache>
 //! WINDOWS <w> <pattern> <text>     → OK <best_start> <best_score> <s0,s1,…>
 //! EDIT <pattern> <text> [<w>]      → OK <global> [<start> <end> <dist>]
+//! EDIT <pattern> <text> k=<K>      → OK <dist> | OK gt <K>   (bounded: exact iff ≤ K)
 //! STATS                            → OK key=value … (incl. raw histogram buckets)
 //! METRICS                          → Prometheus text exposition, `# EOF`-terminated
 //! TRACE on|off|dump                → tracing control (gated by ServerConfig)
@@ -38,7 +39,7 @@ use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::queue::Submit;
-use crate::request::{CompareRequest, Operation, Payload};
+use crate::request::{CompareRequest, DispatchReason, Operation, Payload};
 
 /// Limits for one server instance.
 #[derive(Clone, Debug)]
@@ -246,10 +247,15 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
         "QUIT" => return "OK bye".into(),
         "STATS" => {
             let s = engine.stats();
+            let dispatch = DispatchReason::ALL
+                .iter()
+                .map(|r| format!("{}:{}", r.token(), s.dispatch[r.index()]))
+                .collect::<Vec<_>>()
+                .join(",");
             return format!(
                 "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
                  hits={} misses={} evictions={} batches={} coalesced={} \
-                 depth={} max_depth={} par_grain={} \
+                 depth={} max_depth={} par_grain={} dispatch={dispatch} \
                  wait_sum={} service_sum={} \
                  allocs={} frees={} live_bytes={} peak_live_bytes={} alloc_installed={} \
                  wait_buckets={} service_buckets={}",
@@ -316,17 +322,26 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
         }
         "EDIT" => {
             let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
-                return "ERR usage: EDIT <pattern> <text> [<w>]".into();
+                return "ERR usage: EDIT <pattern> <text> [<w> | k=<K>]".into();
             };
-            let w = match (parts.next(), parts.next()) {
-                (None, _) => None,
-                (Some(w), None) => match w.parse::<usize>() {
-                    Ok(w) => Some(w),
-                    Err(_) => return "ERR window must be an integer".into(),
-                },
-                _ => return "ERR usage: EDIT <pattern> <text> [<w>]".into(),
+            let op = match (parts.next(), parts.next()) {
+                (None, _) => Operation::Edit { w: None },
+                (Some(arg), None) => {
+                    if let Some(k) = arg.strip_prefix("k=") {
+                        match k.parse::<usize>() {
+                            Ok(k) => Operation::EditBounded { k },
+                            Err(_) => return "ERR bound must be an integer".into(),
+                        }
+                    } else {
+                        match arg.parse::<usize>() {
+                            Ok(w) => Operation::Edit { w: Some(w) },
+                            Err(_) => return "ERR window must be an integer".into(),
+                        }
+                    }
+                }
+                _ => return "ERR usage: EDIT <pattern> <text> [<w> | k=<K>]".into(),
             };
-            CompareRequest::new(a.as_bytes(), b.as_bytes(), Operation::Edit { w })
+            CompareRequest::new(a.as_bytes(), b.as_bytes(), op)
         }
         other => return format!("ERR unknown command {other}"),
     };
@@ -346,6 +361,10 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
                 Payload::Edit { global, best } => match best {
                     None => format!("OK {global}"),
                     Some((start, end, dist)) => format!("OK {global} {start} {end} {dist}"),
+                },
+                Payload::EditBounded { distance, k } => match distance {
+                    Some(d) => format!("OK {d}"),
+                    None => format!("OK gt {k}"),
                 },
             },
         },
@@ -383,12 +402,15 @@ mod tests {
         let best = respond("EDIT kitten sitting 6", &engine, &cfg);
         assert!(best.starts_with("OK 3 "), "{best}");
         assert!(respond("WINDOWS x a b", &engine, &cfg).starts_with("ERR"));
+        assert!(respond("EDIT kitten sitting k=x", &engine, &cfg).starts_with("ERR bound"));
         assert!(respond("WINDOWS 9 ab xy", &engine, &cfg).starts_with("ERR"));
         assert!(respond("NOPE", &engine, &cfg).starts_with("ERR unknown"));
         let stats = respond("STATS", &engine, &cfg);
         // Two hits: LCS reusing the WINDOWS kernel, EDIT reusing the
         // first EDIT's index.
         assert!(stats.contains(" hits=2"), "{stats}");
+        assert!(stats.contains(" dispatch="), "{stats}");
+        assert!(stats.contains("cache_hit:2"), "{stats}");
         assert!(stats.contains(" wait_buckets="), "{stats}");
         assert!(stats.contains(" service_buckets="), "{stats}");
         assert!(stats.contains(" wait_sum="), "{stats}");
@@ -396,6 +418,17 @@ mod tests {
         assert!(stats.contains(" allocs="), "{stats}");
         assert!(stats.contains(" peak_live_bytes="), "{stats}");
         assert!(stats.contains(" alloc_installed="), "{stats}");
+    }
+
+    #[test]
+    fn bounded_edit_answers_exact_or_gt() {
+        let engine = engine();
+        let cfg = ServerConfig::default();
+        // d(kitten, sitting) = 3: exact at k ≥ 3, "gt" below.
+        assert_eq!(respond("EDIT kitten sitting k=3", &engine, &cfg), "OK 3");
+        assert_eq!(respond("EDIT kitten sitting k=2", &engine, &cfg), "OK gt 2");
+        assert_eq!(respond("EDIT kitten sitting k=0", &engine, &cfg), "OK gt 0");
+        assert_eq!(respond("EDIT same same k=0", &engine, &cfg), "OK 0");
     }
 
     #[test]

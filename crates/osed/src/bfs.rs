@@ -1,0 +1,247 @@
+//! Landau–Vishkin diagonal BFS over the LCP oracle: O(n + m + d²)
+//! edit distance, output-sensitive in the distance `d`.
+//!
+//! Grid position `(i, j)` (a prefix pair `a[..i]`, `b[..j]`) lives on
+//! diagonal `id = i − j + m`; `max_row[id]` after round `k` is the
+//! largest `i` such that some position on `id` is reachable with at
+//! most `k` edits (−1 when none is), always slid to the end of its
+//! matching run via the oracle. Round `k + 1` extends every diagonal
+//! from its three round-`k` neighbors *only*: new values are computed
+//! into a scratch row and copied back, so the parallel variant is
+//! bit-equivalent to the sequential one by construction.
+
+use crate::lcp::LcpOracle;
+use rayon::prelude::*;
+
+/// Frontier width below which even the parallel variant extends
+/// sequentially: a BFS round is O(width) cells of O(1) work, which
+/// only amortizes task overhead once the frontier is wide.
+pub const PAR_GRAIN: usize = 4096;
+
+/// Global edit distance, sequential.
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    // PANIC: unreachable — the uncapped BFS always terminates with a distance.
+    diagonal_bfs(a, b, None, None).expect("uncapped BFS yields a distance")
+}
+
+/// Global edit distance if it is `≤ k`, else `None`. Exits before
+/// round `k + 1`, and skips the oracle build entirely when the length
+/// difference alone exceeds `k`.
+pub fn edit_distance_bounded(a: &[u8], b: &[u8], k: usize) -> Option<usize> {
+    diagonal_bfs(a, b, Some(k), None)
+}
+
+/// Global edit distance with per-round frontier extension on the
+/// rayon pool (grain [`PAR_GRAIN`]); bit-equivalent to
+/// [`edit_distance`].
+pub fn par_edit_distance(a: &[u8], b: &[u8]) -> usize {
+    par_edit_distance_grain(a, b, PAR_GRAIN)
+}
+
+/// [`par_edit_distance`] with an explicit grain (frontier cells per
+/// task), for benchmarks probing the overhead crossover.
+pub fn par_edit_distance_grain(a: &[u8], b: &[u8], grain: usize) -> usize {
+    // PANIC: unreachable — the uncapped BFS always terminates with a distance.
+    diagonal_bfs(a, b, None, Some(grain.max(1))).expect("uncapped BFS yields a distance")
+}
+
+fn diagonal_bfs(a: &[u8], b: &[u8], cap: Option<usize>, par: Option<usize>) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        // Pure insertions/deletions; no oracle needed.
+        let d = n + m;
+        return match cap {
+            Some(k) if d > k => None,
+            _ => Some(d),
+        };
+    }
+    if let Some(k) = cap {
+        // d ≥ |n − m| (the length gap is all indels): a hopeless bound
+        // is rejected before paying for the oracle.
+        if n.abs_diff(m) > k {
+            return None;
+        }
+    }
+    let _span = slcs_trace::span!("osed.edit", "n" => n, "m" => m);
+    let oracle = LcpOracle::build(a, b);
+    let diags = n + m + 1;
+    let target = n; // Diag(n, m)
+    let mut max_row: Vec<i32> = vec![-1; diags];
+    let mut next: Vec<i32> = vec![-1; diags];
+    max_row[m] = oracle.lcp(0, 0) as i32; // Diag(0, 0), slid down its run
+    if max_row[target] == n as i32 {
+        return Some(0);
+    }
+    let mut k = 0usize;
+    loop {
+        k += 1;
+        if let Some(cap) = cap {
+            if k > cap {
+                return None;
+            }
+        }
+        debug_assert!(k <= n + m, "BFS must terminate by round n + m");
+        let lo = m - k.min(m);
+        let hi = m + k.min(n);
+        let _round = slcs_trace::span!("osed.bfs_round", "k" => k, "width" => hi - lo + 1);
+        let front = &max_row;
+        let window = &mut next[lo..=hi];
+        match par {
+            // Below 2× the grain a split yields at most one extra task;
+            // not worth waking the pool.
+            Some(grain) if window.len() >= grain.saturating_mul(2) => {
+                window
+                    .par_iter_mut()
+                    .with_min_len(grain)
+                    .enumerate()
+                    .for_each(|(off, slot)| *slot = extend_diag(&oracle, front, lo + off, n, m));
+            }
+            _ => {
+                for (off, slot) in window.iter_mut().enumerate() {
+                    *slot = extend_diag(&oracle, front, lo + off, n, m);
+                }
+            }
+        }
+        max_row[lo..=hi].copy_from_slice(&next[lo..=hi]);
+        if max_row[target] == n as i32 {
+            return Some(k);
+        }
+    }
+}
+
+/// One frontier cell: the furthest row on diagonal `id` reachable with
+/// one more edit than the round-`k−1` frontier `front`, slid down its
+/// matching run. Pure in `front`, so cells of a round are independent.
+fn extend_diag(oracle: &LcpOracle, front: &[i32], id: usize, n: usize, m: usize) -> i32 {
+    let mut t: i32 = -1;
+    // Substitution: stay on `id`. At a grid edge nothing is left to
+    // substitute, but the position itself stays reachable.
+    let cur = front[id];
+    if cur >= 0 {
+        let i = cur as usize;
+        let j = i + m - id;
+        t = if i == n || j == m { cur } else { (i + 1 + oracle.lcp(i + 1, j + 1)) as i32 };
+    }
+    // From `id − 1`: delete `a[i]` (advance the row) — or, when the
+    // row is already exhausted, delete `b[j − 1]` instead; both single
+    // edits land on `id`.
+    if id > 0 {
+        let up = front[id - 1];
+        if up >= 0 {
+            let i = up as usize;
+            let j = i + m - (id - 1);
+            let cand = if i == n {
+                // (n, j) → (n, j − 1); j ≥ 1 because id − 1 ≤ n + m − 1.
+                n as i32
+            } else {
+                (i + 1 + oracle.lcp(i + 1, j)) as i32
+            };
+            t = t.max(cand);
+        }
+    }
+    // From `id + 1`: insert `b[j]` (advance the column) — or, when the
+    // column is already exhausted, drop the last row instead.
+    if id + 1 < front.len() {
+        let down = front[id + 1];
+        if down >= 0 {
+            let i = down as usize;
+            let j = i + m - (id + 1);
+            let cand = if j == m {
+                // (i, m) → (i − 1, m); j = m forces i = id + 1 ≥ 1.
+                i as i32 - 1
+            } else {
+                (i + oracle.lcp(i, j + 1)) as i32
+            };
+            t = t.max(cand);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slcs_baselines::edit_distance as dp_edit_distance;
+
+    #[test]
+    fn classic_pairs_match_the_dp() {
+        for (a, b) in [
+            (&b"kitten"[..], &b"sitting"[..]),
+            (b"flaw", b"lawn"),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"", b""),
+            (b"same", b"same"),
+            (b"abcdef", b"fedcba"),
+            (b"aaaa", b"bbbb"),
+            (b"ab", b"ba"),
+        ] {
+            let want = dp_edit_distance(a, b);
+            assert_eq!(edit_distance(a, b), want, "{a:?} vs {b:?}");
+            assert_eq!(par_edit_distance(a, b), want, "par {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_shapes_exercise_the_edge_rules() {
+        // Prefix pairs and single-sided extensions drive the i = n and
+        // j = m branches of the frontier extension.
+        for (a, b) in [
+            (&b"abc"[..], &b"abcdef"[..]),
+            (b"abcdef", b"abc"),
+            (b"xabc", b"abc"),
+            (b"abc", b"abcx"),
+            (b"a", b"aaaaaaa"),
+            (b"aaaaaaa", b"a"),
+            (b"abcabcabc", b"abc"),
+        ] {
+            assert_eq!(edit_distance(a, b), dp_edit_distance(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn pseudorandom_pairs_match_the_dp() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move |bound: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % bound
+        };
+        for sigma in [2u32, 4, 26] {
+            for (la, lb) in [(1usize, 1usize), (13, 7), (64, 64), (200, 150)] {
+                let a: Vec<u8> = (0..la).map(|_| b'a' + next(sigma) as u8).collect();
+                let b: Vec<u8> = (0..lb).map(|_| b'a' + next(sigma) as u8).collect();
+                let want = dp_edit_distance(&a, &b);
+                assert_eq!(edit_distance(&a, &b), want, "sigma={sigma} {la}x{lb}");
+                assert_eq!(par_edit_distance_grain(&a, &b, 4), want, "par sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_variant_is_exact_below_the_cap_and_none_above() {
+        let (a, b) = (&b"kitten"[..], &b"sitting"[..]);
+        assert_eq!(edit_distance_bounded(a, b, 10), Some(3));
+        assert_eq!(edit_distance_bounded(a, b, 3), Some(3));
+        assert_eq!(edit_distance_bounded(a, b, 2), None);
+        assert_eq!(edit_distance_bounded(a, b, 0), None);
+        assert_eq!(edit_distance_bounded(a, a, 0), Some(0));
+        // Length-gap pre-check: no oracle, straight None.
+        assert_eq!(edit_distance_bounded(b"ab", b"abcdefgh", 3), None);
+        assert_eq!(edit_distance_bounded(b"", b"xyz", 2), None);
+        assert_eq!(edit_distance_bounded(b"", b"xyz", 3), Some(3));
+    }
+
+    #[test]
+    fn similar_inputs_cost_few_rounds_and_stay_exact() {
+        // A 2k-byte pair differing by 3 point edits: d = 3, so the BFS
+        // runs 3 rounds over a ~7-cell window instead of 4M DP cells.
+        let a: Vec<u8> = (0..2048u32).map(|i| b'a' + (i % 4) as u8).collect();
+        let mut b = a.clone();
+        b[100] = b'z';
+        b.remove(700);
+        b.insert(1500, b'q');
+        assert_eq!(edit_distance(&a, &b), dp_edit_distance(&a, &b));
+        assert_eq!(edit_distance(&a, &b), par_edit_distance(&a, &b));
+        assert_eq!(edit_distance_bounded(&a, &b, 3), Some(edit_distance(&a, &b)));
+    }
+}

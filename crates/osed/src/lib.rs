@@ -1,0 +1,40 @@
+//! slcs-osed — output-sensitive edit distance.
+//!
+//! Every other algorithm in this workspace pays for the full `n × m`
+//! grid even when the inputs are 99% identical — the production-
+//! realistic case (genome revisions, log/version diffing). This crate
+//! implements the Landau–Vishkin alternative: preprocess the pair so
+//! "how far do these two suffixes match?" is O(1), then breadth-first
+//! expand the edit-distance frontier one edit at a time, touching
+//! O(d²) cells for distance `d` instead of `n · m`.
+//!
+//! Layered bottom-up:
+//!
+//! * [`suffix`] — SA-IS suffix-array construction, linear time, no
+//!   external dependencies.
+//! * [`lcp`] — Kasai LCP array + sparse-table RMQ behind
+//!   [`LcpOracle`], with the parlay-style 8-byte direct probe before
+//!   the RMQ fallback.
+//! * [`bfs`] — the diagonal BFS: [`edit_distance`] (sequential),
+//!   [`edit_distance_bounded`] (early exit past a threshold `k`), and
+//!   [`par_edit_distance`] (per-round frontier extension on the
+//!   vendored rayon pool, bit-equivalent to sequential).
+//!
+//! The engine's adaptive dispatcher routes high-similarity `EDIT`
+//! requests here (see `docs/OSED.md`); everything in this crate is
+//! also usable standalone:
+//!
+//! ```
+//! assert_eq!(slcs_osed::edit_distance(b"kitten", b"sitting"), 3);
+//! assert_eq!(slcs_osed::edit_distance_bounded(b"kitten", b"sitting", 2), None);
+//! ```
+
+pub mod bfs;
+pub mod lcp;
+pub mod suffix;
+
+pub use bfs::{
+    edit_distance, edit_distance_bounded, par_edit_distance, par_edit_distance_grain, PAR_GRAIN,
+};
+pub use lcp::{LcpOracle, SparseTable};
+pub use suffix::suffix_array;

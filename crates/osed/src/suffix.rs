@@ -1,0 +1,235 @@
+//! Linear-time suffix-array construction (SA-IS, Nong–Zhang–Chan).
+//!
+//! The LCP oracle feeds this the concatenation of the two input strings
+//! with a unique separator and a unique smallest sentinel; the contract
+//! here is the classic SA-IS one: `text` is non-empty, every symbol is
+//! `< alphabet`, and the final symbol is a unique minimum.
+
+/// Placeholder for "no suffix here yet" during induced sorting. Input
+/// lengths are far below `u32::MAX`, so the value can never collide
+/// with a real suffix start.
+const EMPTY: u32 = u32::MAX;
+
+/// Suffix array of `text`: `sa[r]` is the start of the rank-`r` suffix.
+pub fn suffix_array(text: &[u32], alphabet: usize) -> Vec<u32> {
+    assert!(!text.is_empty(), "SA-IS needs a sentinel-terminated text");
+    debug_assert!(text.iter().all(|&c| (c as usize) < alphabet));
+    debug_assert!(text.len() < EMPTY as usize);
+    let mut sa = vec![EMPTY; text.len()];
+    sais(text, alphabet, &mut sa);
+    sa
+}
+
+fn sais(text: &[u32], alphabet: usize, sa: &mut [u32]) {
+    let n = text.len();
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    // S/L classification; an LMS position is an S-type right after an L.
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && is_s[i + 1]);
+    }
+    let mut bucket = vec![0u32; alphabet];
+    for &c in text {
+        bucket[c as usize] += 1;
+    }
+
+    // Pass 1: drop LMS suffixes at their bucket tails in any order and
+    // induce; afterwards the LMS *substrings* appear in sorted order.
+    sa.fill(EMPTY);
+    let mut tails = bucket_tails(&bucket);
+    for (i, &sym) in text.iter().enumerate().skip(1) {
+        if is_lms(&is_s, i) {
+            let c = sym as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = i as u32;
+        }
+    }
+    induce(text, &is_s, &bucket, sa);
+
+    // Name the sorted LMS substrings; equal substrings share a name, so
+    // the reduced string preserves the suffix order of the original.
+    let mut names = vec![EMPTY; n];
+    let mut name = 0u32;
+    let mut prev = EMPTY;
+    for &s in sa.iter() {
+        let j = s as usize;
+        if !is_lms(&is_s, j) {
+            continue;
+        }
+        if prev != EMPTY && !lms_equal(text, &is_s, prev as usize, j) {
+            name += 1;
+        }
+        names[j] = name;
+        prev = j as u32;
+    }
+    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(&is_s, i)).map(|i| i as u32).collect();
+    let reduced: Vec<u32> = lms_positions.iter().map(|&i| names[i as usize]).collect();
+    let num_names = (name + 1) as usize;
+    let mut reduced_sa = vec![EMPTY; reduced.len()];
+    if num_names < reduced.len() {
+        sais(&reduced, num_names, &mut reduced_sa);
+    } else {
+        // Every name unique: the reduced SA is just the inverse map.
+        for (i, &nm) in reduced.iter().enumerate() {
+            reduced_sa[nm as usize] = i as u32;
+        }
+    }
+
+    // Pass 2: re-drop the LMS suffixes in their now fully sorted order
+    // (reversed, tails fill right-to-left) and induce the final array.
+    sa.fill(EMPTY);
+    let mut tails = bucket_tails(&bucket);
+    for &r in reduced_sa.iter().rev() {
+        let j = lms_positions[r as usize];
+        let c = text[j as usize] as usize;
+        tails[c] -= 1;
+        sa[tails[c] as usize] = j;
+    }
+    induce(text, &is_s, &bucket, sa);
+}
+
+fn is_lms(is_s: &[bool], i: usize) -> bool {
+    i > 0 && is_s[i] && !is_s[i - 1]
+}
+
+fn bucket_heads(bucket: &[u32]) -> Vec<u32> {
+    let mut heads = vec![0u32; bucket.len()];
+    let mut sum = 0;
+    for (h, &b) in heads.iter_mut().zip(bucket) {
+        *h = sum;
+        sum += b;
+    }
+    heads
+}
+
+fn bucket_tails(bucket: &[u32]) -> Vec<u32> {
+    let mut tails = vec![0u32; bucket.len()];
+    let mut sum = 0;
+    for (t, &b) in tails.iter_mut().zip(bucket) {
+        sum += b;
+        *t = sum;
+    }
+    tails
+}
+
+/// Induced sort: scan left-to-right placing L-type suffixes at bucket
+/// heads, then right-to-left placing S-type suffixes at bucket tails.
+fn induce(text: &[u32], is_s: &[bool], bucket: &[u32], sa: &mut [u32]) {
+    let n = text.len();
+    let mut heads = bucket_heads(bucket);
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if !is_s[p] {
+                let c = text[p] as usize;
+                sa[heads[c] as usize] = j - 1;
+                heads[c] += 1;
+            }
+        }
+    }
+    let mut tails = bucket_tails(bucket);
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if is_s[p] {
+                let c = text[p] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = j - 1;
+            }
+        }
+    }
+}
+
+/// Equality of the LMS substrings starting at `a` and `b`: identical
+/// symbols all the way to (and including) the next LMS position on
+/// both sides. The sentinel's substring is the unique one-symbol tail.
+fn lms_equal(text: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let n = text.len();
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let mut k = 0;
+    loop {
+        let (ak, bk) = (a + k, b + k);
+        if ak >= n || bk >= n || text[ak] != text[bk] {
+            return false;
+        }
+        if k > 0 {
+            let (al, bl) = (is_lms(is_s, ak), is_lms(is_s, bk));
+            if al || bl {
+                return al && bl;
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u32]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&i, &j| text[i as usize..].cmp(&text[j as usize..]));
+        sa
+    }
+
+    fn with_sentinel(body: &[u32]) -> Vec<u32> {
+        let mut text: Vec<u32> = body.iter().map(|&c| c + 1).collect();
+        text.push(0);
+        text
+    }
+
+    #[test]
+    fn matches_naive_on_classic_examples() {
+        for body in [
+            &b"banana"[..],
+            b"mississippi",
+            b"abracadabra",
+            b"aaaaaaaa",
+            b"abababab",
+            b"zyxwv",
+            b"a",
+        ] {
+            let text = with_sentinel(&body.iter().map(|&c| c as u32).collect::<Vec<_>>());
+            let sigma = text.iter().max().map_or(1, |&c| c as usize + 1);
+            assert_eq!(suffix_array(&text, sigma), naive_sa(&text), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_strings() {
+        // Tiny deterministic LCG — exercises repeats and runs without
+        // pulling the rand crate into this leaf crate's dev-deps.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |bound: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % bound
+        };
+        for sigma in [2u32, 3, 16] {
+            for len in [2usize, 7, 64, 257] {
+                let body: Vec<u32> = (0..len).map(|_| next(sigma)).collect();
+                let text = with_sentinel(&body);
+                assert_eq!(
+                    suffix_array(&text, sigma as usize + 1),
+                    naive_sa(&text),
+                    "sigma={sigma} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_only_text() {
+        assert_eq!(suffix_array(&[0], 1), vec![0]);
+    }
+}

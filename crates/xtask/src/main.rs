@@ -13,15 +13,16 @@
 //!   regression models. See docs/SAFETY.md.
 //! * `trace-check FILE` — validates a Chrome-tracing JSON emitted by
 //!   `slcs trace` / the `--trace` bench flags: structural JSON sanity
-//!   plus presence of the three instrumentation layers (an
+//!   plus presence of the four instrumentation layers (an
 //!   `engine.request` span, a `pool.job` span, a `wavefront.diag`
-//!   span). CI runs it against a traced quick benchmark.
+//!   span, an `osed.bfs_round` span). CI runs it against a traced
+//!   quick benchmark.
 //! * `perf-gate` — compares freshly-run benchmark JSON (`BENCH_mem`,
-//!   `BENCH_obs`, `BENCH_pool`) against the committed snapshots in
-//!   `perf/baselines/`, gating only machine-robust quantities
-//!   (deterministic allocation counts, self-relative overhead
-//!   percentages, scheduling-mode ratios) with configurable noise
-//!   tolerance. See docs/PERF.md.
+//!   `BENCH_obs`, `BENCH_pool`, `BENCH_osed`) against the committed
+//!   snapshots in `perf/baselines/`, gating only machine-robust
+//!   quantities (deterministic allocation counts, self-relative
+//!   overhead percentages, scheduling-mode and cross-algorithm ratios)
+//!   with configurable noise tolerance. See docs/PERF.md.
 //!
 //! The lint is a line-based scan with a small lexer that tracks strings,
 //! char literals, nested block comments and `#[cfg(test)]` regions — not
@@ -55,10 +56,11 @@ fn main() -> ExitCode {
 // trace-check: validate an emitted Chrome-tracing JSON
 // ---------------------------------------------------------------------
 
-/// Span names that prove all three instrumented layers made it into a
+/// Span names that prove all four instrumented layers made it into a
 /// traced benchmark run: the engine request lifecycle, the executor
-/// pool, and the wavefront drivers.
-const REQUIRED_SPANS: &[&str] = &["engine.request", "pool.job", "wavefront.diag"];
+/// pool, the wavefront drivers, and the output-sensitive edit-distance
+/// BFS.
+const REQUIRED_SPANS: &[&str] = &["engine.request", "pool.job", "wavefront.diag", "osed.bfs_round"];
 
 fn trace_check(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
@@ -162,6 +164,12 @@ fn trace_check(args: &[String]) -> ExitCode {
 /// * `BENCH_pool.json` — the team/spawn ns-per-cell *ratio* at the
 ///   largest configuration (absolute wall times never gate — they are
 ///   machine-dependent).
+/// * `BENCH_osed.json` — at the largest 99%-similarity row: the
+///   deterministic allocation count of one `edit_distance` call
+///   (within `--tolerance`), and the osed-vs-best-grid time *ratio*
+///   (within `--tolerance` of the baseline, and outright ≤ 0.2 — the
+///   subsystem must stay at least 5× faster than the full grid on
+///   near-identical inputs or it has lost its reason to exist).
 ///
 /// A baseline file that does not exist is skipped with a note, so gates
 /// can be adopted one artifact at a time; a *fresh* file missing while
@@ -201,6 +209,7 @@ fn perf_gate(args: &[String]) -> ExitCode {
         ("BENCH_mem.json", gate_mem as fn(&str, &str, f64, f64) -> Vec<String>),
         ("BENCH_obs.json", gate_obs),
         ("BENCH_pool.json", gate_pool),
+        ("BENCH_osed.json", gate_osed),
     ] {
         let base_path = Path::new(&base_dir).join(file);
         let Ok(base) = std::fs::read_to_string(&base_path) else {
@@ -422,6 +431,86 @@ fn gate_pool(fresh: &str, base: &str, tol_pct: f64, _slack: f64) -> Vec<String> 
             }
         }
         _ => problems.push("cannot compute team/spawn ratio in fresh or baseline".into()),
+    }
+    problems
+}
+
+/// The subsystem must not quietly regress below its reason to exist:
+/// past this osed-vs-best-grid time ratio at 99% similarity (i.e. less
+/// than 5× faster than the full grid) the gate fails outright, baseline
+/// or no baseline.
+const OSED_MAX_RATIO: f64 = 0.2;
+
+fn gate_osed(fresh: &str, base: &str, tol_pct: f64, _slack: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    if bool_field(fresh, "allocator_installed") != Some(true) {
+        problems
+            .push("fresh run reports allocator_installed != true — counts are meaningless".into());
+        return problems;
+    }
+    for key in ["sigma", "runs"] {
+        let (f, b) = (num_field(fresh, key), num_field(base, key));
+        if f != b {
+            problems.push(format!("config drift: {key} fresh {f:?} vs baseline {b:?}"));
+            return problems;
+        }
+    }
+    // Gate the 99%-similarity row at the largest size — the sweet spot
+    // the subsystem exists for. (The marker's trailing comma keeps the
+    // 0.999 rows from matching.)
+    fn row_99(text: &str) -> Option<(f64, &str)> {
+        let mut best: Option<(f64, &str)> = None;
+        for (at, _) in text.match_indices("\"similarity\": 0.99,") {
+            let start = text[..at].rfind('{')?;
+            let end = at + text[at..].find('}')?;
+            let row = &text[start..=end];
+            let size = num_field(row, "size")?;
+            if best.is_none_or(|(s, _)| size > s) {
+                best = Some((size, row));
+            }
+        }
+        best
+    }
+    match (row_99(fresh), row_99(base)) {
+        (Some((fs, frow)), Some((bs, brow))) => {
+            if fs != bs {
+                problems.push(format!(
+                    "config drift: largest 99%-similarity row is size {fs} fresh \
+                     vs size {bs} baseline"
+                ));
+                return problems;
+            }
+            // One edit_distance call on a fixed seed allocates a fixed
+            // number of times, so counts compare directly.
+            match (num_field(frow, "allocs"), num_field(brow, "allocs")) {
+                (Some(f), Some(b)) => {
+                    within(&format!("allocs at size {fs} sim 0.99"), f, b, tol_pct, &mut problems);
+                }
+                _ => problems.push("missing allocs in fresh or baseline 99% row".into()),
+            }
+            match (num_field(frow, "ratio_vs_best_grid"), num_field(brow, "ratio_vs_best_grid")) {
+                (Some(f), Some(b)) => {
+                    within(
+                        &format!("osed/grid time ratio at size {fs} sim 0.99"),
+                        f,
+                        b,
+                        tol_pct,
+                        &mut problems,
+                    );
+                    if f > OSED_MAX_RATIO {
+                        problems.push(format!(
+                            "osed is no longer ≥ {:.0}× faster than the best grid path at 99% \
+                             similarity (ratio {f} > {OSED_MAX_RATIO})",
+                            1.0 / OSED_MAX_RATIO
+                        ));
+                    }
+                }
+                _ => {
+                    problems.push("missing ratio_vs_best_grid in fresh or baseline 99% row".into())
+                }
+            }
+        }
+        _ => problems.push("cannot find a 99%-similarity row in fresh or baseline".into()),
     }
     problems
 }
@@ -1137,5 +1226,55 @@ mod tests {
         // Absolute slowdown with an unchanged ratio passes: wall times
         // are machine-dependent and must not gate.
         assert!(gate_pool(&pool_json(50.0, 100.0), &base, 25.0, 10.0).is_empty());
+    }
+
+    fn osed_json(allocs: u64, ratio: f64, installed: bool) -> String {
+        format!(
+            "{{\n  \"bench\": \"bench-osed\",\n  \"sigma\": 4,\n  \"runs\": 3,\n  \
+             \"allocator_installed\": {installed},\n  \"rows\": [\n    \
+             {{\"size\": 1024, \"similarity\": 0.99, \"distance\": 20, \
+             \"osed_millis\": 0.4, \"allocs\": 9, \"ratio_vs_best_grid\": 0.01000}},\n    \
+             {{\"size\": 4096, \"similarity\": 0.99, \"distance\": 80, \
+             \"osed_millis\": 1.0, \"allocs\": {allocs}, \
+             \"ratio_vs_best_grid\": {ratio:.5}}},\n    \
+             {{\"size\": 4096, \"similarity\": 0.999, \"distance\": 8, \
+             \"osed_millis\": 0.9, \"allocs\": 999, \"ratio_vs_best_grid\": 0.90000}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn gate_osed_gates_the_largest_99_percent_row_only() {
+        let base = osed_json(12, 0.05, true);
+        assert!(gate_osed(&base, &base, 25.0, 10.0).is_empty());
+        // The 0.999 row's terrible ratio and alloc count never gate.
+        let problems = gate_osed(&osed_json(20, 0.05, true), &base, 25.0, 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("allocs at size 4096 sim 0.99")),
+            "{problems:?}"
+        );
+        let problems = gate_osed(&osed_json(12, 0.08, true), &base, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("ratio at size 4096 sim 0.99")), "{problems:?}");
+    }
+
+    #[test]
+    fn gate_osed_fails_outright_past_the_five_x_floor() {
+        // Doctoring the baseline to match cannot save a ratio above the
+        // absolute ceiling: the 5× claim is part of the contract.
+        let slow = osed_json(12, 0.3, true);
+        let problems = gate_osed(&slow, &slow, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("no longer ≥ 5× faster")), "{problems:?}");
+    }
+
+    #[test]
+    fn gate_osed_requires_instrumented_allocator_and_matching_config() {
+        let good = osed_json(12, 0.05, true);
+        let problems = gate_osed(&osed_json(12, 0.05, false), &good, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("allocator_installed")), "{problems:?}");
+        let drifted = good.replace("\"sigma\": 4", "\"sigma\": 26");
+        let problems = gate_osed(&drifted, &good, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("config drift: sigma")), "{problems:?}");
+        let resized = good.replace("\"size\": 4096, \"similarity\": 0.99,", "");
+        let problems = gate_osed(&resized, &good, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("largest 99%-similarity row")), "{problems:?}");
     }
 }

@@ -37,6 +37,7 @@
 //! | [`bsp`] | BSP cost model for the parallel algorithms (ref [25]) |
 //! | [`datagen`] | synthetic σ-strings, binary strings, genome simulator, FASTA |
 //! | [`engine`] | concurrent comparison engine: bounded queue, kernel cache, adaptive dispatch, TCP server |
+//! | [`osed`] | output-sensitive edit distance: SA+RMQ LCP oracle, Landau–Vishkin diagonal BFS |
 
 pub use slcs_apps as apps;
 pub use slcs_baselines as baselines;
@@ -45,6 +46,7 @@ pub use slcs_braid as braid;
 pub use slcs_bsp as bsp;
 pub use slcs_datagen as datagen;
 pub use slcs_engine as engine;
+pub use slcs_osed as osed;
 pub use slcs_perm as perm;
 pub use slcs_semilocal as semilocal;
 

@@ -41,6 +41,10 @@ fn expected_payload(truth: &GroundTruth, op: &Operation) -> Payload {
         Operation::Edit { w } => {
             Payload::Edit { global: truth.edit_global, best: w.map(|_| truth.edit_best) }
         }
+        Operation::EditBounded { k } => Payload::EditBounded {
+            distance: (truth.edit_global <= k).then_some(truth.edit_global),
+            k,
+        },
     }
 }
 

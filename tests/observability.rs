@@ -191,6 +191,55 @@ fn metrics_over_tcp_exposes_every_counter_and_histogram() {
 }
 
 #[test]
+fn dispatch_reasons_reach_the_metrics_exposition_over_tcp() {
+    let engine = small_engine();
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    // A near-identical ≥ 64-byte pair: the similarity probe must route
+    // this EDIT to the output-sensitive subsystem end to end.
+    let a = "a".repeat(128);
+    let b = format!("{}b", "a".repeat(127));
+    assert_eq!(client.round_trip(&format!("EDIT {a} {b}")), "OK 1");
+    // A bounded EDIT and a small-alphabet LCS land in two more buckets.
+    assert_eq!(client.round_trip(&format!("EDIT {a} {b} k=0")), "OK gt 0");
+    assert_eq!(client.round_trip("LCS abcabba cbabac"), "OK 4 bitpar bypass");
+
+    let lines = client.metrics();
+    assert!(
+        lines.iter().any(|l| l == "# TYPE slcs_dispatch_total counter"),
+        "missing dispatch TYPE header"
+    );
+    let series = |labels: &str| {
+        lines
+            .iter()
+            .find(|l| l.starts_with(&format!("slcs_dispatch_total{{{labels}}}")))
+            .unwrap_or_else(|| panic!("no slcs_dispatch_total series with {labels}"))
+            .rsplit_once(' ')
+            .expect("sample line must have a value")
+            .1
+            .parse::<f64>()
+            .expect("numeric value")
+    };
+    assert_eq!(series("algo=\"osed\",reason=\"edit_similar\""), 1.0);
+    assert_eq!(series("algo=\"osed\",reason=\"edit_bounded\""), 1.0);
+    assert_eq!(series("algo=\"bitpar\",reason=\"small_alphabet\""), 1.0);
+    // Untaken branches still expose a zero-valued series each.
+    assert_eq!(series("algo=\"edit\",reason=\"edit_dissimilar\""), 0.0);
+    assert_eq!(series("algo=\"cached\",reason=\"cache_hit\""), 0.0);
+    assert_eq!(lines.iter().filter(|l| l.starts_with("slcs_dispatch_total{")).count(), 9);
+
+    // The STATS line carries the same counters in its compact form.
+    let stats = client.round_trip("STATS");
+    assert!(stats.contains(" dispatch="), "{stats}");
+    assert!(stats.contains("edit_similar:1"), "{stats}");
+    assert!(stats.contains("edit_bounded:1"), "{stats}");
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
 fn trace_on_dump_round_trip_over_tcp() {
     let _guard = slcs_trace::test_support::hold();
     let engine = small_engine();
