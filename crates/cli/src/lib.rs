@@ -172,6 +172,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "trace" => cmd_trace(rest),
         "bench-engine" => cmd_bench_engine(rest),
         "bench-baseline" => cmd_bench_baseline(rest),
+        "tune" => cmd_tune(rest),
         "bench-obs" => cmd_bench_obs(rest),
         "bench-mem" => cmd_bench_mem(rest),
         "bench-osed" => cmd_bench_osed(rest),
@@ -209,6 +210,15 @@ usage:
                                     JSON written to FILE, default
                                     BENCH_pool.json; --trace adds one
                                     traced pass and writes its timeline)
+  slcs tune [--quick] [--sizes N,N] [--threads N,N] [--grains N,N]
+            [--runs N] [--out FILE]   calibrate the scheduling cost model:
+                                    measure every fixed parallel mode over
+                                    a size x threads x grain sweep and
+                                    write the winning (mode, grain) per
+                                    regime as a tuning profile (default
+                                    perf/tuning.json; Scheduling::Auto
+                                    and the engine consult it, override
+                                    path with SLCS_TUNING)
   slcs bench-obs [--quick] [--size N] [--threads N] [--grain N] [--runs N]
                  [--out FILE]       observability overhead benchmark
                                     (instrumentation compiled out vs
@@ -596,8 +606,10 @@ fn median_time<R>(runs: usize, mut f: impl FnMut() -> R) -> std::time::Duration 
 /// is the right estimator when comparing variants of the same workload
 /// under machine noise — contention only ever inflates a sample, so
 /// the fastest observation is the closest to the true cost. `bench-obs`
-/// uses it because its output is a *difference* of timings, which the
-/// median leaves far too noisy for `xtask perf-gate` at quick sizes.
+/// uses it because its output is a *difference* of timings, and
+/// `bench-baseline` / `tune` because their outputs are *ratios* of
+/// timings, both of which the median leaves far too noisy for
+/// `xtask perf-gate` at quick sizes.
 fn min_time<R>(runs: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
     std::hint::black_box(f());
     let mut best = std::time::Duration::MAX;
@@ -627,10 +639,14 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
     let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
     let out_path = opts.value("out").unwrap_or("BENCH_pool.json").to_string();
 
-    let modes: [(&str, Scheduling); 3] = [
+    let modes: [(&str, Scheduling); 5] = [
         ("spawn_per_diag", Scheduling::SpawnPerDiag),
         ("pool_per_diag", Scheduling::PoolPerDiag),
         ("team", Scheduling::Team),
+        ("work_steal", Scheduling::WorkSteal),
+        // Auto consults the loaded tuning profile (and its own grain),
+        // so its row shows what production dispatch actually gets.
+        ("auto", Scheduling::Auto),
     ];
     let mut rows = Vec::new(); // (size, threads, mode, ns_per_cell, millis)
     let mut report = String::from("anti-diagonal combing scheduling benchmark\n");
@@ -640,7 +656,9 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
         let a = slcs_datagen::uniform_string(&mut rng, n, 4);
         let b = slcs_datagen::uniform_string(&mut rng, n, 4);
         let cells = (n as f64) * (n as f64);
-        let d = median_time(runs, || slcs_semilocal::antidiag_combing_branchless(&a, &b));
+        // min-of-N, not median-of-N: perf-gate compares mode *ratios*,
+        // and contention only ever inflates a sample (see `min_time`).
+        let d = min_time(runs, || slcs_semilocal::antidiag_combing_branchless(&a, &b));
         let seq_ns = d.as_nanos() as f64 / cells;
         rows.push((n, 1usize, "seq", seq_ns, d.as_secs_f64() * 1e3));
         writeln!(report, "  {n}x{n}  seq              t=1  {seq_ns:8.3} ns/cell").unwrap(); // PANIC: fmt to String is infallible
@@ -651,7 +669,7 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
                 .map_err(|e| err(e.to_string()))?;
             for (name, sched) in modes {
                 let d = pool.install(|| {
-                    median_time(runs, || {
+                    min_time(runs, || {
                         slcs_semilocal::par_antidiag_combing_branchless_sched(&a, &b, sched, grain)
                     })
                 });
@@ -741,6 +759,107 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
         slcs_trace::set_enabled(false);
         report.push_str(&write_timeline(&slcs_trace::drain(), trace_path, true)?);
     }
+    Ok(report)
+}
+
+/// `slcs tune` — calibrates the measured scheduling cost model behind
+/// `Scheduling::Auto`.
+///
+/// For every `(size, threads)` sweep point it times each fixed parallel
+/// mode (`Scheduling::FIXED`) at each candidate grain (min-of-N, one
+/// warmup) and records the winning `(mode, grain)`. The winners are
+/// fitted into per-thread-bucket area bands — each band's `max_area`
+/// is the midpoint between adjacent measured grid areas, the largest
+/// band is unbounded — and written as a versioned
+/// `slcs_semilocal::TuningProfile` (default `perf/tuning.json`, the
+/// path `Scheduling::Auto` loads at dispatch time).
+fn cmd_tune(rest: &[String]) -> Result<String, CliError> {
+    use slcs_semilocal::{Scheduling, TuningEntry, TuningProfile, TUNING_VERSION};
+
+    let opts = Options::parse(rest, &["sizes", "threads", "grains", "runs", "out", "seed"])?;
+    let quick = opts.has("quick");
+    let sizes = list_flag(&opts, "sizes", if quick { &[512, 1024] } else { &[2048, 8192, 16384] })?;
+    let threads = list_flag(&opts, "threads", if quick { &[1, 2] } else { &[1, 2, 4, 8] })?;
+    let grains = list_flag(&opts, "grains", if quick { &[256] } else { &[1024, 4096, 16384] })?;
+    let runs: usize = opts.value_parsed("runs")?.unwrap_or(if quick { 1 } else { 3 });
+    let seed: u64 = opts.value_parsed("seed")?.unwrap_or(42);
+    let out_path = opts.value("out").unwrap_or("perf/tuning.json").to_string();
+    if sizes.is_empty() || threads.is_empty() || grains.is_empty() {
+        return Err(err("tune: --sizes, --threads and --grains must be non-empty"));
+    }
+
+    let mut report = String::from("scheduling cost-model calibration\n");
+    writeln!(report, "sizes={sizes:?} threads={threads:?} grains={grains:?} runs={runs}").unwrap(); // PANIC: fmt to String is infallible
+
+    // entries[t] = Vec<(area, mode, grain)>, one winner per size,
+    // ascending in size (list_flag preserves user order; sort anyway).
+    let mut sorted_sizes = sizes.clone();
+    sorted_sizes.sort_unstable();
+    sorted_sizes.dedup();
+    let mut entries: Vec<TuningEntry> = Vec::new();
+    for &t in &threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .map_err(|e| err(e.to_string()))?;
+        let mut winners: Vec<(u64, Scheduling, usize)> = Vec::new();
+        for &n in &sorted_sizes {
+            let mut rng = slcs_datagen::seeded_rng(seed);
+            let a = slcs_datagen::uniform_string(&mut rng, n, 4);
+            let b = slcs_datagen::uniform_string(&mut rng, n, 4);
+            let cells = (n as f64) * (n as f64);
+            let mut best: Option<(std::time::Duration, Scheduling, usize)> = None;
+            for mode in Scheduling::FIXED {
+                for &g in &grains {
+                    let d = pool.install(|| {
+                        min_time(runs, || {
+                            slcs_semilocal::par_antidiag_combing_branchless_sched(&a, &b, mode, g)
+                        })
+                    });
+                    writeln!(
+                        report,
+                        "  {n}x{n} t={t} {:<16} grain={g:<6} {:8.3} ns/cell",
+                        mode.token(),
+                        d.as_nanos() as f64 / cells
+                    )
+                    .unwrap(); // PANIC: fmt to String is infallible
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, mode, g));
+                    }
+                }
+            }
+            // PANIC: FIXED and grains are non-empty, so a best exists
+            let (d, mode, g) = best.unwrap();
+            writeln!(
+                report,
+                "  {n}x{n} t={t} -> {} grain={g} ({:.3} ns/cell)",
+                mode.token(),
+                d.as_nanos() as f64 / cells
+            )
+            .unwrap(); // PANIC: fmt to String is infallible
+            winners.push((n as u64 * n as u64, mode, g));
+        }
+        // Fit the winners into area bands: each band reaches halfway to
+        // the next measured area, the last is the bucket's catch-all.
+        for (i, &(area, mode, grain)) in winners.iter().enumerate() {
+            let max_area = match winners.get(i + 1) {
+                Some(&(next, _, _)) => area + (next - area) / 2,
+                None => 0,
+            };
+            entries.push(TuningEntry { threads: t, max_area, mode, grain });
+        }
+    }
+
+    let profile = TuningProfile { version: TUNING_VERSION, entries };
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| err(format!("cannot create {}: {e}", parent.display())))?;
+        }
+    }
+    std::fs::write(&out_path, profile.to_json())
+        .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
     Ok(report)
 }
 
@@ -1244,10 +1363,54 @@ mod tests {
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains("\"mode\": \"team\""), "{json}");
         assert!(json.contains("\"mode\": \"spawn_per_diag\""), "{json}");
+        assert!(json.contains("\"mode\": \"work_steal\""), "{json}");
+        assert!(json.contains("\"mode\": \"auto\""), "{json}");
         assert!(json.contains("\"par_grain\": "), "{json}");
         assert!(json.contains("\"pool_spawned_workers\": "), "{json}");
         let _ = std::fs::remove_file(out);
         assert!(run("bench-baseline", &["--sizes", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn tune_quick_writes_loadable_profile() {
+        let out = std::env::temp_dir().join("slcs_tune_test.json");
+        let path = out.display().to_string();
+        let text = run(
+            "tune",
+            &[
+                "--quick",
+                "--sizes",
+                "128,256",
+                "--threads",
+                "1,2",
+                "--grains",
+                "64",
+                "--runs",
+                "1",
+                "--out",
+                &path,
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("ns/cell"), "{text}");
+        assert!(text.contains("[written "), "{text}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        let profile = slcs_semilocal::parse_profile(&json).expect("tune output must parse back");
+        assert_eq!(profile.version, slcs_semilocal::TUNING_VERSION);
+        // One band per (threads bucket, measured size), the last band of
+        // each bucket unbounded and the first reaching halfway to 256².
+        assert_eq!(profile.entries.len(), 4, "{json}");
+        for t in [1usize, 2] {
+            let bucket: Vec<_> = profile.entries.iter().filter(|e| e.threads == t).collect();
+            assert_eq!(bucket.len(), 2, "{json}");
+            assert!(
+                bucket[0].max_area >= 128 * 128 && bucket[0].max_area < 256 * 256,
+                "midpoint band: {json}"
+            );
+            assert_eq!(bucket[1].max_area, 0, "catch-all band: {json}");
+        }
+        let _ = std::fs::remove_file(out);
+        assert!(run("tune", &["--sizes", "bogus"]).is_err());
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //!   alphabets.
 //! * **Sequential combing** — O(mn) braid pass producing a semi-local
 //!   kernel. Lowest constant factor; right for small grids or one thread.
-//! * **Grid hybrid combing** — the paper's parallel comb; pays task
-//!   spawning and merge overhead, so it only wins on grids large enough
-//!   to amortize it across threads.
+//! * **Grid-parallel combing** — the paper's parallel comb; pays
+//!   scheduling overhead, so it only wins on grids large enough to
+//!   amortize it across threads. *Which* parallel schedule runs
+//!   (barrier team, per-diagonal fork/join, work stealing) is resolved
+//!   per request by the measured cost model ([`slcs_semilocal::tuning`],
+//!   fed by `slcs tune`), recorded in `slcs_sched_mode_total{mode}` and
+//!   the `engine.dispatch` instant's `sched` field.
 //! * **Output-sensitive BFS** (`slcs-osed`) — Landau–Vishkin O(n + d²)
 //!   edit distance. Wins by orders of magnitude when the inputs are
 //!   nearly equal (small d), loses badly when they are not, so the
@@ -31,7 +35,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use slcs_bitpar::bit_lcs_alphabet;
-use slcs_semilocal::{grid_hybrid_combing, iterative_combing, EditDistances, SemiLocalKernel};
+use slcs_semilocal::{
+    auto_plan, iterative_combing, par_antidiag_combing_branchless_sched, EditDistances,
+    SemiLocalKernel,
+};
 
 use crate::cache::{CacheKey, CachedIndex, IndexKind, KernelCache, PlainEntry};
 use crate::metrics::Metrics;
@@ -164,21 +171,44 @@ pub fn choose(op: &Operation, pattern: &[u8], text: &[u8], threads: usize) -> Al
     decide(op, pattern, text, threads).algo
 }
 
-fn comb(pattern: &[u8], text: &[u8], threads: usize) -> (SemiLocalKernel, AlgoChoice) {
+fn comb(
+    pattern: &[u8],
+    text: &[u8],
+    metrics: &Metrics,
+    threads: usize,
+) -> (SemiLocalKernel, AlgoChoice) {
     let choice = combing_choice(pattern.len(), text.len(), threads);
-    let _build_span = slcs_trace::span!(
-        "engine.kernel_build",
-        "algo" => choice.token(),
-        "area" => pattern.len() * text.len()
-    );
-    // Attribute allocator traffic (braid blocks, kernel storage) to the
-    // kernel-build phase; lands as an instant inside the span above.
-    let _build_mem = slcs_alloc::alloc_scope!("engine.kernel_build.mem");
     match choice {
         AlgoChoice::GridHybridCombing { tasks } => {
-            (grid_hybrid_combing(pattern, text, tasks), AlgoChoice::GridHybridCombing { tasks })
+            // The grid-parallel route consults the measured cost model
+            // (`slcs tune` → perf/tuning.json, builtin table otherwise)
+            // for the concrete scheduling mode and grain. The mode is
+            // the `sched` field of the build span (it determines the
+            // algo token, so the span carries sched + area).
+            let (mode, grain) = auto_plan(pattern.len(), text.len(), tasks);
+            metrics.note_sched_mode(mode);
+            let _build_span = slcs_trace::span!(
+                "engine.kernel_build",
+                "sched" => mode.token(),
+                "area" => pattern.len() * text.len()
+            );
+            // Attribute allocator traffic (braid blocks, kernel storage)
+            // to the kernel-build phase; lands inside the span above.
+            let _build_mem = slcs_alloc::alloc_scope!("engine.kernel_build.mem");
+            (
+                par_antidiag_combing_branchless_sched(pattern, text, mode, grain),
+                AlgoChoice::GridHybridCombing { tasks },
+            )
         }
-        _ => (iterative_combing(pattern, text), AlgoChoice::IterativeCombing),
+        _ => {
+            let _build_span = slcs_trace::span!(
+                "engine.kernel_build",
+                "sched" => "seq",
+                "area" => pattern.len() * text.len()
+            );
+            let _build_mem = slcs_alloc::alloc_scope!("engine.kernel_build.mem");
+            (iterative_combing(pattern, text), AlgoChoice::IterativeCombing)
+        }
     }
 }
 
@@ -199,7 +229,7 @@ fn plain_entry(
     }
     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    let (kernel, algo) = comb(pattern, text, threads);
+    let (kernel, algo) = comb(pattern, text, metrics, threads);
     let entry = Arc::new(PlainEntry::new(kernel));
     let evicted = cache.insert(key, CachedIndex::Plain(entry.clone()));
     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
@@ -258,7 +288,23 @@ pub fn execute(
 ) -> (Payload, AlgoChoice, CacheStatus) {
     let (payload, algo, status, reason) = execute_inner(req, cache, metrics, threads);
     metrics.note_dispatch(reason);
-    slcs_trace::instant!("engine.dispatch", "algo" => algo.token(), "reason" => reason.token());
+    // The scheduling mode a grid-parallel build resolves to is a pure
+    // function of (m, n, threads) and the loaded profile, so it can be
+    // recomputed here for the instant without plumbing it out of comb().
+    let sched = match algo {
+        AlgoChoice::GridHybridCombing { tasks } => {
+            auto_plan(req.pattern.len(), req.text.len(), tasks).0.token()
+        }
+        _ => "seq",
+    };
+    // Two field slots per event: `reason` implies `algo` (see
+    // `DispatchReason::algo_token`), so the pair carried here is the
+    // routing reason plus the resolved scheduling mode.
+    slcs_trace::instant!(
+        "engine.dispatch",
+        "reason" => reason.token(),
+        "sched" => sched
+    );
     (payload, algo, status)
 }
 
@@ -327,7 +373,7 @@ fn execute_inner(
                 _ => {
                     // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
                     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                    let (kernel, algo) = comb(pattern, text, threads);
+                    let (kernel, algo) = comb(pattern, text, metrics, threads);
                     let score = kernel.lcs();
                     let evicted =
                         cache.insert(key, CachedIndex::Plain(Arc::new(PlainEntry::new(kernel))));

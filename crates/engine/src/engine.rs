@@ -229,7 +229,7 @@ fn worker_loop(shared: Arc<Shared>) {
             metrics.service_micros.record(service_micros);
             // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.completed.fetch_add(1, Ordering::Relaxed);
-            // The `engine.dispatch` instant (algo + reason) is emitted
+            // The `engine.dispatch` instant (reason + sched) is emitted
             // inside `dispatch::execute`, next to the decision it labels.
             let result = match computed {
                 Ok((payload, algo, cache)) => Ok(CompareOutcome {

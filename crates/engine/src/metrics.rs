@@ -147,11 +147,22 @@ pub struct Metrics {
     /// Dispatch decisions, one counter per [`DispatchReason`] (indexed
     /// by [`DispatchReason::index`]) — the `slcs_dispatch_total` series.
     pub dispatch: [AtomicU64; DispatchReason::COUNT],
+    /// Resolved scheduling modes of grid-parallel kernel builds, one
+    /// counter per [`SCHED_MODE_TOKENS`] label — the
+    /// `slcs_sched_mode_total` series. `Auto` requests are counted
+    /// under the concrete mode the tuning profile resolved them to.
+    pub sched_modes: [AtomicU64; SCHED_MODE_TOKENS.len()],
     /// Time from acceptance to a worker picking the request up.
     pub wait_micros: Histogram,
     /// Time a worker spent computing the answer.
     pub service_micros: Histogram,
 }
+
+/// Label set of the `slcs_sched_mode_total` series, index-aligned with
+/// [`Metrics::sched_modes`] / [`StatsSnapshot::sched_modes`]. Matches
+/// [`slcs_semilocal::Scheduling::token`] values.
+pub const SCHED_MODE_TOKENS: [&str; 5] =
+    ["spawn_per_diag", "pool_per_diag", "team", "work_steal", "auto"];
 
 impl Metrics {
     pub fn note_depth(&self, depth: u64) {
@@ -163,6 +174,15 @@ impl Metrics {
     pub fn note_dispatch(&self, reason: DispatchReason) {
         // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         self.dispatch[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the scheduling mode a grid-parallel kernel build ran
+    /// under (the concrete mode, after `Auto` resolution).
+    pub fn note_sched_mode(&self, mode: slcs_semilocal::Scheduling) {
+        if let Some(i) = SCHED_MODE_TOKENS.iter().position(|t| *t == mode.token()) {
+            // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
+            self.sched_modes[i].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Copies every counter into a [`StatsSnapshot`]. `queue_depth` is a
@@ -185,10 +205,12 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             dispatch: std::array::from_fn(|i| self.dispatch[i].load(Ordering::Relaxed)),
+            sched_modes: std::array::from_fn(|i| self.sched_modes[i].load(Ordering::Relaxed)),
             queue_depth,
             wait_micros: self.wait_micros.snapshot(),
             service_micros: self.service_micros.snapshot(),
             par_grain: slcs_semilocal::par_grain(),
+            simd: slcs_semilocal::simd_support(),
             alloc: slcs_alloc::stats(),
             alloc_installed: slcs_alloc::installed(),
         }
@@ -210,6 +232,9 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Dispatch-decision counts, indexed by [`DispatchReason::index`].
     pub dispatch: [u64; DispatchReason::COUNT],
+    /// Grid-parallel scheduling-mode counts, index-aligned with
+    /// [`SCHED_MODE_TOKENS`].
+    pub sched_modes: [u64; SCHED_MODE_TOKENS.len()],
     /// Gauge: live queue depth at snapshot time (read from the queue
     /// itself, never a shadow atomic — see the module docs).
     pub queue_depth: u64,
@@ -221,6 +246,11 @@ pub struct StatsSnapshot {
     /// counter, but surfaced here so STATS readers can correlate latency
     /// shifts with scheduling granularity.
     pub par_grain: usize,
+    /// Gauge-at-snapshot: the SIMD capability the branchless kernels
+    /// compile/dispatch for on this host (`slcs_semilocal::simd_support`)
+    /// — configuration like `par_grain`, surfaced so ops can tell an ISA
+    /// downgrade from a genuine perf regression.
+    pub simd: &'static str,
     /// Process-wide allocator telemetry from `slcs-alloc` (all zeros
     /// unless the binary installed [`slcs_alloc::InstrumentedAlloc`]
     /// as its global allocator).
@@ -264,6 +294,12 @@ impl StatsSnapshot {
                 self.dispatch[reason.index()],
             );
         }
+        // Scheduling modes actually run, stable-zero like the dispatch
+        // series above.
+        let _ = writeln!(out, "# TYPE slcs_sched_mode_total counter");
+        for (token, count) in SCHED_MODE_TOKENS.iter().zip(&self.sched_modes) {
+            let _ = writeln!(out, "slcs_sched_mode_total{{mode=\"{token}\"}} {count}");
+        }
         for (name, value) in [
             ("slcs_queue_depth", self.queue_depth),
             ("slcs_queue_depth_max", self.max_queue_depth),
@@ -272,6 +308,9 @@ impl StatsSnapshot {
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
+        // Info-style gauge: which branchless-kernel ISA this host runs.
+        let _ = writeln!(out, "# TYPE slcs_simd_kernel gauge");
+        let _ = writeln!(out, "slcs_simd_kernel{{isa=\"{}\"}} 1", self.simd);
         write_prometheus_histogram(&mut out, "slcs_wait_micros", &self.wait_micros);
         write_prometheus_histogram(&mut out, "slcs_service_micros", &self.service_micros);
         self.write_alloc_section(&mut out);
@@ -361,7 +400,11 @@ impl std::fmt::Display for StatsSnapshot {
         writeln!(f)?;
         writeln!(f, "batches:  {} popped, {} requests coalesced", self.batches, self.coalesced)?;
         writeln!(f, "queue:    depth={} max_depth={}", self.queue_depth, self.max_queue_depth)?;
-        writeln!(f, "sched:    par_grain={}", self.par_grain)?;
+        write!(f, "sched:    par_grain={} simd={}", self.par_grain, self.simd)?;
+        for (token, count) in SCHED_MODE_TOKENS.iter().zip(&self.sched_modes) {
+            write!(f, " {token}={count}")?;
+        }
+        writeln!(f)?;
         writeln!(
             f,
             "memory:   allocs={} frees={} live={}B peak={}B ({})",
@@ -545,6 +588,29 @@ mod tests {
         let human = s.to_string();
         assert!(human.contains("dispatch:"), "{human}");
         assert!(human.contains("edit_similar=2"), "{human}");
+    }
+
+    #[test]
+    fn sched_mode_and_simd_series_are_exposed() {
+        let m = Metrics::default();
+        m.note_sched_mode(slcs_semilocal::Scheduling::WorkSteal);
+        m.note_sched_mode(slcs_semilocal::Scheduling::WorkSteal);
+        m.note_sched_mode(slcs_semilocal::Scheduling::Team);
+        let s = m.snapshot(0);
+        assert_eq!(s.sched_modes.iter().sum::<u64>(), 3);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE slcs_sched_mode_total counter"), "{text}");
+        assert!(text.contains("slcs_sched_mode_total{mode=\"work_steal\"} 2"), "{text}");
+        assert!(text.contains("slcs_sched_mode_total{mode=\"team\"} 1"), "{text}");
+        // Stable-zero: every mode label appears even when unused.
+        for token in SCHED_MODE_TOKENS {
+            assert!(text.contains(&format!("mode=\"{token}\"")), "missing {token}:\n{text}");
+        }
+        let isa = slcs_semilocal::simd_support();
+        assert!(text.contains(&format!("slcs_simd_kernel{{isa=\"{isa}\"}} 1")), "{text}");
+        let human = s.to_string();
+        assert!(human.contains(&format!("simd={isa}")), "{human}");
+        assert!(human.contains("work_steal=2"), "{human}");
     }
 
     #[test]

@@ -214,6 +214,9 @@ fn metrics_exposition(engine: &Engine) -> String {
     for (name, value) in [
         ("slcs_pool_jobs_executed", pool.jobs_executed),
         ("slcs_pool_injector_pops", pool.injector_pops),
+        ("slcs_pool_deque_pushes", pool.deque_pushes),
+        ("slcs_pool_local_hits", pool.local_hits),
+        ("slcs_pool_steals", pool.steals),
         ("slcs_pool_parks", pool.parks),
         ("slcs_pool_unparks", pool.unparks),
         ("slcs_pool_team_runs", pool.team_runs),
@@ -255,7 +258,7 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
             return format!(
                 "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
                  hits={} misses={} evictions={} batches={} coalesced={} \
-                 depth={} max_depth={} par_grain={} dispatch={dispatch} \
+                 depth={} max_depth={} par_grain={} simd={} dispatch={dispatch} \
                  wait_sum={} service_sum={} \
                  allocs={} frees={} live_bytes={} peak_live_bytes={} alloc_installed={} \
                  wait_buckets={} service_buckets={}",
@@ -272,6 +275,7 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
                 s.queue_depth,
                 s.max_queue_depth,
                 s.par_grain,
+                s.simd,
                 s.wait_micros.sum,
                 s.service_micros.sum,
                 s.alloc.allocs,

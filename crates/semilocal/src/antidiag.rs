@@ -192,6 +192,50 @@ pub enum Scheduling {
     /// One worker team pinned for the whole sweep, separating diagonals
     /// with a barrier — no fork/join on the hot path at all.
     Team,
+    /// One worker team for the whole sweep with **no barrier at all**:
+    /// the leader sequences diagonals and publishes chunks through a
+    /// Chase–Lev deque; members are free-running steal loops, and short
+    /// diagonals are processed by the leader alone with zero
+    /// synchronization (see `sweep_wavefront_ws`).
+    WorkSteal,
+    /// Pick a mode from the measured tuning profile (`slcs tune`,
+    /// [`crate::tuning`]) for this grid size and thread budget.
+    Auto,
+}
+
+impl Scheduling {
+    /// All concrete (non-[`Auto`](Scheduling::Auto)) modes, benchmark
+    /// sweep order.
+    pub const FIXED: [Scheduling; 4] = [
+        Scheduling::SpawnPerDiag,
+        Scheduling::PoolPerDiag,
+        Scheduling::Team,
+        Scheduling::WorkSteal,
+    ];
+
+    /// Stable wire token, used in BENCH_pool.json rows, tuning profiles
+    /// and METRICS labels.
+    pub fn token(self) -> &'static str {
+        match self {
+            Scheduling::SpawnPerDiag => "spawn_per_diag",
+            Scheduling::PoolPerDiag => "pool_per_diag",
+            Scheduling::Team => "team",
+            Scheduling::WorkSteal => "work_steal",
+            Scheduling::Auto => "auto",
+        }
+    }
+
+    /// Inverse of [`token`](Scheduling::token).
+    pub fn from_token(token: &str) -> Option<Scheduling> {
+        match token {
+            "spawn_per_diag" => Some(Scheduling::SpawnPerDiag),
+            "pool_per_diag" => Some(Scheduling::PoolPerDiag),
+            "team" => Some(Scheduling::Team),
+            "work_steal" => Some(Scheduling::WorkSteal),
+            "auto" => Some(Scheduling::Auto),
+            _ => None,
+        }
+    }
 }
 
 /// Shared write access to the strand arrays for team members. Each
@@ -308,6 +352,197 @@ where
     SemiLocalKernel::new(build_kernel(&h32, &v32), m, n)
 }
 
+/// Work-stealing wavefront: one team for all `m + n − 1` diagonals and
+/// **no barrier anywhere**. The leader (member 0) sequences diagonals;
+/// for each one it publishes the tail chunks through a Chase–Lev
+/// [`rayon::Deque`] (it is the deque's owner: members only steal),
+/// combs the head chunk itself, drains its own deque LIFO, and then
+/// waits on a `remaining` counter that members decrement as their
+/// stolen chunks finish. Members are free-running steal loops with an
+/// escalating spin → yield → sleep backoff, so an idle member costs
+/// (almost) nothing — which is what makes this mode degrade gracefully
+/// to sequential speed on a 1-CPU box.
+///
+/// The decisive difference from [`sweep_wavefront`]: a diagonal too
+/// short to split (`active ≤ 1`) is combed by the leader **with zero
+/// synchronization** — no counter, no deque traffic, no member wakeup.
+/// The first and last ~`2·grain·team` diagonals of every grid fall in
+/// this regime, exactly where the barrier mode thrashes.
+///
+/// # Correctness of the handshake
+///
+/// Chunk geometry is a pure function of `(d, k, view.size, grain)`, so
+/// an entry `(d, k)` fully identifies a disjoint strand range. Within a
+/// diagonal, the deque delivers each entry exactly once (owner pop /
+/// CAS-validated steal). Across diagonals, the happens-before chain is:
+/// member's strand writes → its `remaining.fetch_sub` (SeqCst RMW) →
+/// leader observing `remaining == 0` (the RMW chain forms a release
+/// sequence) → leader's next-diagonal deque pushes → the stealing
+/// member's reads. The leader's own writes reach members through the
+/// deque's SeqCst `bottom` publication. Panic exits take the same
+/// edges: the leader polls [`rayon::TeamView::poisoned`] while waiting,
+/// members poll it and a `done` flag while stealing, and `team_run`
+/// joins every member before this frame (and the strand vectors) drops.
+fn sweep_wavefront_ws<T, S, C, const TRACED: bool>(
+    a: &[T],
+    b: &[T],
+    grain: usize,
+    cell: C,
+) -> SemiLocalKernel
+where
+    T: Eq + Clone + Sync,
+    S: StrandIx,
+    C: Fn(&T, &T, &mut S, &mut S) + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let m = a.len();
+    let n = b.len();
+    if m == 0 || n == 0 {
+        // PANIC: base_kernel never fails when one side is empty.
+        return crate::recursive::base_kernel(a, b).expect("empty grid has a trivial kernel");
+    }
+    let grain = grain.max(1);
+    let team = rayon::current_num_threads().min(m.min(n) / grain).max(1);
+    if team <= 1 {
+        return sweep::<_, S, _>(a, b, |ar, bs, hs, vs| {
+            for ((ac, bc), (h, v)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+                cell(ac, bc, h, v);
+            }
+        });
+    }
+    let a_rev: Vec<T> = a.iter().rev().cloned().collect();
+    let mut h_strands: Vec<S> = (0..m).map(S::from_usize).collect();
+    let mut v_strands: Vec<S> = (m..m + n).map(S::from_usize).collect();
+    {
+        let h = SharedStrands { ptr: h_strands.as_mut_ptr() };
+        let v = SharedStrands { ptr: v_strands.as_mut_ptr() };
+        let a_rev = &a_rev;
+        // Owned by the leader; members only steal. At most `team − 1`
+        // entries are ever live, so the ring cannot overflow (the push
+        // fallback below is defensive).
+        let work = rayon::Deque::new(team);
+        // Unfinished chunks of the diagonal in flight.
+        let remaining = AtomicUsize::new(0);
+        // Leader → members: the sweep is over, stop stealing.
+        let done = AtomicBool::new(false);
+        let _sweep_span = if TRACED {
+            slcs_trace::span!("wavefront.sweep", "diags" => m + n - 1, "team" => team)
+        } else {
+            None
+        };
+        let _sweep_mem = slcs_alloc::alloc_scope!("wavefront.sweep.mem");
+        rayon::team_run(team, |view| {
+            let size = view.size;
+            // Combs chunk `k` of diagonal `d`; geometry recomputed from
+            // scratch so an entry is self-describing.
+            let comb_chunk = |d: usize, k: usize| {
+                let (h0, v0, len) = diag_ranges(m, n, d);
+                let active = size.min(len.div_ceil(grain)).max(1);
+                let chunk = len.div_ceil(active);
+                let lo = (k * chunk).min(len);
+                let hi = (lo + chunk).min(len);
+                if lo >= hi {
+                    return;
+                }
+                let _chunk_span = if TRACED {
+                    slcs_trace::span!("wavefront.chunk", "d" => d, "len" => hi - lo)
+                } else {
+                    None
+                };
+                // SAFETY: chunk `k` of diagonal `d` is a disjoint range,
+                // delivered exactly once by the deque; the remaining-
+                // counter handshake sequences diagonals (see fn docs).
+                let hs = unsafe { h.range_mut(h0 + lo, h0 + hi) };
+                // SAFETY: same disjoint-range argument as for `hs`.
+                let vs = unsafe { v.range_mut(v0 + lo, v0 + hi) };
+                let ar = &a_rev[h0 + lo..h0 + hi];
+                let bs = &b[v0 + lo..v0 + hi];
+                for ((ac, bc), (hr, vr)) in ar.iter().zip(bs).zip(hs.iter_mut().zip(vs)) {
+                    cell(ac, bc, hr, vr);
+                }
+            };
+            if view.id != 0 {
+                // Member: free-running steal loop. Escalating backoff
+                // keeps an idle member effectively free (it sleeps) on
+                // machines where the leader does all the work.
+                let mut idle = 0u32;
+                loop {
+                    if done.load(Ordering::SeqCst) || view.poisoned() {
+                        return;
+                    }
+                    match work.steal() {
+                        Some((d, k)) => {
+                            comb_chunk(d, k);
+                            remaining.fetch_sub(1, Ordering::SeqCst);
+                            idle = 0;
+                        }
+                        None => {
+                            idle += 1;
+                            if idle < 64 {
+                                std::hint::spin_loop();
+                            } else if idle < 80 {
+                                std::thread::yield_now();
+                            } else {
+                                let us = (50 * u64::from(idle - 79)).min(500);
+                                std::thread::sleep(std::time::Duration::from_micros(us));
+                            }
+                        }
+                    }
+                }
+            }
+            // Leader: sequence the diagonals.
+            for d in 0..(m + n - 1) {
+                let (_, _, len) = diag_ranges(m, n, d);
+                let active = size.min(len.div_ceil(grain)).max(1);
+                if active <= 1 {
+                    // Too short to split: comb it solo, zero sync.
+                    comb_chunk(d, 0);
+                    continue;
+                }
+                // Publish the tail chunks, keep the head for ourselves.
+                // The counter is stored before the pushes (and reaches
+                // members through the push's SeqCst publication), so a
+                // decrement can never observe a stale zero.
+                remaining.store(active, Ordering::SeqCst);
+                for k in 1..active {
+                    if work.push((d, k)).is_err() {
+                        // Ring full (cannot happen at ≤ team−1 entries;
+                        // defensive): comb it inline instead.
+                        comb_chunk(d, k);
+                        remaining.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                comb_chunk(d, 0);
+                remaining.fetch_sub(1, Ordering::SeqCst);
+                // Drain what nobody stole (LIFO; same diagonal only).
+                while let Some((d2, k2)) = work.pop() {
+                    comb_chunk(d2, k2);
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+                // Wait for in-flight stolen chunks.
+                let mut idle = 0u32;
+                while remaining.load(Ordering::SeqCst) != 0 {
+                    if view.poisoned() {
+                        done.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    idle += 1;
+                    if idle < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+    }
+    let h32: Vec<u32> = h_strands.iter().map(|s| s.to_u32()).collect();
+    let v32: Vec<u32> = v_strands.iter().map(|s| s.to_u32()).collect();
+    SemiLocalKernel::new(build_kernel(&h32, &v32), m, n)
+}
+
 /// Pre-pool baseline: chunk the diagonal and pay a full OS-thread
 /// spawn/join cycle for every chunk beyond the first — what every
 /// parallel drive cost before the persistent pool existed.
@@ -367,6 +602,14 @@ pub fn par_antidiag_combing_branchless_sched<T: Eq + Clone + Sync>(
         }),
         Scheduling::Team => {
             sweep_wavefront::<_, u32, _, true>(a, b, grain, cell_branchless::<T, u32>)
+        }
+        Scheduling::WorkSteal => {
+            sweep_wavefront_ws::<_, u32, _, true>(a, b, grain, cell_branchless::<T, u32>)
+        }
+        Scheduling::Auto => {
+            let (mode, grain) =
+                crate::tuning::auto_plan(a.len(), b.len(), rayon::current_num_threads());
+            par_antidiag_combing_branchless_sched(a, b, mode, grain)
         }
     }
 }
@@ -475,7 +718,22 @@ mod tests {
                 "par branchless a={a:?} b={b:?}"
             );
             assert_eq!(par_antidiag_combing_u16(&a, &b), want, "par u16 a={a:?} b={b:?}");
+            for sched in Scheduling::FIXED.into_iter().chain([Scheduling::Auto]) {
+                assert_eq!(
+                    par_antidiag_combing_branchless_sched(&a, &b, sched, 4),
+                    want,
+                    "sched={sched:?} a={a:?} b={b:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn scheduling_tokens_round_trip() {
+        for sched in Scheduling::FIXED.into_iter().chain([Scheduling::Auto]) {
+            assert_eq!(Scheduling::from_token(sched.token()), Some(sched));
+        }
+        assert_eq!(Scheduling::from_token("bogus"), None);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod load_balanced;
 pub mod recursive;
 pub mod reference;
 pub mod simd;
+pub mod tuning;
 
 pub use antidiag::{
     antidiag_combing, antidiag_combing_branchless, antidiag_combing_u16, par_antidiag_combing,
@@ -63,3 +64,4 @@ pub use kernel::{SemiLocalKernel, SemiLocalScores};
 pub use load_balanced::load_balanced_combing;
 pub use recursive::recursive_combing;
 pub use simd::{antidiag_combing_simd, simd_support};
+pub use tuning::{auto_plan, parse_profile, TuningEntry, TuningProfile, TUNING_VERSION};

@@ -30,7 +30,7 @@
 //! composed result against plain iterative combing on random inputs,
 //! which pins every formula).
 
-use crate::antidiag::{par_grain, StrandIx};
+use crate::antidiag::StrandIx;
 use crate::compose::{BraidMultiplier, CombinedMultiplier};
 use crate::kernel::SemiLocalKernel;
 use slcs_perm::Permutation;
@@ -77,7 +77,10 @@ fn load_balanced_impl<T: Eq + Clone + Sync>(a: &[T], b: &[T], parallel: bool) ->
 
     // Every sweep iteration (fused 1⊕3 or phase 2) processes ~m cells,
     // so a team bigger than m / grain members can never all be busy.
-    let grain = par_grain();
+    // The grain comes from the measured tuning profile when one exists
+    // (`slcs tune` fits it alongside the mode crossovers); without a
+    // profile this is exactly `par_grain()`.
+    let (_, grain) = crate::tuning::auto_plan(m, n, rayon::current_num_threads());
     let team = if parallel { rayon::current_num_threads().min(m / grain).max(1) } else { 1 };
     if team > 1 {
         let shared = [

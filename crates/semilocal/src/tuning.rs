@@ -1,0 +1,279 @@
+//! Measured scheduling cost model behind [`Scheduling::Auto`].
+//!
+//! The hardcoded mode choice this replaces was wrong in both
+//! directions: the barrier `team` mode wins when diagonals are long and
+//! threads plentiful, but *loses 2×* to a per-diagonal fork/join when
+//! short diagonals barrier-thrash — and on a 1-CPU box every parallel
+//! mode loses to sequential. Which regime a given `(m, n, threads)`
+//! lands in is a property of the machine, so it is **measured**, not
+//! guessed: `slcs tune` runs a calibration sweep, fits per-mode
+//! crossover areas, and writes a versioned profile that
+//! [`Scheduling::Auto`] consults at dispatch time.
+//!
+//! # Profile format (`perf/tuning.json`)
+//!
+//! ```json
+//! {
+//!   "tuning_version": 1,
+//!   "entries": [
+//!     { "threads": 1, "max_area": 0, "mode": "work_steal", "grain": 0 },
+//!     { "threads": 8, "max_area": 16777216, "mode": "pool_per_diag", "grain": 8192 },
+//!     { "threads": 8, "max_area": 0, "mode": "work_steal", "grain": 8192 }
+//!   ]
+//! }
+//! ```
+//!
+//! Lookup for a request `(area = m·n, threads)`:
+//!
+//! 1. pick the **largest `threads` bucket ≤ the requested budget** (so
+//!    an 8-thread profile entry serves a 6-thread request, and the
+//!    1-thread entry is the floor);
+//! 2. within that bucket, take the **first entry whose `max_area`
+//!    covers the request** (`area ≤ max_area`, with `0` meaning
+//!    unbounded — the bucket's catch-all last line).
+//!
+//! `grain: 0` defers to [`par_grain`] (the `SLCS_PAR_GRAIN` override
+//! keeps working). The profile is loaded once per process: the
+//! `SLCS_TUNING` env var names an explicit file, else
+//! `perf/tuning.json` relative to the working directory, else the
+//! builtin default table ([`TuningProfile::builtin`]) — which simply
+//! routes everything to [`Scheduling::WorkSteal`], whose internal
+//! sequential fallback already handles small grids and 1-thread
+//! budgets. A missing or unparsable profile therefore degrades to a
+//! sane choice, never an error.
+
+use std::sync::OnceLock;
+
+use crate::antidiag::{par_grain, Scheduling};
+
+/// Version stamp written to and required of profile files; bump on any
+/// incompatible format change.
+pub const TUNING_VERSION: u64 = 1;
+
+/// One profile line: "for budgets ≥ `threads` and grids up to
+/// `max_area`, use `mode` with `grain`".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuningEntry {
+    /// Thread-budget bucket this entry belongs to.
+    pub threads: usize,
+    /// Largest `m·n` this entry covers; `0` = unbounded.
+    pub max_area: u64,
+    /// Concrete mode to run ([`Scheduling::Auto`] is rejected at parse).
+    pub mode: Scheduling,
+    /// Parallel grain in cells; `0` defers to [`par_grain`].
+    pub grain: usize,
+}
+
+/// A loaded scheduling profile. See the module docs for the lookup
+/// semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuningProfile {
+    pub version: u64,
+    pub entries: Vec<TuningEntry>,
+}
+
+impl TuningProfile {
+    /// The shipped default when no measured profile exists: work
+    /// stealing everywhere. Its leader-local fast path makes it the
+    /// safest all-round choice — it degrades to sequential speed when
+    /// the grid or the machine cannot feed a second worker.
+    pub fn builtin() -> TuningProfile {
+        TuningProfile {
+            version: TUNING_VERSION,
+            entries: vec![TuningEntry {
+                threads: 1,
+                max_area: 0,
+                mode: Scheduling::WorkSteal,
+                grain: 0,
+            }],
+        }
+    }
+
+    /// Resolves `(mode, grain)` for a grid of `area = m·n` cells under
+    /// a `threads` budget. Falls back to the builtin choice when no
+    /// entry matches (e.g. an empty profile).
+    pub fn plan(&self, area: u64, threads: usize) -> (Scheduling, usize) {
+        let bucket = self
+            .entries
+            .iter()
+            .map(|e| e.threads)
+            .filter(|&t| t <= threads)
+            .max()
+            .or_else(|| self.entries.iter().map(|e| e.threads).min());
+        let chosen = bucket.and_then(|b| {
+            self.entries
+                .iter()
+                .filter(|e| e.threads == b)
+                .find(|e| e.max_area == 0 || area <= e.max_area)
+        });
+        match chosen {
+            Some(e) => (e.mode, if e.grain == 0 { par_grain() } else { e.grain }),
+            None => (Scheduling::WorkSteal, par_grain()),
+        }
+    }
+
+    /// Serializes in the exact shape [`parse_profile`] accepts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"tuning_version\": {},\n", self.version));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"threads\": {}, \"max_area\": {}, \"mode\": \"{}\", \"grain\": {} }}{comma}\n",
+                e.threads,
+                e.max_area,
+                e.mode.token(),
+                e.grain
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Extracts the number following `"key":` anywhere in `text`.
+fn num_field(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extracts the string following `"key":` anywhere in `text`.
+fn str_field<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// Parses a profile file. Deliberately a scanner, not a JSON parser —
+/// the format is machine-written by `slcs tune` (see
+/// [`TuningProfile::to_json`]) and the workspace has no serde; the
+/// scanner accepts exactly the shapes `to_json` emits plus benign
+/// whitespace variation.
+pub fn parse_profile(text: &str) -> Result<TuningProfile, String> {
+    let version = num_field(text, "tuning_version").ok_or("missing \"tuning_version\"")?;
+    if version != TUNING_VERSION {
+        return Err(format!("tuning_version {version} != supported {TUNING_VERSION}"));
+    }
+    let list_at = text.find("\"entries\"").ok_or("missing \"entries\"")?;
+    let mut entries = Vec::new();
+    let mut rest = &text[list_at..];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}').ok_or("unterminated entry object")? + open;
+        let obj = &rest[open..=close];
+        let mode_token = str_field(obj, "mode").ok_or("entry missing \"mode\"")?;
+        let mode = Scheduling::from_token(mode_token)
+            .ok_or_else(|| format!("unknown mode {mode_token:?}"))?;
+        if mode == Scheduling::Auto {
+            return Err("profile entries must name a concrete mode, not \"auto\"".into());
+        }
+        entries.push(TuningEntry {
+            threads: num_field(obj, "threads").ok_or("entry missing \"threads\"")? as usize,
+            max_area: num_field(obj, "max_area").ok_or("entry missing \"max_area\"")?,
+            mode,
+            grain: num_field(obj, "grain").ok_or("entry missing \"grain\"")? as usize,
+        });
+        rest = &rest[close + 1..];
+    }
+    if entries.is_empty() {
+        return Err("profile has no entries".into());
+    }
+    Ok(TuningProfile { version, entries })
+}
+
+/// The process-wide profile: `SLCS_TUNING` file if set, else
+/// `perf/tuning.json` in the working directory, else
+/// [`TuningProfile::builtin`]. Loaded once; malformed files fall back
+/// to the builtin (a tuning profile must never turn into a crash).
+pub fn profile() -> &'static TuningProfile {
+    static PROFILE: OnceLock<TuningProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let path = std::env::var("SLCS_TUNING").unwrap_or_else(|_| "perf/tuning.json".into());
+        match std::fs::read_to_string(&path) {
+            Ok(text) => parse_profile(&text).unwrap_or_else(|_| TuningProfile::builtin()),
+            Err(_) => TuningProfile::builtin(),
+        }
+    })
+}
+
+/// Resolves the concrete `(mode, grain)` that [`Scheduling::Auto`]
+/// runs for an `m × n` grid under a `threads` budget. Never returns
+/// [`Scheduling::Auto`] (profiles cannot contain it).
+pub fn auto_plan(m: usize, n: usize, threads: usize) -> (Scheduling, usize) {
+    profile().plan(m as u64 * n as u64, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuningProfile {
+        TuningProfile {
+            version: TUNING_VERSION,
+            entries: vec![
+                TuningEntry { threads: 1, max_area: 0, mode: Scheduling::WorkSteal, grain: 0 },
+                TuningEntry {
+                    threads: 8,
+                    max_area: 1 << 24,
+                    mode: Scheduling::PoolPerDiag,
+                    grain: 4096,
+                },
+                TuningEntry { threads: 8, max_area: 0, mode: Scheduling::Team, grain: 8192 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = sample();
+        assert_eq!(parse_profile(&p.to_json()).unwrap(), p);
+    }
+
+    #[test]
+    fn lookup_picks_largest_bucket_then_first_covering_area() {
+        let p = sample();
+        // 8-thread request, small grid → the 8-bucket's bounded entry.
+        assert_eq!(p.plan(1 << 20, 8), (Scheduling::PoolPerDiag, 4096));
+        // 8-thread request, huge grid → the 8-bucket's catch-all.
+        assert_eq!(p.plan(1 << 30, 8), (Scheduling::Team, 8192));
+        // 6-thread request rounds *down* to the 1-thread bucket.
+        assert_eq!(p.plan(1 << 30, 6), (Scheduling::WorkSteal, par_grain()));
+        // Over-bucket budgets reuse the largest bucket.
+        assert_eq!(p.plan(1 << 20, 64), (Scheduling::PoolPerDiag, 4096));
+    }
+
+    #[test]
+    fn below_every_bucket_falls_back_to_smallest() {
+        let mut p = sample();
+        p.entries.retain(|e| e.threads == 8);
+        // threads=2 < every bucket: use the smallest bucket rather than
+        // failing.
+        assert_eq!(p.plan(1 << 20, 2), (Scheduling::PoolPerDiag, 4096));
+    }
+
+    #[test]
+    fn builtin_routes_everything_to_work_steal() {
+        let p = TuningProfile::builtin();
+        for (area, threads) in [(1u64, 1usize), (1 << 28, 8), (u64::MAX, 128)] {
+            assert_eq!(p.plan(area, threads), (Scheduling::WorkSteal, par_grain()));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_profiles() {
+        assert!(parse_profile("{}").is_err(), "missing version");
+        assert!(
+            parse_profile("{\"tuning_version\": 999, \"entries\": []}").is_err(),
+            "wrong version"
+        );
+        let auto = "{\"tuning_version\": 1, \"entries\": [ { \"threads\": 1, \"max_area\": 0, \"mode\": \"auto\", \"grain\": 0 } ]}";
+        assert!(parse_profile(auto).is_err(), "auto must be rejected");
+        let empty = "{\"tuning_version\": 1, \"entries\": []}";
+        assert!(parse_profile(empty).is_err(), "no entries");
+    }
+}

@@ -163,7 +163,13 @@ fn trace_check(args: &[String]) -> ExitCode {
 ///   `--overhead-slack` percentage points.
 /// * `BENCH_pool.json` — the team/spawn ns-per-cell *ratio* at the
 ///   largest configuration (absolute wall times never gate — they are
-///   machine-dependent).
+///   machine-dependent). The same file also feeds the scheduling gate
+///   (`gate_sched`): `work_steal` within 1.2× of the best fixed
+///   parallel mode at the largest configuration, and `auto` within
+///   10% of the best fixed mode at every multi-threaded sweep point
+///   (at one thread all modes are the same sequential comb, so those
+///   rows never gate) — both ratios of rows from one run, so they
+///   hold on any machine.
 /// * `BENCH_osed.json` — at the largest 99%-similarity row: the
 ///   deterministic allocation count of one `edit_distance` call
 ///   (within `--tolerance`), and the osed-vs-best-grid time *ratio*
@@ -209,6 +215,7 @@ fn perf_gate(args: &[String]) -> ExitCode {
         ("BENCH_mem.json", gate_mem as fn(&str, &str, f64, f64) -> Vec<String>),
         ("BENCH_obs.json", gate_obs),
         ("BENCH_pool.json", gate_pool),
+        ("BENCH_pool.json", gate_sched),
         ("BENCH_osed.json", gate_osed),
     ] {
         let base_path = Path::new(&base_dir).join(file);
@@ -431,6 +438,133 @@ fn gate_pool(fresh: &str, base: &str, tol_pct: f64, _slack: f64) -> Vec<String> 
             }
         }
         _ => problems.push("cannot compute team/spawn ratio in fresh or baseline".into()),
+    }
+    problems
+}
+
+/// The coordinated work-stealing sweep may lose at most this factor to
+/// the best parallel mode at the largest configuration. This is the
+/// "team regression" contract: the mode the cost model leans on for
+/// wavefront coordination must never reopen the 2×+ barrier-thrash
+/// cliff that the barrier team pays on short diagonals (the `team` and
+/// `spawn_per_diag` rows are *kept* in the bench precisely to document
+/// that cliff, so they do not themselves gate).
+const SCHED_MAX_WS_OVER_BEST: f64 = 1.2;
+
+/// `auto` may lose at most this factor to the best fixed parallel mode
+/// at every *multi-threaded* sweep point — the measured cost model has
+/// one job. Single-thread points do not gate: there every mode
+/// degenerates to the same sequential comb, so their row differences
+/// are replicate noise of one code path, not scheduling quality.
+const SCHED_MAX_AUTO_OVER_BEST: f64 = 1.10;
+
+/// The concrete modes `Scheduling::Auto` chooses between (the `seq`
+/// rows are the 1-thread reference, not a dispatchable mode).
+const SCHED_FIXED_MODES: [&str; 4] = ["spawn_per_diag", "pool_per_diag", "team", "work_steal"];
+
+/// Absolute scheduling-quality gate on the fresh `BENCH_pool.json`
+/// (the baseline only guards config drift — both bounds are ratios of
+/// same-machine same-run rows, so they need no cross-machine anchor):
+///
+/// * `work_steal` within [`SCHED_MAX_WS_OVER_BEST`] of the best fixed
+///   parallel mode at the largest `(size, threads)` configuration;
+/// * `auto` within [`SCHED_MAX_AUTO_OVER_BEST`] of the best fixed
+///   parallel mode at every `(size, threads)` sweep point.
+fn gate_sched(fresh: &str, base: &str, _tol_pct: f64, _slack: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    // (size, threads, mode, ns_per_cell) for every row in the file.
+    fn rows(text: &str) -> Vec<(u64, u64, &str, f64)> {
+        let mut out = Vec::new();
+        for (at, _) in text.match_indices("\"mode\": \"") {
+            let mode_start = at + "\"mode\": \"".len();
+            let Some(mode_len) = text[mode_start..].find('"') else { continue };
+            let (Some(start), Some(end)) = (text[..at].rfind('{'), text[at..].find('}')) else {
+                continue;
+            };
+            let row = &text[start..at + end];
+            if let (Some(size), Some(threads), Some(ns)) =
+                (num_field(row, "size"), num_field(row, "threads"), num_field(row, "ns_per_cell"))
+            {
+                out.push((
+                    size as u64,
+                    threads as u64,
+                    &text[mode_start..mode_start + mode_len],
+                    ns,
+                ));
+            }
+        }
+        out
+    }
+    let fresh_rows = rows(fresh);
+    // Sweep points where scheduling exists (threads ≥ 2 — see
+    // SCHED_MAX_AUTO_OVER_BEST for why t=1 rows never gate), largest
+    // last.
+    let mut points: Vec<(u64, u64)> = fresh_rows
+        .iter()
+        .filter(|r| r.1 >= 2 && SCHED_FIXED_MODES.contains(&r.2))
+        .map(|r| (r.0, r.1))
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let Some(&largest) = points.last() else {
+        problems.push("no parallel-mode rows in fresh run".into());
+        return problems;
+    };
+    if let Some(&(bs, bt)) = {
+        let mut bp: Vec<(u64, u64)> = rows(base)
+            .iter()
+            .filter(|r| r.1 >= 2 && SCHED_FIXED_MODES.contains(&r.2))
+            .map(|r| (r.0, r.1))
+            .collect();
+        bp.sort_unstable();
+        bp.last().copied().as_ref()
+    } {
+        if (bs, bt) != largest {
+            problems.push(format!(
+                "config drift: largest parallel point is {}x{} t={} fresh vs {bs}x{bs} t={bt} baseline",
+                largest.0, largest.0, largest.1
+            ));
+            return problems;
+        }
+    }
+    for &(size, threads) in &points {
+        let at_point = |mode: &str| {
+            fresh_rows.iter().find(|r| (r.0, r.1) == (size, threads) && r.2 == mode).map(|r| r.3)
+        };
+        let Some(best_fixed) = SCHED_FIXED_MODES
+            .iter()
+            .filter_map(|m| at_point(m))
+            .min_by(f64::total_cmp)
+            .filter(|&ns| ns > 0.0)
+        else {
+            continue;
+        };
+        match at_point("auto") {
+            Some(auto_ns) => {
+                if auto_ns > best_fixed * SCHED_MAX_AUTO_OVER_BEST {
+                    problems.push(format!(
+                        "auto lost to the best fixed mode at {size}x{size} t={threads}: \
+                         {auto_ns:.4} vs {best_fixed:.4} ns/cell \
+                         (> {SCHED_MAX_AUTO_OVER_BEST}x — the cost model picked wrong)"
+                    ));
+                }
+            }
+            None => problems.push(format!("no auto row at {size}x{size} t={threads}")),
+        }
+        if (size, threads) == largest {
+            match at_point("work_steal") {
+                Some(ws_ns) => {
+                    if ws_ns > best_fixed * SCHED_MAX_WS_OVER_BEST {
+                        problems.push(format!(
+                            "work_steal cliff at {size}x{size} t={threads}: {ws_ns:.4} vs best \
+                             fixed {best_fixed:.4} ns/cell (> {SCHED_MAX_WS_OVER_BEST}x — the \
+                             team regression is back in the coordinated sweep)"
+                        ));
+                    }
+                }
+                None => problems.push(format!("no work_steal row at {size}x{size} t={threads}")),
+            }
+        }
     }
     problems
 }
@@ -1226,6 +1360,101 @@ mod tests {
         // Absolute slowdown with an unchanged ratio passes: wall times
         // are machine-dependent and must not gate.
         assert!(gate_pool(&pool_json(50.0, 100.0), &base, 25.0, 10.0).is_empty());
+    }
+
+    /// Two sweep points (256² and 512², both t=2) with every mode row;
+    /// the fixed modes pin the best parallel cost at 1.0 ns/cell.
+    fn sched_json(ws_large: f64, auto_small: f64, auto_large: f64) -> String {
+        let mut rows =
+            vec![(256u64, 1u64, "seq".to_string(), 0.9f64), (512, 1, "seq".to_string(), 0.9)];
+        for (size, ws, auto) in [(256u64, 1.0, auto_small), (512, ws_large, auto_large)] {
+            rows.push((size, 2, "spawn_per_diag".into(), 9.0));
+            rows.push((size, 2, "pool_per_diag".into(), 1.0));
+            rows.push((size, 2, "team".into(), 5.0));
+            rows.push((size, 2, "work_steal".into(), ws));
+            rows.push((size, 2, "auto".into(), auto));
+        }
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(n, t, m, ns)| {
+                format!(
+                    "    {{\"size\": {n}, \"threads\": {t}, \"mode\": \"{m}\", \
+                     \"ns_per_cell\": {ns:.4}, \"millis\": 1.0}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"bench-baseline\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn gate_sched_passes_when_ws_and_auto_track_the_best_mode() {
+        let good = sched_json(1.1, 1.05, 0.8);
+        assert!(gate_sched(&good, &good, 25.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn gate_sched_fails_a_work_steal_cliff_at_the_largest_point() {
+        let bad = sched_json(1.5, 1.0, 0.8); // 1.5 > 1.2 × best (1.0)
+        let problems = gate_sched(&bad, &bad, 25.0, 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("work_steal cliff at 512x512 t=2")),
+            "{problems:?}"
+        );
+        // A work_steal cliff at the *small* point does not gate (the
+        // contract anchors at the largest configuration)…
+        let small_ws = sched_json(1.0, 1.0, 0.8).replace(
+            "\"size\": 256, \"threads\": 2, \"mode\": \"work_steal\", \"ns_per_cell\": 1.0000",
+            "\"size\": 256, \"threads\": 2, \"mode\": \"work_steal\", \"ns_per_cell\": 8.0000",
+        );
+        assert!(gate_sched(&small_ws, &small_ws, 25.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn gate_sched_holds_auto_to_the_best_fixed_mode_everywhere() {
+        // Slow at the small point only — every sweep point gates.
+        let bad = sched_json(1.0, 1.2, 0.8);
+        let problems = gate_sched(&bad, &bad, 25.0, 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("auto lost") && p.contains("256x256")),
+            "{problems:?}"
+        );
+        // Auto *faster* than every fixed mode is an improvement, not a
+        // failure; a missing auto row is.
+        let faster = sched_json(1.0, 0.5, 0.5);
+        assert!(gate_sched(&faster, &faster, 25.0, 10.0).is_empty());
+        let missing = sched_json(1.0, 1.0, 0.8)
+            .replace("    {\"size\": 256, \"threads\": 2, \"mode\": \"auto\", \"ns_per_cell\": 1.0000, \"millis\": 1.0},\n", "");
+        let problems = gate_sched(&missing, &missing, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("no auto row at 256x256")), "{problems:?}");
+    }
+
+    #[test]
+    fn gate_sched_ignores_single_thread_rows() {
+        // At t=1 every mode degenerates to the same sequential comb, so
+        // an "auto lost to spawn" spread there is replicate noise of
+        // one code path — it must not gate, however wide.
+        let extra = "    {\"size\": 256, \"threads\": 1, \"mode\": \"spawn_per_diag\", \
+                     \"ns_per_cell\": 1.0000, \"millis\": 1.0},\n    \
+                     {\"size\": 256, \"threads\": 1, \"mode\": \"auto\", \
+                     \"ns_per_cell\": 4.0000, \"millis\": 1.0},\n";
+        let noisy = sched_json(1.0, 1.0, 0.8).replacen(
+            "    {\"size\": 256, \"threads\": 2",
+            &format!("{extra}    {{\"size\": 256, \"threads\": 2"),
+            1,
+        );
+        assert!(noisy.contains("\"threads\": 1, \"mode\": \"auto\""), "splice failed");
+        assert!(gate_sched(&noisy, &noisy, 25.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn gate_sched_detects_config_drift_against_the_baseline() {
+        let fresh = sched_json(1.0, 1.0, 0.8);
+        let base = fresh.replace("\"size\": 512", "\"size\": 1024");
+        let problems = gate_sched(&fresh, &base, 25.0, 10.0);
+        assert!(problems.iter().any(|p| p.contains("config drift")), "{problems:?}");
     }
 
     fn osed_json(allocs: u64, ratio: f64, installed: bool) -> String {

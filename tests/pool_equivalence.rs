@@ -57,7 +57,10 @@ proptest! {
     ) {
         small_grain();
         let expected = iterative_combing(&a, &b);
-        for sched in [Scheduling::SpawnPerDiag, Scheduling::PoolPerDiag, Scheduling::Team] {
+        // Every fixed mode plus Auto (which resolves through the tuning
+        // profile — builtin work stealing here, since tests run without
+        // a perf/tuning.json in their working directory).
+        for sched in Scheduling::FIXED.into_iter().chain([Scheduling::Auto]) {
             let got = par_antidiag_combing_branchless_sched(&a, &b, sched, grain);
             prop_assert_eq!(&got, &expected, "sched={:?} grain={}", sched, grain);
         }
@@ -77,10 +80,13 @@ fn u16_boundary_at_exactly_two_pow_16() {
         let b = semilocal_suite::datagen::uniform_string(&mut rng, n, 4);
         let expected = iterative_combing(&a, &b);
         assert_eq!(par_antidiag_combing_u16(&a, &b), expected, "m={m} n={n}");
-        // The boundary must also hold under team scheduling with a grain
-        // small enough to split the short diagonals.
-        let teamed = par_antidiag_combing_branchless_sched(&a, &b, Scheduling::Team, 16);
-        assert_eq!(teamed, expected, "team m={m} n={n}");
+        // The boundary must also hold under the coordinated sweeps with
+        // a grain small enough to split the short diagonals: the barrier
+        // team and the barrier-free work-stealing sweep.
+        for sched in [Scheduling::Team, Scheduling::WorkSteal] {
+            let got = par_antidiag_combing_branchless_sched(&a, &b, sched, 16);
+            assert_eq!(got, expected, "{:?} m={m} n={n}", sched);
+        }
     }
 }
 

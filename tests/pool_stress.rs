@@ -215,8 +215,18 @@ fn executor_counters_stay_consistent_under_stress() {
     assert!(after.team_runs >= before.team_runs + 8, "team runs lost: {before:?} -> {after:?}");
 
     // Global invariants that hold at any snapshot: a job is executed
-    // only after its pop was counted (same thread, in order), and every
-    // unpark follows the park it wakes from.
-    assert!(after.injector_pops >= after.jobs_executed, "more executions than pops: {after:?}");
+    // only after its acquisition was counted (injector pop, local deque
+    // hit, or steal — same thread, in order), and every unpark follows
+    // the park it wakes from.
+    assert!(
+        after.injector_pops + after.local_hits + after.steals >= after.jobs_executed,
+        "more executions than acquisitions: {after:?}"
+    );
+    // Every deque entry is delivered at most once: local hits and
+    // steals both drain what pushes put in.
+    assert!(
+        after.deque_pushes >= after.local_hits + after.steals,
+        "deque delivered more than was pushed: {after:?}"
+    );
     assert!(after.parks >= after.unparks, "more unparks than parks: {after:?}");
 }

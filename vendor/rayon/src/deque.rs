@@ -1,0 +1,259 @@
+//! A Chase–Lev-style work-stealing deque over the crate's sync facade.
+//!
+//! One thread — the **owner** — pushes and pops at the *bottom* (LIFO,
+//! cache-hot, uncontended in the common case); any other thread may
+//! *steal* from the *top* (FIFO, one CAS per successful steal). This is
+//! the classic split that lets nested fork/join work stay local while
+//! idle workers drain the oldest entries, and it is what lets wavefront
+//! leaders hand out diagonal chunks without a condvar or a barrier.
+//!
+//! # Design notes
+//!
+//! * **Entries are two plain machine words** (`(usize, usize)`), not
+//!   pointers: the deque itself performs no unsafe memory access at all.
+//!   Layers that store pointers (the pool's `JobRef`) do their own
+//!   encode/decode and carry the at-most-once-delivery argument there.
+//! * **Fixed-capacity power-of-two ring.** `push` reports overflow by
+//!   returning the entry instead of growing; callers fall back to their
+//!   slower channel (the pool's condvar injector). This keeps the hot
+//!   path allocation-free and the model-checked state space small.
+//! * **`top` and `bottom` are monotonic counters**, never wrapped into
+//!   the ring except at the moment of slot indexing (`index & mask`).
+//!   `top` only ever increases (owner `pop` on the last element and
+//!   thief `steal` both advance it by CAS), which is what rules out ABA.
+//! * **Every atomic access is `SeqCst`.** The crate's facade (and the
+//!   shim-loom model runtime behind it) provides no fences, and deque
+//!   operations are per-chunk — not per-cell — so the cost of the
+//!   strongest ordering is noise. The protocol arguments below are
+//!   therefore stated against a single total order of operations.
+//!
+//! # Why the racy slot read in `steal` is sound
+//!
+//! A thief reads the slot words *before* its CAS on `top`. The owner
+//! may concurrently overwrite that slot — but only by pushing at
+//! `bottom = t + capacity`, which requires `top > t` to have passed the
+//! capacity check, and `top > t` makes the thief's CAS fail. A stale or
+//! mixed read therefore never escapes `steal`: the CAS on the monotonic
+//! `top` validates the preceding slot reads. Because the slot words are
+//! themselves atomics, the race is defined behavior (no torn reads at
+//! the language level — just possibly *stale* values, discarded on CAS
+//! failure).
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+/// One ring slot: the two words of an entry, individually atomic so
+/// concurrent owner-write/thief-read races are defined behavior.
+struct Slot {
+    lo: AtomicUsize,
+    hi: AtomicUsize,
+}
+
+/// A fixed-capacity work-stealing deque of two-word entries.
+///
+/// The owner discipline (`push`/`pop` from one thread at a time) is a
+/// *correctness* contract, not a memory-safety one: violating it can
+/// lose or duplicate entries but cannot corrupt the deque, which is why
+/// the methods are safe `fn`s. Layers whose entries are pointers must
+/// uphold the discipline to keep their own decode sound (see
+/// `pool::Pool`).
+pub struct Deque {
+    /// Next index a thief will take. Monotonic.
+    top: AtomicUsize,
+    /// Next index the owner will push at. Owner-written only.
+    bottom: AtomicUsize,
+    slots: Box<[Slot]>,
+    mask: usize,
+}
+
+impl Deque {
+    /// A deque holding up to `capacity` entries (rounded up to a power
+    /// of two, minimum 4).
+    pub fn new(capacity: usize) -> Deque {
+        let cap = capacity.max(4).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot { lo: AtomicUsize::new(0), hi: AtomicUsize::new(0) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Deque { top: AtomicUsize::new(0), bottom: AtomicUsize::new(0), slots, mask: cap - 1 }
+    }
+
+    /// Number of entries the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when a racy size estimate says the deque is empty. Cheap
+    /// pre-filter for steal loops; a `false` answer may be stale in
+    /// either direction.
+    pub fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::SeqCst);
+        b <= t
+    }
+
+    /// Owner-only: appends an entry at the bottom. Returns the entry
+    /// back when the ring is full so the caller can overflow to its
+    /// fallback channel.
+    pub fn push(&self, entry: (usize, usize)) -> Result<(), (usize, usize)> {
+        let b = self.bottom.load(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        // `top` only grows, so a stale `t` can only make the deque look
+        // *fuller* than it is — overflow is conservative, never unsound.
+        if b - t >= self.slots.len() {
+            return Err(entry);
+        }
+        let slot = &self.slots[b & self.mask];
+        slot.lo.store(entry.0, Ordering::SeqCst);
+        slot.hi.store(entry.1, Ordering::SeqCst);
+        // Publishing the new bottom is what makes the slot visible to
+        // thieves; the SeqCst store orders the slot writes before it.
+        self.bottom.store(b + 1, Ordering::SeqCst);
+        crate::stats::note_deque_push();
+        Ok(())
+    }
+
+    /// Owner-only: takes the most recently pushed entry (LIFO). Races
+    /// with thieves only on the last element, resolved by a CAS on the
+    /// monotonic `top`.
+    pub fn pop(&self) -> Option<(usize, usize)> {
+        let b = self.bottom.load(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if b <= t {
+            return None; // empty (only the owner advances `bottom`)
+        }
+        // Reserve the bottom slot, then re-read `top`: any thief that
+        // CASes `top` after seeing the old `bottom` is serialized
+        // against this store by the total SeqCst order.
+        let nb = b - 1;
+        self.bottom.store(nb, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t < nb {
+            // More than one entry remained: the reserved slot is ours.
+            let slot = &self.slots[nb & self.mask];
+            let entry = (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst));
+            crate::stats::note_local_hit();
+            return Some(entry);
+        }
+        if t == nb {
+            // Exactly one entry: decide the owner-vs-thief race by
+            // advancing `top` ourselves. Either way the deque ends
+            // empty, so restore `bottom` to the new `top`.
+            let slot = &self.slots[nb & self.mask];
+            let entry = (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst));
+            let won =
+                self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok();
+            self.bottom.store(t + 1, Ordering::SeqCst);
+            if won {
+                crate::stats::note_local_hit();
+                return Some(entry);
+            }
+            return None; // a thief got it first
+        }
+        // t > nb: thieves emptied the deque while we reserved. Normalize.
+        self.bottom.store(t, Ordering::SeqCst);
+        None
+    }
+
+    /// Thief: takes the oldest entry (FIFO). Returns `None` when the
+    /// deque looks empty *or* when another thread won the race — callers
+    /// treat both as "try elsewhere" and come back around.
+    pub fn steal(&self) -> Option<(usize, usize)> {
+        let t = self.top.load(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::SeqCst);
+        if b <= t {
+            return None;
+        }
+        // Read the slot *before* claiming it; the CAS below validates
+        // the read (see the module docs — the slot can only have been
+        // overwritten if `top` already moved past `t`, which fails the
+        // CAS and discards the value).
+        let slot = &self.slots[t & self.mask];
+        let entry = (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst));
+        if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            crate::stats::note_steal();
+            return Some(entry);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Deque::new(0).capacity(), 4);
+        assert_eq!(Deque::new(5).capacity(), 8);
+        assert_eq!(Deque::new(8).capacity(), 8);
+    }
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = Deque::new(8);
+        for i in 0..4 {
+            d.push((i, i * 10)).unwrap();
+        }
+        assert_eq!(d.steal(), Some((0, 0)), "thief takes the oldest");
+        assert_eq!(d.pop(), Some((3, 30)), "owner takes the newest");
+        assert_eq!(d.steal(), Some((1, 10)));
+        assert_eq!(d.pop(), Some((2, 20)));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn push_overflows_to_the_caller() {
+        let d = Deque::new(4);
+        for i in 0..4 {
+            assert!(d.push((i, 0)).is_ok());
+        }
+        assert_eq!(d.push((9, 9)), Err((9, 9)));
+        // Draining one entry frees a slot again.
+        assert!(d.steal().is_some());
+        assert!(d.push((9, 9)).is_ok());
+    }
+
+    #[test]
+    fn ring_indices_wrap_without_losing_entries() {
+        let d = Deque::new(4);
+        // Push/drain many times so bottom/top run far past the capacity.
+        for round in 0..100usize {
+            d.push((round, round + 1)).unwrap();
+            if round % 2 == 0 {
+                assert_eq!(d.pop(), Some((round, round + 1)));
+            } else {
+                assert_eq!(d.steal(), Some((round, round + 1)));
+            }
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[cfg(not(slcs_model_check))]
+    fn concurrent_thieves_take_each_entry_once() {
+        use std::sync::atomic::{AtomicUsize as StdUsize, Ordering as StdOrd};
+        let d = Deque::new(1024);
+        const N: usize = 1000;
+        for i in 0..N {
+            d.push((i, 0)).unwrap();
+        }
+        let taken: Vec<StdUsize> = (0..N).map(|_| StdUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some((i, _)) = d.steal() {
+                        taken[i].fetch_add(1, StdOrd::Relaxed);
+                    }
+                });
+            }
+            // The owner pops concurrently from the other end.
+            while let Some((i, _)) = d.pop() {
+                taken[i].fetch_add(1, StdOrd::Relaxed);
+            }
+        });
+        for (i, t) in taken.iter().enumerate() {
+            assert_eq!(t.load(StdOrd::Relaxed), 1, "entry {i} delivered exactly once");
+        }
+    }
+}

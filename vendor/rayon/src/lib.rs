@@ -24,9 +24,11 @@
 //!   of workers to one computation with a per-step barrier instead of a
 //!   fork/join per step (see [`team`]).
 //!
-//! Semantics match rayon for every call shape used in this workspace;
-//! scheduling is contiguous chunking over persistent workers rather than
-//! per-chunk work stealing.
+//! Semantics match rayon for every call shape used in this workspace.
+//! Iterators chunk contiguously, but jobs published from pool threads go
+//! onto per-worker Chase–Lev deques ([`deque`]) and idle workers steal,
+//! so nested fork/join stays local and short tasks coalesce instead of
+//! round-tripping through the condvar injector.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -34,12 +36,14 @@ use std::cell::Cell;
 
 use crate::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod deque;
 pub mod iter;
 pub(crate) mod pool;
 pub mod stats;
 pub(crate) mod sync;
 pub mod team;
 
+pub use deque::Deque;
 pub use stats::{pool_stats, PoolStats};
 pub use team::{team_run, TeamView};
 
@@ -50,6 +54,7 @@ pub use team::{team_run, TeamView};
 #[cfg(slcs_model_check)]
 #[doc(hidden)]
 pub mod model_check {
+    pub use crate::deque::Deque;
     pub use crate::pool::{JobRef, Pool, StackJob};
     pub use crate::team::TeamShared;
 }
@@ -161,7 +166,7 @@ where
     let job_b = pool::StackJob::new(b, budget);
     // SAFETY: this frame waits for `job_b` to reach DONE before returning
     // or unwinding, so the published pointer outlives its use.
-    unsafe { pool.inject(job_b.as_job_ref()) };
+    unsafe { pool.publish(job_b.as_job_ref()) };
     let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
     pool.help_until(|| job_b.is_done());
     release_thread();

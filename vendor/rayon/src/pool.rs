@@ -16,13 +16,31 @@
 //! Panics inside a job are caught, carried through the result slot, and
 //! re-thrown on the publishing thread; the worker that ran the job
 //! survives and goes back to the queue.
+//!
+//! # Work stealing
+//!
+//! Each worker owns a Chase–Lev [`Deque`](crate::deque::Deque). A job
+//! published *from a worker thread* (a nested `join`'s second arm, an
+//! iterator subtree) goes onto that worker's own deque — no mutex, no
+//! condvar syscall — and is popped back LIFO while the worker helps, so
+//! nested fork/join stays cache-hot and local. Idle workers steal FIFO
+//! from their peers before falling back to the condvar injector, which
+//! remains the channel for jobs published by non-pool threads (and the
+//! overflow path when a deque fills up).
+//!
+//! Deadlock-freedom does not depend on wakeups for deque entries: a
+//! worker only parks after finding its own deque empty, and nothing but
+//! that worker can push to it — so a parked worker's deque stays empty,
+//! and any stealable entry belongs to a worker that is awake to drain
+//! it. The parked-count notify below is purely a latency optimization.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
-use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::deque::Deque;
+use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 
 /// Hard ceiling on spawned workers, a guard against absurd `--threads`
@@ -150,11 +168,59 @@ struct Shared {
     spawned: usize,
 }
 
+/// A [`JobRef`] flattened to the two plain words a [`Deque`] stores.
+fn encode_job(job: JobRef) -> (usize, usize) {
+    (job.ptr as usize, job.exec as usize)
+}
+
+// The transmute in `decode_job` requires fn pointers and data words to
+// coincide; true on every supported target, checked at compile time.
+const _: () = assert!(
+    std::mem::size_of::<unsafe fn(*const ())>() == std::mem::size_of::<usize>(),
+    "fn pointers must be one machine word"
+);
+
+/// Rebuilds a [`JobRef`] from its deque encoding.
+///
+/// # Safety
+///
+/// `entry` must have come from [`encode_job`] on a still-alive job, and
+/// must be decoded at most once. Both hold for deque traffic: only
+/// encoded jobs are pushed, the deque delivers each entry to exactly
+/// one taker (per-worker ownership plus the CAS-validated steal), and
+/// publishers keep their `StackJob` alive until it reaches `DONE`.
+unsafe fn decode_job(entry: (usize, usize)) -> JobRef {
+    // SAFETY: the word was produced by `encode_job` casting a fn pointer
+    // of exactly this type, and the const assert above pins the size.
+    let exec = unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(entry.1) };
+    JobRef { ptr: entry.0 as *const (), exec }
+}
+
+thread_local! {
+    /// Index of the pool worker running on this thread (`None` off the
+    /// pool). Set once at `worker_loop` entry; selects the deque that
+    /// `publish` and `help_until` treat as "ours".
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// The process-global worker pool.
 pub struct Pool {
     shared: Mutex<Shared>,
     work_available: Condvar,
+    /// One stealing deque per potential worker, indexed by worker id.
+    deques: Box<[Deque]>,
+    /// Workers currently asleep on `work_available` — a hint for the
+    /// local-push fast path to skip the notify syscall when nobody is
+    /// listening. Maintained around the condvar wait.
+    parked: AtomicUsize,
+    /// Lock-free copy of `Shared::spawned`, bounding steal scans.
+    spawned_hint: AtomicUsize,
 }
+
+/// Per-worker deque capacity. Overflow falls back to the injector, so
+/// this only bounds how much nested work stays mutex-free; 256 covers
+/// any realistic join depth at 8 bytes × 2 words per slot.
+const DEQUE_CAPACITY: usize = 256;
 
 impl Default for Pool {
     fn default() -> Self {
@@ -169,6 +235,9 @@ impl Pool {
         Pool {
             shared: Mutex::new(Shared { jobs: VecDeque::new(), spawned: 0 }),
             work_available: Condvar::new(),
+            deques: (0..MAX_WORKERS).map(|_| Deque::new(DEQUE_CAPACITY)).collect(),
+            parked: AtomicUsize::new(0),
+            spawned_hint: AtomicUsize::new(0),
         }
     }
 
@@ -190,9 +259,13 @@ impl Pool {
         while shared.spawned < n {
             shared.spawned += 1;
             let id = shared.spawned;
+            // ORDERING: Relaxed — a scan-bound hint; steal loops tolerate
+            // a stale (smaller) value, and the owner drains its own deque
+            // regardless.
+            self.spawned_hint.store(shared.spawned, Ordering::Relaxed);
             std::thread::Builder::new()
                 .name(format!("slcs-pool-{id}"))
-                .spawn(move || self.worker_loop())
+                .spawn(move || self.worker_loop(id - 1))
                 // PANIC: failing to spawn a pool worker at startup is unrecoverable.
                 .expect("cannot spawn pool worker");
         }
@@ -202,20 +275,47 @@ impl Pool {
         self.shared.lock().unwrap().spawned
     }
 
-    fn worker_loop(&'static self) {
+    /// One round of stealing: scans every peer deque once (rotating from
+    /// `self_idx + 1` to spread contention). `self_idx` is
+    /// `MAX_WORKERS` for non-worker helpers, which simply scan from 0.
+    fn try_steal(&self, self_idx: usize) -> Option<JobRef> {
+        // ORDERING: Relaxed — scan bound only; see `spawned_hint`.
+        let n = self.spawned_hint.load(Ordering::Relaxed);
+        for i in 0..n {
+            let victim = (self_idx + 1 + i) % n.max(1);
+            if victim == self_idx {
+                continue;
+            }
+            if let Some(entry) = self.deques[victim].steal() {
+                // SAFETY: the entry was pushed by `publish` below from
+                // `encode_job` on a live StackJob, and the deque's steal
+                // CAS delivers it to this thread alone (decode_job's
+                // at-most-once contract).
+                return Some(unsafe { decode_job(entry) });
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&'static self, idx: usize) {
+        WORKER_INDEX.with(|c| c.set(Some(idx)));
         loop {
-            let job = {
-                let mut shared = self.shared.lock().unwrap();
-                loop {
-                    if let Some(job) = shared.jobs.pop_front() {
-                        crate::stats::note_injector_pop();
-                        break job;
-                    }
-                    crate::stats::note_park();
-                    shared = self.work_available.wait(shared).unwrap();
-                    crate::stats::note_unpark();
-                }
-            };
+            // Own deque first (LIFO, cache-hot), then steal, then the
+            // shared injector — parking only when all three are dry.
+            if let Some(entry) = self.deques[idx].pop() {
+                // SAFETY: entries come from `publish`'s encode_job on live
+                // jobs; the owner pop delivers each entry exactly once.
+                let job = unsafe { decode_job(entry) };
+                // SAFETY: decoded from a live, singly-delivered entry (above).
+                unsafe { job.execute() };
+                continue;
+            }
+            if let Some(job) = self.try_steal(idx) {
+                // SAFETY: try_steal returns singly-delivered refs to live jobs.
+                unsafe { job.execute() };
+                continue;
+            }
+            let Some(job) = self.pop_or_park() else { continue };
             // Panics were already caught inside the job; the worker
             // always comes back for more.
             // SAFETY: refs are popped exactly once, and the publisher keeps the
@@ -224,10 +324,63 @@ impl Pool {
         }
     }
 
+    /// Pops from the injector, parking on the condvar when it is empty.
+    /// Returns `None` after a wakeup that found no injector job so the
+    /// caller re-runs its deque/steal sweep before sleeping again.
+    fn pop_or_park(&self) -> Option<JobRef> {
+        let mut shared = self.shared.lock().unwrap();
+        if let Some(job) = shared.jobs.pop_front() {
+            crate::stats::note_injector_pop();
+            return Some(job);
+        }
+        crate::stats::note_park();
+        // ORDERING: Relaxed — a wakeup hint for local pushes; a stale
+        // read costs at most one missed notify, and progress never
+        // depends on it (see the module docs on deadlock-freedom).
+        self.parked.fetch_add(1, Ordering::Relaxed);
+        shared = self.work_available.wait(shared).unwrap();
+        // ORDERING: Relaxed — see above.
+        self.parked.fetch_sub(1, Ordering::Relaxed);
+        crate::stats::note_unpark();
+        let job = shared.jobs.pop_front();
+        if job.is_some() {
+            crate::stats::note_injector_pop();
+        }
+        job
+    }
+
     /// Publishes one job and wakes one worker.
     pub fn inject(&self, job: JobRef) {
         self.shared.lock().unwrap().jobs.push_back(job);
         self.work_available.notify_one();
+    }
+
+    /// Publishes one job the cheapest way available: onto the calling
+    /// worker's own deque when on a pool thread (no lock, no syscall
+    /// unless a peer is parked), else through the injector. The deque's
+    /// overflow falls back to the injector too, so publication never
+    /// fails.
+    pub fn publish(&self, job: JobRef) {
+        let idx = WORKER_INDEX.with(Cell::get);
+        match idx {
+            Some(idx) => {
+                if let Err(entry) = self.deques[idx].push(encode_job(job)) {
+                    // Ring full — overflow to the shared queue.
+                    // SAFETY: the entry was encoded just above and never
+                    // delivered (push returned it), so decoding it here
+                    // is its single use.
+                    self.inject(unsafe { decode_job(entry) });
+                    return;
+                }
+                // ORDERING: Relaxed — wakeup hint only (see pop_or_park);
+                // a missed notify delays a sleeper but cannot strand the
+                // job, which its owner drains.
+                if self.parked.load(Ordering::Relaxed) > 0 {
+                    self.work_available.notify_one();
+                }
+            }
+            None => self.inject(job),
+        }
     }
 
     /// Publishes a batch of jobs and wakes every worker.
@@ -245,17 +398,34 @@ impl Pool {
         job
     }
 
-    /// Runs queued jobs (helping the pool) until `done()`; yields when
-    /// the queue is empty so oversubscribed configurations make progress.
+    /// Runs other jobs (helping the pool) until `done()`; yields when no
+    /// work is found so oversubscribed configurations make progress.
+    /// Work order mirrors `worker_loop`: own deque (LIFO — drains the
+    /// helper's own nested publishes first), then the injector, then a
+    /// steal sweep.
     pub fn help_until(&self, done: impl Fn() -> bool) {
+        let idx = WORKER_INDEX.with(Cell::get);
         while !done() {
+            if let Some(idx) = idx {
+                if let Some(entry) = self.deques[idx].pop() {
+                    // SAFETY: entries come from `publish`'s encode_job on
+                    // live jobs; the owner pop delivers each exactly once.
+                    unsafe { decode_job(entry).execute() };
+                    continue;
+                }
+            }
             match self.try_pop() {
                 // SAFETY: every queued JobRef points at a StackJob whose
                 // publishing frame stays alive until the job reaches
                 // DONE, and popping removes the only ref — it executes
                 // at most once.
                 Some(job) => unsafe { job.execute() },
-                None => crate::sync::yield_now(),
+                None => match self.try_steal(idx.unwrap_or(MAX_WORKERS)) {
+                    // SAFETY: try_steal returns singly-delivered refs to
+                    // live jobs (see its body).
+                    Some(job) => unsafe { job.execute() },
+                    None => crate::sync::yield_now(),
+                },
             }
         }
     }

@@ -27,6 +27,13 @@ static INJECTOR_POPS: AtomicU64 = AtomicU64::new(0);
 static PARKS: AtomicU64 = AtomicU64::new(0);
 /// Times a worker woke from the injector condvar.
 static UNPARKS: AtomicU64 = AtomicU64::new(0);
+/// Entries pushed onto a work-stealing deque (owner side).
+static DEQUE_PUSHES: AtomicU64 = AtomicU64::new(0);
+/// Entries an owner popped back off its own deque — work that stayed
+/// local and never paid a syscall or a CAS fight.
+static LOCAL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Entries successfully stolen from another thread's deque.
+static STEALS: AtomicU64 = AtomicU64::new(0);
 /// Completed `team_run` invocations.
 static TEAM_RUNS: AtomicU64 = AtomicU64::new(0);
 /// Barrier crossings where the caller had to wait for peers.
@@ -55,6 +62,21 @@ pub(crate) fn note_unpark() {
     UNPARKS.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn note_deque_push() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    DEQUE_PUSHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_local_hit() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    LOCAL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_steal() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    STEALS.fetch_add(1, Ordering::Relaxed);
+}
+
 pub(crate) fn note_team_run() {
     // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
     TEAM_RUNS.fetch_add(1, Ordering::Relaxed);
@@ -77,6 +99,12 @@ pub(crate) fn note_barrier_wait_micros(micros: u64) {
 pub struct PoolStats {
     pub jobs_executed: u64,
     pub injector_pops: u64,
+    /// Work-stealing deque pushes (pool-local jobs + wavefront chunks).
+    pub deque_pushes: u64,
+    /// Deque entries the owner popped back itself (stayed local).
+    pub local_hits: u64,
+    /// Deque entries taken by a thief.
+    pub steals: u64,
     pub parks: u64,
     pub unparks: u64,
     pub team_runs: u64,
@@ -92,6 +120,9 @@ pub fn pool_stats() -> PoolStats {
         // snapshot needs no cross-field consistency.
         jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed),
         injector_pops: INJECTOR_POPS.load(Ordering::Relaxed),
+        deque_pushes: DEQUE_PUSHES.load(Ordering::Relaxed),
+        local_hits: LOCAL_HITS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
         parks: PARKS.load(Ordering::Relaxed),
         unparks: UNPARKS.load(Ordering::Relaxed),
         team_runs: TEAM_RUNS.load(Ordering::Relaxed),

@@ -217,6 +217,15 @@ impl TeamView<'_> {
     pub fn barrier(&self) -> bool {
         self.shared.barrier(self.size)
     }
+
+    /// True once any member has panicked. Barrier-free sweeps (the
+    /// work-stealing wavefront) poll this instead of crossing a barrier
+    /// so they still stop promptly when a peer dies.
+    pub fn poisoned(&self) -> bool {
+        // ORDERING: Acquire — pairs with poison()'s Release store; a
+        // member that observes the flag must also see the payload slot.
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
 }
 
 /// Runs `body` cooperatively on the caller plus up to `max_members − 1`

@@ -17,7 +17,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use rayon::model_check::{Pool, StackJob, TeamShared};
+use rayon::model_check::{Deque, Pool, StackJob, TeamShared};
 use shim_loom::model::{Builder, Strategy};
 use shim_loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use shim_loom::thread;
@@ -151,6 +151,122 @@ fn nested_join_helps_while_waiting() {
         helper.join().unwrap();
     });
     println!("nested_join_helps_while_waiting: {} schedules", report.schedules);
+}
+
+// ---------------------------------------------------------------------
+// Chase–Lev deque: owner/thief protocol
+// ---------------------------------------------------------------------
+
+/// The classic last-element race: the owner pops while a thief steals a
+/// one-entry deque. Exactly one side may win; the entry must never be
+/// lost or delivered twice.
+fn pop_vs_steal_last_element() {
+    let d = Arc::new(Deque::new(4));
+    d.push((41, 99)).unwrap();
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || d2.steal());
+    let popped = d.pop();
+    let stolen = thief.join().unwrap();
+    let deliveries = usize::from(popped.is_some()) + usize::from(stolen.is_some());
+    assert_eq!(
+        deliveries, 1,
+        "last element delivered exactly once (pop={popped:?} steal={stolen:?})"
+    );
+    assert_eq!(popped.or(stolen), Some((41, 99)));
+    assert!(d.is_empty());
+    assert_eq!(d.pop(), None);
+    assert_eq!(d.steal(), None);
+    // The deque must be reusable after the race normalized bottom/top.
+    d.push((7, 8)).unwrap();
+    assert_eq!(d.pop(), Some((7, 8)));
+}
+
+#[test]
+fn deque_pop_vs_steal_last_element_dfs() {
+    let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+    let report = dfs(cap).check(pop_vs_steal_last_element);
+    println!(
+        "deque_pop_vs_steal_last_element_dfs: {} schedules, complete={}",
+        report.schedules, report.complete
+    );
+    assert!(report.complete || report.schedules >= cap);
+}
+
+#[test]
+fn deque_pop_vs_steal_last_element_random_sweep() {
+    let report = random_sweep().check(pop_vs_steal_last_element);
+    println!("deque_pop_vs_steal_last_element_random_sweep: {} schedules", report.schedules);
+}
+
+#[test]
+fn deque_owner_races_two_thieves_exactly_once_delivery() {
+    // Three entries, the owner popping against two concurrent thieves:
+    // every entry is delivered to exactly one taker on every schedule,
+    // and the owner's LIFO end never yields an entry a thief already took.
+    let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+    let report = dfs(cap).check(|| {
+        let d = Arc::new(Deque::new(4));
+        for i in 0..3 {
+            d.push((i, i + 10)).unwrap();
+        }
+        let taken = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let thieves: Vec<_> = (0..2)
+            .map(|_| {
+                let (d2, taken2) = (Arc::clone(&d), Arc::clone(&taken));
+                thread::spawn(move || {
+                    if let Some((i, v)) = d2.steal() {
+                        assert_eq!(v, i + 10, "payload words travel together");
+                        taken2[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        while let Some((i, v)) = d.pop() {
+            assert_eq!(v, i + 10);
+            taken[i].fetch_add(1, Ordering::SeqCst);
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        // Each thief takes at most one entry, the owner drains the rest:
+        // every entry lands exactly once.
+        while let Some((i, _)) = d.steal() {
+            taken[i].fetch_add(1, Ordering::SeqCst);
+        }
+        for (i, slot) in taken.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::SeqCst), 1, "entry {i} delivered exactly once");
+        }
+    });
+    println!(
+        "deque_owner_races_two_thieves: {} schedules, complete={}",
+        report.schedules, report.complete
+    );
+}
+
+#[test]
+fn deque_push_overflow_is_safe_under_concurrent_steal() {
+    // A full ring being stolen from while the owner keeps pushing: the
+    // push either succeeds (a steal freed a slot) or hands the entry
+    // back — never clobbers an undelivered slot.
+    let report = random_sweep().check(|| {
+        let d = Arc::new(Deque::new(4));
+        for i in 0..4 {
+            d.push((i, 0)).unwrap();
+        }
+        let d2 = Arc::clone(&d);
+        let thief = thread::spawn(move || d2.steal().is_some());
+        let pushed = d.push((4, 0)).is_ok();
+        let stole = thief.join().unwrap();
+        assert!(stole, "steal from a full ring always finds an entry");
+        // Drain and count: 4 originals minus the steal, plus the extra
+        // push if it landed.
+        let mut drained = 0;
+        while d.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 3 + usize::from(pushed), "no entry lost or duplicated");
+    });
+    println!("deque_push_overflow_is_safe_under_concurrent_steal: {} schedules", report.schedules);
 }
 
 // ---------------------------------------------------------------------
