@@ -16,8 +16,8 @@
 //! shards are small and evictions rare, so this beats maintaining an
 //! intrusive list under a lock).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use slcs_semilocal::{EditDistances, SemiLocalKernel, SemiLocalScores};

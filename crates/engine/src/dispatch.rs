@@ -31,7 +31,7 @@
 //! every fresh computation, so the cache is always consulted first for
 //! kernel-based operations.
 
-use std::sync::atomic::Ordering;
+use crate::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use slcs_bitpar::bit_lcs_alphabet;

@@ -12,8 +12,8 @@
 //! submitted after close get a ticket that resolves to
 //! [`EngineError::ShuttingDown`] instead of blocking forever.
 
+use crate::sync::atomic::Ordering;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;

@@ -38,6 +38,8 @@
 //! assert_eq!(outcome.payload, Payload::Score(4));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod dispatch;
 pub mod engine;

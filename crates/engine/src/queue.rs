@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::sync::cell::UnsafeCell;
 use crate::sync::{Condvar, Mutex};
 
 use crate::cache::CacheKey;
@@ -38,49 +39,76 @@ impl Submit {
     }
 }
 
-struct TicketState {
-    result: Option<Result<CompareOutcome, EngineError>>,
+/// Shared half of a ticket: the result travels through a non-atomic
+/// cell, *published* by the `ready` mutex/condvar handshake — the worker
+/// writes the cell, then flips `ready` under the lock; the waiter reads
+/// the cell only after observing `ready` under the same lock. The cell
+/// goes through the sync facade so a model-check build's race detector
+/// verifies that publication order on every explored schedule.
+struct TicketShared {
+    result: UnsafeCell<Option<Result<CompareOutcome, EngineError>>>,
+    ready: Mutex<bool>,
+    cv: Condvar,
 }
+
+// SAFETY: `result` is written by the single fulfiller before the
+// release of the `ready` critical section and read by a waiter only
+// after acquiring `ready == true` in its own critical section — the
+// mutex edge orders the cell accesses (model-checked in `model_tests`).
+unsafe impl Sync for TicketShared {}
 
 /// A handle to one accepted request's eventual outcome.
 pub struct Ticket {
-    inner: Arc<(Mutex<TicketState>, Condvar)>,
+    inner: Arc<TicketShared>,
 }
 
 impl Ticket {
     fn new() -> (Ticket, Ticket) {
-        let inner = Arc::new((Mutex::new(TicketState { result: None }), Condvar::new()));
+        let inner = Arc::new(TicketShared {
+            result: UnsafeCell::new(None),
+            ready: Mutex::new(false),
+            cv: Condvar::new(),
+        });
         (Ticket { inner: inner.clone() }, Ticket { inner })
+    }
+
+    /// Takes the published result; call only with `ready` held and true,
+    /// which the fulfiller set after writing the cell.
+    fn take_result(&self, ready: &mut bool) -> Result<CompareOutcome, EngineError> {
+        *ready = false; // consumed: later waits report pending again
+                        // SAFETY: the caller holds the `ready` lock and observed `true`,
+                        // so the fulfiller's cell write happened-before this read and no
+                        // other reader can be here concurrently.
+                        // PANIC: `ready == true` is set only after the cell was filled.
+        self.inner.result.with_mut(|p| unsafe { (*p).take() }).expect("ready without a result")
     }
 
     /// Blocks until the request completes.
     pub fn wait(self) -> Result<CompareOutcome, EngineError> {
-        let (lock, cv) = &*self.inner;
-        let mut state = lock.lock().unwrap();
+        let mut ready = self.inner.ready.lock().unwrap();
         loop {
-            if let Some(result) = state.result.take() {
-                return result;
+            if *ready {
+                return self.take_result(&mut ready);
             }
-            state = cv.wait(state).unwrap();
+            ready = self.inner.cv.wait(ready).unwrap();
         }
     }
 
     /// Blocks up to `timeout`; `None` means still pending.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CompareOutcome, EngineError>> {
-        let (lock, cv) = &*self.inner;
         let deadline = Instant::now() + timeout;
-        let mut state = lock.lock().unwrap();
+        let mut ready = self.inner.ready.lock().unwrap();
         loop {
-            if let Some(result) = state.result.take() {
-                return Some(result);
+            if *ready {
+                return Some(self.take_result(&mut ready));
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return None;
             }
-            let (next, timed_out) = cv.wait_timeout(state, left).unwrap();
-            state = next;
-            if timed_out.timed_out() && state.result.is_none() {
+            let (next, timed_out) = self.inner.cv.wait_timeout(ready, left).unwrap();
+            ready = next;
+            if timed_out.timed_out() && !*ready {
                 return None;
             }
         }
@@ -88,9 +116,15 @@ impl Ticket {
 
     /// Fulfills the paired ticket (worker side).
     pub(crate) fn fulfill(&self, result: Result<CompareOutcome, EngineError>) {
-        let (lock, cv) = &*self.inner;
-        lock.lock().unwrap().result = Some(result);
-        cv.notify_all();
+        // The cell write is ordered before the waiter's read by the
+        // `ready` critical section below (see `TicketShared`).
+        self.inner.result.with_mut(|p| {
+            // SAFETY: single fulfiller per ticket, and no waiter reads
+            // until `ready` is true — this access is exclusive.
+            unsafe { *p = Some(result) }
+        });
+        *self.inner.ready.lock().unwrap() = true;
+        self.inner.cv.notify_all();
     }
 }
 
@@ -306,7 +340,10 @@ mod model_tests {
     fn model_ticket_handshake_has_no_lost_wakeup() {
         // fulfill() raced against wait(): the waiter must always see the
         // result, whichever side runs first (the under-lock re-check is
-        // what the model is exercising).
+        // what the model is exercising). The result itself travels
+        // through a *tracked cell* (see `TicketShared`), so this harness
+        // also proves the mutex handshake publishes the non-atomic write
+        // — the race detector fails any schedule where it would not.
         let report = Builder {
             strategy: Strategy::Random {
                 seed: env_usize("SLCS_MODEL_SEED", 0x5eed) as u64 ^ 0x71c7,

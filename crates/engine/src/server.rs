@@ -31,9 +31,9 @@
 //! [`ServerHandle::stop`] shuts the whole thing down without help from
 //! the clients.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -11,3 +11,62 @@ pub(crate) use std::sync::{Condvar, Mutex};
 
 #[cfg(slcs_model_check)]
 pub(crate) use shim_loom::sync::{Condvar, Mutex};
+
+/// Atomics facade: engine code outside this module and `metrics.rs` may
+/// not import `std::sync::atomic` directly (`cargo xtask lint` enforces
+/// this), so a model-check build instruments every atomic the engine's
+/// coordination actually uses.
+pub(crate) mod atomic {
+    #[cfg(not(slcs_model_check))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(slcs_model_check)]
+    pub(crate) use shim_loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Interior-mutability facade mirroring `vendor/rayon/src/sync.rs::cell`:
+/// protocol-guarded non-atomic state goes through a tracked cell so the
+/// model checker's race detector audits it; a normal build is a
+/// zero-cost `std::cell::UnsafeCell` wrapper.
+pub(crate) mod cell {
+    #[cfg(slcs_model_check)]
+    pub(crate) use shim_loom::cell::UnsafeCell;
+
+    #[cfg(not(slcs_model_check))]
+    #[derive(Debug, Default)]
+    pub(crate) struct UnsafeCell<T: ?Sized> {
+        inner: std::cell::UnsafeCell<T>,
+    }
+
+    #[cfg(not(slcs_model_check))]
+    impl<T> UnsafeCell<T> {
+        pub(crate) const fn new(data: T) -> UnsafeCell<T> {
+            UnsafeCell { inner: std::cell::UnsafeCell::new(data) }
+        }
+    }
+
+    #[cfg(not(slcs_model_check))]
+    // Mirrors the shim's full API; not every crate uses every accessor
+    // in the std build, and trimming would desync the two cfg arms.
+    #[allow(dead_code)]
+    impl<T: ?Sized> UnsafeCell<T> {
+        /// Shared access; the closure receives `*const T`.
+        #[inline(always)]
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.inner.get())
+        }
+
+        /// Exclusive access; the closure receives `*mut T`. Exclusivity
+        /// is the caller's protocol invariant — exactly what the model
+        /// build verifies.
+        #[inline(always)]
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.inner.get())
+        }
+
+        #[inline(always)]
+        pub(crate) fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+}

@@ -468,12 +468,18 @@ where
                 // machines where the leader does all the work.
                 let mut idle = 0u32;
                 loop {
+                    // ORDERING: SeqCst — the done flag and the remaining
+                    // counter form one handshake with the deque's SeqCst
+                    // protocol; a single total order keeps the
+                    // counter/steal/shutdown reasoning linear.
                     if done.load(Ordering::SeqCst) || view.poisoned() {
                         return;
                     }
                     match work.steal() {
                         Some((d, k)) => {
                             comb_chunk(d, k);
+                            // ORDERING: SeqCst — releases the chunk's
+                            // strand writes to the leader's counter wait.
                             remaining.fetch_sub(1, Ordering::SeqCst);
                             idle = 0;
                         }
@@ -504,26 +510,34 @@ where
                 // The counter is stored before the pushes (and reaches
                 // members through the push's SeqCst publication), so a
                 // decrement can never observe a stale zero.
+                // ORDERING: SeqCst — see the member loop: one total
+                // order across the counter, the deque and the done flag.
                 remaining.store(active, Ordering::SeqCst);
                 for k in 1..active {
                     if work.push((d, k)).is_err() {
                         // Ring full (cannot happen at ≤ team−1 entries;
                         // defensive): comb it inline instead.
                         comb_chunk(d, k);
+                        // ORDERING: SeqCst — same handshake as above.
                         remaining.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
                 comb_chunk(d, 0);
+                // ORDERING: SeqCst — same handshake as above.
                 remaining.fetch_sub(1, Ordering::SeqCst);
                 // Drain what nobody stole (LIFO; same diagonal only).
                 while let Some((d2, k2)) = work.pop() {
                     comb_chunk(d2, k2);
+                    // ORDERING: SeqCst — same handshake as above.
                     remaining.fetch_sub(1, Ordering::SeqCst);
                 }
                 // Wait for in-flight stolen chunks.
                 let mut idle = 0u32;
+                // ORDERING: SeqCst — acquires every decrementer's strand
+                // writes before the next diagonal is published.
                 while remaining.load(Ordering::SeqCst) != 0 {
                     if view.poisoned() {
+                        // ORDERING: SeqCst — same handshake as above.
                         done.store(true, Ordering::SeqCst);
                         return;
                     }
@@ -535,6 +549,8 @@ where
                     }
                 }
             }
+            // ORDERING: SeqCst — shutdown publication; members observe
+            // it in the same total order as their last steal attempt.
             done.store(true, Ordering::SeqCst);
         });
     }

@@ -2,15 +2,23 @@
 //!
 //! * `lint` — the concurrency audit: every `unsafe` site carries a
 //!   `// SAFETY:` justification (or `# Safety` doc for declarations),
-//!   every `Ordering::Relaxed` carries an `// ORDERING:` note, library
-//!   code does not `unwrap()`/`expect()` without a `// PANIC:`
-//!   justification (lock-poisoning unwraps are auto-allowed), the
-//!   metrics counters stick to their ordering allowlist, and every crate
-//!   containing `unsafe` denies `unsafe_op_in_unsafe_fn`.
+//!   every explicit atomic `Ordering::<variant>` carries an
+//!   `// ORDERING:` note (not just Relaxed — an unexplained Acquire is
+//!   as suspicious as an unexplained Relaxed), library code does not
+//!   `unwrap()`/`expect()` without a `// PANIC:` justification
+//!   (lock-poisoning unwraps are auto-allowed), the metrics counters
+//!   stick to their ordering allowlist, model-checked crates reach
+//!   atomics and `UnsafeCell` only through their `sync.rs` facades
+//!   (so the model checker actually sees every access), and every
+//!   crate containing `unsafe` denies `unsafe_op_in_unsafe_fn`.
+//!   `--json` emits the violations as a JSON array for CI annotations.
 //! * `model-check` — builds the workspace with `--cfg slcs_model_check`
 //!   (swapping the sync facades to the instrumented shim-loom
 //!   primitives) and runs the model-check harnesses, plus the plain-mode
-//!   regression models. See docs/SAFETY.md.
+//!   regression models. `--races` adds the race-detector stages: the
+//!   happens-before unit suite and the planted-race canary whose
+//!   detection (with a replayable choice vector) is asserted, not just
+//!   absence of failures. See docs/SAFETY.md.
 //! * `trace-check FILE` — validates a Chrome-tracing JSON emitted by
 //!   `slcs trace` / the `--trace` bench flags: structural JSON sanity
 //!   plus presence of the four instrumentation layers (an
@@ -37,15 +45,15 @@ use std::process::{Command, ExitCode};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some("model-check") => model_check(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
         Some("perf-gate") => perf_gate(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint | model-check [--bound N] [--schedules N] [--seed N] \
-                 | trace-check FILE | perf-gate [--fresh DIR] [--baselines DIR] \
-                 [--tolerance PCT] [--overhead-slack PTS]>"
+                "usage: cargo xtask <lint [--json] | model-check [--races] [--bound N] \
+                 [--schedules N] [--seed N] | trace-check FILE | perf-gate [--fresh DIR] \
+                 [--baselines DIR] [--tolerance PCT] [--overhead-slack PTS]>"
             );
             ExitCode::FAILURE
         }
@@ -657,6 +665,7 @@ fn model_check(args: &[String]) -> ExitCode {
     let mut bound: Option<String> = None;
     let mut schedules: Option<String> = None;
     let mut seed: Option<String> = None;
+    let mut races = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut grab = |slot: &mut Option<String>| match it.next() {
@@ -670,6 +679,10 @@ fn model_check(args: &[String]) -> ExitCode {
             "--bound" => grab(&mut bound),
             "--schedules" => grab(&mut schedules),
             "--seed" => grab(&mut seed),
+            "--races" => {
+                races = true;
+                true
+            }
             _ => false,
         };
         if !ok {
@@ -686,7 +699,7 @@ fn model_check(args: &[String]) -> ExitCode {
         rustflags.push_str("--cfg slcs_model_check");
     }
 
-    let stages: &[(&str, &[&str], bool)] = &[
+    let mut stages: Vec<(&str, &[&str], bool)> = vec![
         // (label, cargo args, needs the model-check cfg)
         ("checker self-tests", &["test", "-p", "shim-loom", "--lib", "-q"], false),
         ("protocol regression models", &["test", "--test", "model_check", "-q"], false),
@@ -701,8 +714,25 @@ fn model_check(args: &[String]) -> ExitCode {
             true,
         ),
     ];
+    if races {
+        // The race-detector suites: the happens-before engine's unit
+        // matrix (which ordering pairs create edges) and the planted
+        // canary whose *detection* — with a replayable choice vector —
+        // is what the tests assert. shim-loom is the instrumentation,
+        // so these build without the cfg.
+        stages.push((
+            "happens-before edge matrix",
+            &["test", "-p", "shim-loom", "--test", "hb", "-q"],
+            false,
+        ));
+        stages.push((
+            "planted-race canary + replay",
+            &["test", "-p", "shim-loom", "--test", "races", "-q"],
+            false,
+        ));
+    }
 
-    for (label, cargo_args, instrumented) in stages {
+    for (label, cargo_args, instrumented) in &stages {
         println!("==> model-check: {label}");
         let mut cmd = Command::new("cargo");
         cmd.args(*cargo_args);
@@ -746,7 +776,51 @@ const AUDIT_ROOTS: &[&str] =
     &["crates", "vendor/rayon", "vendor/shim-loom", "vendor/shim-trace", "vendor/shim-alloc"];
 const SKIP_DIRS: &[&str] = &["crates/xtask", "target"];
 
-fn lint() -> ExitCode {
+/// One lint finding. `line` is 1-based; 0 means the finding is about
+/// the file as a whole (e.g. a missing crate-level attribute).
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl Violation {
+    fn at(file: &Path, line: usize, rule: &'static str, message: String) -> Self {
+        Violation { file: file.display().to_string(), line, rule, message }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for rule messages and repo-relative paths.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            _ => {
+                eprintln!("lint: bad argument {arg:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let repo = repo_root();
     let mut files = Vec::new();
     for root in AUDIT_ROOTS {
@@ -754,7 +828,7 @@ fn lint() -> ExitCode {
     }
     files.sort();
 
-    let mut violations: Vec<String> = Vec::new();
+    let mut violations: Vec<Violation> = Vec::new();
     let mut stats = Stats::default();
     // crate src dir → (has unsafe, lib.rs denies unsafe_op_in_unsafe_fn)
     let mut crates: std::collections::BTreeMap<PathBuf, (bool, bool)> = Default::default();
@@ -764,7 +838,7 @@ fn lint() -> ExitCode {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(err) => {
-                violations.push(format!("{}: unreadable: {err}", rel.display()));
+                violations.push(Violation::at(&rel, 0, "io", format!("unreadable: {err}")));
                 continue;
             }
         };
@@ -788,28 +862,58 @@ fn lint() -> ExitCode {
 
     for (src_dir, (has_unsafe, denies)) in &crates {
         if *has_unsafe && !denies {
-            violations.push(format!(
-                "{}/lib.rs: crate contains unsafe code but does not declare \
-                 #![deny(unsafe_op_in_unsafe_fn)]",
-                src_dir.display()
+            violations.push(Violation::at(
+                &src_dir.join("lib.rs"),
+                0,
+                "deny-attr",
+                "crate contains unsafe code but does not declare \
+                 #![deny(unsafe_op_in_unsafe_fn)]"
+                    .to_string(),
             ));
         }
     }
 
+    if json {
+        let mut out = String::from("[");
+        for (i, v) in violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&v.file),
+                v.line,
+                v.rule,
+                json_escape(&v.message)
+            );
+        }
+        out.push_str(if violations.is_empty() { "]" } else { "\n]" });
+        println!("{out}");
+        return if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     if violations.is_empty() {
         println!(
-            "lint clean: {} files; {} unsafe sites justified, {} Relaxed orderings annotated, \
-             {} panic sites allowed ({} via PANIC:, rest lock-poisoning)",
+            "lint clean: {} files; {} unsafe sites justified, {} explicit orderings annotated \
+             ({} non-Relaxed), {} panic sites allowed ({} via PANIC:, rest lock-poisoning), \
+             facade enforced over {} model-checked files",
             files.len(),
             stats.unsafe_sites,
-            stats.relaxed_sites,
+            stats.ordering_sites,
+            stats.ordering_sites - stats.relaxed_sites,
             stats.panic_allowed + stats.panic_justified,
             stats.panic_justified,
+            stats.facade_files,
         );
         ExitCode::SUCCESS
     } else {
         for v in &violations {
-            eprintln!("lint: {v}");
+            if v.line == 0 {
+                eprintln!("lint: {}: {}", v.file, v.message);
+            } else {
+                eprintln!("lint: {}:{}: {}", v.file, v.line, v.message);
+            }
         }
         eprintln!("lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
@@ -1067,9 +1171,14 @@ fn char_literal_len(s: &[char]) -> Option<usize> {
 #[derive(Default)]
 struct Stats {
     unsafe_sites: usize,
+    /// Every explicit atomic `Ordering::<variant>` occurrence.
+    ordering_sites: usize,
+    /// The `Ordering::Relaxed` subset of `ordering_sites`.
     relaxed_sites: usize,
     panic_allowed: usize,
     panic_justified: usize,
+    /// Files the facade-enforcement rule (rule 5) scanned.
+    facade_files: usize,
 }
 
 fn is_attr(code: &str) -> bool {
@@ -1120,25 +1229,99 @@ fn justification_above(lines: &[Line], i: usize) -> String {
 /// assumptions into code documented not to have any.
 const RELAXED_ONLY_FILES: &[&str] = &["crates/engine/src/metrics.rs", "vendor/rayon/src/stats.rs"];
 
-fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &mut Stats) {
+/// The atomic memory orderings (std::sync::atomic::Ordering variants).
+/// Matching on these keeps `std::cmp::Ordering::Less` & friends out of
+/// the ordering audit.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Source trees whose crates are model-checked: under
+/// `--cfg slcs_model_check` their `sync.rs` facades swap std's
+/// primitives for the instrumented shim-loom ones, so any *direct*
+/// `std::sync::atomic` / `std::cell::UnsafeCell` use in these trees is
+/// an access the model checker silently cannot see. Rule 5 forbids it.
+const MODEL_CHECKED_SRC: &[&str] = &["vendor/rayon/src", "crates/engine/src"];
+
+/// The only files in the model-checked trees allowed to name the raw
+/// primitives: the facades themselves (that is their job) and the
+/// always-on counter files, whose instrumentation must not add states
+/// for the checker to explore (see their module docs). shim-loom is
+/// not listed because it is not under [`MODEL_CHECKED_SRC`]: it *is*
+/// the instrumentation.
+const FACADE_ALLOWLIST: &[&str] = &[
+    "vendor/rayon/src/sync.rs",
+    "crates/engine/src/sync.rs",
+    "crates/engine/src/metrics.rs",
+    "vendor/rayon/src/stats.rs",
+];
+
+/// Raw-primitive tokens rule 5 hunts for in model-checked trees.
+const RAW_SYNC_TOKENS: &[&str] =
+    &["std::sync::atomic", "core::sync::atomic", "std::cell::UnsafeCell", "core::cell::UnsafeCell"];
+
+/// Occurrences of `word` in `code` as a whole word (the counting twin
+/// of [`has_word`] — sites, not lines, so consolidation can't hide
+/// them).
+fn count_word(code: &str, word: &str) -> usize {
+    let mut n = 0;
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok =
+            code[after..].chars().next().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            n += 1;
+        }
+        start = after;
+    }
+    n
+}
+
+/// Atomic-ordering occurrences on one code line: `(total, relaxed)`.
+fn ordering_sites(code: &str) -> (usize, usize) {
+    let (mut total, mut relaxed) = (0, 0);
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("Ordering::") {
+        let at = start + pos + "Ordering::".len();
+        start = at;
+        let variant: String = code[at..].chars().take_while(|c| c.is_alphanumeric()).collect();
+        if ATOMIC_ORDERINGS.contains(&variant.as_str()) {
+            total += 1;
+            if variant == "Relaxed" {
+                relaxed += 1;
+            }
+        }
+    }
+    (total, relaxed)
+}
+
+fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<Violation>, stats: &mut Stats) {
     let relaxed_only = RELAXED_ONLY_FILES.iter().any(|f| rel == Path::new(f) || rel.ends_with(f));
-    let mut relaxed_run_justified: std::collections::HashSet<usize> = Default::default();
+    let facade_checked = MODEL_CHECKED_SRC.iter().any(|d| rel.starts_with(d))
+        && !FACADE_ALLOWLIST.iter().any(|f| rel == Path::new(f));
+    if facade_checked {
+        stats.facade_files += 1;
+    }
+    let mut ordering_run_justified: std::collections::HashSet<usize> = Default::default();
     let mut unsafe_run_justified: std::collections::HashSet<usize> = Default::default();
 
     for (i, line) in lines.iter().enumerate() {
         if line.in_test || line.code.trim().is_empty() {
             continue;
         }
-        let here = format!("{}:{}", rel.display(), i + 1);
         let code = &line.code;
         let own_comment = &line.comment;
 
         // Rule 1 — unsafe needs SAFETY: (declarations may use `# Safety`).
         // `unsafe fn(` is a fn-pointer *type*, not an unsafe operation;
-        // the unsafety lives at the call sites.
+        // the unsafety lives at the call sites. Sites are counted per
+        // occurrence of the keyword, so merging two unsafe blocks into
+        // one line still shows up as two sites in the audit totals.
         let unsafe_code = code.replace("unsafe fn(", "");
         if !is_attr(code) && has_word(&unsafe_code, "unsafe") {
-            stats.unsafe_sites += 1;
+            stats.unsafe_sites += count_word(&unsafe_code, "unsafe");
             let above = justification_above(lines, i);
             let is_decl = unsafe_code.contains("unsafe fn")
                 || unsafe_code.contains("unsafe impl")
@@ -1154,28 +1337,42 @@ fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &
             if justified {
                 unsafe_run_justified.insert(i);
             } else {
-                violations.push(format!(
-                    "{here}: unsafe without a `// SAFETY:` justification{}",
-                    if is_decl { " (or a `# Safety` doc section)" } else { "" }
+                violations.push(Violation::at(
+                    rel,
+                    i + 1,
+                    "safety",
+                    format!(
+                        "unsafe without a `// SAFETY:` justification{}",
+                        if is_decl { " (or a `# Safety` doc section)" } else { "" }
+                    ),
                 ));
             }
         }
 
-        // Rule 2 — Ordering::Relaxed needs ORDERING:. A note covers an
-        // unbroken run of consecutive Relaxed lines (e.g. a snapshot
+        // Rule 2 — every explicit atomic ordering needs an ORDERING:
+        // note. An unexplained Acquire is as suspicious as an
+        // unexplained Relaxed: the note must say which edge the
+        // ordering buys (or deliberately forgoes). A note covers an
+        // unbroken run of consecutive ordering lines (e.g. a snapshot
         // struct literal loading a dozen counters under one argument).
-        if code.contains("Ordering::Relaxed") {
-            stats.relaxed_sites += 1;
+        let (ord_total, ord_relaxed) = ordering_sites(code);
+        if ord_total > 0 {
+            stats.ordering_sites += ord_total;
+            stats.relaxed_sites += ord_relaxed;
             let justified = own_comment.contains("ORDERING:")
                 || justification_above(lines, i).contains("ORDERING:")
                 || (i > 0
-                    && lines[i - 1].code.contains("Ordering::Relaxed")
-                    && relaxed_run_justified.contains(&(i - 1)));
+                    && ordering_sites(&lines[i - 1].code).0 > 0
+                    && ordering_run_justified.contains(&(i - 1)));
             if justified {
-                relaxed_run_justified.insert(i);
+                ordering_run_justified.insert(i);
             } else {
-                violations
-                    .push(format!("{here}: Ordering::Relaxed without an `// ORDERING:` note"));
+                violations.push(Violation::at(
+                    rel,
+                    i + 1,
+                    "ordering",
+                    "explicit atomic ordering without an `// ORDERING:` note".to_string(),
+                ));
             }
         }
 
@@ -1215,8 +1412,11 @@ fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &
                     stats.panic_justified += 1;
                     continue;
                 }
-                violations.push(format!(
-                    "{here}: `{needle}…` in library code without a `// PANIC:` justification"
+                violations.push(Violation::at(
+                    rel,
+                    i + 1,
+                    "panic",
+                    format!("`{needle}…` in library code without a `// PANIC:` justification"),
                 ));
             }
         }
@@ -1229,11 +1429,37 @@ fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &
                 let variant: String =
                     code[at..].chars().take_while(|c| c.is_alphanumeric()).collect();
                 start = at;
-                if variant != "Relaxed" {
-                    violations.push(format!(
-                        "{here}: this file must use Ordering::Relaxed only \
-                         (independent monotonic counters, no cross-field consistency), \
-                         found {variant}"
+                if ATOMIC_ORDERINGS.contains(&variant.as_str()) && variant != "Relaxed" {
+                    violations.push(Violation::at(
+                        rel,
+                        i + 1,
+                        "relaxed-only",
+                        format!(
+                            "this file must use Ordering::Relaxed only \
+                             (independent monotonic counters, no cross-field consistency), \
+                             found {variant}"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Rule 5 — facade enforcement. Model-checked crates reach
+        // atomics and UnsafeCell only through their sync.rs facades:
+        // a direct std/core import here compiles fine but gives the
+        // model checker (and the race detector) a blind spot, which is
+        // worse than a failure.
+        if facade_checked {
+            for token in RAW_SYNC_TOKENS {
+                if code.contains(token) {
+                    violations.push(Violation::at(
+                        rel,
+                        i + 1,
+                        "facade",
+                        format!(
+                            "`{token}` in a model-checked crate outside its sync facade — \
+                             use the crate's `sync` module so the model checker sees the access"
+                        ),
                     ));
                 }
             }
@@ -1244,6 +1470,87 @@ fn audit_file(rel: &Path, lines: &[Line], violations: &mut Vec<String>, stats: &
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Lex + audit an in-memory source as if it lived at `rel`.
+    fn audit(rel: &str, src: &str) -> (Vec<Violation>, Stats) {
+        let mut violations = Vec::new();
+        let mut stats = Stats::default();
+        audit_file(Path::new(rel), &lex_file(src), &mut violations, &mut stats);
+        (violations, stats)
+    }
+
+    #[test]
+    fn ordering_rule_covers_every_explicit_ordering() {
+        let (v, s) = audit("crates/x/src/a.rs", "fn f(a: &A) { a.load(Ordering::Acquire); }\n");
+        assert_eq!(v.len(), 1, "{:?}", v.iter().map(|v| &v.message).collect::<Vec<_>>());
+        assert_eq!(v[0].rule, "ordering");
+        assert_eq!((v[0].line, s.ordering_sites, s.relaxed_sites), (1, 1, 0));
+        // An ORDERING: note (own line or above) clears it, and covers a
+        // run of consecutive ordering lines.
+        let src = "// ORDERING: pairs with the Release store in g().\n\
+                   fn f(a: &A) { a.load(Ordering::Acquire);\n\
+                   a.store(1, Ordering::Release); }\n";
+        let (v, s) = audit("crates/x/src/a.rs", src);
+        assert!(v.is_empty(), "{:?}", v.iter().map(|v| &v.message).collect::<Vec<_>>());
+        assert_eq!((s.ordering_sites, s.relaxed_sites), (2, 0));
+    }
+
+    #[test]
+    fn ordering_rule_counts_sites_not_lines_and_skips_cmp_ordering() {
+        let src = "// ORDERING: CAS failure may be weaker; both noted here.\n\
+                   fn f(a: &A) { a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }\n";
+        let (v, s) = audit("crates/x/src/a.rs", src);
+        assert!(v.is_empty());
+        assert_eq!(s.ordering_sites, 2, "one line, two ordering sites");
+        // std::cmp::Ordering variants are not atomic orderings.
+        let (v, s) = audit("crates/x/src/a.rs", "fn f() -> Ordering { Ordering::Less }\n");
+        assert!(v.is_empty());
+        assert_eq!(s.ordering_sites, 0);
+    }
+
+    #[test]
+    fn unsafe_sites_are_counted_per_occurrence() {
+        let src = "// SAFETY: both derefs stay in bounds (len checked above).\n\
+                   fn f(p: *const u8) { unsafe { g(p) }; unsafe { g(p) }; }\n";
+        let (v, s) = audit("crates/x/src/a.rs", src);
+        assert!(v.is_empty(), "{:?}", v.iter().map(|v| &v.message).collect::<Vec<_>>());
+        assert_eq!(s.unsafe_sites, 2, "consolidating blocks onto one line must not hide sites");
+    }
+
+    #[test]
+    fn facade_rule_flags_raw_primitives_outside_the_allowlist() {
+        let src = "use std::sync::atomic::AtomicUsize;\n";
+        let (v, _) = audit("vendor/rayon/src/evil.rs", src);
+        assert_eq!(v.len(), 1, "{:?}", v.iter().map(|v| &v.message).collect::<Vec<_>>());
+        assert_eq!((v[0].rule, v[0].line), ("facade", 1));
+        let (v, _) = audit("crates/engine/src/evil.rs", "use std::cell::UnsafeCell;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "facade");
+        // The facades themselves and the counter files are allowed…
+        for allowed in FACADE_ALLOWLIST {
+            let (v, _) = audit(allowed, "use std::sync::atomic::AtomicU64;\n");
+            assert!(v.iter().all(|v| v.rule != "facade"), "{allowed} should be allowlisted");
+        }
+        // …and crates outside the model-checked trees are not audited.
+        let (v, _) = audit("crates/semilocal/src/a.rs", src);
+        assert!(v.iter().all(|v| v.rule != "facade"));
+    }
+
+    #[test]
+    fn facade_rule_ignores_tests_and_comments() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicUsize;\n}\n";
+        let (v, _) = audit("vendor/rayon/src/a.rs", src);
+        assert!(v.iter().all(|v| v.rule != "facade"), "test-only use is exercised-by code");
+        let (v, _) = audit("vendor/rayon/src/a.rs", "// std::sync::atomic is banned here\n");
+        assert!(v.is_empty(), "comments are not imports");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\ty"), "x\\n\\ty");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
 
     fn mem_json(
         memopt_allocs: u64,

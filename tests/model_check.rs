@@ -237,3 +237,60 @@ fn checker_still_catches_a_planted_lost_update() {
     });
     assert!(outcome.is_err(), "the planted race must be found");
 }
+
+// ---------------------------------------------------------------------
+// The race detector stays honest in the default test run too
+// ---------------------------------------------------------------------
+
+/// Message-passing through a tracked cell: writer fills the cell, then
+/// publishes on a flag; reader checks the flag, then reads the cell.
+/// With a Release/Acquire pair the accesses are ordered; with Relaxed
+/// on either side the detector must report a data race (Relaxed
+/// deliberately creates no happens-before edge).
+fn message_passing(store: Ordering, load: Ordering) -> Result<(), String> {
+    use shim_loom::cell::UnsafeCell;
+
+    struct Shared {
+        data: UnsafeCell<u64>,
+        ready: AtomicUsize,
+    }
+    // SAFETY: sharing is the point — the detector (not the type system)
+    // decides whether the schedule ordered the accesses.
+    unsafe impl Sync for Shared {}
+
+    std::panic::catch_unwind(|| {
+        model::check(move || {
+            let s = Arc::new(Shared { data: UnsafeCell::new(0), ready: AtomicUsize::new(0) });
+            let s2 = Arc::clone(&s);
+            let writer = thread::spawn(move || {
+                s2.data.with_mut(|p| {
+                    // SAFETY: the flag protocol under test is the only
+                    // other access path.
+                    unsafe { *p = 42 };
+                });
+                s2.ready.store(1, store);
+            });
+            if s.ready.load(load) == 1 {
+                // SAFETY: as above; racy iff the orderings are weak.
+                let v = s.data.with(|p| unsafe { *p });
+                assert_eq!(v, 42);
+            }
+            writer.join().unwrap();
+        });
+    })
+    .map(|_| ())
+    .map_err(|e| e.downcast_ref::<String>().cloned().unwrap_or_else(|| "non-string panic".into()))
+}
+
+#[test]
+fn race_detector_accepts_release_acquire_message_passing() {
+    message_passing(Ordering::Release, Ordering::Acquire).expect("release/acquire is race-free");
+}
+
+#[test]
+fn race_detector_catches_relaxed_publication() {
+    let report = message_passing(Ordering::Relaxed, Ordering::Acquire)
+        .expect_err("relaxed publication must race");
+    assert!(report.contains("data race"), "unexpected failure: {report}");
+    assert!(report.contains("replay choices"), "race reports carry a replay vector: {report}");
+}

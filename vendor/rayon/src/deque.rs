@@ -9,14 +9,21 @@
 //!
 //! # Design notes
 //!
-//! * **Entries are two plain machine words** (`(usize, usize)`), not
-//!   pointers: the deque itself performs no unsafe memory access at all.
-//!   Layers that store pointers (the pool's `JobRef`) do their own
-//!   encode/decode and carry the at-most-once-delivery argument there.
-//! * **Fixed-capacity power-of-two ring.** `push` reports overflow by
-//!   returning the entry instead of growing; callers fall back to their
-//!   slower channel (the pool's condvar injector). This keeps the hot
-//!   path allocation-free and the model-checked state space small.
+//! * **Entries are two plain machine words** (`(usize, usize)`), stored
+//!   in individually-atomic slots so concurrent owner-write/thief-read
+//!   races are defined behavior. Layers that store pointers (the pool's
+//!   `JobRef`) do their own encode/decode and carry the
+//!   at-most-once-delivery argument there.
+//! * **Growable power-of-two ring with a hard cap.** The ring starts
+//!   small and the owner doubles it on demand up to `max_capacity`
+//!   ([`Deque::new`]'s argument); only at the cap does `push` report
+//!   overflow by returning the entry, and callers fall back to their
+//!   slower channel (the pool's condvar injector). Growth is owner-only:
+//!   a new generation-tagged [`Buffer`] is allocated, live entries are
+//!   copied, and the buffer pointer is republished; the old buffer is
+//!   *retired* — kept alive, never written again — so a thief holding a
+//!   stale pointer still reads valid (at worst stale, CAS-discarded)
+//!   data. Retired buffers are freed only in `Drop`.
 //! * **`top` and `bottom` are monotonic counters**, never wrapped into
 //!   the ring except at the moment of slot indexing (`index & mask`).
 //!   `top` only ever increases (owner `pop` on the last element and
@@ -32,14 +39,18 @@
 //! A thief reads the slot words *before* its CAS on `top`. The owner
 //! may concurrently overwrite that slot — but only by pushing at
 //! `bottom = t + capacity`, which requires `top > t` to have passed the
-//! capacity check, and `top > t` makes the thief's CAS fail. A stale or
-//! mixed read therefore never escapes `steal`: the CAS on the monotonic
-//! `top` validates the preceding slot reads. Because the slot words are
-//! themselves atomics, the race is defined behavior (no torn reads at
-//! the language level — just possibly *stale* values, discarded on CAS
+//! capacity check, and `top > t` makes the thief's CAS fail. Likewise a
+//! thief that loaded the buffer pointer just before a grow reads from
+//! the retired buffer: its contents below the copied range are only
+//! reachable when `top` already advanced, which also fails the CAS. A
+//! stale or mixed read therefore never escapes `steal`: the CAS on the
+//! monotonic `top` validates the preceding slot reads. Because the slot
+//! words are atomics, the race is defined behavior (no torn reads at the
+//! language level — just possibly *stale* values, discarded on CAS
 //! failure).
 
 use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
 
 /// One ring slot: the two words of an entry, individually atomic so
 /// concurrent owner-write/thief-read races are defined behavior.
@@ -48,7 +59,51 @@ struct Slot {
     hi: AtomicUsize,
 }
 
-/// A fixed-capacity work-stealing deque of two-word entries.
+/// One generation of the ring. Heap-allocated and published through
+/// `Deque::buffer` as a raw pointer; immutable in shape (the slots are
+/// interior-atomic) from publication until the owning `Deque` drops.
+struct Buffer {
+    /// Grow count at allocation time: 0 for the initial ring, +1 per
+    /// grow. Diagnostic only — steal validation rests on `top`'s CAS,
+    /// not on comparing generations.
+    generation: usize,
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    /// Heap-allocates a zeroed ring of `cap` slots and leaks it to a raw
+    /// pointer; ownership transfers to the publishing `Deque`, which
+    /// frees every generation in its `Drop`.
+    fn alloc(generation: usize, cap: usize) -> *mut Buffer {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| Slot { lo: AtomicUsize::new(0), hi: AtomicUsize::new(0) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Buffer { generation, mask: cap - 1, slots }))
+    }
+
+    /// Reads the entry at ring position `index & mask`.
+    fn read(&self, index: usize) -> (usize, usize) {
+        let slot = &self.slots[index & self.mask];
+        // ORDERING: SeqCst — slot reads take part in the single total
+        // order the protocol arguments are stated against (module docs);
+        // a stale value is possible and is discarded by the caller's CAS.
+        (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst))
+    }
+
+    /// Writes the entry at ring position `index & mask`.
+    fn write(&self, index: usize, entry: (usize, usize)) {
+        let slot = &self.slots[index & self.mask];
+        // ORDERING: SeqCst — the slot words must be ordered before the
+        // `bottom` store that publishes them to thieves (module docs).
+        slot.lo.store(entry.0, Ordering::SeqCst);
+        slot.hi.store(entry.1, Ordering::SeqCst);
+    }
+}
+
+/// A work-stealing deque of two-word entries with a growable ring.
 ///
 /// The owner discipline (`push`/`pop` from one thread at a time) is a
 /// *correctness* contract, not a memory-safety one: violating it can
@@ -61,61 +116,151 @@ pub struct Deque {
     top: AtomicUsize,
     /// Next index the owner will push at. Owner-written only.
     bottom: AtomicUsize,
-    slots: Box<[Slot]>,
-    mask: usize,
+    /// The current `*mut Buffer`, stored as a word. Owner-swapped on
+    /// grow; loaded per-operation by everyone else.
+    buffer: AtomicUsize,
+    /// Former generations, owner-appended on grow. Kept alive (and
+    /// unwritten) until `Drop` so stale thief reads stay defined; goes
+    /// through the tracked cell so the model checker verifies no thief
+    /// ever touches it.
+    retired: UnsafeCell<Vec<*mut Buffer>>,
+    /// Hard ring cap; `push` overflows to the caller once reached.
+    max_capacity: usize,
 }
 
+// SAFETY: the raw buffer pointers are only dereferenced while the Deque
+// is alive (they are freed exclusively in Drop, which takes &mut self),
+// and `retired` is touched only by the owner (grow) or exclusively
+// (Drop) — the owner/thief protocol is model-checked on top.
+unsafe impl Send for Deque {}
+
+// SAFETY: shared access is the point of the type — slots are atomic,
+// grow republishes via an atomic swap, and the protocol (one owner,
+// CAS-validated thieves) is argued in the module docs and model-checked.
+unsafe impl Sync for Deque {}
+
+/// Initial ring size: big enough that non-nested workloads never grow,
+/// small enough that the grow path is actually exercised by real use
+/// (and model harnesses) rather than being dead code.
+const INITIAL_RING: usize = 8;
+
 impl Deque {
-    /// A deque holding up to `capacity` entries (rounded up to a power
-    /// of two, minimum 4).
+    /// A deque growing up to `capacity` entries (rounded up to a power
+    /// of two, minimum 4). The ring starts at `min(capacity, 8)` slots.
     pub fn new(capacity: usize) -> Deque {
-        let cap = capacity.max(4).next_power_of_two();
-        let slots = (0..cap)
-            .map(|_| Slot { lo: AtomicUsize::new(0), hi: AtomicUsize::new(0) })
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        Deque { top: AtomicUsize::new(0), bottom: AtomicUsize::new(0), slots, mask: cap - 1 }
+        let max = capacity.max(4).next_power_of_two();
+        let initial = max.min(INITIAL_RING);
+        Deque {
+            top: AtomicUsize::new(0),
+            bottom: AtomicUsize::new(0),
+            buffer: AtomicUsize::new(Buffer::alloc(0, initial) as usize),
+            retired: UnsafeCell::new(Vec::new()),
+            max_capacity: max,
+        }
     }
 
-    /// Number of entries the ring can hold.
+    /// Maximum number of entries the deque can hold (the grow cap).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.max_capacity
+    }
+
+    /// Current ring size (grows towards [`Self::capacity`]); racy if
+    /// read while the owner is mid-grow, exact for the owner itself.
+    pub fn ring_len(&self) -> usize {
+        self.current().slots.len()
+    }
+
+    /// Grow count so far (the current buffer's generation tag).
+    pub fn generation(&self) -> usize {
+        self.current().generation
+    }
+
+    /// The currently-published buffer.
+    fn current(&self) -> &Buffer {
+        // ORDERING: SeqCst — pointer loads sit in the same total order
+        // as the slot/index operations they precede (module docs).
+        let ptr = self.buffer.load(Ordering::SeqCst) as *const Buffer;
+        // SAFETY: `ptr` came from Buffer::alloc via new() or grow(), and
+        // no generation is freed before Drop (&mut self), so it outlives
+        // this &self borrow. A stale pointer (owner grew concurrently)
+        // still refers to a live, retired, no-longer-written buffer.
+        unsafe { &*ptr }
     }
 
     /// True when a racy size estimate says the deque is empty. Cheap
     /// pre-filter for steal loops; a `false` answer may be stale in
     /// either direction.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: SeqCst — see the module docs; a racy estimate is
+        // acceptable here, the strongest order is just the house style.
         let t = self.top.load(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::SeqCst);
         b <= t
     }
 
-    /// Owner-only: appends an entry at the bottom. Returns the entry
-    /// back when the ring is full so the caller can overflow to its
+    /// Owner-only: appends an entry at the bottom, doubling the ring if
+    /// it is full. Returns the entry back only when the ring already
+    /// holds `capacity()` entries, so the caller can overflow to its
     /// fallback channel.
     pub fn push(&self, entry: (usize, usize)) -> Result<(), (usize, usize)> {
+        // ORDERING: SeqCst — total-order protocol, see module docs.
         let b = self.bottom.load(Ordering::SeqCst);
         let t = self.top.load(Ordering::SeqCst);
+        let mut buf = self.current();
         // `top` only grows, so a stale `t` can only make the deque look
-        // *fuller* than it is — overflow is conservative, never unsound.
-        if b - t >= self.slots.len() {
-            return Err(entry);
+        // *fuller* than it is — grow/overflow is conservative, never
+        // unsound.
+        if b - t >= buf.slots.len() {
+            if buf.slots.len() >= self.max_capacity {
+                return Err(entry);
+            }
+            buf = self.grow(buf, t, b);
         }
-        let slot = &self.slots[b & self.mask];
-        slot.lo.store(entry.0, Ordering::SeqCst);
-        slot.hi.store(entry.1, Ordering::SeqCst);
-        // Publishing the new bottom is what makes the slot visible to
-        // thieves; the SeqCst store orders the slot writes before it.
+        buf.write(b, entry);
+        // ORDERING: SeqCst — publishing the new bottom is what makes the
+        // slot visible to thieves; this store must order after the slot
+        // writes above.
         self.bottom.store(b + 1, Ordering::SeqCst);
         crate::stats::note_deque_push();
         Ok(())
+    }
+
+    /// Owner-only slow path: doubles the ring (capped at
+    /// `max_capacity`), copies the live range `[t, b)`, publishes the
+    /// new buffer and retires the old one. Entries a thief steals from
+    /// the *old* buffer mid-copy stay exactly-once: their copies in the
+    /// new buffer sit below `top` and are never read.
+    fn grow(&self, old: &Buffer, t: usize, b: usize) -> &Buffer {
+        let new_cap = (old.slots.len() * 2).min(self.max_capacity);
+        let new_ptr = Buffer::alloc(old.generation + 1, new_cap);
+        // SAFETY: freshly allocated above and not yet published — this
+        // is the only reference.
+        let new_buf = unsafe { &*new_ptr };
+        for i in t..b {
+            new_buf.write(i, old.read(i));
+        }
+        // ORDERING: SeqCst — republishing the buffer pointer must order
+        // after the copies above and before the caller's slot write;
+        // thieves that loaded the old pointer keep reading retired (but
+        // live and unwritten) memory, validated by their CAS on `top`.
+        let old_ptr = self.buffer.swap(new_ptr as usize, Ordering::SeqCst) as *mut Buffer;
+        debug_assert_eq!(old_ptr as *const Buffer, old as *const Buffer);
+        // Owner-only by the push contract; the tracked cell makes the
+        // model checker verify exactly that.
+        self.retired.with_mut(|p| {
+            // SAFETY: the pointer is valid for the closure and `retired`
+            // is accessed only here (owner) and in Drop (&mut self).
+            unsafe { (*p).push(old_ptr) }
+        });
+        crate::stats::note_deque_grow();
+        new_buf
     }
 
     /// Owner-only: takes the most recently pushed entry (LIFO). Races
     /// with thieves only on the last element, resolved by a CAS on the
     /// monotonic `top`.
     pub fn pop(&self) -> Option<(usize, usize)> {
+        // ORDERING: SeqCst — total-order protocol, see module docs.
         let b = self.bottom.load(Ordering::SeqCst);
         let t = self.top.load(Ordering::SeqCst);
         if b <= t {
@@ -125,12 +270,14 @@ impl Deque {
         // CASes `top` after seeing the old `bottom` is serialized
         // against this store by the total SeqCst order.
         let nb = b - 1;
+        // ORDERING: SeqCst — the reservation store and the `top` re-read
+        // below must not reorder; this is the Chase–Lev pop handshake.
         self.bottom.store(nb, Ordering::SeqCst);
         let t = self.top.load(Ordering::SeqCst);
+        let buf = self.current();
         if t < nb {
             // More than one entry remained: the reserved slot is ours.
-            let slot = &self.slots[nb & self.mask];
-            let entry = (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst));
+            let entry = buf.read(nb);
             crate::stats::note_local_hit();
             return Some(entry);
         }
@@ -138,10 +285,14 @@ impl Deque {
             // Exactly one entry: decide the owner-vs-thief race by
             // advancing `top` ourselves. Either way the deque ends
             // empty, so restore `bottom` to the new `top`.
-            let slot = &self.slots[nb & self.mask];
-            let entry = (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst));
-            let won =
-                self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok();
+            let entry = buf.read(nb);
+            // ORDERING: SeqCst on both sides — the CAS decides the race
+            // in the same total order the thief's CAS uses.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst) // ORDERING: ^
+                .is_ok();
+            // ORDERING: SeqCst — normalization store, same total order.
             self.bottom.store(t + 1, Ordering::SeqCst);
             if won {
                 crate::stats::note_local_hit();
@@ -150,6 +301,7 @@ impl Deque {
             return None; // a thief got it first
         }
         // t > nb: thieves emptied the deque while we reserved. Normalize.
+        // ORDERING: SeqCst — see above.
         self.bottom.store(t, Ordering::SeqCst);
         None
     }
@@ -158,22 +310,42 @@ impl Deque {
     /// deque looks empty *or* when another thread won the race — callers
     /// treat both as "try elsewhere" and come back around.
     pub fn steal(&self) -> Option<(usize, usize)> {
+        // ORDERING: SeqCst — total-order protocol, see module docs.
         let t = self.top.load(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::SeqCst);
         if b <= t {
             return None;
         }
         // Read the slot *before* claiming it; the CAS below validates
-        // the read (see the module docs — the slot can only have been
-        // overwritten if `top` already moved past `t`, which fails the
-        // CAS and discards the value).
-        let slot = &self.slots[t & self.mask];
-        let entry = (slot.lo.load(Ordering::SeqCst), slot.hi.load(Ordering::SeqCst));
+        // the read (see the module docs — the slot can only hold the
+        // wrong entry if `top` already moved past `t`, which fails the
+        // CAS and discards the value; the same argument covers reading
+        // a retired buffer during a concurrent grow).
+        let entry = self.current().read(t);
+        // ORDERING: SeqCst on both sides — the claim CAS is the
+        // linearization point of a successful steal and the validator of
+        // the racy reads above.
         if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
             crate::stats::note_steal();
             return Some(entry);
         }
         None
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // ORDERING: SeqCst — house style; &mut self already guarantees
+        // exclusive access here.
+        let cur = self.buffer.load(Ordering::SeqCst) as *mut Buffer;
+        // SAFETY: `cur` came from Buffer::alloc's Box::into_raw and is
+        // freed nowhere else; &mut self means no thief holds a reference.
+        unsafe { drop(Box::from_raw(cur)) };
+        for p in std::mem::take(self.retired.get_mut()) {
+            // SAFETY: each retired pointer was pushed exactly once by
+            // grow() after being unpublished, and is freed only here.
+            unsafe { drop(Box::from_raw(p)) };
+        }
     }
 }
 
@@ -186,6 +358,13 @@ mod tests {
         assert_eq!(Deque::new(0).capacity(), 4);
         assert_eq!(Deque::new(5).capacity(), 8);
         assert_eq!(Deque::new(8).capacity(), 8);
+    }
+
+    #[test]
+    fn ring_starts_small_and_caps_at_capacity() {
+        assert_eq!(Deque::new(4).ring_len(), 4);
+        assert_eq!(Deque::new(64).ring_len(), INITIAL_RING);
+        assert_eq!(Deque::new(64).generation(), 0);
     }
 
     #[test]
@@ -212,6 +391,45 @@ mod tests {
         // Draining one entry frees a slot again.
         assert!(d.steal().is_some());
         assert!(d.push((9, 9)).is_ok());
+    }
+
+    #[test]
+    fn grow_doubles_to_the_cap_and_keeps_every_entry() {
+        let d = Deque::new(64);
+        assert_eq!(d.ring_len(), INITIAL_RING);
+        for i in 0..64 {
+            assert!(d.push((i, i)).is_ok(), "entry {i} fits (the ring grows)");
+        }
+        assert_eq!(d.ring_len(), 64, "ring grew to the cap");
+        assert_eq!(d.generation(), 3, "8 → 16 → 32 → 64 is three grows");
+        assert_eq!(d.push((99, 99)), Err((99, 99)), "the cap still overflows");
+        // FIFO drain sees every entry exactly once, across generations.
+        for i in 0..64 {
+            assert_eq!(d.steal(), Some((i, i)));
+        }
+        assert_eq!(d.steal(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_a_wrapped_live_range() {
+        // Offset top/bottom so the live range wraps the small ring, then
+        // force a grow: the copy must unwrap it correctly.
+        let d = Deque::new(32);
+        for i in 0..6 {
+            d.push((i, 0)).unwrap();
+        }
+        for i in 0..6 {
+            assert_eq!(d.steal(), Some((i, 0)));
+        }
+        // Ring is empty with top = bottom = 6; fill past the seam.
+        for i in 0..16 {
+            d.push((100 + i, 1)).unwrap();
+        }
+        assert!(d.generation() >= 1, "the refill forced a grow");
+        for i in 0..16 {
+            assert_eq!(d.steal(), Some((100 + i, 1)));
+        }
     }
 
     #[test]
@@ -252,6 +470,44 @@ mod tests {
                 taken[i].fetch_add(1, StdOrd::Relaxed);
             }
         });
+        for (i, t) in taken.iter().enumerate() {
+            assert_eq!(t.load(StdOrd::Relaxed), 1, "entry {i} delivered exactly once");
+        }
+    }
+
+    #[test]
+    #[cfg(not(slcs_model_check))]
+    fn concurrent_thieves_survive_owner_growth() {
+        use std::sync::atomic::{AtomicUsize as StdUsize, Ordering as StdOrd};
+        const N: usize = 1000;
+        let d = Deque::new(1024); // ring starts at 8: pushing N grows it
+        let taken: Vec<StdUsize> = (0..N).map(|_| StdUsize::new(0)).collect();
+        let done = StdUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while done.load(StdOrd::Acquire) == 0 || !d.is_empty() {
+                        if let Some((i, _)) = d.steal() {
+                            taken[i].fetch_add(1, StdOrd::Relaxed);
+                        }
+                    }
+                });
+            }
+            // The owner pushes everything (growing under the thieves'
+            // feet), then helps drain.
+            for i in 0..N {
+                let mut entry = (i, 0);
+                while let Err(e) = d.push(entry) {
+                    entry = e; // cap reached: let the thieves catch up
+                    std::hint::spin_loop();
+                }
+            }
+            done.store(1, StdOrd::Release);
+            while let Some((i, _)) = d.pop() {
+                taken[i].fetch_add(1, StdOrd::Relaxed);
+            }
+        });
+        assert!(d.generation() >= 1, "the load grew the ring at least once");
         for (i, t) in taken.iter().enumerate() {
             assert_eq!(t.load(StdOrd::Relaxed), 1, "entry {i} delivered exactly once");
         }

@@ -34,13 +34,14 @@
 //! and any stealable entry belongs to a worker that is awake to drain
 //! it. The parked-count notify below is purely a latency optimization.
 
-use std::cell::{Cell, UnsafeCell};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use crate::deque::Deque;
 use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
 use crate::sync::{Condvar, Mutex};
 
 /// Hard ceiling on spawned workers, a guard against absurd `--threads`
@@ -106,8 +107,6 @@ where
 
     /// # Safety
     ///
-    /// # Safety
-    ///
     /// The caller promises to keep `self` alive (and not move it) until
     /// [`Self::is_done`] returns true.
     pub unsafe fn as_job_ref(&self) -> JobRef {
@@ -131,17 +130,22 @@ where
         // SAFETY: winning the PENDING → RUNNING CAS grants exclusive access to
         // both cells until the DONE release store.
         // PANIC: the winning CAS above is the only path here, and new() stored the closure.
-        let func = unsafe { (*this.func.get()).take() }.expect("job claimed twice");
+        let func = this.func.with_mut(|p| unsafe { (*p).take() }).expect("job claimed twice");
         crate::stats::note_job_executed();
         let _job_span = slcs_trace::span!("pool.job");
         let budget = this.budget;
         let out = catch_unwind(AssertUnwindSafe(move || crate::with_budget(budget, func)));
         // SAFETY: still the exclusive claimant; see above.
-        unsafe { *this.result.get() = Some(out) };
+        this.result.with_mut(|p| unsafe { *p = Some(out) });
+        // ORDERING: Release pairs with is_done()'s Acquire load — it
+        // publishes the result cell write to whichever thread observes
+        // DONE and then calls take_result().
         this.state.store(DONE, Ordering::Release);
     }
 
     pub fn is_done(&self) -> bool {
+        // ORDERING: Acquire pairs with execute_erased()'s DONE Release
+        // store; observing DONE licenses the take_result() cell read.
         self.state.load(Ordering::Acquire) == DONE
     }
 
@@ -151,7 +155,7 @@ where
         // PANIC: is_done() implies execute() stored the result, and it is taken only here.
         // SAFETY: the DONE acquire load happens-after execute()'s release store of
         // the result, and nothing else touches the cell afterwards.
-        unsafe { (*self.result.get()).take().expect("result taken twice") }
+        self.result.with_mut(|p| unsafe { (*p).take() }).expect("result taken twice")
     }
 
     /// Re-throws the job's panic, or returns its value.

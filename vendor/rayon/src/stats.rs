@@ -29,6 +29,8 @@ static PARKS: AtomicU64 = AtomicU64::new(0);
 static UNPARKS: AtomicU64 = AtomicU64::new(0);
 /// Entries pushed onto a work-stealing deque (owner side).
 static DEQUE_PUSHES: AtomicU64 = AtomicU64::new(0);
+/// Ring doublings across all deques (each retires one buffer).
+static DEQUE_GROWS: AtomicU64 = AtomicU64::new(0);
 /// Entries an owner popped back off its own deque — work that stayed
 /// local and never paid a syscall or a CAS fight.
 static LOCAL_HITS: AtomicU64 = AtomicU64::new(0);
@@ -67,6 +69,11 @@ pub(crate) fn note_deque_push() {
     DEQUE_PUSHES.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn note_deque_grow() {
+    // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
+    DEQUE_GROWS.fetch_add(1, Ordering::Relaxed);
+}
+
 pub(crate) fn note_local_hit() {
     // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
     LOCAL_HITS.fetch_add(1, Ordering::Relaxed);
@@ -87,6 +94,8 @@ pub(crate) fn note_barrier_wait() {
     BARRIER_WAITS.fetch_add(1, Ordering::Relaxed);
 }
 
+// Only called from the timed barrier path, which the model build elides.
+#[cfg_attr(slcs_model_check, allow(dead_code))]
 pub(crate) fn note_barrier_wait_micros(micros: u64) {
     // ORDERING: Relaxed — monotonic counter, no cross-field consistency.
     BARRIER_WAIT_MICROS.fetch_add(micros, Ordering::Relaxed);
@@ -101,6 +110,8 @@ pub struct PoolStats {
     pub injector_pops: u64,
     /// Work-stealing deque pushes (pool-local jobs + wavefront chunks).
     pub deque_pushes: u64,
+    /// Deque ring doublings (growth events, not entries).
+    pub deque_grows: u64,
     /// Deque entries the owner popped back itself (stayed local).
     pub local_hits: u64,
     /// Deque entries taken by a thief.
@@ -121,6 +132,7 @@ pub fn pool_stats() -> PoolStats {
         jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed),
         injector_pops: INJECTOR_POPS.load(Ordering::Relaxed),
         deque_pushes: DEQUE_PUSHES.load(Ordering::Relaxed),
+        deque_grows: DEQUE_GROWS.load(Ordering::Relaxed),
         local_hits: LOCAL_HITS.load(Ordering::Relaxed),
         steals: STEALS.load(Ordering::Relaxed),
         parks: PARKS.load(Ordering::Relaxed),

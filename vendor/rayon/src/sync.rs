@@ -22,6 +22,54 @@ pub(crate) mod atomic {
     pub(crate) use shim_loom::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 }
 
+/// Interior-mutability facade: non-atomic state that the concurrency
+/// protocol (not the type system) keeps exclusive goes through this cell
+/// so the model checker's race detector can audit every access against
+/// the happens-before order (see `shim_loom::cell`). A normal build is a
+/// zero-cost wrapper over `std::cell::UnsafeCell`.
+pub(crate) mod cell {
+    #[cfg(slcs_model_check)]
+    pub(crate) use shim_loom::cell::UnsafeCell;
+
+    #[cfg(not(slcs_model_check))]
+    #[derive(Debug, Default)]
+    pub(crate) struct UnsafeCell<T: ?Sized> {
+        inner: std::cell::UnsafeCell<T>,
+    }
+
+    #[cfg(not(slcs_model_check))]
+    impl<T> UnsafeCell<T> {
+        pub(crate) const fn new(data: T) -> UnsafeCell<T> {
+            UnsafeCell { inner: std::cell::UnsafeCell::new(data) }
+        }
+    }
+
+    #[cfg(not(slcs_model_check))]
+    // Mirrors the shim's full API; not every crate uses every accessor
+    // in the std build, and trimming would desync the two cfg arms.
+    #[allow(dead_code)]
+    impl<T: ?Sized> UnsafeCell<T> {
+        /// Shared access; the closure receives `*const T`.
+        #[inline(always)]
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.inner.get())
+        }
+
+        /// Exclusive access; the closure receives `*mut T`. Exclusivity
+        /// is the caller's protocol invariant — exactly what the model
+        /// build verifies.
+        #[inline(always)]
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.inner.get())
+        }
+
+        #[inline(always)]
+        pub(crate) fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+}
+
 /// Facade over `std::thread::yield_now`; a deprioritizing schedule point
 /// under the model checker.
 pub(crate) fn yield_now() {

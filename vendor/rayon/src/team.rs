@@ -86,26 +86,29 @@ impl TeamShared {
     /// Joins the team, returning the member's id (≥ 1), or `None` if
     /// registration already closed.
     pub fn try_register(&self) -> Option<usize> {
+        // ORDERING: AcqRel — the success edge pairs with `close`'s
+        // fetch_or so a joiner and the closer agree on the roster;
+        // Acquire on failure still observes the closed bit reliably.
+        let (set, fetch) = (Ordering::AcqRel, Ordering::Acquire);
         self.registered
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
-                if v & CLOSED != 0 {
-                    None
-                } else {
-                    Some(v + 1)
-                }
-            })
+            .fetch_update(set, fetch, |v| if v & CLOSED != 0 { None } else { Some(v + 1) })
             .ok()
             .map(|prev| prev + 1)
     }
 
     /// Closes registration; returns the final team size (leader + members).
     pub fn close(&self) -> usize {
+        // ORDERING: AcqRel — publishes the closed bit to registrants
+        // and acquires every registration that won the race, so the
+        // returned roster size is final.
         (self.registered.fetch_or(CLOSED, Ordering::AcqRel) & !CLOSED) + 1
     }
 
     /// Spins until registration closes; returns the final team size.
     pub fn wait_for_close(&self) -> usize {
         loop {
+            // ORDERING: Acquire — pairs with `close`'s AcqRel so the
+            // observed roster count is the one the closer fixed.
             let v = self.registered.load(Ordering::Acquire);
             if v & CLOSED != 0 {
                 return (v & !CLOSED) + 1;
@@ -115,6 +118,8 @@ impl TeamShared {
     }
 
     pub fn members_registered(&self) -> usize {
+        // ORDERING: Acquire — see `wait_for_close`; a monitoring read
+        // that must still not run ahead of a concurrent close.
         self.registered.load(Ordering::Acquire) & !CLOSED
     }
 
@@ -124,6 +129,8 @@ impl TeamShared {
         if slot.is_none() {
             *slot = Some(payload);
         }
+        // ORDERING: Release — publishes the payload written under the
+        // lock above; pairs with the Acquire loads in `barrier`.
         self.poisoned.store(true, Ordering::Release);
         drop(slot);
         self.notify_sleepers();
@@ -140,18 +147,28 @@ impl TeamShared {
     /// Sense-reversing barrier across `size` members. Returns `false`
     /// when the team is poisoned and the caller should stop working.
     pub fn barrier(&self, size: usize) -> bool {
+        // ORDERING: Acquire — pairs with `poison`'s Release so a caller
+        // that sees the flag also sees the panic payload.
         if self.poisoned.load(Ordering::Acquire) {
             return false;
         }
         if size <= 1 {
             return true;
         }
+        // ORDERING: Acquire — the sense word; pairs with the releaser's
+        // fetch_add(Release) so crossing implies every arrival landed.
         let generation = self.generation.load(Ordering::Acquire);
+        // ORDERING: AcqRel — each arrival releases this member's phase-k
+        // writes and acquires the previous arrivals', so the last one
+        // holds the whole team's work before flipping the sense.
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == size {
             // Last to arrive: reset the counter, then release the rest.
             // ORDERING: Relaxed — only the last arriver writes here, and waiters
             // re-synchronize through the generation Release just below.
             self.arrived.store(0, Ordering::Relaxed);
+            // ORDERING: Release — flips the sense word; pairs with the
+            // waiters' Acquire loads so crossing carries the reset above
+            // and every member's phase-k writes.
             self.generation.fetch_add(1, Ordering::Release);
             self.notify_sleepers();
         } else {
@@ -167,6 +184,9 @@ impl TeamShared {
             // a spinning waiter only delays the member it is waiting
             // for, so blocking is what keeps the barrier cheap.
             let mut spins = 0u32;
+            // ORDERING: Acquire on both the sense word and the poison
+            // flag — crossing (or aborting) must carry the releaser's
+            // (or poisoner's) writes; pairs with their Release stores.
             while self.generation.load(Ordering::Acquire) == generation {
                 if self.poisoned.load(Ordering::Acquire) {
                     return false;
@@ -178,6 +198,9 @@ impl TeamShared {
                     crate::sync::yield_now();
                 } else {
                     let guard = self.sleep_lock.lock().unwrap();
+                    // ORDERING: Acquire — the under-lock re-check that
+                    // pairs with the releaser's under-lock notify; same
+                    // edges as the spin loads above.
                     if self.generation.load(Ordering::Acquire) != generation
                         || self.poisoned.load(Ordering::Acquire)
                     {
@@ -195,6 +218,8 @@ impl TeamShared {
                 slcs_trace::instant!("team.barrier_wait", "us" => micros);
             }
         }
+        // ORDERING: Acquire — final poison check; pairs with `poison`'s
+        // Release so a `false` return implies the payload is visible.
         !self.poisoned.load(Ordering::Acquire)
     }
 }

@@ -270,6 +270,133 @@ fn deque_push_overflow_is_safe_under_concurrent_steal() {
 }
 
 // ---------------------------------------------------------------------
+// Chase–Lev deque: generation-tagged growth vs concurrent thieves
+// ---------------------------------------------------------------------
+
+/// The owner doubles the ring (copying the live range into a new
+/// generation-tagged buffer and swapping the buffer pointer) while a
+/// thief is mid-steal. A thief that read the old buffer must either
+/// win its CAS on `top` — in which case the entry it read is still
+/// valid, growth copies only live slots — or lose and retry on the new
+/// buffer. Either way: exactly-once delivery, nothing torn.
+fn owner_grow_vs_thief() {
+    // max 16, initial ring 8: the 9th push forces exactly one doubling.
+    let d = Arc::new(Deque::new(16));
+    for i in 0..8 {
+        d.push((i, i + 100)).unwrap();
+    }
+    assert_eq!(d.ring_len(), 8, "still on the initial ring before the race");
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || d2.steal());
+    // If the thief hasn't freed a slot yet this push grows the ring;
+    // if it has, the push lands in the hole. The model explores both.
+    d.push((8, 108)).unwrap();
+    let stolen = thief.join().unwrap();
+    let mut seen = [0usize; 9];
+    if let Some((i, v)) = stolen {
+        assert_eq!(v, i + 100, "stolen payload words travel together");
+        seen[i] += 1;
+    }
+    while let Some((i, v)) = d.pop() {
+        assert_eq!(v, i + 100, "popped payload words travel together");
+        seen[i] += 1;
+    }
+    for (i, n) in seen.iter().enumerate() {
+        assert_eq!(*n, 1, "entry {i} delivered exactly once across growth");
+    }
+    assert!(d.ring_len() == 8 || d.ring_len() == 16, "ring is pre- or post-growth, never torn");
+}
+
+#[test]
+fn deque_owner_grow_vs_thief_dfs() {
+    let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+    let report = dfs(cap).check(owner_grow_vs_thief);
+    println!(
+        "deque_owner_grow_vs_thief_dfs: {} schedules, complete={}",
+        report.schedules, report.complete
+    );
+    assert!(report.complete || report.schedules >= cap);
+}
+
+#[test]
+fn deque_owner_grow_vs_thief_random_sweep() {
+    let report = random_sweep().check(owner_grow_vs_thief);
+    println!("deque_owner_grow_vs_thief_random_sweep: {} schedules", report.schedules);
+}
+
+#[test]
+fn deque_grow_preserves_a_wrapped_range_under_steal() {
+    // Advance top/bottom so the live range wraps the initial ring, then
+    // force growth while a thief races: the copy loop must renumber the
+    // wrapped range into the new buffer without losing the entry the
+    // thief is contending for.
+    let report = random_sweep().check(|| {
+        let d = Arc::new(Deque::new(16));
+        // Wrap: 6 pushes consumed, so indices 6..14 occupy a wrapped
+        // window of the 8-slot ring once we refill.
+        for i in 0..6 {
+            d.push((i, 0)).unwrap();
+        }
+        for _ in 0..6 {
+            d.steal().unwrap();
+        }
+        for i in 0..8 {
+            d.push((i, i + 200)).unwrap();
+        }
+        let d2 = Arc::clone(&d);
+        let thief = thread::spawn(move || d2.steal());
+        d.push((8, 208)).unwrap();
+        let stolen = thief.join().unwrap();
+        let mut seen = [0usize; 9];
+        if let Some((i, v)) = stolen {
+            assert_eq!(v, i + 200);
+            seen[i] += 1;
+        }
+        while let Some((i, v)) = d.pop() {
+            assert_eq!(v, i + 200);
+            seen[i] += 1;
+        }
+        for (i, n) in seen.iter().enumerate() {
+            assert_eq!(*n, 1, "wrapped entry {i} delivered exactly once");
+        }
+    });
+    println!("deque_grow_preserves_a_wrapped_range_under_steal: {} schedules", report.schedules);
+}
+
+#[test]
+fn deque_pop_vs_steal_on_grown_buffer() {
+    // Take-vs-steal on a generation-1 buffer: growth must hand the
+    // last-element race to the new slots with the same exactly-once
+    // guarantee the initial ring had.
+    let cap = env_usize("SLCS_MODEL_SCHEDULES", 10_000);
+    let report = dfs(cap).check(|| {
+        let d = Arc::new(Deque::new(16));
+        // Grow single-threaded so only the post-growth race is explored.
+        for i in 0..9 {
+            d.push((i, 0)).unwrap();
+        }
+        assert_eq!(d.generation(), 1, "one doubling before the race");
+        for _ in 0..8 {
+            d.pop().unwrap();
+        }
+        let d2 = Arc::clone(&d);
+        let thief = thread::spawn(move || d2.steal());
+        let popped = d.pop();
+        let stolen = thief.join().unwrap();
+        assert_eq!(
+            usize::from(popped.is_some()) + usize::from(stolen.is_some()),
+            1,
+            "last element on the grown buffer delivered exactly once"
+        );
+    });
+    println!(
+        "deque_pop_vs_steal_on_grown_buffer: {} schedules, complete={}",
+        report.schedules, report.complete
+    );
+    assert!(report.complete || report.schedules >= cap);
+}
+
+// ---------------------------------------------------------------------
 // Team barrier: sense reversal, poisoning, registration race
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,124 @@
+//! Tracked interior-mutability cells — the race detector's probes.
+//!
+//! [`UnsafeCell`] mirrors `loom::cell::UnsafeCell`: same `with` /
+//! `with_mut` closure API, same semantics outside a model (a zero-cost
+//! wrapper over `std::cell::UnsafeCell`). Inside a model execution,
+//! every access is recorded with the accessing thread's vector clock
+//! (see [`crate::clock`]), and two accesses to the same cell — at least
+//! one of them a write — that no happens-before edge orders are
+//! reported as a **data race** with a replayable schedule, exactly like
+//! a deadlock or a failed assertion.
+//!
+//! Edges come only from the synchronization the memory model actually
+//! grants: Acquire/Release/SeqCst atomics, `Mutex`, `Condvar`
+//! notifications, and thread spawn/join. `Ordering::Relaxed`
+//! deliberately creates **no** edge, so publishing a plain write behind
+//! a Relaxed flag is reported even though the model executes
+//! sequentially consistently — this is what makes ordering bugs the
+//! token scheduler masks visible.
+//!
+//! Cell accesses are deliberately *not* schedule points: whether two
+//! accesses race is a property of the happens-before order, not of the
+//! schedule that interleaved them, so exploring extra interleavings
+//! around plain memory accesses would grow the state space without
+//! finding anything new. (Limitations: cells are identified by address,
+//! so a cell dropped and another allocated at the same address within
+//! one execution would share history — keep tracked cells alive for the
+//! whole checked closure, which every harness in this workspace does.)
+
+use std::panic::Location;
+
+use crate::sched;
+
+/// A tracked `std::cell::UnsafeCell`. Access goes through [`Self::with`]
+/// (shared read) and [`Self::with_mut`] (exclusive write) so the model
+/// can see — and order-check — every touch.
+///
+/// Like std's cell it is `!Sync`; types that share it across threads
+/// assert `Sync` themselves and the model checker now audits that
+/// assertion's happens-before story.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T: ?Sized> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(data: T) -> UnsafeCell<T> {
+        UnsafeCell { inner: std::cell::UnsafeCell::new(data) }
+    }
+
+    /// Unwraps the value; `self` by value, so no tracking is needed.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    fn addr(&self) -> usize {
+        self as *const UnsafeCell<T> as *const () as usize
+    }
+
+    /// A *read* access: records the access, then hands the closure a
+    /// `*const T`. The closure must not write through the pointer (use
+    /// [`Self::with_mut`]) and must not let it escape.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((sched, me)) = sched::current() {
+            sched.cell_access(me, self.addr(), false, Location::caller());
+        }
+        f(self.inner.get())
+    }
+
+    /// A *write* access: records the access, then hands the closure a
+    /// `*mut T`. The pointer must not escape the closure.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((sched, me)) = sched::current() {
+            sched.cell_access(me, self.addr(), true, Location::caller());
+        }
+        f(self.inner.get())
+    }
+
+    /// Exclusive borrow — statically data-race-free, so untracked.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+/// A tracked `std::cell::Cell`-style helper for `Copy` values: `get` is
+/// a tracked read, `set` a tracked write. Convenience over
+/// [`UnsafeCell`] for plain flags/counters whose *protocol* (not the
+/// cell) is supposed to prevent concurrent access.
+#[derive(Debug, Default)]
+pub struct Cell<T> {
+    inner: UnsafeCell<T>,
+}
+
+impl<T: Copy> Cell<T> {
+    pub const fn new(value: T) -> Cell<T> {
+        Cell { inner: UnsafeCell::new(value) }
+    }
+
+    #[track_caller]
+    pub fn get(&self) -> T {
+        // SAFETY: the pointer is valid for the closure's duration and the
+        // value is Copy; concurrent-access ordering is the model's job
+        // (that is exactly what the tracking checks).
+        self.inner.with(|p| unsafe { *p })
+    }
+
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        // SAFETY: as in `get`; exclusivity of the write is the tracked
+        // protocol property under audit, not a local invariant.
+        self.inner.with_mut(|p| unsafe { *p = value })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}

@@ -1,0 +1,71 @@
+//! Vector clocks — the partial order underneath the race detector.
+//!
+//! Each model thread carries a [`VClock`]; component `t` counts the
+//! synchronization epochs of thread `t` that the owner has observed.
+//! Happens-before is the pointwise order: an access stamped `(t, ts)`
+//! happens-before the current thread iff the current thread's clock has
+//! `get(t) >= ts` — i.e. some release/acquire (or lock, spawn, join,
+//! notify) chain carried thread `t`'s epoch `ts` over. Two accesses
+//! neither of which happens-before the other are *concurrent*, and a
+//! concurrent non-atomic read/write pair is a data race (see
+//! `crate::cell`).
+//!
+//! The type is public so the happens-before engine itself is unit
+//! testable (`vendor/shim-loom/tests/hb.rs`), not just observable
+//! through race reports.
+
+/// A vector clock: one monotonic counter per model thread, sparse at the
+/// tail (missing components read 0).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u64>,
+}
+
+impl VClock {
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// Thread `tid`'s component (0 if never observed).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets thread `tid`'s component.
+    pub fn set(&mut self, tid: usize, value: u64) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] = value;
+    }
+
+    /// Advances thread `tid`'s component by one — done by the *owner*
+    /// after every operation that publishes its clock, so later local
+    /// accesses are not mistaken for published ones.
+    pub fn bump(&mut self, tid: usize) {
+        let v = self.get(tid);
+        self.set(tid, v + 1);
+    }
+
+    /// Pointwise maximum: after `a.join(&b)`, everything ordered before
+    /// `b` is also ordered before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Pointwise `self ≤ other`: every event `self` has observed,
+    /// `other` has observed too (happens-before-or-equal).
+    pub fn le(&self, other: &VClock) -> bool {
+        (0..self.slots.len().max(other.slots.len())).all(|t| self.get(t) <= other.get(t))
+    }
+
+    /// Neither clock observed the other: the two owners are concurrent.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}

@@ -42,15 +42,25 @@
 //!
 //! # Model, not reality
 //!
-//! The model is **sequentially consistent**: `Ordering` arguments are
-//! accepted but all operations happen in schedule order. Lost wakeups,
-//! deadlocks, ABA and state-machine races are visible under SC; bugs
-//! that *require* weak memory to manifest are not — those sites are
-//! covered by the `// ORDERING:` audit that `cargo xtask lint`
-//! enforces (see `docs/SAFETY.md`).
+//! The model *executes* sequentially consistently: `Ordering` arguments
+//! never change which value an operation observes. They do, however,
+//! drive the **data-race detector**: every [`cell::UnsafeCell`] access
+//! is stamped with the accessing thread's vector clock ([`clock`]), and
+//! happens-before edges come only from the synchronization the memory
+//! model actually grants — Acquire/Release/SeqCst atomics, `Mutex`,
+//! `Condvar`, spawn/join — while `Relaxed` creates *no* edge. A pair of
+//! unordered conflicting accesses to a tracked cell fails the execution
+//! with a replayable race report even though the SC execution computed
+//! the "right" answer. Weak-memory bugs on *untracked* data remain out
+//! of scope; those sites are covered by the `// ORDERING:` audit that
+//! `cargo xtask lint` enforces (see `docs/SAFETY.md`).
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod sched;
 
+pub mod cell;
+pub mod clock;
 pub mod model;
 pub mod sync;
 pub mod thread;

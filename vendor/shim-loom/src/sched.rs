@@ -16,7 +16,10 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::Location;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
 
 /// Unwind payload used to tear model threads down once an execution has
 /// failed; recognized (and swallowed) by the thread wrappers.
@@ -60,6 +63,26 @@ struct ThreadInfo {
     state: State,
     /// Set when a condvar wait was ended by a notify (vs a timeout).
     notified: bool,
+    /// The thread's vector clock: what it has observed of every peer's
+    /// synchronization history. Drives the data-race detector.
+    clock: VClock,
+}
+
+/// One recorded tracked-cell access: who, at which of their epochs, and
+/// where in the source.
+#[derive(Clone, Copy)]
+struct Access {
+    tid: usize,
+    ts: u64,
+    loc: &'static Location<'static>,
+}
+
+/// Per-cell access history: the last write, plus every read since it
+/// (one per thread — a newer read by the same thread supersedes).
+#[derive(Default)]
+struct CellState {
+    write: Option<Access>,
+    reads: Vec<Access>,
 }
 
 /// One recorded decision: `options[chosen]` ran next.
@@ -84,6 +107,14 @@ struct Inner {
     steps: usize,
     /// Seeded xorshift state for random exploration; `None` = DFS-first.
     rng: Option<u64>,
+    /// Atomic address → the clock its current release sequence carries.
+    /// Absent = no release store since creation (or a Relaxed store
+    /// broke the sequence), so an acquire load finds no edge.
+    sync_clocks: HashMap<usize, VClock>,
+    /// Mutex/lock address → the clock of its last releaser.
+    lock_clocks: HashMap<usize, VClock>,
+    /// Tracked-cell address → access history (see `CellState`).
+    cells: HashMap<usize, CellState>,
     failure: Option<Failure>,
     handles: Vec<std::thread::JoinHandle<()>>,
     done: bool,
@@ -162,6 +193,9 @@ impl Scheduler {
                 preemptions: 0,
                 steps: 0,
                 rng: rng_seed,
+                sync_clocks: HashMap::new(),
+                lock_clocks: HashMap::new(),
+                cells: HashMap::new(),
                 failure: None,
                 handles: Vec::new(),
                 done: false,
@@ -366,6 +400,12 @@ impl Scheduler {
             if let std::collections::hash_map::Entry::Vacant(e) = inner.locks.entry(addr) {
                 e.insert(me);
                 inner.threads[me].state = State::Runnable;
+                // Lock edge: everything the previous holder did before
+                // unlocking happened-before this critical section.
+                if let Some(released) = inner.lock_clocks.get(&addr) {
+                    let released = released.clone();
+                    inner.threads[me].clock.join(&released);
+                }
                 return;
             }
             inner.threads[me].state = State::Lock { mutex: addr };
@@ -377,9 +417,14 @@ impl Scheduler {
     /// Releases the model-level mutex. Deliberately *not* a schedule
     /// point and never panics: it runs from guard `Drop`, possibly
     /// during an abort unwind.
-    pub(crate) fn release(&self, _me: usize, addr: usize) {
+    pub(crate) fn release(&self, me: usize, addr: usize) {
         let mut inner = self.lock_inner();
         inner.locks.remove(&addr);
+        // Publish the holder's clock for the next acquirer, then bump so
+        // post-release work is not mistaken for published work.
+        let clock = inner.threads[me].clock.clone();
+        inner.lock_clocks.insert(addr, clock);
+        inner.threads[me].clock.bump(me);
     }
 
     /// Parks on the condvar at `cv`, releasing `mutex`; returns `true`
@@ -405,26 +450,50 @@ impl Scheduler {
 
     /// Wakes waiter(s) of the condvar at `cv`; they move on to
     /// reacquiring their mutex. FIFO order is approximated by thread id.
-    pub(crate) fn notify(&self, _me: usize, cv: usize, all: bool) {
+    pub(crate) fn notify(&self, me: usize, cv: usize, all: bool) {
         let mut inner = self.lock_inner();
+        let notifier_clock = inner.threads[me].clock.clone();
+        let mut woke_any = false;
         for tid in 0..inner.threads.len() {
             if let State::CvWait { cv: c, mutex, .. } = inner.threads[tid].state {
                 if c == cv {
                     inner.threads[tid].state = State::Lock { mutex };
                     inner.threads[tid].notified = true;
+                    // Notify edge: the notifier's history happens-before
+                    // the woken waiter's continuation. (The waiter also
+                    // re-acquires the mutex, but the direct edge keeps
+                    // the model faithful even for lock-free payloads.)
+                    inner.threads[tid].clock.join(&notifier_clock);
+                    woke_any = true;
                     if !all {
                         break;
                     }
                 }
             }
         }
+        if woke_any {
+            inner.threads[me].clock.bump(me);
+        }
     }
 
-    /// Registers a new model thread (Runnable); returns its id.
-    pub(crate) fn register_thread(&self) -> usize {
+    /// Registers a new model thread (Runnable); returns its id. `parent`
+    /// is the spawning model thread (None for the root): spawn is a
+    /// happens-before edge, so the child inherits the parent's clock.
+    pub(crate) fn register_thread(&self, parent: Option<usize>) -> usize {
         let mut inner = self.lock_inner();
-        inner.threads.push(ThreadInfo { state: State::Runnable, notified: false });
-        inner.threads.len() - 1
+        let tid = inner.threads.len();
+        let mut clock = match parent {
+            Some(p) => {
+                let c = inner.threads[p].clock.clone();
+                // The spawn itself is a publication by the parent.
+                inner.threads[p].clock.bump(p);
+                c
+            }
+            None => VClock::new(),
+        };
+        clock.bump(tid);
+        inner.threads.push(ThreadInfo { state: State::Runnable, notified: false, clock });
+        tid
     }
 
     pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
@@ -440,12 +509,120 @@ impl Scheduler {
                 std::panic::panic_any(ModelAbort);
             }
             if inner.threads[target].state == State::Finished {
+                // Join edge: everything the joined thread ever did
+                // happens-before the joiner's continuation.
+                let target_clock = inner.threads[target].clock.clone();
+                inner.threads[me].clock.join(&target_clock);
                 return;
             }
             inner.threads[me].state = State::Join { target };
             self.pick_next(&mut inner, me, Reason::Op);
             inner = self.wait_for_token(inner, me);
             inner.threads[me].state = State::Runnable;
+        }
+    }
+
+    // ---- happens-before bookkeeping (race detector) -------------------
+
+    /// An acquire-flavored load (or RMW/CAS acquire side) of the atomic
+    /// at `addr`: joins whatever clock its release sequence carries.
+    pub(crate) fn sync_acquire(&self, me: usize, addr: usize) {
+        let mut inner = self.lock_inner();
+        if let Some(sync) = inner.sync_clocks.get(&addr) {
+            let sync = sync.clone();
+            inner.threads[me].clock.join(&sync);
+        }
+    }
+
+    /// A release-flavored store (or the release side of an RMW) to the
+    /// atomic at `addr`. A plain store *replaces* the sync clock (it
+    /// starts a new release sequence); an RMW *joins* into it (C++20: an
+    /// RMW continues the sequence regardless of where it reads from).
+    pub(crate) fn sync_release(&self, me: usize, addr: usize, rmw: bool) {
+        let mut inner = self.lock_inner();
+        let clock = inner.threads[me].clock.clone();
+        match inner.sync_clocks.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(mut e) if rmw => e.get_mut().join(&clock),
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() = clock;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(clock);
+            }
+        }
+        inner.threads[me].clock.bump(me);
+    }
+
+    /// A `Relaxed` plain store to `addr`: publishes nothing, and — per
+    /// C++20 release sequences — *ends* any release sequence headed
+    /// there, so a later acquire load finds no edge at all. This is the
+    /// rule that turns "Relaxed-published" protocols into reported races.
+    pub(crate) fn sync_break(&self, _me: usize, addr: usize) {
+        let mut inner = self.lock_inner();
+        inner.sync_clocks.remove(&addr);
+    }
+
+    /// Records a tracked-cell access and checks it for data races against
+    /// the cell's history. A race — two accesses, at least one a write,
+    /// with no happens-before edge between them — fails the execution
+    /// like a deadlock would, with both source locations in the report.
+    pub(crate) fn cell_access(
+        &self,
+        me: usize,
+        addr: usize,
+        is_write: bool,
+        loc: &'static Location<'static>,
+    ) {
+        let mut inner = self.lock_inner();
+        if inner.failure.is_some() {
+            drop(inner);
+            std::panic::panic_any(ModelAbort);
+        }
+        let my_clock = inner.threads[me].clock.clone();
+        let kind = if is_write { "write" } else { "read" };
+        // An earlier access by `prior.tid` at their epoch `prior.ts` is
+        // ordered before this access iff some synchronization chain
+        // carried that epoch into `me`'s clock.
+        let races_with = |prior: &Access| prior.tid != me && my_clock.get(prior.tid) < prior.ts;
+        let conflict = {
+            let cell = inner.cells.entry(addr).or_default();
+            let mut found: Option<(Access, &'static str)> = None;
+            if let Some(w) = cell.write {
+                if races_with(&w) {
+                    found = Some((w, "write"));
+                }
+            }
+            if found.is_none() && is_write {
+                if let Some(r) = cell.reads.iter().find(|r| races_with(r)) {
+                    found = Some((*r, "read"));
+                }
+            }
+            if found.is_none() {
+                let ts = my_clock.get(me);
+                let access = Access { tid: me, ts, loc };
+                if is_write {
+                    cell.write = Some(access);
+                    cell.reads.clear();
+                } else {
+                    cell.reads.retain(|r| r.tid != me);
+                    cell.reads.push(access);
+                }
+            }
+            found
+        };
+        if let Some((prior, prior_kind)) = conflict {
+            self.fail(
+                &mut inner,
+                format!(
+                    "data race on tracked cell: {kind} by thread {me} at {loc} is concurrent \
+                     with {prior_kind} by thread {} at {} — no happens-before edge orders them \
+                     (only Acquire/Release/SeqCst atomics, Mutex, Condvar and spawn/join create \
+                     edges; Relaxed does not)",
+                    prior.tid, prior.loc
+                ),
+            );
+            drop(inner);
+            std::panic::panic_any(ModelAbort);
         }
     }
 
@@ -477,13 +654,14 @@ pub(crate) type ResultSlot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
 /// the calling model thread. Used by `thread::spawn` and the driver.
 pub(crate) fn spawn_model_thread<T, F>(
     sched: &Arc<Scheduler>,
+    parent: Option<usize>,
     f: F,
 ) -> (usize, ResultSlot<T>, std::thread::JoinHandle<()>)
 where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    let tid = sched.register_thread();
+    let tid = sched.register_thread(parent);
     let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
     let slot2 = Arc::clone(&slot);
     let sched2 = Arc::clone(sched);
@@ -531,7 +709,7 @@ pub(crate) fn run_execution(
 ) -> ExecOutcome {
     let sched =
         Arc::new(Scheduler::new(max_preemptions, max_steps, replay, rng_seed, lenient_replay));
-    let (_tid, _slot, root) = spawn_model_thread(&sched, move || f());
+    let (_tid, _slot, root) = spawn_model_thread(&sched, None, move || f());
     // Wait for every model thread (root + anything it spawned) to
     // finish; on failure the wait loops unwind the stragglers.
     let handles = {

@@ -10,12 +10,73 @@ use crate::sched::{self, Reason};
 pub mod atomic {
     pub use std::sync::atomic::Ordering;
 
-    use crate::sched::{self, Reason};
+    use std::sync::Arc;
+
+    use crate::sched::{self, Reason, Scheduler};
+
+    /// Scheduler context of the calling model thread, after taking one
+    /// schedule point; `None` outside a model execution.
+    type Ctx = Option<(Arc<Scheduler>, usize)>;
 
     /// One schedule point, if the calling thread is under a scheduler.
-    fn point() {
+    fn point() -> Ctx {
         if let Some((sched, me)) = sched::current() {
             sched.schedule_point(me, Reason::Op);
+            return Some((sched, me));
+        }
+        None
+    }
+
+    fn is_acquire(order: Ordering) -> bool {
+        // ORDERING: classification, not an access — these are the
+        // orderings whose load side joins a release-sequence clock.
+        matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_release(order: Ordering) -> bool {
+        // ORDERING: classification, not an access — these are the
+        // orderings whose store side publishes the writer's clock.
+        matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Happens-before effect of a plain load: an acquire-flavored one
+    /// joins the atomic's release-sequence clock; Relaxed learns nothing.
+    fn after_load(ctx: &Ctx, addr: usize, order: Ordering) {
+        if let Some((sched, me)) = ctx {
+            if is_acquire(order) {
+                sched.sync_acquire(*me, addr);
+            }
+        }
+    }
+
+    /// Happens-before effect of a plain store: a release-flavored one
+    /// starts a new release sequence carrying the writer's clock; a
+    /// Relaxed store *breaks* any existing sequence (C++20), so later
+    /// acquire loads find no edge — the rule that makes Relaxed-only
+    /// publication a reportable race.
+    fn after_store(ctx: &Ctx, addr: usize, order: Ordering) {
+        if let Some((sched, me)) = ctx {
+            if is_release(order) {
+                sched.sync_release(*me, addr, false);
+            } else {
+                sched.sync_break(*me, addr);
+            }
+        }
+    }
+
+    /// Happens-before effect of a read-modify-write: the acquire side
+    /// joins from the sequence, the release side joins *into* it (an RMW
+    /// continues a release sequence rather than restarting it), and a
+    /// fully Relaxed RMW leaves the sequence intact but contributes and
+    /// learns nothing.
+    fn after_rmw(ctx: &Ctx, addr: usize, order: Ordering) {
+        if let Some((sched, me)) = ctx {
+            if is_acquire(order) {
+                sched.sync_acquire(*me, addr);
+            }
+            if is_release(order) {
+                sched.sync_release(*me, addr, true);
+            }
         }
     }
 
@@ -34,44 +95,63 @@ pub mod atomic {
                     Self { inner: <$std>::new(v) }
                 }
 
+                fn addr(&self) -> usize {
+                    self as *const $name as *const () as usize
+                }
+
                 pub fn load(&self, order: Ordering) -> $prim {
-                    point();
-                    self.inner.load(order)
+                    let ctx = point();
+                    let v = self.inner.load(order);
+                    after_load(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn store(&self, val: $prim, order: Ordering) {
-                    point();
-                    self.inner.store(val, order)
+                    let ctx = point();
+                    self.inner.store(val, order);
+                    after_store(&ctx, self.addr(), order);
                 }
 
                 pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
-                    point();
-                    self.inner.swap(val, order)
+                    let ctx = point();
+                    let v = self.inner.swap(val, order);
+                    after_rmw(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
-                    point();
-                    self.inner.fetch_add(val, order)
+                    let ctx = point();
+                    let v = self.inner.fetch_add(val, order);
+                    after_rmw(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
-                    point();
-                    self.inner.fetch_sub(val, order)
+                    let ctx = point();
+                    let v = self.inner.fetch_sub(val, order);
+                    after_rmw(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
-                    point();
-                    self.inner.fetch_or(val, order)
+                    let ctx = point();
+                    let v = self.inner.fetch_or(val, order);
+                    after_rmw(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
-                    point();
-                    self.inner.fetch_and(val, order)
+                    let ctx = point();
+                    let v = self.inner.fetch_and(val, order);
+                    after_rmw(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
-                    point();
-                    self.inner.fetch_max(val, order)
+                    let ctx = point();
+                    let v = self.inner.fetch_max(val, order);
+                    after_rmw(&ctx, self.addr(), order);
+                    v
                 }
 
                 pub fn compare_exchange(
@@ -81,8 +161,15 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    point();
-                    self.inner.compare_exchange(current, new, success, failure)
+                    let ctx = point();
+                    let r = self.inner.compare_exchange(current, new, success, failure);
+                    // A successful CAS is an RMW at the success ordering;
+                    // a failed one is just a load at the failure ordering.
+                    match r {
+                        Ok(_) => after_rmw(&ctx, self.addr(), success),
+                        Err(_) => after_load(&ctx, self.addr(), failure),
+                    }
+                    r
                 }
 
                 pub fn compare_exchange_weak(
@@ -92,11 +179,10 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    point();
                     // The model never fails spuriously: weak-CAS retry
                     // loops converge faster without losing interleavings
                     // (a genuine contention failure is still explored).
-                    self.inner.compare_exchange(current, new, success, failure)
+                    self.compare_exchange(current, new, success, failure)
                 }
 
                 pub fn fetch_update<F>(
@@ -108,8 +194,13 @@ pub mod atomic {
                 where
                     F: FnMut($prim) -> Option<$prim>,
                 {
-                    point();
-                    self.inner.fetch_update(set_order, fetch_order, f)
+                    let ctx = point();
+                    let r = self.inner.fetch_update(set_order, fetch_order, f);
+                    match r {
+                        Ok(_) => after_rmw(&ctx, self.addr(), set_order),
+                        Err(_) => after_load(&ctx, self.addr(), fetch_order),
+                    }
+                    r
                 }
             }
         };
@@ -131,19 +222,28 @@ pub mod atomic {
             Self { inner: std::sync::atomic::AtomicBool::new(v) }
         }
 
+        fn addr(&self) -> usize {
+            self as *const AtomicBool as *const () as usize
+        }
+
         pub fn load(&self, order: Ordering) -> bool {
-            point();
-            self.inner.load(order)
+            let ctx = point();
+            let v = self.inner.load(order);
+            after_load(&ctx, self.addr(), order);
+            v
         }
 
         pub fn store(&self, val: bool, order: Ordering) {
-            point();
-            self.inner.store(val, order)
+            let ctx = point();
+            self.inner.store(val, order);
+            after_store(&ctx, self.addr(), order);
         }
 
         pub fn swap(&self, val: bool, order: Ordering) -> bool {
-            point();
-            self.inner.swap(val, order)
+            let ctx = point();
+            let v = self.inner.swap(val, order);
+            after_rmw(&ctx, self.addr(), order);
+            v
         }
     }
 }

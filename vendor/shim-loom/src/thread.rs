@@ -58,7 +58,7 @@ impl Builder {
         T: Send + 'static,
     {
         if let Some((sched, me)) = sched::current() {
-            let (tid, slot, handle) = sched::spawn_model_thread(&sched, f);
+            let (tid, slot, handle) = sched::spawn_model_thread(&sched, Some(me), f);
             sched.add_handle(handle);
             // The new thread is schedulable from here on; branch so the
             // checker can run it immediately or keep going here.

@@ -1,0 +1,300 @@
+//! Unit tests for the happens-before engine itself: vector-clock
+//! algebra, the (store ordering × load ordering) edge matrix, and
+//! release-sequence continuation/breaking — so detector regressions show
+//! up here, not as mysterious harness flakes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use shim_loom::cell::UnsafeCell;
+use shim_loom::clock::VClock;
+use shim_loom::sync::atomic::{AtomicUsize, Ordering};
+use shim_loom::sync::Mutex;
+use shim_loom::{model, thread};
+
+/// Test-side stand-in for a structure that shares a tracked cell across
+/// threads: like `std::cell::UnsafeCell`, the shim cell is `!Sync`, and
+/// the sharing type asserts `Sync` itself.
+struct Shared<T>(UnsafeCell<T>);
+
+// SAFETY: the whole point of these tests — cross-thread access ordering
+// is checked by the model's race detector, not by the type system.
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn new(v: T) -> Shared<T> {
+        Shared(UnsafeCell::new(v))
+    }
+}
+
+impl<T> std::ops::Deref for Shared<T> {
+    type Target = UnsafeCell<T>;
+
+    fn deref(&self) -> &UnsafeCell<T> {
+        &self.0
+    }
+}
+
+// ---- vector-clock algebra ---------------------------------------------
+
+#[test]
+fn clock_components_default_to_zero_and_set_sparsely() {
+    let mut c = VClock::new();
+    assert_eq!(c.get(0), 0);
+    assert_eq!(c.get(17), 0);
+    c.set(3, 9);
+    assert_eq!(c.get(3), 9);
+    assert_eq!(c.get(2), 0, "setting one component must not invent others");
+}
+
+#[test]
+fn clock_bump_is_per_component_monotonic() {
+    let mut c = VClock::new();
+    c.bump(1);
+    c.bump(1);
+    c.bump(4);
+    assert_eq!(c.get(1), 2);
+    assert_eq!(c.get(4), 1);
+    assert_eq!(c.get(0), 0);
+}
+
+#[test]
+fn clock_join_is_pointwise_max() {
+    let mut a = VClock::new();
+    a.set(0, 3);
+    a.set(1, 1);
+    let mut b = VClock::new();
+    b.set(1, 5);
+    b.set(2, 2);
+    a.join(&b);
+    assert_eq!((a.get(0), a.get(1), a.get(2)), (3, 5, 2));
+    // Join is idempotent.
+    let snapshot = a.clone();
+    a.join(&b);
+    assert_eq!(a, snapshot);
+}
+
+#[test]
+fn clock_le_and_concurrency() {
+    let mut a = VClock::new();
+    a.set(0, 1);
+    let mut b = VClock::new();
+    b.set(0, 2);
+    b.set(1, 1);
+    assert!(a.le(&b), "a's every component is <= b's");
+    assert!(!b.le(&a));
+    assert!(!a.concurrent_with(&b), "ordered clocks are not concurrent");
+
+    let mut c = VClock::new();
+    c.set(1, 7);
+    assert!(a.concurrent_with(&c), "disjoint histories are concurrent");
+    assert!(c.concurrent_with(&a));
+
+    let empty = VClock::new();
+    assert!(empty.le(&a), "the empty clock precedes everything");
+    assert!(empty.le(&empty));
+}
+
+// ---- the (store, load) edge matrix ------------------------------------
+
+/// Runs the canonical message-passing shape — writer: plain write, then
+/// `flag.store(1, store_order)`; reader: `if flag.load(load_order) == 1`
+/// then plain read — and says whether the detector reported a race.
+fn message_passing_races(store_order: Ordering, load_order: Ordering) -> bool {
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        model::check(move || {
+            let cell = Arc::new(Shared::new(0u32));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 42 });
+                f2.store(1, store_order);
+            });
+            if flag.load(load_order) == 1 {
+                let v = cell.with(|p| unsafe { *p });
+                assert_eq!(v, 42, "SC execution always sees the value");
+            }
+            t.join().unwrap();
+        });
+    }));
+    match outcome {
+        Ok(_) => false,
+        Err(p) => {
+            let msg = *p.downcast::<String>().expect("violation message");
+            assert!(msg.contains("data race"), "only race reports expected here: {msg}");
+            true
+        }
+    }
+}
+
+#[test]
+fn edge_matrix_release_acquire_pairs_are_clean() {
+    // Edge iff the store is release-flavored AND the load acquire-flavored.
+    for store in [Ordering::Release, Ordering::SeqCst] {
+        for load in [Ordering::Acquire, Ordering::SeqCst] {
+            assert!(
+                !message_passing_races(store, load),
+                "{store:?} store → {load:?} load must create an edge"
+            );
+        }
+    }
+}
+
+#[test]
+fn edge_matrix_relaxed_on_either_side_races() {
+    let racy_pairs = [
+        (Ordering::Relaxed, Ordering::Relaxed),
+        (Ordering::Relaxed, Ordering::Acquire),
+        (Ordering::Relaxed, Ordering::SeqCst),
+        (Ordering::Release, Ordering::Relaxed),
+        (Ordering::SeqCst, Ordering::Relaxed),
+    ];
+    for (store, load) in racy_pairs {
+        assert!(
+            message_passing_races(store, load),
+            "{store:?} store → {load:?} load must NOT create an edge"
+        );
+    }
+}
+
+// ---- release sequences -------------------------------------------------
+
+#[test]
+fn relaxed_rmw_continues_the_release_sequence() {
+    // Writer: write cell, Release-store 1, then Relaxed fetch_add — per
+    // C++20 an RMW continues the sequence, so an acquire load reading 2
+    // still synchronizes with the release store.
+    let report = model::check(|| {
+        let cell = Arc::new(Shared::new(0u32));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 7 });
+            f2.store(1, Ordering::Release);
+            f2.fetch_add(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(cell.with(|p| unsafe { *p }), 7);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete, "race-free model must be exhausted");
+}
+
+#[test]
+fn relaxed_plain_store_breaks_the_release_sequence() {
+    // Same shape, but the second write is a plain Relaxed *store*: C++20
+    // ended same-thread continuation, so the acquire load that reads 2
+    // gets no edge and the cell read races.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model::check(|| {
+            let cell = Arc::new(Shared::new(0u32));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 7 });
+                f2.store(1, Ordering::Release);
+                f2.store(2, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 2 {
+                let _ = cell.with(|p| unsafe { *p });
+            }
+            t.join().unwrap();
+        });
+    }));
+    let msg = match outcome {
+        Ok(_) => panic!("broken release sequence must race"),
+        Err(p) => *p.downcast::<String>().expect("violation message"),
+    };
+    assert!(msg.contains("data race"), "expected a race report: {msg}");
+}
+
+#[test]
+fn release_rmw_joins_into_the_sequence() {
+    // Two writers each publish their own cell with a release-flavored
+    // RMW on the same atomic; a reader that acquires after both sees
+    // edges from both (the sequence *accumulates* RMW clocks).
+    let report = model::check(|| {
+        let a = Arc::new(Shared::new(0u32));
+        let b = Arc::new(Shared::new(0u32));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (a2, f2) = (Arc::clone(&a), Arc::clone(&flag));
+        let (b3, f3) = (Arc::clone(&b), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            a2.with_mut(|p| unsafe { *p = 1 });
+            f2.fetch_add(1, Ordering::AcqRel);
+        });
+        let t2 = thread::spawn(move || {
+            b3.with_mut(|p| unsafe { *p = 2 });
+            f3.fetch_add(1, Ordering::AcqRel);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(a.with(|p| unsafe { *p }), 1);
+            assert_eq!(b.with(|p| unsafe { *p }), 2);
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+// ---- edges from the non-atomic primitives ------------------------------
+
+#[test]
+fn mutex_critical_sections_order_cell_accesses() {
+    let report = model::check(|| {
+        let cell = Arc::new(Shared::new(0u32));
+        let lock = Arc::new(Mutex::new(()));
+        let (c2, l2) = (Arc::clone(&cell), Arc::clone(&lock));
+        let t = thread::spawn(move || {
+            let _g = l2.lock().unwrap();
+            c2.with_mut(|p| unsafe { *p += 1 });
+        });
+        {
+            let _g = lock.lock().unwrap();
+            cell.with_mut(|p| unsafe { *p += 1 });
+        }
+        t.join().unwrap();
+        assert_eq!(cell.with(|p| unsafe { *p }), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn spawn_and_join_are_edges() {
+    // Parent writes before spawn (child reads: ordered) and reads after
+    // join (child wrote: ordered) — no atomics involved at all.
+    let report = model::check(|| {
+        let cell = Arc::new(Shared::new(0u32));
+        cell.with_mut(|p| unsafe { *p = 1 });
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p += 10 });
+        });
+        t.join().unwrap();
+        assert_eq!(cell.with(|p| unsafe { *p }), 11);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn unjoined_sibling_access_races() {
+    // Control for the test above: the parent reads while the child may
+    // still be writing — spawn alone orders only the prefix.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model::check(|| {
+            let cell = Arc::new(Shared::new(0u32));
+            let c2 = Arc::clone(&cell);
+            let t = thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 5 });
+            });
+            let _ = cell.with(|p| unsafe { *p });
+            t.join().unwrap();
+        });
+    }));
+    let msg = match outcome {
+        Ok(_) => panic!("read concurrent with child's write must race"),
+        Err(p) => *p.downcast::<String>().expect("violation message"),
+    };
+    assert!(msg.contains("data race"), "expected a race report: {msg}");
+}

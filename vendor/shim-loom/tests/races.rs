@@ -1,0 +1,141 @@
+//! The planted-race canary: the detector's own regression test.
+//!
+//! A deliberately racy counter — a non-atomic increment "published" with
+//! a Relaxed-only flag — must be reported *deterministically* (same
+//! report text on every run, because DFS order is deterministic), and
+//! the choice vector in the report must reproduce the race under
+//! `model::replay`. If any of this stops holding, the race detector —
+//! not the code under test — has regressed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use shim_loom::cell::Cell;
+use shim_loom::sync::atomic::{AtomicUsize, Ordering};
+use shim_loom::{model, thread};
+
+/// The canary: increments a tracked non-atomic counter and raises a
+/// Relaxed flag. Readers who trust the flag read the counter with no
+/// happens-before edge — the textbook bug the detector exists for.
+struct RacyCounter {
+    count: Cell<u64>,
+    published: AtomicUsize,
+}
+
+// SAFETY: deliberately unsound sharing — the "protocol" (the Relaxed
+// flag) does not actually order the cell accesses, and proving the model
+// checker reports exactly that is this file's purpose.
+unsafe impl Sync for RacyCounter {}
+
+impl RacyCounter {
+    fn new() -> RacyCounter {
+        RacyCounter { count: Cell::new(0), published: AtomicUsize::new(0) }
+    }
+
+    fn publish_increment(&self) {
+        self.count.set(self.count.get() + 1);
+        // BUG (intentional): Relaxed creates no happens-before edge, so
+        // the non-atomic write above is not actually published.
+        self.published.store(1, Ordering::Relaxed);
+    }
+
+    fn read_if_published(&self) -> Option<u64> {
+        if self.published.load(Ordering::Acquire) == 1 {
+            return Some(self.count.get());
+        }
+        None
+    }
+}
+
+fn run_canary() -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        model::check(|| {
+            let c = Arc::new(RacyCounter::new());
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || c2.publish_increment());
+            let _ = c.read_if_published();
+            t.join().unwrap();
+        });
+    }))
+    .map(|_| ())
+    .map_err(|p| *p.downcast::<String>().expect("violation message"))
+}
+
+/// Pulls the `replay choices: [..]` vector out of a violation report.
+fn extract_choices(report: &str) -> Vec<usize> {
+    let start = report.find("replay choices: [").expect("report carries a choice vector")
+        + "replay choices: [".len();
+    let end = start + report[start..].find(']').expect("choice vector is closed");
+    report[start..end]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("choice indices are integers"))
+        .collect()
+}
+
+#[test]
+fn canary_race_is_detected() {
+    let msg = run_canary().expect_err("the planted race must be found");
+    assert!(msg.contains("data race"), "report names the violation class: {msg}");
+    assert!(msg.contains("no happens-before edge"), "report explains the cause: {msg}");
+    assert!(msg.contains("races.rs"), "report points into this file: {msg}");
+    assert!(msg.contains("replay choices"), "report is replayable: {msg}");
+}
+
+#[test]
+fn canary_detection_is_deterministic() {
+    // DFS explores schedules in a fixed order, so the *first* racy
+    // schedule — and with it the whole report — is identical run to run.
+    let first = run_canary().expect_err("the planted race must be found");
+    let second = run_canary().expect_err("the planted race must be found");
+    assert_eq!(first, second, "identical report on every run");
+}
+
+#[test]
+fn canary_replay_reproduces_the_race() {
+    let msg = run_canary().expect_err("the planted race must be found");
+    let choices = extract_choices(&msg);
+    let replayed = catch_unwind(AssertUnwindSafe(move || {
+        model::replay(&choices, || {
+            let c = Arc::new(RacyCounter::new());
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || c2.publish_increment());
+            let _ = c.read_if_published();
+            t.join().unwrap();
+        });
+    }));
+    let replay_msg = match replayed {
+        Ok(_) => panic!("replaying the recorded schedule must reproduce the race"),
+        Err(p) => *p.downcast::<String>().expect("violation message"),
+    };
+    assert!(replay_msg.contains("data race"), "replay reproduces the same class: {replay_msg}");
+}
+
+#[test]
+fn fixed_canary_is_race_free() {
+    // The one-word fix — Release publication — must silence the
+    // detector across every schedule, proving it reports the *ordering*,
+    // not the mere existence of a non-atomic cell.
+    struct FixedCounter {
+        count: Cell<u64>,
+        published: AtomicUsize,
+    }
+    // SAFETY: count is written before the Release store and read only
+    // after an Acquire load observes it — the edge the racy canary lacks.
+    unsafe impl Sync for FixedCounter {}
+
+    let report = model::check(|| {
+        let c = Arc::new(FixedCounter { count: Cell::new(0), published: AtomicUsize::new(0) });
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.count.set(c2.count.get() + 1);
+            c2.published.store(1, Ordering::Release);
+        });
+        if c.published.load(Ordering::Acquire) == 1 {
+            assert_eq!(c.count.get(), 1);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete, "fixed canary must be exhaustively clean");
+}
