@@ -10,6 +10,12 @@
 //! * `cluster FILE...` — LCS-distance clustering of FASTA records;
 //! * `braid A B` — draw the reduced sticky braid of a small comparison;
 //! * `serve` — run the comparison engine behind a TCP line protocol;
+//! * `top` — live terminal dashboard over a serving engine: HEALTH
+//!   verdict, throughput counters and rolling-window p99s, polled over
+//!   the TCP protocol;
+//! * `audit` — dump the serving engine's flight recorder: newest or
+//!   slowest audit records, filtered by class or dispatch reason, plus
+//!   the slow-request trace exemplars;
 //! * `bench-engine` — offline throughput run against the engine;
 //! * `trace` — run any other subcommand with tracing on and export the
 //!   recorded timeline (Chrome-tracing JSON or a plain-text tree);
@@ -169,6 +175,8 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "cluster" => cmd_cluster(rest),
         "braid" => cmd_braid(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
+        "audit" => cmd_audit(rest),
         "trace" => cmd_trace(rest),
         "bench-engine" => cmd_bench_engine(rest),
         "bench-baseline" => cmd_bench_baseline(rest),
@@ -194,8 +202,25 @@ usage:
   slcs cluster FILE.fasta... [--cut H]
   slcs braid A B                    ASCII sticky braid (small inputs)
   slcs serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-             [--no-trace]         engine behind a TCP line protocol
-                                    (--no-trace disables the TRACE command)
+             [--no-trace] [--recorder N] [--window-slice MS]
+             [--slo CLASS=US,...] [--slo-depth N] [--slo-budget PCT]
+                                    engine behind a TCP line protocol
+                                    (--no-trace disables the TRACE command;
+                                    --recorder sizes the flight-recorder
+                                    ring, 0 disables; --slo sets per-class
+                                    p99 targets in µs for HEALTH and slow
+                                    capture, e.g. lcs=50000,edit=200000)
+  slcs top [--addr HOST:PORT] [--interval MS] [--count N]
+                                    live dashboard over a serving engine:
+                                    HEALTH verdict, request counters and
+                                    rate, cache hit ratio, dispatch mix,
+                                    pool steal counters, windowed p99s
+                                    (--count 0 polls forever; default one
+                                    snapshot)
+  slcs audit [--addr HOST:PORT] [N | slowest [N] | class C [N]
+             | reason R [N] | captures]
+                                    dump the server's flight recorder
+                                    (newest N records by default)
   slcs trace [--out FILE] [--format chrome|text] COMMAND ...
                                     run COMMAND with tracing on and export
                                     the timeline (chrome://tracing JSON
@@ -403,16 +428,64 @@ fn engine_from_opts(opts: &Options) -> Result<slcs_engine::Engine, CliError> {
     if let Some(c) = opts.value_parsed("cache")? {
         config.cache_capacity = c;
     }
+    if let Some(r) = opts.value_parsed("recorder")? {
+        config.recorder_capacity = r;
+    }
+    if let Some(s) = opts.value_parsed("window-slice")? {
+        config.window_slice_millis = s;
+    }
+    config.slo = slo_from_opts(opts)?;
     Ok(slcs_engine::Engine::new(config))
 }
 
+/// Builds the SLO table from `--slo CLASS=US,...`, `--slo-depth` and
+/// `--slo-budget`, starting from the defaults.
+fn slo_from_opts(opts: &Options) -> Result<slcs_engine::SloTable, CliError> {
+    let mut slo = slcs_engine::SloTable::default();
+    if let Some(spec) = opts.value("slo") {
+        for entry in spec.split(',') {
+            let (class, micros) = entry
+                .split_once('=')
+                .ok_or_else(|| err(format!("--slo entry '{entry}' is not CLASS=MICROS")))?;
+            let idx = slcs_engine::Operation::CLASS_TOKENS
+                .iter()
+                .position(|t| *t == class)
+                .ok_or_else(|| err(format!("unknown request class '{class}' in --slo")))?;
+            slo.p99_micros[idx] = micros
+                .parse()
+                .map_err(|_| err(format!("--slo target '{micros}' is not a number")))?;
+        }
+    }
+    if let Some(depth) = opts.value_parsed("slo-depth")? {
+        slo.max_queue_depth = depth;
+    }
+    if let Some(budget) = opts.value_parsed("slo-budget")? {
+        slo.error_budget_percent = budget;
+    }
+    Ok(slo)
+}
+
 fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
-    let opts = Options::parse(rest, &["addr", "workers", "queue", "cache"])?;
+    let opts = Options::parse(
+        rest,
+        &[
+            "addr",
+            "workers",
+            "queue",
+            "cache",
+            "recorder",
+            "window-slice",
+            "slo",
+            "slo-depth",
+            "slo-budget",
+        ],
+    )?;
     let addr = opts.value("addr").unwrap_or("127.0.0.1:7171").to_string();
     let engine = std::sync::Arc::new(engine_from_opts(&opts)?);
     let config = engine.config().clone();
     let server_config = slcs_engine::ServerConfig {
         allow_trace: !opts.has("no-trace"),
+        slo: config.slo.clone(),
         ..slcs_engine::ServerConfig::default()
     };
     let handle = slcs_engine::serve(&addr[..], engine, server_config)
@@ -432,6 +505,205 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     loop {
         std::thread::park();
     }
+}
+
+/// Line-oriented client for the engine's TCP protocol, shared by
+/// `slcs top` and `slcs audit`.
+struct LineClient {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl LineClient {
+    fn connect(addr: &str) -> Result<Self, CliError> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+        // Small request/response packets: without this, Nagle + delayed
+        // ACK put ~40ms on every poll.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().map_err(|e| err(format!("cannot clone stream: {e}")))?;
+        Ok(Self { reader: std::io::BufReader::new(stream), writer })
+    }
+
+    fn line(&mut self, cmd: &str) -> Result<String, CliError> {
+        use std::io::{BufRead, Write};
+        writeln!(self.writer, "{cmd}").map_err(|e| err(format!("send failed: {e}")))?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| err(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(err("server closed the connection"));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Sends `cmd` and reads a multi-line `# EOF`-terminated response.
+    fn multi_line(&mut self, cmd: &str) -> Result<Vec<String>, CliError> {
+        use std::io::{BufRead, Write};
+        writeln!(self.writer, "{cmd}").map_err(|e| err(format!("send failed: {e}")))?;
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n =
+                self.reader.read_line(&mut line).map_err(|e| err(format!("read failed: {e}")))?;
+            if n == 0 {
+                return Err(err("server closed the connection mid-response"));
+            }
+            let line = line.trim_end().to_string();
+            if line == "# EOF" {
+                return Ok(lines);
+            }
+            // Single-line errors (e.g. a disabled recorder) have no
+            // terminator; surface them immediately.
+            if lines.is_empty() && (line.starts_with("ERR") || line.starts_with("BUSY")) {
+                return Ok(vec![line]);
+            }
+            lines.push(line);
+        }
+    }
+}
+
+/// Parses a `key=value` STATS field out of a response line.
+fn stats_field<'a>(stats: &'a str, key: &str) -> Option<&'a str> {
+    stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+/// Parses the value of a bare (unlabelled) Prometheus series out of a
+/// `METRICS` exposition.
+fn metrics_value(metrics: &[String], series: &str) -> Option<f64> {
+    metrics.iter().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+/// Renders one `slcs top` frame from HEALTH + STATS + METRICS
+/// responses.
+fn top_frame(health: &str, stats: &str, metrics: &[String]) -> String {
+    let mut out = format!("health: {health}\n");
+    let field = |key: &str| stats_field(stats, key).unwrap_or("?");
+    let num =
+        |key: &str| -> f64 { stats_field(stats, key).and_then(|v| v.parse().ok()).unwrap_or(0.0) };
+    // Average request rate over the server's lifetime (uptime reports
+    // whole seconds, so clamp a just-booted server to 1s) — the best a
+    // stateless frame can do without a previous sample to diff against.
+    let rate = match metrics_value(metrics, "slcs_uptime_seconds") {
+        Some(up) => format!("{:.1}/s avg", num("completed") / up.max(1.0)),
+        None => "?/s".to_string(),
+    };
+    writeln!(
+        out,
+        "requests: completed={} ({rate}) queue_full={} invalid={} depth={} errors={}",
+        field("completed"),
+        field("queue_full"),
+        field("invalid"),
+        field("depth"),
+        field("errors")
+    )
+    .unwrap(); // PANIC: fmt to String is infallible
+    let (hits, misses) = (num("hits"), num("misses"));
+    let ratio = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+    writeln!(
+        out,
+        "cache: hits={hits:.0} misses={misses:.0} ratio={ratio:.1}% evictions={}",
+        field("evictions")
+    )
+    .unwrap(); // PANIC: fmt to String is infallible
+               // Dispatch mix: show only reasons that actually fired.
+    let mix = stats_field(stats, "dispatch")
+        .map(|d| d.split(',').filter(|e| !e.ends_with(":0")).collect::<Vec<_>>().join(" "))
+        .unwrap_or_default();
+    writeln!(out, "dispatch: {}", if mix.is_empty() { "(none)" } else { &mix }).unwrap(); // PANIC: fmt to String is infallible
+    let pool = |series: &str| {
+        metrics_value(metrics, series).map_or("?".to_string(), |v| format!("{v:.0}"))
+    };
+    writeln!(
+        out,
+        "pool: jobs={} steals={} local_hits={} parks={}",
+        pool("slcs_pool_jobs_executed_total"),
+        pool("slcs_pool_steals_total"),
+        pool("slcs_pool_local_hits_total"),
+        pool("slcs_pool_parks_total")
+    )
+    .unwrap(); // PANIC: fmt to String is infallible
+    out.push_str("windowed p99 (us):\n");
+    // latency_windows is `class:window:p50/p90/p99/p999` CSV; show the
+    // p99 column per class across the three windows.
+    let mut per_class: std::collections::BTreeMap<&str, Vec<String>> =
+        std::collections::BTreeMap::new();
+    if let Some(windows) = stats_field(stats, "latency_windows") {
+        for entry in windows.split(',') {
+            let mut parts = entry.split(':');
+            let (Some(class), Some(window), Some(quants)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let p99 = quants.split('/').nth(2).unwrap_or("?");
+            per_class.entry(class).or_default().push(format!("{window}={p99}"));
+        }
+    }
+    for (class, cols) in &per_class {
+        writeln!(out, "  {class:<14} {}", cols.join("  ")).unwrap(); // PANIC: fmt to String is infallible
+    }
+    if per_class.is_empty() {
+        out.push_str("  (latency windows disabled)\n");
+    }
+    out
+}
+
+/// `slcs top` — polls HEALTH, STATS and METRICS over the TCP protocol
+/// and renders a dashboard frame per interval. `--count 0` loops
+/// forever; the default single frame makes the command
+/// scriptable/testable.
+fn cmd_top(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["addr", "interval", "count"])?;
+    let addr = opts.value("addr").unwrap_or("127.0.0.1:7171");
+    let interval_ms: u64 = opts.value_parsed("interval")?.unwrap_or(1000);
+    let count: usize = opts.value_parsed("count")?.unwrap_or(1);
+    let mut client = LineClient::connect(addr)?;
+    let mut frames = 0usize;
+    let mut out = String::new();
+    loop {
+        let health = client.line("HEALTH")?;
+        let stats = client.line("STATS")?;
+        let metrics = client.multi_line("METRICS")?;
+        let frame = format!("-- slcs top @ {addr} --\n{}", top_frame(&health, &stats, &metrics));
+        frames += 1;
+        if count == 0 {
+            // Live mode: print each frame as it arrives.
+            println!("{frame}");
+        } else {
+            out.push_str(&frame);
+            if frames >= count {
+                return Ok(out);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// `slcs audit` — dumps the serving engine's flight recorder. Extra
+/// arguments pass through to the protocol's `AUDIT` command:
+/// `slowest [N]`, `class C [N]`, `reason R [N]`, `captures`, or a
+/// plain record count.
+fn cmd_audit(rest: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(rest, &["addr"])?;
+    let addr = opts.value("addr").unwrap_or("127.0.0.1:7171");
+    let mut cmd = String::from("AUDIT");
+    for arg in &opts.positional {
+        cmd.push(' ');
+        cmd.push_str(arg);
+    }
+    let mut client = LineClient::connect(addr)?;
+    let lines = client.multi_line(&cmd)?;
+    let mut out = String::new();
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// Writes a drained timeline in the requested format; returns a short
@@ -737,7 +1009,12 @@ fn cmd_bench_baseline(rest: &[String]) -> Result<String, CliError> {
                 trace_grain,
             ))
         });
-        let engine = slcs_engine::Engine::with_defaults();
+        // Zero SLO targets so every request trips the slow-capture path
+        // and the timeline deterministically records engine.slow_capture.
+        let engine = slcs_engine::Engine::new(slcs_engine::EngineConfig {
+            slo: slcs_engine::SloTable { p99_micros: [0; 4], ..slcs_engine::SloTable::default() },
+            ..slcs_engine::EngineConfig::default()
+        });
         for op in
             [slcs_engine::Operation::Lcs, slcs_engine::Operation::Windows { w: 64.min(b.len()) }]
         {
@@ -873,6 +1150,12 @@ fn cmd_tune(rest: &[String]) -> Result<String, CliError> {
 ///
 /// `overhead_disabled_percent` in the JSON report is the headline
 /// number: what merely *linking* the instrumentation costs.
+///
+/// A fourth A/B measures the serving-path bookkeeping: a batch of
+/// small LCS requests through two engines, one with the flight
+/// recorder and rolling windows disabled and one with the defaults.
+/// `overhead_recorder_percent` is that delta; `cargo xtask perf-gate`
+/// holds it to the same slack as the trace overheads.
 fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
     let opts = Options::parse(rest, &["size", "threads", "grain", "runs", "out", "seed"])?;
     let quick = opts.has("quick");
@@ -905,6 +1188,49 @@ fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
     slcs_trace::set_enabled(false);
     let trace_stats = slcs_trace::stats();
 
+    // Recorder/window A/B: the serving-path cost of the flight
+    // recorder, rolling windows and slow-capture arming, measured
+    // end-to-end through the engine on small bit-parallel LCS requests
+    // — the worst case, because the per-request bookkeeping is a fixed
+    // cost and the cheapest requests show the largest relative share.
+    let rec_requests: usize = if quick { 64 } else { 256 };
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..8)
+        .map(|_| {
+            (
+                slcs_datagen::uniform_string(&mut rng, 2048, 4),
+                slcs_datagen::uniform_string(&mut rng, 2048, 4),
+            )
+        })
+        .collect();
+    let batch = |engine: &slcs_engine::Engine| {
+        for i in 0..rec_requests {
+            let (pa, pb) = &pairs[i % pairs.len()];
+            engine
+                .submit_wait(slcs_engine::CompareRequest::new(
+                    &pa[..],
+                    &pb[..],
+                    slcs_engine::Operation::Lcs,
+                ))
+                .expect("bench engine accepts requests"); // PANIC: bench engine is private to this run and never shuts down mid-batch
+        }
+    };
+    let base_config = slcs_engine::EngineConfig {
+        workers: 1,
+        threads_per_request: 1,
+        ..slcs_engine::EngineConfig::default()
+    };
+    let rec_off_engine = slcs_engine::Engine::new(slcs_engine::EngineConfig {
+        recorder_capacity: 0,
+        window_slice_millis: 0,
+        ..base_config.clone()
+    });
+    let rec_on_engine = slcs_engine::Engine::new(base_config);
+    let rec_off = min_time(runs, || batch(&rec_off_engine));
+    let rec_on = min_time(runs, || batch(&rec_on_engine));
+    drop(rec_off_engine);
+    drop(rec_on_engine);
+    let rec_pct = 100.0 * (rec_on.as_secs_f64() - rec_off.as_secs_f64()) / rec_off.as_secs_f64();
+
     let pct = |d: std::time::Duration| {
         100.0 * (d.as_secs_f64() - untraced.as_secs_f64()) / untraced.as_secs_f64()
     };
@@ -923,6 +1249,13 @@ fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
         trace_stats.recorded, trace_stats.dropped, trace_stats.threads
     )
     .unwrap(); // PANIC: fmt to String is infallible
+    writeln!(
+        report,
+        "  recorder off             {:9.2} ms  ({rec_requests} engine requests)",
+        ms(rec_off)
+    )
+    .unwrap(); // PANIC: fmt to String is infallible
+    writeln!(report, "  recorder+windows on      {:9.2} ms  ({rec_pct:+.2}%)", ms(rec_on)).unwrap(); // PANIC: fmt to String is infallible
 
     let json = format!(
         "{{\n  \"bench\": \"bench-obs\",\n  \"algorithm\": \"par_antidiag_combing_branchless\",\n  \
@@ -931,12 +1264,16 @@ fn cmd_bench_obs(rest: &[String]) -> Result<String, CliError> {
          \"untraced_millis\": {:.3},\n  \"disabled_millis\": {:.3},\n  \
          \"enabled_millis\": {:.3},\n  \"overhead_disabled_percent\": {dis_pct:.3},\n  \
          \"overhead_enabled_percent\": {en_pct:.3},\n  \
-         \"trace_events_recorded\": {},\n  \"trace_events_dropped\": {}\n}}\n",
+         \"trace_events_recorded\": {},\n  \"trace_events_dropped\": {},\n  \
+         \"recorder_requests\": {rec_requests},\n  \"recorder_off_millis\": {:.3},\n  \
+         \"recorder_on_millis\": {:.3},\n  \"overhead_recorder_percent\": {rec_pct:.3}\n}}\n",
         ms(untraced),
         ms(disabled),
         ms(enabled),
         trace_stats.recorded,
         trace_stats.dropped,
+        ms(rec_off),
+        ms(rec_on),
     );
     std::fs::write(&out_path, &json).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
     writeln!(report, "[written {out_path}]").unwrap(); // PANIC: fmt to String is infallible
@@ -1338,6 +1675,78 @@ mod tests {
     }
 
     #[test]
+    fn serve_parses_slo_and_recorder_flags() {
+        let args = [
+            "--addr",
+            "127.0.0.1:0",
+            "--smoke",
+            "--workers",
+            "1",
+            "--recorder",
+            "64",
+            "--window-slice",
+            "0",
+            "--slo",
+            "lcs=50000,edit=100000",
+            "--slo-depth",
+            "10",
+            "--slo-budget",
+            "2.5",
+        ];
+        assert!(run("serve", &args).unwrap().is_empty());
+        for bad in ["nope", "lcs=abc", "zzz=5"] {
+            let e = run("serve", &["--addr", "127.0.0.1:0", "--smoke", "--slo", bad]).unwrap_err();
+            assert!(e.0.contains("--slo") || e.0.contains("class"), "{e}");
+        }
+    }
+
+    #[test]
+    fn top_and_audit_commands_poll_a_live_server() {
+        let engine = std::sync::Arc::new(slcs_engine::Engine::new(slcs_engine::EngineConfig {
+            workers: 1,
+            ..slcs_engine::EngineConfig::default()
+        }));
+        engine
+            .submit_wait(slcs_engine::CompareRequest::new(
+                &b"abcabba"[..],
+                &b"cbabac"[..],
+                slcs_engine::Operation::Lcs,
+            ))
+            .unwrap();
+        let handle =
+            slcs_engine::serve("127.0.0.1:0", engine, slcs_engine::ServerConfig::default())
+                .unwrap();
+        let addr = handle.addr().to_string();
+
+        let top = run("top", &["--addr", &addr, "--count", "2", "--interval", "1"]).unwrap();
+        assert!(top.contains("health: OK"), "{top}");
+        assert!(top.contains("completed=1"), "{top}");
+        assert!(top.contains("/s avg"), "{top}");
+        assert!(top.contains("cache: hits=0 misses=0 ratio=0.0%"), "{top}");
+        assert!(top.contains("dispatch: small_alphabet:1"), "{top}");
+        assert!(top.contains("pool: jobs="), "{top}");
+        assert!(top.contains("steals="), "{top}");
+        assert!(top.contains("windowed p99"), "{top}");
+        assert!(top.contains("lcs"), "{top}");
+
+        let audit = run("audit", &["--addr", &addr]).unwrap();
+        assert!(audit.starts_with("OK 1"), "{audit}");
+        assert!(audit.contains("class=lcs"), "{audit}");
+        let slowest = run("audit", &["--addr", &addr, "slowest", "1"]).unwrap();
+        assert!(slowest.starts_with("OK 1"), "{slowest}");
+        assert!(slowest.contains("service_ns="), "{slowest}");
+        // A fast request under the default SLO leaves no slow captures.
+        let captures = run("audit", &["--addr", &addr, "captures"]).unwrap();
+        assert!(captures.starts_with("OK 0"), "{captures}");
+        // Bad filters surface the server's usage error without hanging.
+        let bad = run("audit", &["--addr", &addr, "bogus"]).unwrap();
+        assert!(bad.starts_with("ERR"), "{bad}");
+
+        handle.stop();
+        assert!(run("top", &["--addr", "256.0.0.1:1", "--count", "1"]).is_err());
+    }
+
+    #[test]
     fn bench_engine_reports_throughput_and_stats() {
         let out = run(
             "bench-engine",
@@ -1468,6 +1877,7 @@ mod tests {
             "osed.lcp_build",
             "osed.edit",
             "osed.bfs_round",
+            "engine.slow_capture",
         ] {
             assert!(json.contains(span), "missing {span} in traced bench timeline");
         }
@@ -1488,6 +1898,8 @@ mod tests {
         .unwrap();
         assert!(text.contains("untraced"), "{text}");
         assert!(text.contains("events recorded"), "{text}");
+        assert!(text.contains("recorder off"), "{text}");
+        assert!(text.contains("recorder+windows on"), "{text}");
         let json = std::fs::read_to_string(&out).unwrap();
         for key in [
             "\"untraced_millis\"",
@@ -1495,6 +1907,10 @@ mod tests {
             "\"enabled_millis\"",
             "\"overhead_disabled_percent\"",
             "\"trace_events_recorded\"",
+            "\"recorder_requests\"",
+            "\"recorder_off_millis\"",
+            "\"recorder_on_millis\"",
+            "\"overhead_recorder_percent\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

@@ -275,6 +275,17 @@ fn best_window(scores: &[usize]) -> (usize, usize) {
         .unwrap_or((0, 0))
 }
 
+/// Everything [`execute_request`] learned serving one request — the
+/// payload plus the audit facts the flight recorder stores.
+pub struct Executed {
+    pub payload: Payload,
+    pub algo: AlgoChoice,
+    pub cache: CacheStatus,
+    pub reason: DispatchReason,
+    /// Scheduling-mode token (`"seq"` or a concrete grid mode).
+    pub sched: &'static str,
+}
+
 /// Serves one request: consults the cache, runs the chosen algorithm,
 /// and reports which path was taken. Degenerate (empty) inputs are
 /// answered directly so the kernel algorithms never see them. Every
@@ -286,7 +297,22 @@ pub fn execute(
     metrics: &Metrics,
     threads: usize,
 ) -> (Payload, AlgoChoice, CacheStatus) {
-    let (payload, algo, status, reason) = execute_inner(req, cache, metrics, threads);
+    let ex = execute_request(req, cache, metrics, threads, 0);
+    (ex.payload, ex.algo, ex.cache)
+}
+
+/// [`execute`] plus the audit plumbing: the engine-assigned request id
+/// rides on the `engine.dispatch` instant (so exemplar traces are
+/// navigable back to their audit record), and the dispatch facts are
+/// returned for the flight recorder.
+pub fn execute_request(
+    req: &CompareRequest,
+    cache: &KernelCache,
+    metrics: &Metrics,
+    threads: usize,
+    req_id: u64,
+) -> Executed {
+    let (payload, algo, cache_status, reason) = execute_inner(req, cache, metrics, threads);
     metrics.note_dispatch(reason);
     // The scheduling mode a grid-parallel build resolves to is a pure
     // function of (m, n, threads) and the loaded profile, so it can be
@@ -297,15 +323,16 @@ pub fn execute(
         }
         _ => "seq",
     };
-    // Two field slots per event: `reason` implies `algo` (see
-    // `DispatchReason::algo_token`), so the pair carried here is the
-    // routing reason plus the resolved scheduling mode.
+    // Three field slots per event: `reason` implies `algo` (see
+    // `DispatchReason::algo_token`), so the triple carried here is the
+    // routing reason, the resolved scheduling mode, and the request id.
     slcs_trace::instant!(
         "engine.dispatch",
         "reason" => reason.token(),
-        "sched" => sched
+        "sched" => sched,
+        "req" => req_id
     );
-    (payload, algo, status)
+    Executed { payload, algo, cache: cache_status, reason, sched }
 }
 
 /// The reason matching a fetch-or-build helper's outcome: a cache hit

@@ -20,9 +20,12 @@ use std::time::Instant;
 
 use crate::cache::{CacheKey, IndexKind, KernelCache};
 use crate::dispatch;
-use crate::metrics::{Metrics, StatsSnapshot};
+use crate::metrics::{ErrorKind, Metrics, StatsSnapshot};
 use crate::queue::{ticket_pair, Job, JobQueue, Push, Submit, Ticket};
+use crate::recorder::{AuditEvent, FlightRecorder, SlowCapture, CAPTURE_EVENTS};
 use crate::request::{CompareOutcome, CompareRequest, EngineError, Operation};
+use crate::slo::{self, HealthReport, SloTable};
+use crate::windows::RollingWindows;
 
 /// Tunables for an [`Engine`]. `Default` sizes everything off the
 /// machine's thread budget and is right for most uses; tests shrink the
@@ -41,6 +44,16 @@ pub struct EngineConfig {
     /// Thread budget assumed when choosing between sequential and
     /// parallel combing for a single request.
     pub threads_per_request: usize,
+    /// Flight-recorder ring capacity (audit records). 0 disables the
+    /// whole audit path: no per-request record, no speculative slow
+    /// capture, no request-id span fields.
+    pub recorder_capacity: usize,
+    /// Rolling-window slice duration (ms); the three exported windows
+    /// span 1/6/30 slices. 0 disables windowed quantiles.
+    pub window_slice_millis: u64,
+    /// Per-class SLO targets: drives the flight recorder's slow-request
+    /// exemplar capture (and, via the server's own copy, HEALTH).
+    pub slo: SloTable,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +65,9 @@ impl Default for EngineConfig {
             cache_capacity: 128,
             batch_limit: 32,
             threads_per_request: threads,
+            recorder_capacity: crate::recorder::DEFAULT_CAPACITY,
+            window_slice_millis: crate::windows::DEFAULT_SLICE_MILLIS,
+            slo: SloTable::default(),
         }
     }
 }
@@ -60,6 +76,8 @@ struct Shared {
     queue: JobQueue,
     cache: KernelCache,
     metrics: Metrics,
+    recorder: FlightRecorder,
+    windows: RollingWindows,
     config: EngineConfig,
     /// When this engine was constructed; the source of truth for the
     /// `slcs_uptime_seconds` gauge (scrapers detect restarts by the
@@ -79,6 +97,8 @@ impl Engine {
             queue: JobQueue::new(config.queue_capacity),
             cache: KernelCache::new(config.cache_capacity),
             metrics: Metrics::default(),
+            recorder: FlightRecorder::new(config.recorder_capacity),
+            windows: RollingWindows::new(config.window_slice_millis),
             config: config.clone(),
             started: Instant::now(),
         });
@@ -156,9 +176,29 @@ impl Engine {
     /// A point-in-time view of the counters and histograms. The queue
     /// depth is sampled live from the queue itself — [`Metrics`] keeps
     /// no depth gauge to go stale (see the `metrics` module docs on
-    /// counters vs gauges).
+    /// counters vs gauges) — and the rolling-window quantiles are
+    /// merged from the window ring at the same moment.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.metrics.snapshot(self.shared.queue.depth() as u64)
+        let mut stats = self.shared.metrics.snapshot(self.shared.queue.depth() as u64);
+        stats.windows = self.shared.windows.snapshot();
+        stats
+    }
+
+    /// The flight recorder: per-request audit records and slow-request
+    /// trace exemplars (see the `recorder` module docs).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.shared.recorder
+    }
+
+    /// Evaluates `slo` against the current stats (rolling p99s, queue
+    /// depth, error budget) — the HEALTH protocol verdict.
+    pub fn health(&self, slo: &SloTable) -> HealthReport {
+        slo::evaluate(slo, &self.stats())
+    }
+
+    /// Shared-metrics access for the server's protocol-error counters.
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
     }
 
     pub fn queue_depth(&self) -> usize {
@@ -211,43 +251,101 @@ fn worker_loop(shared: Arc<Shared>) {
         // Identical pairs inside the batch deduplicate through the
         // cache: the first job combs and inserts, the rest hit.
         for job in batch {
-            let wait_us = job.enqueued_at.elapsed().as_micros() as u64;
+            let audit_on = shared.recorder.enabled();
+            let req_id = shared.recorder.next_id();
+            let wait_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+            let wait_us = wait_ns / 1_000;
             metrics.wait_micros.record(wait_us);
-            // One span per served request: queue wait as a field, the
-            // dispatch/compute/reply time as the span's extent.
-            let _request_span = slcs_trace::span!("engine.request", "op" => job.req.op.token(), "wait_us" => wait_us);
+            let class = job.req.op.class_index();
+            let bytes = (job.req.pattern.len() + job.req.text.len()) as u64;
+            let alloc_before = if audit_on { slcs_alloc::thread_stats().alloc_bytes } else { 0 };
+            if audit_on {
+                // Speculative: slowness is only known at completion, so
+                // every request captures and the fast ones discard.
+                slcs_trace::capture::begin(CAPTURE_EVENTS);
+            }
+            // One span per served request: queue wait and the request id
+            // as fields, the dispatch/compute/reply time as the span's
+            // extent.
+            let request_span = slcs_trace::span!("engine.request", "op" => job.req.op.token(), "wait_us" => wait_us, "req" => req_id);
             let started = Instant::now();
             let computed = catch_unwind(AssertUnwindSafe(|| {
-                dispatch::execute(
+                dispatch::execute_request(
                     &job.req,
                     &shared.cache,
                     metrics,
                     shared.config.threads_per_request,
+                    req_id,
                 )
             }));
-            let service_micros = started.elapsed().as_micros() as u64;
+            let service_ns = started.elapsed().as_nanos() as u64;
+            let service_micros = service_ns / 1_000;
             metrics.service_micros.record(service_micros);
+            shared.windows.record(class, service_micros);
             // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
             metrics.completed.fetch_add(1, Ordering::Relaxed);
-            // The `engine.dispatch` instant (reason + sched) is emitted
-            // inside `dispatch::execute`, next to the decision it labels.
-            let result = match computed {
-                Ok((payload, algo, cache)) => Ok(CompareOutcome {
-                    payload,
-                    algo,
-                    cache,
-                    service_micros,
-                    wait_micros: wait_us,
-                }),
+            // The `engine.dispatch` instant (reason + sched + req id) is
+            // emitted inside `execute_request`, next to the decision it
+            // labels.
+            let (result, reason, sched, cache_status, ok) = match computed {
+                Ok(ex) => {
+                    let dispatch::Executed { payload, algo, cache, reason, sched } = ex;
+                    let outcome = CompareOutcome {
+                        payload,
+                        algo,
+                        cache,
+                        service_micros,
+                        wait_micros: wait_us,
+                    };
+                    (Ok(outcome), Some(reason), Some(sched), Some(cache), true)
+                }
                 Err(panic) => {
                     let msg = panic
                         .downcast_ref::<&str>()
                         .map(|s| s.to_string())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "computation panicked".into());
-                    Err(EngineError::Internal(msg))
+                    metrics.note_error(ErrorKind::Internal);
+                    (Err(EngineError::Internal(msg)), None, None, None, false)
                 }
             };
+            // Close the request span before deciding the capture's fate
+            // so the exemplar tree contains the span's End.
+            drop(request_span);
+            if audit_on {
+                let alloc_bytes =
+                    slcs_alloc::thread_stats().alloc_bytes.saturating_sub(alloc_before);
+                shared.recorder.record(&AuditEvent {
+                    id: req_id,
+                    class,
+                    bytes,
+                    reason,
+                    sched,
+                    cache: cache_status,
+                    wait_ns,
+                    service_ns,
+                    alloc_bytes,
+                    ok,
+                });
+                if shared.config.slo.is_slow(class, service_ns) {
+                    slcs_trace::instant!(
+                        "engine.slow_capture",
+                        "req" => req_id,
+                        "class" => job.req.op.token(),
+                        "service_us" => service_micros
+                    );
+                    let tree = slcs_trace::capture::take().to_text_tree();
+                    shared.recorder.note_slow(SlowCapture {
+                        id: req_id,
+                        class: Operation::CLASS_TOKENS[class],
+                        service_ns,
+                        slo_micros: shared.config.slo.target_micros(class),
+                        tree,
+                    });
+                } else {
+                    slcs_trace::capture::discard();
+                }
+            }
             job.ticket.fulfill(result);
         }
     }
@@ -272,6 +370,7 @@ mod tests {
             cache_capacity: 16,
             batch_limit: 4,
             threads_per_request: 1,
+            ..EngineConfig::default()
         })
     }
 

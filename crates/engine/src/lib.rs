@@ -21,6 +21,12 @@
 //!   execution.
 //! * [`queue`] — the bounded submission queue, [`Submit`] backpressure
 //!   result and completion [`Ticket`]s.
+//! * [`windows`] — rolling-window latency quantiles per request class
+//!   (the "what is p99 *right now*" answer cumulative histograms can't
+//!   give).
+//! * [`recorder`] — the flight recorder: a lock-free audit ring of
+//!   recent requests plus slow-request trace exemplars.
+//! * [`slo`] — per-class latency targets and the HEALTH verdict.
 //! * [`engine`] — the worker pool, batch coalescing and lifecycle.
 //! * [`server`] — a TCP line protocol for remote clients.
 //!
@@ -45,19 +51,26 @@ pub mod dispatch;
 pub mod engine;
 pub mod metrics;
 pub mod queue;
+pub mod recorder;
 pub mod request;
 pub mod server;
+pub mod slo;
 pub(crate) mod sync;
+pub mod windows;
 
 pub use cache::{CacheKey, IndexKind, KernelCache};
 pub use dispatch::{
-    alphabet_size, choose, combing_choice, decide, execute, similar_inputs, OSED_MIN_LEN,
+    alphabet_size, choose, combing_choice, decide, execute, execute_request, similar_inputs,
+    Executed, OSED_MIN_LEN,
 };
 pub use engine::{Engine, EngineConfig};
-pub use metrics::{HistogramSnapshot, Metrics, StatsSnapshot};
+pub use metrics::{ErrorKind, HistogramSnapshot, Metrics, StatsSnapshot};
 pub use queue::{Submit, Ticket};
+pub use recorder::{AuditEvent, AuditRecord, FlightRecorder, SlowCapture};
 pub use request::{
     AlgoChoice, CacheStatus, CompareOutcome, CompareRequest, DispatchDecision, DispatchReason,
     EngineError, Operation, Payload,
 };
 pub use server::{spawn as serve, ServerConfig, ServerHandle};
+pub use slo::{HealthReport, SloTable};
+pub use windows::{RollingWindows, WindowsSnapshot};

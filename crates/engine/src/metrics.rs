@@ -64,6 +64,19 @@ impl Histogram {
         // ORDERING: Relaxed — see above; sum and buckets may be one sample apart.
         HistogramSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
     }
+
+    /// Zeroes every bucket and the sum. Used by the rolling-window ring
+    /// when a slice is recycled; a reader racing the reset sees a
+    /// partially-cleared histogram, which windowed telemetry tolerates
+    /// (one slice of one window, momentarily under-counted).
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            // ORDERING: Relaxed — telemetry reset; see the doc comment.
+            b.store(0, Ordering::Relaxed);
+        }
+        // ORDERING: Relaxed — telemetry reset; see the doc comment.
+        self.sum.store(0, Ordering::Relaxed);
+    }
 }
 
 /// An immutable copy of a [`Histogram`].
@@ -152,10 +165,60 @@ pub struct Metrics {
     /// `slcs_sched_mode_total` series. `Auto` requests are counted
     /// under the concrete mode the tuning profile resolved them to.
     pub sched_modes: [AtomicU64; SCHED_MODE_TOKENS.len()],
+    /// Protocol/request errors, one counter per [`ErrorKind`] (indexed
+    /// by [`ErrorKind::index`]) — the `slcs_engine_errors_total` series.
+    pub errors: [AtomicU64; ErrorKind::COUNT],
     /// Time from acceptance to a worker picking the request up.
     pub wait_micros: Histogram,
     /// Time a worker spent computing the answer.
     pub service_micros: Histogram,
+}
+
+/// Protocol/request error vocabulary of `slcs_engine_errors_total{kind}`
+/// and the STATS `errors=` field. These are the failure paths that
+/// previously left no metric trail: a malformed protocol line, an
+/// oversize input bounced before parsing, a queue-full rejection
+/// surfaced to a client, and an internal (panicked) request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unparseable or invalid protocol line (bad command, bad args).
+    Malformed,
+    /// Input line larger than the server's size cap.
+    Oversize,
+    /// Request bounced with BUSY because the queue was full.
+    QueueFull,
+    /// Request failed inside the engine (worker caught a panic).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Every kind, in counter-index order (see [`Self::index`]).
+    pub const ALL: [ErrorKind; 4] =
+        [ErrorKind::Malformed, ErrorKind::Oversize, ErrorKind::QueueFull, ErrorKind::Internal];
+
+    /// Number of kinds (length of [`Self::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Position of this kind in [`Self::ALL`] — the index of its counter.
+    pub fn index(&self) -> usize {
+        match self {
+            ErrorKind::Malformed => 0,
+            ErrorKind::Oversize => 1,
+            ErrorKind::QueueFull => 2,
+            ErrorKind::Internal => 3,
+        }
+    }
+
+    /// Stable lowercase label — the `kind` value of the
+    /// `slcs_engine_errors_total` series and the STATS `errors=` field.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Oversize => "oversize",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::Internal => "internal",
+        }
+    }
 }
 
 /// Label set of the `slcs_sched_mode_total` series, index-aligned with
@@ -174,6 +237,12 @@ impl Metrics {
     pub fn note_dispatch(&self, reason: DispatchReason) {
         // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
         self.dispatch[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one protocol/request error.
+    pub fn note_error(&self, kind: ErrorKind) {
+        // ORDERING: Relaxed — independent monotonic metrics counter; nothing is published through it.
+        self.errors[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the scheduling mode a grid-parallel kernel build ran
@@ -206,7 +275,9 @@ impl Metrics {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             dispatch: std::array::from_fn(|i| self.dispatch[i].load(Ordering::Relaxed)),
             sched_modes: std::array::from_fn(|i| self.sched_modes[i].load(Ordering::Relaxed)),
+            errors: std::array::from_fn(|i| self.errors[i].load(Ordering::Relaxed)),
             queue_depth,
+            windows: crate::windows::WindowsSnapshot::default(),
             wait_micros: self.wait_micros.snapshot(),
             service_micros: self.service_micros.snapshot(),
             par_grain: slcs_semilocal::par_grain(),
@@ -235,6 +306,12 @@ pub struct StatsSnapshot {
     /// Grid-parallel scheduling-mode counts, index-aligned with
     /// [`SCHED_MODE_TOKENS`].
     pub sched_modes: [u64; SCHED_MODE_TOKENS.len()],
+    /// Protocol/request error counts, indexed by [`ErrorKind::index`].
+    pub errors: [u64; ErrorKind::COUNT],
+    /// Rolling-window latency quantile data per request class (filled by
+    /// [`Engine::stats`](crate::Engine::stats) from the engine's window
+    /// ring; empty in a bare [`Metrics::snapshot`]).
+    pub windows: crate::windows::WindowsSnapshot,
     /// Gauge: live queue depth at snapshot time (read from the queue
     /// itself, never a shadow atomic — see the module docs).
     pub queue_depth: u64,
@@ -300,6 +377,18 @@ impl StatsSnapshot {
         for (token, count) in SCHED_MODE_TOKENS.iter().zip(&self.sched_modes) {
             let _ = writeln!(out, "slcs_sched_mode_total{{mode=\"{token}\"}} {count}");
         }
+        // Protocol/request errors, stable-zero per kind.
+        let _ = writeln!(out, "# TYPE slcs_engine_errors_total counter");
+        for kind in ErrorKind::ALL {
+            let _ = writeln!(
+                out,
+                "slcs_engine_errors_total{{kind=\"{}\"}} {}",
+                kind.token(),
+                self.errors[kind.index()],
+            );
+        }
+        // Rolling-window latency quantiles per request class.
+        self.windows.write_prometheus(&mut out);
         for (name, value) in [
             ("slcs_queue_depth", self.queue_depth),
             ("slcs_queue_depth_max", self.max_queue_depth),
@@ -396,6 +485,11 @@ impl std::fmt::Display for StatsSnapshot {
         write!(f, "dispatch:")?;
         for reason in DispatchReason::ALL {
             write!(f, " {}={}", reason.token(), self.dispatch[reason.index()])?;
+        }
+        writeln!(f)?;
+        write!(f, "errors:  ")?;
+        for kind in ErrorKind::ALL {
+            write!(f, " {}={}", kind.token(), self.errors[kind.index()])?;
         }
         writeln!(f)?;
         writeln!(f, "batches:  {} popped, {} requests coalesced", self.batches, self.coalesced)?;

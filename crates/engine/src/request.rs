@@ -24,6 +24,15 @@ pub enum Operation {
 }
 
 impl Operation {
+    /// Request-class vocabulary, in [`Self::class_index`] order. Each
+    /// operation is one "request class" for SLOs, rolling-window
+    /// quantiles and the flight recorder — different classes have
+    /// wildly different latency envelopes, so they are tracked apart.
+    pub const CLASS_TOKENS: [&'static str; 4] = ["lcs", "windows", "edit", "edit_bounded"];
+
+    /// Number of request classes (length of [`Self::CLASS_TOKENS`]).
+    pub const CLASS_COUNT: usize = Self::CLASS_TOKENS.len();
+
     /// Stable lowercase wire/trace token for this operation.
     pub fn token(&self) -> &'static str {
         match self {
@@ -31,6 +40,16 @@ impl Operation {
             Operation::Windows { .. } => "windows",
             Operation::Edit { .. } => "edit",
             Operation::EditBounded { .. } => "edit_bounded",
+        }
+    }
+
+    /// Position of this operation's class in [`Self::CLASS_TOKENS`].
+    pub fn class_index(&self) -> usize {
+        match self {
+            Operation::Lcs => 0,
+            Operation::Windows { .. } => 1,
+            Operation::Edit { .. } => 2,
+            Operation::EditBounded { .. } => 3,
         }
     }
 }

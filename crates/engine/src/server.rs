@@ -10,6 +10,8 @@
 //! EDIT <pattern> <text> k=<K>      → OK <dist> | OK gt <K>   (bounded: exact iff ≤ K)
 //! STATS                            → OK key=value … (incl. raw histogram buckets)
 //! METRICS                          → Prometheus text exposition, `# EOF`-terminated
+//! HEALTH                           → OK | DEGRADED <reason>; <reason>  (SLO verdict)
+//! AUDIT [N|slowest|class|reason|captures] → flight-recorder dump, `# EOF`-terminated
 //! TRACE on|off|dump                → tracing control (gated by ServerConfig)
 //! PING                             → OK pong
 //! QUIT                             → OK bye (server closes the connection)
@@ -18,13 +20,17 @@
 //! Error responses: `ERR <reason>` for malformed or invalid requests,
 //! `BUSY` when the engine's bounded queue rejects the submission —
 //! backpressure is forwarded to the client verbatim rather than queued
-//! invisibly, so a load balancer can react to it.
+//! invisibly, so a load balancer can react to it. Server-side failures
+//! are counted by kind in `slcs_engine_errors_total{kind}` (malformed
+//! lines, over-length lines, queue-full rejections, worker panics) and
+//! the same counts feed the HEALTH error-budget check.
 //!
-//! `METRICS` is the one deliberate exception to one-line responses: it
-//! returns the standard multi-line Prometheus exposition, and clients
-//! read until the `# EOF` terminator line (see docs/OBSERVABILITY.md).
-//! `TRACE dump` stays single-line: the Chrome-tracing JSON is emitted
-//! compact, after an `OK ` prefix.
+//! `METRICS` and `AUDIT` are the two deliberate exceptions to one-line
+//! responses: `METRICS` returns the standard multi-line Prometheus
+//! exposition and `AUDIT` one line per audit record (or capture tree),
+//! both terminated by a `# EOF` line clients read until (see
+//! docs/OBSERVABILITY.md). `TRACE dump` stays single-line: the
+//! Chrome-tracing JSON is emitted compact, after an `OK ` prefix.
 //!
 //! The accept loop polls a stop flag (non-blocking accept + short
 //! sleeps) and per-connection reads carry a timeout, so
@@ -38,8 +44,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::engine::Engine;
+use crate::metrics::ErrorKind;
 use crate::queue::Submit;
+use crate::recorder::FlightRecorder;
 use crate::request::{CompareRequest, DispatchReason, Operation, Payload};
+use crate::slo::SloTable;
+
+/// Longest request line the server will process; anything longer is
+/// rejected (`ERR line too long`) and counted as an `oversize` error.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How many audit records `AUDIT` returns when no count is given.
+pub const AUDIT_DEFAULT_LIMIT: usize = 16;
 
 /// Limits for one server instance.
 #[derive(Clone, Debug)]
@@ -52,11 +68,17 @@ pub struct ServerConfig {
     /// (`ERR tracing disabled` is returned instead). `METRICS`/`STATS`
     /// stay available either way.
     pub allow_trace: bool,
+    /// Per-class latency targets, queue bound and error budget that the
+    /// `HEALTH` command evaluates. Independent from the engine's own
+    /// [`EngineConfig::slo`](crate::EngineConfig) (which drives slow
+    /// capture), so an operator can probe a tighter target than the one
+    /// that triggers exemplars.
+    pub slo: SloTable,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_connections: 64, allow_trace: true }
+        ServerConfig { max_connections: 64, allow_trace: true, slo: SloTable::default() }
     }
 }
 
@@ -125,6 +147,10 @@ fn accept_loop(
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Request-response protocol: Nagle + delayed ACK adds
+                // ~40ms to every round trip, dwarfing sub-ms service
+                // times. Best-effort — a failed setsockopt still serves.
+                let _ = stream.set_nodelay(true);
                 // ORDERING: Relaxed — best-effort connection cap; exactness is not required.
                 if live.load(Ordering::Relaxed) >= config.max_connections {
                     let mut stream = stream;
@@ -238,9 +264,107 @@ fn metrics_exposition(engine: &Engine) -> String {
     out
 }
 
+/// The multi-line `AUDIT` response: `OK <count>`, one line per
+/// selected record (or capture), then `# EOF`.
+fn audit_response(recorder: &FlightRecorder, args: &[String]) -> String {
+    fn parse_limit(arg: Option<&String>) -> Result<usize, String> {
+        match arg {
+            None => Ok(AUDIT_DEFAULT_LIMIT),
+            Some(s) => s.parse().map_err(|_| "ERR count must be an integer".to_string()),
+        }
+    }
+    fn render(mut records: Vec<crate::recorder::AuditRecord>, limit: usize) -> String {
+        records.truncate(limit);
+        let mut out = format!("OK {}", records.len());
+        for rec in &records {
+            out.push('\n');
+            out.push_str(&rec.to_line());
+        }
+        out.push_str("\n# EOF");
+        out
+    }
+    // Snapshot order is oldest-first; dumps read best newest-first.
+    let newest_first = || {
+        let mut records = recorder.snapshot();
+        records.reverse();
+        records
+    };
+    match args.first().map(String::as_str) {
+        None => render(newest_first(), AUDIT_DEFAULT_LIMIT),
+        Some("slowest") => {
+            let limit = match parse_limit(args.get(1)) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            let mut records = recorder.snapshot();
+            records.sort_by_key(|r| std::cmp::Reverse(r.service_ns));
+            render(records, limit)
+        }
+        Some(filter @ ("class" | "reason")) => {
+            let Some(token) = args.get(1) else {
+                return format!("ERR usage: AUDIT {filter} <token> [N]");
+            };
+            let limit = match parse_limit(args.get(2)) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            let records = newest_first()
+                .into_iter()
+                .filter(|r| if filter == "class" { r.class == token } else { r.reason == token })
+                .collect();
+            render(records, limit)
+        }
+        Some("captures") => {
+            let captures = recorder.captures();
+            let mut out = format!("OK {}", captures.len());
+            for cap in &captures {
+                out.push('\n');
+                out.push_str(&format!(
+                    "capture id={} class={} service_ns={} slo_us={}",
+                    cap.id, cap.class, cap.service_ns, cap.slo_micros
+                ));
+                for line in cap.tree.lines() {
+                    out.push('\n');
+                    out.push_str(line);
+                }
+            }
+            out.push_str("\n# EOF");
+            out
+        }
+        Some(n) if n.parse::<usize>().is_ok() => {
+            // PANIC: the guard above established the parse succeeds.
+            render(newest_first(), n.parse().unwrap())
+        }
+        Some(_) => {
+            "ERR usage: AUDIT [N | slowest [N] | class <c> [N] | reason <r> [N] | captures]".into()
+        }
+    }
+}
+
 /// Parses one request line and produces the response (no trailing
-/// newline; only `METRICS` spans multiple lines).
+/// newline; only `METRICS` and `AUDIT` span multiple lines). Counts
+/// protocol-level failures into `slcs_engine_errors_total{kind}`.
 pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
+    if line.len() > MAX_LINE_BYTES {
+        engine.metrics().note_error(ErrorKind::Oversize);
+        return format!("ERR line too long (max {MAX_LINE_BYTES} bytes)");
+    }
+    let response = respond_inner(line, engine, config);
+    if response == "BUSY" {
+        engine.metrics().note_error(ErrorKind::QueueFull);
+    } else if response.starts_with("ERR")
+        // Worker panics and shutdown races are engine-side failures:
+        // panics were already counted as `internal` by the worker, and
+        // neither is the client's line being malformed.
+        && !response.starts_with("ERR internal engine error")
+        && !response.starts_with("ERR engine is shutting down")
+    {
+        engine.metrics().note_error(ErrorKind::Malformed);
+    }
+    response
+}
+
+fn respond_inner(line: &str, engine: &Engine, config: &ServerConfig) -> String {
     let mut parts = line.split_ascii_whitespace();
     let Some(cmd) = parts.next() else {
         return "ERR empty request".into();
@@ -255,13 +379,19 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
                 .map(|r| format!("{}:{}", r.token(), s.dispatch[r.index()]))
                 .collect::<Vec<_>>()
                 .join(",");
+            let errors = ErrorKind::ALL
+                .iter()
+                .map(|k| format!("{}:{}", k.token(), s.errors[k.index()]))
+                .collect::<Vec<_>>()
+                .join(",");
             return format!(
                 "OK submitted={} accepted={} completed={} queue_full={} invalid={} \
                  hits={} misses={} evictions={} batches={} coalesced={} \
                  depth={} max_depth={} par_grain={} simd={} dispatch={dispatch} \
+                 errors={errors} \
                  wait_sum={} service_sum={} \
                  allocs={} frees={} live_bytes={} peak_live_bytes={} alloc_installed={} \
-                 wait_buckets={} service_buckets={}",
+                 wait_buckets={} service_buckets={} latency_windows={}",
                 s.submitted,
                 s.accepted,
                 s.completed,
@@ -285,9 +415,19 @@ pub fn respond(line: &str, engine: &Engine, config: &ServerConfig) -> String {
                 u8::from(s.alloc_installed),
                 joined_buckets(&s.wait_micros.buckets),
                 joined_buckets(&s.service_micros.buckets),
+                s.windows.stats_field(),
             );
         }
         "METRICS" => return metrics_exposition(engine),
+        "HEALTH" => return engine.health(&config.slo).verdict_line(),
+        "AUDIT" => {
+            let recorder = engine.recorder();
+            if !recorder.enabled() {
+                return "ERR audit disabled (recorder capacity 0)".into();
+            }
+            let args: Vec<String> = parts.map(str::to_ascii_lowercase).collect();
+            return audit_response(recorder, &args);
+        }
         "TRACE" => {
             if !config.allow_trace {
                 return "ERR tracing disabled".into();
@@ -389,6 +529,7 @@ mod tests {
             cache_capacity: 16,
             batch_limit: 4,
             threads_per_request: 1,
+            ..EngineConfig::default()
         }))
     }
 
@@ -422,6 +563,102 @@ mod tests {
         assert!(stats.contains(" allocs="), "{stats}");
         assert!(stats.contains(" peak_live_bytes="), "{stats}");
         assert!(stats.contains(" alloc_installed="), "{stats}");
+        assert!(stats.contains(" errors=malformed:"), "{stats}");
+        assert!(stats.contains(" latency_windows=lcs:10s:"), "{stats}");
+    }
+
+    #[test]
+    fn health_reports_ok_on_a_quiet_engine() {
+        let engine = engine();
+        let cfg = ServerConfig::default();
+        let _ = respond("LCS abcabba cbabac", &engine, &cfg);
+        assert_eq!(respond("HEALTH", &engine, &cfg), "OK");
+        // A zero-target SLO table must flip the verdict immediately.
+        let strict = ServerConfig {
+            slo: SloTable { p99_micros: [0; 4], ..SloTable::default() },
+            ..ServerConfig::default()
+        };
+        let verdict = respond("HEALTH", &engine, &strict);
+        assert!(verdict.starts_with("DEGRADED"), "{verdict}");
+        assert!(verdict.contains("class lcs"), "{verdict}");
+    }
+
+    #[test]
+    fn audit_dumps_filter_and_terminate_with_eof() {
+        let engine = engine();
+        let cfg = ServerConfig::default();
+        let _ = respond("LCS abcabba cbabac", &engine, &cfg);
+        let _ = respond("EDIT kitten sitting", &engine, &cfg);
+        let _ = respond("EDIT kitten sitting", &engine, &cfg);
+
+        let dump = respond("AUDIT", &engine, &cfg);
+        assert!(dump.starts_with("OK 3\n"), "{dump}");
+        assert!(dump.ends_with("# EOF"), "{dump}");
+        // Newest-first: the cache-hitting EDIT leads.
+        let first = dump.lines().nth(1).unwrap();
+        assert!(first.contains("class=edit"), "{first}");
+        assert!(first.contains("cache=hit"), "{first}");
+        for line in dump.lines().skip(1).take(3) {
+            for key in [
+                "id=",
+                "class=",
+                "algo=",
+                "reason=",
+                "sched=",
+                "cache=",
+                "bytes=",
+                "wait_ns=",
+                "service_ns=",
+                "alloc_bytes=",
+                "ok=",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+        }
+
+        let limited = respond("AUDIT 1", &engine, &cfg);
+        assert_eq!(limited.lines().count(), 3, "{limited}"); // OK 1, record, # EOF
+
+        let by_class = respond("AUDIT class lcs", &engine, &cfg);
+        assert!(by_class.starts_with("OK 1\n"), "{by_class}");
+        assert!(by_class.contains("class=lcs"), "{by_class}");
+
+        let slowest = respond("AUDIT slowest 2", &engine, &cfg);
+        assert!(slowest.starts_with("OK 2\n"), "{slowest}");
+        let times: Vec<u64> = slowest
+            .lines()
+            .skip(1)
+            .take(2)
+            .map(|l| {
+                l.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix("service_ns="))
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert!(times[0] >= times[1], "slowest-first ordering: {times:?}");
+
+        let captures = respond("AUDIT captures", &engine, &cfg);
+        assert!(captures.starts_with("OK "), "{captures}");
+        assert!(captures.ends_with("# EOF"), "{captures}");
+        assert!(respond("AUDIT sideways", &engine, &cfg).starts_with("ERR usage"));
+        assert!(respond("AUDIT class", &engine, &cfg).starts_with("ERR usage"));
+    }
+
+    #[test]
+    fn protocol_failures_are_counted_by_kind() {
+        let engine = engine();
+        let cfg = ServerConfig::default();
+        let long = format!("LCS {} b", "a".repeat(MAX_LINE_BYTES + 1));
+        assert!(respond(&long, &engine, &cfg).starts_with("ERR line too long"));
+        let _ = respond("NOPE", &engine, &cfg);
+        let _ = respond("WINDOWS x a b", &engine, &cfg);
+        let stats = engine.stats();
+        assert_eq!(stats.errors[crate::metrics::ErrorKind::Oversize.index()], 1);
+        assert_eq!(stats.errors[crate::metrics::ErrorKind::Malformed.index()], 2);
+        let line = respond("STATS", &engine, &cfg);
+        assert!(line.contains("errors=malformed:2,oversize:1,queue_full:0,internal:0"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Per-class SLO targets and the HEALTH verdict.
+//!
+//! Different request classes have wildly different latency envelopes —
+//! a bit-parallel LCS answers in microseconds while a windowed edit
+//! scan builds an O(mn) index — so one global latency target would
+//! either mask slow classes or permanently trip on the expensive ones.
+//! The [`SloTable`] keeps one p99 target per request class, a queue
+//! depth bound and an error budget; [`evaluate`] folds the engine's
+//! rolling-window quantiles into an `OK`/`DEGRADED <reasons>` verdict.
+//! The HEALTH protocol command serves that verdict, and it is the hook
+//! deadline-based load-shedding will key off.
+//!
+//! The p99 check reads the *shortest* rolling window, so the verdict
+//! reacts to current traffic and recovers within one window rotation
+//! after load stops (an idle window drains to empty and is skipped).
+
+use crate::metrics::StatsSnapshot;
+use crate::request::Operation;
+
+/// Per-class targets evaluated by HEALTH, and the slow-request capture
+/// threshold of the flight recorder.
+#[derive(Clone, Debug)]
+pub struct SloTable {
+    /// p99 service-time targets (µs), indexed by
+    /// [`Operation::class_index`]. A request whose service time exceeds
+    /// its class target is "slow" (triggers exemplar capture); a class
+    /// whose *windowed* p99 exceeds its target degrades HEALTH.
+    pub p99_micros: [u64; Operation::CLASS_COUNT],
+    /// HEALTH degrades when the live queue depth exceeds this.
+    pub max_queue_depth: u64,
+    /// HEALTH degrades when lifetime errors exceed this percentage of
+    /// submitted requests.
+    pub error_budget_percent: f64,
+}
+
+impl Default for SloTable {
+    fn default() -> SloTable {
+        SloTable {
+            // lcs / windows / edit / edit_bounded — the kernel-building
+            // classes get room for an O(mn) comb on serving-size inputs.
+            p99_micros: [50_000, 200_000, 200_000, 50_000],
+            max_queue_depth: 192,
+            error_budget_percent: 1.0,
+        }
+    }
+}
+
+impl SloTable {
+    /// The p99 target (µs) of a request class.
+    pub fn target_micros(&self, class: usize) -> u64 {
+        self.p99_micros.get(class).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Is one request's service time over its class target? (The
+    /// flight recorder's slow-capture trigger; strictly greater, so a
+    /// zero target marks every measurable request slow.)
+    pub fn is_slow(&self, class: usize, service_ns: u64) -> bool {
+        service_ns > self.target_micros(class).saturating_mul(1_000)
+    }
+}
+
+/// The HEALTH verdict: empty reasons = OK.
+#[derive(Clone, Debug, Default)]
+pub struct HealthReport {
+    pub reasons: Vec<String>,
+}
+
+impl HealthReport {
+    pub fn is_ok(&self) -> bool {
+        self.reasons.is_empty()
+    }
+
+    /// The HEALTH wire line: `OK` or `DEGRADED <reason>; <reason>`.
+    pub fn verdict_line(&self) -> String {
+        if self.is_ok() {
+            "OK".to_string()
+        } else {
+            format!("DEGRADED {}", self.reasons.join("; "))
+        }
+    }
+}
+
+/// Folds a stats snapshot (with its rolling windows) into a verdict.
+pub fn evaluate(slo: &SloTable, stats: &StatsSnapshot) -> HealthReport {
+    let mut reasons = Vec::new();
+    for (ci, class) in Operation::CLASS_TOKENS.iter().enumerate() {
+        // The shortest window: the verdict tracks *current* traffic.
+        let h = stats.windows.hist(ci, 0);
+        if h.count() == 0 {
+            continue;
+        }
+        let p99 = h.quantile(0.99);
+        let target = slo.target_micros(ci);
+        if p99 > target {
+            reasons.push(format!("class {class} p99 {p99}us > slo {target}us"));
+        }
+    }
+    if stats.queue_depth > slo.max_queue_depth {
+        reasons.push(format!("queue depth {} > {}", stats.queue_depth, slo.max_queue_depth));
+    }
+    let errors: u64 = stats.errors.iter().sum();
+    if errors > 0 && stats.submitted > 0 {
+        let burn = errors as f64 * 100.0 / stats.submitted as f64;
+        if burn > slo.error_budget_percent {
+            reasons.push(format!(
+                "error budget {burn:.2}% > {:.2}% ({errors} errors / {} submitted)",
+                slo.error_budget_percent, stats.submitted
+            ));
+        }
+    }
+    HealthReport { reasons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::windows::RollingWindows;
+
+    fn stats_with_windows(w: &RollingWindows) -> StatsSnapshot {
+        let m = Metrics::default();
+        let mut s = m.snapshot(0);
+        s.windows = w.snapshot();
+        s
+    }
+
+    #[test]
+    fn empty_engine_is_healthy() {
+        let w = RollingWindows::new(10_000);
+        let report = evaluate(&SloTable::default(), &stats_with_windows(&w));
+        assert!(report.is_ok());
+        assert_eq!(report.verdict_line(), "OK");
+    }
+
+    #[test]
+    fn breaching_class_p99_names_the_class() {
+        let mut slo = SloTable::default();
+        slo.p99_micros[2] = 10; // edit: 10µs target
+        let w = RollingWindows::new(10_000);
+        for _ in 0..20 {
+            w.record(2, 5_000); // 5ms samples, way over target
+        }
+        w.record(0, 1); // lcs is fine
+        let report = evaluate(&slo, &stats_with_windows(&w));
+        assert!(!report.is_ok());
+        let line = report.verdict_line();
+        assert!(line.starts_with("DEGRADED"), "{line}");
+        assert!(line.contains("class edit"), "{line}");
+        assert!(!line.contains("class lcs"), "{line}");
+    }
+
+    #[test]
+    fn queue_depth_and_error_budget_degrade() {
+        let slo = SloTable { max_queue_depth: 4, error_budget_percent: 1.0, ..SloTable::default() };
+        let w = RollingWindows::new(10_000);
+        let mut stats = stats_with_windows(&w);
+        stats.queue_depth = 9;
+        stats.submitted = 100;
+        stats.errors[0] = 5; // 5% malformed
+        let report = evaluate(&slo, &stats);
+        let line = report.verdict_line();
+        assert!(line.contains("queue depth 9 > 4"), "{line}");
+        assert!(line.contains("error budget"), "{line}");
+    }
+
+    #[test]
+    fn is_slow_compares_service_to_class_target() {
+        let slo = SloTable { p99_micros: [100, 0, u64::MAX, 100], ..SloTable::default() };
+        assert!(!slo.is_slow(0, 100_000)); // exactly at target
+        assert!(slo.is_slow(0, 100_001));
+        assert!(slo.is_slow(1, 1), "zero target: everything measurable is slow");
+        assert!(!slo.is_slow(2, u64::MAX));
+    }
+}

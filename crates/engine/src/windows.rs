@@ -1,0 +1,307 @@
+//! Rolling-window latency quantiles per request class.
+//!
+//! Cumulative-since-start histograms cannot answer "what is p99 *right
+//! now*" — after a day of traffic a latency spike vanishes into the
+//! denominator. This module keeps, per request class, a rotated ring
+//! of the engine's power-of-two [`Histogram`]s: time is divided into
+//! fixed slices, each slice owns one histogram, and a window quantile
+//! merges the youngest 1/6/30 slices (10s/1m/5m at the default 10s
+//! slice). Merging log₂ histograms is exact (bucketwise sum), so a
+//! window quantile has the same bucket resolution as the cumulative
+//! ones.
+//!
+//! Slices are recycled in place: a recorder landing in a slot whose
+//! tag is stale CASes the tag to the current slice number and clears
+//! the histogram. Readers include only slots whose tag falls inside
+//! the queried window, so an idle engine's windows drain to empty by
+//! construction — no background thread rotates anything. The design
+//! is lock-free and approximately consistent: a reader racing a slice
+//! recycle can observe a partially-cleared histogram, which costs at
+//! most one slice of one window for one scrape.
+
+use std::time::Instant;
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::request::Operation;
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Window labels, youngest-first. With the default 10-second slice the
+/// windows span 10s, 1m and 5m; a custom
+/// [`EngineConfig::window_slice_millis`](crate::EngineConfig) scales
+/// all three (labels are stable vocabulary, sized for the default).
+pub const WINDOW_TOKENS: [&str; 3] = ["10s", "1m", "5m"];
+
+/// How many slices each window merges, index-aligned with
+/// [`WINDOW_TOKENS`].
+pub const WINDOW_SLICES: [usize; 3] = [1, 6, 30];
+
+/// Quantile labels exported per `{class, window}` pair.
+pub const QUANTILE_TOKENS: [&str; 4] = ["p50", "p90", "p99", "p999"];
+
+/// Quantile ranks, index-aligned with [`QUANTILE_TOKENS`].
+pub const QUANTILE_RANKS: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+/// Default slice duration: 10 seconds, making the largest window 5
+/// minutes deep.
+pub const DEFAULT_SLICE_MILLIS: u64 = 10_000;
+
+/// Ring length — the largest window, so every window's slices are
+/// resident at once.
+const RING: usize = 30;
+
+struct SliceSlot {
+    /// Slice number this slot currently holds samples for (0 = never
+    /// used). Doubles as the recycle claim: the recorder that CASes the
+    /// tag forward owns the clear.
+    tag: AtomicU64,
+    hist: Histogram,
+}
+
+/// The per-class rings. Shared by workers (record) and any snapshot
+/// reader; all operations are lock-free.
+pub struct RollingWindows {
+    slice_millis: u64,
+    started: Instant,
+    classes: [[SliceSlot; RING]; Operation::CLASS_COUNT],
+}
+
+impl RollingWindows {
+    /// A ring with the given slice duration; `slice_millis == 0`
+    /// disables windowing entirely (record is a no-op, snapshots are
+    /// empty).
+    pub fn new(slice_millis: u64) -> RollingWindows {
+        RollingWindows {
+            slice_millis,
+            started: Instant::now(),
+            classes: std::array::from_fn(|_| {
+                std::array::from_fn(|_| SliceSlot {
+                    tag: AtomicU64::new(0),
+                    hist: Histogram::default(),
+                })
+            }),
+        }
+    }
+
+    /// Current slice number, starting at 1 so the never-used tag 0 is
+    /// unambiguous.
+    fn current_slice(&self) -> u64 {
+        (self.started.elapsed().as_millis() as u64 / self.slice_millis) + 1
+    }
+
+    /// Records one service-time sample (µs) for a request class.
+    pub fn record(&self, class: usize, micros: u64) {
+        if self.slice_millis == 0 {
+            return;
+        }
+        let slice = self.current_slice();
+        let slot = &self.classes[class][(slice % RING as u64) as usize];
+        // ORDERING: Acquire — pairs with the releasing CAS below so a
+        // recorder that sees the current tag also sees the cleared
+        // histogram.
+        let tag = slot.tag.load(Ordering::Acquire);
+        if tag != slice {
+            // ORDERING: AcqRel — claims the recycled slot: exactly one
+            // racing recorder wins and clears; the release publishes the
+            // clear to recorders that acquire the new tag.
+            if slot.tag.compare_exchange(tag, slice, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
+                slot.hist.clear();
+            }
+        }
+        slot.hist.record(micros);
+    }
+
+    /// Merged histograms for every `{class, window}` pair. Only slots
+    /// whose slice falls inside a window contribute, so idle windows
+    /// drain to empty without any rotation thread.
+    pub fn snapshot(&self) -> WindowsSnapshot {
+        let mut out = WindowsSnapshot::default();
+        if self.slice_millis == 0 {
+            return out;
+        }
+        let current = self.current_slice();
+        for (ci, ring) in self.classes.iter().enumerate() {
+            for slot in ring {
+                // ORDERING: Acquire — pairs with the recycling CAS; a
+                // stale or torn view costs one slice of one scrape.
+                let tag = slot.tag.load(Ordering::Acquire);
+                if tag == 0 || tag > current {
+                    continue;
+                }
+                let age = current - tag;
+                if age >= RING as u64 {
+                    continue;
+                }
+                let h = slot.hist.snapshot();
+                for (wi, &slices) in WINDOW_SLICES.iter().enumerate() {
+                    if age < slices as u64 {
+                        out.hists[ci][wi].merge(&h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of every `{class, window}` merged histogram.
+#[derive(Clone, Debug)]
+pub struct WindowsSnapshot {
+    /// Class-major: `hists[class][window]`, index-aligned with
+    /// [`Operation::CLASS_TOKENS`] and [`WINDOW_TOKENS`].
+    pub hists: [[HistogramSnapshot; WINDOW_TOKENS.len()]; Operation::CLASS_COUNT],
+}
+
+impl Default for WindowsSnapshot {
+    fn default() -> WindowsSnapshot {
+        WindowsSnapshot {
+            hists: std::array::from_fn(|_| {
+                std::array::from_fn(|_| HistogramSnapshot {
+                    buckets: [0; HistogramSnapshot::LEN],
+                    sum: 0,
+                })
+            }),
+        }
+    }
+}
+
+impl WindowsSnapshot {
+    /// The merged histogram of one `{class, window}` pair.
+    pub fn hist(&self, class: usize, window: usize) -> &HistogramSnapshot {
+        &self.hists[class][window]
+    }
+
+    /// Appends the `slcs_latency_window{class,window,quantile}` gauge
+    /// series (µs; 0 when the window is empty). Every label triple is
+    /// emitted even at zero so scrapers see a stable set.
+    pub fn write_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE slcs_latency_window gauge");
+        for (ci, class) in Operation::CLASS_TOKENS.iter().enumerate() {
+            for (wi, window) in WINDOW_TOKENS.iter().enumerate() {
+                let h = &self.hists[ci][wi];
+                for (qi, quantile) in QUANTILE_TOKENS.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "slcs_latency_window{{class=\"{class}\",window=\"{window}\",\
+                         quantile=\"{quantile}\"}} {}",
+                        h.quantile(QUANTILE_RANKS[qi]),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The STATS `latency_windows=` field: comma-separated
+    /// `class:window:p50/p90/p99/p999` entries (µs).
+    pub fn stats_field(&self) -> String {
+        let mut parts = Vec::with_capacity(Operation::CLASS_COUNT * WINDOW_TOKENS.len());
+        for (ci, class) in Operation::CLASS_TOKENS.iter().enumerate() {
+            for (wi, window) in WINDOW_TOKENS.iter().enumerate() {
+                let h = &self.hists[ci][wi];
+                parts.push(format!(
+                    "{class}:{window}:{}/{}/{}/{}",
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.quantile(0.999),
+                ));
+            }
+        }
+        parts.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let w = RollingWindows::new(0);
+        w.record(0, 100);
+        let s = w.snapshot();
+        assert_eq!(s.hist(0, 0).count(), 0);
+        assert_eq!(s.hist(0, 2).count(), 0);
+    }
+
+    #[test]
+    fn samples_land_in_every_window_and_quantiles_are_monotone() {
+        let w = RollingWindows::new(10_000);
+        for micros in [10, 20, 40, 80, 5000] {
+            w.record(2, micros);
+        }
+        let s = w.snapshot();
+        for wi in 0..WINDOW_TOKENS.len() {
+            let h = s.hist(2, wi);
+            assert_eq!(h.count(), 5, "window {wi} sees the current slice");
+            let qs: Vec<u64> = QUANTILE_RANKS.iter().map(|&q| h.quantile(q)).collect();
+            for pair in qs.windows(2) {
+                assert!(pair[0] <= pair[1], "quantiles must be monotone: {qs:?}");
+            }
+        }
+        // Other classes stay empty.
+        assert_eq!(s.hist(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn windows_drain_after_idle() {
+        let w = RollingWindows::new(5);
+        w.record(1, 77);
+        assert_eq!(w.snapshot().hist(1, 0).count(), 1);
+        // Sleep past the largest window (30 slices × 5ms = 150ms).
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let s = w.snapshot();
+        for wi in 0..WINDOW_TOKENS.len() {
+            assert_eq!(s.hist(1, wi).count(), 0, "window {wi} must drain when idle");
+        }
+    }
+
+    #[test]
+    fn short_window_drains_before_long_window() {
+        let w = RollingWindows::new(20);
+        w.record(0, 50);
+        // Sleep past the 1-slice window but well inside the 6-slice one.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        w.record(0, 60); // fresh slice, re-arms the short window with 1 sample
+        let s = w.snapshot();
+        assert_eq!(s.hist(0, 0).count(), 1, "10s window holds only the fresh slice");
+        assert_eq!(s.hist(0, 1).count(), 2, "1m window still holds both");
+    }
+
+    #[test]
+    fn slot_recycling_clears_old_samples() {
+        let w = RollingWindows::new(1);
+        w.record(3, 99);
+        // Sleep enough that the ring wraps (RING slices × 1ms), then
+        // record again: the recycled slot must not resurrect the old
+        // sample into the short window.
+        std::thread::sleep(std::time::Duration::from_millis(RING as u64 + 5));
+        w.record(3, 11);
+        let h = w.snapshot().hist(3, 0).clone();
+        assert_eq!(h.count(), 1, "recycled slot was cleared");
+    }
+
+    #[test]
+    fn prometheus_and_stats_field_have_stable_label_sets() {
+        let w = RollingWindows::new(10_000);
+        w.record(0, 1000);
+        let s = w.snapshot();
+        let mut out = String::new();
+        s.write_prometheus(&mut out);
+        for class in Operation::CLASS_TOKENS {
+            for window in WINDOW_TOKENS {
+                for quantile in QUANTILE_TOKENS {
+                    let needle = format!(
+                        "slcs_latency_window{{class=\"{class}\",window=\"{window}\",\
+                         quantile=\"{quantile}\"}}"
+                    );
+                    assert!(out.contains(&needle), "missing {needle}:\n{out}");
+                }
+            }
+        }
+        let field = s.stats_field();
+        assert!(field.contains("lcs:10s:"), "{field}");
+        assert!(field.contains("edit_bounded:5m:"), "{field}");
+        assert_eq!(field.split(',').count(), Operation::CLASS_COUNT * WINDOW_TOKENS.len());
+    }
+}

@@ -64,11 +64,12 @@ fn main() -> ExitCode {
 // trace-check: validate an emitted Chrome-tracing JSON
 // ---------------------------------------------------------------------
 
-/// Span names that prove all four instrumented layers made it into a
-/// traced benchmark run: the engine request lifecycle, the executor
-/// pool, the wavefront drivers, and the output-sensitive edit-distance
-/// BFS.
-const REQUIRED_SPANS: &[&str] = &["engine.request", "pool.job", "wavefront.diag", "osed.bfs_round"];
+/// Span names that prove all instrumented layers made it into a traced
+/// benchmark run: the engine request lifecycle, the executor pool, the
+/// wavefront drivers, the output-sensitive edit-distance BFS, and the
+/// flight recorder's slow-request capture marker.
+const REQUIRED_SPANS: &[&str] =
+    &["engine.request", "pool.job", "wavefront.diag", "osed.bfs_round", "engine.slow_capture"];
 
 fn trace_check(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
@@ -373,7 +374,9 @@ fn gate_mem(fresh: &str, base: &str, tol_pct: f64, _slack: f64) -> Vec<String> {
 
 fn gate_obs(fresh: &str, base: &str, _tol_pct: f64, slack: f64) -> Vec<String> {
     let mut problems = Vec::new();
-    for key in ["overhead_disabled_percent", "overhead_enabled_percent"] {
+    for key in
+        ["overhead_disabled_percent", "overhead_enabled_percent", "overhead_recorder_percent"]
+    {
         let (Some(f), Some(b)) = (num_field(fresh, key), num_field(base, key)) else {
             problems.push(format!("missing {key} in fresh or baseline"));
             continue;
@@ -1620,28 +1623,45 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("config drift")), "{problems:?}");
     }
 
-    fn obs_json(disabled: f64, enabled: f64) -> String {
+    fn obs_json(disabled: f64, enabled: f64, recorder: f64) -> String {
         format!(
             "{{\n  \"bench\": \"bench-obs\",\n  \"overhead_disabled_percent\": {disabled:.3},\n  \
-             \"overhead_enabled_percent\": {enabled:.3}\n}}\n"
+             \"overhead_enabled_percent\": {enabled:.3},\n  \
+             \"overhead_recorder_percent\": {recorder:.3}\n}}\n"
         )
     }
 
     #[test]
     fn gate_obs_allows_slack_but_fails_past_it() {
-        let base = obs_json(1.0, 8.0);
-        assert!(gate_obs(&obs_json(9.0, 15.0), &base, 25.0, 10.0).is_empty());
-        let problems = gate_obs(&obs_json(12.0, 8.0), &base, 25.0, 10.0);
+        let base = obs_json(1.0, 8.0, 1.0);
+        assert!(gate_obs(&obs_json(9.0, 15.0, 2.0), &base, 25.0, 10.0).is_empty());
+        let problems = gate_obs(&obs_json(12.0, 8.0, 1.0), &base, 25.0, 10.0);
         assert!(
             problems.iter().any(|p| p.contains("overhead_disabled_percent regressed")),
             "{problems:?}"
         );
+        // The serving-path recorder overhead gates the same way.
+        let problems = gate_obs(&obs_json(1.0, 8.0, 15.0), &base, 25.0, 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("overhead_recorder_percent regressed")),
+            "{problems:?}"
+        );
+        // A baseline without the recorder key is reported, not ignored.
+        let old_base = "{\n  \"overhead_disabled_percent\": 1.0,\n  \
+                        \"overhead_enabled_percent\": 8.0\n}\n";
+        let problems = gate_obs(&obs_json(1.0, 8.0, 1.0), old_base, 25.0, 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("missing overhead_recorder_percent")),
+            "{problems:?}"
+        );
         // Negative overheads (faster than untraced: measurement noise)
         // are always acceptable.
-        assert!(gate_obs(&obs_json(-0.5, -0.1), &base, 25.0, 10.0).is_empty());
+        assert!(gate_obs(&obs_json(-0.5, -0.1, -0.2), &base, 25.0, 10.0).is_empty());
         // A negative *baseline* clamps to zero instead of tightening
         // the budget below the slack.
-        assert!(gate_obs(&obs_json(9.0, 8.0), &obs_json(-5.0, 8.0), 25.0, 10.0).is_empty());
+        assert!(
+            gate_obs(&obs_json(9.0, 8.0, 1.0), &obs_json(-5.0, 8.0, -1.0), 25.0, 10.0).is_empty()
+        );
     }
 
     fn pool_json(team_ns: f64, spawn_ns: f64) -> String {

@@ -43,6 +43,7 @@ fn main() {
         cache_capacity: 16,
         batch_limit: 4,
         threads_per_request: 1,
+        ..EngineConfig::default()
     }));
     let handle = serve("127.0.0.1:0", engine.clone(), ServerConfig::default()).expect("bind");
     let addr = handle.addr();

@@ -75,6 +75,7 @@ fn soak_concurrent_submitters_get_bit_identical_answers() {
         cache_capacity: 32,
         batch_limit: 8,
         threads_per_request: 1,
+        ..EngineConfig::default()
     }));
 
     std::thread::scope(|scope| {
@@ -143,6 +144,7 @@ fn backpressure_is_observable_under_a_tiny_queue() {
         cache_capacity: 4,
         batch_limit: 1,
         threads_per_request: 1,
+        ..EngineConfig::default()
     });
     let mut rng = seeded_rng(11);
     let big: Arc<[u8]> = uniform_string(&mut rng, 2500, 4).into();

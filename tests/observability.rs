@@ -1,6 +1,7 @@
-//! End-to-end observability tests: the `METRICS` exposition and the
-//! `TRACE` command driven over a real TCP connection, exactly as a
-//! scraper or an operator would drive them.
+//! End-to-end observability tests: the `METRICS` exposition, the
+//! `TRACE`, `HEALTH` and `AUDIT` commands, and the rolling latency
+//! windows, driven over a real TCP connection exactly as a scraper or
+//! an operator would drive them.
 //!
 //! Tracing state is process-global, so every test that toggles or
 //! drains it holds `slcs_trace::test_support::hold()`.
@@ -9,21 +10,26 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 
-use slcs_engine::{serve, Engine, EngineConfig, ServerConfig};
+use slcs_engine::{serve, Engine, EngineConfig, ServerConfig, SloTable};
 
 /// Installed so the `slcs_alloc_*` metrics expose real counts, exactly
 /// as in the production binary.
 #[global_allocator]
 static ALLOC: slcs_alloc::InstrumentedAlloc = slcs_alloc::InstrumentedAlloc;
 
+fn engine_with(config: EngineConfig) -> Arc<Engine> {
+    Arc::new(Engine::new(config))
+}
+
 fn small_engine() -> Arc<Engine> {
-    Arc::new(Engine::new(EngineConfig {
+    engine_with(EngineConfig {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 16,
         batch_limit: 4,
         threads_per_request: 1,
-    }))
+        ..EngineConfig::default()
+    })
 }
 
 struct Client {
@@ -34,6 +40,10 @@ struct Client {
 impl Client {
     fn connect(addr: std::net::SocketAddr) -> Client {
         let stream = TcpStream::connect(addr).expect("connect");
+        // Request-response over small packets: without this, Nagle +
+        // delayed ACK add ~40ms to every round trip (the server sets it
+        // on its side too).
+        stream.set_nodelay(true).expect("nodelay");
         let writer = stream.try_clone().expect("clone stream");
         Client { writer, reader: BufReader::new(stream) }
     }
@@ -57,9 +67,10 @@ impl Client {
         self.read_line()
     }
 
-    /// `METRICS` → every line up to and including the `# EOF` terminator.
-    fn metrics(&mut self) -> Vec<String> {
-        self.send("METRICS");
+    /// A multi-line command (`METRICS`, `AUDIT`) → every line up to and
+    /// including the `# EOF` terminator.
+    fn multi_line(&mut self, cmd: &str) -> Vec<String> {
+        self.send(cmd);
         let mut lines = Vec::new();
         loop {
             let line = self.read_line();
@@ -69,6 +80,11 @@ impl Client {
                 return lines;
             }
         }
+    }
+
+    /// `METRICS` → every line up to and including the `# EOF` terminator.
+    fn metrics(&mut self) -> Vec<String> {
+        self.multi_line("METRICS")
     }
 }
 
@@ -160,6 +176,27 @@ fn metrics_over_tcp_exposes_every_counter_and_histogram() {
     for name in ["slcs_pool_jobs_executed_total", "slcs_trace_enabled"] {
         let _ = sample(name);
     }
+
+    // Error-by-kind counters: the invalid WINDOWS above counted as
+    // malformed; the untouched kinds expose stable zeroes.
+    for (kind, value) in
+        [("malformed", 1.0), ("oversize", 0.0), ("queue_full", 0.0), ("internal", 0.0)]
+    {
+        let prefix = format!("slcs_engine_errors_total{{kind=\"{kind}\"}}");
+        let v = lines
+            .iter()
+            .find(|l| l.starts_with(&prefix))
+            .unwrap_or_else(|| panic!("no series {prefix}"))
+            .rsplit_once(' ')
+            .unwrap()
+            .1
+            .parse::<f64>()
+            .unwrap();
+        assert_eq!(v, value, "kind {kind}");
+    }
+    // The rolling-window gauge exposes its full stable label set:
+    // 4 classes × 3 windows × 4 quantiles.
+    assert_eq!(lines.iter().filter(|l| l.starts_with("slcs_latency_window{")).count(), 48);
 
     // Build metadata: the info-pattern gauge with the version label,
     // and the uptime gauge.
@@ -262,6 +299,209 @@ fn trace_on_dump_round_trip_over_tcp() {
     assert!(json.contains("\"name\":\"process_name\""), "{json}");
     assert!(json.contains("\"name\":\"slcsDroppedEvents\""), "{json}");
     assert!(client.round_trip("TRACE sideways").starts_with("ERR usage"));
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
+fn health_degrades_and_recovers_within_one_window_rotation() {
+    // Short slices so the recovery half of the test runs in tens of
+    // milliseconds instead of the default 10s rotation.
+    let engine = engine_with(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        batch_limit: 4,
+        threads_per_request: 1,
+        window_slice_millis: 50,
+        ..EngineConfig::default()
+    });
+    // Zero-target SLO table: any observed sample breaches its class.
+    let config = ServerConfig {
+        slo: SloTable { p99_micros: [0; 4], ..SloTable::default() },
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", engine, config).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    // Idle engine: no windowed samples, nothing to breach.
+    assert_eq!(client.round_trip("HEALTH"), "OK");
+
+    // Round trips are sub-ms, so the request and the verdict land in
+    // the same 50ms slice; retry across a slice boundary just in case.
+    let mut verdict = String::new();
+    for _ in 0..20 {
+        assert_eq!(client.round_trip("LCS abcabba cbabac"), "OK 4 bitpar bypass");
+        verdict = client.round_trip("HEALTH");
+        if verdict.starts_with("DEGRADED") {
+            break;
+        }
+    }
+    assert!(verdict.starts_with("DEGRADED"), "{verdict}");
+    assert!(verdict.contains("class lcs"), "verdict names the class: {verdict}");
+    assert!(verdict.contains("p99"), "{verdict}");
+
+    // One rotation of the shortest (1-slice) window later, the sample
+    // ages out and the verdict flips back without any reset call.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    assert_eq!(client.round_trip("HEALTH"), "OK");
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
+fn latency_windows_populate_monotone_quantiles_then_drain() {
+    let engine = engine_with(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        batch_limit: 4,
+        threads_per_request: 1,
+        window_slice_millis: 20,
+        ..EngineConfig::default()
+    });
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    for _ in 0..5 {
+        assert_eq!(client.round_trip("LCS abcabba cbabac"), "OK 4 bitpar bypass");
+    }
+
+    let window_sample = |lines: &[String], window: &str, quantile: &str| -> f64 {
+        let prefix = format!(
+            "slcs_latency_window{{class=\"lcs\",window=\"{window}\",quantile=\"{quantile}\"}}"
+        );
+        lines
+            .iter()
+            .find(|l| l.starts_with(&prefix))
+            .unwrap_or_else(|| panic!("no series {prefix}"))
+            .rsplit_once(' ')
+            .unwrap()
+            .1
+            .parse()
+            .unwrap()
+    };
+
+    let lines = client.metrics();
+    // The widest window saw every sample regardless of slice boundaries;
+    // its quantiles are positive and monotone.
+    let qs: Vec<f64> =
+        ["p50", "p90", "p99", "p999"].iter().map(|q| window_sample(&lines, "5m", q)).collect();
+    assert!(qs[0] > 0.0, "p50 populated: {qs:?}");
+    for pair in qs.windows(2) {
+        assert!(pair[0] <= pair[1], "windowed quantiles must be monotone: {qs:?}");
+    }
+    // The STATS line carries the same windows in its compact form.
+    let stats = client.round_trip("STATS");
+    assert!(stats.contains(" latency_windows=lcs:10s:"), "{stats}");
+    assert!(stats.contains("edit_bounded:5m:"), "{stats}");
+
+    // Idle past the largest window (30 slices × 20ms): every window
+    // drains to zero with no rotation thread and no reset.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let lines = client.metrics();
+    for window in ["10s", "1m", "5m"] {
+        assert_eq!(
+            window_sample(&lines, window, "p99"),
+            0.0,
+            "window {window} must drain when idle"
+        );
+    }
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
+fn audit_ring_wraps_and_slowest_ordering_hold_over_tcp() {
+    let engine = engine_with(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        batch_limit: 4,
+        threads_per_request: 1,
+        recorder_capacity: 4,
+        ..EngineConfig::default()
+    });
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    // Six distinct pairs → six audit records into a 4-slot ring.
+    for (a, b) in
+        [("aa", "ab"), ("bb", "bc"), ("cc", "cd"), ("dd", "de"), ("ee", "ef"), ("ff", "fg")]
+    {
+        assert!(client.round_trip(&format!("LCS {a} {b}")).starts_with("OK "));
+    }
+
+    let dump = client.multi_line("AUDIT");
+    assert_eq!(dump.first().map(String::as_str), Some("OK 4"), "{dump:?}");
+    assert_eq!(dump.last().map(String::as_str), Some("# EOF"));
+    let id_of = |line: &String| -> u64 {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix("id="))
+            .expect("record line has id=")
+            .parse()
+            .unwrap()
+    };
+    let ids: Vec<u64> = dump[1..dump.len() - 1].iter().map(id_of).collect();
+    assert_eq!(ids.len(), 4, "ring capacity bounds the dump");
+    // Sequential round-trips make ids strictly increasing; the dump is
+    // newest-first and the wrap kept the four most recent.
+    for pair in ids.windows(2) {
+        assert!(pair[0] > pair[1], "newest-first: {ids:?}");
+    }
+    assert_eq!(ids[0] - ids[3], 3, "four consecutive newest ids: {ids:?}");
+
+    let slowest = client.multi_line("AUDIT slowest 3");
+    assert_eq!(slowest.first().map(String::as_str), Some("OK 3"));
+    let times: Vec<u64> = slowest[1..slowest.len() - 1]
+        .iter()
+        .map(|l| {
+            l.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("service_ns="))
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    for pair in times.windows(2) {
+        assert!(pair[0] >= pair[1], "slowest-first ordering: {times:?}");
+    }
+
+    assert_eq!(client.round_trip("QUIT"), "OK bye");
+    handle.stop();
+}
+
+#[test]
+fn slow_requests_leave_span_tree_exemplars() {
+    // Zero-target *engine* SLO: every request breaches and captures.
+    let engine = engine_with(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        batch_limit: 4,
+        threads_per_request: 1,
+        slo: SloTable { p99_micros: [0; 4], ..SloTable::default() },
+        ..EngineConfig::default()
+    });
+    let handle = serve("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr());
+
+    assert_eq!(client.round_trip("LCS abcabba cbabac"), "OK 4 bitpar bypass");
+    let captures = client.multi_line("AUDIT captures");
+    assert_eq!(captures.first().map(String::as_str), Some("OK 1"), "{captures:?}");
+    let header = &captures[1];
+    assert!(header.starts_with("capture id="), "{header}");
+    assert!(header.contains("class=lcs"), "{header}");
+    assert!(header.contains("slo_us=0"), "{header}");
+    // The exemplar is the worker-thread span tree, captured although
+    // global tracing was never enabled.
+    assert!(
+        captures.iter().any(|l| l.contains("engine.request")),
+        "capture retains the request span: {captures:?}"
+    );
 
     assert_eq!(client.round_trip("QUIT"), "OK bye");
     handle.stop();

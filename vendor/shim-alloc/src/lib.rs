@@ -416,12 +416,13 @@ impl Drop for AllocScope {
         let restored = self.saved_peak.max(scope_peak);
         let _ = T_PEAK.try_with(|p| p.set(restored));
         if let Some((name, bytes_key, allocs_key)) = self.sites {
-            if trace::enabled() {
+            if trace::recording() {
                 trace::instant(
                     name,
                     [
                         Some((bytes_key, trace::FieldValue::U64(delta.alloc_bytes))),
                         Some((allocs_key, trace::FieldValue::U64(delta.allocs))),
+                        None,
                     ],
                 );
             }

@@ -1,0 +1,197 @@
+//! Speculative per-thread span capture for slow-request exemplars.
+//!
+//! A server cannot know a request was slow until the request is done,
+//! so capturing an exemplar trace has to be speculative: [`begin`]
+//! arms a bounded thread-local buffer before the work starts, and at
+//! completion the caller either [`take`]s the buffered span tree (the
+//! request breached its SLO) or [`discard`]s it (the common fast
+//! path). Capture is independent of the global [`crate::enabled`]
+//! flag — exemplars work with full tracing off — and instrumentation
+//! sites reach it through [`crate::recording`], so a thread with no
+//! armed capture pays one thread-local flag read.
+//!
+//! The buffer is bounded: events past the limit are dropped and
+//! counted (surfaced as the captured timeline's `dropped` total).
+//! Capture only sees events recorded *on the arming thread*; work
+//! handed to other threads (e.g. an executor pool) shows up in the
+//! global trace stream, not the exemplar.
+
+use std::cell::{Cell, RefCell};
+
+use crate::collect::{FieldOut, ThreadInfo, Timeline, TraceEvent};
+use crate::{intern, FieldValue, Kind};
+
+struct Buffered {
+    ts: u64,
+    kind: Kind,
+    name: u16,
+    fields: [Option<(u16, FieldValue)>; 3],
+}
+
+struct State {
+    events: Vec<Buffered>,
+    limit: usize,
+    dropped: u64,
+}
+
+thread_local! {
+    /// Hot-path flag, kept separate from the buffer so [`armed`] is a
+    /// plain `Cell` read with no `RefCell` bookkeeping.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<State> =
+        const { RefCell::new(State { events: Vec::new(), limit: 0, dropped: 0 }) };
+}
+
+/// Is a capture armed on the calling thread? (The cheap gate checked
+/// by [`crate::recording`].)
+#[inline(always)]
+pub(crate) fn armed() -> bool {
+    ARMED.with(Cell::get)
+}
+
+/// Arms capture on the calling thread, buffering up to `limit` events.
+/// Any previously armed capture on this thread is discarded. Pair with
+/// [`take`] or [`discard`].
+pub fn begin(limit: usize) {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        st.events.clear();
+        st.limit = limit;
+        st.dropped = 0;
+    });
+    ARMED.with(|a| a.set(true));
+}
+
+/// True between a [`begin`] and its matching [`take`]/[`discard`].
+pub fn active() -> bool {
+    armed()
+}
+
+/// Disarms capture and drops the buffered events (the fast-path
+/// outcome). The buffer's allocation is retained for the next window.
+pub fn discard() {
+    ARMED.with(|a| a.set(false));
+    STATE.with(|s| s.borrow_mut().events.clear());
+}
+
+/// Disarms capture and returns the buffered events as a single-thread
+/// [`Timeline`] (render with [`Timeline::to_text_tree`] or
+/// [`Timeline::to_chrome_json`]). The timeline's `dropped` count is
+/// the number of events lost to the capture limit.
+pub fn take() -> Timeline {
+    ARMED.with(|a| a.set(false));
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let dropped = st.dropped;
+        let label = std::thread::current().name().unwrap_or("capture").to_string();
+        let events = st
+            .events
+            .drain(..)
+            .map(|ev| {
+                let mut fields = Vec::new();
+                for f in ev.fields.into_iter().flatten() {
+                    let (key, value) = f;
+                    let value = match value {
+                        FieldValue::U64(n) => FieldOut::U64(n),
+                        FieldValue::Str(id) => FieldOut::Str(intern::resolve(id)),
+                    };
+                    fields.push((intern::resolve(key), value));
+                }
+                TraceEvent {
+                    ts_micros: ev.ts,
+                    tid: 1,
+                    kind: ev.kind,
+                    name: intern::resolve(ev.name),
+                    fields,
+                }
+            })
+            .collect();
+        Timeline { events, dropped, threads: vec![ThreadInfo { tid: 1, label, dropped }] }
+    })
+}
+
+/// Appends one event to the armed buffer. Called from the recording
+/// path only when [`armed`] is true.
+pub(crate) fn record(
+    kind: Kind,
+    name: u16,
+    f1: Option<(u16, FieldValue)>,
+    f2: Option<(u16, FieldValue)>,
+    f3: Option<(u16, FieldValue)>,
+) {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if st.events.len() >= st.limit {
+            st.dropped += 1;
+            return;
+        }
+        st.events.push(Buffered { ts: crate::now_micros(), kind, name, fields: [f1, f2, f3] });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_support;
+
+    #[test]
+    fn capture_records_with_global_tracing_off() {
+        let _guard = test_support::hold();
+        crate::set_enabled(false);
+        let before = crate::stats().recorded;
+        super::begin(16);
+        assert!(super::active());
+        {
+            let _span = crate::span!("capture.req", "op" => "lcs", "wait" => 3u64, "req" => 7u64);
+            crate::instant!("capture.mark", "status" => "hit");
+        }
+        let t = super::take();
+        assert!(!super::active());
+        let tree = t.to_text_tree();
+        assert!(tree.contains("capture.req [op=lcs wait=3 req=7]"), "{tree}");
+        assert!(tree.contains("@ capture.mark [status=hit]"), "{tree}");
+        assert!(tree.contains("^ capture.req"), "span End captured:\n{tree}");
+        assert_eq!(t.dropped, 0);
+        assert_eq!(crate::stats().recorded, before, "global ring untouched");
+    }
+
+    #[test]
+    fn capture_is_bounded_and_counts_drops() {
+        let _guard = test_support::hold();
+        crate::set_enabled(false);
+        super::begin(2);
+        for _ in 0..5 {
+            crate::instant!("capture.flood");
+        }
+        let t = super::take();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 3);
+    }
+
+    #[test]
+    fn discard_drops_buffered_events() {
+        let _guard = test_support::hold();
+        crate::set_enabled(false);
+        super::begin(16);
+        crate::instant!("capture.discarded");
+        super::discard();
+        super::begin(16);
+        let t = super::take();
+        assert!(t.events.is_empty(), "discarded events must not leak into the next window");
+    }
+
+    #[test]
+    fn capture_and_global_ring_record_simultaneously() {
+        let _guard = test_support::hold();
+        crate::enable_fresh();
+        super::begin(16);
+        crate::instant!("capture.both");
+        let t = super::take();
+        crate::set_enabled(false);
+        assert_eq!(t.events.len(), 1);
+        let global = crate::drain();
+        assert!(
+            global.events.iter().any(|e| e.name == "capture.both"),
+            "event reaches the global ring too"
+        );
+    }
+}

@@ -67,7 +67,7 @@ pub fn drain() -> Timeline {
         out.threads.push(ThreadInfo { tid: buf.tid, label: buf.label.clone(), dropped });
         for ev in raw {
             let mut fields = Vec::new();
-            for f in [ev.f1, ev.f2].into_iter().flatten() {
+            for f in [ev.f1, ev.f2, ev.f3].into_iter().flatten() {
                 let (key, value) = f;
                 let value = match value {
                     FieldValue::U64(n) => FieldOut::U64(n),

@@ -37,8 +37,17 @@
 //! A [`SpanGuard`] records a `Begin` event when created and the
 //! matching `End` when dropped; a thread-local span stack tracks
 //! nesting (see [`current_depth`]). `Instant` events mark points,
-//! `Counter` events carry a value. Spans carry up to two key/value
+//! `Counter` events carry a value. Spans carry up to three key/value
 //! fields (`u64` or interned `&'static str`).
+//!
+//! # Speculative capture
+//!
+//! Independently of the global flag, a thread can arm a bounded
+//! [`capture`] buffer for a window of work (e.g. one engine request)
+//! and later *take* the buffered span tree (the request turned out to
+//! be slow) or *discard* it (the common fast path). Instrumentation
+//! sites gate on [`recording`] — global flag OR armed capture — so
+//! exemplar capture works with full tracing off.
 //!
 //! ```
 //! slcs_trace::enable_fresh();
@@ -56,6 +65,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod capture;
 pub mod collect;
 pub(crate) mod intern;
 pub(crate) mod ring;
@@ -85,6 +95,15 @@ pub fn enabled() -> bool {
     // eventual visibility, and no data is published through the flag
     // (event slots carry their own ordering).
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Should instrumentation sites record? True when global tracing is on
+/// *or* the calling thread has an armed [`capture`] buffer. This is
+/// the macro gate: one relaxed load plus one thread-local flag read on
+/// the fully-disabled path.
+#[inline(always)]
+pub fn recording() -> bool {
+    enabled() || capture::armed()
 }
 
 /// Turns tracing on or off without touching recorded events.
@@ -187,12 +206,12 @@ impl From<&'static str> for FieldValue {
     }
 }
 
-/// Up to two key/value fields attached to an event. Keys are
+/// Up to three key/value fields attached to an event. Keys are
 /// [`Site`] statics so their interning is cached per call site.
-pub type Fields = [Option<(&'static Site, FieldValue)>; 2];
+pub type Fields = [Option<(&'static Site, FieldValue)>; 3];
 
 /// The no-fields constant for bare spans and instants.
-pub const NO_FIELDS: Fields = [None, None];
+pub const NO_FIELDS: Fields = [None, None, None];
 
 // ---------------------------------------------------------------------
 // Call sites
@@ -229,7 +248,7 @@ impl Site {
 
 /// Records a counter sample (named value at a point in time).
 pub fn counter(site: &'static Site, value: u64) {
-    ring::record(Kind::Counter, site.id(), Some((site.id(), FieldValue::U64(value))), None);
+    ring::record(Kind::Counter, site.id(), Some((site.id(), FieldValue::U64(value))), None, None);
 }
 
 // ---------------------------------------------------------------------
@@ -243,7 +262,7 @@ pub fn counter(site: &'static Site, value: u64) {
 #[macro_export]
 macro_rules! span {
     ($name:literal) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             Some($crate::span_enter(&SITE, $crate::NO_FIELDS))
         } else {
@@ -251,16 +270,19 @@ macro_rules! span {
         }
     }};
     ($name:literal, $k1:literal => $v1:expr) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             static K1: $crate::Site = $crate::Site::new($k1);
-            Some($crate::span_enter(&SITE, [Some((&K1, $crate::FieldValue::from($v1))), None]))
+            Some($crate::span_enter(
+                &SITE,
+                [Some((&K1, $crate::FieldValue::from($v1))), None, None],
+            ))
         } else {
             None
         }
     }};
     ($name:literal, $k1:literal => $v1:expr, $k2:literal => $v2:expr) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             static K1: $crate::Site = $crate::Site::new($k1);
             static K2: $crate::Site = $crate::Site::new($k2);
@@ -269,6 +291,25 @@ macro_rules! span {
                 [
                     Some((&K1, $crate::FieldValue::from($v1))),
                     Some((&K2, $crate::FieldValue::from($v2))),
+                    None,
+                ],
+            ))
+        } else {
+            None
+        }
+    }};
+    ($name:literal, $k1:literal => $v1:expr, $k2:literal => $v2:expr, $k3:literal => $v3:expr) => {{
+        if $crate::recording() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            static K1: $crate::Site = $crate::Site::new($k1);
+            static K2: $crate::Site = $crate::Site::new($k2);
+            static K3: $crate::Site = $crate::Site::new($k3);
+            Some($crate::span_enter(
+                &SITE,
+                [
+                    Some((&K1, $crate::FieldValue::from($v1))),
+                    Some((&K2, $crate::FieldValue::from($v2))),
+                    Some((&K3, $crate::FieldValue::from($v3))),
                 ],
             ))
         } else {
@@ -277,24 +318,24 @@ macro_rules! span {
     }};
 }
 
-/// Records an instant (point) event, with up to two fields.
+/// Records an instant (point) event, with up to three fields.
 #[macro_export]
 macro_rules! instant {
     ($name:literal) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             $crate::instant(&SITE, $crate::NO_FIELDS);
         }
     }};
     ($name:literal, $k1:literal => $v1:expr) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             static K1: $crate::Site = $crate::Site::new($k1);
-            $crate::instant(&SITE, [Some((&K1, $crate::FieldValue::from($v1))), None]);
+            $crate::instant(&SITE, [Some((&K1, $crate::FieldValue::from($v1))), None, None]);
         }
     }};
     ($name:literal, $k1:literal => $v1:expr, $k2:literal => $v2:expr) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             static K1: $crate::Site = $crate::Site::new($k1);
             static K2: $crate::Site = $crate::Site::new($k2);
@@ -303,6 +344,23 @@ macro_rules! instant {
                 [
                     Some((&K1, $crate::FieldValue::from($v1))),
                     Some((&K2, $crate::FieldValue::from($v2))),
+                    None,
+                ],
+            );
+        }
+    }};
+    ($name:literal, $k1:literal => $v1:expr, $k2:literal => $v2:expr, $k3:literal => $v3:expr) => {{
+        if $crate::recording() {
+            static SITE: $crate::Site = $crate::Site::new($name);
+            static K1: $crate::Site = $crate::Site::new($k1);
+            static K2: $crate::Site = $crate::Site::new($k2);
+            static K3: $crate::Site = $crate::Site::new($k3);
+            $crate::instant(
+                &SITE,
+                [
+                    Some((&K1, $crate::FieldValue::from($v1))),
+                    Some((&K2, $crate::FieldValue::from($v2))),
+                    Some((&K3, $crate::FieldValue::from($v3))),
                 ],
             );
         }
@@ -313,7 +371,7 @@ macro_rules! instant {
 #[macro_export]
 macro_rules! counter {
     ($name:literal, $value:expr) => {{
-        if $crate::enabled() {
+        if $crate::recording() {
             static SITE: $crate::Site = $crate::Site::new($name);
             $crate::counter(&SITE, $value as u64);
         }

@@ -41,16 +41,21 @@ pub(crate) fn capacity() -> usize {
 // ---------------------------------------------------------------------
 
 // `meta` packs the discriminants:  kind:8 | name:16 | k1:16 | k2:16 | flags:8
+// The third field's key does not fit in `meta`; it lives in the slot's
+// `ext` word (low 16 bits), with presence/shape still in the flags byte.
 const FLAG_F1: u64 = 1;
 const FLAG_F1_STR: u64 = 2;
 const FLAG_F2: u64 = 4;
 const FLAG_F2_STR: u64 = 8;
+const FLAG_F3: u64 = 16;
+const FLAG_F3_STR: u64 = 32;
 
 fn encode_meta(
     kind: Kind,
     name: u16,
     f1: &Option<(u16, FieldValue)>,
     f2: &Option<(u16, FieldValue)>,
+    f3: &Option<(u16, FieldValue)>,
 ) -> u64 {
     let mut meta = (kind.code() << 56) | ((name as u64) << 40);
     if let Some((k, v)) = f1 {
@@ -63,6 +68,12 @@ fn encode_meta(
         meta |= ((*k as u64) << 8) | FLAG_F2;
         if matches!(v, FieldValue::Str(_)) {
             meta |= FLAG_F2_STR;
+        }
+    }
+    if let Some((_, v)) = f3 {
+        meta |= FLAG_F3;
+        if matches!(v, FieldValue::Str(_)) {
+            meta |= FLAG_F3_STR;
         }
     }
     meta
@@ -82,13 +93,17 @@ pub(crate) struct RawEvent {
     pub name: u16,
     pub f1: Option<(u16, FieldValue)>,
     pub f2: Option<(u16, FieldValue)>,
+    pub f3: Option<(u16, FieldValue)>,
 }
 
 struct Slot {
     ts: AtomicU64,
     meta: AtomicU64,
+    /// Third-field key (low 16 bits); see the `meta` layout comment.
+    ext: AtomicU64,
     f1: AtomicU64,
     f2: AtomicU64,
+    f3: AtomicU64,
 }
 
 impl Slot {
@@ -96,17 +111,21 @@ impl Slot {
         Slot {
             ts: AtomicU64::new(0),
             meta: AtomicU64::new(0),
+            ext: AtomicU64::new(0),
             f1: AtomicU64::new(0),
             f2: AtomicU64::new(0),
+            f3: AtomicU64::new(0),
         }
     }
 
-    fn write(&self, ts: u64, meta: u64, f1: u64, f2: u64) {
+    fn write(&self, ts: u64, meta: u64, ext: u64, f1: u64, f2: u64, f3: u64) {
         // ORDERING: Relaxed — the owner's later `head.store(Release)`
-        // publishes all four fields to any `Acquire` reader of `head`.
+        // publishes all six fields to any `Acquire` reader of `head`.
         self.ts.store(ts, Ordering::Relaxed);
+        self.ext.store(ext, Ordering::Relaxed);
         self.f1.store(f1, Ordering::Relaxed);
         self.f2.store(f2, Ordering::Relaxed);
+        self.f3.store(f3, Ordering::Relaxed);
         self.meta.store(meta, Ordering::Relaxed);
     }
 
@@ -116,11 +135,10 @@ impl Slot {
         // owner's writes.
         let meta = self.meta.load(Ordering::Relaxed);
         let kind = Kind::from_code(meta >> 56)?;
-        let decode = |present: u64, str_flag: u64, key_shift: u32, bits: u64| {
+        let decode = |present: u64, str_flag: u64, key: u16, bits: u64| {
             if meta & present == 0 {
                 return None;
             }
-            let key = ((meta >> key_shift) & 0xffff) as u16;
             let value = if meta & str_flag != 0 {
                 FieldValue::Str(bits as u16)
             } else {
@@ -129,9 +147,16 @@ impl Slot {
             Some((key, value))
         };
         // ORDERING: Relaxed — see the `meta` load above.
-        let f1 = decode(FLAG_F1, FLAG_F1_STR, 24, self.f1.load(Ordering::Relaxed));
+        let ext = self.ext.load(Ordering::Relaxed);
+        let k1 = ((meta >> 24) & 0xffff) as u16;
+        let k2 = ((meta >> 8) & 0xffff) as u16;
+        let k3 = (ext & 0xffff) as u16;
         // ORDERING: Relaxed — see the `meta` load above.
-        let f2 = decode(FLAG_F2, FLAG_F2_STR, 8, self.f2.load(Ordering::Relaxed));
+        let f1 = decode(FLAG_F1, FLAG_F1_STR, k1, self.f1.load(Ordering::Relaxed));
+        // ORDERING: Relaxed — see the `meta` load above.
+        let f2 = decode(FLAG_F2, FLAG_F2_STR, k2, self.f2.load(Ordering::Relaxed));
+        // ORDERING: Relaxed — see the `meta` load above.
+        let f3 = decode(FLAG_F3, FLAG_F3_STR, k3, self.f3.load(Ordering::Relaxed));
         Some(RawEvent {
             // ORDERING: Relaxed — see the `meta` load above.
             ts: self.ts.load(Ordering::Relaxed),
@@ -139,6 +164,7 @@ impl Slot {
             name: ((meta >> 40) & 0xffff) as u16,
             f1,
             f2,
+            f3,
         })
     }
 }
@@ -179,6 +205,7 @@ impl ThreadBuf {
         name: u16,
         f1: Option<(u16, FieldValue)>,
         f2: Option<(u16, FieldValue)>,
+        f3: Option<(u16, FieldValue)>,
     ) {
         let epoch = crate::current_epoch();
         // ORDERING: Relaxed — only this thread writes head/epoch/dropped;
@@ -199,10 +226,12 @@ impl ThreadBuf {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let meta = encode_meta(kind, name, &f1, &f2);
+        let meta = encode_meta(kind, name, &f1, &f2, &f3);
+        let ext = f3.map(|(k, _)| k as u64).unwrap_or(0);
         let f1_bits = f1.map(|(_, v)| field_bits(&v)).unwrap_or(0);
         let f2_bits = f2.map(|(_, v)| field_bits(&v)).unwrap_or(0);
-        self.slots[idx].write(crate::now_micros(), meta, f1_bits, f2_bits);
+        let f3_bits = f3.map(|(_, v)| field_bits(&v)).unwrap_or(0);
+        self.slots[idx].write(crate::now_micros(), meta, ext, f1_bits, f2_bits, f3_bits);
         // ORDERING: Release — publishes the slot writes above to any
         // collector that loads `head` with Acquire.
         self.head.store(idx + 1, Ordering::Release);
@@ -263,8 +292,9 @@ fn local_buf() -> Arc<ThreadBuf> {
     })
 }
 
-/// Records one event into the calling thread's buffer. No-op when
-/// tracing is disabled (so `End` events from guards that outlive a
+/// Records one event into the calling thread's buffer, and/or the
+/// thread's armed speculative capture. No-op when neither sink is
+/// active (so `End` events from guards that outlive a
 /// `set_enabled(false)` are silently dropped — the exporters tolerate
 /// unbalanced spans).
 pub(crate) fn record(
@@ -272,11 +302,15 @@ pub(crate) fn record(
     name: u16,
     f1: Option<(u16, FieldValue)>,
     f2: Option<(u16, FieldValue)>,
+    f3: Option<(u16, FieldValue)>,
 ) {
+    if crate::capture::armed() {
+        crate::capture::record(kind, name, f1, f2, f3);
+    }
     if !crate::enabled() {
         return;
     }
-    local_buf().push(kind, name, f1, f2);
+    local_buf().push(kind, name, f1, f2, f3);
 }
 
 // ---------------------------------------------------------------------
@@ -318,7 +352,7 @@ mod tests {
         let buf = ThreadBuf::new(99, "test".into(), 4);
         let epoch = crate::current_epoch();
         for i in 0..10u64 {
-            buf.push(Kind::Instant, 1, Some((2, FieldValue::U64(i))), None);
+            buf.push(Kind::Instant, 1, Some((2, FieldValue::U64(i))), None, None);
         }
         let (events, dropped) = buf.snapshot(epoch);
         assert_eq!(events.len(), 4, "capacity bounds retained events");
@@ -337,7 +371,7 @@ mod tests {
     fn epoch_bump_lazily_resets_owner_buffer() {
         let buf = ThreadBuf::new(98, "test".into(), 4);
         let e1 = crate::current_epoch();
-        buf.push(Kind::Instant, 1, None, None);
+        buf.push(Kind::Instant, 1, None, None, None);
         assert_eq!(buf.snapshot(e1).0.len(), 1);
         // Simulate `enable_fresh`: a later epoch makes old content
         // invisible, and the next push resets the buffer.
@@ -351,25 +385,30 @@ mod tests {
     fn meta_roundtrips_all_kinds_and_field_shapes() {
         let buf = ThreadBuf::new(97, "test".into(), 8);
         let epoch = crate::current_epoch();
-        buf.push(Kind::Begin, 3, None, None);
-        buf.push(Kind::End, 3, Some((4, FieldValue::U64(7))), None);
+        buf.push(Kind::Begin, 3, None, None, None);
+        buf.push(Kind::End, 3, Some((4, FieldValue::U64(7))), None, None);
         buf.push(
             Kind::Instant,
             5,
             Some((4, FieldValue::Str(2))),
             Some((6, FieldValue::U64(u64::MAX))),
+            Some((9, FieldValue::U64(31))),
         );
-        buf.push(Kind::Counter, 6, Some((6, FieldValue::U64(123))), None);
+        buf.push(Kind::Counter, 6, Some((6, FieldValue::U64(123))), None, None);
+        buf.push(Kind::Instant, 7, None, None, Some((10, FieldValue::Str(3))));
         let (events, _) = buf.snapshot(epoch);
-        assert_eq!(events.len(), 4);
+        assert_eq!(events.len(), 5);
         assert_eq!(events[0].kind, Kind::Begin);
         assert_eq!(events[0].name, 3);
-        assert!(events[0].f1.is_none() && events[0].f2.is_none());
+        assert!(events[0].f1.is_none() && events[0].f2.is_none() && events[0].f3.is_none());
         assert_eq!(events[1].kind, Kind::End);
         assert!(matches!(events[1].f1, Some((4, FieldValue::U64(7)))));
         assert_eq!(events[2].kind, Kind::Instant);
         assert!(matches!(events[2].f1, Some((4, FieldValue::Str(2)))));
         assert!(matches!(events[2].f2, Some((6, FieldValue::U64(u64::MAX)))));
+        assert!(matches!(events[2].f3, Some((9, FieldValue::U64(31)))));
         assert_eq!(events[3].kind, Kind::Counter);
+        assert!(matches!(events[4].f3, Some((10, FieldValue::Str(3)))));
+        assert!(events[4].f1.is_none() && events[4].f2.is_none());
     }
 }

@@ -15,8 +15,12 @@ pub fn current_depth() -> usize {
     STACK.with(|s| s.borrow().len())
 }
 
-fn resolve(fields: Fields) -> [Option<(u16, FieldValue)>; 2] {
-    [fields[0].map(|(k, v)| (k.id(), v)), fields[1].map(|(k, v)| (k.id(), v))]
+fn resolve(fields: Fields) -> [Option<(u16, FieldValue)>; 3] {
+    [
+        fields[0].map(|(k, v)| (k.id(), v)),
+        fields[1].map(|(k, v)| (k.id(), v)),
+        fields[2].map(|(k, v)| (k.id(), v)),
+    ]
 }
 
 /// An open span. Records `Begin` on creation (via [`span_enter`]) and
@@ -36,7 +40,7 @@ impl Drop for SpanGuard {
         });
         // If tracing was disabled mid-span this records nothing; the
         // exporters tolerate a Begin without its End.
-        ring::record(Kind::End, self.name, None, None);
+        ring::record(Kind::End, self.name, None, None, None);
     }
 }
 
@@ -45,16 +49,16 @@ impl Drop for SpanGuard {
 /// performs the enabled check and caches the call site.
 pub fn span_enter(site: &'static Site, fields: Fields) -> SpanGuard {
     let name = site.id();
-    let [f1, f2] = resolve(fields);
-    ring::record(Kind::Begin, name, f1, f2);
+    let [f1, f2, f3] = resolve(fields);
+    ring::record(Kind::Begin, name, f1, f2, f3);
     STACK.with(|s| s.borrow_mut().push(name));
     SpanGuard { name, _not_send: PhantomData }
 }
 
 /// Records an instant event. Prefer the [`crate::instant!`] macro.
 pub fn instant(site: &'static Site, fields: Fields) {
-    let [f1, f2] = resolve(fields);
-    ring::record(Kind::Instant, site.id(), f1, f2);
+    let [f1, f2, f3] = resolve(fields);
+    ring::record(Kind::Instant, site.id(), f1, f2, f3);
 }
 
 #[cfg(test)]
